@@ -1,0 +1,153 @@
+//! Exact bin-packing feasibility: can thread counts `y_i` be placed onto
+//! servers with capacities `cap_j` such that each layer sits wholly on one
+//! server? (Constraint Eqs. 5 + 8 of the ILP.)
+
+/// Returns an assignment `layer → bin index` if the item sizes fit, else
+/// `None`. First-fit-decreasing fast path, exact DFS fallback — instance
+/// sizes are ≤ ~20 items / ≤ 9 bins.
+pub fn pack_feasible(sizes: &[usize], capacities: &[usize]) -> Option<Vec<usize>> {
+    if sizes.is_empty() {
+        return Some(Vec::new());
+    }
+    if capacities.is_empty() {
+        return None;
+    }
+    let total: usize = sizes.iter().sum();
+    if total > capacities.iter().sum() {
+        return None;
+    }
+
+    // Sort items descending (remembering original positions).
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]));
+
+    // First-fit-decreasing.
+    let mut remaining = capacities.to_vec();
+    let mut assign = vec![usize::MAX; sizes.len()];
+    let mut ok = true;
+    for &i in &order {
+        match remaining.iter().position(|&r| r >= sizes[i]) {
+            Some(j) => {
+                remaining[j] -= sizes[i];
+                assign[i] = j;
+            }
+            None => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Some(assign);
+    }
+
+    // Exact DFS with symmetry pruning on equal-remaining bins.
+    let mut remaining = capacities.to_vec();
+    let mut assign = vec![usize::MAX; sizes.len()];
+    if dfs(&order, sizes, &mut remaining, &mut assign, 0) {
+        Some(assign)
+    } else {
+        None
+    }
+}
+
+fn dfs(
+    order: &[usize],
+    sizes: &[usize],
+    remaining: &mut [usize],
+    assign: &mut [usize],
+    depth: usize,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let item = order[depth];
+    let size = sizes[item];
+    let mut tried: Vec<usize> = Vec::with_capacity(remaining.len());
+    for j in 0..remaining.len() {
+        if remaining[j] < size || tried.contains(&remaining[j]) {
+            continue; // too small, or symmetric to an already-tried bin
+        }
+        tried.push(remaining[j]);
+        remaining[j] -= size;
+        assign[item] = j;
+        if dfs(order, sizes, remaining, assign, depth + 1) {
+            return true;
+        }
+        remaining[j] += size;
+        assign[item] = usize::MAX;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(pack_feasible(&[], &[4]), Some(vec![]));
+        assert!(pack_feasible(&[1], &[]).is_none());
+        assert!(pack_feasible(&[5], &[4]).is_none());
+        assert!(pack_feasible(&[4], &[4]).is_some());
+    }
+
+    #[test]
+    fn exact_fit_multi_bin() {
+        let assign = pack_feasible(&[3, 3, 2, 2], &[5, 5]).unwrap();
+        let mut loads = [0usize; 2];
+        for (i, &b) in assign.iter().enumerate() {
+            loads[b] += [3, 3, 2, 2][i];
+        }
+        assert_eq!(loads, [5, 5]);
+    }
+
+    #[test]
+    fn requires_backtracking() {
+        // First-fit-decreasing fails here (4 lands in the cap-6 bin,
+        // leaving no home for the two 3s), but 3+3 → bin 0 and 4 → bin 1
+        // is feasible — exercises the exact DFS fallback.
+        let sizes = [4, 3, 3];
+        let caps = [6, 4];
+        let assign = pack_feasible(&sizes, &caps).unwrap();
+        let mut loads = vec![0usize; caps.len()];
+        for (i, &b) in assign.iter().enumerate() {
+            loads[b] += sizes[i];
+        }
+        for (l, c) in loads.iter().zip(&caps) {
+            assert!(l <= c, "loads={loads:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_despite_total_capacity() {
+        // Totals fit but no partition exists.
+        assert!(pack_feasible(&[4, 3, 3], &[4, 6]).is_some());
+        assert!(pack_feasible(&[4, 4, 4], &[6, 6]).is_none());
+        assert!(pack_feasible(&[3, 3], &[5, 5, 5]).is_some());
+    }
+
+    #[test]
+    fn assignment_respects_capacities_randomized() {
+        // Deterministic pseudo-random instances.
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for _ in 0..50 {
+            let n = next() % 8 + 1;
+            let sizes: Vec<usize> = (0..n).map(|_| next() % 5 + 1).collect();
+            let bins: Vec<usize> = (0..next() % 3 + 1).map(|_| next() % 10 + 1).collect();
+            if let Some(assign) = pack_feasible(&sizes, &bins) {
+                let mut loads = vec![0usize; bins.len()];
+                for (i, &b) in assign.iter().enumerate() {
+                    loads[b] += sizes[i];
+                }
+                for (l, c) in loads.iter().zip(&bins) {
+                    assert!(l <= c);
+                }
+            }
+        }
+    }
+}

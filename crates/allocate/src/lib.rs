@@ -1,0 +1,194 @@
+//! # pp-allocate
+//!
+//! Load-balanced resource allocation (paper Sec. IV-C): given the offline
+//! profile `T_i` of each merged primitive layer and the per-server core
+//! budgets, find the server assignment `x_{i,j}` and thread counts `y_i`
+//! minimizing the total pairwise imbalance
+//!
+//! ```text
+//!   min Σ_i Σ_i' | T_i/y_i − T_i'/y_i' |
+//! ```
+//!
+//! subject to (Eqs. 5–8): every layer on exactly one server; each server
+//! hosting only linear or only non-linear layers (privacy); at least one
+//! thread per layer; and per-server thread totals bounded by `2·c_j`
+//! (hyper-threading) or `c_j`.
+//!
+//! The paper solves this with Gurobi's branch-and-bound; this crate
+//! implements an exact branch-and-bound directly (DESIGN.md §3): the
+//! objective depends only on the `y` vector, so we search `y` with
+//! partial-objective pruning and check server feasibility by bin-packing
+//! thread counts into core budgets. Instances are tiny (ℓ ≤ ~20, s ≤ 9),
+//! so exact search is fast.
+//!
+//! ```
+//! use pp_allocate::{solve, LayerLoad, Role, ServerSpec, SolveConfig};
+//!
+//! // A heavy and a light linear stage plus one non-linear stage.
+//! let layers = [
+//!     LayerLoad { role: Role::Linear, time: 8.0 },
+//!     LayerLoad { role: Role::Linear, time: 2.0 },
+//!     LayerLoad { role: Role::NonLinear, time: 1.0 },
+//! ];
+//! let servers = [
+//!     ServerSpec { role: Role::Linear, cores: 5 },
+//!     ServerSpec { role: Role::NonLinear, cores: 2 },
+//! ];
+//! let alloc = solve(&layers, &servers,
+//!     SolveConfig { hyperthreading: false, node_budget: 1 << 20 }).unwrap();
+//! // The heavy stage gets 4× the threads of the light one (8.0 / 2.0).
+//! assert_eq!(alloc.threads[0], 4 * alloc.threads[1]);
+//! ```
+
+mod binpack;
+mod solver;
+
+pub use binpack::pack_feasible;
+pub use solver::{solve, Allocation, SolveConfig};
+
+/// Linear layers execute on the model provider's servers, non-linear on
+/// the data provider's (constraint Eq. 6 keeps them apart).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    Linear,
+    NonLinear,
+}
+
+/// One merged primitive layer's offline profile.
+#[derive(Clone, Copy, Debug)]
+pub struct LayerLoad {
+    /// Linear vs non-linear (decides the eligible server set).
+    pub role: Role,
+    /// Profiled single-thread execution time `T_i`, in seconds.
+    pub time: f64,
+}
+
+/// One server's resources.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerSpec {
+    /// Whether this server belongs to the model provider (`Linear`) or
+    /// the data provider (`NonLinear`).
+    pub role: Role,
+    /// Physical CPU cores `c_j`.
+    pub cores: usize,
+}
+
+/// Errors from allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocateError {
+    /// No feasible assignment exists (e.g. more layers than thread slots).
+    Infeasible(String),
+    /// Invalid input (empty layer/server list, zero cores…).
+    Invalid(String),
+}
+
+impl std::fmt::Display for AllocateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocateError::Infeasible(s) => write!(f, "infeasible: {s}"),
+            AllocateError::Invalid(s) => write!(f, "invalid input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocateError {}
+
+/// The "without load balancing" baseline of Exp#2/Exp#3: distribute each
+/// role's thread slots evenly across that role's layers (some layers get
+/// one more thread when the division is uneven), assigning greedily to
+/// servers in order.
+pub fn even_allocation(
+    layers: &[LayerLoad],
+    servers: &[ServerSpec],
+    hyperthreading: bool,
+) -> Result<Allocation, AllocateError> {
+    let factor = if hyperthreading { 2 } else { 1 };
+    let mut threads = vec![0usize; layers.len()];
+    let mut server_of = vec![usize::MAX; layers.len()];
+    for role in [Role::Linear, Role::NonLinear] {
+        let layer_ids: Vec<usize> =
+            (0..layers.len()).filter(|&i| layers[i].role == role).collect();
+        if layer_ids.is_empty() {
+            continue;
+        }
+        let server_ids: Vec<usize> =
+            (0..servers.len()).filter(|&j| servers[j].role == role).collect();
+        let capacity: usize = server_ids.iter().map(|&j| servers[j].cores * factor).sum();
+        if capacity < layer_ids.len() {
+            return Err(AllocateError::Infeasible(format!(
+                "{} {role:?} layers need {} thread slots, have {capacity}",
+                layer_ids.len(),
+                layer_ids.len()
+            )));
+        }
+        let per = capacity / layer_ids.len();
+        let extra = capacity % layer_ids.len();
+        // Greedy first-fit of the even thread counts onto servers.
+        let mut remaining: Vec<usize> =
+            server_ids.iter().map(|&j| servers[j].cores * factor).collect();
+        for (k, &i) in layer_ids.iter().enumerate() {
+            let want = per + usize::from(k < extra);
+            // Find a server with room for the whole allocation, else the
+            // one with the most room (threads can be trimmed to fit).
+            let (slot, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &r)| r)
+                .expect("non-empty server list");
+            let give = want.min(remaining[slot]).max(1);
+            threads[i] = give;
+            remaining[slot] -= give.min(remaining[slot]);
+            server_of[i] = server_ids[slot];
+        }
+    }
+    let objective = solver::pairwise_imbalance(
+        &layers.iter().map(|l| l.time).collect::<Vec<_>>(),
+        &threads,
+    );
+    Ok(Allocation { threads, server_of, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_allocation_splits_capacity() {
+        let layers = vec![
+            LayerLoad { role: Role::Linear, time: 10.0 },
+            LayerLoad { role: Role::Linear, time: 1.0 },
+            LayerLoad { role: Role::NonLinear, time: 0.5 },
+        ];
+        let servers = vec![
+            ServerSpec { role: Role::Linear, cores: 4 },
+            ServerSpec { role: Role::NonLinear, cores: 2 },
+        ];
+        let alloc = even_allocation(&layers, &servers, false).unwrap();
+        // Linear capacity 4 split across 2 layers → 2 threads each.
+        assert_eq!(alloc.threads[0], 2);
+        assert_eq!(alloc.threads[1], 2);
+        assert_eq!(alloc.threads[2], 2);
+        // Role separation honoured.
+        assert_eq!(alloc.server_of[0], 0);
+        assert_eq!(alloc.server_of[2], 1);
+    }
+
+    #[test]
+    fn even_allocation_hyperthreading_doubles() {
+        let layers = vec![LayerLoad { role: Role::Linear, time: 1.0 }];
+        let servers = vec![ServerSpec { role: Role::Linear, cores: 3 }];
+        let a = even_allocation(&layers, &servers, true).unwrap();
+        assert_eq!(a.threads[0], 6);
+    }
+
+    #[test]
+    fn even_allocation_infeasible() {
+        let layers = vec![
+            LayerLoad { role: Role::Linear, time: 1.0 },
+            LayerLoad { role: Role::Linear, time: 1.0 },
+            LayerLoad { role: Role::Linear, time: 1.0 },
+        ];
+        let servers = vec![ServerSpec { role: Role::Linear, cores: 1 }];
+        assert!(even_allocation(&layers, &servers, false).is_err());
+    }
+}

@@ -1,0 +1,470 @@
+//! Branch-and-bound solver for the load-balancing ILP (paper Eqs. 4–8).
+
+use crate::binpack::pack_feasible;
+use crate::{AllocateError, LayerLoad, Role, ServerSpec};
+
+/// Solver knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveConfig {
+    /// Whether each physical core may run two threads (Eq. 8's `×2`).
+    pub hyperthreading: bool,
+    /// Search-node budget; the solver returns the best allocation found
+    /// when exhausted (instances at paper scale finish well within it).
+    pub node_budget: u64,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig { hyperthreading: true, node_budget: 5_000_000 }
+    }
+}
+
+/// A solved allocation.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Threads per layer (`y_i`).
+    pub threads: Vec<usize>,
+    /// Hosting server per layer (`j` with `x_{i,j} = 1`).
+    pub server_of: Vec<usize>,
+    /// Achieved objective value (Eq. 4).
+    pub objective: f64,
+}
+
+impl Allocation {
+    /// The bottleneck per-thread time `max_i T_i / y_i` — the pipeline's
+    /// steady-state throughput limit.
+    pub fn bottleneck(&self, layers: &[LayerLoad]) -> f64 {
+        layers
+            .iter()
+            .zip(&self.threads)
+            .map(|(l, &y)| l.time / y as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Eq. 4: `Σ_i Σ_i' |T_i/y_i − T_i'/y_i'|` over ordered pairs.
+pub fn pairwise_imbalance(times: &[f64], threads: &[usize]) -> f64 {
+    let t: Vec<f64> = times.iter().zip(threads).map(|(&ti, &y)| ti / y as f64).collect();
+    let mut sum = 0.0;
+    for i in 0..t.len() {
+        for j in 0..t.len() {
+            sum += (t[i] - t[j]).abs();
+        }
+    }
+    sum
+}
+
+/// Solves the allocation ILP exactly (within the node budget).
+pub fn solve(
+    layers: &[LayerLoad],
+    servers: &[ServerSpec],
+    config: SolveConfig,
+) -> Result<Allocation, AllocateError> {
+    if layers.is_empty() {
+        return Err(AllocateError::Invalid("no layers".into()));
+    }
+    if servers.is_empty() {
+        return Err(AllocateError::Invalid("no servers".into()));
+    }
+    if servers.iter().any(|s| s.cores == 0) {
+        return Err(AllocateError::Invalid("server with zero cores".into()));
+    }
+    if layers.iter().any(|l| l.time <= 0.0 || !l.time.is_finite()) {
+        return Err(AllocateError::Invalid("layer times must be positive".into()));
+    }
+    let factor = if config.hyperthreading { 2 } else { 1 };
+
+    // Per-role capacity data.
+    let caps = |role: Role| -> Vec<usize> {
+        servers
+            .iter()
+            .filter(|s| s.role == role)
+            .map(|s| s.cores * factor)
+            .collect()
+    };
+    let lin_caps = caps(Role::Linear);
+    let non_caps = caps(Role::NonLinear);
+    let role_total = |c: &[usize]| c.iter().sum::<usize>();
+    let role_max = |c: &[usize]| c.iter().copied().max().unwrap_or(0);
+
+    for role in [Role::Linear, Role::NonLinear] {
+        let count = layers.iter().filter(|l| l.role == role).count();
+        let c = if role == Role::Linear { &lin_caps } else { &non_caps };
+        if count > role_total(c) {
+            return Err(AllocateError::Infeasible(format!(
+                "{count} {role:?} layers exceed {role:?} thread capacity {}",
+                role_total(c)
+            )));
+        }
+    }
+
+    // Search order: heaviest layers first (their y choices matter most).
+    let mut order: Vec<usize> = (0..layers.len()).collect();
+    order.sort_by(|&a, &b| layers[b].time.partial_cmp(&layers[a].time).expect("finite"));
+
+    // Balanced per-thread target used to order candidate y values.
+    let total_time: f64 = layers.iter().map(|l| l.time).sum();
+    let total_cap = role_total(&lin_caps) + role_total(&non_caps);
+    let tau = total_time / total_cap.max(1) as f64;
+
+    // Candidate y values per layer, best-target-fit first.
+    let candidates: Vec<Vec<usize>> = layers
+        .iter()
+        .map(|l| {
+            let (maxcap, total) = match l.role {
+                Role::Linear => (role_max(&lin_caps), role_total(&lin_caps)),
+                Role::NonLinear => (role_max(&non_caps), role_total(&non_caps)),
+            };
+            let hi = maxcap.min(total);
+            let mut ys: Vec<usize> = (1..=hi.max(1)).collect();
+            ys.sort_by(|&a, &b| {
+                let da = (l.time / a as f64 - tau).abs();
+                let db = (l.time / b as f64 - tau).abs();
+                da.partial_cmp(&db).expect("finite")
+            });
+            ys
+        })
+        .collect();
+
+    // Initial incumbent: proportional allocation rounded into feasibility.
+    let mut best = initial_incumbent(layers, &lin_caps, &non_caps)?;
+    let mut best_obj = pairwise_imbalance(
+        &layers.iter().map(|l| l.time).collect::<Vec<_>>(),
+        &best,
+    );
+
+    // DFS over y assignments in `order`, pruning on partial objective.
+    struct Ctx<'a> {
+        layers: &'a [LayerLoad],
+        order: &'a [usize],
+        candidates: &'a [Vec<usize>],
+        lin_caps: &'a [usize],
+        non_caps: &'a [usize],
+        lin_total: usize,
+        non_total: usize,
+        nodes: u64,
+        budget: u64,
+        best: Vec<usize>,
+        best_obj: f64,
+        /// Secondary objective: total per-thread service time `Σ T_i/y_i`
+        /// — breaks Eq. 4's degeneracy (all-equal `y` vectors share the
+        /// same primary objective) in favour of actually using the
+        /// available threads. The paper notes alternative objectives are
+        /// applicable (Sec. IV-C).
+        best_secondary: f64,
+    }
+
+    fn dfs(ctx: &mut Ctx, depth: usize, y: &mut Vec<usize>, partial: f64, lin_used: usize, non_used: usize) {
+        if ctx.nodes >= ctx.budget {
+            return;
+        }
+        ctx.nodes += 1;
+        // Allow ties through so the secondary objective can improve.
+        if partial > ctx.best_obj * (1.0 + 1e-9) + 1e-12 {
+            return;
+        }
+        if depth == ctx.order.len() {
+            // Leaf: exact feasibility via bin-packing per role.
+            let lin_sizes: Vec<usize> = ctx
+                .order
+                .iter()
+                .enumerate()
+                .filter(|&(_, &i)| ctx.layers[i].role == Role::Linear)
+                .map(|(d, _)| y[d])
+                .collect();
+            let non_sizes: Vec<usize> = ctx
+                .order
+                .iter()
+                .enumerate()
+                .filter(|&(_, &i)| ctx.layers[i].role == Role::NonLinear)
+                .map(|(d, _)| y[d])
+                .collect();
+            let secondary: f64 = ctx
+                .order
+                .iter()
+                .enumerate()
+                .map(|(d, &i)| ctx.layers[i].time / y[d] as f64)
+                .sum();
+            let strictly_better = partial < ctx.best_obj * (1.0 - 1e-9) - 1e-12;
+            let tied = !strictly_better && partial <= ctx.best_obj * (1.0 + 1e-9) + 1e-12;
+            if !(strictly_better || (tied && secondary < ctx.best_secondary)) {
+                return;
+            }
+            if pack_feasible(&lin_sizes, ctx.lin_caps).is_none()
+                || pack_feasible(&non_sizes, ctx.non_caps).is_none()
+            {
+                return;
+            }
+            ctx.best_obj = partial;
+            ctx.best_secondary = secondary;
+            let mut out = vec![0usize; ctx.layers.len()];
+            for (d, &i) in ctx.order.iter().enumerate() {
+                out[i] = y[d];
+            }
+            ctx.best = out;
+            return;
+        }
+        let layer = ctx.order[depth];
+        let role = ctx.layers[layer].role;
+        // Remaining layers of this role still to place (including this).
+        let remaining_same_role = ctx.order[depth..]
+            .iter()
+            .filter(|&&i| ctx.layers[i].role == role)
+            .count();
+        let (used, total) = match role {
+            Role::Linear => (lin_used, ctx.lin_total),
+            Role::NonLinear => (non_used, ctx.non_total),
+        };
+        let slack = total - used;
+        for &cand in &ctx.candidates[layer] {
+            // Capacity relaxation: leave ≥1 slot for each later same-role
+            // layer.
+            if cand + (remaining_same_role - 1) > slack {
+                continue;
+            }
+            // Incremental objective: |t_new − t_d| against all assigned.
+            let t_new = ctx.layers[layer].time / cand as f64;
+            let mut delta = 0.0;
+            for (d, &yd) in y.iter().enumerate() {
+                let t_d = ctx.layers[ctx.order[d]].time / yd as f64;
+                delta += 2.0 * (t_new - t_d).abs();
+            }
+            y.push(cand);
+            let (lu, nu) = match role {
+                Role::Linear => (lin_used + cand, non_used),
+                Role::NonLinear => (lin_used, non_used + cand),
+            };
+            dfs(ctx, depth + 1, y, partial + delta, lu, nu);
+            y.pop();
+        }
+    }
+
+    let mut ctx = Ctx {
+        layers,
+        order: &order,
+        candidates: &candidates,
+        lin_caps: &lin_caps,
+        non_caps: &non_caps,
+        lin_total: role_total(&lin_caps),
+        non_total: role_total(&non_caps),
+        nodes: 0,
+        budget: config.node_budget,
+        best: best.clone(),
+        best_obj,
+        best_secondary: layers
+            .iter()
+            .zip(&best)
+            .map(|(l, &y)| l.time / y as f64)
+            .sum(),
+    };
+    let mut y = Vec::with_capacity(layers.len());
+    dfs(&mut ctx, 0, &mut y, 0.0, 0, 0);
+    best = ctx.best;
+    best_obj = ctx.best_obj;
+
+    // Materialize server placements for the winning y.
+    let server_of = place(layers, servers, factor, &best)?;
+    Ok(Allocation { threads: best, server_of, objective: best_obj })
+}
+
+/// Proportional-to-load initial incumbent, guaranteed bin-packable.
+fn initial_incumbent(
+    layers: &[LayerLoad],
+    lin_caps: &[usize],
+    non_caps: &[usize],
+) -> Result<Vec<usize>, AllocateError> {
+    let mut y = vec![1usize; layers.len()];
+    for role in [Role::Linear, Role::NonLinear] {
+        let caps = if role == Role::Linear { lin_caps } else { non_caps };
+        let ids: Vec<usize> = (0..layers.len()).filter(|&i| layers[i].role == role).collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let total: usize = caps.iter().sum();
+        let maxcap = caps.iter().copied().max().unwrap_or(0);
+        let time_sum: f64 = ids.iter().map(|&i| layers[i].time).sum();
+        // Proportional shares, clamped to [1, maxcap].
+        for &i in &ids {
+            let share = (layers[i].time / time_sum * total as f64).floor() as usize;
+            y[i] = share.clamp(1, maxcap.max(1));
+        }
+        // Shrink until bin-packable (always terminates at all-ones).
+        loop {
+            let sizes: Vec<usize> = ids.iter().map(|&i| y[i]).collect();
+            if pack_feasible(&sizes, caps).is_some() {
+                break;
+            }
+            let &imax = ids
+                .iter()
+                .max_by_key(|&&i| y[i])
+                .expect("non-empty role group");
+            if y[imax] == 1 {
+                return Err(AllocateError::Infeasible(format!(
+                    "cannot pack {role:?} layers one-thread-each"
+                )));
+            }
+            y[imax] -= 1;
+        }
+    }
+    Ok(y)
+}
+
+/// Computes `x_{i,j}`: packs each role's thread counts onto its servers.
+fn place(
+    layers: &[LayerLoad],
+    servers: &[ServerSpec],
+    factor: usize,
+    y: &[usize],
+) -> Result<Vec<usize>, AllocateError> {
+    let mut server_of = vec![usize::MAX; layers.len()];
+    for role in [Role::Linear, Role::NonLinear] {
+        let ids: Vec<usize> = (0..layers.len()).filter(|&i| layers[i].role == role).collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let sids: Vec<usize> = (0..servers.len()).filter(|&j| servers[j].role == role).collect();
+        let caps: Vec<usize> = sids.iter().map(|&j| servers[j].cores * factor).collect();
+        let sizes: Vec<usize> = ids.iter().map(|&i| y[i]).collect();
+        let assign = pack_feasible(&sizes, &caps).ok_or_else(|| {
+            AllocateError::Infeasible(format!("final packing failed for {role:?}"))
+        })?;
+        for (k, &i) in ids.iter().enumerate() {
+            server_of[i] = sids[assign[k]];
+        }
+    }
+    Ok(server_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lin(time: f64) -> LayerLoad {
+        LayerLoad { role: Role::Linear, time }
+    }
+    fn non(time: f64) -> LayerLoad {
+        LayerLoad { role: Role::NonLinear, time }
+    }
+    fn servers(lin_cores: &[usize], non_cores: &[usize]) -> Vec<ServerSpec> {
+        lin_cores
+            .iter()
+            .map(|&c| ServerSpec { role: Role::Linear, cores: c })
+            .chain(non_cores.iter().map(|&c| ServerSpec { role: Role::NonLinear, cores: c }))
+            .collect()
+    }
+
+    #[test]
+    fn balances_proportional_to_load() {
+        // Two linear layers, one 4× heavier: it should get ~4× threads.
+        let layers = vec![lin(8.0), lin(2.0)];
+        let srv = servers(&[5], &[]);
+        let a = solve(&layers, &srv, SolveConfig { hyperthreading: false, node_budget: 1 << 20 })
+            .unwrap();
+        assert_eq!(a.threads, vec![4, 1]);
+        assert!(a.objective < 1e-9, "perfectly balanced: {}", a.objective);
+    }
+
+    #[test]
+    fn respects_role_separation() {
+        let layers = vec![lin(1.0), non(1.0)];
+        let srv = servers(&[2], &[2]);
+        let a = solve(&layers, &srv, SolveConfig::default()).unwrap();
+        assert_eq!(a.server_of[0], 0);
+        assert_eq!(a.server_of[1], 1);
+    }
+
+    #[test]
+    fn hyperthreading_doubles_slots() {
+        let layers = vec![lin(4.0), lin(4.0)];
+        let srv = servers(&[2], &[]);
+        let no_ht =
+            solve(&layers, &srv, SolveConfig { hyperthreading: false, node_budget: 1 << 20 })
+                .unwrap();
+        let ht = solve(&layers, &srv, SolveConfig { hyperthreading: true, node_budget: 1 << 20 })
+            .unwrap();
+        assert_eq!(no_ht.threads.iter().sum::<usize>(), 2);
+        assert_eq!(ht.threads.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn beats_even_split_on_skewed_load() {
+        // The Exp#3 effect: skewed layer times → LB beats even split.
+        let layers = vec![lin(16.0), lin(1.0), non(4.0), non(1.0)];
+        let srv = servers(&[6, 6], &[6]);
+        let cfg = SolveConfig { hyperthreading: false, node_budget: 1 << 22 };
+        let lb = solve(&layers, &srv, cfg).unwrap();
+        let even = crate::even_allocation(&layers, &srv, false).unwrap();
+        assert!(
+            lb.bottleneck(&layers) <= even.bottleneck(&layers) + 1e-12,
+            "lb {} vs even {}",
+            lb.bottleneck(&layers),
+            even.bottleneck(&layers)
+        );
+        assert!(lb.objective <= even.objective + 1e-12);
+    }
+
+    #[test]
+    fn layer_cannot_exceed_single_server() {
+        // One layer, two 2-core servers: y is capped at one server's slots.
+        let layers = vec![lin(100.0)];
+        let srv = servers(&[2, 2], &[]);
+        let a = solve(&layers, &srv, SolveConfig { hyperthreading: false, node_budget: 1 << 20 })
+            .unwrap();
+        assert_eq!(a.threads[0], 2);
+    }
+
+    #[test]
+    fn packing_constraints_hold() {
+        let layers = vec![lin(5.0), lin(5.0), lin(5.0), non(2.0), non(2.0)];
+        let srv = servers(&[2, 2], &[3]);
+        let cfg = SolveConfig { hyperthreading: false, node_budget: 1 << 22 };
+        let a = solve(&layers, &srv, cfg).unwrap();
+        // Per-server thread totals within capacity; roles separated.
+        let mut load = vec![0usize; srv.len()];
+        for (i, (&s, &y)) in a.server_of.iter().zip(&a.threads).enumerate() {
+            assert_eq!(srv[s].role, layers[i].role, "layer {i} role");
+            load[s] += y;
+        }
+        for (j, l) in load.iter().enumerate() {
+            assert!(*l <= srv[j].cores, "server {j} overloaded: {l}");
+        }
+        // Eq. 7: at least one thread each.
+        assert!(a.threads.iter().all(|&y| y >= 1));
+    }
+
+    #[test]
+    fn infeasible_inputs_rejected() {
+        assert!(solve(&[], &servers(&[1], &[]), SolveConfig::default()).is_err());
+        assert!(solve(&[lin(1.0)], &[], SolveConfig::default()).is_err());
+        assert!(solve(&[lin(0.0)], &servers(&[1], &[]), SolveConfig::default()).is_err());
+        // Three linear layers, 2 slots total.
+        let r = solve(
+            &[lin(1.0), lin(1.0), lin(1.0)],
+            &servers(&[1], &[]),
+            SolveConfig { hyperthreading: false, node_budget: 1 << 16 },
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn paper_scale_instance_solves() {
+        // VGG-scale: ~14 merged layers, 9 servers (6 model, 3 data).
+        let mut layers = Vec::new();
+        for k in 0..7 {
+            layers.push(lin(1.0 + k as f64 * 0.7));
+            layers.push(non(0.2 + k as f64 * 0.05));
+        }
+        let srv = servers(&[24, 24, 24, 24, 24, 24], &[24, 24, 24]);
+        let a = solve(&layers, &srv, SolveConfig::default()).unwrap();
+        assert_eq!(a.threads.len(), 14);
+        assert!(a.objective.is_finite());
+        // Heavier linear layers get at least as many threads.
+        assert!(a.threads[12] >= a.threads[0]);
+    }
+
+    #[test]
+    fn pairwise_imbalance_zero_when_equal() {
+        assert!(pairwise_imbalance(&[2.0, 4.0], &[1, 2]) < 1e-12);
+        assert!(pairwise_imbalance(&[2.0, 4.0], &[1, 1]) > 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the allocation solver: every solution satisfies the
+//! ILP constraints (Eqs. 5–8), and the solver never loses to the even
+//! split on its own objective.
+
+use pp_allocate::{even_allocation, pack_feasible, solve, LayerLoad, Role, ServerSpec, SolveConfig};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = (Vec<LayerLoad>, Vec<ServerSpec>)> {
+    let layers = proptest::collection::vec(
+        (prop_oneof![Just(Role::Linear), Just(Role::NonLinear)], 0.01f64..10.0),
+        1..7,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(role, time)| LayerLoad { role, time })
+            .collect::<Vec<_>>()
+    });
+    let servers = (1usize..3, 1usize..3, 1usize..6, 1usize..6).prop_map(|(nl, nn, cl, cn)| {
+        let mut out = Vec::new();
+        for _ in 0..nl {
+            out.push(ServerSpec { role: Role::Linear, cores: cl });
+        }
+        for _ in 0..nn {
+            out.push(ServerSpec { role: Role::NonLinear, cores: cn });
+        }
+        out
+    });
+    (layers, servers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solutions_satisfy_all_constraints((layers, servers) in arb_instance()) {
+        let cfg = SolveConfig { hyperthreading: true, node_budget: 1 << 18 };
+        if let Ok(alloc) = solve(&layers, &servers, cfg) {
+            // Eq. 7: y_i >= 1.
+            prop_assert!(alloc.threads.iter().all(|&y| y >= 1));
+            // Eq. 5: every layer placed on exactly one (matching) server.
+            prop_assert_eq!(alloc.server_of.len(), layers.len());
+            let mut load = vec![0usize; servers.len()];
+            for (i, (&srv, &y)) in alloc.server_of.iter().zip(&alloc.threads).enumerate() {
+                prop_assert!(srv < servers.len());
+                // Eq. 6: role separation.
+                prop_assert_eq!(servers[srv].role, layers[i].role);
+                load[srv] += y;
+            }
+            // Eq. 8: per-server capacity (×2 for hyper-threading).
+            for (j, &l) in load.iter().enumerate() {
+                prop_assert!(l <= servers[j].cores * 2, "server {j}: {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_never_worse_than_even_split((layers, servers) in arb_instance()) {
+        let cfg = SolveConfig { hyperthreading: false, node_budget: 1 << 18 };
+        let lb = solve(&layers, &servers, cfg);
+        let even = even_allocation(&layers, &servers, false);
+        if let (Ok(lb), Ok(even)) = (lb, even) {
+            prop_assert!(
+                lb.objective <= even.objective * (1.0 + 1e-6) + 1e-9,
+                "lb {} > even {}",
+                lb.objective,
+                even.objective
+            );
+        }
+    }
+
+    #[test]
+    fn feasibility_matches_slot_arithmetic((layers, servers) in arb_instance()) {
+        // solve() fails iff some role has more layers than thread slots
+        // (with at least one server of each needed role present).
+        let cfg = SolveConfig { hyperthreading: false, node_budget: 1 << 16 };
+        let result = solve(&layers, &servers, cfg);
+        for role in [Role::Linear, Role::NonLinear] {
+            let need = layers.iter().filter(|l| l.role == role).count();
+            let have: usize = servers
+                .iter()
+                .filter(|s| s.role == role)
+                .map(|s| s.cores)
+                .sum();
+            if need > have {
+                prop_assert!(result.is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn binpack_assignments_respect_capacities(
+        sizes in proptest::collection::vec(1usize..8, 0..10),
+        caps in proptest::collection::vec(1usize..12, 1..5),
+    ) {
+        if let Some(assign) = pack_feasible(&sizes, &caps) {
+            let mut load = vec![0usize; caps.len()];
+            for (i, &b) in assign.iter().enumerate() {
+                load[b] += sizes[i];
+            }
+            for (l, c) in load.iter().zip(&caps) {
+                prop_assert!(l <= c);
+            }
+        } else {
+            // At minimum, the total must not fit exactly into one bin
+            // each... weaker check: total > capacity implies None is
+            // mandatory; None with plenty of room would be a bug.
+            let total: usize = sizes.iter().sum();
+            let max_item = sizes.iter().max().copied().unwrap_or(0);
+            let cap_sum: usize = caps.iter().sum();
+            let cap_max = caps.iter().max().copied().unwrap_or(0);
+            prop_assert!(
+                total > cap_sum || max_item > cap_max || total * 2 > cap_sum,
+                "packer gave up with slack: sizes={sizes:?} caps={caps:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Ablation: CRT decryption (the default) versus direct `λ, μ`
+//! decryption — the classic ~4× Paillier speedup, quantified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_paillier::Keypair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_decrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decrypt");
+    group.sample_size(10);
+    for bits in [256usize, 512] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let kp = Keypair::generate(bits, &mut rng);
+        let sk = kp.private();
+        let ct = kp.public().encrypt_i64(987_654, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("crt", bits), &bits, |b, _| {
+            b.iter(|| sk.decrypt(std::hint::black_box(&ct)))
+        });
+        group.bench_with_input(BenchmarkId::new("direct", bits), &bits, |b, _| {
+            b.iter(|| sk.decrypt_direct(std::hint::black_box(&ct)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decrypt);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: operation encapsulation (paper Sec. IV-B) — merged stages
+//! versus one-stage-per-primitive. The unmerged pipeline pays an extra
+//! serialization hop (and an extra obfuscation round trip between
+//! adjacent linear primitives), which is exactly the overhead the paper
+//! cites for rejecting that extreme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_nn::{zoo, ScaledModel};
+use pp_stream::{PpStream, PpStreamConfig};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_encapsulation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    // A model with mergeable runs: Flatten+Dense and Dense after Dense's
+    // BatchNorm-like affine pairs.
+    let model = pp_nn::Model::new(
+        "merge-demo",
+        vec![2, 4, 4],
+        vec![
+            zoo::conv_layer(&mut rng, 2, 4, 3, 1, 1),
+            zoo::batchnorm_layer(4),
+            pp_nn::Layer::ReLU,
+            pp_nn::Layer::Flatten,
+            zoo::dense_layer(&mut rng, 64, 16),
+            pp_nn::Layer::ReLU,
+            zoo::dense_layer(&mut rng, 16, 4),
+            pp_nn::Layer::SoftMax,
+        ],
+    )
+    .expect("model");
+    let scaled = ScaledModel::from_model(&model, 100);
+    let input = Tensor::from_vec(
+        vec![2, 4, 4],
+        (0..32).map(|i| (i % 7) as f64 / 7.0 - 0.5).collect(),
+    )
+    .expect("sized");
+
+    let mut group = c.benchmark_group("encapsulation");
+    group.sample_size(10);
+    for (label, merge) in [("merged", true), ("per_primitive", false)] {
+        let mut cfg = PpStreamConfig::small_test(128);
+        cfg.merge_stages = merge;
+        let session = PpStream::new(scaled.clone(), cfg).expect("session");
+        group.bench_function(label, |b| {
+            b.iter(|| session.infer_stream(std::hint::black_box(std::slice::from_ref(&input))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encapsulation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: multiplication cost across operand sizes, spanning the
+//! Karatsuba threshold (32 limbs) called out in DESIGN.md. Sub-threshold
+//! sizes run schoolbook; larger sizes recurse through Karatsuba.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pp_bigint::BigUint;
+
+fn operand(limbs: usize, seed: u64) -> BigUint {
+    BigUint::from_limbs(
+        (0..limbs as u64)
+            .map(|i| (i ^ seed).wrapping_mul(0x9e3779b97f4a7c15) | 1)
+            .collect(),
+    )
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biguint_mul");
+    for limbs in [8usize, 16, 32, 64, 128, 256] {
+        let a = operand(limbs, 1);
+        let b = operand(limbs, 2);
+        group.throughput(Throughput::Elements(limbs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bench, _| {
+            bench.iter(|| std::hint::black_box(&a) * std::hint::black_box(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biguint_square");
+    for limbs in [16usize, 64, 256] {
+        let a = operand(limbs, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(limbs), &limbs, |bench, _| {
+            bench.iter(|| std::hint::black_box(&a).square())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mul, bench_square);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: modular exponentiation across exponent sizes — the
+//! short-exponent fast path (≤32 bits, used for PP-Stream's scaled
+//! weights) versus the 4-bit-window ladder for full-size exponents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bigint::{BigUint, MontgomeryCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    // A 512-bit odd modulus (the n² of a 256-bit key).
+    let modulus = {
+        let mut m = pp_bigint::random_bits(&mut rng, 512);
+        m.set_bit(0, true);
+        m
+    };
+    let ctx = MontgomeryCtx::new(&modulus).expect("odd modulus");
+    let base = pp_bigint::random_below(&mut rng, &modulus);
+
+    let mut group = c.benchmark_group("modpow_512bit_modulus");
+    for exp_bits in [8usize, 16, 24, 32, 64, 256, 512] {
+        let exp = pp_bigint::random_bits(&mut rng, exp_bits);
+        group.bench_with_input(BenchmarkId::new("exp_bits", exp_bits), &exp_bits, |b, _| {
+            b.iter(|| ctx.pow_mod(std::hint::black_box(&base), std::hint::black_box(&exp)))
+        });
+    }
+    group.finish();
+
+    // Montgomery vs naive square-and-multiply with division reduction.
+    let mut group = c.benchmark_group("modpow_backend");
+    group.sample_size(10);
+    let exp = pp_bigint::random_bits(&mut rng, 128);
+    group.bench_function("montgomery", |b| {
+        b.iter(|| ctx.pow_mod(std::hint::black_box(&base), &exp))
+    });
+    group.bench_function("divrem_naive", |b| {
+        b.iter(|| {
+            let mut acc = BigUint::one();
+            for i in (0..exp.bit_len()).rev() {
+                acc = acc.square().rem_ref(&modulus).expect("non-zero");
+                if exp.bit(i) {
+                    acc = acc.mul_ref(&base).rem_ref(&modulus).expect("non-zero");
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modpow);
+criterion_main!(benches);

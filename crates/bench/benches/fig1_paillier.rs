@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks for the Fig. 1 Paillier operations
+//! (per-element latencies; the `fig1` binary reports whole-tensor times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_paillier::Keypair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    group.sample_size(10);
+    for bits in [128usize, 256, 512] {
+        let mut rng = StdRng::seed_from_u64(bits as u64);
+        let kp = Keypair::generate(bits, &mut rng);
+        let (pk, sk) = (kp.public(), kp.private());
+        let ct = pk.encrypt_i64(123_456, &mut rng);
+        let ct2 = pk.encrypt_i64(-777, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("encrypt", bits), &bits, |b, _| {
+            b.iter(|| pk.encrypt_i64(std::hint::black_box(42), &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt_crt", bits), &bits, |b, _| {
+            b.iter(|| sk.decrypt_i64(std::hint::black_box(&ct)))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_mul_1e6", bits), &bits, |b, _| {
+            b.iter(|| pk.mul_scalar_i64(std::hint::black_box(&ct), 1_000_000))
+        });
+        group.bench_with_input(BenchmarkId::new("homomorphic_add", bits), &bits, |b, _| {
+            b.iter(|| pk.add(std::hint::black_box(&ct), std::hint::black_box(&ct2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paillier);
+criterion_main!(benches);

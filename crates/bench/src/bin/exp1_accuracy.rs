@@ -1,0 +1,50 @@
+//! **Exp#1 (Tables IV & V)** — inference accuracy versus scaling factor.
+//!
+//! For each of the nine evaluation models: round parameters to `f`
+//! decimal places for `f = 0..6`, report accuracy on the training set
+//! (Table IV) and the testing set (Table V), and mark the factor chosen
+//! by the paper's selection rule (ΔA < 0.01%, f ≤ 6).
+//!
+//! ```sh
+//! cargo run -p pp-bench --release --bin exp1_accuracy
+//! ```
+
+use pp_bench::{banner, full_mode, row, trained_models};
+use pp_nn::{choose_scaling_factor, round_params};
+
+fn main() {
+    banner("Exp#1: accuracy vs scaling factor", "paper Tables IV and V");
+    let models = trained_models(full_mode());
+
+    for (split, table) in [("training", "Table IV"), ("testing", "Table V")] {
+        println!("--- {table}: accuracy on the {split} set (%) ---");
+        let mut header = vec!["model".to_string()];
+        header.extend((0..=6).map(|f| format!("10^{f}")));
+        header.push("original".into());
+        header.push("chosen".into());
+        row(&header);
+
+        for (data, model) in &models {
+            let eval_set = if split == "training" { &data.train } else { &data.test };
+            // Keep evaluation affordable on CI-scale machines.
+            let cap = if full_mode() { 400 } else { 120 };
+            let eval: Vec<_> = eval_set.iter().take(cap).cloned().collect();
+
+            let original = model.accuracy(&eval).expect("accuracy");
+            let mut cells = vec![model.name().to_string()];
+            for f in 0..=6u32 {
+                let acc = round_params(model, f).accuracy(&eval).expect("accuracy");
+                cells.push(format!("{:.2}", acc * 100.0));
+            }
+            cells.push(format!("{:.2}", original * 100.0));
+            // Selection always runs on the training set (paper Step 1-2).
+            let train_cap: Vec<_> = data.train.iter().take(cap).cloned().collect();
+            let report = choose_scaling_factor(model, &train_cap, 1e-4, 6).expect("selection");
+            cells.push(format!("10^{}", report.f));
+            row(&cells);
+        }
+        println!();
+    }
+    println!("paper shape: accuracy is near-chance at 10^0, rises with the factor, and");
+    println!("matches the original model from the selected factor onward.");
+}

@@ -1,0 +1,70 @@
+//! **Exp#1 (Fig. 6)** — inference latency versus scaling factor.
+//!
+//! Larger scaling factors mean larger scalar exponents in `E(m)^w`, so
+//! homomorphic scalar multiplication slows down. All PP-Stream features
+//! enabled, latency simulated on the paper's server shape from measured
+//! single-thread profiles (DESIGN.md §3 — single-core container).
+//!
+//! ```sh
+//! cargo run -p pp-bench --release --bin exp1_latency
+//! ```
+
+use pp_allocate::{Role, ServerSpec};
+use pp_bench::{banner, fmt_dur, full_mode, key_bits, latency_models, row};
+use pp_nn::ScaledModel;
+use pp_stream::protocol::PartitionMode;
+use pp_stream::simulate::{ciphertext_bytes, measure_serialization_throughput, simulate, NetworkModel};
+use pp_stream::{PpStream, PpStreamConfig};
+
+fn main() {
+    banner("Exp#1: latency vs scaling factor", "paper Fig. 6");
+    // Fig. 6 uses the MNIST and CIFAR models; fast mode uses the MNIST
+    // set (CIFAR VGG profiling takes minutes per factor).
+    let mut models: Vec<_> = latency_models(1)
+        .into_iter()
+        .filter(|m| m.name.starts_with("MNIST"))
+        .collect();
+    if full_mode() {
+        models.extend(pp_bench::cifar_models(2, 32));
+    }
+    let factors: &[i64] = &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+    let ct = ciphertext_bytes(key_bits());
+    let ser = measure_serialization_throughput(ct);
+    let net = NetworkModel::default();
+
+    let mut header = vec!["model".to_string()];
+    header.extend(factors.iter().map(|f| format!("F={f}")));
+    row(&header);
+
+    for bm in &models {
+        let mut cells = vec![bm.name.clone()];
+        // Paper testbed: 24-core servers, Table III split.
+        let servers: Vec<ServerSpec> = (0..bm.servers.0)
+            .map(|_| ServerSpec { role: Role::Linear, cores: 24 })
+            .chain((0..bm.servers.1).map(|_| ServerSpec { role: Role::NonLinear, cores: 24 }))
+            .collect();
+        for &factor in factors {
+            let scaled = ScaledModel::from_model(&bm.model, factor);
+            let mut cfg = PpStreamConfig::default();
+            cfg.key_bits = key_bits();
+            cfg.servers = servers.clone();
+            cfg.profile_samples = 1;
+            let session = PpStream::new(scaled, cfg).expect("session");
+            let profiles = pp_bench::profile_min(&session, PartitionMode::Partitioned, 2);
+            let sim = simulate(
+                &profiles,
+                session.stages(),
+                &session.allocation().threads,
+                PartitionMode::Partitioned,
+                ct,
+                ser,
+                &net,
+            );
+            cells.push(fmt_dur(sim.latency));
+        }
+        row(&cells);
+    }
+    println!("\npaper shape: latency rises ~20–30% from F=10^0 to 10^6 (larger exponents");
+    println!("in E(m)^w); the paper reports +29% on MNIST and +23% on CIFAR models.");
+}

@@ -1,0 +1,137 @@
+//! **Exp#6 (Table VII)** — comparison with state-of-the-art systems on
+//! the MNIST-1/2/3 models.
+//!
+//! * **PP-Stream** — simulated on the paper's server shape from measured
+//!   single-thread profiles (all features enabled).
+//! * **EzPC** — our mini-ABY reimplementation, executed for real
+//!   (arithmetic sharing + one garbled circuit per ReLU element +
+//!   A2Y/Y2A conversions); its network cost is modeled on the same
+//!   10 Gbps / 100 µs link as PP-Stream's, with the communication rounds
+//!   EzPC pays per layer. The dealer-provided Beaver triples exclude OT
+//!   preprocessing — the paper's numbers exclude offline costs too.
+//! * **SecureML / CryptoNets / CryptoDL** — artifacts unavailable; the
+//!   paper itself compares against their published numbers, which we
+//!   reprint in the rightmost column.
+//!
+//! ```sh
+//! cargo run -p pp-bench --release --bin exp6_sota
+//! ```
+
+use pp_allocate::{Role, ServerSpec};
+use pp_bench::{banner, fmt_dur, key_bits, latency_models, row};
+use pp_mpc::nn::SecureInference;
+use pp_nn::ScaledModel;
+use pp_stream::protocol::PartitionMode;
+use pp_stream::simulate::{ciphertext_bytes, measure_serialization_throughput, simulate, NetworkModel};
+use pp_stream::{PpStream, PpStreamConfig};
+use pp_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+fn main() {
+    banner("Exp#6: comparison with state-of-the-art", "paper Table VII");
+    let models: Vec<_> = latency_models(13)
+        .into_iter()
+        .filter(|m| m.name.starts_with("MNIST"))
+        .collect();
+    let ct = ciphertext_bytes(key_bits());
+    let ser = measure_serialization_throughput(ct);
+    let net = NetworkModel::default();
+
+    row(&[
+        "model".into(),
+        "PP-Stream (sim)".into(),
+        "EzPC/mini-ABY compute".into(),
+        "EzPC + network".into(),
+        "paper-reported".into(),
+    ]);
+
+    for bm in &models {
+        // PP-Stream with the paper's per-model scaling factor and server
+        // shape (Table III / Table VII footnotes).
+        let scaled = ScaledModel::from_model(&bm.model, bm.factor.min(10_000));
+        let servers: Vec<ServerSpec> = (0..bm.servers.0)
+            .map(|_| ServerSpec { role: Role::Linear, cores: 24 })
+            .chain((0..bm.servers.1).map(|_| ServerSpec { role: Role::NonLinear, cores: 24 }))
+            .collect();
+        let mut cfg = PpStreamConfig::default();
+        cfg.key_bits = key_bits();
+        cfg.servers = servers;
+        cfg.profile_samples = 1;
+        let session = PpStream::new(scaled, cfg).expect("session");
+        let profiles = pp_bench::profile_min(&session, PartitionMode::Partitioned, 2);
+        let pp = simulate(
+            &profiles,
+            session.stages(),
+            &session.allocation().threads,
+            PartitionMode::Partitioned,
+            ct,
+            ser,
+            &net,
+        )
+        .latency;
+
+        // EzPC baseline: really execute the 2PC protocol, including real
+        // IKNP OT-extension preprocessing for the Beaver triples (set
+        // PP_DEALER=1 to fall back to free dealer triples).
+        let shape = bm.model.input_shape().clone();
+        let input: Vec<f64> = (0..shape.len())
+            .map(|i| (((i * 13) % 200) as f64 / 100.0) - 1.0)
+            .collect();
+        let input = Tensor::from_vec(shape, input).expect("sized");
+        let use_dealer = std::env::var("PP_DEALER").map(|v| v == "1").unwrap_or(false);
+        let mut mpc = if use_dealer {
+            SecureInference::new(bm.model.clone(), 5)
+        } else {
+            SecureInference::new_with_ot(bm.model.clone(), 5).expect("ot preprocessing")
+        };
+        let t0 = Instant::now();
+        let (_, cost) = mpc.infer(&input).expect("mpc");
+        let ezpc_compute = t0.elapsed() + cost.preprocessing;
+        // Network model: bytes at link bandwidth + one RTT per
+        // communication round (arithmetic rounds + 2 rounds per GC batch:
+        // label transfer + result).
+        let rounds = cost.arithmetic_rounds + 2 * cost.gc_executions.min(64);
+        let ezpc_net = Duration::from_secs_f64(
+            cost.bytes as f64 / net.bandwidth + rounds as f64 * net.rtt,
+        );
+        let ezpc_total = ezpc_compute + ezpc_net;
+
+        let reported = match bm.name.as_str() {
+            "MNIST-1" => "SecureML 4.88 s* | EzPC 2.42 s | PP-Stream 0.72 s",
+            "MNIST-2" => "CryptoNets 297.5 s* | CryptoDL 320 s* | EzPC 2.92 s | PP-Stream 1.14 s",
+            "MNIST-3" => "EzPC 25.66 s | PP-Stream 12.20 s",
+            _ => "",
+        };
+
+        row(&[
+            bm.name.clone(),
+            fmt_dur(pp),
+            fmt_dur(ezpc_compute),
+            fmt_dur(ezpc_total),
+            reported.into(),
+        ]);
+        print!(
+            "    EzPC cost structure: {} Beaver triples, {} GC executions, {} AND gates, {:.1} MB online",
+            cost.triples,
+            cost.gc_executions,
+            cost.and_gates,
+            cost.bytes as f64 / 1e6
+        );
+        match cost.ot {
+            Some(ot) => println!(
+                "; OT preprocessing {} ({} base + {:.1}M extended OTs, {:.1} MB)",
+                fmt_dur(cost.preprocessing),
+                ot.base_ots,
+                ot.extended_ots as f64 / 1e6,
+                ot.bytes as f64 / 1e6
+            ),
+            None => println!(" (dealer triples, no preprocessing)"),
+        }
+    }
+    println!("\npaper shape: PP-Stream beats EzPC by 2–3× (protocol-switching overhead)");
+    println!("and homomorphic-only systems (CryptoNets/CryptoDL) by orders of magnitude.");
+    println!("(*) numbers reported in the respective publications, as in the paper.");
+    println!("\nnote: the EzPC columns include IKNP OT-extension preprocessing (the cost");
+    println!("real EzPC pays for Beaver triples); PP_DEALER=1 switches to free dealer");
+    println!("triples for an online-only comparison.");
+}

@@ -1,0 +1,234 @@
+//! # pp-bench
+//!
+//! Benchmark harness regenerating every table and figure of the
+//! PP-Stream evaluation (paper Sec. VI). One binary per experiment:
+//!
+//! | Binary            | Paper artifact |
+//! |-------------------|----------------|
+//! | `fig1`            | Fig. 1 — Paillier microbenchmark vs key size |
+//! | `exp1_accuracy`   | Tables IV & V — accuracy vs scaling factor |
+//! | `exp1_latency`    | Fig. 6 — latency vs scaling factor |
+//! | `exp2_streaming`  | Fig. 8 — PlainBase / CipherBase / PP-Stream-k |
+//! | `exp3_loadbalance`| Fig. 7 — with/without load balancing vs cores |
+//! | `exp4_partition`  | Fig. 9 — with/without tensor partitioning vs cores |
+//! | `exp5_leakage`    | Table VI — distance correlation vs tensor length |
+//! | `exp6_sota`       | Table VII — vs SecureML/CryptoNets/CryptoDL/EzPC |
+//!
+//! plus Criterion ablations (`benches/`): Karatsuba threshold,
+//! Montgomery modpow fast path, CRT decryption, operation-encapsulation
+//! merging, and the wire codec.
+//!
+//! ## Sizing
+//!
+//! Environment knobs (all optional):
+//!
+//! * `PP_KEY_BITS` — Paillier key size (default 256; the paper uses
+//!   2048 — every compared variant uses the same size, so relative
+//!   results are preserved; see DESIGN.md §3).
+//! * `PP_FULL=1` — paper-scale sweeps (slower).
+//! * `PP_REQS` — requests per latency measurement (default 3).
+
+use pp_datasets::Dataset;
+use pp_nn::{zoo, Model, TrainConfig, Trainer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Paillier key size for the experiment binaries.
+pub fn key_bits() -> usize {
+    std::env::var("PP_KEY_BITS").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// Whether to run paper-scale sweeps.
+pub fn full_mode() -> bool {
+    std::env::var("PP_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Requests per latency measurement.
+pub fn requests() -> usize {
+    std::env::var("PP_REQS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// One evaluation model with its Table III deployment shape.
+pub struct BenchModel {
+    pub name: String,
+    pub model: Model,
+    /// Chosen scaling factor (Table IV bold entries; set after Exp#1).
+    pub factor: i64,
+    /// Model-provider / data-provider server counts (paper Table III).
+    pub servers: (usize, usize),
+}
+
+/// The six healthcare + MNIST models of Figs. 7–9 (untrained weights:
+/// latency depends only on structure).
+pub fn latency_models(seed: u64) -> Vec<BenchModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        BenchModel {
+            name: "Breast".into(),
+            model: zoo::healthcare_3fc("Breast", 30, &mut rng).expect("model"),
+            factor: 1_000_000,
+            servers: (2, 1),
+        },
+        BenchModel {
+            name: "Heart".into(),
+            model: zoo::healthcare_3fc("Heart", 13, &mut rng).expect("model"),
+            factor: 1_000_000,
+            servers: (2, 1),
+        },
+        BenchModel {
+            name: "Cardio".into(),
+            model: zoo::healthcare_3fc("Cardio", 11, &mut rng).expect("model"),
+            factor: 10_000,
+            servers: (2, 1),
+        },
+        BenchModel {
+            name: "MNIST-1".into(),
+            model: zoo::mnist1_3fc(&mut rng).expect("model"),
+            factor: 100_000,
+            servers: (2, 1),
+        },
+        BenchModel {
+            name: "MNIST-2".into(),
+            model: zoo::mnist2_1conv2fc(&mut rng).expect("model"),
+            factor: 10_000,
+            servers: (2, 1),
+        },
+        BenchModel {
+            name: "MNIST-3".into(),
+            model: zoo::mnist3_2conv2fc(&mut rng).expect("model"),
+            factor: 10_000,
+            servers: (2, 2),
+        },
+    ]
+}
+
+/// The CIFAR VGG models (streamable variant, width-reduced per
+/// DESIGN.md §3).
+pub fn cifar_models(seed: u64, width_div: usize) -> Vec<BenchModel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    [(13usize, "CIFAR-10-1"), (16, "CIFAR-10-2"), (19, "CIFAR-10-3")]
+        .into_iter()
+        .map(|(depth, name)| BenchModel {
+            name: name.into(),
+            model: zoo::vgg_streamable(name, depth, width_div, &mut rng).expect("model"),
+            factor: 10_000,
+            servers: (6, 3),
+        })
+        .collect()
+}
+
+/// Trains a model on a dataset, returning per-epoch losses.
+pub fn train_model(
+    model: &mut Model,
+    data: &Dataset,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trainer = Trainer::new(TrainConfig {
+        learning_rate: lr,
+        epochs,
+        batch_size: 32,
+        momentum: 0.9,
+    });
+    trainer.train(model, &data.train, &mut rng).expect("training")
+}
+
+/// The nine (dataset, trained model) pairs of Exp#1. Training sizes are
+/// scaled to the machine; `full` enlarges them.
+pub fn trained_models(full: bool) -> Vec<(Dataset, Model)> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Healthcare models: full datasets (they are small).
+    for (name, data, feats) in [
+        ("Breast", pp_datasets::breast(1), 30usize),
+        ("Heart", pp_datasets::heart(2), 13),
+        ("Cardio", pp_datasets::cardio(3).subsample(if full { 0.05 } else { 0.01 }), 11),
+    ] {
+        let mut model = zoo::healthcare_3fc(name, feats, &mut rng).expect("model");
+        train_model(&mut model, &data, if full { 30 } else { 15 }, 0.1, 5);
+        out.push((data, model));
+    }
+
+    // MNIST models on the stand-in images.
+    let mnist = if full {
+        pp_datasets::mnist(4).subsample(0.02)
+    } else {
+        pp_datasets::mnist_small(4)
+    };
+    let mut m1 = zoo::mnist1_3fc(&mut rng).expect("model");
+    train_model(&mut m1, &mnist, if full { 8 } else { 4 }, 0.05, 6);
+    out.push((mnist.clone(), m1));
+    let mut m2 = zoo::mnist2_1conv2fc(&mut rng).expect("model");
+    train_model(&mut m2, &mnist, if full { 6 } else { 3 }, 0.05, 7);
+    out.push((mnist.clone(), m2));
+    let mut m3 = zoo::mnist3_2conv2fc(&mut rng).expect("model");
+    train_model(&mut m3, &mnist, if full { 6 } else { 3 }, 0.05, 8);
+    out.push((mnist, m3));
+
+    // CIFAR VGG models (width-reduced, briefly trained).
+    let cifar = if full {
+        pp_datasets::cifar10(9).subsample(0.01)
+    } else {
+        pp_datasets::cifar10_small(9).subsample(0.5)
+    };
+    for (depth, name) in [(13usize, "CIFAR-10-1"), (16, "CIFAR-10-2"), (19, "CIFAR-10-3")] {
+        let mut m = zoo::vgg_streamable(name, depth, if full { 16 } else { 32 }, &mut rng)
+            .expect("model");
+        train_model(&mut m, &cifar, if full { 3 } else { 1 }, 0.02, depth as u64);
+        out.push((cifar.clone(), m));
+    }
+    out
+}
+
+/// Profiles a session several times and keeps the per-stage *minimum*
+/// wall time (the standard noise-robust estimator for CPU-bound work),
+/// with byte counts from the first run (they are deterministic).
+pub fn profile_min(
+    session: &pp_stream::PpStream,
+    mode: pp_stream::protocol::PartitionMode,
+    reps: usize,
+) -> Vec<pp_stream::simulate::StageProfile> {
+    let mut best = session.profile_deployment(mode).expect("profiling");
+    for _ in 1..reps.max(1) {
+        let next = session.profile_deployment(mode).expect("profiling");
+        for (b, n) in best.iter_mut().zip(next) {
+            if n.wall_1thread < b.wall_1thread {
+                b.wall_1thread = n.wall_1thread;
+            }
+        }
+    }
+    best
+}
+
+/// Prints a Markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Formats a duration compactly.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Header banner for an experiment binary.
+pub fn banner(title: &str, artifact: &str) {
+    println!("=== {title} ===");
+    println!("reproduces: {artifact}");
+    println!(
+        "key size: {} bits{} | requests: {}\n",
+        key_bits(),
+        if full_mode() { " | FULL mode" } else { "" },
+        requests()
+    );
+}

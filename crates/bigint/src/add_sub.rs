@@ -1,0 +1,233 @@
+//! Multi-limb addition and subtraction with carry/borrow propagation.
+
+use crate::{BigIntError, BigUint, Limb};
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+#[inline]
+fn adc(a: Limb, b: Limb, carry: &mut Limb) -> Limb {
+    let s = a as u128 + b as u128 + *carry as u128;
+    *carry = (s >> 64) as Limb;
+    s as Limb
+}
+
+#[inline]
+fn sbb(a: Limb, b: Limb, borrow: &mut Limb) -> Limb {
+    let d = (a as i128) - (b as i128) - (*borrow as i128);
+    *borrow = (d < 0) as Limb;
+    d as Limb
+}
+
+/// Adds `rhs` into the limb slice `acc` (little-endian) starting at offset
+/// `shift` limbs. `acc` must be large enough to absorb the carry.
+pub(crate) fn add_shifted_in_place(acc: &mut [Limb], rhs: &[Limb], shift: usize) {
+    let mut carry = 0;
+    let mut i = shift;
+    for &r in rhs {
+        acc[i] = adc(acc[i], r, &mut carry);
+        i += 1;
+    }
+    while carry != 0 {
+        acc[i] = adc(acc[i], 0, &mut carry);
+        i += 1;
+    }
+}
+
+impl BigUint {
+    /// `self + rhs`.
+    pub fn add_ref(&self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            out.push(adc(long[i], b, &mut carry));
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - rhs`, or [`BigIntError::Underflow`] when `rhs > self`.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Result<BigUint, BigIntError> {
+        if rhs > self {
+            return Err(BigIntError::Underflow);
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0;
+        for i in 0..self.limbs.len() {
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            out.push(sbb(self.limbs[i], b, &mut borrow));
+        }
+        debug_assert_eq!(borrow, 0, "underflow despite ordering check");
+        Ok(BigUint::from_limbs(out))
+    }
+
+    /// `|self - rhs|` together with whether the result is negative
+    /// (i.e. `rhs > self`).
+    pub fn abs_diff(&self, rhs: &BigUint) -> (BigUint, bool) {
+        if self >= rhs {
+            (self.checked_sub(rhs).expect("ordering checked"), false)
+        } else {
+            (rhs.checked_sub(self).expect("ordering checked"), true)
+        }
+    }
+
+    /// Adds a single `u64` in place.
+    pub fn add_u64_assign(&mut self, v: u64) {
+        let mut carry = v;
+        for l in self.limbs.iter_mut() {
+            let s = *l as u128 + carry as u128;
+            *l = s as Limb;
+            carry = (s >> 64) as Limb;
+            if carry == 0 {
+                return;
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts a single `u64` in place; errors on underflow.
+    pub fn sub_u64_assign(&mut self, v: u64) -> Result<(), BigIntError> {
+        if self.limbs.is_empty() {
+            if v == 0 {
+                return Ok(());
+            }
+            return Err(BigIntError::Underflow);
+        }
+        let mut borrow = v;
+        for l in self.limbs.iter_mut() {
+            let (nl, under) = l.overflowing_sub(borrow);
+            *l = nl;
+            borrow = under as Limb;
+            if borrow == 0 {
+                break;
+            }
+        }
+        if borrow != 0 {
+            return Err(BigIntError::Underflow);
+        }
+        self.normalize();
+        Ok(())
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_ref(rhs)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        self.add_ref(&rhs)
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// Panics on underflow; use [`BigUint::checked_sub`] for fallible code.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BigIntError, BigUint};
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::one();
+        let c = &a + &b;
+        assert_eq!(c.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn add_multi_limb() {
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let b = BigUint::from_limbs(vec![1]);
+        let c = &a + &b;
+        assert_eq!(c.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn sub_basic_and_underflow() {
+        let a = BigUint::from(100u64);
+        let b = BigUint::from(58u64);
+        assert_eq!((&a - &b).to_u64(), Some(42));
+        assert_eq!(b.checked_sub(&a), Err(BigIntError::Underflow));
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = BigUint::from_limbs(vec![0, 0, 1]); // 2^128
+        let b = BigUint::one();
+        let c = &a - &b;
+        assert_eq!(c.limbs(), &[u64::MAX, u64::MAX]);
+    }
+
+    #[test]
+    fn add_then_sub_roundtrip() {
+        let a = BigUint::from_limbs(vec![123, 456, 789]);
+        let b = BigUint::from_limbs(vec![u64::MAX, 1]);
+        let c = &(&a + &b) - &b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn abs_diff_signs() {
+        let a = BigUint::from(10u64);
+        let b = BigUint::from(25u64);
+        let (d1, neg1) = a.abs_diff(&b);
+        assert_eq!(d1.to_u64(), Some(15));
+        assert!(neg1);
+        let (d2, neg2) = b.abs_diff(&a);
+        assert_eq!(d2.to_u64(), Some(15));
+        assert!(!neg2);
+        let (d3, neg3) = a.abs_diff(&a);
+        assert!(d3.is_zero());
+        assert!(!neg3);
+    }
+
+    #[test]
+    fn scalar_add_sub() {
+        let mut a = BigUint::from(u64::MAX);
+        a.add_u64_assign(5);
+        assert_eq!(a.limbs(), &[4, 1]);
+        a.sub_u64_assign(5).unwrap();
+        assert_eq!(a.to_u64(), Some(u64::MAX));
+        let mut z = BigUint::zero();
+        assert!(z.sub_u64_assign(1).is_err());
+        z.add_u64_assign(0);
+        assert!(z.is_zero());
+    }
+}

@@ -1,0 +1,347 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+
+use crate::{BigIntError, BigUint};
+use std::cmp::Ordering;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero is always [`Sign::Zero`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+/// A signed arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// Constructs a non-negative value from a [`BigUint`].
+    pub fn from_biguint(mag: BigUint) -> Self {
+        let sign = if mag.is_zero() { Sign::Zero } else { Sign::Positive };
+        BigInt { sign, mag }
+    }
+
+    /// Constructs from a sign and magnitude (sign is normalized for zero).
+    pub fn from_sign_magnitude(sign: Sign, mag: BigUint) -> Self {
+        let sign = if mag.is_zero() { Sign::Zero } else { sign };
+        BigInt { sign, mag }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// Returns `true` if the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Value as `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                let v = self.mag.to_u64()?;
+                i64::try_from(v).ok()
+            }
+            Sign::Negative => {
+                let v = self.mag.to_u64()?;
+                if v == i64::MIN.unsigned_abs() {
+                    Some(i64::MIN)
+                } else {
+                    i64::try_from(v).ok().map(|x| -x)
+                }
+            }
+        }
+    }
+
+    /// Value as `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i128::try_from(self.mag.to_u128()?).ok(),
+            Sign::Negative => {
+                let v = self.mag.to_u128()?;
+                if v == i128::MIN.unsigned_abs() {
+                    Some(i128::MIN)
+                } else {
+                    i128::try_from(v).ok().map(|x| -x)
+                }
+            }
+        }
+    }
+
+    /// Floor division: the unique `q` with `self = q·rhs + r`, `0 ≤ r < |rhs|`
+    /// ... for positive `rhs`; general sign handling rounds toward −∞.
+    pub fn div_floor(&self, rhs: &BigInt) -> BigInt {
+        assert!(!rhs.is_zero(), "division by zero");
+        let (q, r) = self.mag.div_rem(&rhs.mag).expect("rhs non-zero");
+        let same_sign = self.sign == rhs.sign || self.is_zero();
+        if same_sign {
+            BigInt::from_sign_magnitude(Sign::Positive, q)
+        } else {
+            // Opposite signs: truncate toward zero then adjust for remainder.
+            let mut q = q;
+            if !r.is_zero() {
+                q.add_u64_assign(1);
+            }
+            BigInt::from_sign_magnitude(Sign::Negative, q)
+        }
+    }
+
+    /// Euclidean remainder into `[0, m)` as a [`BigUint`].
+    pub fn rem_euclid_biguint(&self, m: &BigUint) -> BigUint {
+        let r = self.mag.rem_ref(m).expect("modulus non-zero");
+        match self.sign {
+            Sign::Negative if !r.is_zero() => m - &r,
+            _ => r,
+        }
+    }
+
+    /// Parses a decimal string with optional sign.
+    pub fn from_decimal_str(s: &str) -> Result<Self, BigIntError> {
+        if let Some(rest) = s.strip_prefix('-') {
+            Ok(BigInt::from_sign_magnitude(
+                Sign::Negative,
+                BigUint::from_decimal_str(rest)?,
+            ))
+        } else {
+            Ok(BigInt::from_biguint(BigUint::from_decimal_str(s)?))
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_biguint(BigUint::from(v as u64)),
+            Ordering::Less => {
+                BigInt::from_sign_magnitude(Sign::Negative, BigUint::from(v.unsigned_abs()))
+            }
+        }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_biguint(BigUint::from(v as u128)),
+            Ordering::Less => {
+                BigInt::from_sign_magnitude(Sign::Negative, BigUint::from(v.unsigned_abs()))
+            }
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_biguint(BigUint::from(v))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt { sign, mag: self.mag }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_magnitude(a, self.mag.add_ref(&rhs.mag)),
+            _ => {
+                let (mag, flipped) = self.mag.abs_diff(&rhs.mag);
+                let sign = if flipped { rhs.sign } else { self.sign };
+                BigInt::from_sign_magnitude(sign, mag)
+            }
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt::from_sign_magnitude(sign, self.mag.mul_ref(&rhs.mag))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Negative, Negative) => other.mag.cmp(&self.mag),
+            (Negative, _) => Ordering::Less,
+            (Zero, Negative) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Positive) => Ordering::Less,
+            (Positive, Positive) => self.mag.cmp(&other.mag),
+            (Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::fmt::Display for BigInt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl std::fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_arithmetic_small() {
+        for a in [-7i64, -1, 0, 1, 13] {
+            for b in [-5i64, -1, 0, 1, 9] {
+                assert_eq!((&bi(a) + &bi(b)).to_i64(), Some(a + b), "{a}+{b}");
+                assert_eq!((&bi(a) - &bi(b)).to_i64(), Some(a - b), "{a}-{b}");
+                assert_eq!((&bi(a) * &bi(b)).to_i64(), Some(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!((-bi(5)).to_i64(), Some(-5));
+        assert_eq!((-bi(-5)).to_i64(), Some(5));
+        assert!((-bi(0)).is_zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-10) < bi(-3));
+        assert!(bi(-3) < bi(0));
+        assert!(bi(0) < bi(2));
+        assert!(bi(2) < bi(10));
+    }
+
+    #[test]
+    fn div_floor_matches_i64() {
+        fn floor_div(a: i64, b: i64) -> i64 {
+            let q = a / b;
+            if (a % b != 0) && ((a < 0) != (b < 0)) {
+                q - 1
+            } else {
+                q
+            }
+        }
+        for a in [-17i64, -8, -1, 0, 1, 8, 17] {
+            for b in [-5i64, -3, 3, 5] {
+                let got = bi(a).div_floor(&bi(b)).to_i64().unwrap();
+                assert_eq!(got, floor_div(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rem_euclid_into_range() {
+        let m = BigUint::from(7u64);
+        assert_eq!(bi(10).rem_euclid_biguint(&m).to_u64(), Some(3));
+        assert_eq!(bi(-10).rem_euclid_biguint(&m).to_u64(), Some(4));
+        assert_eq!(bi(-7).rem_euclid_biguint(&m).to_u64(), Some(0));
+        assert_eq!(bi(0).rem_euclid_biguint(&m).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn i64_boundaries() {
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(BigInt::from(i64::MAX).to_i64(), Some(i64::MAX));
+        let too_big = &BigInt::from(i64::MAX) + &BigInt::one();
+        assert_eq!(too_big.to_i64(), None);
+        assert_eq!(too_big.to_i128(), Some(i64::MAX as i128 + 1));
+    }
+
+    #[test]
+    fn parse_signed_decimal() {
+        assert_eq!(BigInt::from_decimal_str("-42").unwrap().to_i64(), Some(-42));
+        assert_eq!(BigInt::from_decimal_str("42").unwrap().to_i64(), Some(42));
+        assert!(BigInt::from_decimal_str("--1").is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bi(-123).to_string(), "-123");
+        assert_eq!(bi(0).to_string(), "0");
+    }
+}

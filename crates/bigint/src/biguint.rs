@@ -1,0 +1,261 @@
+//! Core [`BigUint`] type: representation, normalization, comparison, and
+//! small utility queries (bit length, parity, bit access).
+
+use crate::Limb;
+use std::cmp::Ordering;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// Internally a little-endian vector of 64-bit limbs with the invariant that
+/// the most significant limb is non-zero (zero is represented by an empty
+/// limb vector). All public constructors and operations preserve this
+/// invariant.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<Limb>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Constructs from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<Limb>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Borrows the little-endian limb slice (no trailing zero limbs).
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Removes trailing zero limbs to restore the representation invariant.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Returns `true` if the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even. Zero counts as even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order; out-of-range bits are `0`).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the limb vector if needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let (limb, off) = (i / 64, i % 64);
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i * 64 + l.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Value as `u64` if it fits, else `None`.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Value as `u128` if it fits, else `None`.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+    }
+
+    #[test]
+    fn normalization_strips_trailing_zero_limbs() {
+        let v = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(v.limbs(), &[5]);
+        let z = BigUint::from_limbs(vec![0, 0]);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn bit_len_across_limb_boundary() {
+        let v = BigUint::from(u64::MAX);
+        assert_eq!(v.bit_len(), 64);
+        let w = BigUint::from_limbs(vec![0, 1]);
+        assert_eq!(w.bit_len(), 65);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert!(BigUint::from(2u64).is_even());
+        assert!(BigUint::from_limbs(vec![1, 7]).is_odd());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from(5u64);
+        let b = BigUint::from_limbs(vec![0, 1]); // 2^64
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        // Same limb count, differ in high limb.
+        let c = BigUint::from_limbs(vec![9, 1]);
+        let d = BigUint::from_limbs(vec![3, 2]);
+        assert!(c < d);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut v = BigUint::zero();
+        v.set_bit(70, true);
+        assert!(v.bit(70));
+        assert!(!v.bit(69));
+        assert_eq!(v.bit_len(), 71);
+        v.set_bit(70, false);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(BigUint::one().trailing_zeros(), Some(0));
+        assert_eq!(BigUint::from(8u64).trailing_zeros(), Some(3));
+        assert_eq!(BigUint::from_limbs(vec![0, 2]).trailing_zeros(), Some(65));
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v = BigUint::from(0x1234_5678_9abc_def0_1122_3344_5566_7788u128);
+        assert_eq!(
+            v.to_u128(),
+            Some(0x1234_5678_9abc_def0_1122_3344_5566_7788u128)
+        );
+        assert_eq!(BigUint::from(42u64).to_u64(), Some(42));
+        assert!(BigUint::from(u128::MAX).to_u64().is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Conversions to and from strings and byte buffers.
+
+use crate::{BigIntError, BigUint};
+
+impl BigUint {
+    /// Parses a decimal string (optionally with leading `+`).
+    pub fn from_decimal_str(s: &str) -> Result<Self, BigIntError> {
+        let s = s.strip_prefix('+').unwrap_or(s);
+        if s.is_empty() {
+            return Err(BigIntError::ParseError("empty string".into()));
+        }
+        let mut v = BigUint::zero();
+        // Consume 19 digits at a time (the largest power of 10 in a u64).
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let chunk_len = (bytes.len() - i).min(19);
+            let chunk = &s[i..i + chunk_len];
+            let digits: u64 = chunk
+                .parse()
+                .map_err(|_| BigIntError::ParseError(format!("invalid digit in {chunk:?}")))?;
+            v = v.mul_u64(10u64.pow(chunk_len as u32));
+            v.add_u64_assign(digits);
+            i += chunk_len;
+        }
+        Ok(v)
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex_str(s: &str) -> Result<Self, BigIntError> {
+        if s.is_empty() {
+            return Err(BigIntError::ParseError("empty string".into()));
+        }
+        let mut v = BigUint::zero();
+        for c in s.chars() {
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| BigIntError::ParseError(format!("invalid hex digit {c:?}")))?;
+            v = v.shl_bits(4);
+            v.add_u64_assign(d as u64);
+        }
+        Ok(v)
+    }
+
+    /// Decimal string representation.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut parts = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            parts.push(r);
+            cur = q;
+        }
+        let mut s = parts.pop().expect("non-zero has at least one chunk").to_string();
+        for p in parts.iter().rev() {
+            s.push_str(&format!("{p:019}"));
+        }
+        s
+    }
+
+    /// Lowercase hexadecimal representation (no prefix).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let mut s = format!("{:x}", self.limbs[self.limbs.len() - 1]);
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Big-endian byte representation, without leading zero bytes
+    /// (the value `0` encodes as an empty vector).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.split_off(skip)
+    }
+
+    /// Constructs from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut buf = [0u8; 8];
+            buf[8 - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(buf));
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Little-endian byte representation without trailing zero bytes.
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = self.limbs.iter().flat_map(|l| l.to_le_bytes()).collect();
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    /// Constructs from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(buf));
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl std::str::FromStr for BigUint {
+    type Err = BigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            BigUint::from_hex_str(hex)
+        } else {
+            BigUint::from_decimal_str(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551615",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999999999",
+        ] {
+            let v = BigUint::from_decimal_str(s).unwrap();
+            assert_eq!(v.to_decimal(), s, "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+            let v = BigUint::from_hex_str(s).unwrap();
+            assert_eq!(v.to_hex(), s);
+        }
+        assert_eq!(BigUint::zero().to_hex(), "0");
+    }
+
+    #[test]
+    fn decimal_matches_hex() {
+        let v = BigUint::from_hex_str("de0b6b3a7640000").unwrap(); // 10^18
+        assert_eq!(v.to_decimal(), "1000000000000000000");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BigUint::from_decimal_str("").is_err());
+        assert!(BigUint::from_decimal_str("12a3").is_err());
+        assert!(BigUint::from_hex_str("xyz").is_err());
+    }
+
+    #[test]
+    fn bytes_be_roundtrip() {
+        let v = BigUint::from_decimal_str("123456789012345678901234567890").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+        // Leading zeros in input are tolerated.
+        let mut padded = vec![0u8, 0u8];
+        padded.extend_from_slice(&bytes);
+        assert_eq!(BigUint::from_bytes_be(&padded), v);
+    }
+
+    #[test]
+    fn bytes_le_roundtrip() {
+        let v = BigUint::from_hex_str("0123456789abcdef0011223344").unwrap();
+        assert_eq!(BigUint::from_bytes_le(&v.to_bytes_le()), v);
+    }
+
+    #[test]
+    fn from_str_dispatches_on_prefix() {
+        let a: BigUint = "255".parse().unwrap();
+        let b: BigUint = "0xff".parse().unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Division and remainder via Knuth's Algorithm D (TAOCP Vol. 2, 4.3.1),
+//! with fast paths for single-limb divisors.
+
+use crate::{BigIntError, BigUint, Limb};
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Computes `(self / rhs, self % rhs)`.
+    pub fn div_rem(&self, rhs: &BigUint) -> Result<(BigUint, BigUint), BigIntError> {
+        if rhs.is_zero() {
+            return Err(BigIntError::DivisionByZero);
+        }
+        if self < rhs {
+            return Ok((BigUint::zero(), self.clone()));
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(rhs.limbs[0]);
+            return Ok((q, BigUint::from(r)));
+        }
+        Ok(knuth_d(self, rhs))
+    }
+
+    /// `(self / d, self % d)` for a single-limb divisor. Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (BigUint, u64) {
+        assert!(d != 0, "division by zero");
+        let mut q = vec![0; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / d as u128) as Limb;
+            rem = cur % d as u128;
+        }
+        (BigUint::from_limbs(q), rem as u64)
+    }
+
+    /// `self % rhs`.
+    pub fn rem_ref(&self, rhs: &BigUint) -> Result<BigUint, BigIntError> {
+        Ok(self.div_rem(rhs)?.1)
+    }
+}
+
+/// Knuth Algorithm D for a divisor of at least two limbs.
+/// Precondition: `u >= v`, `v.limbs.len() >= 2`.
+fn knuth_d(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    let n = v.limbs.len();
+    let m = u.limbs.len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = v.limbs[n - 1].leading_zeros() as usize;
+    let vn = v.shl_bits(shift);
+    let mut un = u.shl_bits(shift).limbs;
+    un.resize(u.limbs.len() + 1, 0); // extra high limb for the algorithm
+
+    let vn = &vn.limbs;
+    debug_assert!(vn[n - 1] >> 63 == 1);
+
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2..D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate qhat from the top two limbs of the current remainder
+        // against the top limb of the divisor.
+        let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = top / vn[n - 1] as u128;
+        let mut rhat = top % vn[n - 1] as u128;
+
+        // Refine: at most two corrections bring qhat within 1 of the truth.
+        while qhat >> 64 != 0
+            || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += vn[n - 1] as u128;
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+
+        // D4: multiply-and-subtract qhat * v from the window u[j..j+n].
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + carry;
+            carry = p >> 64;
+            let t = un[j + i] as i128 - (p as u64) as i128 + borrow;
+            un[j + i] = t as u64;
+            borrow = t >> 64; // arithmetic shift: 0 or -1
+        }
+        let t = un[j + n] as i128 - carry as i128 + borrow;
+        un[j + n] = t as u64;
+
+        q[j] = qhat as Limb;
+
+        // D6: if we subtracted one time too many (t < 0), add back one v.
+        if t < 0 {
+            q[j] -= 1;
+            let mut carry2: u128 = 0;
+            for i in 0..n {
+                let s = un[j + i] as u128 + vn[i] as u128 + carry2;
+                un[j + i] = s as u64;
+                carry2 = s >> 64;
+            }
+            un[j + n] = (un[j + n] as u128 + carry2) as u64;
+        }
+    }
+
+    // D8: denormalize the remainder.
+    let rem = BigUint::from_limbs(un[..n].to_vec()).shr_bits(shift);
+    (BigUint::from_limbs(q), rem)
+}
+
+impl Div for &BigUint {
+    type Output = BigUint;
+    /// Panics on division by zero; use [`BigUint::div_rem`] for fallible code.
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).expect("division by zero").0
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    /// Panics on division by zero; use [`BigUint::div_rem`] for fallible code.
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).expect("division by zero").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BigIntError, BigUint};
+
+    #[test]
+    fn div_by_zero_is_error() {
+        let a = BigUint::from(5u64);
+        assert_eq!(a.div_rem(&BigUint::zero()), Err(BigIntError::DivisionByZero));
+    }
+
+    #[test]
+    fn small_division() {
+        let a = BigUint::from(100u64);
+        let b = BigUint::from(7u64);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert_eq!(q.to_u64(), Some(14));
+        assert_eq!(r.to_u64(), Some(2));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let a = BigUint::from(3u64);
+        let b = BigUint::from_limbs(vec![0, 1]);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn single_limb_divisor_fast_path() {
+        let a = BigUint::from_limbs(vec![0x1234_5678, 0x9abc_def0, 0xdead]);
+        let (q, r) = a.div_rem_u64(1_000_003);
+        let recomposed = &q.mul_u64(1_000_003) + &BigUint::from(r);
+        assert_eq!(recomposed, a);
+    }
+
+    #[test]
+    fn knuth_d_roundtrip_multi_limb() {
+        let a = BigUint::from_limbs(vec![
+            0xdead_beef_cafe_babe,
+            0x0123_4567_89ab_cdef,
+            0xffff_0000_ffff_0000,
+            42,
+        ]);
+        let b = BigUint::from_limbs(vec![0x1111_2222_3333_4444, 0x9999]);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn knuth_d_addback_case() {
+        // A divisor with top limb 0x8000...0 and a dividend crafted so that
+        // the initial qhat estimate overshoots, exercising step D6.
+        let b = BigUint::from_limbs(vec![0, 0x8000_0000_0000_0000]);
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX - 1, 0x7fff_ffff_ffff_ffff]);
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = BigUint::from_limbs(vec![0xabcdef, 0x123456, 7]);
+        let q_expect = BigUint::from_limbs(vec![99, 1_000_000]);
+        let a = &b * &q_expect;
+        let (q, r) = a.div_rem(&b).unwrap();
+        assert_eq!(q, q_expect);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn identity_division() {
+        let a = BigUint::from_limbs(vec![5, 6, 7]);
+        let (q, r) = a.div_rem(&a).unwrap();
+        assert!(q.is_one());
+        assert!(r.is_zero());
+        let (q, r) = a.div_rem(&BigUint::one()).unwrap();
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+}

@@ -1,0 +1,83 @@
+//! # pp-bigint
+//!
+//! Arbitrary-precision integer arithmetic built from scratch for the
+//! PP-Stream reproduction. This crate is the workspace's substitute for the
+//! GMP library that the paper's C++ prototype links against: it provides
+//! every primitive that Paillier's partially homomorphic cryptosystem needs —
+//! multi-limb addition/subtraction, schoolbook and Karatsuba multiplication,
+//! Knuth Algorithm D division, Montgomery modular exponentiation, modular
+//! inverses, gcd, Miller–Rabin primality testing, and random prime
+//! generation.
+//!
+//! The two public integer types are:
+//!
+//! * [`BigUint`] — an unsigned, arbitrarily large integer stored as
+//!   little-endian 64-bit limbs.
+//! * [`BigInt`] — a signed wrapper (sign + magnitude) used where negative
+//!   intermediate values appear (e.g. the extended Euclidean algorithm and
+//!   the signed message encoding in `pp-paillier`).
+//!
+//! ## Example
+//!
+//! ```
+//! use pp_bigint::BigUint;
+//!
+//! let a = BigUint::from(123456789u64);
+//! let b = BigUint::from_decimal_str("987654321987654321").unwrap();
+//! let m = BigUint::from(1_000_000_007u64);
+//! let c = a.modpow(&b, &m);
+//! assert!(c < m);
+//! ```
+
+mod add_sub;
+mod bigint;
+mod biguint;
+mod convert;
+mod div;
+mod modular;
+mod montgomery;
+mod mul;
+mod prime;
+mod random;
+mod shift;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use montgomery::MontgomeryCtx;
+pub use prime::{gen_prime, gen_safe_prime, is_probable_prime, DEFAULT_MR_ROUNDS};
+pub use random::{random_below, random_bits, random_coprime};
+
+/// A single machine word of a [`BigUint`]. Limbs are stored little-endian.
+pub type Limb = u64;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: usize = 64;
+
+/// Errors produced by fallible `pp-bigint` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BigIntError {
+    /// Attempted division or reduction by zero.
+    DivisionByZero,
+    /// The operand has no modular inverse for the given modulus.
+    NoInverse,
+    /// A string could not be parsed as an integer in the requested radix.
+    ParseError(String),
+    /// Montgomery arithmetic requires an odd modulus.
+    EvenModulus,
+    /// Subtraction would underflow an unsigned integer.
+    Underflow,
+}
+
+impl std::fmt::Display for BigIntError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BigIntError::DivisionByZero => write!(f, "division by zero"),
+            BigIntError::NoInverse => write!(f, "no modular inverse exists"),
+            BigIntError::ParseError(s) => write!(f, "parse error: {s}"),
+            BigIntError::EvenModulus => write!(f, "Montgomery context requires an odd modulus"),
+            BigIntError::Underflow => write!(f, "unsigned subtraction underflow"),
+        }
+    }
+}
+
+impl std::error::Error for BigIntError {}

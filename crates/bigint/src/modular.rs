@@ -1,0 +1,197 @@
+//! Modular arithmetic helpers on [`BigUint`]: gcd, lcm, modular inverse, and
+//! a generic `modpow` that dispatches to Montgomery arithmetic for odd
+//! moduli.
+
+use crate::{BigInt, BigIntError, BigUint, MontgomeryCtx};
+
+impl BigUint {
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let za = a.trailing_zeros().expect("a non-zero");
+        let zb = b.trailing_zeros().expect("b non-zero");
+        let common = za.min(zb);
+        a = a.shr_bits(za);
+        b = b.shr_bits(zb);
+        loop {
+            debug_assert!(a.is_odd() && b.is_odd());
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b -= &a;
+            if b.is_zero() {
+                return a.shl_bits(common);
+            }
+            b = b.shr_bits(b.trailing_zeros().expect("b non-zero"));
+        }
+    }
+
+    /// Least common multiple. Returns `0` when either input is `0`.
+    pub fn lcm(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let g = self.gcd(other);
+        &(self / &g) * other
+    }
+
+    /// Modular inverse: `x` such that `self·x ≡ 1 (mod m)`, or
+    /// [`BigIntError::NoInverse`] when `gcd(self, m) ≠ 1`.
+    pub fn modinv(&self, m: &BigUint) -> Result<BigUint, BigIntError> {
+        if m.is_zero() {
+            return Err(BigIntError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(BigUint::zero());
+        }
+        // Extended Euclid on signed integers.
+        let (mut old_r, mut r) = (BigInt::from_biguint(self.rem_ref(m)?), BigInt::from_biguint(m.clone()));
+        let (mut old_s, mut s) = (BigInt::one(), BigInt::zero());
+        while !r.is_zero() {
+            let q = old_r.div_floor(&r);
+            let new_r = &old_r - &(&q * &r);
+            old_r = std::mem::replace(&mut r, new_r);
+            let new_s = &old_s - &(&q * &s);
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.magnitude().is_one() {
+            return Err(BigIntError::NoInverse);
+        }
+        // old_s may be negative; normalize into [0, m).
+        Ok(old_s.rem_euclid_biguint(m))
+    }
+
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Dispatches to Montgomery arithmetic when `m` is odd (the common case —
+    /// Paillier moduli `n` and `n²` are always odd); otherwise falls back to
+    /// square-and-multiply with division-based reduction.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if m.is_odd() {
+            let ctx = MontgomeryCtx::new(m).expect("odd modulus > 1");
+            return ctx.pow_mod(self, exp);
+        }
+        // Even modulus: plain square-and-multiply.
+        let mut acc = BigUint::one();
+        let base = self.rem_ref(m).expect("m non-zero");
+        for i in (0..exp.bit_len()).rev() {
+            acc = acc.square().rem_ref(m).expect("m non-zero");
+            if exp.bit(i) {
+                acc = acc.mul_ref(&base).rem_ref(m).expect("m non-zero");
+            }
+        }
+        acc
+    }
+
+    /// `self·other mod m` without constructing a Montgomery context.
+    pub fn mulmod(&self, other: &BigUint, m: &BigUint) -> Result<BigUint, BigIntError> {
+        self.mul_ref(other).rem_ref(m)
+    }
+
+    /// `self + other mod m`.
+    pub fn addmod(&self, other: &BigUint, m: &BigUint) -> Result<BigUint, BigIntError> {
+        self.add_ref(other).rem_ref(m)
+    }
+
+    /// `self - other mod m`, wrapping into `[0, m)`.
+    pub fn submod(&self, other: &BigUint, m: &BigUint) -> Result<BigUint, BigIntError> {
+        let a = self.rem_ref(m)?;
+        let b = other.rem_ref(m)?;
+        if a >= b {
+            Ok(&a - &b)
+        } else {
+            Ok(&(&a + m) - &b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BigIntError, BigUint};
+
+    #[test]
+    fn gcd_small() {
+        let g = BigUint::from(48u64).gcd(&BigUint::from(36u64));
+        assert_eq!(g.to_u64(), Some(12));
+        assert_eq!(BigUint::zero().gcd(&BigUint::from(7u64)).to_u64(), Some(7));
+        assert_eq!(BigUint::from(7u64).gcd(&BigUint::zero()).to_u64(), Some(7));
+        assert!(BigUint::zero().gcd(&BigUint::zero()).is_zero());
+    }
+
+    #[test]
+    fn gcd_large_coprime() {
+        // Two large primes are coprime.
+        let p = BigUint::from_decimal_str("170141183460469231731687303715884105727").unwrap(); // 2^127-1
+        let q = BigUint::from(2_305_843_009_213_693_951u64); // 2^61-1
+        assert!(p.gcd(&q).is_one());
+    }
+
+    #[test]
+    fn lcm_basic() {
+        let l = BigUint::from(4u64).lcm(&BigUint::from(6u64));
+        assert_eq!(l.to_u64(), Some(12));
+        assert!(BigUint::zero().lcm(&BigUint::from(5u64)).is_zero());
+    }
+
+    #[test]
+    fn modinv_small() {
+        let inv = BigUint::from(3u64).modinv(&BigUint::from(7u64)).unwrap();
+        assert_eq!(inv.to_u64(), Some(5)); // 3*5 = 15 = 1 mod 7
+        assert_eq!(
+            BigUint::from(2u64).modinv(&BigUint::from(4u64)),
+            Err(BigIntError::NoInverse)
+        );
+    }
+
+    #[test]
+    fn modinv_large() {
+        let m = BigUint::from_decimal_str("170141183460469231731687303715884105727").unwrap();
+        let a = BigUint::from_decimal_str("123456789123456789123456789").unwrap();
+        let inv = a.modinv(&m).unwrap();
+        let check = a.mulmod(&inv, &m).unwrap();
+        assert!(check.is_one());
+    }
+
+    #[test]
+    fn modpow_matches_naive() {
+        let m = BigUint::from(1_000_003u64);
+        for (b, e) in [(2u64, 10u64), (7, 100), (123456, 0), (0, 5), (999, 999)] {
+            let got = BigUint::from(b).modpow(&BigUint::from(e), &m);
+            let mut expect = 1u128;
+            for _ in 0..e {
+                expect = expect * b as u128 % 1_000_003;
+            }
+            assert_eq!(got.to_u64(), Some(expect as u64), "b={b} e={e}");
+        }
+    }
+
+    #[test]
+    fn modpow_even_modulus() {
+        let m = BigUint::from(1u64 << 20);
+        let got = BigUint::from(3u64).modpow(&BigUint::from(1000u64), &m);
+        // 3^1000 mod 2^20 computed independently with u128 ladder.
+        let mut expect: u128 = 1;
+        for _ in 0..1000 {
+            expect = expect * 3 % (1 << 20);
+        }
+        assert_eq!(got.to_u64(), Some(expect as u64));
+    }
+
+    #[test]
+    fn submod_wraps() {
+        let m = BigUint::from(10u64);
+        let r = BigUint::from(3u64).submod(&BigUint::from(8u64), &m).unwrap();
+        assert_eq!(r.to_u64(), Some(5));
+    }
+}

@@ -1,0 +1,317 @@
+//! Montgomery modular arithmetic (CIOS multiplication) used to make modular
+//! exponentiation — the dominant cost of Paillier encryption — fast.
+
+use crate::{BigIntError, BigUint, Limb};
+
+/// A reusable Montgomery context for a fixed odd modulus `n`.
+///
+/// Construction precomputes `n' = -n^{-1} mod 2^64` and `R² mod n`
+/// (`R = 2^(64·k)` where `k` is the limb count of `n`), after which
+/// multiplication modulo `n` costs a single CIOS pass and exponentiation a
+/// fixed-window ladder. Paillier key material is long-lived, so the context
+/// is built once per key and shared across tensor elements.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// The modulus, padded view length in limbs.
+    n: Vec<Limb>,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: Limb,
+    /// `R mod n` (the Montgomery form of 1).
+    r_mod_n: Vec<Limb>,
+    /// `R² mod n`, used to convert into Montgomery form.
+    r2_mod_n: Vec<Limb>,
+}
+
+/// Computes `-n^{-1} mod 2^64` for odd `n0` via Newton–Hensel lifting.
+fn neg_inv_u64(n0: Limb) -> Limb {
+    debug_assert!(n0 & 1 == 1);
+    // x = n0^{-1} mod 2^64 by five Newton iterations (doubles precision each).
+    let mut x = n0; // correct mod 2^3 already for odd n0? Use standard trick:
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(x), 1);
+    x.wrapping_neg()
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for an odd modulus `n > 1`.
+    pub fn new(n: &BigUint) -> Result<Self, BigIntError> {
+        if n.is_even() || n.is_zero() {
+            return Err(BigIntError::EvenModulus);
+        }
+        if n.is_one() {
+            return Err(BigIntError::EvenModulus);
+        }
+        let k = n.limbs.len();
+        let n_prime = neg_inv_u64(n.limbs[0]);
+        // R = 2^(64k); R mod n and R^2 mod n via shifting + reduction.
+        let r = BigUint::one().shl_bits(64 * k);
+        let r_mod_n = r.rem_ref(n)?;
+        let r2_mod_n = r.square().rem_ref(n)?;
+        Ok(MontgomeryCtx {
+            n: n.limbs.clone(),
+            n_prime,
+            r_mod_n: pad(&r_mod_n.limbs, k),
+            r2_mod_n: pad(&r2_mod_n.limbs, k),
+        })
+    }
+
+    /// Limb count of the modulus.
+    pub fn limbs(&self) -> usize {
+        self.n.len()
+    }
+
+    /// The modulus as a [`BigUint`].
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
+    /// `a` and `b` must be padded to `k` limbs and `< n`.
+    fn mont_mul(&self, a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+        let k = self.n.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        // t has k+2 limbs: accumulator for the interleaved reduce.
+        let mut t = vec![0 as Limb; k + 2];
+        for &bi in b {
+            // t += a * bi
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + a[j] as u128 * bi as u128 + carry;
+                t[j] = s as Limb;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as Limb;
+            t[k + 1] = t[k + 1].wrapping_add((s >> 64) as Limb);
+
+            // m = t[0] * n' mod 2^64;  t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as Limb;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as Limb;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as Limb);
+            t[k + 1] = 0;
+        }
+        // Final conditional subtraction: t may be in [0, 2n).
+        let mut out = t[..k].to_vec();
+        if t[k] != 0 || ge(&out, &self.n) {
+            sub_in_place(&mut out, &self.n);
+        }
+        out
+    }
+
+    /// Converts `x < n` into Montgomery form (`x·R mod n`).
+    pub fn to_mont(&self, x: &BigUint) -> Vec<Limb> {
+        let k = self.n.len();
+        debug_assert!(x.limbs.len() <= k);
+        self.mont_mul(&pad(&x.limbs, k), &self.r2_mod_n)
+    }
+
+    /// Converts from Montgomery form back to a normal residue.
+    pub fn from_mont(&self, x: &[Limb]) -> BigUint {
+        let k = self.n.len();
+        let one = pad(&[1], k);
+        BigUint::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// Modular multiplication `a·b mod n` for ordinary residues.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` with a fixed 4-bit window.
+    pub fn pow_mod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem_ref(&self.modulus()).expect("n > 1");
+        }
+        let base = base.rem_ref(&self.modulus()).expect("n > 1");
+        let bm = self.to_mont(&base);
+
+        // Short exponents (PP-Stream's scaled weights are ~10–24 bits):
+        // plain square-and-multiply beats paying for the window table.
+        let bits = exp.bit_len();
+        if bits <= 32 {
+            let mut acc = bm.clone();
+            for i in (0..bits - 1).rev() {
+                acc = self.mont_mul(&acc, &acc);
+                if exp.bit(i) {
+                    acc = self.mont_mul(&acc, &bm);
+                }
+            }
+            return self.from_mont(&acc);
+        }
+
+        // Precompute bm^0..bm^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r_mod_n.clone()); // 1 in Montgomery form
+        table.push(bm.clone());
+        for i in 2..16 {
+            let prev: &Vec<Limb> = &table[i - 1];
+            table.push(self.mont_mul(prev, &bm));
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = self.r_mod_n.clone();
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                let bit_idx = w * 4 + (3 - b);
+                digit <<= 1;
+                if exp.bit(bit_idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+                started = true;
+            } else if started {
+                // squarings already applied
+            }
+        }
+        if !started {
+            // exp was zero (handled above) — defensive.
+            return BigUint::one();
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn pad(limbs: &[Limb], k: usize) -> Vec<Limb> {
+    let mut v = limbs.to_vec();
+    v.resize(k, 0);
+    v
+}
+
+/// `a >= b` for equal-length limb slices.
+fn ge(a: &[Limb], b: &[Limb]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` for equal-length limb slices; assumes no underflow.
+fn sub_in_place(a: &mut [Limb], b: &[Limb]) {
+    let mut borrow = 0i128;
+    for i in 0..a.len() {
+        let d = a[i] as i128 - b[i] as i128 + borrow;
+        a[i] = d as Limb;
+        borrow = d >> 64;
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BigUint;
+
+    #[test]
+    fn neg_inv_is_correct() {
+        for n0 in [1u64, 3, 5, 0xdead_beef | 1, u64::MAX] {
+            let ni = neg_inv_u64(n0);
+            assert_eq!(n0.wrapping_mul(ni), 1u64.wrapping_neg(), "n0={n0}");
+        }
+    }
+
+    #[test]
+    fn rejects_even_modulus() {
+        assert!(MontgomeryCtx::new(&BigUint::from(10u64)).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_err());
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let n = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        for x in [0u64, 1, 42, 999_999_999] {
+            let xm = ctx.to_mont(&BigUint::from(x));
+            assert_eq!(ctx.from_mont(&xm).to_u64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn mul_mod_small() {
+        let n = BigUint::from(97u64);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        for a in 0..20u64 {
+            for b in 0..20u64 {
+                let got = ctx.mul_mod(&BigUint::from(a), &BigUint::from(b));
+                assert_eq!(got.to_u64(), Some(a * b % 97), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+        let p = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let exp = BigUint::from(1_000_000_006u64);
+        for a in [2u64, 3, 65537, 999_999_999] {
+            let r = ctx.pow_mod(&BigUint::from(a), &exp);
+            assert!(r.is_one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_mod_edge_cases() {
+        let n = BigUint::from(101u64);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        // x^0 = 1
+        assert!(ctx.pow_mod(&BigUint::from(5u64), &BigUint::zero()).is_one());
+        // 0^x = 0 for x > 0
+        assert!(ctx.pow_mod(&BigUint::zero(), &BigUint::from(7u64)).is_zero());
+        // x^1 = x
+        assert_eq!(
+            ctx.pow_mod(&BigUint::from(42u64), &BigUint::one()).to_u64(),
+            Some(42)
+        );
+        // base bigger than modulus is reduced first
+        assert_eq!(
+            ctx.pow_mod(&BigUint::from(205u64), &BigUint::from(2u64)).to_u64(),
+            Some(3 * 3 % 101)
+        );
+    }
+
+    #[test]
+    fn pow_mod_multi_limb() {
+        // 2^e mod n cross-checked via repeated squaring on BigUint directly.
+        let n = BigUint::from_hex_str("f123456789abcdef0011223344556677").unwrap();
+        let n = if n.is_even() { &n + &BigUint::one() } else { n };
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let e = BigUint::from(1027u64);
+        let got = ctx.pow_mod(&BigUint::from(2u64), &e);
+        // slow path: square-and-multiply with div_rem reduction
+        let mut acc = BigUint::one();
+        let base = BigUint::from(2u64);
+        for i in (0..e.bit_len()).rev() {
+            acc = acc.square().rem_ref(&n).unwrap();
+            if e.bit(i) {
+                acc = acc.mul_ref(&base).rem_ref(&n).unwrap();
+            }
+        }
+        assert_eq!(got, acc);
+    }
+}

@@ -1,0 +1,175 @@
+//! Primality testing (trial division + Miller–Rabin) and random prime
+//! generation for Paillier key material.
+
+use crate::random::{random_below, random_bits};
+use crate::{BigUint, MontgomeryCtx};
+use rand::Rng;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Default Miller–Rabin round count, giving error probability `< 4^-40`.
+pub const DEFAULT_MR_ROUNDS: usize = 40;
+
+/// Returns `true` if `n` passes trial division and `rounds` rounds of
+/// Miller–Rabin with random bases.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from(p);
+        if *n == pb {
+            return true;
+        }
+        if n.rem_ref(&pb).expect("p non-zero").is_zero() {
+            return false;
+        }
+    }
+    if n.is_even() {
+        return false;
+    }
+    miller_rabin(n, rounds, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases. Precondition: `n` odd, `n > 3`,
+/// not divisible by any small prime.
+fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let s = n_minus_1.trailing_zeros().expect("n > 1 so n-1 > 0");
+    let d = n_minus_1.shr_bits(s);
+    let ctx = MontgomeryCtx::new(n).expect("odd modulus");
+
+    'witness: for _ in 0..rounds {
+        // Base in [2, n-2].
+        let a = loop {
+            let a = random_below(rng, &n_minus_1);
+            if a > one {
+                break a;
+            }
+        };
+        let mut x = ctx.pow_mod(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = ctx.mul_mod(&x, &x);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+            if x.is_one() {
+                return false; // non-trivial square root of 1
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        candidate.set_bit(0, true); // force odd
+        if is_probable_prime(&candidate, DEFAULT_MR_ROUNDS, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a safe prime `p` (with `(p-1)/2` also prime) of `bits` bits.
+/// Noticeably slower than [`gen_prime`]; provided for completeness since
+/// hardened Paillier deployments prefer safe primes.
+pub fn gen_safe_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 3, "safe primes need at least 3 bits");
+    loop {
+        let q = gen_prime(bits - 1, rng);
+        // p = 2q + 1
+        let p = &q.shl_bits(1) + &BigUint::one();
+        if p.bit_len() == bits && is_probable_prime(&p, DEFAULT_MR_ROUNDS, rng) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_small_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for p in [2u64, 3, 5, 7, 97, 251, 257, 65537, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from(p), 20, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [0u64, 1, 4, 9, 15, 91, 561, 65536, 1_000_000_008] {
+            assert!(
+                !is_probable_prime(&BigUint::from(c), 20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = StdRng::seed_from_u64(11);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(
+                !is_probable_prime(&BigUint::from(c), 20, &mut rng),
+                "Carmichael {c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn mersenne_prime_multi_limb() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // 2^127 - 1 is prime; 2^128 - 1 is not.
+        let m127 = &BigUint::one().shl_bits(127) - &BigUint::one();
+        assert!(is_probable_prime(&m127, 20, &mut rng));
+        let m128 = &BigUint::one().shl_bits(128) - &BigUint::one();
+        assert!(!is_probable_prime(&m128, 20, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, 20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let p = gen_safe_prime(32, &mut rng);
+        assert_eq!(p.bit_len(), 32);
+        let q = (&p - &BigUint::one()).shr_bits(1);
+        assert!(is_probable_prime(&q, 20, &mut rng));
+    }
+
+    #[test]
+    fn product_of_two_primes_is_composite() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let p = gen_prime(48, &mut rng);
+        let q = gen_prime(48, &mut rng);
+        let n = &p * &q;
+        assert!(!is_probable_prime(&n, 20, &mut rng));
+    }
+}

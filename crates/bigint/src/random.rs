@@ -1,0 +1,104 @@
+//! Random [`BigUint`] generation.
+
+use crate::BigUint;
+use rand::Rng;
+
+/// A uniformly random integer with exactly `bits` significant bits
+/// (the top bit is always set; `bits == 0` yields zero).
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    let top_bits = bits - (limbs - 1) * 64;
+    let last = limbs - 1;
+    if top_bits < 64 {
+        v[last] &= (1u64 << top_bits) - 1;
+    }
+    v[last] |= 1u64 << (top_bits - 1); // force exact bit length
+    BigUint::from_limbs(v)
+}
+
+/// A uniformly random integer in `[0, bound)` by rejection sampling.
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "random_below with zero bound");
+    let bits = bound.bit_len();
+    let limbs = bits.div_ceil(64);
+    let top_bits = bits - (limbs - 1) * 64;
+    loop {
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        if top_bits < 64 {
+            let last = limbs - 1;
+            v[last] &= (1u64 << top_bits) - 1;
+        }
+        let candidate = BigUint::from_limbs(v);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// A uniformly random integer in `[1, bound)` coprime to `bound`.
+/// Used for Paillier encryption randomness. Panics if `bound <= 1`.
+pub fn random_coprime<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(*bound > BigUint::one(), "random_coprime needs bound > 1");
+    loop {
+        let candidate = random_below(rng, bound);
+        if !candidate.is_zero() && candidate.gcd(bound).is_one() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_exact_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1usize, 5, 63, 64, 65, 128, 1000] {
+            let v = random_bits(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+        assert!(random_bits(&mut rng, 0).is_zero());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = BigUint::from(1000u64);
+        for _ in 0..200 {
+            let v = random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        // With bound 4, all residues should appear over enough draws.
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = BigUint::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            let v = random_below(&mut rng, &bound).to_u64().unwrap() as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seen={seen:?}");
+    }
+
+    #[test]
+    fn random_coprime_is_coprime() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bound = BigUint::from(60u64); // plenty of non-coprime residues
+        for _ in 0..50 {
+            let v = random_coprime(&mut rng, &bound);
+            assert!(v.gcd(&bound).is_one());
+            assert!(!v.is_zero() && v < bound);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Bit-shift operations.
+
+use crate::{BigUint, Limb};
+use std::ops::{Shl, Shr};
+
+impl BigUint {
+    /// `self << bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        let mut out = vec![0 as Limb; self.limbs.len() + limb_shift + 1];
+        if bit_shift == 0 {
+            out[limb_shift..limb_shift + self.limbs.len()].copy_from_slice(&self.limbs);
+        } else {
+            for (i, &l) in self.limbs.iter().enumerate() {
+                out[i + limb_shift] |= l << bit_shift;
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self >> bits` (bits shifted out are discarded).
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let src = &self.limbs[limb_shift..];
+        let mut out = vec![0 as Limb; src.len()];
+        if bit_shift == 0 {
+            out.copy_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                out[i] = src[i] >> bit_shift;
+                if i + 1 < src.len() {
+                    out[i] |= src[i + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// The low `bits` bits of `self` (i.e. `self mod 2^bits`).
+    pub fn low_bits(&self, bits: usize) -> BigUint {
+        let (full, partial) = (bits / 64, bits % 64);
+        if full >= self.limbs.len() {
+            return self.clone();
+        }
+        let mut out = self.limbs[..full + usize::from(partial > 0)].to_vec();
+        if partial > 0 {
+            let last = out.len() - 1;
+            out[last] &= (1u64 << partial) - 1;
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn shl_within_limb() {
+        let a = BigUint::from(1u64);
+        assert_eq!(a.shl_bits(4).to_u64(), Some(16));
+    }
+
+    #[test]
+    fn shl_across_limbs() {
+        let a = BigUint::from(1u64);
+        let b = a.shl_bits(64);
+        assert_eq!(b.limbs(), &[0, 1]);
+        let c = a.shl_bits(70);
+        assert_eq!(c.limbs(), &[0, 64]);
+    }
+
+    #[test]
+    fn shr_discards_low_bits() {
+        let a = BigUint::from(0b1011_0110u64);
+        assert_eq!(a.shr_bits(3).to_u64(), Some(0b1_0110));
+        assert!(a.shr_bits(64).is_zero());
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        let a = BigUint::from_limbs(vec![0xdead_beef, 0xcafe, 7]);
+        for bits in [0usize, 1, 13, 63, 64, 65, 130] {
+            assert_eq!(a.shl_bits(bits).shr_bits(bits), a, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn low_bits_is_mod_power_of_two() {
+        let a = BigUint::from_limbs(vec![u64::MAX, 0b101]);
+        assert_eq!(a.low_bits(64).limbs(), &[u64::MAX]);
+        assert_eq!(a.low_bits(65).limbs(), &[u64::MAX, 1]);
+        assert_eq!(a.low_bits(3).to_u64(), Some(7));
+        assert_eq!(a.low_bits(200), a);
+    }
+
+    #[test]
+    fn shl_equals_mul_by_power_of_two() {
+        let a = BigUint::from_limbs(vec![123, 456]);
+        assert_eq!(a.shl_bits(5), a.mul_u64(32));
+    }
+}

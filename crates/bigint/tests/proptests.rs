@@ -1,0 +1,153 @@
+//! Property-based tests for `pp-bigint`: algebraic laws, cross-validation
+//! against native `u128` arithmetic, and roundtrips.
+
+use pp_bigint::{BigInt, BigUint};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary BigUint of up to 6 limbs.
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..6).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy: a non-zero BigUint of up to 4 limbs.
+fn arb_nonzero() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 1..4)
+        .prop_map(BigUint::from_limbs)
+        .prop_filter("non-zero", |v| !v.is_zero())
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let got = &BigUint::from(a) + &BigUint::from(b);
+        prop_assert_eq!(got.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let got = &BigUint::from(a) * &BigUint::from(b);
+        prop_assert_eq!(got.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1..=u128::MAX) {
+        let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b)).unwrap();
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn add_commutative(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_biguint(), b in arb_nonzero()) {
+        let (q, r) = a.div_rem(&b).unwrap();
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_biguint()) {
+        let s = a.to_decimal();
+        prop_assert_eq!(BigUint::from_decimal_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_biguint()) {
+        let s = a.to_hex();
+        prop_assert_eq!(BigUint::from_hex_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_bytes_le(&a.to_bytes_le()), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_biguint(), bits in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(bits).shr_bits(bits), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_nonzero(), b in arb_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem_ref(&g).unwrap().is_zero());
+        prop_assert!(b.rem_ref(&g).unwrap().is_zero());
+    }
+
+    #[test]
+    fn gcd_lcm_product(a in any::<u64>().prop_filter("nz", |&x| x > 0),
+                       b in any::<u64>().prop_filter("nz", |&x| x > 0)) {
+        let (a, b) = (BigUint::from(a), BigUint::from(b));
+        let g = a.gcd(&b);
+        let l = a.lcm(&b);
+        prop_assert_eq!(&g * &l, &a * &b);
+    }
+
+    #[test]
+    fn modpow_matches_u128_ladder(base in any::<u64>(), exp in 0u32..64, m in 2u64..) {
+        let got = BigUint::from(base).modpow(&BigUint::from(exp as u64), &BigUint::from(m));
+        let mut want: u128 = 1;
+        for _ in 0..exp {
+            want = want * (base % m) as u128 % m as u128;
+        }
+        prop_assert_eq!(got.to_u128(), Some(want));
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in 1u64.., m in 3u64..) {
+        let (a, m) = (BigUint::from(a), BigUint::from(m));
+        if let Ok(inv) = a.modinv(&m) {
+            prop_assert!(a.mulmod(&inv, &m).unwrap().is_one());
+        } else {
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!((&ba + &bb).to_i128(), Some(a as i128 + b as i128));
+        prop_assert_eq!((&ba - &bb).to_i128(), Some(a as i128 - b as i128));
+        prop_assert_eq!((&ba * &bb).to_i128(), Some(a as i128 * b as i128));
+    }
+
+    #[test]
+    fn rem_euclid_in_range(a in any::<i64>(), m in 1u64..) {
+        let r = BigInt::from(a).rem_euclid_biguint(&BigUint::from(m));
+        prop_assert!(r < BigUint::from(m));
+        // (a - r) divisible by m
+        let diff = &BigInt::from(a) - &BigInt::from_biguint(r);
+        prop_assert!(diff.magnitude().rem_ref(&BigUint::from(m)).unwrap().is_zero());
+    }
+
+    #[test]
+    fn low_bits_matches_mask(a in any::<u128>(), bits in 0usize..128) {
+        let got = BigUint::from(a).low_bits(bits);
+        let want = if bits >= 128 { a } else { a & ((1u128 << bits) - 1) };
+        prop_assert_eq!(got.to_u128(), Some(want));
+    }
+}

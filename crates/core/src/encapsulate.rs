@@ -1,0 +1,252 @@
+//! Operation encapsulation (paper Sec. IV-B): merge adjacent primitive
+//! layers of the same type into one stage each, yielding alternating
+//! linear / non-linear pipelined stages.
+//!
+//! The two rejected extremes the paper discusses — one stage per
+//! primitive layer (serialization overhead) and one stage for everything
+//! (breaks privacy) — are reproduced as configurations in the `pp-bench`
+//! ablation `abl_encapsulation`.
+
+use crate::CoreError;
+use pp_nn::scaling::{ScaledModel, ScaledOp};
+use pp_tensor::Shape;
+
+/// Whether a stage runs on the model provider (linear, homomorphic) or
+/// the data provider (non-linear, on decrypted permuted values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageRole {
+    Linear,
+    NonLinear,
+}
+
+/// One merged primitive layer = one pipeline stage.
+#[derive(Clone, Debug)]
+pub struct MergedStage {
+    pub role: StageRole,
+    /// The scaled primitive ops executed by this stage, in order.
+    pub ops: Vec<ScaledOp>,
+    /// Input tensor shape of the stage.
+    pub input_shape: Shape,
+    /// Output tensor shape of the stage.
+    pub output_shape: Shape,
+}
+
+/// Output shape of one scaled op.
+pub(crate) fn op_output_shape(op: &ScaledOp, input: &Shape) -> Result<Shape, CoreError> {
+    match op {
+        ScaledOp::Conv2d { spec, .. } => spec
+            .output_shape(input)
+            .map_err(|e| CoreError::Model(e.to_string())),
+        ScaledOp::Dense { weights, .. } => {
+            let dims = weights.shape().dims();
+            if input.len() != dims[1] {
+                return Err(CoreError::Model(format!(
+                    "dense expects {} inputs, got {input}",
+                    dims[1]
+                )));
+            }
+            Ok(Shape::vector(dims[0]))
+        }
+        ScaledOp::Affine { .. }
+        | ScaledOp::ScaleMul { .. }
+        | ScaledOp::ReLU { .. }
+        | ScaledOp::Sigmoid { .. }
+        | ScaledOp::SoftMax { .. } => Ok(input.clone()),
+        ScaledOp::SumPool { window, stride } => pp_tensor::ops::pool_output_shape(input, *window, *stride)
+            .map_err(|e| CoreError::Model(e.to_string())),
+        ScaledOp::MaxPool { .. } => Err(CoreError::Model(
+            "MaxPool cannot run under obfuscation; build the model with \
+             stride-2 convolutions instead (zoo::vgg_streamable, paper Sec. III-C / [62])"
+                .into(),
+        )),
+        ScaledOp::Flatten => Ok(Shape::vector(input.len())),
+    }
+}
+
+/// Encapsulates a scaled model into alternating merged stages,
+/// validating the protocol's structural assumptions: the network starts
+/// with a linear primitive, ends with a non-linear one, contains no
+/// mid-network MaxPool, and uses SoftMax only in the final stage
+/// (obfuscation is skipped there — Fig. 3, last round).
+pub fn encapsulate(model: &ScaledModel) -> Result<Vec<MergedStage>, CoreError> {
+    encapsulate_with(model, true)
+}
+
+/// As [`encapsulate`], with merging controllable: `merge = false` gives
+/// one stage per primitive layer — the paper's rejected "each primitive
+/// layer into a single stage" extreme, kept for the encapsulation
+/// ablation bench. Consecutive same-type primitives then pay an extra
+/// serialization hop each (and, across linear stages, an extra
+/// obfuscation round trip is *not* inserted: adjacent linear stages
+/// belong to the same provider, so the obfuscation cadence is
+/// unchanged — only the stage/serialization structure differs).
+pub fn encapsulate_with(model: &ScaledModel, merge: bool) -> Result<Vec<MergedStage>, CoreError> {
+    let ops = model.ops();
+    if ops.is_empty() {
+        return Err(CoreError::Model("empty model".into()));
+    }
+    let role_of = |op: &ScaledOp| {
+        if op.is_linear() {
+            StageRole::Linear
+        } else {
+            StageRole::NonLinear
+        }
+    };
+
+    let mut stages: Vec<MergedStage> = Vec::new();
+    let mut shape = model.input_shape().clone();
+    for op in ops {
+        let out_shape = op_output_shape(op, &shape)?;
+        let role = role_of(op);
+        match stages.last_mut() {
+            Some(stage) if merge && stage.role == role => {
+                stage.ops.push(op.clone());
+                stage.output_shape = out_shape.clone();
+            }
+            _ => stages.push(MergedStage {
+                role,
+                ops: vec![op.clone()],
+                input_shape: shape.clone(),
+                output_shape: out_shape.clone(),
+            }),
+        }
+        shape = out_shape;
+    }
+
+    // Structural validation.
+    if stages.first().map(|s| s.role) != Some(StageRole::Linear) {
+        return Err(CoreError::Model(
+            "protocol requires the network to start with a linear layer (Sec. III-A)".into(),
+        ));
+    }
+    if stages.last().map(|s| s.role) != Some(StageRole::NonLinear) {
+        return Err(CoreError::Model(
+            "protocol requires the network to end with a non-linear layer (Sec. III-A)".into(),
+        ));
+    }
+    let last = stages.len() - 1;
+    for (i, stage) in stages.iter().enumerate() {
+        if i < last && stage.ops.iter().any(|op| matches!(op, ScaledOp::SoftMax { .. })) {
+            return Err(CoreError::Model(
+                "SoftMax is only supported in the final stage (it does not commute with \
+                 obfuscation, Sec. III-C)"
+                    .into(),
+            ));
+        }
+    }
+    Ok(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_nn::{zoo, ScaledModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scaled(model: pp_nn::Model) -> ScaledModel {
+        ScaledModel::from_model(&model, 100)
+    }
+
+    #[test]
+    fn stages_alternate_roles() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = scaled(zoo::mnist3_2conv2fc(&mut rng).unwrap());
+        let stages = encapsulate(&m).unwrap();
+        for pair in stages.windows(2) {
+            assert_ne!(pair[0].role, pair[1].role, "adjacent stages share a role");
+        }
+        assert_eq!(stages.first().unwrap().role, StageRole::Linear);
+        assert_eq!(stages.last().unwrap().role, StageRole::NonLinear);
+    }
+
+    #[test]
+    fn mnist3_stage_structure() {
+        // Conv ReLU Conv ReLU Flatten Dense ReLU Dense SoftMax →
+        // L[conv] N[relu] L[conv] N[relu] L[flatten,dense] N[relu]
+        // L[dense] N[softmax] = 8 stages.
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = scaled(zoo::mnist3_2conv2fc(&mut rng).unwrap());
+        let stages = encapsulate(&m).unwrap();
+        assert_eq!(stages.len(), 8);
+        assert_eq!(stages[4].ops.len(), 2, "flatten merges with dense");
+    }
+
+    #[test]
+    fn shapes_chain_correctly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = scaled(zoo::mnist2_1conv2fc(&mut rng).unwrap());
+        let stages = encapsulate(&m).unwrap();
+        assert_eq!(stages[0].input_shape.dims(), &[1, 28, 28]);
+        assert_eq!(stages[0].output_shape.dims(), &[8, 14, 14]);
+        for pair in stages.windows(2) {
+            assert_eq!(pair[0].output_shape, pair[1].input_shape);
+        }
+        assert_eq!(stages.last().unwrap().output_shape.dims(), &[10]);
+    }
+
+    #[test]
+    fn mixed_layer_splits_between_stages() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = pp_nn::Model::new(
+            "mixed",
+            vec![3],
+            vec![
+                zoo::dense_layer(&mut rng, 3, 4),
+                pp_nn::Layer::ScaledSigmoid { alpha: 0.5 },
+                zoo::dense_layer(&mut rng, 4, 2),
+                pp_nn::Layer::SoftMax,
+            ],
+        )
+        .unwrap();
+        let stages = encapsulate(&scaled(model)).unwrap();
+        // L[dense, scale] N[sigmoid] L[dense] N[softmax]
+        assert_eq!(stages.len(), 4);
+        assert_eq!(stages[0].ops.len(), 2, "dense merges with the sigmoid's linear half");
+    }
+
+    #[test]
+    fn maxpool_rejected_with_hint() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = scaled(zoo::vgg("v", 13, 32, &mut rng).unwrap());
+        let err = encapsulate(&m).unwrap_err();
+        assert!(err.to_string().contains("vgg_streamable"), "{err}");
+    }
+
+    #[test]
+    fn streamable_vgg_encapsulates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = scaled(zoo::vgg_streamable("v", 13, 32, &mut rng).unwrap());
+        let stages = encapsulate(&m).unwrap();
+        assert!(stages.len() >= 20, "VGG13 should produce many stages, got {}", stages.len());
+        assert_eq!(stages.last().unwrap().output_shape.dims(), &[10]);
+    }
+
+    #[test]
+    fn nonlinear_first_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = pp_nn::Model::new(
+            "bad",
+            vec![4],
+            vec![
+                pp_nn::Layer::ReLU,
+                zoo::dense_layer(&mut rng, 4, 2),
+                pp_nn::Layer::SoftMax,
+            ],
+        )
+        .unwrap();
+        assert!(encapsulate(&scaled(model)).is_err());
+    }
+
+    #[test]
+    fn linear_last_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = pp_nn::Model::new(
+            "bad",
+            vec![4],
+            vec![zoo::dense_layer(&mut rng, 4, 2)],
+        )
+        .unwrap();
+        assert!(encapsulate(&scaled(model)).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Wire messages exchanged between pipeline stages (and, for the
+//! cross-provider hops, between the model and data providers' servers).
+
+use pp_stream_runtime::{Decoder, Encoder, StreamError, WireDecode, WireEncode};
+
+/// A tensor of Paillier ciphertexts in flight. Everything that crosses
+/// the provider boundary is this message — never plaintext values
+/// (paper Sec. II-C security guarantee, asserted by integration tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncTensorMsg {
+    /// Request sequence number (pipelining bookkeeping).
+    pub seq: u64,
+    /// Tensor shape (the only metadata the threat model concedes).
+    pub shape: Vec<u64>,
+    /// Whether element positions are currently permuted.
+    pub obfuscated: bool,
+    /// Big-endian ciphertext bytes, one per element.
+    pub cts: Vec<Vec<u8>>,
+}
+
+impl WireEncode for EncTensorMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::EncTensor as u8);
+        enc.put_u64(self.seq);
+        self.shape.encode(enc);
+        enc.put_u8(self.obfuscated as u8);
+        self.cts.encode(enc);
+    }
+}
+
+impl WireDecode for EncTensorMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::EncTensor)?;
+        Ok(EncTensorMsg {
+            seq: dec.get_u64()?,
+            shape: Vec::<u64>::decode(dec)?,
+            obfuscated: dec.get_u8()? != 0,
+            cts: Vec::<Vec<u8>>::decode(dec)?,
+        })
+    }
+}
+
+/// A plaintext scaled tensor — exists only *inside* the data provider
+/// (source → encrypt stage, and the final stage → sink).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlainTensorMsg {
+    pub seq: u64,
+    pub shape: Vec<u64>,
+    /// Scaled integer values (`i128`: pre-rescale linear outputs can
+    /// exceed 64 bits).
+    pub values: Vec<i128>,
+}
+
+impl WireEncode for PlainTensorMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::PlainTensor as u8);
+        enc.put_u64(self.seq);
+        self.shape.encode(enc);
+        self.values.encode(enc);
+    }
+}
+
+impl WireDecode for PlainTensorMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::PlainTensor)?;
+        Ok(PlainTensorMsg {
+            seq: dec.get_u64()?,
+            shape: Vec::<u64>::decode(dec)?,
+            values: Vec::<i128>::decode(dec)?,
+        })
+    }
+}
+
+/// Message type tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgTag {
+    EncTensor = 1,
+    PlainTensor = 2,
+}
+
+/// Peeks the tag byte of a frame without consuming the decoder.
+pub fn peek_tag(frame: &bytes::Bytes) -> Option<MsgTag> {
+    match frame.first() {
+        Some(1) => Some(MsgTag::EncTensor),
+        Some(2) => Some(MsgTag::PlainTensor),
+        _ => None,
+    }
+}
+
+fn expect_tag(dec: &mut Decoder, want: MsgTag) -> Result<(), StreamError> {
+    let got = dec.get_u8()?;
+    if got != want as u8 {
+        return Err(StreamError::Decode(format!(
+            "expected message tag {}, got {got}",
+            want as u8
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_stream_runtime::wire::{from_frame, to_frame};
+
+    #[test]
+    fn enc_tensor_roundtrip() {
+        let msg = EncTensorMsg {
+            seq: 42,
+            shape: vec![2, 3],
+            obfuscated: true,
+            cts: vec![vec![1, 2, 3], vec![], vec![255; 64], vec![0], vec![9], vec![8, 7]],
+        };
+        let back: EncTensorMsg = from_frame(to_frame(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn plain_tensor_roundtrip() {
+        let msg = PlainTensorMsg {
+            seq: 7,
+            shape: vec![4],
+            values: vec![-1, 0, i128::MAX, i128::MIN],
+        };
+        let back: PlainTensorMsg = from_frame(to_frame(&msg)).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn tag_mismatch_rejected() {
+        let enc = to_frame(&PlainTensorMsg { seq: 0, shape: vec![], values: vec![] });
+        let res: Result<EncTensorMsg, _> = from_frame(enc);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn peek_tag_identifies_frames() {
+        let enc = to_frame(&EncTensorMsg { seq: 0, shape: vec![], obfuscated: false, cts: vec![] });
+        assert_eq!(peek_tag(&enc), Some(MsgTag::EncTensor));
+        let plain = to_frame(&PlainTensorMsg { seq: 0, shape: vec![], values: vec![] });
+        assert_eq!(peek_tag(&plain), Some(MsgTag::PlainTensor));
+        assert_eq!(peek_tag(&bytes::Bytes::from_static(&[99])), None);
+    }
+}

@@ -1,0 +1,737 @@
+//! Stage executors implementing the collaborative workflow of paper
+//! Fig. 3 / Fig. 4:
+//!
+//! * [`EncryptStage`] — data provider: scale + encrypt the raw input
+//!   (Step 1.1);
+//! * [`LinearStage`] — model provider: inverse obfuscation (Steps 2.5 /
+//!   3.2), homomorphic linear operations (1.3 / 2.6 / 3.3), obfuscation
+//!   (1.4 / 2.7; skipped in the last round, 3.4);
+//! * [`NonLinearStage`] — data provider: decryption (2.1 / 3.5),
+//!   non-linear operations on permuted values (2.2 / 3.6), re-encryption
+//!   (2.3) — or, in the final round, the cleartext inference result (3.7).
+//!
+//! Tensor partitioning (Sec. IV-D) is implemented here as well: each
+//! worker-thread task is *sent* (serialized + deserialized, byte-counted)
+//! either the whole input tensor (no partitioning: one task per output
+//! element), the whole tensor once per thread (output partitioning), or
+//! only the receptive-field sub-tensor (input + output partitioning,
+//! convolutions only).
+
+use crate::encapsulate::{MergedStage, StageRole};
+use crate::encctx::EncCtx;
+use crate::messages::{EncTensorMsg, PlainTensorMsg};
+use parking_lot::Mutex;
+use pp_nn::activation::sigmoid_scalar;
+use pp_nn::scaling::{div_round, ScaledOp};
+use pp_obfuscate::Permutation;
+use pp_paillier::{Ciphertext, Keypair, PublicKey};
+use pp_stream_runtime::WorkerPool;
+use pp_tensor::ops::{
+    conv2d_range, conv_input_indices_for_range, fully_connected_range,
+    pool_input_indices_for_range, sum_pool2d_range,
+};
+use pp_tensor::LinearAlgebra;
+use pp_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Permutations drawn by linear stages, awaiting inversion by the next
+/// linear stage — shared state within the model provider. Keyed by
+/// `(request seq, linear stage index)`.
+#[derive(Default)]
+pub struct PermStore {
+    map: Mutex<HashMap<(u64, usize), Permutation>>,
+}
+
+impl PermStore {
+    fn put(&self, seq: u64, linear_idx: usize, perm: Permutation) {
+        self.map.lock().insert((seq, linear_idx), perm);
+    }
+    fn take(&self, seq: u64, linear_idx: usize) -> Option<Permutation> {
+        self.map.lock().remove(&(seq, linear_idx))
+    }
+}
+
+/// SplitMix64 — deterministic seed derivation for per-(stage, request)
+/// randomness.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn shape_to_wire(shape: &Shape) -> Vec<u64> {
+    shape.dims().iter().map(|&d| d as u64).collect()
+}
+
+/// Serializes a slice of ciphertexts (the "send" half of a worker task).
+fn cts_to_bytes(cts: &[Ciphertext]) -> Vec<Vec<u8>> {
+    cts.iter().map(Ciphertext::to_bytes).collect()
+}
+
+/// Data provider: scales are already applied by the session; this stage
+/// encrypts every element under the data provider's public key.
+pub struct EncryptStage {
+    pub pk: PublicKey,
+    pub seed: u64,
+}
+
+impl EncryptStage {
+    /// Encrypts a plaintext scaled tensor (Step 1.1 + 1.2).
+    pub fn process(&self, msg: PlainTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
+        let pk = self.pk.clone();
+        let values: Arc<Vec<i128>> = Arc::new(msg.values);
+        let seed = mix(self.seed ^ msg.seq.wrapping_mul(0x517c_c1b7));
+        let n = values.len();
+        let values2 = Arc::clone(&values);
+        let cts: Vec<Vec<u8>> = pool.map_ranges(n, move |r| {
+            let mut rng = StdRng::seed_from_u64(mix(seed ^ r.start as u64));
+            r.map(|i| {
+                let v = i64::try_from(values2[i]).expect("scaled input fits i64");
+                pk.encrypt_i64(v, &mut rng).to_bytes()
+            })
+            .collect()
+        });
+        EncTensorMsg { seq: msg.seq, shape: msg.shape, obfuscated: false, cts }
+    }
+}
+
+/// How a linear stage distributes work to its threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// One task per output element, whole input tensor shipped per task
+    /// (the paper's "without tensor partitioning" baseline).
+    None,
+    /// One task per thread chunk; whole input for dense layers (output
+    /// partitioning), receptive-field sub-tensor for convolutions (input
+    /// + output partitioning).
+    Partitioned,
+}
+
+/// Model provider: homomorphic linear operations with obfuscation
+/// management.
+pub struct LinearStage {
+    pub pk: PublicKey,
+    pub stage: MergedStage,
+    /// Index among linear stages (0-based).
+    pub linear_idx: usize,
+    /// First linear stage receives non-obfuscated input (Step 1.2).
+    pub is_first: bool,
+    /// Last linear stage sends without obfuscation (Step 3.4).
+    pub is_last: bool,
+    pub perms: Arc<PermStore>,
+    pub mode: PartitionMode,
+    pub seed: u64,
+    /// Bytes shipped to worker threads (the Sec. IV-D communication).
+    pub intra_bytes: Arc<AtomicU64>,
+}
+
+impl LinearStage {
+    /// Full linear-stage round: inverse obfuscation → linear ops →
+    /// obfuscation.
+    pub fn process(&self, msg: EncTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
+        assert_eq!(self.stage.role, StageRole::Linear, "misconfigured stage");
+        let seq = msg.seq;
+        let mut cts: Vec<Ciphertext> =
+            msg.cts.iter().map(|b| Ciphertext::from_bytes(b)).collect();
+
+        // Inverse obfuscation (Steps 2.5 / 3.2).
+        if !self.is_first {
+            let perm = self
+                .perms
+                .take(seq, self.linear_idx - 1)
+                .expect("previous linear stage stored a permutation");
+            cts = perm.invert(&cts).expect("permutation length matches");
+        }
+
+        // Homomorphic linear ops.
+        let mut shape = self.stage.input_shape.clone();
+        let mut tensor = Tensor::from_vec(shape.clone(), cts).expect("shape matches");
+        for op in &self.stage.ops {
+            let out_shape =
+                crate::encapsulate::op_output_shape(op, &shape).expect("validated at build");
+            tensor = self.run_op(op, tensor, &out_shape, pool);
+            shape = out_shape;
+        }
+
+        // Obfuscation (Steps 1.4 / 2.7), skipped in the last round (3.4).
+        let mut out = tensor.into_data();
+        let obfuscated = if self.is_last {
+            false
+        } else {
+            let mut rng =
+                StdRng::seed_from_u64(mix(self.seed ^ mix(seq) ^ self.linear_idx as u64));
+            let perm = Permutation::random(out.len(), &mut rng);
+            out = perm.apply(&out).expect("lengths match");
+            self.perms.put(seq, self.linear_idx, perm);
+            true
+        };
+
+        EncTensorMsg {
+            seq,
+            shape: shape_to_wire(&shape),
+            obfuscated,
+            cts: cts_to_bytes(&out),
+        }
+    }
+
+    /// Executes one linear op with the configured partitioning mode.
+    fn run_op(
+        &self,
+        op: &ScaledOp,
+        input: Tensor<Ciphertext>,
+        out_shape: &Shape,
+        pool: &WorkerPool,
+    ) -> Tensor<Ciphertext> {
+        let pk = self.pk.clone();
+        let intra = Arc::clone(&self.intra_bytes);
+        match op {
+            ScaledOp::Flatten => input.flatten(),
+            ScaledOp::ScaleMul { alpha } => {
+                // Element-wise: threads receive exactly their slice.
+                let alpha = *alpha;
+                let data = Arc::new(input.into_data());
+                let n = data.len();
+                let out = pool.map_ranges(n, move |r| {
+                    let ctx = EncCtx { pk: &pk };
+                    let sub = cts_to_bytes(&data[r.clone()]);
+                    intra.fetch_add(
+                        sub.iter().map(|b| b.len() as u64).sum::<u64>(),
+                        Ordering::Relaxed,
+                    );
+                    sub.iter()
+                        .map(|b| ctx.mul(alpha, &Ciphertext::from_bytes(b)))
+                        .collect::<Vec<_>>()
+                });
+                Tensor::from_vec(out_shape.clone(), out).expect("sized output")
+            }
+            ScaledOp::Affine { scale, shift } => {
+                let scale = scale.clone();
+                let shift = shift.clone();
+                let channels = scale.len();
+                let per_channel = input.len() / channels;
+                let data = Arc::new(input.into_data());
+                let n = data.len();
+                let out = pool.map_ranges(n, move |r| {
+                    let ctx = EncCtx { pk: &pk };
+                    let sub = cts_to_bytes(&data[r.clone()]);
+                    intra.fetch_add(
+                        sub.iter().map(|b| b.len() as u64).sum::<u64>(),
+                        Ordering::Relaxed,
+                    );
+                    r.zip(sub.iter())
+                        .map(|(i, b)| {
+                            let c = i / per_channel;
+                            let x = Ciphertext::from_bytes(b);
+                            ctx.add(&ctx.mul(scale[c], &x), &ctx.constant(shift[c]))
+                        })
+                        .collect::<Vec<_>>()
+                });
+                Tensor::from_vec(out_shape.clone(), out).expect("sized output")
+            }
+            ScaledOp::Dense { weights, bias } => {
+                let weights = Arc::new(weights.clone());
+                let bias = Arc::new(bias.clone());
+                // Simulated send: serialize the whole input once.
+                let input_bytes = Arc::new(cts_to_bytes(input.data()));
+                let in_shape = input.shape().clone();
+                let out_f = out_shape.len();
+                let mode = self.mode;
+                let total_in: u64 = input_bytes.iter().map(|b| b.len() as u64).sum();
+                let out = pool.map_ranges(out_f, move |r| {
+                    let ctx = EncCtx { pk: &pk };
+                    match mode {
+                        PartitionMode::Partitioned => {
+                            // Whole input shipped once per chunk (output
+                            // partitioning), then the whole range computed.
+                            intra.fetch_add(total_in, Ordering::Relaxed);
+                            let inp = deserialize_tensor(&input_bytes, &in_shape);
+                            fully_connected_range(&ctx, &inp, &weights, &bias, r)
+                                .expect("validated shapes")
+                        }
+                        PartitionMode::None => {
+                            // Whole input shipped per output element.
+                            let mut out = Vec::with_capacity(r.len());
+                            for j in r {
+                                intra.fetch_add(total_in, Ordering::Relaxed);
+                                let inp = deserialize_tensor(&input_bytes, &in_shape);
+                                out.extend(
+                                    fully_connected_range(&ctx, &inp, &weights, &bias, j..j + 1)
+                                        .expect("validated shapes"),
+                                );
+                            }
+                            out
+                        }
+                    }
+                });
+                Tensor::from_vec(out_shape.clone(), out).expect("sized output")
+            }
+            ScaledOp::Conv2d { spec, weights, bias } => {
+                let spec = spec.clone();
+                let weights = Arc::new(weights.clone());
+                let bias = Arc::new(bias.clone());
+                let input_bytes = Arc::new(cts_to_bytes(input.data()));
+                let in_shape = input.shape().clone();
+                let n_out = out_shape.len();
+                let mode = self.mode;
+                let total_in: u64 = input_bytes.iter().map(|b| b.len() as u64).sum();
+                let out = pool.map_ranges(n_out, move |r| {
+                    let ctx = EncCtx { pk: &pk };
+                    match mode {
+                        PartitionMode::Partitioned => {
+                            // Input + output partitioning: ship only the
+                            // receptive-field sub-tensor of this range.
+                            let needed =
+                                conv_input_indices_for_range(&in_shape, &spec, r.clone())
+                                    .expect("validated shapes");
+                            let sub_bytes: u64 =
+                                needed.iter().map(|&i| input_bytes[i].len() as u64).sum();
+                            intra.fetch_add(sub_bytes, Ordering::Relaxed);
+                            let inp =
+                                deserialize_sparse(&input_bytes, &needed, &in_shape);
+                            conv2d_range(&ctx, &inp, &weights, &bias, &spec, r)
+                                .expect("validated shapes")
+                        }
+                        PartitionMode::None => {
+                            let mut out = Vec::with_capacity(r.len());
+                            for e in r {
+                                intra.fetch_add(total_in, Ordering::Relaxed);
+                                let inp = deserialize_tensor(&input_bytes, &in_shape);
+                                out.extend(
+                                    conv2d_range(&ctx, &inp, &weights, &bias, &spec, e..e + 1)
+                                        .expect("validated shapes"),
+                                );
+                            }
+                            out
+                        }
+                    }
+                });
+                Tensor::from_vec(out_shape.clone(), out).expect("sized output")
+            }
+            ScaledOp::SumPool { window, stride } => {
+                let (window, stride) = (*window, *stride);
+                let input_bytes = Arc::new(cts_to_bytes(input.data()));
+                let in_shape = input.shape().clone();
+                let n_out = out_shape.len();
+                let mode = self.mode;
+                let total_in: u64 = input_bytes.iter().map(|b| b.len() as u64).sum();
+                let out = pool.map_ranges(n_out, move |r| {
+                    let ctx = EncCtx { pk: &pk };
+                    match mode {
+                        PartitionMode::Partitioned => {
+                            let needed = pool_input_indices_for_range(
+                                &in_shape, window, stride, r.clone(),
+                            )
+                            .expect("validated shapes");
+                            let sub_bytes: u64 =
+                                needed.iter().map(|&i| input_bytes[i].len() as u64).sum();
+                            intra.fetch_add(sub_bytes, Ordering::Relaxed);
+                            let inp = deserialize_sparse(&input_bytes, &needed, &in_shape);
+                            sum_pool2d_range(&ctx, &inp, window, stride, r)
+                                .expect("validated shapes")
+                        }
+                        PartitionMode::None => {
+                            let mut out = Vec::with_capacity(r.len());
+                            for e in r {
+                                intra.fetch_add(total_in, Ordering::Relaxed);
+                                let inp = deserialize_tensor(&input_bytes, &in_shape);
+                                out.extend(
+                                    sum_pool2d_range(&ctx, &inp, window, stride, e..e + 1)
+                                        .expect("validated shapes"),
+                                );
+                            }
+                            out
+                        }
+                    }
+                });
+                Tensor::from_vec(out_shape.clone(), out).expect("sized output")
+            }
+            // Non-linear ops never reach a linear stage.
+            ScaledOp::ReLU { .. }
+            | ScaledOp::Sigmoid { .. }
+            | ScaledOp::SoftMax { .. }
+            | ScaledOp::MaxPool { .. } => unreachable!("non-linear op in linear stage"),
+        }
+    }
+}
+
+/// Rebuilds a full ciphertext tensor from serialized bytes (the "receive"
+/// half of a worker task).
+fn deserialize_tensor(bytes: &[Vec<u8>], shape: &Shape) -> Tensor<Ciphertext> {
+    let cts: Vec<Ciphertext> = bytes.iter().map(|b| Ciphertext::from_bytes(b)).collect();
+    Tensor::from_vec(shape.clone(), cts).expect("shape matches")
+}
+
+/// Rebuilds a sparse tensor: only `indices` are real; the rest are cheap
+/// placeholders that the range kernel never reads.
+fn deserialize_sparse(
+    bytes: &[Vec<u8>],
+    indices: &std::collections::BTreeSet<usize>,
+    shape: &Shape,
+) -> Tensor<Ciphertext> {
+    let placeholder = Ciphertext::new(pp_bigint::BigUint::zero());
+    let mut cts = vec![placeholder; bytes.len()];
+    for &i in indices {
+        cts[i] = Ciphertext::from_bytes(&bytes[i]);
+    }
+    Tensor::from_vec(shape.clone(), cts).expect("shape matches")
+}
+
+/// Data provider: decrypt, apply non-linear ops (on permuted values),
+/// re-encrypt — or emit the cleartext result in the final round.
+pub struct NonLinearStage {
+    pub keypair: Keypair,
+    pub stage: MergedStage,
+    pub factor: i64,
+    /// Final stage: no re-encryption, output is the inference result.
+    pub is_last: bool,
+    pub seed: u64,
+}
+
+impl NonLinearStage {
+    /// Decrypt → non-linear ops → re-encrypt (Steps 2.1–2.3).
+    /// Only valid for non-final stages.
+    pub fn process(&self, msg: EncTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
+        assert!(!self.is_last, "final stage must use process_final");
+        let values = self.decrypt_and_apply(&msg, pool);
+        // Re-encrypt at scale F (fits i64 after rescaling).
+        let pk = self.keypair.public();
+        let seed = mix(self.seed ^ mix(msg.seq).rotate_left(17));
+        let values = Arc::new(values);
+        let n = values.len();
+        let values2 = Arc::clone(&values);
+        let cts = pool.map_ranges(n, move |r| {
+            let mut rng = StdRng::seed_from_u64(mix(seed ^ r.start as u64));
+            r.map(|i| {
+                let v = i64::try_from(values2[i]).expect("rescaled activation fits i64");
+                pk.encrypt_i64(v, &mut rng).to_bytes()
+            })
+            .collect::<Vec<_>>()
+        });
+        EncTensorMsg { seq: msg.seq, shape: msg.shape, obfuscated: msg.obfuscated, cts }
+    }
+
+    /// Final round (Steps 3.5–3.7): decrypt and produce the cleartext
+    /// scaled result — stays at the data provider.
+    pub fn process_final(&self, msg: EncTensorMsg, pool: &WorkerPool) -> PlainTensorMsg {
+        assert!(self.is_last, "non-final stage must use process");
+        assert!(!msg.obfuscated, "final round arrives without obfuscation (Step 3.4)");
+        let values = self.decrypt_and_apply(&msg, pool);
+        PlainTensorMsg { seq: msg.seq, shape: msg.shape, values }
+    }
+
+    fn decrypt_and_apply(&self, msg: &EncTensorMsg, pool: &WorkerPool) -> Vec<i128> {
+        assert_eq!(self.stage.role, StageRole::NonLinear, "misconfigured stage");
+        let sk = self.keypair.private().clone();
+        let bytes: Arc<Vec<Vec<u8>>> = Arc::new(msg.cts.clone());
+        let n = bytes.len();
+        // Decrypt in parallel (Step 2.1).
+        let mut values: Vec<i128> = pool.map_ranges(n, move |r| {
+            r.map(|i| sk.decrypt_i128(&Ciphertext::from_bytes(&bytes[i])))
+                .collect::<Vec<_>>()
+        });
+        // Non-linear ops, element-wise, valid on permuted positions
+        // (Step 2.2). Rescale divisors restore scale F first.
+        for op in &self.stage.ops {
+            match op {
+                ScaledOp::ReLU { rescale } => {
+                    for v in &mut values {
+                        *v = div_round(*v, *rescale).max(0);
+                    }
+                }
+                ScaledOp::Sigmoid { rescale } => {
+                    let f = self.factor as f64;
+                    for v in &mut values {
+                        let x = div_round(*v, *rescale) as f64 / f;
+                        *v = (sigmoid_scalar(x) * f).round() as i128;
+                    }
+                }
+                ScaledOp::SoftMax { rescale } => {
+                    // Monotone: rescale only; probabilities are recovered
+                    // from the scaled logits by the session.
+                    for v in &mut values {
+                        *v = div_round(*v, *rescale);
+                    }
+                }
+                other => unreachable!("op {other:?} in non-linear stage"),
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encapsulate::encapsulate;
+    use pp_nn::{zoo, ScaledModel};
+    use pp_stream_runtime::WorkerPool;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Keypair, WorkerPool) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (Keypair::generate(128, &mut rng), WorkerPool::new(2))
+    }
+
+    fn run_stages(
+        kp: &Keypair,
+        scaled: &ScaledModel,
+        input: &pp_tensor::Tensor<f64>,
+        mode: PartitionMode,
+        pool: &WorkerPool,
+    ) -> Vec<i128> {
+        let stages = encapsulate(scaled).unwrap();
+        let perms = Arc::new(PermStore::default());
+        let intra = Arc::new(AtomicU64::new(0));
+        let n_linear = stages.iter().filter(|s| s.role == StageRole::Linear).count();
+
+        let enc = EncryptStage { pk: kp.public(), seed: 7 };
+        let scaled_in = scaled.scale_input(input);
+        let mut msg = enc.process(
+            PlainTensorMsg {
+                seq: 0,
+                shape: shape_to_wire(input.shape()),
+                values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+            },
+            pool,
+        );
+
+        let mut linear_idx = 0usize;
+        let mut final_values = None;
+        for (i, stage) in stages.iter().enumerate() {
+            match stage.role {
+                StageRole::Linear => {
+                    let exec = LinearStage {
+                        pk: kp.public(),
+                        stage: stage.clone(),
+                        linear_idx,
+                        is_first: linear_idx == 0,
+                        is_last: linear_idx == n_linear - 1,
+                        perms: Arc::clone(&perms),
+                        mode,
+                        seed: 11,
+                        intra_bytes: Arc::clone(&intra),
+                    };
+                    msg = exec.process(msg, pool);
+                    linear_idx += 1;
+                }
+                StageRole::NonLinear => {
+                    let is_last = i == stages.len() - 1;
+                    let exec = NonLinearStage {
+                        keypair: kp.clone(),
+                        stage: stage.clone(),
+                        factor: scaled.factor(),
+                        is_last,
+                        seed: 13,
+                    };
+                    if is_last {
+                        final_values = Some(exec.process_final(msg.clone(), pool).values);
+                    } else {
+                        msg = exec.process(msg, pool);
+                    }
+                }
+            }
+        }
+        final_values.expect("model ends with non-linear stage")
+    }
+
+    #[test]
+    fn full_protocol_matches_scaled_reference() {
+        let (kp, pool) = setup(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = zoo::mlp("m", &[4, 5, 3], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        let input = pp_tensor::Tensor::from_flat(vec![0.5, -0.25, 0.75, 0.1]);
+
+        let got = run_stages(&kp, &scaled, &input, PartitionMode::Partitioned, &pool);
+        let want = scaled.forward_scaled(&scaled.scale_input(&input)).unwrap();
+        assert_eq!(
+            got,
+            want.data().iter().map(|&v| v as i128).collect::<Vec<_>>(),
+            "encrypted pipeline must match the scaled plaintext reference bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn partition_modes_agree_on_results() {
+        let (kp, pool) = setup(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = zoo::small_convnet("c", (1, 5, 5), 2, 3, &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        let input = pp_tensor::Tensor::from_vec(
+            vec![1, 5, 5],
+            (0..25).map(|i| (i % 3) as f64 * 0.3 - 0.3).collect(),
+        )
+        .unwrap();
+        let a = run_stages(&kp, &scaled, &input, PartitionMode::Partitioned, &pool);
+        let b = run_stages(&kp, &scaled, &input, PartitionMode::None, &pool);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partitioning_reduces_intra_stage_bytes() {
+        let (kp, _) = setup(5);
+        let pool = WorkerPool::new(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = zoo::small_convnet("c", (1, 6, 6), 2, 3, &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        let stages = encapsulate(&scaled).unwrap();
+        let conv_stage = stages[0].clone();
+        let input_len = conv_stage.input_shape.len();
+
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let cts: Vec<Vec<u8>> = (0..input_len)
+            .map(|i| kp.public().encrypt_i64(i as i64, &mut rng2).to_bytes())
+            .collect();
+        let msg = EncTensorMsg {
+            seq: 0,
+            shape: shape_to_wire(&conv_stage.input_shape),
+            obfuscated: false,
+            cts,
+        };
+
+        let run = |mode: PartitionMode| {
+            let intra = Arc::new(AtomicU64::new(0));
+            let exec = LinearStage {
+                pk: kp.public(),
+                stage: conv_stage.clone(),
+                linear_idx: 0,
+                is_first: true,
+                is_last: false,
+                perms: Arc::new(PermStore::default()),
+                mode,
+                seed: 1,
+                intra_bytes: Arc::clone(&intra),
+            };
+            let _ = exec.process(msg.clone(), &pool);
+            intra.load(Ordering::Relaxed)
+        };
+        let with = run(PartitionMode::Partitioned);
+        let without = run(PartitionMode::None);
+        assert!(
+            with * 2 < without,
+            "partitioning should cut thread-input bytes: with={with} without={without}"
+        );
+    }
+
+    #[test]
+    fn obfuscation_round_trip_across_linear_stages() {
+        // Two linear stages with a pass-through non-linear stage between:
+        // the second linear stage must see the *original* positions.
+        let (kp, pool) = setup(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = zoo::mlp("m", &[3, 3, 2], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 10);
+        let input = pp_tensor::Tensor::from_flat(vec![1.0, 2.0, 3.0]);
+        let got = run_stages(&kp, &scaled, &input, PartitionMode::Partitioned, &pool);
+        let want = scaled.forward_scaled(&scaled.scale_input(&input)).unwrap();
+        assert_eq!(got, want.data().iter().map(|&v| v as i128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn middle_rounds_are_obfuscated_and_last_is_not() {
+        let (kp, pool) = setup(10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = zoo::mlp("m", &[3, 4, 2], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 10);
+        let stages = encapsulate(&scaled).unwrap();
+        let perms = Arc::new(PermStore::default());
+        let intra = Arc::new(AtomicU64::new(0));
+
+        let enc = EncryptStage { pk: kp.public(), seed: 1 };
+        let scaled_in = scaled.scale_input(&pp_tensor::Tensor::from_flat(vec![0.1, 0.2, 0.3]));
+        let msg0 = enc.process(
+            PlainTensorMsg {
+                seq: 0,
+                shape: vec![3],
+                values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+            },
+            &pool,
+        );
+        assert!(!msg0.obfuscated);
+
+        let first = LinearStage {
+            pk: kp.public(),
+            stage: stages[0].clone(),
+            linear_idx: 0,
+            is_first: true,
+            is_last: false,
+            perms: Arc::clone(&perms),
+            mode: PartitionMode::Partitioned,
+            seed: 2,
+            intra_bytes: Arc::clone(&intra),
+        };
+        let msg1 = first.process(msg0, &pool);
+        assert!(msg1.obfuscated, "intermediate round must be obfuscated (Step 1.4)");
+
+        let nl = NonLinearStage {
+            keypair: kp.clone(),
+            stage: stages[1].clone(),
+            factor: scaled.factor(),
+            is_last: false,
+            seed: 3,
+        };
+        let msg2 = nl.process(msg1, &pool);
+        assert!(msg2.obfuscated, "re-encrypted tensor keeps permuted order");
+
+        let last = LinearStage {
+            pk: kp.public(),
+            stage: stages[2].clone(),
+            linear_idx: 1,
+            is_first: false,
+            is_last: true,
+            perms,
+            mode: PartitionMode::Partitioned,
+            seed: 4,
+            intra_bytes: intra,
+        };
+        let msg3 = last.process(msg2, &pool);
+        assert!(!msg3.obfuscated, "last round sends without obfuscation (Step 3.4)");
+    }
+
+    #[test]
+    fn fresh_permutation_per_request() {
+        let (kp, pool) = setup(12);
+        let stage = MergedStage {
+            role: StageRole::Linear,
+            ops: vec![ScaledOp::ScaleMul { alpha: 1 }],
+            input_shape: Shape::vector(8),
+            output_shape: Shape::vector(8),
+        };
+        let perms = Arc::new(PermStore::default());
+        let exec = LinearStage {
+            pk: kp.public(),
+            stage,
+            linear_idx: 0,
+            is_first: true,
+            is_last: false,
+            perms: Arc::clone(&perms),
+            mode: PartitionMode::Partitioned,
+            seed: 5,
+            intra_bytes: Arc::new(AtomicU64::new(0)),
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let make = |seq: u64, rng: &mut StdRng| EncTensorMsg {
+            seq,
+            shape: vec![8],
+            obfuscated: false,
+            cts: (0..8)
+                .map(|i| kp.public().encrypt_i64(i, rng).to_bytes())
+                .collect(),
+        };
+        let _ = exec.process(make(0, &mut rng), &pool);
+        let _ = exec.process(make(1, &mut rng), &pool);
+        let p0 = perms.take(0, 0).unwrap();
+        let p1 = perms.take(1, 0).unwrap();
+        assert_ne!(
+            p0.forward_indices(),
+            p1.forward_indices(),
+            "permutations must differ across requests/rounds (Sec. III-C)"
+        );
+    }
+}

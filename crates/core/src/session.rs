@@ -1,0 +1,660 @@
+//! The top-level PP-Stream session: key generation, operation
+//! encapsulation, offline profiling, load-balanced resource allocation,
+//! and pipelined streaming inference.
+
+use crate::encapsulate::{encapsulate_with, MergedStage, StageRole};
+use crate::messages::{EncTensorMsg, PlainTensorMsg};
+use crate::protocol::{
+    EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore,
+};
+use crate::CoreError;
+use pp_allocate::{even_allocation, solve, Allocation, LayerLoad, Role, ServerSpec, SolveConfig};
+use pp_nn::scaling::ScaledModel;
+use pp_paillier::Keypair;
+use pp_stream_runtime::wire::{from_frame, to_frame};
+use pp_stream_runtime::{Pipeline, StageSpec, WorkerPool};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Session configuration.
+#[derive(Clone, Debug)]
+pub struct PpStreamConfig {
+    /// Paillier key size in bits. The paper uses 2048 [16]; tests and CI
+    /// benches use smaller keys (every compared variant uses the same
+    /// size, so relative results are unaffected — DESIGN.md §3).
+    pub key_bits: usize,
+    /// The deployment's servers (model-provider servers host linear
+    /// stages, data-provider servers the rest — paper Table III).
+    pub servers: Vec<ServerSpec>,
+    /// Two threads per core when `true` (Eq. 8).
+    pub hyperthreading: bool,
+    /// Solve the ILP (Sec. IV-C); `false` = even split (Exp#3 baseline).
+    pub load_balance: bool,
+    /// Tensor partitioning (Sec. IV-D); `false` = whole-tensor-per-element
+    /// (Exp#4 baseline).
+    pub tensor_partition: bool,
+    /// Inference requests profiled per stage offline (paper uses 100).
+    pub profile_samples: usize,
+    /// In-flight frames per link.
+    pub link_capacity: usize,
+    /// Merge adjacent same-type primitive layers into one stage
+    /// (Sec. IV-B). `false` = one stage per primitive (ablation).
+    pub merge_stages: bool,
+    /// Determinism seed for keys, permutations, and encryption randomness.
+    pub seed: u64,
+}
+
+impl Default for PpStreamConfig {
+    fn default() -> Self {
+        PpStreamConfig {
+            key_bits: 512,
+            servers: vec![
+                ServerSpec { role: Role::Linear, cores: 4 },
+                ServerSpec { role: Role::Linear, cores: 4 },
+                ServerSpec { role: Role::NonLinear, cores: 4 },
+            ],
+            hyperthreading: true,
+            load_balance: true,
+            tensor_partition: true,
+            profile_samples: 2,
+            link_capacity: 4,
+            merge_stages: true,
+            seed: 0x9950_57EA,
+        }
+    }
+}
+
+impl PpStreamConfig {
+    /// A fast configuration for unit tests: tiny key, two small servers.
+    pub fn small_test(key_bits: usize) -> Self {
+        PpStreamConfig {
+            key_bits,
+            servers: vec![
+                ServerSpec { role: Role::Linear, cores: 4 },
+                ServerSpec { role: Role::NonLinear, cores: 4 },
+            ],
+            hyperthreading: false,
+            load_balance: true,
+            tensor_partition: true,
+            profile_samples: 1,
+            link_capacity: 4,
+            merge_stages: true,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome statistics of one streaming run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-request end-to-end latency.
+    pub latencies: Vec<Duration>,
+    /// First-injection → last-arrival wall time.
+    pub makespan: Duration,
+    /// Mean of `latencies`.
+    pub mean_latency: Duration,
+    /// Bytes over each inter-stage link.
+    pub link_bytes: Vec<u64>,
+    /// Bytes shipped to worker threads inside linear stages
+    /// (Sec. IV-D's communication).
+    pub intra_stage_bytes: u64,
+    /// Stage names in pipeline order.
+    pub stage_names: Vec<String>,
+    /// Per-stage busy time.
+    pub stage_busy: Vec<Duration>,
+    /// Threads allocated per stage.
+    pub stage_threads: Vec<usize>,
+}
+
+/// A ready-to-run PP-Stream deployment for one model.
+pub struct PpStream {
+    scaled: ScaledModel,
+    stages: Vec<MergedStage>,
+    keypair: Keypair,
+    config: PpStreamConfig,
+    allocation: Allocation,
+    profile: Vec<f64>,
+}
+
+impl PpStream {
+    /// Builds a session: generates keys, encapsulates the model into
+    /// stages, profiles each stage offline, and solves (or evenly splits)
+    /// the resource allocation.
+    pub fn new(scaled: ScaledModel, config: PpStreamConfig) -> Result<Self, CoreError> {
+        let stages = encapsulate_with(&scaled, config.merge_stages)?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let keypair = Keypair::generate(config.key_bits, &mut rng);
+
+        let mut session = PpStream {
+            scaled,
+            stages,
+            keypair,
+            config,
+            allocation: Allocation { threads: vec![], server_of: vec![], objective: 0.0 },
+            profile: vec![],
+        };
+        session.profile = session.profile_stages()?;
+        session.allocation = session.allocate()?;
+        Ok(session)
+    }
+
+    /// The merged stages (encrypt + alternating linear/non-linear).
+    pub fn stages(&self) -> &[MergedStage] {
+        &self.stages
+    }
+
+    /// The resource allocation in use.
+    pub fn allocation(&self) -> &Allocation {
+        &self.allocation
+    }
+
+    /// The offline profile `T_i` per pipeline stage (seconds).
+    pub fn profile(&self) -> &[f64] {
+        &self.profile
+    }
+
+    /// Offline profiling (Sec. IV-C): run sample inputs through the
+    /// stages sequentially on one thread and average each stage's time.
+    fn profile_stages(&self) -> Result<Vec<f64>, CoreError> {
+        let pool = WorkerPool::new(1);
+        let samples = self.config.profile_samples.max(1);
+        // 1 pipeline stage per merged stage, plus the encrypt stage.
+        let mut times = vec![0.0f64; self.stages.len() + 1];
+        let input_shape = self.scaled.input_shape().clone();
+
+        for s in 0..samples {
+            // Deterministic pseudo-random sample input in [-1, 1].
+            let sample: Vec<f64> = (0..input_shape.len())
+                .map(|i| (((i * 31 + s * 17) % 200) as f64 / 100.0) - 1.0)
+                .collect();
+            let input = Tensor::from_vec(input_shape.clone(), sample)
+                .map_err(|e| CoreError::Model(e.to_string()))?;
+            let execs = self.build_execs(PartitionMode::Partitioned, Arc::new(AtomicU64::new(0)));
+
+            let scaled_in = self.scaled.scale_input(&input);
+            let mut plain = PlainTensorMsg {
+                seq: s as u64,
+                shape: input_shape.dims().iter().map(|&d| d as u64).collect(),
+                values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+            };
+
+            let t0 = Instant::now();
+            let mut msg = execs.encrypt.process(plain.clone(), &pool);
+            times[0] += t0.elapsed().as_secs_f64();
+
+            for (i, exec) in execs.stages.iter().enumerate() {
+                let t0 = Instant::now();
+                match exec {
+                    StageExec::Linear(l) => {
+                        msg = l.process(msg, &pool);
+                    }
+                    StageExec::NonLinear(nl) => {
+                        if nl.is_last {
+                            plain = nl.process_final(msg.clone(), &pool);
+                        } else {
+                            msg = nl.process(msg, &pool);
+                        }
+                    }
+                }
+                times[i + 1] += t0.elapsed().as_secs_f64();
+            }
+            let _ = plain;
+        }
+        for t in &mut times {
+            // Guard against sub-resolution zero times.
+            *t = (*t / samples as f64).max(1e-9);
+        }
+        Ok(times)
+    }
+
+    /// Detailed single-thread profiling for the deployment simulator
+    /// (`crate::simulate`): per-stage wall time, dispatch bytes, and
+    /// outgoing link bytes, measured in the given partition mode.
+    pub fn profile_deployment(
+        &self,
+        mode: PartitionMode,
+    ) -> Result<Vec<crate::simulate::StageProfile>, CoreError> {
+        use crate::simulate::StageProfile;
+        use pp_stream_runtime::wire::to_frame;
+
+        let pool = WorkerPool::new(1);
+        let intra = Arc::new(AtomicU64::new(0));
+        let execs = self.build_execs(mode, Arc::clone(&intra));
+        let input_shape = self.scaled.input_shape().clone();
+        let sample: Vec<f64> = (0..input_shape.len())
+            .map(|i| (((i * 31) % 200) as f64 / 100.0) - 1.0)
+            .collect();
+        let input = Tensor::from_vec(input_shape.clone(), sample)
+            .map_err(|e| CoreError::Model(e.to_string()))?;
+        let scaled_in = self.scaled.scale_input(&input);
+        let plain = PlainTensorMsg {
+            seq: 0,
+            shape: input_shape.dims().iter().map(|&d| d as u64).collect(),
+            values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+        };
+
+        let mut profiles = Vec::with_capacity(self.stages.len() + 1);
+        let t0 = Instant::now();
+        let mut msg = execs.encrypt.process(plain, &pool);
+        profiles.push(StageProfile {
+            wall_1thread: t0.elapsed().as_secs_f64().max(1e-9),
+            dispatch_bytes_1thread: 0, // element-wise encryption
+            link_bytes: to_frame(&msg).len() as u64,
+        });
+
+        for exec in execs.stages.iter() {
+            let before = intra.load(Ordering::Relaxed);
+            let t0 = Instant::now();
+            let link_bytes;
+            match exec {
+                StageExec::Linear(l) => {
+                    msg = l.process(msg, &pool);
+                    link_bytes = to_frame(&msg).len() as u64;
+                }
+                StageExec::NonLinear(nl) => {
+                    if nl.is_last {
+                        let out = nl.process_final(msg.clone(), &pool);
+                        link_bytes = to_frame(&out).len() as u64;
+                    } else {
+                        msg = nl.process(msg, &pool);
+                        link_bytes = to_frame(&msg).len() as u64;
+                    }
+                }
+            }
+            let wall = t0.elapsed().as_secs_f64().max(1e-9);
+            let after = intra.load(Ordering::Relaxed);
+            profiles.push(StageProfile {
+                wall_1thread: wall,
+                dispatch_bytes_1thread: after - before,
+                link_bytes,
+            });
+        }
+        Ok(profiles)
+    }
+
+    /// Re-solves the allocation for a different server set / policy
+    /// without re-profiling. Returns threads per pipeline stage.
+    pub fn allocation_for(
+        &self,
+        servers: &[ServerSpec],
+        load_balance: bool,
+        hyperthreading: bool,
+    ) -> Result<Allocation, CoreError> {
+        let layers: Vec<LayerLoad> = self
+            .pipeline_roles()
+            .iter()
+            .zip(&self.profile)
+            .map(|(&role, &time)| LayerLoad { role, time })
+            .collect();
+        let alloc = if load_balance {
+            solve(
+                &layers,
+                servers,
+                SolveConfig { hyperthreading, node_budget: 2_000_000 },
+            )?
+        } else {
+            even_allocation(&layers, servers, hyperthreading)?
+        };
+        Ok(alloc)
+    }
+
+    /// The scaled model this session serves.
+    pub fn scaled_model(&self) -> &ScaledModel {
+        &self.scaled
+    }
+
+    /// Paillier key size in use.
+    pub fn key_bits(&self) -> usize {
+        self.config.key_bits
+    }
+
+    /// Solves (or evenly splits) the stage → server/thread allocation.
+    fn allocate(&self) -> Result<Allocation, CoreError> {
+        let layers: Vec<LayerLoad> = self
+            .pipeline_roles()
+            .iter()
+            .zip(&self.profile)
+            .map(|(&role, &time)| LayerLoad { role, time })
+            .collect();
+        let alloc = if self.config.load_balance {
+            solve(
+                &layers,
+                &self.config.servers,
+                SolveConfig {
+                    hyperthreading: self.config.hyperthreading,
+                    node_budget: 2_000_000,
+                },
+            )?
+        } else {
+            even_allocation(&layers, &self.config.servers, self.config.hyperthreading)?
+        };
+        Ok(alloc)
+    }
+
+    /// Role of each pipeline stage (index 0 = encrypt stage).
+    fn pipeline_roles(&self) -> Vec<Role> {
+        std::iter::once(Role::NonLinear) // encrypt runs at the data provider
+            .chain(self.stages.iter().map(|s| match s.role {
+                StageRole::Linear => Role::Linear,
+                StageRole::NonLinear => Role::NonLinear,
+            }))
+            .collect()
+    }
+
+    /// Human-readable stage names.
+    fn stage_names(&self) -> Vec<String> {
+        let mut names = vec!["encrypt@data".to_string()];
+        let mut li = 0;
+        let mut ni = 0;
+        for s in &self.stages {
+            match s.role {
+                StageRole::Linear => {
+                    names.push(format!("linear-{li}@model"));
+                    li += 1;
+                }
+                StageRole::NonLinear => {
+                    names.push(format!("nonlinear-{ni}@data"));
+                    ni += 1;
+                }
+            }
+        }
+        names
+    }
+
+    fn build_execs(&self, mode: PartitionMode, intra: Arc<AtomicU64>) -> Execs {
+        let perms = Arc::new(PermStore::default());
+        let n_linear = self.stages.iter().filter(|s| s.role == StageRole::Linear).count();
+        let mut linear_idx = 0usize;
+        let stages: Vec<StageExec> = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| match stage.role {
+                StageRole::Linear => {
+                    let exec = LinearStage {
+                        pk: self.keypair.public(),
+                        stage: stage.clone(),
+                        linear_idx,
+                        is_first: linear_idx == 0,
+                        is_last: linear_idx == n_linear - 1,
+                        perms: Arc::clone(&perms),
+                        mode,
+                        seed: self.config.seed ^ 0x11AE ^ (i as u64) << 8,
+                        intra_bytes: Arc::clone(&intra),
+                    };
+                    linear_idx += 1;
+                    StageExec::Linear(Arc::new(exec))
+                }
+                StageRole::NonLinear => StageExec::NonLinear(Arc::new(NonLinearStage {
+                    keypair: self.keypair.clone(),
+                    stage: stage.clone(),
+                    factor: self.scaled.factor(),
+                    is_last: i == self.stages.len() - 1,
+                    seed: self.config.seed ^ 0x2020 ^ (i as u64) << 8,
+                })),
+            })
+            .collect();
+        Execs {
+            encrypt: Arc::new(EncryptStage {
+                pk: self.keypair.public(),
+                seed: self.config.seed ^ 0x0E2C,
+            }),
+            stages,
+        }
+    }
+
+    /// Streams a batch of inference requests through the pipeline,
+    /// returning the scaled output tensors (at scale `F`) and the run
+    /// report.
+    pub fn infer_stream(
+        &self,
+        inputs: &[Tensor<f64>],
+    ) -> Result<(Vec<Tensor<i64>>, RunReport), CoreError> {
+        if inputs.is_empty() {
+            return Err(CoreError::Runtime("no inputs".into()));
+        }
+        let mode = if self.config.tensor_partition {
+            PartitionMode::Partitioned
+        } else {
+            PartitionMode::None
+        };
+        let intra = Arc::new(AtomicU64::new(0));
+        let execs = self.build_execs(mode, Arc::clone(&intra));
+
+        // Assemble the runtime pipeline: one StageSpec per merged stage.
+        let names = self.stage_names();
+        let mut specs: Vec<StageSpec> = Vec::with_capacity(self.stages.len() + 1);
+        let enc = Arc::clone(&execs.encrypt);
+        specs.push(StageSpec::new(
+            names[0].clone(),
+            self.allocation.threads[0],
+            move |frame, pool| {
+                let msg: PlainTensorMsg = from_frame(frame)?;
+                Ok(to_frame(&enc.process(msg, pool)))
+            },
+        ));
+        for (i, exec) in execs.stages.iter().enumerate() {
+            let threads = self.allocation.threads[i + 1];
+            match exec {
+                StageExec::Linear(l) => {
+                    let l = Arc::clone(l);
+                    specs.push(StageSpec::new(names[i + 1].clone(), threads, move |frame, pool| {
+                        let msg: EncTensorMsg = from_frame(frame)?;
+                        Ok(to_frame(&l.process(msg, pool)))
+                    }));
+                }
+                StageExec::NonLinear(nl) => {
+                    let nl = Arc::clone(nl);
+                    specs.push(StageSpec::new(names[i + 1].clone(), threads, move |frame, pool| {
+                        let msg: EncTensorMsg = from_frame(frame)?;
+                        if nl.is_last {
+                            Ok(to_frame(&nl.process_final(msg, pool)))
+                        } else {
+                            Ok(to_frame(&nl.process(msg, pool)))
+                        }
+                    }));
+                }
+            }
+        }
+
+        let mut pipeline = Pipeline::new(specs)?.with_capacity(self.config.link_capacity);
+
+        // Source frames: scaled plaintext tensors (inside the data
+        // provider).
+        let frames: Vec<bytes::Bytes> = inputs
+            .iter()
+            .enumerate()
+            .map(|(seq, input)| {
+                let scaled_in = self.scaled.scale_input(input);
+                to_frame(&PlainTensorMsg {
+                    seq: seq as u64,
+                    shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
+                    values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+                })
+            })
+            .collect();
+
+        let (out_frames, stats) = pipeline.process_stream(frames)?;
+        if out_frames.len() != inputs.len() {
+            return Err(CoreError::Runtime(format!(
+                "expected {} results, got {}",
+                inputs.len(),
+                out_frames.len()
+            )));
+        }
+
+        let mut outputs = Vec::with_capacity(out_frames.len());
+        for frame in out_frames {
+            let msg: PlainTensorMsg = from_frame(frame)?;
+            let shape: Vec<usize> = msg.shape.iter().map(|&d| d as usize).collect();
+            let values: Vec<i64> = msg
+                .values
+                .iter()
+                .map(|&v| i64::try_from(v).expect("final logits fit i64"))
+                .collect();
+            outputs
+                .push(Tensor::from_vec(shape, values).map_err(|e| CoreError::Runtime(e.to_string()))?);
+        }
+
+        let report = RunReport {
+            mean_latency: stats.mean_latency(),
+            latencies: stats.latencies,
+            makespan: stats.makespan,
+            link_bytes: stats.link_bytes,
+            intra_stage_bytes: intra.load(Ordering::Relaxed),
+            stage_names: names,
+            stage_busy: stats.stage_busy,
+            stage_threads: self.allocation.threads.clone(),
+        };
+        Ok((outputs, report))
+    }
+
+    /// Streams requests and returns the predicted class per input.
+    pub fn classify_stream(
+        &self,
+        inputs: &[Tensor<f64>],
+    ) -> Result<(Vec<usize>, RunReport), CoreError> {
+        let (outputs, report) = self.infer_stream(inputs)?;
+        let classes = outputs
+            .iter()
+            .map(|t| pp_nn::activation::argmax_i64(t))
+            .collect();
+        Ok((classes, report))
+    }
+}
+
+enum StageExec {
+    Linear(Arc<LinearStage>),
+    NonLinear(Arc<NonLinearStage>),
+}
+
+struct Execs {
+    encrypt: Arc<EncryptStage>,
+    stages: Vec<StageExec>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_nn::{zoo, ScaledModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_session(seed: u64) -> (pp_nn::Model, PpStream) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = zoo::mlp("m", &[4, 6, 3], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        let session = PpStream::new(scaled, PpStreamConfig::small_test(128)).unwrap();
+        (model, session)
+    }
+
+    #[test]
+    fn classification_matches_plaintext() {
+        let (model, session) = small_session(1);
+        let inputs: Vec<Tensor<f64>> = (0..4)
+            .map(|i| {
+                Tensor::from_flat(vec![
+                    (i as f64 * 0.3).sin(),
+                    -0.4,
+                    0.2 * i as f64,
+                    0.5 - 0.1 * i as f64,
+                ])
+            })
+            .collect();
+        let (classes, report) = session.classify_stream(&inputs).unwrap();
+        for (input, &got) in inputs.iter().zip(&classes) {
+            assert_eq!(got, model.classify(input).unwrap());
+        }
+        assert_eq!(report.latencies.len(), 4);
+        assert!(report.link_bytes.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn outputs_match_scaled_reference_exactly() {
+        let (_, session) = small_session(2);
+        let input = Tensor::from_flat(vec![0.9, -0.1, 0.0, 0.33]);
+        let (outputs, _) = session.infer_stream(&[input.clone()]).unwrap();
+        let want = session.scaled.forward_scaled(&session.scaled.scale_input(&input)).unwrap();
+        assert_eq!(outputs[0].data(), want.data());
+    }
+
+    #[test]
+    fn profile_and_allocation_cover_all_stages() {
+        let (_, session) = small_session(3);
+        let n = session.stages().len() + 1;
+        assert_eq!(session.profile().len(), n);
+        assert_eq!(session.allocation().threads.len(), n);
+        assert!(session.allocation().threads.iter().all(|&t| t >= 1));
+    }
+
+    #[test]
+    fn no_load_balance_config_runs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = zoo::mlp("m", &[3, 4, 2], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 10);
+        let mut cfg = PpStreamConfig::small_test(128);
+        cfg.load_balance = false;
+        let session = PpStream::new(scaled, cfg).unwrap();
+        let input = Tensor::from_flat(vec![0.5, 0.5, -0.5]);
+        let (classes, _) = session.classify_stream(&[input.clone()]).unwrap();
+        assert_eq!(classes[0], model.classify(&input).unwrap());
+    }
+
+    #[test]
+    fn no_partition_config_matches_partitioned_results() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = zoo::mlp("m", &[3, 5, 2], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        let input = Tensor::from_flat(vec![0.2, -0.7, 0.4]);
+
+        let mut cfg = PpStreamConfig::small_test(128);
+        cfg.tensor_partition = false;
+        let s1 = PpStream::new(scaled.clone(), cfg).unwrap();
+        let s2 = PpStream::new(scaled, PpStreamConfig::small_test(128)).unwrap();
+        let (o1, r1) = s1.infer_stream(&[input.clone()]).unwrap();
+        let (o2, r2) = s2.infer_stream(&[input]).unwrap();
+        assert_eq!(o1[0].data(), o2[0].data());
+        assert!(
+            r1.intra_stage_bytes >= r2.intra_stage_bytes,
+            "partitioning should not increase thread-input bytes"
+        );
+    }
+
+    #[test]
+    fn avgpool_model_end_to_end() {
+        // AvgPool's sum half runs homomorphically; the window² divisor
+        // folds into the next rescale. The pipeline must match the scaled
+        // reference exactly.
+        let mut rng = StdRng::seed_from_u64(60);
+        let model = zoo::avgpool_convnet("avg", (1, 6, 6), 2, 3, &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        let session = PpStream::new(scaled.clone(), PpStreamConfig::small_test(128)).unwrap();
+        let input = Tensor::from_vec(
+            vec![1, 6, 6],
+            (0..36).map(|i| ((i * 7) % 12) as f64 / 12.0 - 0.5).collect(),
+        )
+        .unwrap();
+        let (outputs, _) = session.infer_stream(&[input.clone()]).unwrap();
+        let want = scaled.forward_scaled(&scaled.scale_input(&input)).unwrap();
+        assert_eq!(outputs[0].data(), want.data());
+    }
+
+    #[test]
+    fn conv_model_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = zoo::small_convnet("c", (1, 5, 5), 2, 3, &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        let session = PpStream::new(scaled, PpStreamConfig::small_test(128)).unwrap();
+        let input = Tensor::from_vec(
+            vec![1, 5, 5],
+            (0..25).map(|i| ((i * 13) % 10) as f64 / 10.0 - 0.5).collect(),
+        )
+        .unwrap();
+        let (classes, _) = session.classify_stream(&[input.clone()]).unwrap();
+        assert_eq!(classes[0], model.classify(&input).unwrap());
+    }
+}

@@ -1,0 +1,191 @@
+//! Beaver-triple multiplication of additively shared values.
+//!
+//! A triple `(a, b, c)` with `c = a·b` is secret-shared during an offline
+//! phase; online, the parties open `d = x − a` and `e = y − b` (one ring
+//! element each direction) and compute shares of
+//! `x·y = c + d·b + e·a + d·e` locally. Our dealer is an in-process
+//! trusted generator — the real EzPC derives triples from oblivious
+//! transfer, an offline cost both the paper's and our measurements
+//! exclude.
+
+use crate::ring;
+use crate::sharing::Shared;
+use crate::MpcError;
+use rand::Rng;
+
+/// One multiplication triple in shared form.
+#[derive(Clone, Copy, Debug)]
+pub struct Triple {
+    pub a: Shared,
+    pub b: Shared,
+    pub c: Shared,
+}
+
+/// Trusted dealer producing shared Beaver triples.
+pub struct TripleDealer<R: Rng> {
+    rng: R,
+    /// Number of triples issued (reported as offline-phase cost).
+    issued: usize,
+}
+
+impl<R: Rng> TripleDealer<R> {
+    /// Creates a dealer over the given randomness source.
+    pub fn new(rng: R) -> Self {
+        TripleDealer { rng, issued: 0 }
+    }
+
+    /// Issues one fresh triple.
+    pub fn triple(&mut self) -> Triple {
+        let a: u64 = self.rng.gen();
+        let b: u64 = self.rng.gen();
+        let c = ring::mul(a, b);
+        self.issued += 1;
+        Triple {
+            a: Shared::share(a, &mut self.rng),
+            b: Shared::share(b, &mut self.rng),
+            c: Shared::share(c, &mut self.rng),
+        }
+    }
+
+    /// Number of triples issued so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+}
+
+/// Statistics of the online phase — the communication PP-Stream's Exp#6
+/// compares against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Ring elements opened (each costs one element of communication in
+    /// both directions).
+    pub opened_elements: usize,
+    /// Communication rounds (each multiplication batch is one round).
+    pub rounds: usize,
+}
+
+/// Multiplies two shared values with one Beaver triple.
+/// Updates `stats` with the two openings this costs.
+pub fn mul_shared(
+    x: &Shared,
+    y: &Shared,
+    triple: &Triple,
+    stats: &mut OnlineStats,
+) -> Result<Shared, MpcError> {
+    // Both parties open d = x − a and e = y − b.
+    let d = x.sub(&triple.a).reveal();
+    let e = y.sub(&triple.b).reveal();
+    stats.opened_elements += 2;
+    stats.rounds += 1;
+
+    // z = c + d·b + e·a + d·e (the constant d·e added by P0 only).
+    let z = triple
+        .c
+        .add(&triple.b.mul_public(d))
+        .add(&triple.a.mul_public(e))
+        .add_public(ring::mul(d, e));
+    Ok(z)
+}
+
+/// Dot product of shared vectors, consuming one triple per term but only
+/// a single communication round (all openings batched) — how ABY
+/// implements linear layers.
+pub fn dot_shared(
+    xs: &[Shared],
+    ys: &[Shared],
+    triples: &mut dyn Iterator<Item = Triple>,
+    stats: &mut OnlineStats,
+) -> Result<Shared, MpcError> {
+    if xs.len() != ys.len() {
+        return Err(MpcError::Protocol("dot product length mismatch".into()));
+    }
+    let mut acc = Shared { s0: 0, s1: 0 };
+    for (x, y) in xs.iter().zip(ys) {
+        let t = triples.next().ok_or(MpcError::OutOfTriples)?;
+        let d = x.sub(&t.a).reveal();
+        let e = y.sub(&t.b).reveal();
+        stats.opened_elements += 2;
+        let z = t
+            .c
+            .add(&t.b.mul_public(d))
+            .add(&t.a.mul_public(e))
+            .add_public(ring::mul(d, e));
+        acc = acc.add(&z);
+    }
+    stats.rounds += 1; // batched openings: one round for the whole dot
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triple_is_consistent() {
+        let mut dealer = TripleDealer::new(StdRng::seed_from_u64(1));
+        for _ in 0..10 {
+            let t = dealer.triple();
+            assert_eq!(ring::mul(t.a.reveal(), t.b.reveal()), t.c.reveal());
+        }
+        assert_eq!(dealer.issued(), 10);
+    }
+
+    #[test]
+    fn beaver_multiplication_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dealer = TripleDealer::new(StdRng::seed_from_u64(3));
+        let mut stats = OnlineStats::default();
+        for (x, y) in [(3u64, 4u64), (0, 99), (u64::MAX, 2), (1 << 40, 1 << 30)] {
+            let xs = Shared::share(x, &mut rng);
+            let ys = Shared::share(y, &mut rng);
+            let t = dealer.triple();
+            let z = mul_shared(&xs, &ys, &t, &mut stats).unwrap();
+            assert_eq!(z.reveal(), ring::mul(x, y), "x={x} y={y}");
+        }
+        assert_eq!(stats.opened_elements, 8);
+        assert_eq!(stats.rounds, 4);
+    }
+
+    #[test]
+    fn dot_product_single_round() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut dealer = TripleDealer::new(StdRng::seed_from_u64(5));
+        let xs: Vec<u64> = vec![1, 2, 3, 4];
+        let ys: Vec<u64> = vec![10, 20, 30, 40];
+        let xsh: Vec<Shared> = xs.iter().map(|&v| Shared::share(v, &mut rng)).collect();
+        let ysh: Vec<Shared> = ys.iter().map(|&v| Shared::share(v, &mut rng)).collect();
+        let mut triples = std::iter::from_fn(|| Some(dealer.triple()));
+        let mut stats = OnlineStats::default();
+        let z = dot_shared(&xsh, &ysh, &mut triples, &mut stats).unwrap();
+        assert_eq!(z.reveal(), 10 + 40 + 90 + 160);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.opened_elements, 8);
+    }
+
+    #[test]
+    fn dot_length_mismatch() {
+        let mut stats = OnlineStats::default();
+        let mut empty = std::iter::empty();
+        let a = [Shared { s0: 0, s1: 0 }];
+        let err = dot_shared(&a, &[], &mut empty, &mut stats);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fixed_point_beaver_mul() {
+        use crate::ring::{decode_fixed, encode_fixed, truncate};
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut dealer = TripleDealer::new(StdRng::seed_from_u64(7));
+        let mut stats = OnlineStats::default();
+        let x = encode_fixed(1.5);
+        let y = encode_fixed(-2.25);
+        let xs = Shared::share(x, &mut rng);
+        let ys = Shared::share(y, &mut rng);
+        let t = dealer.triple();
+        let z = mul_shared(&xs, &ys, &t, &mut stats).unwrap();
+        let approx = decode_fixed(truncate(z.reveal()));
+        assert!((approx - (-3.375)).abs() < 1e-3, "approx={approx}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Boolean circuits with XOR / AND / NOT gates, plus builders for the
+//! arithmetic blocks EzPC-style ReLU needs (ripple-carry adder,
+//! subtractor, sign-based mux).
+//!
+//! XOR and NOT are free under free-XOR garbling, so circuit cost is
+//! measured in AND gates.
+
+use crate::MpcError;
+
+/// Index of a wire. Wires `0..num_inputs` are circuit inputs; every gate
+/// adds one output wire.
+pub type WireId = usize;
+
+/// A gate; its output wire id is implicit (input count + gate index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    Xor(WireId, WireId),
+    And(WireId, WireId),
+    Not(WireId),
+}
+
+/// An immutable boolean circuit.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+}
+
+impl Circuit {
+    /// Number of input wires.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Total wire count (inputs + one per gate).
+    pub fn num_wires(&self) -> usize {
+        self.num_inputs + self.gates.len()
+    }
+
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Output wire ids.
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// Number of AND gates (the garbling cost).
+    pub fn and_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::And(..))).count()
+    }
+
+    /// Plaintext evaluation, for testing and for the garbling
+    /// cross-checks.
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, MpcError> {
+        if inputs.len() != self.num_inputs {
+            return Err(MpcError::Circuit(format!(
+                "expected {} inputs, got {}",
+                self.num_inputs,
+                inputs.len()
+            )));
+        }
+        let mut wires = Vec::with_capacity(self.num_wires());
+        wires.extend_from_slice(inputs);
+        for gate in &self.gates {
+            let v = match *gate {
+                Gate::Xor(a, b) => wires[a] ^ wires[b],
+                Gate::And(a, b) => wires[a] & wires[b],
+                Gate::Not(a) => !wires[a],
+            };
+            wires.push(v);
+        }
+        Ok(self.outputs.iter().map(|&w| wires[w]).collect())
+    }
+}
+
+/// Incremental circuit builder.
+#[derive(Default)]
+pub struct CircuitBuilder {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `n` fresh input wires, returned in order.
+    pub fn inputs(&mut self, n: usize) -> Vec<WireId> {
+        assert!(self.gates.is_empty(), "declare inputs before gates");
+        let start = self.num_inputs;
+        self.num_inputs += n;
+        (start..start + n).collect()
+    }
+
+    fn push(&mut self, gate: Gate) -> WireId {
+        let id = self.num_inputs + self.gates.len();
+        self.gates.push(gate);
+        id
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// `a ∧ b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(Gate::And(a, b))
+    }
+
+    /// `¬a`.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.push(Gate::Not(a))
+    }
+
+    /// `a ∨ b` via De Morgan (one AND).
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and(na, nb);
+        self.not(n)
+    }
+
+    /// Ripple-carry adder over little-endian bit vectors (equal width).
+    /// Returns the sum bits (carry-out discarded — wrap-around matches the
+    /// ring `Z_{2^w}`). One AND per bit.
+    pub fn adder(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut carry: Option<WireId> = None;
+        for (&ai, &bi) in a.iter().zip(b) {
+            let axb = self.xor(ai, bi);
+            match carry {
+                None => {
+                    out.push(axb);
+                    carry = Some(self.and(ai, bi));
+                }
+                Some(c) => {
+                    let s = self.xor(axb, c);
+                    out.push(s);
+                    // carry' = (a⊕c)(b⊕c) ⊕ c
+                    let axc = self.xor(ai, c);
+                    let bxc = self.xor(bi, c);
+                    let t = self.and(axc, bxc);
+                    carry = Some(self.xor(t, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ripple-borrow subtractor `a − b` (wrapping). Two ANDs per bit.
+    pub fn subtractor(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow: Option<WireId> = None;
+        for (&ai, &bi) in a.iter().zip(b) {
+            let axb = self.xor(ai, bi);
+            match borrow {
+                None => {
+                    out.push(axb);
+                    let na = self.not(ai);
+                    borrow = Some(self.and(na, bi));
+                }
+                Some(brw) => {
+                    let d = self.xor(axb, brw);
+                    out.push(d);
+                    // borrow' = (¬a ∧ b) ⊕ (¬(a⊕b) ∧ borrow); terms disjoint.
+                    let na = self.not(ai);
+                    let t1 = self.and(na, bi);
+                    let naxb = self.not(axb);
+                    let t2 = self.and(naxb, brw);
+                    borrow = Some(self.xor(t1, t2));
+                }
+            }
+        }
+        out
+    }
+
+    /// Selects `x` when `cond = 1`, else all-zero: `out_i = x_i ∧ cond`.
+    pub fn gate_by(&mut self, x: &[WireId], cond: WireId) -> Vec<WireId> {
+        x.iter().map(|&xi| self.and(xi, cond)).collect()
+    }
+
+    /// Finalizes the circuit with the given output wires.
+    pub fn build(self, outputs: Vec<WireId>) -> Result<Circuit, MpcError> {
+        let num_wires = self.num_inputs + self.gates.len();
+        for (&w, src) in outputs.iter().zip(std::iter::repeat("output")) {
+            if w >= num_wires {
+                return Err(MpcError::Circuit(format!("dangling {src} wire {w}")));
+            }
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            let max = self.num_inputs + i;
+            let ok = match *g {
+                Gate::Xor(a, b) | Gate::And(a, b) => a < max && b < max,
+                Gate::Not(a) => a < max,
+            };
+            if !ok {
+                return Err(MpcError::Circuit(format!("gate {i} reads a later wire")));
+            }
+        }
+        Ok(Circuit { num_inputs: self.num_inputs, gates: self.gates, outputs })
+    }
+}
+
+/// Converts a `u64` to little-endian bools.
+pub fn u64_to_bits(v: u64) -> Vec<bool> {
+    (0..64).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+/// Converts little-endian bools (≤ 64) back to a `u64`.
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    bits.iter().enumerate().fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Builds the EzPC-style ReLU circuit:
+///
+/// * inputs: `x0` (P0's arithmetic share), `x1` (P1's share), `r` (P0's
+///   fresh output mask), each 64 bits little-endian → 192 input wires in
+///   that order;
+/// * computes `x = x0 + x1`, `y = ReLU(x) = x · ¬sign(x)`, and outputs
+///   `y − r` (which the evaluator learns in the clear as its new
+///   arithmetic share, while P0 keeps `r`) — the Y2A conversion fused
+///   into the circuit.
+pub fn relu_circuit() -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let x0 = b.inputs(64);
+    let x1 = b.inputs(64);
+    let r = b.inputs(64);
+    let x = b.adder(&x0, &x1);
+    let sign = x[63];
+    let pos = b.not(sign);
+    let y = b.gate_by(&x, pos);
+    let masked = b.subtractor(&y, &r);
+    b.build(masked).expect("well-formed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_eval() {
+        let mut b = CircuitBuilder::new();
+        let ins = b.inputs(2);
+        let x = b.xor(ins[0], ins[1]);
+        let a = b.and(ins[0], ins[1]);
+        let n = b.not(ins[0]);
+        let o = b.or(ins[0], ins[1]);
+        let c = b.build(vec![x, a, n, o]).unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c.eval(&[va, vb]).unwrap();
+            assert_eq!(out, vec![va ^ vb, va & vb, !va, va | vb], "{va} {vb}");
+        }
+    }
+
+    #[test]
+    fn adder_matches_wrapping_add() {
+        let mut b = CircuitBuilder::new();
+        let a = b.inputs(64);
+        let bb = b.inputs(64);
+        let s = b.adder(&a, &bb);
+        let c = b.build(s).unwrap();
+        for (x, y) in [(0u64, 0u64), (1, 1), (u64::MAX, 1), (0xdead_beef, 0xcafe_babe), (u64::MAX, u64::MAX)] {
+            let mut inputs = u64_to_bits(x);
+            inputs.extend(u64_to_bits(y));
+            let out = c.eval(&inputs).unwrap();
+            assert_eq!(bits_to_u64(&out), x.wrapping_add(y), "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping_sub() {
+        let mut b = CircuitBuilder::new();
+        let a = b.inputs(64);
+        let bb = b.inputs(64);
+        let s = b.subtractor(&a, &bb);
+        let c = b.build(s).unwrap();
+        for (x, y) in [(5u64, 3u64), (3, 5), (0, 1), (u64::MAX, u64::MAX), (1 << 63, 1)] {
+            let mut inputs = u64_to_bits(x);
+            inputs.extend(u64_to_bits(y));
+            let out = c.eval(&inputs).unwrap();
+            assert_eq!(bits_to_u64(&out), x.wrapping_sub(y), "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn relu_circuit_semantics() {
+        let c = relu_circuit();
+        for (x0, x1, r) in [
+            (100u64, 23u64, 7u64),
+            ((-50i64) as u64, 20, 999),
+            (0, 0, 0),
+            ((-1i64) as u64, 0, 5),
+            (1u64 << 62, 1u64 << 62, 3), // overflow into negative
+        ] {
+            let x = x0.wrapping_add(x1);
+            let relu = if (x as i64) >= 0 { x } else { 0 };
+            let mut inputs = u64_to_bits(x0);
+            inputs.extend(u64_to_bits(x1));
+            inputs.extend(u64_to_bits(r));
+            let out = c.eval(&inputs).unwrap();
+            assert_eq!(bits_to_u64(&out), relu.wrapping_sub(r), "x0={x0} x1={x1}");
+        }
+    }
+
+    #[test]
+    fn relu_circuit_and_count() {
+        let c = relu_circuit();
+        // adder: 64, gate_by: 64, subtractor: 127 → within [250, 270].
+        assert!((250..=270).contains(&c.and_count()), "ANDs = {}", c.and_count());
+    }
+
+    #[test]
+    fn builder_rejects_dangling_output() {
+        let mut b = CircuitBuilder::new();
+        let _ = b.inputs(1);
+        assert!(b.build(vec![5]).is_err());
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for v in [0u64, 1, u64::MAX, 0x0123_4567_89ab_cdef] {
+            assert_eq!(bits_to_u64(&u64_to_bits(v)), v);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Yao garbled circuits with point-and-permute and free-XOR.
+//!
+//! The garbler draws a global offset `Δ` (with its permute bit forced to
+//! 1) and a label pair `(W, W ⊕ Δ)` per input wire. XOR gates are free
+//! (`C = A ⊕ B`); NOT gates are free (the output labels are the input
+//! pair swapped); AND gates emit a four-row table of
+//! `H(Aᵥ, Bᵥ, gate, row) ⊕ C_{v_a ∧ v_b}`, indexed by the permute bits of
+//! the incoming labels.
+//!
+//! The evaluator walks the gates with one label per wire and decrypts
+//! exactly one row per AND gate. Output decoding maps each output label's
+//! permute bit back to a cleartext bit.
+//!
+//! Input-label delivery for the evaluator's own inputs stands in for
+//! oblivious transfer (DESIGN.md §3): [`GarbledCircuit::input_label`]
+//! plays the OT oracle, and the byte accounting in
+//! [`GarbleStats`] charges it like the real wire messages.
+
+use crate::circuit::{Circuit, Gate, WireId};
+use crate::prf::{hash_gate, xor, Block};
+use crate::MpcError;
+use rand::Rng;
+
+/// The garbler's secret material for one circuit.
+pub struct GarbledCircuit {
+    circuit: Circuit,
+    /// Global free-XOR offset (permute bit = 1).
+    delta: Block,
+    /// False label (`W⁰`) per wire.
+    zero_labels: Vec<Block>,
+    /// Four-row tables for AND gates, indexed by gate position.
+    tables: Vec<Option<[Block; 4]>>,
+    /// Permute bit of each output wire's false label.
+    output_decode: Vec<bool>,
+}
+
+/// Communication/size statistics of a garbling, for the Exp#6 cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GarbleStats {
+    /// AND-gate tables transferred (4 blocks = 64 bytes each).
+    pub and_gates: usize,
+    /// Input labels transferred (garbler inputs + simulated OTs).
+    pub input_labels: usize,
+}
+
+impl GarbledCircuit {
+    /// Garbles `circuit` with fresh labels.
+    pub fn garble<R: Rng + ?Sized>(circuit: Circuit, rng: &mut R) -> Self {
+        let mut delta: Block = [rng.gen(), rng.gen()];
+        delta[0] |= 1; // permute bit of Δ must be 1 for point-and-permute
+
+        let num_wires = circuit.num_wires();
+        let mut zero_labels: Vec<Block> = Vec::with_capacity(num_wires);
+        for _ in 0..circuit.num_inputs() {
+            zero_labels.push([rng.gen(), rng.gen()]);
+        }
+
+        let mut tables = Vec::with_capacity(circuit.gates().len());
+        for (gi, gate) in circuit.gates().iter().enumerate() {
+            match *gate {
+                Gate::Xor(a, b) => {
+                    // Free-XOR: C⁰ = A⁰ ⊕ B⁰.
+                    zero_labels.push(xor(zero_labels[a], zero_labels[b]));
+                    tables.push(None);
+                }
+                Gate::Not(a) => {
+                    // Free NOT: C⁰ = A¹ = A⁰ ⊕ Δ.
+                    zero_labels.push(xor(zero_labels[a], delta));
+                    tables.push(None);
+                }
+                Gate::And(a, b) => {
+                    let c0: Block = [rng.gen(), rng.gen()];
+                    zero_labels.push(c0);
+                    let mut table = [[0u64; 2]; 4];
+                    for va in 0..2u8 {
+                        for vb in 0..2u8 {
+                            let la = if va == 0 {
+                                zero_labels[a]
+                            } else {
+                                xor(zero_labels[a], delta)
+                            };
+                            let lb = if vb == 0 {
+                                zero_labels[b]
+                            } else {
+                                xor(zero_labels[b], delta)
+                            };
+                            let out = if va & vb == 1 { xor(c0, delta) } else { c0 };
+                            let row = (((la[0] & 1) as usize) << 1) | (lb[0] & 1) as usize;
+                            table[row] = xor(hash_gate(la, lb, gi as u64, row as u8), out);
+                        }
+                    }
+                    tables.push(Some(table));
+                }
+            }
+        }
+        let output_decode = circuit
+            .outputs()
+            .iter()
+            .map(|&w| zero_labels[w][0] & 1 == 1)
+            .collect();
+        GarbledCircuit { circuit, delta, zero_labels, tables, output_decode }
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Label for input wire `w` carrying bit `value` — for garbler inputs
+    /// directly, for evaluator inputs this simulates the OT transfer.
+    pub fn input_label(&self, w: WireId, value: bool) -> Block {
+        assert!(w < self.circuit.num_inputs(), "not an input wire");
+        if value {
+            xor(self.zero_labels[w], self.delta)
+        } else {
+            self.zero_labels[w]
+        }
+    }
+
+    /// Evaluates with one label per input wire; returns the cleartext
+    /// output bits.
+    pub fn evaluate(&self, input_labels: &[Block]) -> Result<Vec<bool>, MpcError> {
+        if input_labels.len() != self.circuit.num_inputs() {
+            return Err(MpcError::Protocol(format!(
+                "expected {} input labels, got {}",
+                self.circuit.num_inputs(),
+                input_labels.len()
+            )));
+        }
+        let mut labels: Vec<Block> = Vec::with_capacity(self.circuit.num_wires());
+        labels.extend_from_slice(input_labels);
+        for (gi, gate) in self.circuit.gates().iter().enumerate() {
+            let label = match *gate {
+                Gate::Xor(a, b) => xor(labels[a], labels[b]),
+                Gate::Not(a) => labels[a], // label unchanged; semantics flip
+                Gate::And(a, b) => {
+                    let (la, lb) = (labels[a], labels[b]);
+                    let row = (((la[0] & 1) as usize) << 1) | (lb[0] & 1) as usize;
+                    let table = self.tables[gi]
+                        .as_ref()
+                        .ok_or(MpcError::GarbleDecrypt)?;
+                    xor(hash_gate(la, lb, gi as u64, row as u8), table[row])
+                }
+            };
+            labels.push(label);
+        }
+        // Decode outputs by permute bit.
+        let mut out = Vec::with_capacity(self.circuit.outputs().len());
+        for (&w, &d) in self.circuit.outputs().iter().zip(&self.output_decode) {
+            let bit = (labels[w][0] & 1 == 1) != d;
+            // Validity check: the label must be one of the two known ones.
+            if labels[w] != self.zero_labels[w] && labels[w] != xor(self.zero_labels[w], self.delta)
+            {
+                return Err(MpcError::GarbleDecrypt);
+            }
+            out.push(bit);
+        }
+        Ok(out)
+    }
+
+    /// Size/communication statistics.
+    pub fn stats(&self) -> GarbleStats {
+        GarbleStats {
+            and_gates: self.circuit.and_count(),
+            input_labels: self.circuit.num_inputs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{bits_to_u64, relu_circuit, u64_to_bits, CircuitBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn garble_and_eval(c: Circuit, inputs: &[bool], seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = GarbledCircuit::garble(c, &mut rng);
+        let labels: Vec<Block> = inputs
+            .iter()
+            .enumerate()
+            .map(|(w, &v)| g.input_label(w, v))
+            .collect();
+        g.evaluate(&labels).unwrap()
+    }
+
+    #[test]
+    fn single_gates_garble_correctly() {
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut b = CircuitBuilder::new();
+            let ins = b.inputs(2);
+            let x = b.xor(ins[0], ins[1]);
+            let a = b.and(ins[0], ins[1]);
+            let n = b.not(ins[1]);
+            let c = b.build(vec![x, a, n]).unwrap();
+            let expect = c.eval(&[va, vb]).unwrap();
+            let got = garble_and_eval(c, &[va, vb], 42);
+            assert_eq!(got, expect, "va={va} vb={vb}");
+        }
+    }
+
+    #[test]
+    fn garbled_adder_matches_plain_eval() {
+        let mut b = CircuitBuilder::new();
+        let a = b.inputs(16);
+        let bb = b.inputs(16);
+        let s = b.adder(&a, &bb);
+        let c = b.build(s).unwrap();
+        for (x, y) in [(0u64, 0u64), (255, 1), (12345, 54321), (65535, 65535)] {
+            let mut inputs: Vec<bool> = u64_to_bits(x)[..16].to_vec();
+            inputs.extend(&u64_to_bits(y)[..16]);
+            let plain = c.eval(&inputs).unwrap();
+            let garbled = garble_and_eval(c.clone(), &inputs, x ^ y);
+            assert_eq!(garbled, plain, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn garbled_relu_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = relu_circuit();
+        let g = GarbledCircuit::garble(c, &mut rng);
+        for (x0, x1, r) in [(500u64, 123u64, 42u64), ((-300i64) as u64, 100, 17)] {
+            let mut bits = u64_to_bits(x0);
+            bits.extend(u64_to_bits(x1));
+            bits.extend(u64_to_bits(r));
+            let labels: Vec<Block> = bits
+                .iter()
+                .enumerate()
+                .map(|(w, &v)| g.input_label(w, v))
+                .collect();
+            let out = bits_to_u64(&g.evaluate(&labels).unwrap());
+            let x = x0.wrapping_add(x1);
+            let relu = if (x as i64) >= 0 { x } else { 0 };
+            assert_eq!(out, relu.wrapping_sub(r));
+        }
+    }
+
+    #[test]
+    fn wrong_label_detected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = CircuitBuilder::new();
+        let ins = b.inputs(2);
+        let a = b.and(ins[0], ins[1]);
+        let c = b.build(vec![a]).unwrap();
+        let g = GarbledCircuit::garble(c, &mut rng);
+        // Feed a random junk label for wire 0.
+        let labels = vec![[rng.gen::<u64>(), rng.gen::<u64>()], g.input_label(1, true)];
+        assert!(g.evaluate(&labels).is_err());
+    }
+
+    #[test]
+    fn stats_report_and_gates() {
+        let c = relu_circuit();
+        let ands = c.and_count();
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = GarbledCircuit::garble(c, &mut rng);
+        let s = g.stats();
+        assert_eq!(s.and_gates, ands);
+        assert_eq!(s.input_labels, 192);
+    }
+
+    #[test]
+    fn input_label_count_mismatch() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut b = CircuitBuilder::new();
+        let ins = b.inputs(2);
+        let a = b.and(ins[0], ins[1]);
+        let c = b.build(vec![a]).unwrap();
+        let g = GarbledCircuit::garble(c, &mut rng);
+        assert!(g.evaluate(&[[0, 0]]).is_err());
+    }
+}

@@ -1,0 +1,523 @@
+//! EzPC-style secure neural-network inference: arithmetic sharing for
+//! linear layers, garbled circuits for every non-linearity, and the A2Y /
+//! Y2A conversions in between — the protocol cadence whose switching
+//! overhead the paper measures in Exp#6 (Table VII).
+//!
+//! The network is evaluated in fixed point over `Z_{2^64}` (16 fractional
+//! bits). Linear layers consume one Beaver triple per multiplication;
+//! each ReLU element garbles and evaluates a fresh 64-bit comparison
+//! circuit (~260 AND gates), with the Y2A re-share fused into the circuit
+//! via an output mask. MaxPool uses `max(a,b) = a + ReLU(b − a)`.
+
+use crate::beaver::{OnlineStats, TripleDealer};
+use crate::circuit::{bits_to_u64, relu_circuit, u64_to_bits};
+use crate::garble::GarbledCircuit;
+use crate::prf::Block;
+use crate::ring;
+use crate::sharing::{Party, Shared};
+use crate::MpcError;
+use pp_nn::{Layer, Model};
+use pp_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost accounting for one secure inference — the quantities Table VII's
+/// comparison rests on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostReport {
+    /// Beaver triples consumed (arithmetic multiplications).
+    pub triples: usize,
+    /// Arithmetic ring elements opened online.
+    pub opened_elements: usize,
+    /// Communication rounds in the arithmetic world.
+    pub arithmetic_rounds: usize,
+    /// Garbled-circuit executions (one per non-linear element — each is
+    /// an A2Y + evaluation + Y2A protocol switch).
+    pub gc_executions: usize,
+    /// AND gates garbled in total.
+    pub and_gates: usize,
+    /// Estimated bytes on the wire (openings, tables, labels).
+    pub bytes: usize,
+    /// OT-based triple preprocessing wall time (zero with the dealer).
+    pub preprocessing: std::time::Duration,
+    /// OT statistics of the preprocessing phase, when OT triples are used.
+    pub ot: Option<crate::ot::OtStats>,
+}
+
+impl CostReport {
+    fn charge_gc(&mut self, g: &GarbledCircuit) {
+        let s = g.stats();
+        self.gc_executions += 1;
+        self.and_gates += s.and_gates;
+        // 64 bytes per AND table + 16 per input label + 8 for the decoded
+        // output share.
+        self.bytes += s.and_gates * 64 + s.input_labels * 16 + 8;
+    }
+
+    fn charge_openings(&mut self, stats: &OnlineStats) {
+        self.opened_elements += stats.opened_elements;
+        self.arithmetic_rounds += stats.rounds;
+        self.bytes += stats.opened_elements * 8 * 2; // both directions
+    }
+}
+
+/// A two-party secure inference session over a plaintext [`Model`] whose
+/// weights belong to P0 (the model provider) and whose input belongs to
+/// P1 (the data provider).
+pub struct SecureInference {
+    model: Model,
+    dealer: TripleDealer<StdRng>,
+    /// Pre-generated OT-based triples (drained first when present).
+    ot_queue: std::collections::VecDeque<crate::beaver::Triple>,
+    /// Preprocessing cost of the OT triples, if used.
+    preprocessing: Option<(std::time::Duration, crate::ot::OtStats)>,
+    rng: StdRng,
+}
+
+impl SecureInference {
+    /// Creates a session. `seed` drives sharing and garbling randomness.
+    /// Beaver triples come from a trusted dealer (no preprocessing cost —
+    /// see [`SecureInference::new_with_ot`] for the honest variant).
+    pub fn new(model: Model, seed: u64) -> Self {
+        SecureInference {
+            model,
+            dealer: TripleDealer::new(StdRng::seed_from_u64(seed ^ 0xD1CE)),
+            ot_queue: std::collections::VecDeque::new(),
+            preprocessing: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// As [`SecureInference::new`], but generates every Beaver triple the
+    /// model needs through real IKNP OT extension + Gilboa products — the
+    /// preprocessing cost EzPC actually pays. The measured preprocessing
+    /// time and OT statistics are reported in the [`CostReport`].
+    pub fn new_with_ot(model: Model, seed: u64) -> Result<Self, MpcError> {
+        let needed = count_triples(&model);
+        let t0 = std::time::Instant::now();
+        let mut generator = crate::ot::OtTripleGenerator::new(seed ^ 0x07E5);
+        let triples = generator.triples(needed)?;
+        let elapsed = t0.elapsed();
+        Ok(SecureInference {
+            model,
+            dealer: TripleDealer::new(StdRng::seed_from_u64(seed ^ 0xD1CE)),
+            ot_queue: triples.into(),
+            preprocessing: Some((elapsed, generator.stats())),
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Next triple: OT queue first, dealer fallback.
+    fn triple(&mut self) -> crate::beaver::Triple {
+        self.ot_queue.pop_front().unwrap_or_else(|| self.dealer.triple())
+    }
+
+    /// Runs the full protocol; returns the output revealed to the data
+    /// provider (class scores, fixed-point decoded) and the cost report.
+    pub fn infer(&mut self, input: &Tensor<f64>) -> Result<(Tensor<f64>, CostReport), MpcError> {
+        let mut cost = CostReport::default();
+        if let Some((dur, stats)) = self.preprocessing {
+            cost.preprocessing = dur;
+            cost.ot = Some(stats);
+        }
+        // P1 shares its input.
+        let mut acts: Vec<Shared> = input
+            .data()
+            .iter()
+            .map(|&x| Shared::share(ring::encode_fixed(x), &mut self.rng))
+            .collect();
+        let mut shape = input.shape().clone();
+
+        let layers: Vec<Layer> = self.model.layers().to_vec();
+        for layer in &layers {
+            (acts, shape) = self.layer(layer, acts, shape, &mut cost)?;
+        }
+
+        // Final reveal to the data provider.
+        cost.bytes += acts.len() * 8;
+        let out: Vec<f64> = acts.iter().map(|s| ring::decode_fixed(s.reveal())).collect();
+        Ok((Tensor::from_vec(shape, out).map_err(|e| MpcError::Protocol(e.to_string()))?, cost))
+    }
+
+    fn layer(
+        &mut self,
+        layer: &Layer,
+        acts: Vec<Shared>,
+        shape: Shape,
+        cost: &mut CostReport,
+    ) -> Result<(Vec<Shared>, Shape), MpcError> {
+        match layer {
+            Layer::Dense { weights, bias } => {
+                let dims = weights.shape().dims();
+                let (out_f, in_f) = (dims[0], dims[1]);
+                if acts.len() != in_f {
+                    return Err(MpcError::Protocol("dense input size".into()));
+                }
+                let mut out = Vec::with_capacity(out_f);
+                let mut stats = OnlineStats::default();
+                for j in 0..out_f {
+                    let mut acc =
+                        Shared::from_private(ring::encode_fixed(bias[j]), Party::P0)
+                            // bias at double scale to match un-truncated products
+                            .mul_public(1u64 << ring::FRAC_BITS);
+                    for (i, x) in acts.iter().enumerate() {
+                        let w = Shared::from_private(
+                            ring::encode_fixed(weights.data()[j * in_f + i]),
+                            Party::P0,
+                        );
+                        let t = self.triple();
+                        cost.triples += 1;
+                        let p = crate::beaver::mul_shared(&w, x, &t, &mut stats)?;
+                        acc = acc.add(&p);
+                    }
+                    // Local truncation back to FRAC_BITS scale.
+                    out.push(Shared { s0: trunc_share(acc.s0, true), s1: trunc_share(acc.s1, false) });
+                }
+                // All openings of one layer batch into one round.
+                stats.rounds = 1;
+                cost.charge_openings(&stats);
+                Ok((out, Shape::vector(out_f)))
+            }
+            Layer::Conv2d { spec, weights, bias } => {
+                let out_shape = spec
+                    .output_shape(&shape)
+                    .map_err(|e| MpcError::Protocol(e.to_string()))?;
+                let in_dims = shape.dims();
+                let (h, w) = (in_dims[1], in_dims[2]);
+                let mut out = Vec::with_capacity(out_shape.len());
+                let mut stats = OnlineStats::default();
+                for flat in 0..out_shape.len() {
+                    let idx = out_shape.unravel(flat);
+                    let (oc, oy, ox) = (idx[0], idx[1], idx[2]);
+                    let mut acc = Shared::from_private(ring::encode_fixed(bias[oc]), Party::P0)
+                        .mul_public(1u64 << ring::FRAC_BITS);
+                    for ic in 0..spec.in_channels {
+                        for ky in 0..spec.kernel {
+                            for kx in 0..spec.kernel {
+                                let iy =
+                                    (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                let ix =
+                                    (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                    continue;
+                                }
+                                let xoff = shape
+                                    .offset(&[ic, iy as usize, ix as usize])
+                                    .map_err(|e| MpcError::Protocol(e.to_string()))?;
+                                let widx = weights
+                                    .get(&[oc, ic, ky, kx])
+                                    .map_err(|e| MpcError::Protocol(e.to_string()))?;
+                                let wsh = Shared::from_private(
+                                    ring::encode_fixed(*widx),
+                                    Party::P0,
+                                );
+                                let t = self.triple();
+                                cost.triples += 1;
+                                let p =
+                                    crate::beaver::mul_shared(&wsh, &acts[xoff], &t, &mut stats)?;
+                                acc = acc.add(&p);
+                            }
+                        }
+                    }
+                    out.push(Shared {
+                        s0: trunc_share(acc.s0, true),
+                        s1: trunc_share(acc.s1, false),
+                    });
+                }
+                stats.rounds = 1;
+                cost.charge_openings(&stats);
+                Ok((out, out_shape))
+            }
+            Layer::BatchNorm { scale, shift } => {
+                let channels = scale.len();
+                let per_channel = acts.len() / channels;
+                let mut out = Vec::with_capacity(acts.len());
+                let mut stats = OnlineStats::default();
+                for (i, x) in acts.iter().enumerate() {
+                    let c = i / per_channel;
+                    let s = Shared::from_private(ring::encode_fixed(scale[c]), Party::P0);
+                    let t = self.triple();
+                    cost.triples += 1;
+                    let p = crate::beaver::mul_shared(&s, x, &t, &mut stats)?;
+                    let b = Shared::from_private(ring::encode_fixed(shift[c]), Party::P0)
+                        .mul_public(1u64 << ring::FRAC_BITS);
+                    let y = p.add(&b);
+                    out.push(Shared { s0: trunc_share(y.s0, true), s1: trunc_share(y.s1, false) });
+                }
+                stats.rounds = 1;
+                cost.charge_openings(&stats);
+                Ok((out, shape))
+            }
+            Layer::ReLU => {
+                let out = acts
+                    .iter()
+                    .map(|x| self.garbled_relu(x, cost))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((out, shape))
+            }
+            Layer::MaxPool { window, stride } => {
+                let dims = shape.dims();
+                let (c, h, w) = (dims[0], dims[1], dims[2]);
+                let oh = (h - window) / stride + 1;
+                let ow = (w - window) / stride + 1;
+                let out_shape = Shape::new(vec![c, oh, ow]);
+                let mut out = Vec::with_capacity(out_shape.len());
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best: Option<Shared> = None;
+                            for ky in 0..*window {
+                                for kx in 0..*window {
+                                    let off = shape
+                                        .offset(&[ch, oy * stride + ky, ox * stride + kx])
+                                        .map_err(|e| MpcError::Protocol(e.to_string()))?;
+                                    let v = acts[off];
+                                    best = Some(match best {
+                                        None => v,
+                                        Some(b) => {
+                                            // max(b, v) = b + ReLU(v − b)
+                                            let d = v.sub(&b);
+                                            let r = self.garbled_relu(&d, cost)?;
+                                            b.add(&r)
+                                        }
+                                    });
+                                }
+                            }
+                            out.push(best.expect("window non-empty"));
+                        }
+                    }
+                }
+                Ok((out, out_shape))
+            }
+            Layer::AvgPool { window, stride } => {
+                let dims = shape.dims();
+                let (c, h, w) = (dims[0], dims[1], dims[2]);
+                let oh = (h - window) / stride + 1;
+                let ow = (w - window) / stride + 1;
+                let out_shape = Shape::new(vec![c, oh, ow]);
+                // Fixed-point reciprocal of the window area, applied by
+                // local public multiplication + truncation (division by a
+                // public constant needs no protocol).
+                let inv_area = ring::encode_fixed(1.0 / (window * window) as f64);
+                let mut out = Vec::with_capacity(out_shape.len());
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = Shared { s0: 0, s1: 0 };
+                            for ky in 0..*window {
+                                for kx in 0..*window {
+                                    let off = shape
+                                        .offset(&[ch, oy * stride + ky, ox * stride + kx])
+                                        .map_err(|e| MpcError::Protocol(e.to_string()))?;
+                                    acc = acc.add(&acts[off]);
+                                }
+                            }
+                            let scaled = acc.mul_public(inv_area);
+                            out.push(Shared {
+                                s0: trunc_share(scaled.s0, true),
+                                s1: trunc_share(scaled.s1, false),
+                            });
+                        }
+                    }
+                }
+                Ok((out, out_shape))
+            }
+            Layer::ScaledSigmoid { alpha } => {
+                // EzPC-style piecewise-linear sigmoid:
+                // σ(x) ≈ clamp(x/4 + 1/2, 0, 1)
+                //       = ReLU(x/4 + 1/2) − ReLU(x/4 − 1/2).
+                let a = ring::encode_fixed(*alpha);
+                let half = ring::encode_fixed(0.5);
+                let mut out = Vec::with_capacity(acts.len());
+                let mut stats = OnlineStats::default();
+                for x in &acts {
+                    let asx = Shared::from_private(a, Party::P0);
+                    let t = self.triple();
+                    cost.triples += 1;
+                    let ax = crate::beaver::mul_shared(&asx, x, &t, &mut stats)?;
+                    let ax = Shared { s0: trunc_share(ax.s0, true), s1: trunc_share(ax.s1, false) };
+                    // x/4 via arithmetic shift on shares (public divisor).
+                    let quarter =
+                        Shared { s0: ((ax.s0 as i64) >> 2) as u64, s1: ((ax.s1 as i64) >> 2) as u64 };
+                    let hi = quarter.add_public(half);
+                    let lo = quarter.add_public(half).add_public(ring::neg(ring::encode_fixed(1.0)));
+                    let r1 = self.garbled_relu(&hi, cost)?;
+                    let r2 = self.garbled_relu(&lo, cost)?;
+                    out.push(r1.sub(&r2));
+                }
+                stats.rounds = 1;
+                cost.charge_openings(&stats);
+                Ok((out, shape))
+            }
+            Layer::SoftMax => {
+                // The final SoftMax runs on the revealed result at the data
+                // provider (as in EzPC, which returns logits); monotone, so
+                // the class decision is unchanged. Shares pass through.
+                Ok((acts, shape))
+            }
+            Layer::Flatten => {
+                let n = acts.len();
+                Ok((acts, Shape::vector(n)))
+            }
+        }
+    }
+
+    /// One garbled-circuit ReLU on an arithmetic share: A2Y (shares become
+    /// circuit inputs), garbled evaluation, Y2A (P0 keeps the mask `r`,
+    /// P1 learns `ReLU(x) − r`).
+    fn garbled_relu(&mut self, x: &Shared, cost: &mut CostReport) -> Result<Shared, MpcError> {
+        let r: u64 = self.rng.gen();
+        let g = GarbledCircuit::garble(relu_circuit(), &mut self.rng);
+        cost.charge_gc(&g);
+        let mut bits = u64_to_bits(x.s0);
+        bits.extend(u64_to_bits(x.s1));
+        bits.extend(u64_to_bits(r));
+        let labels: Vec<Block> = bits
+            .iter()
+            .enumerate()
+            .map(|(w, &v)| g.input_label(w, v))
+            .collect();
+        let out_bits = g.evaluate(&labels)?;
+        let masked = bits_to_u64(&out_bits);
+        Ok(Shared { s0: r, s1: masked })
+    }
+}
+
+/// Number of Beaver triples one inference over `model` consumes
+/// (one per arithmetic multiplication).
+pub fn count_triples(model: &Model) -> usize {
+    let mut shape = model.input_shape().clone();
+    let mut total = 0usize;
+    for layer in model.layers() {
+        match layer {
+            Layer::Dense { weights, .. } => {
+                let dims = weights.shape().dims();
+                total += dims[0] * dims[1];
+            }
+            Layer::Conv2d { spec, .. } => {
+                let out_shape = spec.output_shape(&shape).expect("validated");
+                // Padding taps are skipped, so this over-counts slightly
+                // at the borders; over-provisioning is harmless.
+                total += out_shape.len() * spec.in_channels * spec.kernel * spec.kernel;
+            }
+            Layer::BatchNorm { scale, .. } => {
+                let per = shape.len() / scale.len();
+                total += per * scale.len();
+            }
+            Layer::ScaledSigmoid { .. } => total += shape.len(),
+            _ => {}
+        }
+        shape = layer.output_shape(&shape).expect("validated");
+    }
+    total
+}
+
+/// Local-truncation share: P0 truncates its share; P1 truncates the
+/// negation of its share and negates back (the SecureML trick).
+fn trunc_share(s: u64, is_p0: bool) -> u64 {
+    if is_p0 {
+        ((s as i64) >> ring::FRAC_BITS) as u64
+    } else {
+        ring::neg((((ring::neg(s)) as i64) >> ring::FRAC_BITS) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_nn::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn secure_dense_relu_matches_plaintext() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = zoo::mlp("m", &[4, 6, 3], &mut rng).unwrap();
+        let x = Tensor::from_flat(vec![0.5, -0.25, 0.75, -1.0]);
+        let plain = model.forward(&x).unwrap();
+        let mut sess = SecureInference::new(model.clone(), 99);
+        let (secure, cost) = sess.infer(&x).unwrap();
+        // Secure output is pre-softmax logits; compare the argmax and the
+        // logits against the plain pre-softmax values.
+        let plain_class = pp_nn::activation::argmax(&plain);
+        let secure_class = pp_nn::activation::argmax(&secure);
+        assert_eq!(plain_class, secure_class);
+        assert!(cost.triples > 0);
+        assert!(cost.gc_executions == 6, "one GC per hidden ReLU element");
+    }
+
+    #[test]
+    fn secure_conv_model_classifies_like_plaintext() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = zoo::small_convnet("c", (1, 6, 6), 2, 3, &mut rng).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 6, 6],
+            (0..36).map(|i| ((i % 5) as f64 - 2.0) / 4.0).collect(),
+        )
+        .unwrap();
+        let plain_class = model.classify(&x).unwrap();
+        let mut sess = SecureInference::new(model, 7);
+        let (secure, _) = sess.infer(&x).unwrap();
+        assert_eq!(pp_nn::activation::argmax(&secure), plain_class);
+    }
+
+    #[test]
+    fn secure_values_close_to_plaintext() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = zoo::mlp("m", &[3, 5, 2], &mut rng).unwrap();
+        let x = Tensor::from_flat(vec![0.1, 0.9, -0.4]);
+        // Plain logits: forward without the final softmax.
+        let mut t = x.clone();
+        for layer in &model.layers()[..model.layers().len() - 1] {
+            t = layer.forward(&t).unwrap();
+        }
+        let mut sess = SecureInference::new(model, 11);
+        let (secure, _) = sess.infer(&x).unwrap();
+        for (p, s) in t.data().iter().zip(secure.data()) {
+            assert!((p - s).abs() < 0.01, "plain={p} secure={s}");
+        }
+    }
+
+    #[test]
+    fn cost_report_scales_with_model() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let small = zoo::mlp("s", &[4, 4, 2], &mut rng).unwrap();
+        let big = zoo::mlp("b", &[4, 16, 2], &mut rng).unwrap();
+        let x = Tensor::from_flat(vec![0.3, -0.2, 0.5, 0.1]);
+        let (_, cs) = SecureInference::new(small, 1).infer(&x).unwrap();
+        let (_, cb) = SecureInference::new(big, 1).infer(&x).unwrap();
+        assert!(cb.triples > cs.triples);
+        assert!(cb.gc_executions > cs.gc_executions);
+        assert!(cb.bytes > cs.bytes);
+    }
+
+    #[test]
+    fn maxpool_secure_matches_plain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = pp_nn::Model::new(
+            "pool",
+            vec![1, 4, 4],
+            vec![
+                pp_nn::Layer::MaxPool { window: 2, stride: 2 },
+                pp_nn::Layer::Flatten,
+                zoo::dense_layer(&mut rng, 4, 2),
+                pp_nn::Layer::SoftMax,
+            ],
+        )
+        .unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![
+                0.1, -0.5, 0.3, 0.2, 0.9, 0.0, -0.1, 0.4, -0.2, 0.6, 0.05, -0.9, 0.33, 0.21,
+                0.77, -0.3,
+            ],
+        )
+        .unwrap();
+        let plain_class = model.classify(&x).unwrap();
+        let mut sess = SecureInference::new(model, 13);
+        let (secure, cost) = sess.infer(&x).unwrap();
+        assert_eq!(pp_nn::activation::argmax(&secure), plain_class);
+        // 4 windows × 3 pairwise maxes each = 12 GC executions.
+        assert_eq!(cost.gc_executions, 12);
+    }
+}

@@ -1,0 +1,471 @@
+//! Oblivious transfer: Paillier-based base OTs and IKNP OT extension,
+//! plus Gilboa-style Beaver-triple generation.
+//!
+//! The [`crate::beaver::TripleDealer`] hands out triples for free; real
+//! EzPC derives them from OT in its (measured) preprocessing. This module
+//! implements that pipeline so Exp#6 can charge the baseline its true
+//! cost:
+//!
+//! * **Base OT** — 1-out-of-2 OT from Paillier: the receiver sends
+//!   `E(b)`, the sender replies `E(b·(m₁−m₀) + m₀)` homomorphically, the
+//!   receiver decrypts `m_b`. Semi-honest secure; κ = 128 instances seed
+//!   the extension.
+//! * **IKNP extension** (Ishai–Kilian–Nissim–Petrank '03, semi-honest) —
+//!   stretches the κ base OTs into millions of OTs using only the Speck
+//!   PRF: the receiver commits a bit-matrix column per base seed, the
+//!   sender derives per-row pads `H(q_j)` / `H(q_j ⊕ s)` after a bit
+//!   transpose.
+//! * **Gilboa products** — 64 correlated OTs turn `a` (sender) and `b`
+//!   (receiver) into additive shares of `a·b` over `Z_{2^64}`; two
+//!   products make one Beaver triple.
+
+use crate::prf::{hash_gate, xor, Block};
+use crate::ring;
+use crate::sharing::Shared;
+use crate::MpcError;
+use pp_bigint::BigUint;
+use pp_paillier::Keypair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Security parameter: number of base OTs / matrix width.
+pub const KAPPA: usize = 128;
+
+/// Statistics of OT-based preprocessing (the "offline phase" cost).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OtStats {
+    /// Base OTs executed (Paillier-based, expensive).
+    pub base_ots: usize,
+    /// Extended OTs produced (symmetric-crypto only).
+    pub extended_ots: usize,
+    /// Bytes exchanged during extension (matrix columns + corrections).
+    pub bytes: usize,
+}
+
+/// One base-OT result pair from the sender's perspective.
+struct BaseOtSeeds {
+    /// Receiver side of the base OTs: one seed per choice bit.
+    chosen: Vec<Block>,
+    /// The extension *sender*'s random choice vector `s`.
+    choices: Vec<bool>,
+}
+
+/// Runs κ Paillier base OTs. In IKNP the extension sender plays the base
+/// *receiver* with random choices `s`; the extension receiver plays the
+/// base *sender* with fresh random seed pairs, which it keeps.
+fn base_ots(rng: &mut StdRng) -> (Vec<(Block, Block)>, BaseOtSeeds, usize) {
+    // One keypair for the whole batch (each OT uses fresh randomness).
+    let kp = Keypair::generate(256, rng);
+    let (pk, sk) = (kp.public(), kp.private());
+
+    let seed_pairs: Vec<(Block, Block)> =
+        (0..KAPPA).map(|_| ([rng.gen(), rng.gen()], [rng.gen(), rng.gen()])).collect();
+    let choices: Vec<bool> = (0..KAPPA).map(|_| rng.gen()).collect();
+
+    let mut chosen = Vec::with_capacity(KAPPA);
+    for (i, (m0, m1)) in seed_pairs.iter().enumerate() {
+        let b = choices[i];
+        // Receiver → sender: E(b).
+        let eb = pk.encrypt(&BigUint::from(b as u64), rng);
+        // Sender → receiver: E(b·(m1−m0) + m0), per 64-bit half.
+        let mut out = [0u64; 2];
+        for half in 0..2 {
+            let (lo0, lo1) = (m0[half], m1[half]);
+            let diff = BigInt64::diff(lo1, lo0);
+            let term = match diff {
+                BigInt64::Pos(d) => pk.mul_scalar(&eb, &BigUint::from(d)),
+                BigInt64::Neg(d) => {
+                    let inv = eb.raw().modinv(pk.n_squared()).expect("unit");
+                    pk.mul_scalar(&pp_paillier::Ciphertext::new(inv), &BigUint::from(d))
+                }
+            };
+            let c = pk.add(&term, &pk.encrypt(&BigUint::from(lo0), rng));
+            // Receiver decrypts m_b.
+            let m = sk.decrypt(&c);
+            // Reduce mod 2^64 (negative diffs wrap as intended).
+            let v = m.low_bits(64).to_u64().expect("64-bit");
+            out[half] = v;
+        }
+        debug_assert_eq!(out, if b { *m1 } else { *m0 });
+        chosen.push(out);
+    }
+    (seed_pairs, BaseOtSeeds { chosen, choices }, KAPPA)
+}
+
+/// Signed 64-bit difference helper (Paillier scalars are non-negative).
+enum BigInt64 {
+    Pos(u64),
+    Neg(u64),
+}
+
+impl BigInt64 {
+    fn diff(a: u64, b: u64) -> Self {
+        if a >= b {
+            BigInt64::Pos(a - b)
+        } else {
+            BigInt64::Neg(b - a)
+        }
+    }
+}
+
+/// Expands a seed into `words` pseudorandom u64 words (Speck counter
+/// mode), starting at word `offset` so a seed can serve many batches.
+fn prg(seed: Block, offset: u64, words: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(words);
+    let mut ctr = offset / 2;
+    // Align to the two-word block boundary.
+    let skip_first = (offset % 2) as usize;
+    let mut pending_skip = skip_first;
+    while out.len() < words {
+        let block = hash_gate(seed, [ctr, !ctr], ctr, 0);
+        for w in [block[0], block[1]] {
+            if pending_skip > 0 {
+                pending_skip -= 1;
+                continue;
+            }
+            if out.len() < words {
+                out.push(w);
+            }
+        }
+        ctr += 1;
+    }
+    out
+}
+
+/// The extension receiver's per-OT output: the pad `H(j, t_j)` for its
+/// choice bit. The sender's outputs are the pads for both bits.
+pub struct ExtendedOts {
+    /// Sender pads `(H(q_j), H(q_j ⊕ s))` per OT.
+    pub sender_pads: Vec<(Block, Block)>,
+    /// Receiver pads `H(t_j)` per OT (valid for its choice bit).
+    pub receiver_pads: Vec<Block>,
+    /// The receiver's choice bits (kept for the protocol driver).
+    pub choices: Vec<bool>,
+}
+
+/// A reusable IKNP session: base OTs run once, then arbitrarily many
+/// extension batches are derived from the cached seeds at increasing PRG
+/// offsets (the stateful-extension pattern of production OT libraries).
+pub struct IknpSession {
+    seed_pairs: Vec<(Block, Block)>,
+    base: BaseOtSeeds,
+    /// PRG word offset consumed so far.
+    offset: u64,
+    /// Global OT index (for pad tweaks).
+    ot_index: u64,
+}
+
+impl IknpSession {
+    /// Runs the κ Paillier base OTs once.
+    pub fn new(rng: &mut StdRng, stats: &mut OtStats) -> Self {
+        let (seed_pairs, base, n_base) = base_ots(rng);
+        stats.base_ots += n_base;
+        IknpSession { seed_pairs, base, offset: 0, ot_index: 0 }
+    }
+
+    /// Extends one batch of OTs with the given receiver choice bits.
+    pub fn extend(
+        &mut self,
+        choices: &[bool],
+        stats: &mut OtStats,
+    ) -> Result<ExtendedOts, MpcError> {
+        iknp_extend_with(self, choices, stats)
+    }
+}
+
+/// Runs one IKNP extension batch against a session's cached base seeds.
+/// Both roles execute in-process; `stats` is charged for the matrix
+/// traffic.
+fn iknp_extend_with(
+    session: &mut IknpSession,
+    choices: &[bool],
+    stats: &mut OtStats,
+) -> Result<ExtendedOts, MpcError> {
+    let m = choices.len();
+    if m == 0 {
+        return Err(MpcError::Protocol("no OTs requested".into()));
+    }
+    let words_per_col = m.div_ceil(64);
+    let seed_pairs = &session.seed_pairs;
+    let base = &session.base;
+    let prg_offset = session.offset;
+
+    // Receiver: choice-bit vector as words.
+    let mut x_words = vec![0u64; words_per_col];
+    for (j, &b) in choices.iter().enumerate() {
+        if b {
+            x_words[j / 64] |= 1 << (j % 64);
+        }
+    }
+
+    // Receiver builds T columns and sends u_i = G(k⁰) ⊕ G(k¹) ⊕ x.
+    // Sender reconstructs q columns = G(k^{s_i}) ⊕ s_i·u_i.
+    let mut t_cols = Vec::with_capacity(KAPPA);
+    let mut q_cols = Vec::with_capacity(KAPPA);
+    for i in 0..KAPPA {
+        let g0 = prg(seed_pairs[i].0, prg_offset, words_per_col);
+        let g1 = prg(seed_pairs[i].1, prg_offset, words_per_col);
+        let u: Vec<u64> = g0
+            .iter()
+            .zip(&g1)
+            .zip(&x_words)
+            .map(|((a, b), x)| a ^ b ^ x)
+            .collect();
+        stats.bytes += u.len() * 8;
+        let g_s = prg(base.chosen[i], prg_offset, words_per_col);
+        let q: Vec<u64> = if base.choices[i] {
+            g_s.iter().zip(&u).map(|(g, u)| g ^ u).collect()
+        } else {
+            g_s
+        };
+        t_cols.push(g0);
+        q_cols.push(q);
+    }
+
+    // Transpose columns to rows and hash into pads.
+    let row = |cols: &[Vec<u64>], j: usize| -> Block {
+        let mut r = [0u64; 2];
+        for (i, col) in cols.iter().enumerate() {
+            let bit = (col[j / 64] >> (j % 64)) & 1;
+            if bit == 1 {
+                r[i / 64] |= 1 << (i % 64);
+            }
+        }
+        r
+    };
+    let s_block = {
+        let mut s = [0u64; 2];
+        for (i, &b) in base.choices.iter().enumerate() {
+            if b {
+                s[i / 64] |= 1 << (i % 64);
+            }
+        }
+        s
+    };
+
+    let mut sender_pads = Vec::with_capacity(m);
+    let mut receiver_pads = Vec::with_capacity(m);
+    for j in 0..m {
+        let g = session.ot_index + j as u64;
+        let qj = row(&q_cols, j);
+        let tj = row(&t_cols, j);
+        let pad0 = hash_gate(qj, [g, 0x1B3A_17C4], g, 1);
+        let pad1 = hash_gate(xor(qj, s_block), [g, 0x1B3A_17C4], g, 1);
+        let padr = hash_gate(tj, [g, 0x1B3A_17C4], g, 1);
+        sender_pads.push((pad0, pad1));
+        receiver_pads.push(padr);
+    }
+    stats.extended_ots += m;
+    session.offset += words_per_col as u64;
+    session.ot_index += m as u64;
+    Ok(ExtendedOts { sender_pads, receiver_pads, choices: choices.to_vec() })
+}
+
+/// Gilboa product: additive shares of `a·b` where the sender holds `a`
+/// and the receiver holds `b`, via 64 extended OTs taken from `ots`
+/// starting at `offset` (whose choice bits must be the bits of `b`).
+/// Returns `(sender_share, receiver_share)` and the correction bytes.
+pub fn gilboa_product(
+    a: u64,
+    ots: &ExtendedOts,
+    offset: usize,
+    stats: &mut OtStats,
+) -> (u64, u64) {
+    let mut sender_share = 0u64;
+    let mut receiver_share = 0u64;
+    for i in 0..64 {
+        let (pad0, pad1) = ots.sender_pads[offset + i];
+        let b_i = ots.choices[offset + i];
+        // Sender's messages: m0 = r, m1 = r + a·2^i, both masked.
+        let r = pad0[0];
+        let m1 = r.wrapping_add(a << i);
+        // Correction for choice 1: c = m1 ⊕ pad1 (choice-0 needs none —
+        // m0 is the pad itself).
+        let c = m1 ^ pad1[0];
+        stats.bytes += 8;
+        // Receiver unmasks with its pad.
+        let received = if b_i { c ^ ots.receiver_pads[offset + i][0] } else {
+            ots.receiver_pads[offset + i][0]
+        };
+        debug_assert_eq!(received, if b_i { m1 } else { r });
+        receiver_share = receiver_share.wrapping_add(received);
+        sender_share = sender_share.wrapping_sub(r);
+    }
+    (sender_share, receiver_share)
+}
+
+/// OT-based Beaver-triple generator: the honest replacement for
+/// [`crate::beaver::TripleDealer`], paying the real preprocessing cost.
+pub struct OtTripleGenerator {
+    rng: StdRng,
+    stats: OtStats,
+    /// One IKNP session per transfer direction, base OTs amortized.
+    sessions: Option<(IknpSession, IknpSession)>,
+    /// Triples generated per extension batch (bounds matrix memory).
+    batch: usize,
+}
+
+impl OtTripleGenerator {
+    /// Creates a generator.
+    pub fn new(seed: u64) -> Self {
+        OtTripleGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            stats: OtStats::default(),
+            sessions: None,
+            batch: 2048,
+        }
+    }
+
+    /// Accumulated preprocessing statistics.
+    pub fn stats(&self) -> OtStats {
+        self.stats
+    }
+
+    /// Generates `count` triples: `a = a0 + a1`, `b = b0 + b1`,
+    /// `c = a·b` shared, with the cross products `a0·b1` and `a1·b0`
+    /// computed via Gilboa OT products (128 extended OTs per triple).
+    pub fn triples(&mut self, count: usize) -> Result<Vec<crate::beaver::Triple>, MpcError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if self.sessions.is_none() {
+            let s1 = IknpSession::new(&mut self.rng, &mut self.stats);
+            let s2 = IknpSession::new(&mut self.rng, &mut self.stats);
+            self.sessions = Some((s1, s2));
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut remaining = count;
+        while remaining > 0 {
+            let n = remaining.min(self.batch);
+            out.extend(self.triple_batch(n)?);
+            remaining -= n;
+        }
+        Ok(out)
+    }
+
+    /// One extension batch of `count` triples.
+    fn triple_batch(&mut self, count: usize) -> Result<Vec<crate::beaver::Triple>, MpcError> {
+        let a0s: Vec<u64> = (0..count).map(|_| self.rng.gen()).collect();
+        let a1s: Vec<u64> = (0..count).map(|_| self.rng.gen()).collect();
+        let b0s: Vec<u64> = (0..count).map(|_| self.rng.gen()).collect();
+        let b1s: Vec<u64> = (0..count).map(|_| self.rng.gen()).collect();
+
+        // Direction 1: P0 sends a0, P1 chooses with bits of b1;
+        // direction 2: P1 sends a1, P0 chooses with bits of b0.
+        let bits = |vals: &[u64]| -> Vec<bool> {
+            vals.iter()
+                .flat_map(|v| (0..64).map(move |i| (v >> i) & 1 == 1))
+                .collect()
+        };
+        let (s1, s2) = self.sessions.as_mut().expect("initialized in triples()");
+        let ots1 = iknp_extend_with(s1, &bits(&b1s), &mut self.stats)?;
+        let ots2 = iknp_extend_with(s2, &bits(&b0s), &mut self.stats)?;
+
+        let mut out = Vec::with_capacity(count);
+        for k in 0..count {
+            let (a0, a1, b0, b1) = (a0s[k], a1s[k], b0s[k], b1s[k]);
+            let (s01_p0, s01_p1) = gilboa_product(a0, &ots1, k * 64, &mut self.stats);
+            let (s10_p1, s10_p0) = gilboa_product(a1, &ots2, k * 64, &mut self.stats);
+            // c0 + c1 = (a0+a1)(b0+b1)
+            let c0 = ring::mul(a0, b0)
+                .wrapping_add(s01_p0)
+                .wrapping_add(s10_p0);
+            let c1 = ring::mul(a1, b1)
+                .wrapping_add(s01_p1)
+                .wrapping_add(s10_p1);
+            out.push(crate::beaver::Triple {
+                a: Shared { s0: a0, s1: a1 },
+                b: Shared { s0: b0, s1: b1 },
+                c: Shared { s0: c0, s1: c1 },
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iknp_pads_agree_on_choice_bit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = OtStats::default();
+        let choices: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let mut session = IknpSession::new(&mut rng, &mut stats);
+        let ots = session.extend(&choices, &mut stats).unwrap();
+        for j in 0..choices.len() {
+            let (p0, p1) = ots.sender_pads[j];
+            let want = if choices[j] { p1 } else { p0 };
+            assert_eq!(ots.receiver_pads[j], want, "OT {j}");
+            // And the *other* pad is unknown to the receiver.
+            let other = if choices[j] { p0 } else { p1 };
+            assert_ne!(ots.receiver_pads[j], other, "OT {j} leaks");
+        }
+        assert_eq!(stats.base_ots, KAPPA);
+        assert_eq!(stats.extended_ots, 200);
+    }
+
+    #[test]
+    fn gilboa_shares_multiply() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut stats = OtStats::default();
+        let mut session = IknpSession::new(&mut rng, &mut stats);
+        for (a, b) in [(3u64, 4u64), (u64::MAX, 2), (0, 99), (1 << 40, 1 << 30)] {
+            let choices: Vec<bool> = (0..64).map(|i| (b >> i) & 1 == 1).collect();
+            let ots = session.extend(&choices, &mut stats).unwrap();
+            let (s_share, r_share) = gilboa_product(a, &ots, 0, &mut stats);
+            assert_eq!(s_share.wrapping_add(r_share), a.wrapping_mul(b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn ot_triples_are_valid() {
+        let mut generator = OtTripleGenerator::new(3);
+        let triples = generator.triples(5).unwrap();
+        assert_eq!(triples.len(), 5);
+        for t in &triples {
+            assert_eq!(
+                ring::mul(t.a.reveal(), t.b.reveal()),
+                t.c.reveal(),
+                "triple invariant"
+            );
+        }
+        let stats = generator.stats();
+        assert_eq!(stats.extended_ots, 5 * 2 * 64);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn ot_triples_work_in_beaver_multiplication() {
+        use crate::beaver::{mul_shared, OnlineStats};
+        let mut generator = OtTripleGenerator::new(4);
+        let triples = generator.triples(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Shared::share(1234, &mut rng);
+        let y = Shared::share(5678, &mut rng);
+        let mut stats = OnlineStats::default();
+        let z = mul_shared(&x, &y, &triples[0], &mut stats).unwrap();
+        assert_eq!(z.reveal(), 1234 * 5678);
+    }
+
+    #[test]
+    fn empty_request_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut stats = OtStats::default();
+        let mut session = IknpSession::new(&mut rng, &mut stats);
+        assert!(session.extend(&[], &mut stats).is_err());
+    }
+
+    #[test]
+    fn repeated_batches_stay_correct_and_amortize_base_ots() {
+        let mut generator = OtTripleGenerator::new(9);
+        let first = generator.triples(3).unwrap();
+        let second = generator.triples(3).unwrap();
+        for t in first.iter().chain(&second) {
+            assert_eq!(ring::mul(t.a.reveal(), t.b.reveal()), t.c.reveal());
+        }
+        // Base OTs ran once per direction, not once per batch.
+        assert_eq!(generator.stats().base_ots, 2 * KAPPA);
+    }
+}

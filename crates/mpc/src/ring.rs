@@ -1,0 +1,93 @@
+//! Arithmetic over the ring `Z_{2^64}` with fixed-point encoding.
+//!
+//! ABY-style frameworks (and EzPC on top of them) compute over a power-of-
+//! two ring so that additions and multiplications are native wrapping
+//! machine ops. Signed values use two's complement; fixed-point values
+//! carry `FRAC_BITS` fractional bits, with truncation after each
+//! multiplication.
+
+/// Fractional bits of the fixed-point encoding (EzPC's default is 12–24;
+/// we use 16, giving ~4.8 decimal digits).
+pub const FRAC_BITS: u32 = 16;
+
+/// Encodes a float into the fixed-point ring representation.
+pub fn encode_fixed(x: f64) -> u64 {
+    (x * (1u64 << FRAC_BITS) as f64).round() as i64 as u64
+}
+
+/// Decodes a ring element back to a float (two's-complement signed).
+pub fn decode_fixed(v: u64) -> f64 {
+    v as i64 as f64 / (1u64 << FRAC_BITS) as f64
+}
+
+/// Ring addition.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+/// Ring subtraction.
+#[inline]
+pub fn sub(a: u64, b: u64) -> u64 {
+    a.wrapping_sub(b)
+}
+
+/// Ring multiplication.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}
+
+/// Ring negation.
+#[inline]
+pub fn neg(a: u64) -> u64 {
+    a.wrapping_neg()
+}
+
+/// Arithmetic-shift truncation by [`FRAC_BITS`] after a fixed-point
+/// product (the local-truncation trick of SecureML, also used by EzPC).
+#[inline]
+pub fn truncate(v: u64) -> u64 {
+    ((v as i64) >> FRAC_BITS) as u64
+}
+
+/// Signed interpretation of a ring element.
+#[inline]
+pub fn to_signed(v: u64) -> i64 {
+    v as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        for x in [0.0, 1.0, -1.0, 3.14159, -123.456, 0.0001] {
+            let v = encode_fixed(x);
+            assert!((decode_fixed(v) - x).abs() < 1.0 / (1 << FRAC_BITS) as f64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn ring_ops_wrap() {
+        assert_eq!(add(u64::MAX, 1), 0);
+        assert_eq!(sub(0, 1), u64::MAX);
+        assert_eq!(neg(1), u64::MAX);
+        assert_eq!(mul(1 << 63, 2), 0);
+    }
+
+    #[test]
+    fn fixed_multiplication_with_truncation() {
+        let a = encode_fixed(2.5);
+        let b = encode_fixed(-1.5);
+        let prod = truncate(mul(a, b));
+        assert!((decode_fixed(prod) - (-3.75)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(to_signed(encode_fixed(-2.0)), -(2 << FRAC_BITS));
+        assert!(to_signed(encode_fixed(5.0)) > 0);
+    }
+}

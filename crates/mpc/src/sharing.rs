@@ -1,0 +1,120 @@
+//! Two-party additive secret sharing over `Z_{2^64}`.
+
+use crate::ring;
+use rand::Rng;
+
+/// Which of the two computing parties holds a share. In the EzPC mapping,
+/// `P0` is the model provider (server) and `P1` the data provider (client).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Party {
+    P0,
+    P1,
+}
+
+/// An additively shared value: `value = share0 + share1 (mod 2^64)`.
+/// The pair is held by the in-process protocol driver; each party only
+/// ever reads its own half.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shared {
+    pub s0: u64,
+    pub s1: u64,
+}
+
+impl Shared {
+    /// Splits `value` into two random additive shares.
+    pub fn share<R: Rng + ?Sized>(value: u64, rng: &mut R) -> Self {
+        let s0: u64 = rng.gen();
+        Shared { s0, s1: ring::sub(value, s0) }
+    }
+
+    /// Shares a value known to one party only: that party keeps the value,
+    /// the other holds zero. (Used for private inputs such as model
+    /// weights.)
+    pub fn from_private(value: u64, owner: Party) -> Self {
+        match owner {
+            Party::P0 => Shared { s0: value, s1: 0 },
+            Party::P1 => Shared { s0: 0, s1: value },
+        }
+    }
+
+    /// Reconstructs the secret (both shares exchanged).
+    pub fn reveal(&self) -> u64 {
+        ring::add(self.s0, self.s1)
+    }
+
+    /// Share-wise addition — local, no communication.
+    pub fn add(&self, other: &Shared) -> Shared {
+        Shared { s0: ring::add(self.s0, other.s0), s1: ring::add(self.s1, other.s1) }
+    }
+
+    /// Share-wise subtraction — local.
+    pub fn sub(&self, other: &Shared) -> Shared {
+        Shared { s0: ring::sub(self.s0, other.s0), s1: ring::sub(self.s1, other.s1) }
+    }
+
+    /// Addition of a public constant — only P0 adjusts its share.
+    pub fn add_public(&self, c: u64) -> Shared {
+        Shared { s0: ring::add(self.s0, c), s1: self.s1 }
+    }
+
+    /// Multiplication by a public constant — local on both shares.
+    pub fn mul_public(&self, c: u64) -> Shared {
+        Shared { s0: ring::mul(self.s0, c), s1: ring::mul(self.s1, c) }
+    }
+
+    /// The share held by `party`.
+    pub fn of(&self, party: Party) -> u64 {
+        match party {
+            Party::P0 => self.s0,
+            Party::P1 => self.s1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn share_and_reveal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in [0u64, 1, u64::MAX, 123_456_789] {
+            let s = Shared::share(v, &mut rng);
+            assert_eq!(s.reveal(), v);
+            // Individual shares look unrelated to the value.
+            assert_ne!(s.s0, v);
+        }
+    }
+
+    #[test]
+    fn linear_operations_are_homomorphic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Shared::share(100, &mut rng);
+        let b = Shared::share(u64::MAX, &mut rng); // -1
+        assert_eq!(a.add(&b).reveal(), 99);
+        assert_eq!(a.sub(&b).reveal(), 101);
+        assert_eq!(a.add_public(5).reveal(), 105);
+        assert_eq!(a.mul_public(7).reveal(), 700);
+    }
+
+    #[test]
+    fn private_input_sharing() {
+        let s = Shared::from_private(42, Party::P0);
+        assert_eq!(s.reveal(), 42);
+        assert_eq!(s.of(Party::P1), 0);
+        let s = Shared::from_private(42, Party::P1);
+        assert_eq!(s.of(Party::P0), 0);
+        assert_eq!(s.reveal(), 42);
+    }
+
+    #[test]
+    fn shares_are_random_across_draws() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Shared::share(7, &mut rng);
+        let b = Shared::share(7, &mut rng);
+        assert_ne!(a.s0, b.s0);
+        assert_eq!(a.reveal(), b.reveal());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the MPC stack: sharing/Beaver algebra, circuit
+//! semantics, and garbling correctness on random circuits.
+
+use pp_mpc::beaver::{mul_shared, OnlineStats, TripleDealer};
+use pp_mpc::circuit::{bits_to_u64, u64_to_bits, CircuitBuilder};
+use pp_mpc::garble::GarbledCircuit;
+use pp_mpc::ring;
+use pp_mpc::sharing::Shared;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn sharing_is_additive(x in any::<u64>(), y in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sx = Shared::share(x, &mut rng);
+        let sy = Shared::share(y, &mut rng);
+        prop_assert_eq!(sx.add(&sy).reveal(), x.wrapping_add(y));
+        prop_assert_eq!(sx.sub(&sy).reveal(), x.wrapping_sub(y));
+    }
+
+    #[test]
+    fn public_ops_commute_with_reveal(x in any::<u64>(), c in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sx = Shared::share(x, &mut rng);
+        prop_assert_eq!(sx.add_public(c).reveal(), x.wrapping_add(c));
+        prop_assert_eq!(sx.mul_public(c).reveal(), x.wrapping_mul(c));
+    }
+
+    #[test]
+    fn beaver_multiplication_is_correct(x in any::<u64>(), y in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dealer = TripleDealer::new(StdRng::seed_from_u64(seed ^ 1));
+        let sx = Shared::share(x, &mut rng);
+        let sy = Shared::share(y, &mut rng);
+        let mut stats = OnlineStats::default();
+        let z = mul_shared(&sx, &sy, &dealer.triple(), &mut stats).unwrap();
+        prop_assert_eq!(z.reveal(), ring::mul(x, y));
+    }
+
+    #[test]
+    fn adder_circuit_matches_wrapping_add(a in any::<u64>(), b in any::<u64>()) {
+        let mut builder = CircuitBuilder::new();
+        let wa = builder.inputs(64);
+        let wb = builder.inputs(64);
+        let sum = builder.adder(&wa, &wb);
+        let c = builder.build(sum).unwrap();
+        let mut inputs = u64_to_bits(a);
+        inputs.extend(u64_to_bits(b));
+        prop_assert_eq!(bits_to_u64(&c.eval(&inputs).unwrap()), a.wrapping_add(b));
+    }
+
+    #[test]
+    fn subtractor_circuit_matches_wrapping_sub(a in any::<u64>(), b in any::<u64>()) {
+        let mut builder = CircuitBuilder::new();
+        let wa = builder.inputs(64);
+        let wb = builder.inputs(64);
+        let diff = builder.subtractor(&wa, &wb);
+        let c = builder.build(diff).unwrap();
+        let mut inputs = u64_to_bits(a);
+        inputs.extend(u64_to_bits(b));
+        prop_assert_eq!(bits_to_u64(&c.eval(&inputs).unwrap()), a.wrapping_sub(b));
+    }
+
+    #[test]
+    fn garbled_eval_matches_plain_eval(
+        inputs in proptest::collection::vec(any::<bool>(), 4..12),
+        ops in proptest::collection::vec(0u8..3, 1..24),
+        seed in any::<u64>(),
+    ) {
+        // Random well-formed circuit: each gate reads two earlier wires.
+        let mut builder = CircuitBuilder::new();
+        let input_wires = builder.inputs(inputs.len());
+        let mut wires = input_wires;
+        let mut idx: u64 = seed | 1;
+        let mut pick = |n: usize| -> usize {
+            idx = idx.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (idx >> 33) as usize % n
+        };
+        for op in &ops {
+            let a = wires[pick(wires.len())];
+            let b = wires[pick(wires.len())];
+            let w = match op {
+                0 => builder.xor(a, b),
+                1 => builder.and(a, b),
+                _ => builder.not(a),
+            };
+            wires.push(w);
+        }
+        let outputs = vec![*wires.last().unwrap(), wires[pick(wires.len())]];
+        let circuit = builder.build(outputs).unwrap();
+
+        let plain = circuit.eval(&inputs).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let garbled = GarbledCircuit::garble(circuit, &mut rng);
+        let labels: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(w, &v)| garbled.input_label(w, v))
+            .collect();
+        prop_assert_eq!(garbled.evaluate(&labels).unwrap(), plain);
+    }
+
+    #[test]
+    fn fixed_point_roundtrip_and_addition(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let ea = ring::encode_fixed(a);
+        let eb = ring::encode_fixed(b);
+        let sum = ring::decode_fixed(ring::add(ea, eb));
+        prop_assert!((sum - (a + b)).abs() < 1e-3, "sum={sum}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Non-linear activation functions, executed by the *data provider* on
+//! decrypted (possibly permuted) tensors.
+//!
+//! ReLU and Sigmoid are element-wise, so they commute with PP-Stream's
+//! permutation obfuscation; SoftMax does not, which is why the protocol
+//! skips obfuscation in the final round (paper Sec. III-C).
+
+use pp_tensor::Tensor;
+
+/// `max(0, x)` element-wise.
+pub fn relu(t: &Tensor<f64>) -> Tensor<f64> {
+    t.map(|&x| x.max(0.0))
+}
+
+/// ReLU on scaled integers — sign is scale-invariant, so the scaled domain
+/// applies it directly.
+pub fn relu_i64(t: &Tensor<i64>) -> Tensor<i64> {
+    t.map(|&x| x.max(0))
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})` element-wise.
+pub fn sigmoid(t: &Tensor<f64>) -> Tensor<f64> {
+    t.map(|&x| sigmoid_scalar(x))
+}
+
+/// Scalar sigmoid.
+pub fn sigmoid_scalar(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid in the scaled-integer domain: converts to floats at scale
+/// `factor`, applies the sigmoid, and re-scales. This is what the data
+/// provider does for mixed layers after decryption.
+pub fn sigmoid_i64(t: &Tensor<i64>, factor: f64) -> Tensor<i64> {
+    t.map(|&x| (sigmoid_scalar(x as f64 / factor) * factor).round() as i64)
+}
+
+/// Numerically stable softmax over a rank-1 tensor.
+pub fn softmax(t: &Tensor<f64>) -> Tensor<f64> {
+    let max = t.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = t.data().iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    Tensor::from_vec(t.shape().clone(), exps.into_iter().map(|e| e / sum).collect())
+        .expect("same length")
+}
+
+/// Index of the maximum element (the predicted class).
+pub fn argmax(t: &Tensor<f64>) -> usize {
+    t.data()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN in logits"))
+        .map(|(i, _)| i)
+        .expect("non-empty tensor")
+}
+
+/// Argmax on scaled integers.
+pub fn argmax_i64(t: &Tensor<i64>) -> usize {
+    t.data()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, v)| *v)
+        .map(|(i, _)| i)
+        .expect("non-empty tensor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_tensor::Tensor;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_flat(vec![-2.0, -0.5, 0.0, 0.5, 2.0]);
+        assert_eq!(relu(&t).data(), &[0.0, 0.0, 0.0, 0.5, 2.0]);
+        let ti = Tensor::from_flat(vec![-3i64, 0, 7]);
+        assert_eq!(relu_i64(&ti).data(), &[0, 0, 7]);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid_scalar(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid_scalar(10.0) > 0.9999);
+        assert!(sigmoid_scalar(-10.0) < 0.0001);
+        // Symmetry: σ(-x) = 1 - σ(x)
+        for x in [-3.0, -0.7, 0.3, 2.5] {
+            assert!((sigmoid_scalar(-x) - (1.0 - sigmoid_scalar(x))).abs() < 1e-12);
+        }
+        // Stable at extreme inputs.
+        assert_eq!(sigmoid_scalar(-1000.0), 0.0);
+        assert_eq!(sigmoid_scalar(1000.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_i64_tracks_float() {
+        let f = 1e4;
+        let t = Tensor::from_flat(vec![-20_000i64, 0, 5_000, 30_000]);
+        let out = sigmoid_i64(&t, f);
+        for (&scaled, &raw) in out.data().iter().zip(t.data()) {
+            let want = sigmoid_scalar(raw as f64 / f);
+            assert!((scaled as f64 / f - want).abs() < 1.0 / f, "raw={raw}");
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::from_flat(vec![1.0, 2.0, 3.0]);
+        let s = softmax(&t);
+        let sum: f64 = s.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(s.data()[2] > s.data()[1] && s.data()[1] > s.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_flat(vec![1.0, 2.0, 3.0]));
+        let b = softmax(&Tensor::from_flat(vec![1001.0, 1002.0, 1003.0]));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn argmax_variants() {
+        assert_eq!(argmax(&Tensor::from_flat(vec![0.1, 0.7, 0.2])), 1);
+        assert_eq!(argmax_i64(&Tensor::from_flat(vec![5i64, -2, 9, 3])), 2);
+    }
+}

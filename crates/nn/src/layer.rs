@@ -1,0 +1,270 @@
+//! Layer definitions, the linear/non-linear taxonomy of paper Sec. II-A,
+//! and the decomposition into primitive operations consumed by PP-Stream's
+//! operation encapsulation (Sec. IV-B).
+
+use crate::activation;
+use crate::NnError;
+use pp_tensor::ops::{self, Conv2dSpec};
+use pp_tensor::{PlainF64, Shape, Tensor};
+
+/// Classification of a hidden layer by its operations (paper Sec. II-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Only linear operations — executed under homomorphic encryption by
+    /// the model provider.
+    Linear,
+    /// Only non-linear operations — executed in the clear (on permuted
+    /// tensors) by the data provider.
+    NonLinear,
+    /// A mix of both; decomposed into one linear and one non-linear
+    /// primitive layer.
+    Mixed,
+}
+
+/// A neural-network layer with `f64` parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Layer {
+    /// 2-D convolution (linear).
+    Conv2d {
+        spec: Conv2dSpec,
+        /// `[C_out, C_in, K, K]`
+        weights: Tensor<f64>,
+        bias: Vec<f64>,
+    },
+    /// Fully-connected layer (linear). Weights are `[out, in]`.
+    Dense { weights: Tensor<f64>, bias: Vec<f64> },
+    /// Inference-time batch normalization folded to a per-channel affine
+    /// transform (linear).
+    BatchNorm { scale: Vec<f64>, shift: Vec<f64> },
+    /// Rectified linear unit (non-linear, element-wise — commutes with
+    /// permutation obfuscation).
+    ReLU,
+    /// Scaled sigmoid `σ(α·x)` — the paper's *mixed* layer example: a
+    /// scalar multiplication (linear, model parameter `α`) followed by the
+    /// sigmoid (non-linear).
+    ScaledSigmoid { alpha: f64 },
+    /// SoftMax (non-linear; only valid on non-permuted tensors, so it is
+    /// restricted to the final round of the protocol).
+    SoftMax,
+    /// Max pooling (non-linear). The paper notes it can be replaced by a
+    /// stride-2 convolution + ReLU [62]; we support it natively.
+    MaxPool { window: usize, stride: usize },
+    /// Average pooling. Summation is *linear*, so unlike MaxPool this
+    /// pooling runs homomorphically at the model provider (the `1/w²`
+    /// divisor folds into the data provider's next rescale) — a
+    /// generality extension beyond the paper's MaxPool replacement.
+    AvgPool { window: usize, stride: usize },
+    /// Reshape to rank 1 (free; attaches to the adjacent linear stage).
+    Flatten,
+}
+
+/// One primitive operation after decomposing mixed layers
+/// (paper Sec. IV-B). Linear ops carry their parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PrimitiveOp {
+    Conv2d { spec: Conv2dSpec, weights: Tensor<f64>, bias: Vec<f64> },
+    Dense { weights: Tensor<f64>, bias: Vec<f64> },
+    Affine { scale: Vec<f64>, shift: Vec<f64> },
+    /// Uniform scalar multiplication (the linear half of a mixed layer).
+    Scale { alpha: f64 },
+    ReLU,
+    Sigmoid,
+    SoftMax,
+    MaxPool { window: usize, stride: usize },
+    /// Linear sum pooling (the divisor is handled at scaling time).
+    SumPool { window: usize, stride: usize },
+    Flatten,
+}
+
+impl PrimitiveOp {
+    /// Whether the primitive is linear (model-provider side) or non-linear
+    /// (data-provider side). `Flatten` is metadata-only and counts as
+    /// linear so it rides along with the adjacent encrypted stage.
+    pub fn kind(&self) -> LayerKind {
+        match self {
+            PrimitiveOp::Conv2d { .. }
+            | PrimitiveOp::Dense { .. }
+            | PrimitiveOp::Affine { .. }
+            | PrimitiveOp::Scale { .. }
+            | PrimitiveOp::SumPool { .. }
+            | PrimitiveOp::Flatten => LayerKind::Linear,
+            PrimitiveOp::ReLU
+            | PrimitiveOp::Sigmoid
+            | PrimitiveOp::SoftMax
+            | PrimitiveOp::MaxPool { .. } => LayerKind::NonLinear,
+        }
+    }
+}
+
+impl Layer {
+    /// The paper's layer taxonomy.
+    pub fn kind(&self) -> LayerKind {
+        match self {
+            Layer::Conv2d { .. } | Layer::Dense { .. } | Layer::BatchNorm { .. } | Layer::Flatten => {
+                LayerKind::Linear
+            }
+            Layer::ReLU | Layer::SoftMax | Layer::MaxPool { .. } => LayerKind::NonLinear,
+            Layer::AvgPool { .. } => LayerKind::Linear,
+            Layer::ScaledSigmoid { .. } => LayerKind::Mixed,
+        }
+    }
+
+    /// Decomposes into primitive layers: linear layers map to one linear
+    /// primitive, non-linear to one non-linear primitive, and mixed layers
+    /// split into a linear + a non-linear primitive (paper Sec. IV-B).
+    pub fn primitive_layers(&self) -> Vec<PrimitiveOp> {
+        match self {
+            Layer::Conv2d { spec, weights, bias } => vec![PrimitiveOp::Conv2d {
+                spec: spec.clone(),
+                weights: weights.clone(),
+                bias: bias.clone(),
+            }],
+            Layer::Dense { weights, bias } => {
+                vec![PrimitiveOp::Dense { weights: weights.clone(), bias: bias.clone() }]
+            }
+            Layer::BatchNorm { scale, shift } => {
+                vec![PrimitiveOp::Affine { scale: scale.clone(), shift: shift.clone() }]
+            }
+            Layer::ReLU => vec![PrimitiveOp::ReLU],
+            Layer::ScaledSigmoid { alpha } => {
+                vec![PrimitiveOp::Scale { alpha: *alpha }, PrimitiveOp::Sigmoid]
+            }
+            Layer::SoftMax => vec![PrimitiveOp::SoftMax],
+            Layer::MaxPool { window, stride } => {
+                vec![PrimitiveOp::MaxPool { window: *window, stride: *stride }]
+            }
+            Layer::AvgPool { window, stride } => {
+                vec![PrimitiveOp::SumPool { window: *window, stride: *stride }]
+            }
+            Layer::Flatten => vec![PrimitiveOp::Flatten],
+        }
+    }
+
+    /// Plaintext forward pass.
+    pub fn forward(&self, input: &Tensor<f64>) -> Result<Tensor<f64>, NnError> {
+        match self {
+            Layer::Conv2d { spec, weights, bias } => {
+                Ok(ops::conv2d(&PlainF64, input, weights, bias, spec)?)
+            }
+            Layer::Dense { weights, bias } => {
+                Ok(ops::fully_connected(&PlainF64, input, weights, bias)?)
+            }
+            Layer::BatchNorm { scale, shift } => Ok(ops::affine(&PlainF64, input, scale, shift)?),
+            Layer::ReLU => Ok(activation::relu(input)),
+            Layer::ScaledSigmoid { alpha } => {
+                Ok(activation::sigmoid(&input.map(|&x| alpha * x)))
+            }
+            Layer::SoftMax => Ok(activation::softmax(input)),
+            Layer::MaxPool { window, stride } => Ok(ops::max_pool2d(input, *window, *stride)?),
+            Layer::AvgPool { window, stride } => Ok(ops::avg_pool2d(input, *window, *stride)?),
+            Layer::Flatten => Ok(input.clone().flatten()),
+        }
+    }
+
+    /// Output shape for a given input shape (without running the layer).
+    pub fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
+        match self {
+            Layer::Conv2d { spec, .. } => Ok(spec.output_shape(input)?),
+            Layer::Dense { weights, .. } => {
+                let dims = weights.shape().dims();
+                if input.len() != dims[1] {
+                    return Err(NnError::Shape(format!(
+                        "dense expects {} inputs, got {input}",
+                        dims[1]
+                    )));
+                }
+                Ok(Shape::vector(dims[0]))
+            }
+            Layer::BatchNorm { .. } | Layer::ReLU | Layer::ScaledSigmoid { .. } | Layer::SoftMax => {
+                Ok(input.clone())
+            }
+            Layer::MaxPool { window, stride } | Layer::AvgPool { window, stride } => {
+                Ok(ops::pool_output_shape(input, *window, *stride)?)
+            }
+            Layer::Flatten => Ok(Shape::vector(input.len())),
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv2d { weights, bias, .. } => weights.len() + bias.len(),
+            Layer::Dense { weights, bias } => weights.len() + bias.len(),
+            Layer::BatchNorm { scale, shift } => scale.len() + shift.len(),
+            Layer::ScaledSigmoid { .. } => 1,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_tensor::Tensor;
+
+    fn dense_2x3() -> Layer {
+        Layer::Dense {
+            weights: Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]).unwrap(),
+            bias: vec![0.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn kinds_follow_paper_taxonomy() {
+        assert_eq!(dense_2x3().kind(), LayerKind::Linear);
+        assert_eq!(Layer::ReLU.kind(), LayerKind::NonLinear);
+        assert_eq!(Layer::SoftMax.kind(), LayerKind::NonLinear);
+        assert_eq!(Layer::ScaledSigmoid { alpha: 2.0 }.kind(), LayerKind::Mixed);
+        assert_eq!(
+            Layer::BatchNorm { scale: vec![1.0], shift: vec![0.0] }.kind(),
+            LayerKind::Linear
+        );
+    }
+
+    #[test]
+    fn mixed_layer_decomposes_into_two_primitives() {
+        let prims = Layer::ScaledSigmoid { alpha: 0.5 }.primitive_layers();
+        assert_eq!(prims.len(), 2);
+        assert_eq!(prims[0].kind(), LayerKind::Linear);
+        assert_eq!(prims[1].kind(), LayerKind::NonLinear);
+    }
+
+    #[test]
+    fn simple_layers_decompose_into_one() {
+        assert_eq!(dense_2x3().primitive_layers().len(), 1);
+        assert_eq!(Layer::ReLU.primitive_layers().len(), 1);
+    }
+
+    #[test]
+    fn dense_forward_and_shape() {
+        let l = dense_2x3();
+        let out = l.forward(&Tensor::from_flat(vec![3.0, 4.0, 5.0])).unwrap();
+        assert_eq!(out.data(), &[3.0, 5.0]);
+        assert_eq!(
+            l.output_shape(&Shape::vector(3)).unwrap().dims(),
+            &[2]
+        );
+        assert!(l.output_shape(&Shape::vector(4)).is_err());
+    }
+
+    #[test]
+    fn scaled_sigmoid_forward() {
+        let l = Layer::ScaledSigmoid { alpha: 2.0 };
+        let out = l.forward(&Tensor::from_flat(vec![0.0])).unwrap();
+        assert!((out.data()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flatten_shape() {
+        let l = Layer::Flatten;
+        let s = l.output_shape(&Shape::new(vec![2, 3, 4])).unwrap();
+        assert_eq!(s.dims(), &[24]);
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(dense_2x3().param_count(), 8);
+        assert_eq!(Layer::ReLU.param_count(), 0);
+        assert_eq!(Layer::ScaledSigmoid { alpha: 1.0 }.param_count(), 1);
+    }
+}

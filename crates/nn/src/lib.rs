@@ -1,0 +1,57 @@
+//! # pp-nn
+//!
+//! Neural-network substrate for the PP-Stream reproduction: layer types,
+//! sequential models, plaintext inference, from-scratch SGD training, and
+//! the paper's *parameter scaling* scheme (Sec. IV-A) that converts
+//! floating-point models to scaled integers for Paillier arithmetic.
+//!
+//! The paper trains its nine evaluation models externally (PyTorch /
+//! Matlab) and feeds them to the C++ prototype; this crate replaces that
+//! pipeline with a self-contained trainer so the whole reproduction runs
+//! offline (see DESIGN.md §3 for the substitution rationale).
+//!
+//! Layer taxonomy follows paper Sec. II-A: each hidden layer is *linear*
+//! (convolution, fully-connected, batch-norm), *non-linear* (ReLU,
+//! SoftMax, MaxPooling), or *mixed* (scaled Sigmoid). The
+//! [`Layer::primitive_layers`] decomposition into linear/non-linear
+//! primitive layers is what PP-Stream's operation encapsulation
+//! (Sec. IV-B) consumes.
+
+pub mod activation;
+mod layer;
+mod model;
+mod model_io;
+pub mod scaling;
+pub mod train;
+pub mod zoo;
+
+pub use layer::{Layer, LayerKind, PrimitiveOp};
+pub use model::Model;
+pub use scaling::{choose_scaling_factor, round_params, ScaledModel, ScalingReport};
+pub use train::{Trainer, TrainConfig};
+
+/// Errors from model construction or inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer received an input of the wrong shape.
+    Shape(String),
+    /// The model is structurally invalid (e.g. empty).
+    InvalidModel(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::Shape(s) => write!(f, "shape error: {s}"),
+            NnError::InvalidModel(s) => write!(f, "invalid model: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+impl From<pp_tensor::TensorError> for NnError {
+    fn from(e: pp_tensor::TensorError) -> Self {
+        NnError::Shape(e.to_string())
+    }
+}

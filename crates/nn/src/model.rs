@@ -1,0 +1,231 @@
+//! Sequential models: the unit PP-Stream deploys across providers.
+
+use crate::activation::argmax;
+use crate::{Layer, NnError, PrimitiveOp};
+use pp_tensor::{Shape, Tensor};
+
+/// A feed-forward neural network as an ordered sequence of layers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Model {
+    name: String,
+    input_shape: Shape,
+    layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Creates a model, validating that consecutive layer shapes agree.
+    pub fn new(
+        name: impl Into<String>,
+        input_shape: impl Into<Shape>,
+        layers: Vec<Layer>,
+    ) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::InvalidModel("no layers".into()));
+        }
+        let input_shape = input_shape.into();
+        let mut shape = input_shape.clone();
+        for (i, layer) in layers.iter().enumerate() {
+            shape = layer
+                .output_shape(&shape)
+                .map_err(|e| NnError::InvalidModel(format!("layer {i}: {e}")))?;
+        }
+        Ok(Model { name: name.into(), input_shape, layers })
+    }
+
+    /// Model name (e.g. `"MNIST-2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by the trainer).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Output shape of the final layer.
+    pub fn output_shape(&self) -> Shape {
+        let mut shape = self.input_shape.clone();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape).expect("validated at construction");
+        }
+        shape
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Plaintext forward pass through all layers.
+    pub fn forward(&self, input: &Tensor<f64>) -> Result<Tensor<f64>, NnError> {
+        if input.shape() != &self.input_shape {
+            return Err(NnError::Shape(format!(
+                "expected input {}, got {}",
+                self.input_shape,
+                input.shape()
+            )));
+        }
+        let mut t = input.clone();
+        for layer in &self.layers {
+            t = layer.forward(&t)?;
+        }
+        Ok(t)
+    }
+
+    /// Predicted class: argmax of the final output.
+    pub fn classify(&self, input: &Tensor<f64>) -> Result<usize, NnError> {
+        Ok(argmax(&self.forward(input)?))
+    }
+
+    /// Accuracy over a labelled set, as defined in paper Sec. IV-A:
+    /// `(TP+TN) / (TP+TN+FP+FN)` — for multi-class data this is exactly the
+    /// fraction of correct predictions.
+    pub fn accuracy(&self, samples: &[(Tensor<f64>, usize)]) -> Result<f64, NnError> {
+        if samples.is_empty() {
+            return Err(NnError::InvalidModel("empty evaluation set".into()));
+        }
+        let mut correct = 0usize;
+        for (x, y) in samples {
+            if self.classify(x)? == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+
+    /// Decomposes the whole model into primitive layers (paper Sec. IV-B,
+    /// step 1 of operation encapsulation).
+    pub fn primitive_layers(&self) -> Vec<PrimitiveOp> {
+        self.layers.iter().flat_map(Layer::primitive_layers).collect()
+    }
+
+    /// All flat parameter values (used by the scaling-factor search).
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv2d { weights, bias, .. } => {
+                    out.extend_from_slice(weights.data());
+                    out.extend_from_slice(bias);
+                }
+                Layer::Dense { weights, bias } => {
+                    out.extend_from_slice(weights.data());
+                    out.extend_from_slice(bias);
+                }
+                Layer::BatchNorm { scale, shift } => {
+                    out.extend_from_slice(scale);
+                    out.extend_from_slice(shift);
+                }
+                Layer::ScaledSigmoid { alpha } => out.push(*alpha),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_tensor::ops::Conv2dSpec;
+
+    fn tiny_model() -> Model {
+        Model::new(
+            "tiny",
+            vec![3],
+            vec![
+                Layer::Dense {
+                    weights: Tensor::from_vec(vec![2, 3], vec![1.0, -1.0, 0.0, 0.5, 0.5, 0.5])
+                        .unwrap(),
+                    bias: vec![0.0, 0.0],
+                },
+                Layer::ReLU,
+                Layer::SoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_pipeline() {
+        let m = tiny_model();
+        let out = m.forward(&Tensor::from_flat(vec![2.0, 1.0, 1.0])).unwrap();
+        let sum: f64 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(m.classify(&Tensor::from_flat(vec![10.0, 0.0, 0.0])).unwrap(), 0);
+    }
+
+    #[test]
+    fn shape_validation_at_construction() {
+        // Dense expects 3 inputs but gets a 4-vector input shape.
+        let bad = Model::new(
+            "bad",
+            vec![4],
+            vec![Layer::Dense {
+                weights: Tensor::from_vec(vec![2, 3], vec![0.0; 6]).unwrap(),
+                bias: vec![0.0; 2],
+            }],
+        );
+        assert!(bad.is_err());
+        assert!(Model::new("empty", vec![1], vec![]).is_err());
+    }
+
+    #[test]
+    fn input_shape_enforced_at_inference() {
+        let m = tiny_model();
+        assert!(m.forward(&Tensor::from_flat(vec![1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_correct() {
+        let m = tiny_model();
+        // Class 0 wins when x0 is large; class 1 when all equal positives.
+        let samples = vec![
+            (Tensor::from_flat(vec![10.0, 0.0, 0.0]), 0),
+            (Tensor::from_flat(vec![0.0, 2.0, 2.0]), 1),
+            (Tensor::from_flat(vec![10.0, 0.0, 0.0]), 1), // wrong on purpose
+        ];
+        let acc = m.accuracy(&samples).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primitive_decomposition_counts() {
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+        let m = Model::new(
+            "conv-mixed",
+            vec![1, 3, 3],
+            vec![
+                Layer::Conv2d {
+                    spec,
+                    weights: Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap(),
+                    bias: vec![0.0],
+                },
+                Layer::ScaledSigmoid { alpha: 1.0 },
+                Layer::Flatten,
+                Layer::SoftMax,
+            ],
+        )
+        .unwrap();
+        // Conv=1, ScaledSigmoid=2, Flatten=1, SoftMax=1 → 5 primitives.
+        assert_eq!(m.primitive_layers().len(), 5);
+    }
+
+    #[test]
+    fn output_shape_and_params() {
+        let m = tiny_model();
+        assert_eq!(m.output_shape().dims(), &[2]);
+        assert_eq!(m.param_count(), 8);
+        assert_eq!(m.parameters().len(), 8);
+    }
+}

@@ -1,0 +1,302 @@
+//! Model persistence: a self-describing binary format for trained models,
+//! so the model provider can train once and deploy many sessions (the
+//! paper's workflow trains externally and imports weights; this is the
+//! equivalent import/export path).
+//!
+//! Format (all little-endian):
+//! `magic u32 | version u8 | name | input shape | layer count u32 | layers`
+//! where strings and arrays are length-prefixed and floats are IEEE-754
+//! bits.
+
+use crate::{Layer, Model, NnError};
+use pp_tensor::ops::Conv2dSpec;
+use pp_tensor::Tensor;
+
+const MAGIC: u32 = 0x5050_4D31; // "PPM1"
+const VERSION: u8 = 1;
+
+// Layer tags.
+const TAG_CONV: u8 = 1;
+const TAG_DENSE: u8 = 2;
+const TAG_BATCHNORM: u8 = 3;
+const TAG_RELU: u8 = 4;
+const TAG_SIGMOID: u8 = 5;
+const TAG_SOFTMAX: u8 = 6;
+const TAG_MAXPOOL: u8 = 7;
+const TAG_AVGPOOL: u8 = 8;
+const TAG_FLATTEN: u8 = 9;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn usizes(&mut self, v: &[usize]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x as u32);
+        }
+    }
+    fn f64s(&mut self, v: &[f64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NnError> {
+        if self.pos + n > self.buf.len() {
+            return Err(NnError::InvalidModel(format!(
+                "model file truncated at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, NnError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, NnError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, NnError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn len(&mut self, limit: usize) -> Result<usize, NnError> {
+        let n = self.u32()? as usize;
+        if n > limit {
+            return Err(NnError::InvalidModel(format!("length {n} exceeds limit {limit}")));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, NnError> {
+        let n = self.len(1 << 16)?;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|e| NnError::InvalidModel(format!("invalid utf8: {e}")))
+    }
+    fn usizes(&mut self) -> Result<Vec<usize>, NnError> {
+        let n = self.len(1 << 16)?;
+        (0..n).map(|_| Ok(self.u32()? as usize)).collect()
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, NnError> {
+        let n = self.len(1 << 28)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+impl Model {
+    /// Serializes the model (architecture + parameters).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::new() };
+        w.u32(MAGIC);
+        w.u8(VERSION);
+        w.str(self.name());
+        w.usizes(self.input_shape().dims());
+        w.u32(self.layers().len() as u32);
+        for layer in self.layers() {
+            match layer {
+                Layer::Conv2d { spec, weights, bias } => {
+                    w.u8(TAG_CONV);
+                    w.usizes(&[
+                        spec.in_channels,
+                        spec.out_channels,
+                        spec.kernel,
+                        spec.stride,
+                        spec.padding,
+                    ]);
+                    w.f64s(weights.data());
+                    w.f64s(bias);
+                }
+                Layer::Dense { weights, bias } => {
+                    w.u8(TAG_DENSE);
+                    w.usizes(weights.shape().dims());
+                    w.f64s(weights.data());
+                    w.f64s(bias);
+                }
+                Layer::BatchNorm { scale, shift } => {
+                    w.u8(TAG_BATCHNORM);
+                    w.f64s(scale);
+                    w.f64s(shift);
+                }
+                Layer::ReLU => w.u8(TAG_RELU),
+                Layer::ScaledSigmoid { alpha } => {
+                    w.u8(TAG_SIGMOID);
+                    w.f64(*alpha);
+                }
+                Layer::SoftMax => w.u8(TAG_SOFTMAX),
+                Layer::MaxPool { window, stride } => {
+                    w.u8(TAG_MAXPOOL);
+                    w.usizes(&[*window, *stride]);
+                }
+                Layer::AvgPool { window, stride } => {
+                    w.u8(TAG_AVGPOOL);
+                    w.usizes(&[*window, *stride]);
+                }
+                Layer::Flatten => w.u8(TAG_FLATTEN),
+            }
+        }
+        w.buf
+    }
+
+    /// Deserializes a model, re-validating layer shape compatibility.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, NnError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.u32()? != MAGIC {
+            return Err(NnError::InvalidModel("bad magic".into()));
+        }
+        if r.u8()? != VERSION {
+            return Err(NnError::InvalidModel("unsupported version".into()));
+        }
+        let name = r.str()?;
+        let input_shape = r.usizes()?;
+        let n_layers = r.len(10_000)?;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let layer = match r.u8()? {
+                TAG_CONV => {
+                    let dims = r.usizes()?;
+                    if dims.len() != 5 {
+                        return Err(NnError::InvalidModel("conv spec".into()));
+                    }
+                    let spec = Conv2dSpec {
+                        in_channels: dims[0],
+                        out_channels: dims[1],
+                        kernel: dims[2],
+                        stride: dims[3],
+                        padding: dims[4],
+                    };
+                    let weights = Tensor::from_vec(
+                        vec![spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+                        r.f64s()?,
+                    )
+                    .map_err(|e| NnError::InvalidModel(e.to_string()))?;
+                    Layer::Conv2d { spec, weights, bias: r.f64s()? }
+                }
+                TAG_DENSE => {
+                    let dims = r.usizes()?;
+                    let weights = Tensor::from_vec(dims, r.f64s()?)
+                        .map_err(|e| NnError::InvalidModel(e.to_string()))?;
+                    Layer::Dense { weights, bias: r.f64s()? }
+                }
+                TAG_BATCHNORM => Layer::BatchNorm { scale: r.f64s()?, shift: r.f64s()? },
+                TAG_RELU => Layer::ReLU,
+                TAG_SIGMOID => Layer::ScaledSigmoid { alpha: r.f64()? },
+                TAG_SOFTMAX => Layer::SoftMax,
+                TAG_MAXPOOL => {
+                    let d = r.usizes()?;
+                    if d.len() != 2 {
+                        return Err(NnError::InvalidModel("maxpool spec".into()));
+                    }
+                    Layer::MaxPool { window: d[0], stride: d[1] }
+                }
+                TAG_AVGPOOL => {
+                    let d = r.usizes()?;
+                    if d.len() != 2 {
+                        return Err(NnError::InvalidModel("avgpool spec".into()));
+                    }
+                    Layer::AvgPool { window: d[0], stride: d[1] }
+                }
+                TAG_FLATTEN => Layer::Flatten,
+                t => return Err(NnError::InvalidModel(format!("unknown layer tag {t}"))),
+            };
+            layers.push(layer);
+        }
+        // Model::new revalidates the whole shape chain.
+        Model::new(name, input_shape, layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let model = zoo::mlp("io-mlp", &[5, 8, 3], &mut rng).unwrap();
+        let restored = Model::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(restored, model);
+    }
+
+    #[test]
+    fn all_layer_types_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let model = Model::new(
+            "everything",
+            vec![2, 8, 8],
+            vec![
+                zoo::conv_layer(&mut rng, 2, 3, 3, 1, 1),
+                zoo::batchnorm_layer(3),
+                Layer::ReLU,
+                Layer::AvgPool { window: 2, stride: 2 },
+                Layer::MaxPool { window: 2, stride: 2 },
+                Layer::Flatten,
+                zoo::dense_layer(&mut rng, 3 * 2 * 2, 6),
+                Layer::ScaledSigmoid { alpha: 0.75 },
+                zoo::dense_layer(&mut rng, 6, 2),
+                Layer::SoftMax,
+            ],
+        )
+        .unwrap();
+        let restored = Model::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(restored, model);
+        // And it still runs.
+        let x = Tensor::zeros(vec![2, 8, 8]);
+        assert_eq!(restored.forward(&x).unwrap(), model.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let model = zoo::mlp("c", &[3, 4, 2], &mut rng).unwrap();
+        let bytes = model.to_bytes();
+        assert!(Model::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(Model::from_bytes(&bad).is_err());
+        assert!(Model::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn trained_model_survives_roundtrip() {
+        // Weights (not just structure) must be preserved exactly.
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut model = zoo::mlp("t", &[2, 6, 2], &mut rng).unwrap();
+        let data: Vec<_> = (0..40)
+            .map(|i| {
+                let x = i as f64 / 20.0 - 1.0;
+                (Tensor::from_flat(vec![x, -x]), usize::from(x > 0.0))
+            })
+            .collect();
+        let mut trainer = crate::Trainer::new(crate::TrainConfig::default());
+        trainer.train(&mut model, &data, &mut rng).unwrap();
+        let restored = Model::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(restored.parameters(), model.parameters());
+        assert_eq!(restored.accuracy(&data).unwrap(), model.accuracy(&data).unwrap());
+    }
+}

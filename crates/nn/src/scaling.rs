@@ -1,0 +1,451 @@
+//! Parameter scaling (paper Sec. IV-A): converting floating-point models
+//! to scaled integers for Paillier arithmetic, and choosing the scaling
+//! factor `F = 10^f` that preserves accuracy.
+//!
+//! ## Fixed-point semantics
+//!
+//! * The data provider scales inputs by `F` and rounds to integers.
+//! * Every linear primitive's weights are scaled by `F`, so each linear
+//!   op raises the value scale by one power of `F`; biases are scaled to
+//!   the *output* scale of their op.
+//! * At every non-linear primitive the data provider — who holds the
+//!   decrypted values — divides by the accumulated extra powers of `F`
+//!   (round-half-away-from-zero), returning activations to scale `F`.
+//!
+//! The scaled integer pipeline here is the bit-exact reference the
+//! encrypted pipeline in `pp-stream` must match (the paper's correctness
+//! guarantee, Sec. II-C).
+
+use crate::activation::sigmoid_scalar;
+use crate::{Layer, Model, NnError, PrimitiveOp};
+use pp_tensor::ops::{self, Conv2dSpec};
+use pp_tensor::{PlainI128, Shape, Tensor};
+
+/// Rounds `x` to `f` decimal places.
+fn round_decimals(x: f64, f: u32) -> f64 {
+    let p = 10f64.powi(f as i32);
+    (x * p).round() / p
+}
+
+/// Returns a copy of `model` with every parameter rounded to `f` decimal
+/// places (Step 2 of the paper's scaling-factor search).
+pub fn round_params(model: &Model, f: u32) -> Model {
+    let layers = model
+        .layers()
+        .iter()
+        .map(|layer| match layer {
+            Layer::Conv2d { spec, weights, bias } => Layer::Conv2d {
+                spec: spec.clone(),
+                weights: weights.map(|&w| round_decimals(w, f)),
+                bias: bias.iter().map(|&b| round_decimals(b, f)).collect(),
+            },
+            Layer::Dense { weights, bias } => Layer::Dense {
+                weights: weights.map(|&w| round_decimals(w, f)),
+                bias: bias.iter().map(|&b| round_decimals(b, f)).collect(),
+            },
+            Layer::BatchNorm { scale, shift } => Layer::BatchNorm {
+                scale: scale.iter().map(|&s| round_decimals(s, f)).collect(),
+                shift: shift.iter().map(|&s| round_decimals(s, f)).collect(),
+            },
+            Layer::ScaledSigmoid { alpha } => {
+                Layer::ScaledSigmoid { alpha: round_decimals(*alpha, f) }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    Model::new(model.name(), model.input_shape().clone(), layers)
+        .expect("rounding preserves shapes")
+}
+
+/// Result of the scaling-factor search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingReport {
+    /// Chosen number of decimal places `f`.
+    pub f: u32,
+    /// The scaling factor `F = 10^f`.
+    pub factor: i64,
+    /// Accuracy of the original (unrounded) model on the search set.
+    pub baseline_accuracy: f64,
+    /// Accuracy of the rounded model at each `f` tried (index = `f`).
+    pub accuracies: Vec<f64>,
+}
+
+/// Chooses the scaling factor per paper Sec. IV-A: starting from `f = 0`,
+/// round parameters to `f` decimals and accept the first `f` whose
+/// accuracy is within `threshold` (default 0.01% = `1e-4`) of the
+/// original, bounded by `max_f` (default 6).
+pub fn choose_scaling_factor(
+    model: &Model,
+    train_set: &[(Tensor<f64>, usize)],
+    threshold: f64,
+    max_f: u32,
+) -> Result<ScalingReport, NnError> {
+    let baseline = model.accuracy(train_set)?;
+    let mut accuracies = Vec::new();
+    for f in 0..=max_f {
+        let rounded = round_params(model, f);
+        let acc = rounded.accuracy(train_set)?;
+        accuracies.push(acc);
+        if (baseline - acc).abs() < threshold || f == max_f {
+            return Ok(ScalingReport {
+                f,
+                factor: 10i64.pow(f),
+                baseline_accuracy: baseline,
+                accuracies,
+            });
+        }
+    }
+    unreachable!("loop always returns at f == max_f")
+}
+
+/// Integer division rounding half away from zero — the rounding used at
+/// every data-provider rescale so the plaintext and encrypted paths agree
+/// bit-for-bit.
+pub fn div_round(x: i128, d: i128) -> i128 {
+    debug_assert!(d > 0);
+    if x >= 0 {
+        (x + d / 2) / d
+    } else {
+        -((-x + d / 2) / d)
+    }
+}
+
+/// One primitive operation of a scaled-integer model.
+///
+/// Linear ops carry `i64` parameters (weights at scale `F`, biases at the
+/// op's output scale). Non-linear ops carry the divisor that returns the
+/// incoming values to scale `F` before the function is applied.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScaledOp {
+    Conv2d { spec: Conv2dSpec, weights: Tensor<i64>, bias: Vec<i64> },
+    Dense { weights: Tensor<i64>, bias: Vec<i64> },
+    Affine { scale: Vec<i64>, shift: Vec<i64> },
+    /// Scalar multiplication by a scaled constant (linear half of a mixed
+    /// layer).
+    ScaleMul { alpha: i64 },
+    ReLU { rescale: i128 },
+    Sigmoid { rescale: i128 },
+    /// SoftMax never changes the argmax, so the scaled pipeline only
+    /// rescales; the float probabilities are recovered via `factor`.
+    SoftMax { rescale: i128 },
+    MaxPool { window: usize, stride: usize, rescale: i128 },
+    /// Linear sum pooling (homomorphic-friendly average pooling; the
+    /// `window²` divisor is folded into the next non-linear rescale).
+    SumPool { window: usize, stride: usize },
+    Flatten,
+}
+
+impl ScaledOp {
+    /// Linear (model-provider) vs non-linear (data-provider) assignment.
+    pub fn is_linear(&self) -> bool {
+        matches!(
+            self,
+            ScaledOp::Conv2d { .. }
+                | ScaledOp::Dense { .. }
+                | ScaledOp::Affine { .. }
+                | ScaledOp::ScaleMul { .. }
+                | ScaledOp::SumPool { .. }
+                | ScaledOp::Flatten
+        )
+    }
+}
+
+/// A neural network with parameters scaled to integers, ready for
+/// homomorphic evaluation.
+#[derive(Clone, Debug)]
+pub struct ScaledModel {
+    name: String,
+    input_shape: Shape,
+    factor: i64,
+    ops: Vec<ScaledOp>,
+}
+
+impl ScaledModel {
+    /// Scales `model`'s parameters by `factor` (a power of ten chosen by
+    /// [`choose_scaling_factor`]).
+    pub fn from_model(model: &Model, factor: i64) -> Self {
+        assert!(factor >= 1, "scaling factor must be positive");
+        let f = factor as f64;
+        let mut ops = Vec::new();
+        // Extra scale beyond the base F: each linear op multiplies by F,
+        // sum pooling by window²; non-linear rescales divide it back out.
+        let mut extra: i128 = 1;
+        for prim in model.primitive_layers() {
+            match prim {
+                PrimitiveOp::Conv2d { spec, weights, bias } => {
+                    let out_scale = f * f * extra as f64;
+                    ops.push(ScaledOp::Conv2d {
+                        spec,
+                        weights: weights.scale_to_i64(f),
+                        bias: bias.iter().map(|&b| (b * out_scale).round() as i64).collect(),
+                    });
+                    extra *= factor as i128;
+                }
+                PrimitiveOp::Dense { weights, bias } => {
+                    let out_scale = f * f * extra as f64;
+                    ops.push(ScaledOp::Dense {
+                        weights: weights.scale_to_i64(f),
+                        bias: bias.iter().map(|&b| (b * out_scale).round() as i64).collect(),
+                    });
+                    extra *= factor as i128;
+                }
+                PrimitiveOp::Affine { scale, shift } => {
+                    let out_scale = f * f * extra as f64;
+                    ops.push(ScaledOp::Affine {
+                        scale: scale.iter().map(|&s| (s * f).round() as i64).collect(),
+                        shift: shift.iter().map(|&s| (s * out_scale).round() as i64).collect(),
+                    });
+                    extra *= factor as i128;
+                }
+                PrimitiveOp::Scale { alpha } => {
+                    ops.push(ScaledOp::ScaleMul { alpha: (alpha * f).round() as i64 });
+                    extra *= factor as i128;
+                }
+                PrimitiveOp::SumPool { window, stride } => {
+                    ops.push(ScaledOp::SumPool { window, stride });
+                    extra *= (window * window) as i128;
+                }
+                PrimitiveOp::ReLU => {
+                    ops.push(ScaledOp::ReLU { rescale: extra });
+                    extra = 1;
+                }
+                PrimitiveOp::Sigmoid => {
+                    ops.push(ScaledOp::Sigmoid { rescale: extra });
+                    extra = 1;
+                }
+                PrimitiveOp::SoftMax => {
+                    ops.push(ScaledOp::SoftMax { rescale: extra });
+                    extra = 1;
+                }
+                PrimitiveOp::MaxPool { window, stride } => {
+                    ops.push(ScaledOp::MaxPool { window, stride, rescale: extra });
+                    extra = 1;
+                }
+                PrimitiveOp::Flatten => ops.push(ScaledOp::Flatten),
+            }
+        }
+        ScaledModel {
+            name: model.name().to_string(),
+            input_shape: model.input_shape().clone(),
+            factor,
+            ops,
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scaling factor `F`.
+    pub fn factor(&self) -> i64 {
+        self.factor
+    }
+
+    /// Expected input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// The scaled primitive operations in execution order.
+    pub fn ops(&self) -> &[ScaledOp] {
+        &self.ops
+    }
+
+    /// Scales a float input tensor to integers at scale `F`.
+    pub fn scale_input(&self, input: &Tensor<f64>) -> Tensor<i64> {
+        input.scale_to_i64(self.factor as f64)
+    }
+
+    /// Reference scaled-integer forward pass (plaintext; this is exactly
+    /// the computation the encrypted pipeline must reproduce).
+    pub fn forward_scaled(&self, input: &Tensor<i64>) -> Result<Tensor<i64>, NnError> {
+        let ctx = PlainI128;
+        let mut t: Tensor<i128> = input.map(|&x| x as i128);
+        for op in &self.ops {
+            t = match op {
+                ScaledOp::Conv2d { spec, weights, bias } => {
+                    let bias128: Vec<i64> = bias.clone();
+                    let w = weights.clone();
+                    ops::conv2d(&ctx, &t, &w, &bias128, spec)?
+                }
+                ScaledOp::Dense { weights, bias } => {
+                    ops::fully_connected(&ctx, &t, weights, bias)?
+                }
+                ScaledOp::Affine { scale, shift } => ops::affine(&ctx, &t, scale, shift)?,
+                ScaledOp::ScaleMul { alpha } => t.map(|&x| x * *alpha as i128),
+                ScaledOp::ReLU { rescale } => t.map(|&x| div_round(x, *rescale).max(0)),
+                ScaledOp::Sigmoid { rescale } => {
+                    let f = self.factor as f64;
+                    t.map(|&x| {
+                        let v = div_round(x, *rescale) as f64 / f;
+                        (sigmoid_scalar(v) * f).round() as i128
+                    })
+                }
+                ScaledOp::SoftMax { rescale } => t.map(|&x| div_round(x, *rescale)),
+                ScaledOp::MaxPool { window, stride, rescale } => {
+                    let rescaled = t.map(|&x| div_round(x, *rescale));
+                    ops::max_pool2d(&rescaled, *window, *stride)?
+                }
+                ScaledOp::SumPool { window, stride } => {
+                    ops::sum_pool2d(&ctx, &t, *window, *stride)?
+                }
+                ScaledOp::Flatten => t.flatten(),
+            };
+        }
+        Ok(t.map(|&x| i64::try_from(x).expect("output fits i64 after rescale")))
+    }
+
+    /// Classifies via the scaled-integer pipeline.
+    pub fn classify_scaled(&self, input: &Tensor<f64>) -> Result<usize, NnError> {
+        let out = self.forward_scaled(&self.scale_input(input))?;
+        Ok(crate::activation::argmax_i64(&out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_decimals_behaviour() {
+        assert_eq!(round_decimals(0.123456, 2), 0.12);
+        assert_eq!(round_decimals(-0.555, 1), -0.6);
+        assert_eq!(round_decimals(1.9, 0), 2.0);
+    }
+
+    #[test]
+    fn div_round_half_away() {
+        assert_eq!(div_round(5, 2), 3);
+        assert_eq!(div_round(-5, 2), -3);
+        assert_eq!(div_round(4, 2), 2);
+        assert_eq!(div_round(14, 10), 1);
+        assert_eq!(div_round(15, 10), 2);
+        assert_eq!(div_round(-15, 10), -2);
+        assert_eq!(div_round(0, 7), 0);
+    }
+
+    #[test]
+    fn rounding_at_high_f_is_near_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = zoo::mlp("m", &[4, 8, 2], &mut rng).unwrap();
+        let rounded = round_params(&model, 6);
+        for (a, b) in model.parameters().iter().zip(rounded.parameters()) {
+            assert!((a - b).abs() < 5e-7);
+        }
+    }
+
+    #[test]
+    fn rounding_at_f0_makes_integers() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = zoo::mlp("m", &[4, 8, 2], &mut rng).unwrap();
+        let rounded = round_params(&model, 0);
+        for p in rounded.parameters() {
+            assert_eq!(p, p.round());
+        }
+    }
+
+    #[test]
+    fn choose_factor_stops_at_threshold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = zoo::mlp("m", &[2, 6, 2], &mut rng).unwrap();
+        let data: Vec<(Tensor<f64>, usize)> = (0..50)
+            .map(|i| {
+                let x = (i as f64 / 25.0) - 1.0;
+                (Tensor::from_flat(vec![x, -x]), usize::from(x > 0.0))
+            })
+            .collect();
+        let report = choose_scaling_factor(&model, &data, 1e-4, 6).unwrap();
+        assert!(report.f <= 6);
+        assert_eq!(report.factor, 10i64.pow(report.f));
+        assert_eq!(report.accuracies.len(), report.f as usize + 1);
+        // Accuracy at the chosen f matches baseline within threshold
+        // (unless the cap was hit).
+        if report.f < 6 {
+            assert!((report.baseline_accuracy - report.accuracies[report.f as usize]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scaled_model_matches_float_classification() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = zoo::mlp("m", &[4, 10, 3], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 10_000);
+        for i in 0..20 {
+            let x = Tensor::from_flat(vec![
+                (i as f64 * 0.37).sin(),
+                (i as f64 * 0.11).cos(),
+                i as f64 / 20.0 - 0.5,
+                -0.3,
+            ]);
+            let plain = model.classify(&x).unwrap();
+            let scaled_class = scaled.classify_scaled(&x).unwrap();
+            assert_eq!(plain, scaled_class, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn scaled_model_conv_pipeline() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = zoo::small_convnet("c", (1, 6, 6), 3, 4, &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 1_000);
+        let x = Tensor::from_vec(
+            vec![1, 6, 6],
+            (0..36).map(|i| ((i % 7) as f64 - 3.0) / 3.0).collect(),
+        )
+        .unwrap();
+        assert_eq!(model.classify(&x).unwrap(), scaled.classify_scaled(&x).unwrap());
+    }
+
+    #[test]
+    fn scaled_ops_alternate_structure() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let model = zoo::mnist3_2conv2fc(&mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 100);
+        // Conv, ReLU, Conv, ReLU, Flatten, Dense, ReLU, Dense, SoftMax
+        assert_eq!(scaled.ops().len(), 9);
+        assert!(scaled.ops()[0].is_linear());
+        assert!(!scaled.ops()[1].is_linear());
+        assert!(scaled.ops()[4].is_linear()); // Flatten rides with linear
+    }
+
+    #[test]
+    fn rescale_divisors_reset_after_nonlinear() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = zoo::mlp("m", &[3, 4, 4, 2], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 10);
+        // Each Dense is followed by a non-linear op whose rescale is F¹
+        // (one extra power per linear op since the last reset).
+        for op in scaled.ops() {
+            if let ScaledOp::ReLU { rescale } | ScaledOp::SoftMax { rescale } = op {
+                assert_eq!(*rescale, 10);
+            }
+        }
+    }
+
+    #[test]
+    fn low_factor_degrades_small_weights_to_zero() {
+        // With factor 1, sub-0.5 weights vanish — the Table IV/V effect.
+        let model = Model::new(
+            "tiny",
+            vec![1],
+            vec![
+                Layer::Dense {
+                    weights: Tensor::from_vec(vec![1, 1], vec![0.3]).unwrap(),
+                    bias: vec![0.0],
+                },
+                Layer::SoftMax,
+            ],
+        )
+        .unwrap();
+        let scaled = ScaledModel::from_model(&model, 1);
+        if let ScaledOp::Dense { weights, .. } = &scaled.ops()[0] {
+            assert_eq!(weights.data(), &[0]);
+        } else {
+            panic!("expected dense op");
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! From-scratch SGD training with backpropagation.
+//!
+//! The paper trains its models in PyTorch/Matlab and imports the weights;
+//! we train in-workspace so the reproduction has no external artifacts.
+//! Supported trainable layers: `Dense`, `Conv2d`, `BatchNorm`,
+//! `ScaledSigmoid`; pass-through gradients for `ReLU`, `MaxPool`,
+//! `Flatten`. Models must end with `SoftMax`, trained against
+//! cross-entropy (the standard classification setup of all nine paper
+//! models).
+
+use crate::activation::{sigmoid_scalar, softmax};
+use crate::{Layer, Model, NnError};
+use pp_tensor::ops::Conv2dSpec;
+use pp_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters for [`Trainer`].
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    pub learning_rate: f64,
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub momentum: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { learning_rate: 0.05, epochs: 10, batch_size: 32, momentum: 0.9 }
+    }
+}
+
+/// Per-layer parameter gradients (same flat layout as the layer's params).
+#[derive(Clone, Debug, Default)]
+struct LayerGrad {
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+/// Mini-batch SGD trainer with momentum.
+pub struct Trainer {
+    cfg: TrainConfig,
+    velocity: Vec<LayerGrad>,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer { cfg, velocity: Vec::new() }
+    }
+
+    /// Trains `model` in place; returns the mean cross-entropy loss per
+    /// epoch.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        model: &mut Model,
+        data: &[(Tensor<f64>, usize)],
+        rng: &mut R,
+    ) -> Result<Vec<f64>, NnError> {
+        if data.is_empty() {
+            return Err(NnError::InvalidModel("empty training set".into()));
+        }
+        if !matches!(model.layers().last(), Some(Layer::SoftMax)) {
+            return Err(NnError::InvalidModel("trainer requires a final SoftMax layer".into()));
+        }
+        self.velocity = model
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Conv2d { weights, bias, .. } => LayerGrad {
+                    weights: vec![0.0; weights.len()],
+                    bias: vec![0.0; bias.len()],
+                },
+                Layer::Dense { weights, bias } => LayerGrad {
+                    weights: vec![0.0; weights.len()],
+                    bias: vec![0.0; bias.len()],
+                },
+                Layer::BatchNorm { scale, shift } => LayerGrad {
+                    weights: vec![0.0; scale.len()],
+                    bias: vec![0.0; shift.len()],
+                },
+                Layer::ScaledSigmoid { .. } => LayerGrad { weights: vec![0.0; 1], bias: vec![] },
+                _ => LayerGrad::default(),
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut losses = Vec::with_capacity(self.cfg.epochs);
+        for _epoch in 0..self.cfg.epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(self.cfg.batch_size) {
+                let mut grads: Vec<LayerGrad> = self
+                    .velocity
+                    .iter()
+                    .map(|v| LayerGrad {
+                        weights: vec![0.0; v.weights.len()],
+                        bias: vec![0.0; v.bias.len()],
+                    })
+                    .collect();
+                for &i in batch {
+                    let (x, y) = &data[i];
+                    epoch_loss += backprop(model, x, *y, &mut grads)?;
+                }
+                self.apply(model, &grads, batch.len());
+            }
+            losses.push(epoch_loss / data.len() as f64);
+        }
+        Ok(losses)
+    }
+
+    /// SGD + momentum parameter update.
+    fn apply(&mut self, model: &mut Model, grads: &[LayerGrad], batch: usize) {
+        let lr = self.cfg.learning_rate / batch as f64;
+        let mu = self.cfg.momentum;
+        for ((layer, grad), vel) in
+            model.layers_mut().iter_mut().zip(grads).zip(&mut self.velocity)
+        {
+            let update = |p: &mut f64, g: f64, v: &mut f64| {
+                *v = mu * *v - lr * g;
+                *p += *v;
+            };
+            match layer {
+                Layer::Conv2d { weights, bias, .. } => {
+                    for ((p, &g), v) in weights
+                        .data_mut()
+                        .iter_mut()
+                        .zip(&grad.weights)
+                        .zip(&mut vel.weights)
+                    {
+                        update(p, g, v);
+                    }
+                    for ((p, &g), v) in bias.iter_mut().zip(&grad.bias).zip(&mut vel.bias) {
+                        update(p, g, v);
+                    }
+                }
+                Layer::Dense { weights, bias } => {
+                    for ((p, &g), v) in weights
+                        .data_mut()
+                        .iter_mut()
+                        .zip(&grad.weights)
+                        .zip(&mut vel.weights)
+                    {
+                        update(p, g, v);
+                    }
+                    for ((p, &g), v) in bias.iter_mut().zip(&grad.bias).zip(&mut vel.bias) {
+                        update(p, g, v);
+                    }
+                }
+                Layer::BatchNorm { scale, shift } => {
+                    for ((p, &g), v) in scale.iter_mut().zip(&grad.weights).zip(&mut vel.weights) {
+                        update(p, g, v);
+                    }
+                    for ((p, &g), v) in shift.iter_mut().zip(&grad.bias).zip(&mut vel.bias) {
+                        update(p, g, v);
+                    }
+                }
+                Layer::ScaledSigmoid { alpha } => {
+                    if let (Some(&g), Some(v)) = (grad.weights.first(), vel.weights.first_mut()) {
+                        update(alpha, g, v);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Runs one forward+backward pass, accumulating parameter gradients into
+/// `grads`; returns the sample's cross-entropy loss.
+fn backprop(
+    model: &Model,
+    x: &Tensor<f64>,
+    y: usize,
+    grads: &mut [LayerGrad],
+) -> Result<f64, NnError> {
+    // Forward with cached activations: acts[i] is the input to layer i.
+    let mut acts: Vec<Tensor<f64>> = Vec::with_capacity(model.layers().len() + 1);
+    acts.push(x.clone());
+    for layer in model.layers() {
+        let next = layer.forward(acts.last().expect("non-empty"))?;
+        acts.push(next);
+    }
+
+    // Final layer is SoftMax: combined softmax+cross-entropy gradient.
+    let logits = &acts[acts.len() - 2];
+    let probs = softmax(logits);
+    let loss = -(probs.data()[y].max(1e-12)).ln();
+    let mut delta: Vec<f64> = probs.data().to_vec();
+    delta[y] -= 1.0;
+    let mut delta = Tensor::from_vec(logits.shape().clone(), delta).expect("same shape");
+
+    // Backward through the remaining layers.
+    for i in (0..model.layers().len() - 1).rev() {
+        let layer = &model.layers()[i];
+        let input = &acts[i];
+        let output = &acts[i + 1];
+        delta = match layer {
+            Layer::Dense { weights, .. } => {
+                dense_backward(weights, input, &delta, &mut grads[i])
+            }
+            Layer::Conv2d { spec, weights, .. } => {
+                conv_backward(spec, weights, input, &delta, &mut grads[i])
+            }
+            Layer::BatchNorm { scale, .. } => {
+                batchnorm_backward(scale, input, &delta, &mut grads[i])
+            }
+            Layer::ReLU => input
+                .zip_map(&delta, |&x, &d| if x > 0.0 { d } else { 0.0 })
+                .expect("same shape"),
+            Layer::ScaledSigmoid { alpha } => {
+                scaled_sigmoid_backward(*alpha, input, output, &delta, &mut grads[i])
+            }
+            Layer::MaxPool { window, stride } => {
+                maxpool_backward(input, &delta, *window, *stride)
+            }
+            Layer::AvgPool { window, stride } => {
+                avgpool_backward(input, &delta, *window, *stride)
+            }
+            Layer::Flatten => delta.reshape(input.shape().clone()).expect("same length"),
+            Layer::SoftMax => {
+                return Err(NnError::InvalidModel("SoftMax only supported as final layer".into()))
+            }
+        };
+    }
+    Ok(loss)
+}
+
+fn dense_backward(
+    weights: &Tensor<f64>,
+    input: &Tensor<f64>,
+    delta: &Tensor<f64>,
+    grad: &mut LayerGrad,
+) -> Tensor<f64> {
+    let dims = weights.shape().dims();
+    let (out_f, in_f) = (dims[0], dims[1]);
+    let x = input.data();
+    let d = delta.data();
+    for j in 0..out_f {
+        grad.bias[j] += d[j];
+        for i in 0..in_f {
+            grad.weights[j * in_f + i] += d[j] * x[i];
+        }
+    }
+    let mut dx = vec![0.0; in_f];
+    for j in 0..out_f {
+        for i in 0..in_f {
+            dx[i] += d[j] * weights.data()[j * in_f + i];
+        }
+    }
+    Tensor::from_vec(input.shape().clone(), dx).expect("same length")
+}
+
+fn conv_backward(
+    spec: &Conv2dSpec,
+    weights: &Tensor<f64>,
+    input: &Tensor<f64>,
+    delta: &Tensor<f64>,
+    grad: &mut LayerGrad,
+) -> Tensor<f64> {
+    let in_dims = input.shape().dims();
+    let (h, w) = (in_dims[1], in_dims[2]);
+    let out_dims = delta.shape().dims();
+    let (oh, ow) = (out_dims[1], out_dims[2]);
+    let k = spec.kernel;
+    let mut dx = Tensor::zeros(input.shape().clone());
+    for oc in 0..spec.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let d = *delta.get(&[oc, oy, ox]).expect("in range");
+                grad.bias[oc] += d;
+                for ic in 0..spec.in_channels {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                continue;
+                            }
+                            let (iy, ix) = (iy as usize, ix as usize);
+                            let widx = ((oc * spec.in_channels + ic) * k + ky) * k + kx;
+                            grad.weights[widx] += d * input.get(&[ic, iy, ix]).expect("in range");
+                            *dx.get_mut(&[ic, iy, ix]).expect("in range") +=
+                                d * weights.data()[widx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+fn batchnorm_backward(
+    scale: &[f64],
+    input: &Tensor<f64>,
+    delta: &Tensor<f64>,
+    grad: &mut LayerGrad,
+) -> Tensor<f64> {
+    let channels = scale.len();
+    let per_channel = input.len() / channels;
+    let mut dx = vec![0.0; input.len()];
+    for (i, (&x, &d)) in input.data().iter().zip(delta.data()).enumerate() {
+        let c = i / per_channel;
+        grad.weights[c] += d * x; // d scale
+        grad.bias[c] += d; // d shift
+        dx[i] = d * scale[c];
+    }
+    Tensor::from_vec(input.shape().clone(), dx).expect("same length")
+}
+
+fn scaled_sigmoid_backward(
+    alpha: f64,
+    input: &Tensor<f64>,
+    output: &Tensor<f64>,
+    delta: &Tensor<f64>,
+    grad: &mut LayerGrad,
+) -> Tensor<f64> {
+    // y = σ(αx); dy/dx = α·y(1−y); dy/dα = x·y(1−y)
+    let mut dalpha = 0.0;
+    let mut dx = vec![0.0; input.len()];
+    for (i, ((&x, &y), &d)) in input
+        .data()
+        .iter()
+        .zip(output.data())
+        .zip(delta.data())
+        .enumerate()
+    {
+        let s = y * (1.0 - y);
+        dx[i] = d * alpha * s;
+        dalpha += d * x * s;
+        debug_assert!((y - sigmoid_scalar(alpha * x)).abs() < 1e-9);
+    }
+    if let Some(g) = grad.weights.first_mut() {
+        *g += dalpha;
+    }
+    Tensor::from_vec(input.shape().clone(), dx).expect("same length")
+}
+
+/// AvgPool backward: each input tap receives `delta / window²` from every
+/// window it participates in.
+fn avgpool_backward(
+    input: &Tensor<f64>,
+    delta: &Tensor<f64>,
+    window: usize,
+    stride: usize,
+) -> Tensor<f64> {
+    let out_dims = delta.shape().dims();
+    let (c, oh, ow) = (out_dims[0], out_dims[1], out_dims[2]);
+    let inv_area = 1.0 / (window * window) as f64;
+    let mut dx = Tensor::zeros(input.shape().clone());
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let d = *delta.get(&[ch, oy, ox]).expect("in range") * inv_area;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        *dx.get_mut(&[ch, oy * stride + ky, ox * stride + kx])
+                            .expect("in range") += d;
+                    }
+                }
+            }
+        }
+    }
+    dx
+}
+
+fn maxpool_backward(
+    input: &Tensor<f64>,
+    delta: &Tensor<f64>,
+    window: usize,
+    stride: usize,
+) -> Tensor<f64> {
+    let in_dims = input.shape().dims();
+    let out_dims = delta.shape().dims();
+    let (c, oh, ow) = (out_dims[0], out_dims[1], out_dims[2]);
+    let mut dx = Tensor::zeros(input.shape().clone());
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                // Find the argmax tap and route the gradient to it.
+                let (mut by, mut bx) = (oy * stride, ox * stride);
+                let mut best = f64::NEG_INFINITY;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let (iy, ix) = (oy * stride + ky, ox * stride + kx);
+                        let v = *input.get(&[ch, iy, ix]).expect("in range");
+                        if v > best {
+                            best = v;
+                            (by, bx) = (iy, ix);
+                        }
+                    }
+                }
+                *dx.get_mut(&[ch, by, bx]).expect("in range") +=
+                    *delta.get(&[ch, oy, ox]).expect("in range");
+            }
+        }
+    }
+    let _ = in_dims;
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A linearly separable 2-class problem in 2-D.
+    fn toy_data(n: usize, seed: u64) -> Vec<(Tensor<f64>, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                let y: f64 = rng.gen_range(-1.0..1.0);
+                let label = usize::from(x + y > 0.0);
+                (Tensor::from_flat(vec![x, y]), label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trains_linearly_separable_problem() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut model = zoo::mlp("toy", &[2, 8, 2], &mut rng).unwrap();
+        let data = toy_data(200, 7);
+        let mut trainer = Trainer::new(TrainConfig {
+            learning_rate: 0.5,
+            epochs: 30,
+            batch_size: 16,
+            momentum: 0.9,
+        });
+        let losses = trainer.train(&mut model, &data, &mut rng).unwrap();
+        assert!(losses.last().unwrap() < &0.2, "final loss {:?}", losses.last());
+        let acc = model.accuracy(&data).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = zoo::mlp("toy", &[2, 4, 2], &mut rng).unwrap();
+        let data = toy_data(100, 3);
+        let mut trainer = Trainer::new(TrainConfig {
+            learning_rate: 0.3,
+            epochs: 15,
+            batch_size: 10,
+            momentum: 0.0,
+        });
+        let losses = trainer.train(&mut model, &data, &mut rng).unwrap();
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn requires_final_softmax() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = Model::new(
+            "no-softmax",
+            vec![2],
+            vec![Layer::Dense {
+                weights: Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+                bias: vec![0.0, 0.0],
+            }],
+        )
+        .unwrap();
+        let mut trainer = Trainer::new(TrainConfig::default());
+        assert!(trainer.train(&mut model, &toy_data(10, 1), &mut rng).is_err());
+    }
+
+    #[test]
+    fn numerical_gradient_check_dense() {
+        // Finite-difference check of the dense-layer weight gradient.
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = zoo::mlp("gc", &[3, 4, 2], &mut rng).unwrap();
+        let x = Tensor::from_flat(vec![0.3, -0.8, 0.5]);
+        let y = 1usize;
+
+        let mut grads: Vec<LayerGrad> = model
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Dense { weights, bias } => LayerGrad {
+                    weights: vec![0.0; weights.len()],
+                    bias: vec![0.0; bias.len()],
+                },
+                _ => LayerGrad::default(),
+            })
+            .collect();
+        backprop(&model, &x, y, &mut grads).unwrap();
+
+        // Perturb weight (0,0) of layer 0 and compare numerical gradient.
+        let eps = 1e-5;
+        let loss_at = |m: &Model| {
+            let out = m.forward(&x).unwrap();
+            -(out.data()[y].max(1e-12)).ln()
+        };
+        for widx in [0usize, 3, 7] {
+            let mut mp = model.clone();
+            if let Layer::Dense { weights, .. } = &mut mp.layers_mut()[0] {
+                weights.data_mut()[widx] += eps;
+            }
+            let mut mm = model.clone();
+            if let Layer::Dense { weights, .. } = &mut mm.layers_mut()[0] {
+                weights.data_mut()[widx] -= eps;
+            }
+            let num = (loss_at(&mp) - loss_at(&mm)) / (2.0 * eps);
+            let ana = grads[0].weights[widx];
+            assert!((num - ana).abs() < 1e-4, "widx={widx}: num={num} ana={ana}");
+        }
+    }
+
+    #[test]
+    fn numerical_gradient_check_conv() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = zoo::small_convnet("gc-conv", (1, 5, 5), 2, 2, &mut rng).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 5, 5],
+            (0..25).map(|i| ((i * 7) % 11) as f64 / 11.0 - 0.5).collect(),
+        )
+        .unwrap();
+        let y = 0usize;
+        let mut grads: Vec<LayerGrad> = model
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Conv2d { weights, bias, .. } | Layer::Dense { weights, bias } => {
+                    LayerGrad { weights: vec![0.0; weights.len()], bias: vec![0.0; bias.len()] }
+                }
+                _ => LayerGrad::default(),
+            })
+            .collect();
+        backprop(&model, &x, y, &mut grads).unwrap();
+
+        let eps = 1e-5;
+        let loss_at = |m: &Model| {
+            let out = m.forward(&x).unwrap();
+            -(out.data()[y].max(1e-12)).ln()
+        };
+        for widx in [0usize, 2] {
+            let mut mp = model.clone();
+            if let Layer::Conv2d { weights, .. } = &mut mp.layers_mut()[0] {
+                weights.data_mut()[widx] += eps;
+            }
+            let mut mm = model.clone();
+            if let Layer::Conv2d { weights, .. } = &mut mm.layers_mut()[0] {
+                weights.data_mut()[widx] -= eps;
+            }
+            let num = (loss_at(&mp) - loss_at(&mm)) / (2.0 * eps);
+            let ana = grads[0].weights[widx];
+            assert!((num - ana).abs() < 1e-4, "widx={widx}: num={num} ana={ana}");
+        }
+    }
+}

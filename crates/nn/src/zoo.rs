@@ -1,0 +1,372 @@
+//! The paper's nine evaluation model architectures (Table III), plus small
+//! helpers used in tests.
+//!
+//! | Dataset        | Model      | Builder |
+//! |----------------|------------|---------|
+//! | Breast         | 3FC        | [`healthcare_3fc`] (30 features) |
+//! | Heart          | 3FC        | [`healthcare_3fc`] (13 features) |
+//! | Cardio         | 3FC        | [`healthcare_3fc`] (11 features) |
+//! | MNIST-1        | 3FC        | [`mnist1_3fc`] |
+//! | MNIST-2        | 1Conv+2FC  | [`mnist2_1conv2fc`] |
+//! | MNIST-3        | 2Conv+2FC  | [`mnist3_2conv2fc`] |
+//! | CIFAR-10-1/2/3 | VGG13/16/19| [`vgg`] |
+//!
+//! VGG models accept a `width_div` divisor that shrinks every channel
+//! count; the paper's own obfuscated tensors top out at `32·32·8 = 8192`
+//! elements (Sec. III-D), which corresponds to 8-channel activations at
+//! 32×32 — i.e. `width_div = 8` — so the reduced widths match the tensor
+//! sizes the paper reports while keeping the exact VGG depth/structure.
+
+use crate::{Layer, Model, NnError};
+use pp_tensor::ops::Conv2dSpec;
+use pp_tensor::Tensor;
+use rand::Rng;
+
+/// Samples a standard normal via Box–Muller (rand 0.8 has no normal
+/// distribution without the `rand_distr` crate, which is outside our
+/// dependency policy).
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// He-normal initialisation: `N(0, sqrt(2 / fan_in))`.
+fn he_init<R: Rng + ?Sized>(rng: &mut R, count: usize, fan_in: usize) -> Vec<f64> {
+    let std = (2.0 / fan_in as f64).sqrt();
+    (0..count).map(|_| normal(rng) * std).collect()
+}
+
+/// A dense layer with He initialisation.
+pub fn dense_layer<R: Rng + ?Sized>(rng: &mut R, in_f: usize, out_f: usize) -> Layer {
+    Layer::Dense {
+        weights: Tensor::from_vec(vec![out_f, in_f], he_init(rng, out_f * in_f, in_f))
+            .expect("sized buffer"),
+        bias: vec![0.0; out_f],
+    }
+}
+
+/// A square-kernel conv layer with He initialisation.
+pub fn conv_layer<R: Rng + ?Sized>(
+    rng: &mut R,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Layer {
+    let fan_in = in_c * kernel * kernel;
+    Layer::Conv2d {
+        spec: Conv2dSpec { in_channels: in_c, out_channels: out_c, kernel, stride, padding },
+        weights: Tensor::from_vec(
+            vec![out_c, in_c, kernel, kernel],
+            he_init(rng, out_c * fan_in, fan_in),
+        )
+        .expect("sized buffer"),
+        bias: vec![0.0; out_c],
+    }
+}
+
+/// An identity-initialised batch-norm (affine) layer.
+pub fn batchnorm_layer(channels: usize) -> Layer {
+    Layer::BatchNorm { scale: vec![1.0; channels], shift: vec![0.0; channels] }
+}
+
+/// A multi-layer perceptron: `sizes = [in, hidden…, out]`, ReLU between
+/// layers, SoftMax output.
+pub fn mlp<R: Rng + ?Sized>(name: &str, sizes: &[usize], rng: &mut R) -> Result<Model, NnError> {
+    if sizes.len() < 2 {
+        return Err(NnError::InvalidModel("mlp needs at least 2 sizes".into()));
+    }
+    let mut layers = Vec::new();
+    for i in 0..sizes.len() - 1 {
+        layers.push(dense_layer(rng, sizes[i], sizes[i + 1]));
+        if i + 2 < sizes.len() {
+            layers.push(Layer::ReLU);
+        }
+    }
+    layers.push(Layer::SoftMax);
+    Model::new(name, vec![sizes[0]], layers)
+}
+
+/// A tiny conv + dense classifier used in unit tests.
+pub fn small_convnet<R: Rng + ?Sized>(
+    name: &str,
+    input: (usize, usize, usize),
+    filters: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Model, NnError> {
+    let (c, h, w) = input;
+    let conv = conv_layer(rng, c, filters, 3, 1, 0);
+    let (oh, ow) = (h - 2, w - 2);
+    let layers = vec![
+        conv,
+        Layer::ReLU,
+        Layer::Flatten,
+        dense_layer(rng, filters * oh * ow, classes),
+        Layer::SoftMax,
+    ];
+    Model::new(name, vec![c, h, w], layers)
+}
+
+/// 3FC model for the healthcare datasets (Breast: 30, Heart: 13,
+/// Cardio: 11 input features; binary output).
+pub fn healthcare_3fc<R: Rng + ?Sized>(
+    name: &str,
+    in_features: usize,
+    rng: &mut R,
+) -> Result<Model, NnError> {
+    mlp(name, &[in_features, 32, 16, 2], rng)
+}
+
+/// MNIST-1: three fully-connected layers over flattened 28×28 input.
+pub fn mnist1_3fc<R: Rng + ?Sized>(rng: &mut R) -> Result<Model, NnError> {
+    let mut layers = vec![Layer::Flatten];
+    layers.push(dense_layer(rng, 28 * 28, 128));
+    layers.push(Layer::ReLU);
+    layers.push(dense_layer(rng, 128, 64));
+    layers.push(Layer::ReLU);
+    layers.push(dense_layer(rng, 64, 10));
+    layers.push(Layer::SoftMax);
+    Model::new("MNIST-1", vec![1, 28, 28], layers)
+}
+
+/// MNIST-2: one convolution + two fully-connected layers.
+pub fn mnist2_1conv2fc<R: Rng + ?Sized>(rng: &mut R) -> Result<Model, NnError> {
+    let layers = vec![
+        conv_layer(rng, 1, 8, 3, 2, 1), // → [8, 14, 14]
+        Layer::ReLU,
+        Layer::Flatten,
+        dense_layer(rng, 8 * 14 * 14, 64),
+        Layer::ReLU,
+        dense_layer(rng, 64, 10),
+        Layer::SoftMax,
+    ];
+    Model::new("MNIST-2", vec![1, 28, 28], layers)
+}
+
+/// MNIST-3: two convolutions + two fully-connected layers.
+pub fn mnist3_2conv2fc<R: Rng + ?Sized>(rng: &mut R) -> Result<Model, NnError> {
+    let layers = vec![
+        conv_layer(rng, 1, 8, 3, 2, 1), // → [8, 14, 14]
+        Layer::ReLU,
+        conv_layer(rng, 8, 16, 3, 2, 1), // → [16, 7, 7]
+        Layer::ReLU,
+        Layer::Flatten,
+        dense_layer(rng, 16 * 7 * 7, 64),
+        Layer::ReLU,
+        dense_layer(rng, 64, 10),
+        Layer::SoftMax,
+    ];
+    Model::new("MNIST-3", vec![1, 28, 28], layers)
+}
+
+/// VGG-13/16/19 over `[3, 32, 32]` inputs (the CIFAR-10 variants),
+/// channels divided by `width_div` (min 1 per layer). `depth` must be
+/// 13, 16, or 19.
+pub fn vgg<R: Rng + ?Sized>(
+    name: &str,
+    depth: usize,
+    width_div: usize,
+    rng: &mut R,
+) -> Result<Model, NnError> {
+    // Convs per block for each VGG variant.
+    let blocks: &[usize] = match depth {
+        13 => &[2, 2, 2, 2, 2],
+        16 => &[2, 2, 3, 3, 3],
+        19 => &[2, 2, 4, 4, 4],
+        _ => return Err(NnError::InvalidModel(format!("unsupported VGG depth {depth}"))),
+    };
+    let base = [64usize, 128, 256, 512, 512];
+    assert!(width_div >= 1, "width_div must be >= 1");
+    let mut layers = Vec::new();
+    let mut in_c = 3;
+    for (b, &convs) in blocks.iter().enumerate() {
+        let out_c = (base[b] / width_div).max(1);
+        for _ in 0..convs {
+            layers.push(conv_layer(rng, in_c, out_c, 3, 1, 1));
+            layers.push(batchnorm_layer(out_c));
+            layers.push(Layer::ReLU);
+            in_c = out_c;
+        }
+        layers.push(Layer::MaxPool { window: 2, stride: 2 });
+    }
+    // After five 2× poolings a 32×32 input is 1×1.
+    layers.push(Layer::Flatten);
+    layers.push(dense_layer(rng, in_c, 10));
+    layers.push(Layer::SoftMax);
+    Model::new(name, vec![3, 32, 32], layers)
+}
+
+/// A small conv net using *average* pooling — fully linear pooling, so
+/// the whole network (minus activations) runs homomorphically. Used to
+/// exercise the AvgPool/SumPool path end-to-end.
+pub fn avgpool_convnet<R: Rng + ?Sized>(
+    name: &str,
+    input: (usize, usize, usize),
+    filters: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Result<Model, NnError> {
+    let (c, h, w) = input;
+    let conv = conv_layer(rng, c, filters, 3, 1, 1);
+    let (ph, pw) = (h / 2, w / 2);
+    let layers = vec![
+        conv,
+        Layer::AvgPool { window: 2, stride: 2 },
+        Layer::ReLU,
+        Layer::Flatten,
+        dense_layer(rng, filters * ph * pw, classes),
+        Layer::SoftMax,
+    ];
+    Model::new(name, vec![c, h, w], layers)
+}
+
+/// VGG variant with each MaxPool replaced by a stride-2 convolution plus
+/// ReLU (Springenberg et al. [62]) — the transformation the paper
+/// prescribes so every non-linearity is element-wise and thus compatible
+/// with permutation obfuscation (Sec. III-C). This is the form PP-Stream
+/// executes; [`vgg`] is the reference form.
+pub fn vgg_streamable<R: Rng + ?Sized>(
+    name: &str,
+    depth: usize,
+    width_div: usize,
+    rng: &mut R,
+) -> Result<Model, NnError> {
+    let blocks: &[usize] = match depth {
+        13 => &[2, 2, 2, 2, 2],
+        16 => &[2, 2, 3, 3, 3],
+        19 => &[2, 2, 4, 4, 4],
+        _ => return Err(NnError::InvalidModel(format!("unsupported VGG depth {depth}"))),
+    };
+    let base = [64usize, 128, 256, 512, 512];
+    assert!(width_div >= 1, "width_div must be >= 1");
+    let mut layers = Vec::new();
+    let mut in_c = 3;
+    for (b, &convs) in blocks.iter().enumerate() {
+        let out_c = (base[b] / width_div).max(1);
+        for _ in 0..convs {
+            layers.push(conv_layer(rng, in_c, out_c, 3, 1, 1));
+            layers.push(batchnorm_layer(out_c));
+            layers.push(Layer::ReLU);
+            in_c = out_c;
+        }
+        // Down-sampling conv (stride 2) + ReLU in place of MaxPool.
+        layers.push(conv_layer(rng, in_c, in_c, 2, 2, 0));
+        layers.push(Layer::ReLU);
+    }
+    layers.push(Layer::Flatten);
+    layers.push(dense_layer(rng, in_c, 10));
+    layers.push(Layer::SoftMax);
+    Model::new(name, vec![3, 32, 32], layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn paper_models_construct_and_run() {
+        let mut rng = rng();
+        let models = [
+            healthcare_3fc("Breast", 30, &mut rng).unwrap(),
+            healthcare_3fc("Heart", 13, &mut rng).unwrap(),
+            healthcare_3fc("Cardio", 11, &mut rng).unwrap(),
+            mnist1_3fc(&mut rng).unwrap(),
+            mnist2_1conv2fc(&mut rng).unwrap(),
+            mnist3_2conv2fc(&mut rng).unwrap(),
+        ];
+        for m in &models {
+            let x = Tensor::zeros(m.input_shape().clone());
+            let out = m.forward(&x).unwrap();
+            let classes = if m.name().starts_with("MNIST") { 10 } else { 2 };
+            assert_eq!(out.len(), classes, "{}", m.name());
+            let sum: f64 = out.data().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{} softmax sum", m.name());
+        }
+    }
+
+    #[test]
+    fn vgg_variants_have_expected_conv_counts() {
+        let mut rng = rng();
+        for (depth, convs) in [(13usize, 10usize), (16, 13), (19, 16)] {
+            let m = vgg("v", depth, 16, &mut rng).unwrap();
+            let conv_count = m
+                .layers()
+                .iter()
+                .filter(|l| matches!(l, Layer::Conv2d { .. }))
+                .count();
+            assert_eq!(conv_count, convs, "VGG{depth}");
+            let out = m.forward(&Tensor::zeros(vec![3, 32, 32])).unwrap();
+            assert_eq!(out.len(), 10);
+        }
+    }
+
+    #[test]
+    fn vgg_width_divisor_shrinks_params() {
+        let mut rng = rng();
+        let wide = vgg("w", 13, 8, &mut rng).unwrap();
+        let thin = vgg("t", 13, 16, &mut rng).unwrap();
+        assert!(thin.param_count() < wide.param_count());
+    }
+
+    #[test]
+    fn avgpool_net_constructs_and_runs() {
+        let mut rng = rng();
+        let m = avgpool_convnet("avg", (1, 8, 8), 3, 4, &mut rng).unwrap();
+        assert_eq!(m.output_shape().dims(), &[4]);
+        // AvgPool is a *linear* layer in the paper taxonomy.
+        assert!(m.layers().iter().any(|l| matches!(l, Layer::AvgPool { .. })));
+        assert_eq!(Layer::AvgPool { window: 2, stride: 2 }.kind(), crate::LayerKind::Linear);
+        let out = m.forward(&Tensor::zeros(vec![1, 8, 8])).unwrap();
+        let sum: f64 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vgg_streamable_has_no_maxpool() {
+        let mut rng = rng();
+        let m = vgg_streamable("vs", 13, 16, &mut rng).unwrap();
+        assert!(!m.layers().iter().any(|l| matches!(l, Layer::MaxPool { .. })));
+        let out = m.forward(&Tensor::zeros(vec![3, 32, 32])).unwrap();
+        assert_eq!(out.len(), 10);
+        // Stride-2 convs shrink 32→16→8→4→2→1 just like the pools.
+        assert_eq!(m.output_shape().dims(), &[10]);
+    }
+
+    #[test]
+    fn vgg_rejects_bad_depth() {
+        let mut rng = rng();
+        assert!(vgg("x", 11, 8, &mut rng).is_err());
+    }
+
+    #[test]
+    fn he_init_statistics() {
+        let mut rng = rng();
+        let vals = he_init(&mut rng, 10_000, 50);
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn mlp_validation() {
+        let mut rng = rng();
+        assert!(mlp("bad", &[5], &mut rng).is_err());
+        let m = mlp("ok", &[4, 3, 2], &mut rng).unwrap();
+        assert_eq!(m.layers().len(), 4); // dense, relu, dense, softmax
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for pp-nn: scaled-integer inference tracks float
+//! inference, rounding behaviour, and activation invariants.
+
+use pp_nn::activation::{argmax, argmax_i64, relu, sigmoid_scalar, softmax};
+use pp_nn::scaling::div_round;
+use pp_nn::{round_params, zoo, ScaledModel};
+use pp_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scaled_classification_matches_float_when_margin_large(
+        seed in 0u64..500,
+        xs in proptest::collection::vec(-1.0f64..1.0, 5),
+    ) {
+        // With a generous scaling factor, scaled inference must agree with
+        // float inference whenever the float decision has real margin.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = zoo::mlp("p", &[5, 7, 3], &mut rng).unwrap();
+        let x = Tensor::from_flat(xs);
+        let out = model.forward(&x).unwrap();
+        let sorted = {
+            let mut v = out.data().to_vec();
+            v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            v
+        };
+        prop_assume!(sorted[0] - sorted[1] > 1e-3); // skip knife-edge cases
+        let scaled = ScaledModel::from_model(&model, 1_000_000);
+        prop_assert_eq!(
+            scaled.classify_scaled(&x).unwrap(),
+            argmax(&out)
+        );
+    }
+
+    #[test]
+    fn rounding_error_bounded(seed in 0u64..200, f in 0u32..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = zoo::mlp("p", &[4, 6, 2], &mut rng).unwrap();
+        let rounded = round_params(&model, f);
+        let tol = 0.5 * 10f64.powi(-(f as i32));
+        for (a, b) in model.parameters().iter().zip(rounded.parameters()) {
+            prop_assert!((a - b).abs() <= tol + 1e-12, "f={f}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn div_round_error_at_most_half(x in any::<i64>(), d in 1i64..1_000_000) {
+        let q = div_round(x as i128, d as i128);
+        let back = q * d as i128;
+        prop_assert!((back - x as i128).abs() * 2 <= d as i128, "x={x} d={d} q={q}");
+    }
+
+    #[test]
+    fn relu_idempotent_and_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+        let t = Tensor::from_flat(xs);
+        let r1 = relu(&t);
+        let r2 = relu(&r1);
+        prop_assert_eq!(&r1, &r2);
+        for (a, b) in t.data().iter().zip(r1.data()) {
+            prop_assert!(b >= &0.0);
+            prop_assert!(b >= a || *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(xs in proptest::collection::vec(-50.0f64..50.0, 1..12)) {
+        let s = softmax(&Tensor::from_flat(xs.clone()));
+        let sum: f64 = s.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(s.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Monotone: argmax is preserved.
+        prop_assert_eq!(argmax(&s), argmax(&Tensor::from_flat(xs)));
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in -30.0f64..30.0, b in -30.0f64..30.0) {
+        let (sa, sb) = (sigmoid_scalar(a), sigmoid_scalar(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    #[test]
+    fn argmax_agrees_between_domains(xs in proptest::collection::vec(-1000i64..1000, 1..10)) {
+        // Unique-max inputs only.
+        let max = xs.iter().max().unwrap();
+        prop_assume!(xs.iter().filter(|&&v| v == *max).count() == 1);
+        let fi = argmax(&Tensor::from_flat(xs.iter().map(|&v| v as f64).collect::<Vec<_>>()));
+        let ii = argmax_i64(&Tensor::from_flat(xs));
+        prop_assert_eq!(fi, ii);
+    }
+
+    #[test]
+    fn scaled_reference_deterministic(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = zoo::mlp("p", &[3, 4, 2], &mut rng).unwrap();
+        let scaled = ScaledModel::from_model(&model, 1_000);
+        let x = Tensor::from_flat(vec![0.1, -0.2, 0.3]);
+        let a = scaled.forward_scaled(&scaled.scale_input(&x)).unwrap();
+        let b = scaled.forward_scaled(&scaled.scale_input(&x)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Distance correlation (Székely, Rizzo & Bakirov 2007) — the information
+//! leakage metric of paper Exp#5 (Table VI). The paper computes it with the
+//! Python `dcor` package; this is a from-scratch reimplementation of the
+//! same statistic for univariate samples.
+//!
+//! Given paired samples `x, y` of length `n`, with pairwise distance
+//! matrices `a_jk = |x_j − x_k|` and `b_jk = |y_j − y_k|` double-centered
+//! to `A` and `B`:
+//!
+//! * `dCov²(x, y) = (1/n²) Σ_jk A_jk · B_jk`
+//! * `dCor(x, y)  = dCov(x, y) / √(dCov(x,x) · dCov(y,y))`
+//!
+//! `dCor = 1` for identical (affinely related) samples, `0` for
+//! independent ones. The implementation streams the double-centered
+//! products, using O(n) memory for the row means rather than
+//! materializing the n×n matrices (tensor lengths reach 2¹³ in Exp#5).
+
+/// Row means, grand mean of the pairwise |xi − xj| distance matrix.
+fn distance_means(x: &[f64]) -> (Vec<f64>, f64) {
+    let n = x.len();
+    let mut row = vec![0.0; n];
+    for j in 0..n {
+        let mut s = 0.0;
+        for k in 0..n {
+            s += (x[j] - x[k]).abs();
+        }
+        row[j] = s / n as f64;
+    }
+    let grand = row.iter().sum::<f64>() / n as f64;
+    (row, grand)
+}
+
+/// Squared distance covariance of two equal-length samples.
+///
+/// Panics if lengths differ or are zero.
+pub fn distance_covariance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must be paired");
+    assert!(!x.is_empty(), "empty samples");
+    let n = x.len();
+    let (ra, ga) = distance_means(x);
+    let (rb, gb) = distance_means(y);
+    let mut acc = 0.0;
+    for j in 0..n {
+        for k in 0..n {
+            let a = (x[j] - x[k]).abs() - ra[j] - ra[k] + ga;
+            let b = (y[j] - y[k]).abs() - rb[j] - rb[k] + gb;
+            acc += a * b;
+        }
+    }
+    // Centering can leave tiny negative residue from rounding.
+    (acc / (n * n) as f64).max(0.0)
+}
+
+/// Distance correlation in `[0, 1]`. Returns `0` when either sample is
+/// constant (zero distance variance).
+pub fn distance_correlation(x: &[f64], y: &[f64]) -> f64 {
+    let vxy = distance_covariance(x, y);
+    let vx = distance_covariance(x, x);
+    let vy = distance_covariance(y, y);
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    (vxy / (vx * vy).sqrt()).sqrt().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_samples_have_dcor_one() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.7 - 3.0).collect();
+        let d = distance_correlation(&x, &x);
+        assert!((d - 1.0).abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn affine_transform_has_dcor_one() {
+        // dCor is invariant to scaling and shifting.
+        let x: Vec<f64> = (0..40).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        let d = distance_correlation(&x, &y);
+        assert!((d - 1.0).abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn independent_samples_have_low_dcor() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..500).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..500).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d = distance_correlation(&x, &y);
+        assert!(d < 0.15, "d={d}");
+    }
+
+    #[test]
+    fn detects_nonlinear_dependence() {
+        // Pearson correlation of (x, x²) on symmetric x is ~0, but dCor
+        // sees the dependence — the reason the paper uses this statistic.
+        let x: Vec<f64> = (-25..25).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let d = distance_correlation(&x, &y);
+        assert!(d > 0.4, "d={d}");
+    }
+
+    #[test]
+    fn constant_sample_yields_zero() {
+        let x = vec![3.0; 20];
+        let y: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(distance_correlation(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn permutation_reduces_dcor_with_length() {
+        // The Table VI trend: longer tensors → smaller dCor between the
+        // original and its random permutation.
+        let mut rng = StdRng::seed_from_u64(2);
+        let lengths = [32usize, 128, 512, 2048];
+        let dcors: Vec<f64> = lengths
+            .iter()
+            .map(|&n| {
+                let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let perm = crate::Permutation::random(n, &mut rng);
+                let y = perm.apply(&x).unwrap();
+                distance_correlation(&x, &y)
+            })
+            .collect();
+        // The long-tensor leakage is much smaller than the short-tensor
+        // leakage (the Table VI trend); individual steps can jitter.
+        assert!(dcors[3] < dcors[0] / 2.0, "dcors={dcors:?}");
+        assert!(dcors.iter().all(|&d| d < 0.6), "dcors={dcors:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn mismatched_lengths_panic() {
+        distance_covariance(&[1.0, 2.0], &[1.0]);
+    }
+}

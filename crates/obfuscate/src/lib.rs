@@ -1,0 +1,64 @@
+//! # pp-obfuscate
+//!
+//! PP-Stream's lightweight obfuscation protocol for non-linear operations
+//! (paper Sec. III-C), plus the distance-correlation statistic used to
+//! measure its residual information leakage (Exp#5, Table VI).
+//!
+//! The model provider reshapes each tensor into a one-dimensional vector
+//! (lexicographic element order), randomly permutes the element positions,
+//! and sends the permuted vector to the data provider. Element-wise
+//! non-linear functions (ReLU, Sigmoid) commute with the permutation;
+//! the model provider later applies the inverse permutation to restore
+//! positions. A fresh random permutation is drawn per round (Steps 1.4
+//! and 2.7 of Fig. 3), so positions are unlinkable across rounds.
+//!
+//! ```
+//! use pp_obfuscate::{distance_correlation, Permutation};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let activations: Vec<f64> = (0..256).map(|i| (i as f64).sin()).collect();
+//!
+//! // Model provider: obfuscate before sending (Step 1.4)…
+//! let perm = Permutation::random(activations.len(), &mut rng);
+//! let obfuscated = perm.apply(&activations).unwrap();
+//! // …data provider applies an element-wise function on permuted values…
+//! let relu: Vec<f64> = obfuscated.iter().map(|&v| v.max(0.0)).collect();
+//! // …model provider restores positions (Step 2.5).
+//! let restored = perm.invert(&relu).unwrap();
+//! assert_eq!(restored[3], activations[3].max(0.0));
+//!
+//! // Exp#5: the permuted view is only weakly correlated with the original.
+//! let leak = distance_correlation(&activations, &obfuscated);
+//! assert!(leak < 0.2, "dcor = {leak}");
+//! ```
+
+mod dcor;
+mod permutation;
+
+pub use dcor::{distance_correlation, distance_covariance};
+pub use permutation::Permutation;
+
+/// Errors from obfuscation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObfuscateError {
+    /// The permutation length does not match the data length.
+    LengthMismatch { permutation: usize, data: usize },
+    /// The provided index vector is not a valid permutation.
+    NotAPermutation,
+}
+
+impl std::fmt::Display for ObfuscateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObfuscateError::LengthMismatch { permutation, data } => write!(
+                f,
+                "permutation length {permutation} does not match data length {data}"
+            ),
+            ObfuscateError::NotAPermutation => write!(f, "indices do not form a permutation"),
+        }
+    }
+}
+
+impl std::error::Error for ObfuscateError {}

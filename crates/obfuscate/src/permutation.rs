@@ -1,0 +1,169 @@
+//! Seeded random permutations with inverses.
+
+use crate::ObfuscateError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A permutation of `n` positions: `apply` moves the element at position
+/// `i` to position `perm[i]`'s slot — concretely, output index `j` takes
+/// input element `forward[j]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    /// `forward[j]` = index of the input element placed at output slot `j`.
+    forward: Vec<usize>,
+    /// `inverse[i]` = output slot of input element `i`.
+    inverse: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let forward: Vec<usize> = (0..n).collect();
+        Permutation { inverse: forward.clone(), forward }
+    }
+
+    /// Draws a uniformly random permutation on `n` elements
+    /// (Fisher–Yates via `SliceRandom::shuffle`). The model provider draws
+    /// a fresh one per round of the protocol.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut forward: Vec<usize> = (0..n).collect();
+        forward.shuffle(rng);
+        Self::from_forward(forward).expect("shuffle of 0..n is a permutation")
+    }
+
+    /// Builds from an explicit forward index vector, validating it is a
+    /// bijection on `0..n`.
+    pub fn from_forward(forward: Vec<usize>) -> Result<Self, ObfuscateError> {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (j, &i) in forward.iter().enumerate() {
+            if i >= n || inverse[i] != usize::MAX {
+                return Err(ObfuscateError::NotAPermutation);
+            }
+            inverse[i] = j;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// Number of permuted positions.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Returns `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The forward index vector.
+    pub fn forward_indices(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// Permutes a slice: output slot `j` receives `data[forward[j]]`.
+    pub fn apply<T: Clone>(&self, data: &[T]) -> Result<Vec<T>, ObfuscateError> {
+        if data.len() != self.forward.len() {
+            return Err(ObfuscateError::LengthMismatch {
+                permutation: self.forward.len(),
+                data: data.len(),
+            });
+        }
+        Ok(self.forward.iter().map(|&i| data[i].clone()).collect())
+    }
+
+    /// Inverts a previously permuted slice, restoring original positions.
+    pub fn invert<T: Clone>(&self, data: &[T]) -> Result<Vec<T>, ObfuscateError> {
+        if data.len() != self.inverse.len() {
+            return Err(ObfuscateError::LengthMismatch {
+                permutation: self.inverse.len(),
+                data: data.len(),
+            });
+        }
+        Ok(self.inverse.iter().map(|&i| data[i].clone()).collect())
+    }
+
+    /// The inverse permutation as its own object.
+    pub fn inverted(&self) -> Permutation {
+        Permutation { forward: self.inverse.clone(), inverse: self.forward.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(5);
+        let data = vec![10, 20, 30, 40, 50];
+        assert_eq!(p.apply(&data).unwrap(), data);
+        assert_eq!(p.invert(&data).unwrap(), data);
+    }
+
+    #[test]
+    fn invert_restores_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 100, 1000] {
+            let p = Permutation::random(n, &mut rng);
+            let data: Vec<u32> = (0..n as u32).collect();
+            let shuffled = p.apply(&data).unwrap();
+            assert_eq!(p.invert(&shuffled).unwrap(), data, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverted_object_composes_to_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Permutation::random(64, &mut rng);
+        let q = p.inverted();
+        let data: Vec<u32> = (0..64).collect();
+        assert_eq!(q.apply(&p.apply(&data).unwrap()).unwrap(), data);
+    }
+
+    #[test]
+    fn fresh_seeds_give_fresh_permutations() {
+        // Paper Sec. III-C: different random seeds per round → different
+        // permuted positions.
+        let p1 = Permutation::random(256, &mut StdRng::seed_from_u64(10));
+        let p2 = Permutation::random(256, &mut StdRng::seed_from_u64(11));
+        assert_ne!(p1.forward_indices(), p2.forward_indices());
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let p1 = Permutation::random(64, &mut StdRng::seed_from_u64(7));
+        let p2 = Permutation::random(64, &mut StdRng::seed_from_u64(7));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn validation_rejects_non_permutations() {
+        assert!(Permutation::from_forward(vec![0, 0, 1]).is_err());
+        assert!(Permutation::from_forward(vec![0, 3]).is_err());
+        assert!(Permutation::from_forward(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let p = Permutation::identity(3);
+        assert!(matches!(
+            p.apply(&[1, 2]),
+            Err(ObfuscateError::LengthMismatch { .. })
+        ));
+        assert!(p.invert(&[1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn uniformity_smoke_test() {
+        // Over many draws on 3 elements, all 6 orderings appear.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let p = Permutation::random(3, &mut rng);
+            seen.insert(p.forward_indices().to_vec());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

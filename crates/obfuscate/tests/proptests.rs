@@ -1,0 +1,84 @@
+//! Property tests for the obfuscation substrate.
+
+use pp_obfuscate::{distance_correlation, Permutation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn apply_then_invert_is_identity(
+        data in proptest::collection::vec(any::<i64>(), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(data.len(), &mut rng);
+        let shuffled = p.apply(&data).unwrap();
+        prop_assert_eq!(p.invert(&shuffled).unwrap(), data);
+    }
+
+    #[test]
+    fn permutation_preserves_multiset(
+        data in proptest::collection::vec(-100i64..100, 1..100),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(data.len(), &mut rng);
+        let shuffled = p.apply(&data).unwrap();
+        let mut a = data.clone();
+        let mut b = shuffled;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_original(n in 1usize..100, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(n, &mut rng);
+        prop_assert_eq!(p.inverted().inverted(), p);
+    }
+
+    #[test]
+    fn from_forward_validates(indices in proptest::collection::vec(0usize..50, 1..50)) {
+        let n = indices.len();
+        let is_perm = {
+            let mut seen = vec![false; n];
+            indices.iter().all(|&i| {
+                if i < n && !seen[i] {
+                    seen[i] = true;
+                    true
+                } else {
+                    false
+                }
+            })
+        };
+        prop_assert_eq!(Permutation::from_forward(indices).is_ok(), is_perm);
+    }
+
+    #[test]
+    fn dcor_symmetric_and_bounded(
+        x in proptest::collection::vec(-10.0f64..10.0, 5..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Permutation::random(x.len(), &mut rng);
+        let y = p.apply(&x).unwrap();
+        let d1 = distance_correlation(&x, &y);
+        let d2 = distance_correlation(&y, &x);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&d1), "d={d1}");
+    }
+
+    #[test]
+    fn dcor_invariant_to_affine_transform(
+        x in proptest::collection::vec(-10.0f64..10.0, 5..30),
+        scale in 0.1f64..5.0,
+        shift in -5.0f64..5.0,
+    ) {
+        prop_assume!(x.iter().any(|&v| (v - x[0]).abs() > 1e-9));
+        let y: Vec<f64> = x.iter().map(|&v| v * scale + shift).collect();
+        let d = distance_correlation(&x, &y);
+        prop_assert!((d - 1.0).abs() < 1e-6, "d={d}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Ciphertext wrapper with byte serialization for the stream wire format.
+
+use pp_bigint::BigUint;
+
+/// A Paillier ciphertext: an element of `Z*_{n²}`.
+///
+/// The wrapper type keeps ciphertexts from being confused with plaintext
+/// residues in the PP-Stream protocol code — only the data provider may
+/// turn one back into a plaintext.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ciphertext(BigUint);
+
+impl Ciphertext {
+    /// Wraps a raw residue. Callers are expected to have produced it via an
+    /// encryption or homomorphic operation.
+    pub fn new(raw: BigUint) -> Self {
+        Ciphertext(raw)
+    }
+
+    /// The underlying residue.
+    pub fn raw(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Consumes the wrapper, returning the residue.
+    pub fn into_raw(self) -> BigUint {
+        self.0
+    }
+
+    /// Big-endian byte serialization (used by the stream wire codec).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes_be()
+    }
+
+    /// Deserializes from big-endian bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Ciphertext(BigUint::from_bytes_be(bytes))
+    }
+}
+
+impl std::fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print full ciphertexts in logs; show a short fingerprint.
+        let hex = self.0.to_hex();
+        let head = &hex[..hex.len().min(12)];
+        write!(f, "Ciphertext({head}…, {} bits)", self.0.bit_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let c = Ciphertext::new(BigUint::from_decimal_str("123456789012345678901234567890").unwrap());
+        let bytes = c.to_bytes();
+        assert_eq!(Ciphertext::from_bytes(&bytes), c);
+    }
+
+    #[test]
+    fn debug_is_truncated() {
+        let c = Ciphertext::new(BigUint::from_hex_str("deadbeefdeadbeefdeadbeefdeadbeef").unwrap());
+        let s = format!("{c:?}");
+        assert!(s.contains("…"));
+        assert!(!s.contains("deadbeefdeadbeefdeadbeefdeadbeef"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Signed-integer encoding into the Paillier plaintext space.
+//!
+//! PP-Stream scales floating-point model parameters and activations to
+//! integers (paper Sec. IV-A); those integers can be negative, while
+//! Paillier messages live in `[0, n)`. We use the standard symmetric
+//! encoding: values in `(-n/2, 0)` map to `(n/2, n)`.
+
+use crate::PaillierError;
+use pp_bigint::{BigInt, BigUint};
+
+/// Encodes a signed 64-bit value into `[0, n)`.
+///
+/// Panics if `|m| >= n/2` (only possible with absurdly small test keys).
+pub fn encode_i64(m: i64, n: &BigUint) -> BigUint {
+    BigInt::from(m).rem_euclid_biguint(n)
+}
+
+/// Decodes a residue in `[0, n)` back to a signed value, interpreting
+/// residues above `n/2` as negative.
+pub fn decode_i64(residue: &BigUint, n: &BigUint) -> Result<i64, PaillierError> {
+    decode_i128(residue, n)?
+        .try_into()
+        .map_err(|_| PaillierError::MessageOutOfRange)
+}
+
+/// As [`decode_i64`] but with the wider `i128` range, for accumulated sums
+/// that exceed 64 bits before rescaling.
+pub fn decode_i128(residue: &BigUint, n: &BigUint) -> Result<i128, PaillierError> {
+    let half = n.shr_bits(1);
+    if residue <= &half {
+        residue
+            .to_u128()
+            .and_then(|v| i128::try_from(v).ok())
+            .ok_or(PaillierError::MessageOutOfRange)
+    } else {
+        let mag = n - residue;
+        let v = mag
+            .to_u128()
+            .and_then(|v| i128::try_from(v).ok())
+            .ok_or(PaillierError::MessageOutOfRange)?;
+        Ok(-v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_bigint::BigUint;
+
+    fn n() -> BigUint {
+        // A 100-bit odd modulus; encoding only needs n, not a real key.
+        BigUint::from_decimal_str("1267650600228229401496703205361").unwrap()
+    }
+
+    #[test]
+    fn roundtrip_signed() {
+        let n = n();
+        for m in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN + 1] {
+            let e = encode_i64(m, &n);
+            assert!(e < n);
+            assert_eq!(decode_i64(&e, &n).unwrap(), m, "m={m}");
+        }
+    }
+
+    #[test]
+    fn negative_maps_to_upper_half() {
+        let n = n();
+        let e = encode_i64(-5, &n);
+        assert!(e > n.shr_bits(1));
+        assert_eq!(e, &n - &BigUint::from(5u64));
+    }
+
+    #[test]
+    fn homomorphic_sum_encoding() {
+        // encode(a) + encode(b) mod n decodes to a + b.
+        let n = n();
+        for (a, b) in [(5i64, -9), (-100, -200), (1 << 40, -(1 << 39))] {
+            let sum = encode_i64(a, &n).addmod(&encode_i64(b, &n), &n).unwrap();
+            assert_eq!(decode_i64(&sum, &n).unwrap(), a + b);
+        }
+    }
+
+    #[test]
+    fn i128_range() {
+        let n = n();
+        // 2^80 fits in the 100-bit space but not in i64.
+        let big = BigUint::one().shl_bits(80);
+        assert!(decode_i64(&big, &n).is_err());
+        assert_eq!(decode_i128(&big, &n).unwrap(), 1i128 << 80);
+    }
+}

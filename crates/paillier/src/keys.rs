@@ -1,0 +1,463 @@
+//! Key generation, encryption, and decryption.
+//!
+//! Decryption uses the CRT split over `p²` and `q²` (the classic ~4×
+//! speedup from Paillier's original paper); the `abl_crt` bench in
+//! `pp-bench` quantifies the gain against the direct `λ, μ` method.
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding::{decode_i64, encode_i64};
+use pp_bigint::{gen_prime, random_coprime, BigUint, MontgomeryCtx};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Paillier public key: the modulus `n`, with precomputed `n²` and a shared
+/// Montgomery context for `n²` (built once per key, reused for every tensor
+/// element).
+#[derive(Clone, Debug)]
+pub struct PublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+    half_n: BigUint,
+    ctx_n2: Arc<MontgomeryCtx>,
+}
+
+/// Paillier private key with CRT precomputations.
+#[derive(Clone, Debug)]
+pub struct PrivateKey {
+    public: PublicKey,
+    p: BigUint,
+    q: BigUint,
+    p_squared: BigUint,
+    q_squared: BigUint,
+    /// `p^{-1} mod q` for CRT recombination.
+    p_inv_q: BigUint,
+    /// `hp = L_p(g^{p-1} mod p²)^{-1} mod p`.
+    hp: BigUint,
+    /// `hq = L_q(g^{q-1} mod q²)^{-1} mod q`.
+    hq: BigUint,
+    ctx_p2: Arc<MontgomeryCtx>,
+    ctx_q2: Arc<MontgomeryCtx>,
+}
+
+/// A freshly generated public/private key pair.
+#[derive(Clone, Debug)]
+pub struct Keypair {
+    public: PublicKey,
+    private: PrivateKey,
+}
+
+impl Keypair {
+    /// Generates a keypair with an `n` of `bits` bits (so `p` and `q` are
+    /// `bits/2`-bit primes). The paper uses 2048-bit keys per NIST
+    /// guidance [16]; tests use much smaller keys for speed.
+    ///
+    /// Panics if `bits < 16`.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 16, "key size too small");
+        let half = bits / 2;
+        loop {
+            let p = gen_prime(half, rng);
+            let q = gen_prime(bits - half, rng);
+            if p == q {
+                continue;
+            }
+            // gcd(n, (p-1)(q-1)) == 1 holds automatically when p, q have the
+            // same bit length; re-sample defensively when it does not.
+            let n = &p * &q;
+            let p_minus_1 = &p - &BigUint::one();
+            let q_minus_1 = &q - &BigUint::one();
+            if !n.gcd(&p_minus_1.mul_ref(&q_minus_1)).is_one() {
+                continue;
+            }
+            if n.bit_len() != bits {
+                continue;
+            }
+            let public = PublicKey::from_n(n);
+            let private = PrivateKey::from_primes(public.clone(), p, q);
+            return Keypair { public, private };
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public.clone()
+    }
+
+    /// The private half.
+    pub fn private(&self) -> PrivateKey {
+        self.private.clone()
+    }
+
+    /// Rebuilds a keypair from its private half.
+    pub fn from_private(private: PrivateKey) -> Self {
+        Keypair { public: private.public().clone(), private }
+    }
+}
+
+/// `L(x) = (x - 1) / n` — Paillier's quotient function, defined on
+/// `x ≡ 1 (mod n)`.
+fn l_function(x: &BigUint, n: &BigUint) -> BigUint {
+    let x_minus_1 = x - &BigUint::one();
+    &x_minus_1 / n
+}
+
+impl PublicKey {
+    /// Builds a public key from a modulus `n` (uses `g = n + 1`).
+    pub fn from_n(n: BigUint) -> Self {
+        let n_squared = n.square();
+        let ctx_n2 = Arc::new(MontgomeryCtx::new(&n_squared).expect("n² odd"));
+        let half_n = n.shr_bits(1);
+        PublicKey { n, n_squared, half_n, ctx_n2 }
+    }
+
+    /// The modulus `n`.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// `n²`, the ciphertext modulus.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.n_squared
+    }
+
+    /// `⌊n/2⌋`, the positive/negative split of the signed encoding.
+    pub fn half_n(&self) -> &BigUint {
+        &self.half_n
+    }
+
+    /// Key size in bits (bit length of `n`).
+    pub fn bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    pub(crate) fn ctx(&self) -> &MontgomeryCtx {
+        &self.ctx_n2
+    }
+
+    /// Encrypts a non-negative message `m < n` with fresh randomness.
+    ///
+    /// With `g = n + 1`, `g^m = 1 + m·n (mod n²)`, so encryption costs one
+    /// modular exponentiation (`r^n`) plus one multiplication.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+        let r = random_coprime(rng, &self.n);
+        self.encrypt_with_randomness(m, &r)
+    }
+
+    /// Encrypts with caller-provided randomness `r ∈ Z*_n` (used by
+    /// [`crate::RandomnessPool`] and by deterministic tests).
+    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+        debug_assert!(m < &self.n, "message must be reduced mod n");
+        // g^m = 1 + m·n mod n²
+        let gm = (&BigUint::one() + &m.mul_ref(&self.n))
+            .rem_ref(&self.n_squared)
+            .expect("n² non-zero");
+        let rn = self.ctx_n2.pow_mod(r, &self.n);
+        Ciphertext::new(self.ctx_n2.mul_mod(&gm, &rn))
+    }
+
+    /// Encrypts a signed 64-bit message (PP-Stream's scaled values).
+    pub fn encrypt_i64<R: Rng + ?Sized>(&self, m: i64, rng: &mut R) -> Ciphertext {
+        let encoded = encode_i64(m, &self.n);
+        self.encrypt(&encoded, rng)
+    }
+
+    /// Deterministic encryption with unit randomness: `c = 1 + m·n mod n²`.
+    ///
+    /// **Not semantically secure on its own** — used only for the model
+    /// provider's *own* bias constants, which are immediately multiplied
+    /// into data-derived ciphertexts (whose randomness re-randomizes the
+    /// product) and never sent bare. Avoids one modular exponentiation per
+    /// bias term.
+    pub fn encrypt_constant_i64(&self, m: i64) -> Ciphertext {
+        let encoded = encode_i64(m, &self.n);
+        let gm = (&BigUint::one() + &encoded.mul_ref(&self.n))
+            .rem_ref(&self.n_squared)
+            .expect("n² non-zero");
+        Ciphertext::new(gm)
+    }
+
+    /// Homomorphic addition: `D(add(c₁, c₂)) = m₁ + m₂` (paper Eq. 1).
+    pub fn add(&self, c1: &Ciphertext, c2: &Ciphertext) -> Ciphertext {
+        Ciphertext::new(self.ctx_n2.mul_mod(c1.raw(), c2.raw()))
+    }
+
+    /// Homomorphic addition of a plaintext constant (no encryption of the
+    /// constant needed): `D(add_plain(c, k)) = m + k`.
+    pub fn add_plain_i64(&self, c: &Ciphertext, k: i64) -> Ciphertext {
+        let encoded = encode_i64(k, &self.n);
+        // c · g^k = c · (1 + k·n) mod n²
+        let gk = (&BigUint::one() + &encoded.mul_ref(&self.n))
+            .rem_ref(&self.n_squared)
+            .expect("n² non-zero");
+        Ciphertext::new(self.ctx_n2.mul_mod(c.raw(), &gk))
+    }
+
+    /// Homomorphic scalar multiplication by a non-negative scalar:
+    /// `D(mul_scalar(c, w)) = w·m` (paper Eq. 2).
+    pub fn mul_scalar(&self, c: &Ciphertext, w: &BigUint) -> Ciphertext {
+        Ciphertext::new(self.ctx_n2.pow_mod(c.raw(), w))
+    }
+
+    /// Homomorphic scalar multiplication by a signed scalar. Negative
+    /// scalars invert the ciphertext in `Z*_{n²}` first
+    /// (`D(c^{-1}) = -m`), then raise to `|w|`.
+    pub fn mul_scalar_i64(&self, c: &Ciphertext, w: i64) -> Ciphertext {
+        if w >= 0 {
+            self.mul_scalar(c, &BigUint::from(w as u64))
+        } else {
+            let inv = c
+                .raw()
+                .modinv(&self.n_squared)
+                .expect("ciphertexts are units mod n²");
+            self.mul_scalar(&Ciphertext::new(inv), &BigUint::from(w.unsigned_abs()))
+        }
+    }
+
+    /// The additive identity `E(0)` with fresh randomness — useful for
+    /// re-randomizing a ciphertext.
+    pub fn encrypt_zero<R: Rng + ?Sized>(&self, rng: &mut R) -> Ciphertext {
+        self.encrypt(&BigUint::zero(), rng)
+    }
+
+    /// Re-randomizes `c` so it is unlinkable to its origin while decrypting
+    /// to the same message.
+    pub fn rerandomize<R: Rng + ?Sized>(&self, c: &Ciphertext, rng: &mut R) -> Ciphertext {
+        self.add(c, &self.encrypt_zero(rng))
+    }
+
+    /// Checks that a ciphertext lies in `Z*_{n²}`.
+    pub fn validate(&self, c: &Ciphertext) -> bool {
+        !c.raw().is_zero() && c.raw() < &self.n_squared && c.raw().gcd(&self.n_squared).is_one()
+    }
+}
+
+impl PrivateKey {
+    /// Builds a private key from the prime factorization of `n`.
+    pub fn from_primes(public: PublicKey, p: BigUint, q: BigUint) -> Self {
+        let p_squared = p.square();
+        let q_squared = q.square();
+        let ctx_p2 = Arc::new(MontgomeryCtx::new(&p_squared).expect("p² odd"));
+        let ctx_q2 = Arc::new(MontgomeryCtx::new(&q_squared).expect("q² odd"));
+        let p_minus_1 = &p - &BigUint::one();
+        let q_minus_1 = &q - &BigUint::one();
+
+        // hp = L_p(g^{p-1} mod p²)^{-1} mod p, with g = n+1.
+        let g = &public.n + &BigUint::one();
+        let gp = ctx_p2.pow_mod(&g, &p_minus_1);
+        let hp = l_function(&gp, &p)
+            .modinv(&p)
+            .expect("hp invertible for valid key");
+        let gq = ctx_q2.pow_mod(&g, &q_minus_1);
+        let hq = l_function(&gq, &q)
+            .modinv(&q)
+            .expect("hq invertible for valid key");
+
+        let p_inv_q = p.modinv(&q).expect("p, q distinct primes");
+
+        PrivateKey {
+            public,
+            p,
+            q,
+            p_squared,
+            q_squared,
+            p_inv_q,
+            hp,
+            hq,
+            ctx_p2,
+            ctx_q2,
+        }
+    }
+
+    /// The associated public key.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The prime factor `p` (secret).
+    pub fn p(&self) -> &BigUint {
+        &self.p
+    }
+
+    /// The prime factor `q` (secret).
+    pub fn q(&self) -> &BigUint {
+        &self.q
+    }
+
+    /// Decrypts to the raw residue in `[0, n)` using the CRT split.
+    pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        let p_minus_1 = &self.p - &BigUint::one();
+        let q_minus_1 = &self.q - &BigUint::one();
+
+        let cp = c.raw().rem_ref(&self.p_squared).expect("p² non-zero");
+        let cq = c.raw().rem_ref(&self.q_squared).expect("q² non-zero");
+
+        let mp = l_function(&self.ctx_p2.pow_mod(&cp, &p_minus_1), &self.p)
+            .mulmod(&self.hp, &self.p)
+            .expect("p non-zero");
+        let mq = l_function(&self.ctx_q2.pow_mod(&cq, &q_minus_1), &self.q)
+            .mulmod(&self.hq, &self.q)
+            .expect("q non-zero");
+
+        // CRT: m = mp + p·((mq - mp)·p^{-1} mod q)
+        let diff = mq.submod(&mp, &self.q).expect("q non-zero");
+        let t = diff.mulmod(&self.p_inv_q, &self.q).expect("q non-zero");
+        &mp + &t.mul_ref(&self.p)
+    }
+
+    /// Decrypts without CRT (directly via `λ = lcm(p-1, q-1)`). Kept for
+    /// cross-validation and the `abl_crt` ablation bench.
+    pub fn decrypt_direct(&self, c: &Ciphertext) -> BigUint {
+        let p_minus_1 = &self.p - &BigUint::one();
+        let q_minus_1 = &self.q - &BigUint::one();
+        let lambda = p_minus_1.lcm(&q_minus_1);
+        let n = &self.public.n;
+        let u = self.public.ctx_n2.pow_mod(c.raw(), &lambda);
+        let l = l_function(&u, n);
+        let g = n + &BigUint::one();
+        let mu = l_function(&self.public.ctx_n2.pow_mod(&g, &lambda), n)
+            .modinv(n)
+            .expect("valid key");
+        l.mulmod(&mu, n).expect("n non-zero")
+    }
+
+    /// Decrypts to a signed 64-bit message.
+    ///
+    /// Panics if the decoded value does not fit in `i64` (indicates the
+    /// plaintext grew beyond the scaled-integer space — a parameter-scaling
+    /// configuration error in PP-Stream terms).
+    pub fn decrypt_i64(&self, c: &Ciphertext) -> i64 {
+        let residue = self.decrypt(c);
+        decode_i64(&residue, &self.public.n)
+            .expect("decrypted value exceeds i64 message space")
+    }
+
+    /// Decrypts to a signed 128-bit message, for accumulations that
+    /// overflow 64 bits before rescaling.
+    pub fn decrypt_i128(&self, c: &Ciphertext) -> i128 {
+        let residue = self.decrypt(c);
+        crate::encoding::decode_i128(&residue, &self.public.n)
+            .expect("decrypted value exceeds i128 message space")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_keypair(seed: u64) -> Keypair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Keypair::generate(128, &mut rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = small_keypair(1);
+        for m in [0u64, 1, 42, 1_000_000, u32::MAX as u64] {
+            let c = kp.public().encrypt(&BigUint::from(m), &mut rng);
+            assert_eq!(kp.private().decrypt(&c).to_u64(), Some(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn crt_matches_direct_decryption() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = small_keypair(2);
+        for m in [0u64, 7, 123_456_789] {
+            let c = kp.public().encrypt(&BigUint::from(m), &mut rng);
+            assert_eq!(kp.private().decrypt(&c), kp.private().decrypt_direct(&c));
+        }
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = small_keypair(3);
+        let (pk, sk) = (kp.public(), kp.private());
+        let c1 = pk.encrypt_i64(1234, &mut rng);
+        let c2 = pk.encrypt_i64(-234, &mut rng);
+        assert_eq!(sk.decrypt_i64(&pk.add(&c1, &c2)), 1000);
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp = small_keypair(4);
+        let (pk, sk) = (kp.public(), kp.private());
+        let c = pk.encrypt_i64(37, &mut rng);
+        assert_eq!(sk.decrypt_i64(&pk.mul_scalar_i64(&c, 100)), 3700);
+        assert_eq!(sk.decrypt_i64(&pk.mul_scalar_i64(&c, -2)), -74);
+        assert_eq!(sk.decrypt_i64(&pk.mul_scalar_i64(&c, 0)), 0);
+    }
+
+    #[test]
+    fn linear_combination_matches_plaintext() {
+        // The exact Eq. 3 shape: Σ wᵢmᵢ + b.
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = small_keypair(5);
+        let (pk, sk) = (kp.public(), kp.private());
+        let ms = [13i64, -7, 250, 0, -99];
+        let ws = [2i64, -3, 10, 7, 1];
+        let b = -5i64;
+        let cts: Vec<_> = ms.iter().map(|&m| pk.encrypt_i64(m, &mut rng)).collect();
+        let mut acc = pk.encrypt_i64(b, &mut rng);
+        for (c, &w) in cts.iter().zip(&ws) {
+            acc = pk.add(&acc, &pk.mul_scalar_i64(c, w));
+        }
+        let want: i64 = ms.iter().zip(&ws).map(|(m, w)| m * w).sum::<i64>() + b;
+        assert_eq!(sk.decrypt_i64(&acc), want);
+    }
+
+    #[test]
+    fn add_plain_constant() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let kp = small_keypair(6);
+        let (pk, sk) = (kp.public(), kp.private());
+        let c = pk.encrypt_i64(-50, &mut rng);
+        assert_eq!(sk.decrypt_i64(&pk.add_plain_i64(&c, 92)), 42);
+        assert_eq!(sk.decrypt_i64(&pk.add_plain_i64(&c, -1)), -51);
+    }
+
+    #[test]
+    fn semantic_security_randomness() {
+        // Two encryptions of the same message differ (probabilistic
+        // encryption), yet decrypt identically.
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = small_keypair(7);
+        let pk = kp.public();
+        let c1 = pk.encrypt_i64(5, &mut rng);
+        let c2 = pk.encrypt_i64(5, &mut rng);
+        assert_ne!(c1.raw(), c2.raw());
+        assert_eq!(kp.private().decrypt_i64(&c1), kp.private().decrypt_i64(&c2));
+    }
+
+    #[test]
+    fn rerandomize_preserves_message() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let kp = small_keypair(8);
+        let pk = kp.public();
+        let c = pk.encrypt_i64(777, &mut rng);
+        let r = pk.rerandomize(&c, &mut rng);
+        assert_ne!(c.raw(), r.raw());
+        assert_eq!(kp.private().decrypt_i64(&r), 777);
+    }
+
+    #[test]
+    fn validate_ciphertexts() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let kp = small_keypair(9);
+        let pk = kp.public();
+        let c = pk.encrypt_i64(1, &mut rng);
+        assert!(pk.validate(&c));
+        assert!(!pk.validate(&Ciphertext::new(BigUint::zero())));
+        assert!(!pk.validate(&Ciphertext::new(pk.n_squared().clone())));
+    }
+
+    #[test]
+    fn keypair_bits() {
+        let kp = small_keypair(10);
+        assert_eq!(kp.public().bits(), 128);
+    }
+}

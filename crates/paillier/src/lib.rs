@@ -1,0 +1,72 @@
+//! # pp-paillier
+//!
+//! Paillier's partially homomorphic public-key cryptosystem
+//! (EUROCRYPT '99), built on [`pp_bigint`]. This is the cryptographic
+//! primitive PP-Stream uses to protect *linear* neural-network operations:
+//! the model provider computes `∏ E(mᵢ)^wᵢ · E(b) mod n²` over encrypted
+//! tensor elements, which decrypts to `Σ wᵢ·mᵢ + b` (paper Eq. 3).
+//!
+//! Supported homomorphic operations:
+//!
+//! * **Addition** — `D(E(m₁) · E(m₂) mod n²) = m₁ + m₂` (paper Eq. 1)
+//! * **Scalar multiplication** — `D(E(m)^w mod n²) = w · m` (paper Eq. 2),
+//!   including negative scalars via ciphertext inversion.
+//!
+//! Messages are signed 64-bit integers (PP-Stream's scaled parameters),
+//! encoded into `[0, n)` by splitting the message space at `n/2`.
+//!
+//! ## Example
+//!
+//! ```
+//! use pp_paillier::Keypair;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let kp = Keypair::generate(256, &mut rng); // tests use small keys
+//! let (pk, sk) = (kp.public(), kp.private());
+//!
+//! let c1 = pk.encrypt_i64(20, &mut rng);
+//! let c2 = pk.encrypt_i64(22, &mut rng);
+//! let sum = pk.add(&c1, &c2);
+//! assert_eq!(sk.decrypt_i64(&sum), 42);
+//!
+//! let scaled = pk.mul_scalar_i64(&c1, -3);
+//! assert_eq!(sk.decrypt_i64(&scaled), -60);
+//! ```
+
+mod ciphertext;
+mod encoding;
+mod keys;
+pub mod packing;
+mod pool;
+mod serde;
+
+pub use ciphertext::Ciphertext;
+pub use encoding::{decode_i64, encode_i64};
+pub use keys::{Keypair, PrivateKey, PublicKey};
+pub use packing::{PackedCiphertext, PackingSpec};
+pub use pool::RandomnessPool;
+
+/// Errors from Paillier operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaillierError {
+    /// The message does not fit in the plaintext space `(-n/2, n/2)`.
+    MessageOutOfRange,
+    /// A ciphertext is not a valid element of `Z*_{n²}`.
+    InvalidCiphertext,
+    /// Byte decoding failed.
+    Decode(String),
+}
+
+impl std::fmt::Display for PaillierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaillierError::MessageOutOfRange => write!(f, "message out of plaintext range"),
+            PaillierError::InvalidCiphertext => write!(f, "invalid ciphertext"),
+            PaillierError::Decode(s) => write!(f, "decode error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PaillierError {}

@@ -1,0 +1,313 @@
+//! Ciphertext packing: batching many small values into one Paillier
+//! plaintext (the BatchCrypt technique — the paper's reference [66]).
+//!
+//! A 2048-bit plaintext has room for dozens of 32-bit activations; packing
+//! them into slots makes one encryption/decryption/transfer carry a whole
+//! sub-tensor. Homomorphic slot-wise **addition** and **uniform scalar
+//! multiplication** work directly on the packed ciphertext:
+//!
+//! ```text
+//!   pack(v) = Σᵢ enc(vᵢ) · 2^(i·s)
+//!   pack(v) + pack(w)  →  slot-wise vᵢ + wᵢ
+//!   pack(v) · k        →  slot-wise vᵢ · k      (k ≥ 0, uniform)
+//! ```
+//!
+//! Per-slot *distinct* weights do not distribute over slots, so packing
+//! accelerates transport, bias addition, and uniform scaling — not
+//! general matrix products.
+//!
+//! ## Slot arithmetic and the operation budget
+//!
+//! Values are offset-encoded (`v + 2·B` for bound `|v| < B`) so slot
+//! contents stay positive, and every homomorphic operation grows the
+//! content. A slot must never spill into its neighbour, so each spec
+//! carries an **operation budget** `W`: the total `Σ adds·scale` weight a
+//! ciphertext may accumulate. The value bound is sized as
+//! `B = 2^(s-2-⌈log₂W⌉)`, which guarantees `content ≤ 3·W·B < 2^s`.
+//! [`PackedCiphertext::add`] and [`PackedCiphertext::mul_uniform`] enforce
+//! the budget and fail rather than silently corrupt slots.
+
+use crate::{Ciphertext, PaillierError, PrivateKey, PublicKey};
+use pp_bigint::BigUint;
+use rand::Rng;
+
+/// Layout and operation budget of a packed ciphertext.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackingSpec {
+    /// Bits per slot (including offset/guard headroom). 32 is a good
+    /// default for PP-Stream's scaled activations.
+    pub slot_bits: usize,
+    /// Number of slots per ciphertext.
+    pub slots: usize,
+    /// Maximum accumulated `adds · scale` weight (see module docs).
+    pub op_budget: u64,
+}
+
+impl PackingSpec {
+    /// Largest spec with `slot_bits`-wide slots that fits the key's
+    /// plaintext space, with a default operation budget of 16.
+    pub fn for_key(pk: &PublicKey, slot_bits: usize) -> Self {
+        let usable = pk.bits().saturating_sub(2);
+        PackingSpec { slot_bits, slots: (usable / slot_bits).max(1), op_budget: 16 }
+    }
+
+    /// Adjusts the operation budget (shrinks the per-value bound).
+    pub fn with_budget(mut self, op_budget: u64) -> Self {
+        self.op_budget = op_budget.max(1);
+        self
+    }
+
+    fn budget_bits(&self) -> u32 {
+        64 - (self.op_budget.max(1) - 1).leading_zeros().min(63)
+    }
+
+    /// Magnitude bound for a slot value: `|v| < 2^(s - 2 - ⌈log₂W⌉)`.
+    pub fn value_bound(&self) -> i64 {
+        let shift = self.slot_bits.saturating_sub(2 + self.budget_bits() as usize);
+        1i64 << shift.clamp(1, 62)
+    }
+
+    fn offset(&self) -> u64 {
+        2 * self.value_bound() as u64
+    }
+}
+
+/// A ciphertext holding `spec.slots` packed values, with the bookkeeping
+/// needed to strip offsets at decode time.
+#[derive(Clone, Debug)]
+pub struct PackedCiphertext {
+    pub ct: Ciphertext,
+    pub spec: PackingSpec,
+    /// How many packed ciphertexts were summed into this one.
+    adds: u64,
+    /// Uniform scalar applied.
+    scale: u64,
+    /// How many of the slots actually carry values.
+    used: usize,
+}
+
+impl PackedCiphertext {
+    /// Packs and encrypts up to `spec.slots` values, each `|v| <
+    /// spec.value_bound()`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        spec: PackingSpec,
+        values: &[i64],
+        rng: &mut R,
+    ) -> Result<Self, PaillierError> {
+        if values.len() > spec.slots {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        let bound = spec.value_bound();
+        let mut m = BigUint::zero();
+        // Highest slot first: m = ((v_{k-1}) << s | … ) | v_0.
+        for &v in values.iter().rev() {
+            if v.abs() >= bound {
+                return Err(PaillierError::MessageOutOfRange);
+            }
+            let encoded = (v + spec.offset() as i64) as u64;
+            m = m.shl_bits(spec.slot_bits);
+            m = &m + &BigUint::from(encoded);
+        }
+        Ok(PackedCiphertext {
+            ct: pk.encrypt(&m, rng),
+            spec,
+            adds: 1,
+            scale: 1,
+            used: values.len(),
+        })
+    }
+
+    /// Accumulated operation weight (`adds · scale`).
+    pub fn weight(&self) -> u64 {
+        self.adds.saturating_mul(self.scale)
+    }
+
+    /// Slot-wise homomorphic addition. Both operands must share the spec
+    /// and uniform scale; fails if the operation budget would be exceeded.
+    pub fn add(&self, pk: &PublicKey, other: &Self) -> Result<Self, PaillierError> {
+        if self.spec != other.spec || self.scale != other.scale {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        let out = PackedCiphertext {
+            ct: pk.add(&self.ct, &other.ct),
+            spec: self.spec,
+            adds: self.adds + other.adds,
+            scale: self.scale,
+            used: self.used.max(other.used),
+        };
+        if out.weight() > self.spec.op_budget {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        Ok(out)
+    }
+
+    /// Uniform positive scalar multiplication across all slots; fails if
+    /// the operation budget would be exceeded.
+    pub fn mul_uniform(&self, pk: &PublicKey, k: u64) -> Result<Self, PaillierError> {
+        if k == 0 {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        let out = PackedCiphertext {
+            ct: pk.mul_scalar(&self.ct, &BigUint::from(k)),
+            spec: self.spec,
+            adds: self.adds,
+            scale: self.scale * k,
+            used: self.used,
+        };
+        if out.weight() > self.spec.op_budget {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        Ok(out)
+    }
+
+    /// Decrypts and unpacks: slot `i` yields `scale · Σ vᵢ` over every
+    /// ciphertext summed in.
+    pub fn decrypt(&self, sk: &PrivateKey) -> Result<Vec<i64>, PaillierError> {
+        let m = sk.decrypt(&self.ct);
+        let offset_total =
+            self.adds as i128 * self.scale as i128 * self.spec.offset() as i128;
+        let mut out = Vec::with_capacity(self.used);
+        let mut rest = m;
+        for _ in 0..self.used {
+            // The budget guarantees slot contents never spill, so the low
+            // `slot_bits` are exactly this slot.
+            let slot = rest.low_bits(self.spec.slot_bits);
+            let raw = slot.to_u128().ok_or(PaillierError::MessageOutOfRange)? as i128;
+            let v = raw - offset_total;
+            out.push(i64::try_from(v).map_err(|_| PaillierError::MessageOutOfRange)?);
+            rest = rest.shr_bits(self.spec.slot_bits);
+        }
+        Ok(out)
+    }
+
+    /// Number of meaningful slots.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(budget: u64) -> (Keypair, PackingSpec, StdRng) {
+        let mut rng = StdRng::seed_from_u64(80);
+        let kp = Keypair::generate(256, &mut rng);
+        let spec = PackingSpec::for_key(&kp.public(), 32).with_budget(budget);
+        (kp, spec, rng)
+    }
+
+    #[test]
+    fn spec_capacity_and_bounds() {
+        let (_, spec, _) = setup(16);
+        assert!(spec.slots >= 5, "slots = {}", spec.slots);
+        // s=32, W=16 → bound 2^(32-2-4) = 2^26.
+        assert_eq!(spec.value_bound(), 1 << 26);
+        let tight = spec.with_budget(1024);
+        assert_eq!(tight.value_bound(), 1 << 20);
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let (kp, spec, mut rng) = setup(16);
+        let values = vec![0i64, 1, -1, 123_456, -654_321];
+        let packed = PackedCiphertext::encrypt(&kp.public(), spec, &values, &mut rng).unwrap();
+        assert_eq!(packed.decrypt(&kp.private()).unwrap(), values);
+    }
+
+    #[test]
+    fn packed_addition_is_slotwise() {
+        let (kp, spec, mut rng) = setup(16);
+        let a = vec![10i64, -20, 30];
+        let b = vec![1i64, 2, -3];
+        let pa = PackedCiphertext::encrypt(&kp.public(), spec, &a, &mut rng).unwrap();
+        let pb = PackedCiphertext::encrypt(&kp.public(), spec, &b, &mut rng).unwrap();
+        let sum = pa.add(&kp.public(), &pb).unwrap();
+        assert_eq!(sum.decrypt(&kp.private()).unwrap(), vec![11, -18, 27]);
+    }
+
+    #[test]
+    fn packed_uniform_scaling() {
+        let (kp, spec, mut rng) = setup(1024);
+        let v = vec![5i64, -7, 0, 100];
+        let p = PackedCiphertext::encrypt(&kp.public(), spec, &v, &mut rng).unwrap();
+        let scaled = p.mul_uniform(&kp.public(), 1000).unwrap();
+        assert_eq!(scaled.decrypt(&kp.private()).unwrap(), vec![5000, -7000, 0, 100_000]);
+    }
+
+    #[test]
+    fn add_then_scale_composes() {
+        let (kp, spec, mut rng) = setup(16);
+        let a = PackedCiphertext::encrypt(&kp.public(), spec, &[3, -4], &mut rng).unwrap();
+        let b = PackedCiphertext::encrypt(&kp.public(), spec, &[10, 20], &mut rng).unwrap();
+        let r = a
+            .add(&kp.public(), &b)
+            .unwrap()
+            .mul_uniform(&kp.public(), 7)
+            .unwrap();
+        assert_eq!(r.decrypt(&kp.private()).unwrap(), vec![91, 112]);
+    }
+
+    #[test]
+    fn many_additions_within_budget() {
+        let (kp, spec, mut rng) = setup(16);
+        let mut acc = PackedCiphertext::encrypt(&kp.public(), spec, &[1, -1], &mut rng).unwrap();
+        for i in 2..=10i64 {
+            let next =
+                PackedCiphertext::encrypt(&kp.public(), spec, &[i, -i], &mut rng).unwrap();
+            acc = acc.add(&kp.public(), &next).unwrap();
+        }
+        // Σ 1..10 = 55.
+        assert_eq!(acc.decrypt(&kp.private()).unwrap(), vec![55, -55]);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let (kp, spec, mut rng) = setup(2);
+        let a = PackedCiphertext::encrypt(&kp.public(), spec, &[1], &mut rng).unwrap();
+        let b = PackedCiphertext::encrypt(&kp.public(), spec, &[2], &mut rng).unwrap();
+        let sum = a.add(&kp.public(), &b).unwrap(); // weight 2 == budget
+        let c = PackedCiphertext::encrypt(&kp.public(), spec, &[3], &mut rng).unwrap();
+        assert!(sum.add(&kp.public(), &c).is_err(), "third add exceeds the budget");
+        assert!(a.mul_uniform(&kp.public(), 3).is_err(), "scale 3 exceeds the budget");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (kp, spec, mut rng) = setup(16);
+        let too_big = spec.value_bound();
+        assert!(PackedCiphertext::encrypt(&kp.public(), spec, &[too_big], &mut rng).is_err());
+        let too_many = vec![1i64; spec.slots + 1];
+        assert!(PackedCiphertext::encrypt(&kp.public(), spec, &too_many, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mismatched_specs_rejected() {
+        let (kp, spec, mut rng) = setup(16);
+        let other_spec = PackingSpec { slot_bits: 16, slots: 4, op_budget: 16 };
+        let a = PackedCiphertext::encrypt(&kp.public(), spec, &[1], &mut rng).unwrap();
+        let b = PackedCiphertext::encrypt(&kp.public(), other_spec, &[1], &mut rng).unwrap();
+        assert!(a.add(&kp.public(), &b).is_err());
+    }
+
+    #[test]
+    fn packing_saves_ciphertexts() {
+        // The point of the exercise: one ciphertext instead of `slots`.
+        let (kp, spec, mut rng) = setup(16);
+        let values: Vec<i64> = (0..spec.slots as i64).collect();
+        let packed = PackedCiphertext::encrypt(&kp.public(), spec, &values, &mut rng).unwrap();
+        let packed_bytes = packed.ct.to_bytes().len();
+        let individual_bytes: usize = values
+            .iter()
+            .map(|&v| kp.public().encrypt_i64(v, &mut rng).to_bytes().len())
+            .sum();
+        assert!(
+            packed_bytes * 2 < individual_bytes,
+            "packed {packed_bytes} vs individual {individual_bytes}"
+        );
+    }
+}

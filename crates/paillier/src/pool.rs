@@ -1,0 +1,91 @@
+//! Pre-computed encryption randomness.
+//!
+//! Paillier encryption cost is dominated by `r^n mod n²`, which is
+//! independent of the message. A [`RandomnessPool`] computes a batch of
+//! `r^n` factors ahead of time (e.g. while the pipeline is idle), turning
+//! each online encryption into a single modular multiplication. This is a
+//! standard PHE deployment optimization and one of the "optional
+//! extensions" we implement beyond the paper's prototype.
+
+use crate::{Ciphertext, PublicKey};
+use pp_bigint::{random_coprime, BigUint};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A pool of precomputed `r^n mod n²` factors for fast online encryption.
+pub struct RandomnessPool {
+    pk: PublicKey,
+    factors: VecDeque<BigUint>,
+}
+
+impl RandomnessPool {
+    /// Creates an empty pool for `pk`.
+    pub fn new(pk: PublicKey) -> Self {
+        RandomnessPool { pk, factors: VecDeque::new() }
+    }
+
+    /// Precomputes `count` randomness factors.
+    pub fn refill<R: Rng + ?Sized>(&mut self, count: usize, rng: &mut R) {
+        for _ in 0..count {
+            let r = random_coprime(rng, self.pk.n());
+            let rn = self.pk.ctx().pow_mod(&r, self.pk.n());
+            self.factors.push_back(rn);
+        }
+    }
+
+    /// Number of factors currently available.
+    pub fn available(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Encrypts a signed message using a pooled factor; falls back to a
+    /// fresh exponentiation when the pool is empty.
+    pub fn encrypt_i64<R: Rng + ?Sized>(&mut self, m: i64, rng: &mut R) -> Ciphertext {
+        match self.factors.pop_front() {
+            Some(rn) => {
+                let encoded = crate::encoding::encode_i64(m, self.pk.n());
+                let gm = (&BigUint::one() + &encoded.mul_ref(self.pk.n()))
+                    .rem_ref(self.pk.n_squared())
+                    .expect("n² non-zero");
+                Ciphertext::new(self.pk.ctx().mul_mod(&gm, &rn))
+            }
+            None => self.pk.encrypt_i64(m, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pooled_encryption_decrypts_correctly() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let kp = Keypair::generate(128, &mut rng);
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill(4, &mut rng);
+        assert_eq!(pool.available(), 4);
+        for m in [5i64, -17, 0, 123_456] {
+            let c = pool.encrypt_i64(m, &mut rng);
+            assert_eq!(kp.private().decrypt_i64(&c), m);
+        }
+        assert_eq!(pool.available(), 0);
+        // Fallback path when drained.
+        let c = pool.encrypt_i64(-1, &mut rng);
+        assert_eq!(kp.private().decrypt_i64(&c), -1);
+    }
+
+    #[test]
+    fn pooled_ciphertexts_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let kp = Keypair::generate(128, &mut rng);
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill(2, &mut rng);
+        let c1 = pool.encrypt_i64(9, &mut rng);
+        let c2 = pool.encrypt_i64(9, &mut rng);
+        assert_ne!(c1.raw(), c2.raw());
+    }
+}

@@ -1,0 +1,193 @@
+//! Key serialization: export/import of public and private keys as
+//! self-describing byte strings, for key distribution (the data provider
+//! ships its public key to the model provider at session setup — see the
+//! `distributed_inference` example) and for at-rest persistence.
+//!
+//! Format: `magic u32 | version u8 | field count u8 | (len u32 | bytes)*`
+//! with all integers little-endian and field bytes big-endian magnitude.
+
+use crate::{Keypair, PaillierError, PrivateKey, PublicKey};
+use pp_bigint::BigUint;
+
+const MAGIC_PUBLIC: u32 = 0x5050_4B31; // "PPK1"
+const MAGIC_PRIVATE: u32 = 0x5050_5331; // "PPS1"
+const VERSION: u8 = 1;
+
+fn put_field(out: &mut Vec<u8>, v: &BigUint) {
+    let bytes = v.to_bytes_be();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PaillierError> {
+        if self.pos + n > self.buf.len() {
+            return Err(PaillierError::Decode(format!(
+                "need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PaillierError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u8(&mut self) -> Result<u8, PaillierError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn field(&mut self) -> Result<BigUint, PaillierError> {
+        let len = self.u32()? as usize;
+        if len > 1 << 20 {
+            return Err(PaillierError::Decode(format!("field too large: {len}")));
+        }
+        Ok(BigUint::from_bytes_be(self.take(len)?))
+    }
+}
+
+fn check_header(c: &mut Cursor<'_>, magic: u32, fields: u8) -> Result<(), PaillierError> {
+    if c.u32()? != magic {
+        return Err(PaillierError::Decode("bad magic".into()));
+    }
+    if c.u8()? != VERSION {
+        return Err(PaillierError::Decode("unsupported version".into()));
+    }
+    if c.u8()? != fields {
+        return Err(PaillierError::Decode("unexpected field count".into()));
+    }
+    Ok(())
+}
+
+impl PublicKey {
+    /// Serializes the public key (the modulus `n`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC_PUBLIC.to_le_bytes());
+        out.push(VERSION);
+        out.push(1);
+        put_field(&mut out, self.n());
+        out
+    }
+
+    /// Deserializes a public key, rebuilding the Montgomery context.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PaillierError> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        check_header(&mut c, MAGIC_PUBLIC, 1)?;
+        let n = c.field()?;
+        if n.bit_len() < 16 {
+            return Err(PaillierError::Decode("modulus too small".into()));
+        }
+        Ok(PublicKey::from_n(n))
+    }
+}
+
+impl PrivateKey {
+    /// Serializes the private key as `(n, p, q)`. **Handle with care** —
+    /// this is the data provider's secret material.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC_PRIVATE.to_le_bytes());
+        out.push(VERSION);
+        out.push(3);
+        put_field(&mut out, self.public().n());
+        put_field(&mut out, self.p());
+        put_field(&mut out, self.q());
+        out
+    }
+
+    /// Deserializes and validates a private key (`p·q` must equal `n`).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PaillierError> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        check_header(&mut c, MAGIC_PRIVATE, 3)?;
+        let n = c.field()?;
+        let p = c.field()?;
+        let q = c.field()?;
+        if p.mul_ref(&q) != n {
+            return Err(PaillierError::Decode("p·q ≠ n: corrupted key".into()));
+        }
+        Ok(PrivateKey::from_primes(PublicKey::from_n(n), p, q))
+    }
+}
+
+impl Keypair {
+    /// Serializes the whole keypair (same format as the private key —
+    /// it determines everything).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.private().to_bytes()
+    }
+
+    /// Deserializes a keypair.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PaillierError> {
+        let private = PrivateKey::from_bytes(bytes)?;
+        Ok(Keypair::from_private(private))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> Keypair {
+        let mut rng = StdRng::seed_from_u64(50);
+        Keypair::generate(128, &mut rng)
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let kp = keypair();
+        let pk = kp.public();
+        let restored = PublicKey::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(restored.n(), pk.n());
+        // The restored key encrypts; the original private key decrypts.
+        let mut rng = StdRng::seed_from_u64(51);
+        let c = restored.encrypt_i64(-1234, &mut rng);
+        assert_eq!(kp.private().decrypt_i64(&c), -1234);
+    }
+
+    #[test]
+    fn private_key_roundtrip() {
+        let kp = keypair();
+        let restored = PrivateKey::from_bytes(&kp.private().to_bytes()).unwrap();
+        let mut rng = StdRng::seed_from_u64(52);
+        let c = kp.public().encrypt_i64(777, &mut rng);
+        assert_eq!(restored.decrypt_i64(&c), 777);
+    }
+
+    #[test]
+    fn keypair_roundtrip() {
+        let kp = keypair();
+        let restored = Keypair::from_bytes(&kp.to_bytes()).unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        let c = restored.public().encrypt_i64(9, &mut rng);
+        assert_eq!(restored.private().decrypt_i64(&c), 9);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let kp = keypair();
+        let mut bytes = kp.private().to_bytes();
+        // Flip a bit inside the q field.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(PrivateKey::from_bytes(&bytes).is_err());
+        // Wrong magic.
+        let mut bytes = kp.public().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(PublicKey::from_bytes(&bytes).is_err());
+        // Truncation.
+        let bytes = kp.public().to_bytes();
+        assert!(PublicKey::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

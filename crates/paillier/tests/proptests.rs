@@ -1,0 +1,71 @@
+//! Property tests for Paillier homomorphic semantics (paper Eqs. 1–3).
+
+use pp_paillier::Keypair;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One shared small keypair — keygen dominates test time otherwise.
+fn keypair() -> &'static Keypair {
+    static KP: OnceLock<Keypair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        Keypair::generate(192, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn roundtrip(m in any::<i32>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let c = kp.public().encrypt_i64(m as i64, &mut rng);
+        prop_assert_eq!(kp.private().decrypt_i64(&c), m as i64);
+    }
+
+    #[test]
+    fn additive_homomorphism(a in any::<i32>(), b in any::<i32>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(a as u64 ^ (b as u64) << 1);
+        let (pk, sk) = (kp.public(), kp.private());
+        let c = pk.add(&pk.encrypt_i64(a as i64, &mut rng), &pk.encrypt_i64(b as i64, &mut rng));
+        prop_assert_eq!(sk.decrypt_i64(&c), a as i64 + b as i64);
+    }
+
+    #[test]
+    fn scalar_homomorphism(m in -1_000_000i64..1_000_000, w in -10_000i64..10_000) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64((m ^ w) as u64);
+        let (pk, sk) = (kp.public(), kp.private());
+        let c = pk.mul_scalar_i64(&pk.encrypt_i64(m, &mut rng), w);
+        prop_assert_eq!(sk.decrypt_i64(&c), m * w);
+    }
+
+    #[test]
+    fn linear_form(ms in proptest::collection::vec(-1000i64..1000, 1..8),
+                   ws in proptest::collection::vec(-1000i64..1000, 8),
+                   b in -1000i64..1000) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(b as u64);
+        let (pk, sk) = (kp.public(), kp.private());
+        let mut acc = pk.encrypt_i64(b, &mut rng);
+        for (m, w) in ms.iter().zip(&ws) {
+            let c = pk.encrypt_i64(*m, &mut rng);
+            acc = pk.add(&acc, &pk.mul_scalar_i64(&c, *w));
+        }
+        let want: i64 = ms.iter().zip(&ws).map(|(m, w)| m * w).sum::<i64>() + b;
+        prop_assert_eq!(sk.decrypt_i64(&acc), want);
+    }
+
+    #[test]
+    fn add_plain_matches_encrypted_add(m in any::<i32>(), k in any::<i32>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(m as u64 ^ (k as u64).rotate_left(7));
+        let (pk, sk) = (kp.public(), kp.private());
+        let c = pk.encrypt_i64(m as i64, &mut rng);
+        prop_assert_eq!(sk.decrypt_i64(&pk.add_plain_i64(&c, k as i64)), m as i64 + k as i64);
+    }
+}

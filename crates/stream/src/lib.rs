@@ -1,0 +1,71 @@
+//! # pp-stream-runtime
+//!
+//! A from-scratch distributed stream-processing substrate — the
+//! workspace's substitute for AF-Stream [36], on which the paper's C++
+//! prototype is built.
+//!
+//! The runtime models PP-Stream's execution architecture (paper Fig. 4):
+//!
+//! * a [`pipeline::Pipeline`] is an ordered chain of **stages** (one per
+//!   AF-Stream worker / merged primitive layer), each running on its own
+//!   OS thread, connected by byte-counted **links**;
+//! * inference requests flow through the chain as serialized **frames**
+//!   (tensors of ciphertexts or obfuscated values) — every hop pays real
+//!   serialization/deserialization through the [`wire`] codec, as it
+//!   would over the testbed's 10 Gbps NICs;
+//! * inside a stage, a [`pool::WorkerPool`] provides the `y_i` threads
+//!   that PP-Stream's load-balanced resource allocation assigns to the
+//!   stage (Sec. IV-C), over which tensor partitions are parallelized
+//!   (Sec. IV-D).
+//!
+//! Pipelining is where the performance comes from: with `k` stages,
+//! request `j+1` occupies stage 1 while request `j` is in stage 2 —
+//! the Exp#2 speed-up over the centralized `CipherBase`.
+//!
+//! ```
+//! use pp_stream_runtime::{Pipeline, StageSpec};
+//! use pp_stream_runtime::wire::{from_frame, to_frame};
+//!
+//! let double = StageSpec::new("double", 2, |frame, _pool| {
+//!     let v: u64 = from_frame(frame)?;
+//!     Ok(to_frame(&(v * 2)))
+//! });
+//! let mut pipeline = Pipeline::new(vec![double]).unwrap();
+//! let (out, stats) = pipeline.process_stream(vec![to_frame(&21u64)]).unwrap();
+//! assert_eq!(from_frame::<u64>(out[0].clone()).unwrap(), 42);
+//! assert_eq!(stats.latencies.len(), 1);
+//! ```
+
+pub mod link;
+pub mod pipeline;
+pub mod pool;
+pub mod tcp;
+pub mod wire;
+
+pub use link::{Link, LinkStats};
+pub use pipeline::{Pipeline, PipelineStats, StageSpec};
+pub use pool::WorkerPool;
+pub use wire::{Decoder, Encoder, WireDecode, WireEncode};
+
+/// Errors from the stream runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A frame failed to decode.
+    Decode(String),
+    /// A link was disconnected unexpectedly.
+    Disconnected,
+    /// Pipeline construction error.
+    Config(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Decode(s) => write!(f, "decode error: {s}"),
+            StreamError::Disconnected => write!(f, "link disconnected"),
+            StreamError::Config(s) => write!(f, "pipeline config error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}

@@ -1,0 +1,308 @@
+//! Pipelined stage execution (paper Fig. 4): each stage runs on its own
+//! thread with a private worker pool; inference requests stream through
+//! the chain so consecutive requests overlap across stages.
+
+use crate::link::{Frame, Link, LinkReceiver, LinkSender, LinkStats};
+use crate::pool::WorkerPool;
+use crate::StreamError;
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A stage handler: transforms one serialized frame payload into the next
+/// stage's payload, using the stage's worker pool for data parallelism.
+/// A returned error stops the pipeline cleanly: upstream stages drain,
+/// and [`Pipeline::process_stream`] reports the failing stage.
+pub type StageFn =
+    Box<dyn Fn(Bytes, &WorkerPool) -> Result<Bytes, StreamError> + Send + Sync + 'static>;
+
+/// Specification of one pipeline stage.
+pub struct StageSpec {
+    /// Human-readable name (e.g. `"linear-0 @ model-server-1"`).
+    pub name: String,
+    /// Worker threads for intra-stage tensor parallelism (`y_i`).
+    pub threads: usize,
+    /// The stage computation.
+    pub handler: StageFn,
+}
+
+impl StageSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        threads: usize,
+        handler: impl Fn(Bytes, &WorkerPool) -> Result<Bytes, StreamError> + Send + Sync + 'static,
+    ) -> Self {
+        StageSpec { name: name.into(), threads, handler: Box::new(handler) }
+    }
+}
+
+/// Execution statistics of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// Per-request latency (source injection → sink arrival), in request
+    /// order.
+    pub latencies: Vec<Duration>,
+    /// Wall-clock time from first injection to last arrival.
+    pub makespan: Duration,
+    /// Bytes transferred per link (between stage `i` and `i+1`).
+    pub link_bytes: Vec<u64>,
+    /// Per-stage busy time (sum of handler execution times).
+    pub stage_busy: Vec<Duration>,
+}
+
+impl PipelineStats {
+    /// Mean request latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
+    }
+
+    /// Total bytes over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.link_bytes.iter().sum()
+    }
+}
+
+/// A chain of stages connected by links.
+pub struct Pipeline {
+    stages: Vec<StageSpec>,
+    /// In-flight frames per link before backpressure.
+    capacity: usize,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from stage specs.
+    pub fn new(stages: Vec<StageSpec>) -> Result<Self, StreamError> {
+        if stages.is_empty() {
+            return Err(StreamError::Config("pipeline needs at least one stage".into()));
+        }
+        Ok(Pipeline { stages, capacity: 4 })
+    }
+
+    /// Overrides the per-link buffering capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Streams `inputs` through the pipeline, returning the output frames
+    /// in request order together with run statistics. Fails with the
+    /// first stage error, naming the stage.
+    ///
+    /// Stages run on dedicated threads for the duration of the call;
+    /// requests are injected back-to-back, so with `k` stages up to `k`
+    /// requests execute concurrently — the pipelining the paper's Exp#2
+    /// measures.
+    pub fn process_stream(
+        &mut self,
+        inputs: Vec<Bytes>,
+    ) -> Result<(Vec<Bytes>, PipelineStats), StreamError> {
+        let n_stages = self.stages.len();
+        // Build the chain of links: source → s0 → s1 → … → sink.
+        let mut links: Vec<Link> = (0..=n_stages).map(|_| Link::new(self.capacity)).collect();
+        let link_stats: Vec<Arc<LinkStats>> = links.iter().map(Link::stats).collect();
+        let mut senders: Vec<Option<LinkSender>> = Vec::with_capacity(n_stages + 1);
+        let mut receivers: Vec<Option<LinkReceiver>> = Vec::with_capacity(n_stages + 1);
+        for link in links.drain(..) {
+            let (tx, rx) = link.split();
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+
+        let start = Instant::now();
+        let mut inject_times: HashMap<u64, Instant> = HashMap::new();
+
+        let failure: Arc<parking_lot::Mutex<Option<(String, StreamError)>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        std::thread::scope(|scope| {
+            // Spawn stage threads.
+            let mut busy_handles = Vec::with_capacity(n_stages);
+            for (i, spec) in self.stages.iter().enumerate() {
+                let rx = receivers[i].take().expect("receiver unused");
+                let tx = senders[i + 1].take().expect("sender unused");
+                let handler = &spec.handler;
+                let threads = spec.threads;
+                let name = spec.name.clone();
+                let failure = Arc::clone(&failure);
+                let handle = scope.spawn(move || {
+                    let pool = WorkerPool::new(threads);
+                    let mut busy = Duration::ZERO;
+                    while let Some(frame) = rx.recv() {
+                        let t0 = Instant::now();
+                        let out = match handler(frame.payload, &pool) {
+                            Ok(out) => out,
+                            Err(e) => {
+                                // Record the first failure and stop this
+                                // stage; dropping tx unwinds the chain.
+                                failure.lock().get_or_insert((name.clone(), e));
+                                break;
+                            }
+                        };
+                        busy += t0.elapsed();
+                        if !tx.send(Frame { seq: frame.seq, payload: out }) {
+                            break; // sink gone
+                        }
+                    }
+                    busy
+                });
+                busy_handles.push(handle);
+            }
+
+            // Source: inject all requests (blocking on backpressure).
+            let source = senders[0].take().expect("source sender");
+            for (seq, payload) in inputs.into_iter().enumerate() {
+                inject_times.insert(seq as u64, Instant::now());
+                source.send(Frame { seq: seq as u64, payload });
+            }
+            drop(source); // close the chain head
+
+            // Sink: collect everything.
+            let sink = receivers[n_stages].take().expect("sink receiver");
+            let mut arrived: Vec<(u64, Bytes, Instant)> = Vec::new();
+            while let Some(frame) = sink.recv() {
+                arrived.push((frame.seq, frame.payload, Instant::now()));
+            }
+
+            let makespan = start.elapsed();
+            let stage_busy: Vec<Duration> =
+                busy_handles.into_iter().map(|h| h.join().expect("stage thread")).collect();
+
+            if let Some((stage, err)) = failure.lock().take() {
+                return Err(StreamError::Config(format!("stage {stage:?} failed: {err}")));
+            }
+
+            arrived.sort_by_key(|(seq, _, _)| *seq);
+            let latencies = arrived
+                .iter()
+                .map(|(seq, _, at)| *at - inject_times[seq])
+                .collect();
+            let outputs = arrived.into_iter().map(|(_, p, _)| p).collect();
+            let link_bytes = link_stats.iter().map(|s| s.bytes()).collect();
+
+            Ok((
+                outputs,
+                PipelineStats { latencies, makespan, link_bytes, stage_busy },
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{from_frame, to_frame};
+
+    fn passthrough(name: &str) -> StageSpec {
+        StageSpec::new(name, 1, |payload, _| Ok(payload))
+    }
+
+    #[test]
+    fn identity_pipeline_preserves_frames() {
+        let mut p = Pipeline::new(vec![passthrough("a"), passthrough("b")]).unwrap();
+        let inputs: Vec<Bytes> = (0..5u64).map(|i| to_frame(&i)).collect();
+        let (outputs, stats) = p.process_stream(inputs).unwrap();
+        assert_eq!(outputs.len(), 5);
+        for (i, out) in outputs.iter().enumerate() {
+            let v: u64 = from_frame(out.clone()).unwrap();
+            assert_eq!(v, i as u64);
+        }
+        assert_eq!(stats.latencies.len(), 5);
+        assert_eq!(stats.link_bytes.len(), 3);
+        assert!(stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn stages_transform_in_order() {
+        let double = StageSpec::new("double", 1, |payload, _| {
+            let v: u64 = from_frame(payload)?;
+            Ok(to_frame(&(v * 2)))
+        });
+        let inc = StageSpec::new("inc", 1, |payload, _| {
+            let v: u64 = from_frame(payload)?;
+            Ok(to_frame(&(v + 1)))
+        });
+        let mut p = Pipeline::new(vec![double, inc]).unwrap();
+        let (outputs, _) = p.process_stream(vec![to_frame(&10u64)]).unwrap();
+        let v: u64 = from_frame(outputs[0].clone()).unwrap();
+        assert_eq!(v, 21);
+    }
+
+    #[test]
+    fn empty_pipeline_rejected() {
+        assert!(Pipeline::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn worker_pool_usable_from_stage() {
+        let stage = StageSpec::new("parallel", 4, |payload, pool| {
+            let v: Vec<i64> = from_frame(payload)?;
+            let n = v.len();
+            let v = std::sync::Arc::new(v);
+            let out = pool.map_ranges(n, move |r| r.map(|i| v[i] * 3).collect::<Vec<i64>>());
+            Ok(to_frame(&out))
+        });
+        let mut p = Pipeline::new(vec![stage]).unwrap();
+        let (outputs, _) = p.process_stream(vec![to_frame(&vec![1i64, 2, 3, 4, 5])]).unwrap();
+        let v: Vec<i64> = from_frame(outputs[0].clone()).unwrap();
+        assert_eq!(v, vec![3, 6, 9, 12, 15]);
+    }
+
+    #[test]
+    fn pipelining_overlaps_requests() {
+        // Two stages each sleeping 30 ms: serial time for 4 requests would
+        // be 240 ms; pipelined it is ~150 ms. Check makespan < serial.
+        let slow = |name: &str| {
+            StageSpec::new(name, 1, |payload, _| {
+                std::thread::sleep(Duration::from_millis(30));
+                Ok(payload)
+            })
+        };
+        let mut p = Pipeline::new(vec![slow("s1"), slow("s2")]).unwrap();
+        let inputs: Vec<Bytes> = (0..4u64).map(|i| to_frame(&i)).collect();
+        let (outputs, stats) = p.process_stream(inputs).unwrap();
+        assert_eq!(outputs.len(), 4);
+        assert!(
+            stats.makespan < Duration::from_millis(220),
+            "makespan {:?} shows no overlap",
+            stats.makespan
+        );
+        assert!(stats.stage_busy.iter().all(|b| *b >= Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn stage_error_stops_pipeline_cleanly() {
+        let ok = StageSpec::new("ok", 1, |payload, _| Ok(payload));
+        let failing = StageSpec::new("boom", 1, |payload, _| {
+            let v: u64 = from_frame(payload)?;
+            if v == 2 {
+                Err(crate::StreamError::Decode("poisoned frame".into()))
+            } else {
+                Ok(to_frame(&v))
+            }
+        });
+        let mut p = Pipeline::new(vec![ok, failing, passthrough("tail")]).unwrap();
+        let inputs: Vec<Bytes> = (0..5u64).map(|i| to_frame(&i)).collect();
+        let err = p.process_stream(inputs).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("boom"), "error should name the stage: {msg}");
+        assert!(msg.contains("poisoned frame"), "{msg}");
+    }
+
+    #[test]
+    fn per_request_latency_recorded() {
+        let mut p = Pipeline::new(vec![StageSpec::new("s", 1, |payload, _| {
+            std::thread::sleep(Duration::from_millis(10));
+            Ok(payload)
+        })])
+        .unwrap();
+        let (_, stats) = p.process_stream(vec![to_frame(&1u64), to_frame(&2u64)]).unwrap();
+        for l in &stats.latencies {
+            assert!(*l >= Duration::from_millis(9), "latency {l:?}");
+        }
+        assert!(stats.mean_latency() >= Duration::from_millis(9));
+    }
+}

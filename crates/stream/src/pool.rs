@@ -1,0 +1,169 @@
+//! Intra-stage worker pools: the `y_i` threads PP-Stream's resource
+//! allocation assigns to each stage.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `size` worker threads (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("pp-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers, size }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `f` over `count` items split into one contiguous range per
+    /// worker (PP-Stream's output-tensor partitioning: each thread
+    /// produces `1/yᵢ` of the output elements). Results are concatenated
+    /// in index order. Blocks until all chunks complete.
+    pub fn map_ranges<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Range<usize>) -> Vec<T> + Send + Sync + 'static,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let parts = self.size.min(count);
+        let f = Arc::new(f);
+        let results: Arc<Vec<parking_lot::Mutex<Option<Vec<T>>>>> =
+            Arc::new((0..parts).map(|_| parking_lot::Mutex::new(None)).collect());
+        let remaining = Arc::new(AtomicUsize::new(parts));
+        let done = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
+
+        let chunk = count.div_ceil(parts);
+        for p in 0..parts {
+            let start = p * chunk;
+            let end = ((p + 1) * chunk).min(count);
+            let f = Arc::clone(&f);
+            let results = Arc::clone(&results);
+            let remaining = Arc::clone(&remaining);
+            let done = Arc::clone(&done);
+            let job: Job = Box::new(move || {
+                let out = f(start..end);
+                *results[p].lock() = Some(out);
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let (lock, cvar) = &*done;
+                    *lock.lock() = true;
+                    cvar.notify_all();
+                }
+            });
+            self.tx.as_ref().expect("pool alive").send(job).expect("workers alive");
+        }
+
+        let (lock, cvar) = &*done;
+        let mut finished = lock.lock();
+        while !*finished {
+            cvar.wait(&mut finished);
+        }
+        drop(finished);
+
+        let mut out = Vec::with_capacity(count);
+        for cell in results.iter() {
+            out.extend(cell.lock().take().expect("worker stored result"));
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the job channel so workers exit, then join them.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ranges_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map_ranges(100, |r| r.map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = WorkerPool::new(1);
+        let out = pool.map_ranges(10, |r| r.collect());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_items() {
+        let pool = WorkerPool::new(3);
+        let out: Vec<usize> = pool.map_ranges(0, |r| r.collect());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let pool = WorkerPool::new(8);
+        let out = pool.map_ranges(3, |r| r.collect::<Vec<usize>>());
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pool_is_reusable() {
+        let pool = WorkerPool::new(2);
+        for round in 0..5u64 {
+            let out = pool.map_ranges(20, move |r| r.map(|i| i as u64 + round).collect());
+            assert_eq!(out[0], round);
+            assert_eq!(out.len(), 20);
+        }
+    }
+
+    #[test]
+    fn parallel_speedup_smoke() {
+        // Not a benchmark — just checks that work actually runs on
+        // multiple threads by observing distinct thread ids.
+        let pool = WorkerPool::new(4);
+        let ids = pool.map_ranges(4, |r| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            r.map(|_| format!("{:?}", std::thread::current().id())).collect()
+        });
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(distinct.len() >= 2, "expected multiple worker threads");
+    }
+
+    #[test]
+    fn size_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+}

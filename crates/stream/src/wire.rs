@@ -1,0 +1,330 @@
+//! From-scratch binary wire codec.
+//!
+//! The dependency policy (DESIGN.md §5) allows `bytes` but no serde
+//! binary format crate, so framing is hand-rolled: little-endian
+//! fixed-width integers, length-prefixed variable-size fields. Every
+//! pipeline hop round-trips frames through this codec so that inter-stage
+//! communication pays realistic serialization cost.
+
+use crate::StreamError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serialize into a wire buffer.
+pub trait WireEncode {
+    /// Appends the encoded form to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+}
+
+/// Deserialize from a wire buffer.
+pub trait WireDecode: Sized {
+    /// Reads one value, consuming bytes from `dec`.
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError>;
+}
+
+/// Growable encode buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Finishes, returning the frozen frame.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+    pub fn put_i128(&mut self, v: i128) {
+        self.buf.put_i128_le(v);
+    }
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Consuming decode cursor over a frame.
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    /// Wraps a frame for decoding.
+    pub fn new(frame: Bytes) -> Self {
+        Decoder { buf: frame }
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize) -> Result<(), StreamError> {
+        if self.buf.remaining() < n {
+            return Err(StreamError::Decode(format!(
+                "need {n} bytes, have {}",
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, StreamError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+    pub fn get_u32(&mut self) -> Result<u32, StreamError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+    pub fn get_u64(&mut self) -> Result<u64, StreamError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+    pub fn get_i64(&mut self) -> Result<i64, StreamError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+    pub fn get_i128(&mut self) -> Result<i128, StreamError> {
+        self.need(16)?;
+        Ok(self.buf.get_i128_le())
+    }
+    pub fn get_f64(&mut self) -> Result<f64, StreamError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Length-prefixed byte vector.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, StreamError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        let mut v = vec![0u8; len];
+        self.buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StreamError> {
+        String::from_utf8(self.get_bytes()?)
+            .map_err(|e| StreamError::Decode(format!("invalid utf8: {e}")))
+    }
+}
+
+// Blanket implementations for common shapes.
+
+impl WireEncode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl WireDecode for u64 {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        dec.get_u64()
+    }
+}
+
+impl WireEncode for i64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+}
+
+impl WireDecode for i64 {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        dec.get_i64()
+    }
+}
+
+impl WireEncode for i128 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i128(*self);
+    }
+}
+
+impl WireDecode for i128 {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        dec.get_i128()
+    }
+}
+
+impl WireEncode for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+}
+
+impl WireDecode for f64 {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        dec.get_f64()
+    }
+}
+
+impl WireEncode for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+}
+
+impl WireDecode for Vec<u8> {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        dec.get_bytes()
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T>
+where
+    T: WireEncode,
+{
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        let len = dec.get_u32()? as usize;
+        // Guard against hostile lengths: cap the preallocation.
+        let mut v = Vec::with_capacity(len.min(65_536));
+        for _ in 0..len {
+            v.push(T::decode(dec)?);
+        }
+        Ok(v)
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+}
+
+impl WireDecode for String {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        dec.get_str()
+    }
+}
+
+/// Convenience: encode a value into a standalone frame.
+pub fn to_frame<T: WireEncode>(value: &T) -> Bytes {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.finish()
+}
+
+/// Convenience: decode a full frame into a value.
+pub fn from_frame<T: WireDecode>(frame: Bytes) -> Result<T, StreamError> {
+    let mut dec = Decoder::new(frame);
+    T::decode(&mut dec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX);
+        enc.put_i64(-42);
+        enc.put_i128(-(1i128 << 100));
+        enc.put_f64(3.14159);
+        enc.put_str("hello");
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_i64().unwrap(), -42);
+        assert_eq!(dec.get_i128().unwrap(), -(1i128 << 100));
+        assert_eq!(dec.get_f64().unwrap(), 3.14159);
+        assert_eq!(dec.get_str().unwrap(), "hello");
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v: Vec<i64> = vec![-5, 0, 7, i64::MAX];
+        let frame = to_frame(&v);
+        let back: Vec<i64> = from_frame(frame).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nested_vec_roundtrip() {
+        let v: Vec<Vec<u8>> = vec![vec![1, 2], vec![], vec![255; 100]];
+        let back: Vec<Vec<u8>> = from_frame(to_frame(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let frame = to_frame(&vec![1u64, 2, 3]);
+        let truncated = frame.slice(..frame.len() - 1);
+        let res: Result<Vec<u64>, _> = from_frame(truncated);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn hostile_length_is_error_not_oom() {
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX); // claims 4 billion elements
+        let res: Result<Vec<u64>, _> = from_frame(enc.finish());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_string_and_bytes() {
+        let mut enc = Encoder::new();
+        enc.put_str("");
+        enc.put_bytes(&[]);
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_str().unwrap(), "");
+        assert!(dec.get_bytes().unwrap().is_empty());
+    }
+}

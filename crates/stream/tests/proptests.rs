@@ -1,0 +1,74 @@
+//! Property tests for the stream runtime: wire-codec roundtrips and
+//! pipeline order/content preservation.
+
+use bytes::Bytes;
+use pp_stream_runtime::wire::{from_frame, to_frame};
+use pp_stream_runtime::{Pipeline, StageSpec, WorkerPool};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_vec_i64(v in proptest::collection::vec(any::<i64>(), 0..200)) {
+        let back: Vec<i64> = from_frame(to_frame(&v)).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn wire_roundtrip_nested(v in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..40), 0..40)) {
+        let back: Vec<Vec<u8>> = from_frame(to_frame(&v)).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn wire_roundtrip_string(s in ".{0,100}") {
+        let back: String = from_frame(to_frame(&s)).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncation_never_panics(v in proptest::collection::vec(any::<u64>(), 1..50),
+                               cut in 0usize..100) {
+        let frame = to_frame(&v);
+        let cut = cut.min(frame.len());
+        let truncated = frame.slice(..cut);
+        // Must return Ok or Err, never panic; Ok only if nothing was cut.
+        let res: Result<Vec<u64>, _> = from_frame(truncated);
+        if cut == frame.len() {
+            prop_assert!(res.is_ok());
+        }
+    }
+
+    #[test]
+    fn pipeline_preserves_order_and_values(
+        values in proptest::collection::vec(any::<u64>(), 1..30),
+        stages in 1usize..4,
+    ) {
+        let specs: Vec<StageSpec> = (0..stages)
+            .map(|i| StageSpec::new(format!("s{i}"), 1, |payload, _| {
+                let v: u64 = from_frame(payload)?;
+                Ok(to_frame(&(v.wrapping_add(1))))
+            }))
+            .collect();
+        let mut p = Pipeline::new(specs).unwrap();
+        let frames: Vec<Bytes> = values.iter().map(to_frame).collect();
+        let (out, stats) = p.process_stream(frames).unwrap();
+        prop_assert_eq!(out.len(), values.len());
+        for (orig, frame) in values.iter().zip(out) {
+            let v: u64 = from_frame(frame).unwrap();
+            prop_assert_eq!(v, orig.wrapping_add(stages as u64));
+        }
+        prop_assert_eq!(stats.latencies.len(), values.len());
+        prop_assert_eq!(stats.link_bytes.len(), stages + 1);
+    }
+
+    #[test]
+    fn worker_pool_map_ranges_is_order_preserving(
+        n in 0usize..500,
+        workers in 1usize..6,
+    ) {
+        let pool = WorkerPool::new(workers);
+        let out = pool.map_ranges(n, |r| r.map(|i| i * 3 + 1).collect());
+        prop_assert_eq!(out, (0..n).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+}

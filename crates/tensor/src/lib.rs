@@ -1,0 +1,63 @@
+//! # pp-tensor
+//!
+//! Minimal n-dimensional tensor algebra for the PP-Stream reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Tensor`] — a dense, row-major, n-dimensional array generic over the
+//!   element type. PP-Stream moves tensors of `f64` (plain inference),
+//!   `i64` (scaled-integer inference), and Paillier ciphertexts (encrypted
+//!   inference) through the same layer algorithms.
+//! * [`LinearAlgebra`] — the abstraction that makes that sharing possible:
+//!   a context supplying `weight × element` and `element + element`. The
+//!   convolution and fully-connected kernels in [`ops`] are written once
+//!   against this trait and reused verbatim for plaintext and homomorphic
+//!   arithmetic (where `×` is `E(m)^w` and `+` is `E(m₁)·E(m₂)`).
+//! * [`ops`] — conv2d, fully-connected, batch-norm (affine), and pooling
+//!   kernels, plus the index bookkeeping used by PP-Stream's tensor
+//!   partitioning (paper Sec. IV-D).
+//!
+//! ```
+//! use pp_tensor::{ops, PlainI64, Tensor};
+//!
+//! // The 3×3 ⊛ 2×2 example of paper Fig. 5(a).
+//! let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).collect::<Vec<i64>>()).unwrap();
+//! let filt = Tensor::from_vec(vec![1, 1, 2, 2], vec![1, 0, 0, 1]).unwrap();
+//! let spec = ops::Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 };
+//! let out = ops::conv2d(&PlainI64, &input, &filt, &[0], &spec).unwrap();
+//! assert_eq!(out.data(), &[6, 8, 12, 14]);
+//! ```
+
+mod linalg;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use linalg::{LinearAlgebra, PlainF64, PlainI128, PlainI64};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Errors from tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The requested shape does not match the element count.
+    ShapeMismatch { expected: usize, got: usize },
+    /// Operand shapes are incompatible for the operation.
+    IncompatibleShapes(String),
+    /// An index was out of bounds.
+    IndexOutOfBounds,
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {got}")
+            }
+            TensorError::IncompatibleShapes(s) => write!(f, "incompatible shapes: {s}"),
+            TensorError::IndexOutOfBounds => write!(f, "index out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

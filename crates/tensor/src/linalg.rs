@@ -1,0 +1,124 @@
+//! The [`LinearAlgebra`] abstraction: one set of layer kernels, three
+//! arithmetic back-ends (float, scaled integer, Paillier ciphertext).
+
+/// Arithmetic context for the linear-layer kernels in [`crate::ops`].
+///
+/// PP-Stream executes the *same* convolution / fully-connected /
+/// batch-norm computations in three domains:
+///
+/// * plaintext floats (the `PlainBase` baseline and accuracy evaluation),
+/// * scaled integers (the reference the encrypted path must match exactly),
+/// * Paillier ciphertexts (the model provider's homomorphic evaluation,
+///   where multiplication-by-weight is `E(m)^w mod n²` and addition is
+///   `E(m₁)·E(m₂) mod n²`).
+///
+/// Implementations supply those two operations plus a way to introduce a
+/// bias constant. Weights are always plaintext `i64`/`f64` values held by
+/// the model provider — homomorphic encryption is only applied to the data
+/// provider's activations (paper Sec. III-B).
+pub trait LinearAlgebra {
+    /// Activation element (e.g. `f64`, `i64`, `Ciphertext`).
+    type Elem: Clone;
+    /// Weight scalar (e.g. `f64` or scaled `i64`).
+    type Weight: Copy;
+
+    /// `weight × element`.
+    fn mul(&self, w: Self::Weight, x: &Self::Elem) -> Self::Elem;
+    /// `a + b`.
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// Introduces a constant (bias) into the element domain.
+    fn constant(&self, w: Self::Weight) -> Self::Elem;
+}
+
+/// Plaintext `f64` arithmetic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlainF64;
+
+impl LinearAlgebra for PlainF64 {
+    type Elem = f64;
+    type Weight = f64;
+
+    fn mul(&self, w: f64, x: &f64) -> f64 {
+        w * x
+    }
+    fn add(&self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+    fn constant(&self, w: f64) -> f64 {
+        w
+    }
+}
+
+/// Scaled-integer arithmetic (`i64` activations, `i64` weights).
+/// Overflow panics in debug builds, mirroring the plaintext-space bound of
+/// the Paillier encoding in release semantics as well via `checked_*` —
+/// an overflow here means the scaling factor is too large for the model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlainI64;
+
+impl LinearAlgebra for PlainI64 {
+    type Elem = i64;
+    type Weight = i64;
+
+    fn mul(&self, w: i64, x: &i64) -> i64 {
+        w.checked_mul(*x).expect("scaled-integer multiply overflow: reduce scaling factor")
+    }
+    fn add(&self, a: &i64, b: &i64) -> i64 {
+        a.checked_add(*b).expect("scaled-integer add overflow: reduce scaling factor")
+    }
+    fn constant(&self, w: i64) -> i64 {
+        w
+    }
+}
+
+/// Scaled-integer arithmetic with `i128` accumulation, for deep layers
+/// whose dot products overflow 64 bits at large scaling factors.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlainI128;
+
+impl LinearAlgebra for PlainI128 {
+    type Elem = i128;
+    type Weight = i64;
+
+    fn mul(&self, w: i64, x: &i128) -> i128 {
+        w as i128 * x
+    }
+    fn add(&self, a: &i128, b: &i128) -> i128 {
+        a + b
+    }
+    fn constant(&self, w: i64) -> i128 {
+        w as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_f64_semantics() {
+        let ctx = PlainF64;
+        assert_eq!(ctx.mul(2.0, &3.5), 7.0);
+        assert_eq!(ctx.add(&1.0, &2.0), 3.0);
+        assert_eq!(ctx.constant(5.0), 5.0);
+    }
+
+    #[test]
+    fn plain_i64_semantics() {
+        let ctx = PlainI64;
+        assert_eq!(ctx.mul(-4, &25), -100);
+        assert_eq!(ctx.add(&7, &-9), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn plain_i64_overflow_panics() {
+        PlainI64.mul(i64::MAX, &2);
+    }
+
+    #[test]
+    fn plain_i128_widens() {
+        let ctx = PlainI128;
+        assert_eq!(ctx.mul(i64::MAX, &2), i64::MAX as i128 * 2);
+    }
+}

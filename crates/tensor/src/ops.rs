@@ -1,0 +1,590 @@
+//! Layer kernels, written once against [`LinearAlgebra`] and shared by the
+//! plaintext, scaled-integer, and homomorphic back-ends.
+//!
+//! Every linear kernel comes in two forms:
+//!
+//! * a whole-tensor form (`conv2d`, `fully_connected`, `affine`), and
+//! * a *range* form (`conv2d_range`, `fully_connected_range`) that computes
+//!   only output elements `[start, end)` — the unit of work PP-Stream's
+//!   tensor partitioning assigns to one thread (paper Sec. IV-D, Fig. 5).
+//!
+//! The index helpers (`conv_input_indices_for_range`) report which input
+//!   elements a range actually needs, which is what makes *input* tensor
+//!   partitioning possible for convolutions: a thread is sent only the
+//!   sub-tensor covering its receptive fields instead of the whole input.
+
+use crate::{LinearAlgebra, Shape, Tensor, TensorError};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Configuration of a 2-D convolution over `[C_in, H, W]` inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an `h × w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, input: &Shape) -> Result<Shape, TensorError> {
+        let dims = input.dims();
+        if dims.len() != 3 || dims[0] != self.in_channels {
+            return Err(TensorError::IncompatibleShapes(format!(
+                "conv2d expects [{}, H, W], got {input}",
+                self.in_channels
+            )));
+        }
+        let (oh, ow) = self.output_hw(dims[1], dims[2]);
+        Ok(Shape::new(vec![self.out_channels, oh, ow]))
+    }
+}
+
+/// 2-D convolution. `weights` has shape `[C_out, C_in, K, K]`; `bias` one
+/// entry per output channel.
+pub fn conv2d<L: LinearAlgebra>(
+    ctx: &L,
+    input: &Tensor<L::Elem>,
+    weights: &Tensor<L::Weight>,
+    bias: &[L::Weight],
+    spec: &Conv2dSpec,
+) -> Result<Tensor<L::Elem>, TensorError> {
+    let out_shape = spec.output_shape(input.shape())?;
+    let data = conv2d_range(ctx, input, weights, bias, spec, 0..out_shape.len())?;
+    Tensor::from_vec(out_shape, data)
+}
+
+/// Computes convolution output elements with flat indices in `range`.
+///
+/// Out-of-bounds taps (zero padding) are simply skipped — adding an
+/// encrypted zero would cost a homomorphic operation for no effect.
+pub fn conv2d_range<L: LinearAlgebra>(
+    ctx: &L,
+    input: &Tensor<L::Elem>,
+    weights: &Tensor<L::Weight>,
+    bias: &[L::Weight],
+    spec: &Conv2dSpec,
+    range: Range<usize>,
+) -> Result<Vec<L::Elem>, TensorError> {
+    let out_shape = spec.output_shape(input.shape())?;
+    let w_dims = weights.shape().dims();
+    if w_dims != [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel] {
+        return Err(TensorError::IncompatibleShapes(format!(
+            "conv2d weights {} do not match spec",
+            weights.shape()
+        )));
+    }
+    if bias.len() != spec.out_channels {
+        return Err(TensorError::IncompatibleShapes("bias length".into()));
+    }
+    if range.end > out_shape.len() {
+        return Err(TensorError::IndexOutOfBounds);
+    }
+    let in_dims = input.shape().dims();
+    let (h, w) = (in_dims[1], in_dims[2]);
+
+    let mut out = Vec::with_capacity(range.len());
+    for flat in range {
+        let idx = out_shape.unravel(flat);
+        let (oc, oy, ox) = (idx[0], idx[1], idx[2]);
+        let mut acc = ctx.constant(bias[oc]);
+        for ic in 0..spec.in_channels {
+            for ky in 0..spec.kernel {
+                for kx in 0..spec.kernel {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                    if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                        continue; // zero-padded tap
+                    }
+                    let x = input
+                        .get(&[ic, iy as usize, ix as usize])
+                        .expect("bounds checked");
+                    let wv = *weights.get(&[oc, ic, ky, kx]).expect("shape checked");
+                    acc = ctx.add(&acc, &ctx.mul(wv, x));
+                }
+            }
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// The set of flat input indices a convolution output range reads — the
+/// "sub-tensor" PP-Stream sends to a thread under input tensor
+/// partitioning (Fig. 5(b)).
+pub fn conv_input_indices_for_range(
+    input_shape: &Shape,
+    spec: &Conv2dSpec,
+    range: Range<usize>,
+) -> Result<BTreeSet<usize>, TensorError> {
+    let out_shape = spec.output_shape(input_shape)?;
+    if range.end > out_shape.len() {
+        return Err(TensorError::IndexOutOfBounds);
+    }
+    let in_dims = input_shape.dims();
+    let (h, w) = (in_dims[1], in_dims[2]);
+    let mut needed = BTreeSet::new();
+    for flat in range {
+        let idx = out_shape.unravel(flat);
+        let (oy, ox) = (idx[1], idx[2]);
+        for ic in 0..spec.in_channels {
+            for ky in 0..spec.kernel {
+                for kx in 0..spec.kernel {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                    if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                        continue;
+                    }
+                    needed.insert(
+                        input_shape
+                            .offset(&[ic, iy as usize, ix as usize])
+                            .expect("bounds checked"),
+                    );
+                }
+            }
+        }
+    }
+    Ok(needed)
+}
+
+/// Fully-connected layer: `out[j] = Σᵢ w[j,i]·x[i] + b[j]`.
+/// `weights` has shape `[out_features, in_features]`.
+pub fn fully_connected<L: LinearAlgebra>(
+    ctx: &L,
+    input: &Tensor<L::Elem>,
+    weights: &Tensor<L::Weight>,
+    bias: &[L::Weight],
+) -> Result<Tensor<L::Elem>, TensorError> {
+    let out_features = weights.shape().dims()[0];
+    let data = fully_connected_range(ctx, input, weights, bias, 0..out_features)?;
+    Tensor::from_vec(vec![out_features], data)
+}
+
+/// Computes fully-connected output elements `[start, end)` — PP-Stream's
+/// *output* tensor partitioning unit for dense layers.
+pub fn fully_connected_range<L: LinearAlgebra>(
+    ctx: &L,
+    input: &Tensor<L::Elem>,
+    weights: &Tensor<L::Weight>,
+    bias: &[L::Weight],
+    range: Range<usize>,
+) -> Result<Vec<L::Elem>, TensorError> {
+    let w_dims = weights.shape().dims();
+    if w_dims.len() != 2 {
+        return Err(TensorError::IncompatibleShapes("weights must be rank 2".into()));
+    }
+    let (out_features, in_features) = (w_dims[0], w_dims[1]);
+    if input.len() != in_features {
+        return Err(TensorError::IncompatibleShapes(format!(
+            "input {} vs in_features {in_features}",
+            input.len()
+        )));
+    }
+    if bias.len() != out_features {
+        return Err(TensorError::IncompatibleShapes("bias length".into()));
+    }
+    if range.end > out_features {
+        return Err(TensorError::IndexOutOfBounds);
+    }
+    let x = input.data();
+    let mut out = Vec::with_capacity(range.len());
+    for j in range {
+        let mut acc = ctx.constant(bias[j]);
+        for (i, xi) in x.iter().enumerate() {
+            let wv = *weights.get(&[j, i]).expect("shape checked");
+            acc = ctx.add(&acc, &ctx.mul(wv, xi));
+        }
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+/// Per-channel affine transform `y = a[c]·x + b[c]` over `[C, H, W]` (or
+/// per-element over rank-1) — the inference-time form of batch
+/// normalization, which PP-Stream classifies as a linear layer (Fig. 2).
+pub fn affine<L: LinearAlgebra>(
+    ctx: &L,
+    input: &Tensor<L::Elem>,
+    scale: &[L::Weight],
+    shift: &[L::Weight],
+) -> Result<Tensor<L::Elem>, TensorError> {
+    if scale.len() != shift.len() {
+        return Err(TensorError::IncompatibleShapes("scale/shift length".into()));
+    }
+    let dims = input.shape().dims();
+    let channels = dims[0];
+    if channels != scale.len() {
+        return Err(TensorError::IncompatibleShapes(format!(
+            "{channels} channels vs {} affine params",
+            scale.len()
+        )));
+    }
+    let per_channel = input.len() / channels;
+    let mut data = Vec::with_capacity(input.len());
+    for (i, x) in input.data().iter().enumerate() {
+        let c = i / per_channel;
+        let y = ctx.add(&ctx.mul(scale[c], x), &ctx.constant(shift[c]));
+        data.push(y);
+    }
+    Tensor::from_vec(input.shape().clone(), data)
+}
+
+/// Output shape of a `[C, H, W]` pooling op.
+pub fn pool_output_shape(
+    input: &Shape,
+    window: usize,
+    stride: usize,
+) -> Result<Shape, TensorError> {
+    let dims = input.dims();
+    if dims.len() != 3 {
+        return Err(TensorError::IncompatibleShapes("pooling expects [C, H, W]".into()));
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    if window == 0 || stride == 0 || h < window || w < window {
+        return Err(TensorError::IncompatibleShapes("pool window".into()));
+    }
+    Ok(Shape::new(vec![c, (h - window) / stride + 1, (w - window) / stride + 1]))
+}
+
+/// 2-D *sum* pooling — the linear half of average pooling. Unlike
+/// MaxPooling (which PP-Stream must replace, Sec. III-C), summation is a
+/// linear operation, so it runs homomorphically at the model provider;
+/// the `1/window²` divisor folds into the data provider's next rescale.
+pub fn sum_pool2d<L: LinearAlgebra>(
+    ctx: &L,
+    input: &Tensor<L::Elem>,
+    window: usize,
+    stride: usize,
+) -> Result<Tensor<L::Elem>, TensorError> {
+    let out_shape = pool_output_shape(input.shape(), window, stride)?;
+    let data = sum_pool2d_range(ctx, input, window, stride, 0..out_shape.len())?;
+    Tensor::from_vec(out_shape, data)
+}
+
+/// Sum-pooling output elements `[start, end)` (the tensor-partitioning
+/// unit, like `conv2d_range`).
+pub fn sum_pool2d_range<L: LinearAlgebra>(
+    ctx: &L,
+    input: &Tensor<L::Elem>,
+    window: usize,
+    stride: usize,
+    range: Range<usize>,
+) -> Result<Vec<L::Elem>, TensorError> {
+    let out_shape = pool_output_shape(input.shape(), window, stride)?;
+    if range.end > out_shape.len() {
+        return Err(TensorError::IndexOutOfBounds);
+    }
+    let mut out = Vec::with_capacity(range.len());
+    for flat in range {
+        let idx = out_shape.unravel(flat);
+        let (c, oy, ox) = (idx[0], idx[1], idx[2]);
+        let mut acc: Option<L::Elem> = None;
+        for ky in 0..window {
+            for kx in 0..window {
+                let x = input
+                    .get(&[c, oy * stride + ky, ox * stride + kx])
+                    .expect("bounds checked");
+                acc = Some(match acc {
+                    None => x.clone(),
+                    Some(a) => ctx.add(&a, x),
+                });
+            }
+        }
+        out.push(acc.expect("window non-empty"));
+    }
+    Ok(out)
+}
+
+/// Flat input indices a sum-pooling output range reads (for input tensor
+/// partitioning).
+pub fn pool_input_indices_for_range(
+    input_shape: &Shape,
+    window: usize,
+    stride: usize,
+    range: Range<usize>,
+) -> Result<BTreeSet<usize>, TensorError> {
+    let out_shape = pool_output_shape(input_shape, window, stride)?;
+    if range.end > out_shape.len() {
+        return Err(TensorError::IndexOutOfBounds);
+    }
+    let mut needed = BTreeSet::new();
+    for flat in range {
+        let idx = out_shape.unravel(flat);
+        let (c, oy, ox) = (idx[0], idx[1], idx[2]);
+        for ky in 0..window {
+            for kx in 0..window {
+                needed.insert(
+                    input_shape
+                        .offset(&[c, oy * stride + ky, ox * stride + kx])
+                        .expect("bounds checked"),
+                );
+            }
+        }
+    }
+    Ok(needed)
+}
+
+/// 2-D average pooling over floats: `sum / window²`.
+pub fn avg_pool2d(
+    input: &Tensor<f64>,
+    window: usize,
+    stride: usize,
+) -> Result<Tensor<f64>, TensorError> {
+    let sum = sum_pool2d(&crate::PlainF64, input, window, stride)?;
+    let div = (window * window) as f64;
+    Ok(sum.map(|&v| v / div))
+}
+
+/// 2-D max pooling over `[C, H, W]` with a square window and equal stride.
+/// Non-linear: only defined for ordered plaintext elements (the data
+/// provider's side of the protocol).
+pub fn max_pool2d<T: PartialOrd + Clone>(
+    input: &Tensor<T>,
+    window: usize,
+    stride: usize,
+) -> Result<Tensor<T>, TensorError> {
+    let dims = input.shape().dims();
+    if dims.len() != 3 {
+        return Err(TensorError::IncompatibleShapes("max_pool2d expects [C, H, W]".into()));
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    if window == 0 || stride == 0 || h < window || w < window {
+        return Err(TensorError::IncompatibleShapes("pool window".into()));
+    }
+    let oh = (h - window) / stride + 1;
+    let ow = (w - window) / stride + 1;
+    let mut data = Vec::with_capacity(c * oh * ow);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best: Option<T> = None;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let v = input
+                            .get(&[ch, oy * stride + ky, ox * stride + kx])
+                            .expect("bounds checked");
+                        match &best {
+                            Some(b) if b >= v => {}
+                            _ => best = Some(v.clone()),
+                        }
+                    }
+                }
+                data.push(best.expect("window non-empty"));
+            }
+        }
+    }
+    Tensor::from_vec(vec![c, oh, ow], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlainF64, PlainI64};
+
+    fn spec_3x3_to_2x2() -> Conv2dSpec {
+        Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 1, padding: 0 }
+    }
+
+    #[test]
+    fn conv2d_paper_figure5_example() {
+        // The 3×3 input / 2×2 filter example from Fig. 5(a).
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|v| v as f64).collect()).unwrap();
+        let weights = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let out = conv2d(&PlainF64, &input, &weights, &[0.0], &spec_3x3_to_2x2()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        // m11+m22, m12+m23, m21+m32, m22+m33
+        assert_eq!(out.data(), &[6.0, 8.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn conv2d_with_padding() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let weights = Tensor::from_vec(vec![1, 1, 3, 3], vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let out = conv2d(&PlainF64, &input, &weights, &[0.0], &spec).unwrap();
+        // Identity kernel centered: output equals input.
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn conv2d_stride_two() {
+        let input = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|v| v as f64).collect()).unwrap();
+        let weights = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]).unwrap();
+        let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 2, stride: 2, padding: 0 };
+        let out = conv2d(&PlainF64, &input, &weights, &[0.0], &spec).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[10.0, 18.0, 42.0, 50.0]);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_with_bias() {
+        // 2 input channels, 2 output channels, 1×1 kernels = channel mixing.
+        let input = Tensor::from_vec(vec![2, 1, 1], vec![3.0, 5.0]).unwrap();
+        let weights =
+            Tensor::from_vec(vec![2, 2, 1, 1], vec![1.0, 1.0, 2.0, -1.0]).unwrap();
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 2, kernel: 1, stride: 1, padding: 0 };
+        let out = conv2d(&PlainF64, &input, &weights, &[10.0, 20.0], &spec).unwrap();
+        assert_eq!(out.data(), &[3.0 + 5.0 + 10.0, 6.0 - 5.0 + 20.0]);
+    }
+
+    #[test]
+    fn conv2d_range_matches_full() {
+        let input = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|v| v as f64).collect()).unwrap();
+        let weights = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.5, -1.0, 2.0, 0.25]).unwrap();
+        let spec = spec_3x3_to_2x2();
+        let full = conv2d(&PlainF64, &input, &weights, &[1.0], &spec).unwrap();
+        let lo = conv2d_range(&PlainF64, &input, &weights, &[1.0], &spec, 0..2).unwrap();
+        let hi = conv2d_range(&PlainF64, &input, &weights, &[1.0], &spec, 2..4).unwrap();
+        assert_eq!([lo, hi].concat(), full.data());
+    }
+
+    #[test]
+    fn conv_input_indices_fig5b() {
+        // Fig. 5(b): with two threads each producing 2 of the 4 outputs,
+        // each thread needs only 6 of the 9 input elements.
+        let shape = Shape::new(vec![1, 3, 3]);
+        let spec = spec_3x3_to_2x2();
+        let first = conv_input_indices_for_range(&shape, &spec, 0..2).unwrap();
+        assert_eq!(first.len(), 6);
+        // Outputs (0,0) and (0,1) read rows 0–1, all columns.
+        assert_eq!(first.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        let second = conv_input_indices_for_range(&shape, &spec, 2..4).unwrap();
+        assert_eq!(second.iter().copied().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn fully_connected_basic() {
+        let input = Tensor::from_flat(vec![1.0, 2.0, 3.0]);
+        let weights = Tensor::from_vec(vec![2, 3], vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]).unwrap();
+        let out = fully_connected(&PlainF64, &input, &weights, &[0.0, 1.0]).unwrap();
+        assert_eq!(out.data(), &[-2.0, 4.0]);
+    }
+
+    #[test]
+    fn fully_connected_range_matches_full() {
+        let input = Tensor::from_flat(vec![2i64, -3, 4]);
+        let weights = Tensor::from_vec(vec![4, 3], (0..12).map(|v| v as i64 - 5).collect()).unwrap();
+        let bias = [1i64, 2, 3, 4];
+        let full = fully_connected(&PlainI64, &input, &weights, &bias).unwrap();
+        let parts: Vec<i64> = (0..4)
+            .flat_map(|j| {
+                fully_connected_range(&PlainI64, &input, &weights, &bias, j..j + 1).unwrap()
+            })
+            .collect();
+        assert_eq!(parts, full.data());
+    }
+
+    #[test]
+    fn fully_connected_shape_errors() {
+        let input = Tensor::from_flat(vec![1.0, 2.0]);
+        let weights = Tensor::from_vec(vec![2, 3], vec![0.0; 6]).unwrap();
+        assert!(fully_connected(&PlainF64, &input, &weights, &[0.0, 0.0]).is_err());
+        let weights = Tensor::from_vec(vec![2, 2], vec![0.0; 4]).unwrap();
+        assert!(fully_connected(&PlainF64, &input, &weights, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn affine_per_channel() {
+        let input = Tensor::from_vec(vec![2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = affine(&PlainF64, &input, &[2.0, -1.0], &[0.5, 0.0]).unwrap();
+        assert_eq!(out.data(), &[2.5, 4.5, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn affine_rank1() {
+        let input = Tensor::from_flat(vec![10i64, 20, 30]);
+        let out = affine(&PlainI64, &input, &[1, 2, 3], &[0, 0, -90]).unwrap();
+        assert_eq!(out.data(), &[10, 40, 0]);
+    }
+
+    #[test]
+    fn max_pool_basic() {
+        let input = Tensor::from_vec(vec![1, 4, 4], (0..16).collect::<Vec<i64>>()).unwrap();
+        let out = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_overlapping() {
+        let input = Tensor::from_vec(vec![1, 3, 3], vec![1, 9, 2, 3, 4, 5, 8, 7, 6]).unwrap();
+        let out = max_pool2d(&input, 2, 1).unwrap();
+        assert_eq!(out.data(), &[9, 9, 8, 7]);
+    }
+
+    #[test]
+    fn max_pool_errors() {
+        let input = Tensor::from_flat(vec![1, 2, 3]);
+        assert!(max_pool2d(&input, 2, 2).is_err());
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1, 2, 3, 4]).unwrap();
+        assert!(max_pool2d(&input, 3, 1).is_err());
+    }
+
+    #[test]
+    fn sum_pool_basic() {
+        let input = Tensor::from_vec(vec![1, 4, 4], (0..16).collect::<Vec<i64>>()).unwrap();
+        let out = sum_pool2d(&PlainI64, &input, 2, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[0 + 1 + 4 + 5, 2 + 3 + 6 + 7, 8 + 9 + 12 + 13, 10 + 11 + 14 + 15]);
+    }
+
+    #[test]
+    fn avg_pool_is_sum_over_window_area() {
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let out = avg_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.data(), &[3.0]);
+    }
+
+    #[test]
+    fn sum_pool_range_matches_full() {
+        let input = Tensor::from_vec(vec![2, 3, 3], (0..18).collect::<Vec<i64>>()).unwrap();
+        let full = sum_pool2d(&PlainI64, &input, 2, 1).unwrap();
+        let n = full.len();
+        let parts: Vec<i64> = (0..n)
+            .flat_map(|e| sum_pool2d_range(&PlainI64, &input, 2, 1, e..e + 1).unwrap())
+            .collect();
+        assert_eq!(parts, full.data());
+    }
+
+    #[test]
+    fn pool_indices_sufficient() {
+        let shape = Shape::new(vec![1, 4, 4]);
+        let needed = pool_input_indices_for_range(&shape, 2, 2, 0..1).unwrap();
+        assert_eq!(needed.iter().copied().collect::<Vec<_>>(), vec![0, 1, 4, 5]);
+        // Non-overlapping stride-2 windows partition the input.
+        let all = pool_input_indices_for_range(&shape, 2, 2, 0..4).unwrap();
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    fn pool_shape_errors() {
+        assert!(pool_output_shape(&Shape::new(vec![4]), 2, 2).is_err());
+        assert!(pool_output_shape(&Shape::new(vec![1, 2, 2]), 3, 1).is_err());
+        assert!(pool_output_shape(&Shape::new(vec![1, 4, 4]), 2, 0).is_err());
+    }
+
+    #[test]
+    fn i64_and_f64_agree_on_integer_data() {
+        // The scaled-integer path must track the float path exactly when all
+        // values are integers — the core of PP-Stream's correctness claim.
+        let input_f = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|v| v as f64).collect()).unwrap();
+        let input_i = Tensor::from_vec(vec![1, 3, 3], (1..=9).collect::<Vec<i64>>()).unwrap();
+        let wf = Tensor::from_vec(vec![1, 1, 2, 2], vec![2.0, -1.0, 3.0, 0.0]).unwrap();
+        let wi = Tensor::from_vec(vec![1, 1, 2, 2], vec![2i64, -1, 3, 0]).unwrap();
+        let spec = spec_3x3_to_2x2();
+        let of = conv2d(&PlainF64, &input_f, &wf, &[5.0], &spec).unwrap();
+        let oi = conv2d(&PlainI64, &input_i, &wi, &[5], &spec).unwrap();
+        for (a, b) in of.data().iter().zip(oi.data()) {
+            assert_eq!(*a, *b as f64);
+        }
+    }
+}

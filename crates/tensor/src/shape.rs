@@ -1,0 +1,134 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use crate::TensorError;
+
+/// The dimensions of a tensor, outermost first.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// A 1-dimensional shape.
+    pub fn vector(len: usize) -> Self {
+        Shape(vec![len])
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (product of dimension sizes; `1` for rank 0).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` when the shape holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major linear offset for a multi-index.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::IndexOutOfBounds);
+        }
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.0).enumerate() {
+            if ix >= dim {
+                return Err(TensorError::IndexOutOfBounds);
+            }
+            off = off * dim + ix;
+            let _ = i;
+        }
+        Ok(off)
+    }
+
+    /// Inverse of [`Shape::offset`]: the multi-index of a linear offset.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        let mut idx = vec![0; self.0.len()];
+        for i in (0..self.0.len()).rev() {
+            idx[i] = offset % self.0[i];
+            offset /= self.0[i];
+        }
+        idx
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(vec![3, 4, 5]);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.rank(), 3);
+        assert!(!s.is_empty());
+        assert!(Shape::new(vec![3, 0]).is_empty());
+    }
+
+    #[test]
+    fn offset_row_major() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.offset(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[0, 2]).unwrap(), 2);
+        assert_eq!(s.offset(&[1, 0]).unwrap(), 3);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 5);
+    }
+
+    #[test]
+    fn offset_bounds() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.offset(&[2, 0]), Err(TensorError::IndexOutOfBounds));
+        assert_eq!(s.offset(&[0]), Err(TensorError::IndexOutOfBounds));
+    }
+
+    #[test]
+    fn unravel_inverts_offset() {
+        let s = Shape::new(vec![2, 3, 4]);
+        for off in 0..s.len() {
+            let idx = s.unravel(off);
+            assert_eq!(s.offset(&idx).unwrap(), off);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(vec![28, 28]).to_string(), "[28×28]");
+    }
+}

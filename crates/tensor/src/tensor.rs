@@ -1,0 +1,203 @@
+//! The dense tensor container.
+
+use crate::{Shape, TensorError};
+
+/// A dense, row-major, n-dimensional array.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tensor<T> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T> Tensor<T> {
+    /// Creates a tensor from a flat row-major buffer.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<T>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.len() != data.len() {
+            return Err(TensorError::ShapeMismatch { expected: shape.len(), got: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a flat buffer.
+    pub fn from_flat(data: Vec<T>) -> Self {
+        Tensor { shape: Shape::vector(data.len()), data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the elements.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat view.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, index: &[usize]) -> Result<&T, TensorError> {
+        Ok(&self.data[self.shape.offset(index)?])
+    }
+
+    /// Mutable element at a multi-index.
+    pub fn get_mut(&mut self, index: &[usize]) -> Result<&mut T, TensorError> {
+        let off = self.shape.offset(index)?;
+        Ok(&mut self.data[off])
+    }
+
+    /// Reinterprets with a new shape of the same element count. The paper's
+    /// obfuscation step reshapes every tensor to rank 1 before permuting
+    /// (Sec. III-C); this is that operation.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ShapeMismatch { expected: shape.len(), got: self.data.len() });
+        }
+        Ok(Tensor { shape, data: self.data })
+    }
+
+    /// Flattens to rank 1 (lexicographic element order — "reshape T into a
+    /// one-dimensional vector v" in the paper).
+    pub fn flatten(self) -> Self {
+        let len = self.data.len();
+        Tensor { shape: Shape::vector(len), data: self.data }
+    }
+
+    /// Applies `f` to every element, producing a new tensor of the same
+    /// shape.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Tensor<U> {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(&mut f).collect() }
+    }
+
+    /// Combines two same-shaped tensors element-wise.
+    pub fn zip_map<U, V>(
+        &self,
+        other: &Tensor<U>,
+        mut f: impl FnMut(&T, &U) -> V,
+    ) -> Result<Tensor<V>, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes(format!(
+                "{} vs {}",
+                self.shape, other.shape
+            )));
+        }
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| f(a, b)).collect();
+        Ok(Tensor { shape: self.shape.clone(), data })
+    }
+}
+
+impl<T: Clone> Tensor<T> {
+    /// A tensor filled with copies of `value`.
+    pub fn full(shape: impl Into<Shape>, value: T) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor { shape, data: vec![value; len] }
+    }
+}
+
+impl<T: Default + Clone> Tensor<T> {
+    /// A tensor of default-valued elements (zeros for numeric types).
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, T::default())
+    }
+}
+
+impl Tensor<f64> {
+    /// Converts to scaled integers: `round(x · factor)` per element
+    /// (paper Sec. IV-A parameter scaling).
+    pub fn scale_to_i64(&self, factor: f64) -> Tensor<i64> {
+        self.map(|&x| (x * factor).round() as i64)
+    }
+}
+
+impl Tensor<i64> {
+    /// Converts scaled integers back to floats: `x / factor`.
+    pub fn unscale_to_f64(&self, factor: f64) -> Tensor<f64> {
+        self.map(|&x| x as f64 / factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(*t.get(&[0, 0]).unwrap(), 1);
+        assert_eq!(*t.get(&[1, 2]).unwrap(), 6);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_order() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(*r.get(&[0, 1]).unwrap(), 2);
+        assert_eq!(*r.get(&[2, 1]).unwrap(), 6);
+        assert!(r.clone().reshape(vec![7]).is_err());
+    }
+
+    #[test]
+    fn flatten_is_lexicographic() {
+        let t = Tensor::from_vec(vec![2, 2], vec![10, 20, 30, 40]).unwrap();
+        let f = t.flatten();
+        assert_eq!(f.shape().dims(), &[4]);
+        assert_eq!(f.data(), &[10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.data(), &[2.0, 4.0, 6.0, 8.0]);
+        let c = a.zip_map(&b, |x, y| x + y).unwrap();
+        assert_eq!(c.data(), &[3.0, 6.0, 9.0, 12.0]);
+        let d = Tensor::from_vec(vec![4], vec![0.0; 4]).unwrap();
+        assert!(a.zip_map(&d, |x, _| *x).is_err());
+    }
+
+    #[test]
+    fn scaling_roundtrip() {
+        let t = Tensor::from_vec(vec![3], vec![0.5, -1.25, 3.333333]).unwrap();
+        let s = t.scale_to_i64(1e6);
+        assert_eq!(s.data(), &[500_000, -1_250_000, 3_333_333]);
+        let back = s.unscale_to_f64(1e6);
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z: Tensor<i64> = Tensor::zeros(vec![2, 2]);
+        assert_eq!(z.data(), &[0, 0, 0, 0]);
+        let f = Tensor::full(vec![3], 7u8);
+        assert_eq!(f.data(), &[7, 7, 7]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for tensor kernels: range-form = whole-form, back-end
+//! agreement, and partitioning index coverage.
+
+use pp_tensor::ops::{
+    conv2d, conv2d_range, conv_input_indices_for_range, fully_connected, fully_connected_range,
+    max_pool2d, Conv2dSpec,
+};
+use pp_tensor::{PlainF64, PlainI128, PlainI64, Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_conv_case() -> impl Strategy<Value = (Conv2dSpec, usize, usize, Vec<i64>, Vec<i64>, Vec<i64>)>
+{
+    (1usize..3, 1usize..3, 1usize..3, 1usize..3, 0usize..2, 4usize..7, 4usize..7).prop_flat_map(
+        |(ic, oc, k, stride, pad, h, w)| {
+            let spec = Conv2dSpec {
+                in_channels: ic,
+                out_channels: oc,
+                kernel: k,
+                stride,
+                padding: pad,
+            };
+            let input_len = ic * h * w;
+            let weight_len = oc * ic * k * k;
+            (
+                Just(spec),
+                Just(h),
+                Just(w),
+                proptest::collection::vec(-50i64..50, input_len),
+                proptest::collection::vec(-50i64..50, weight_len),
+                proptest::collection::vec(-50i64..50, oc),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conv_ranges_concatenate_to_full((spec, h, w, input, weights, bias) in arb_conv_case()) {
+        let input = Tensor::from_vec(vec![spec.in_channels, h, w], input).unwrap();
+        let weights = Tensor::from_vec(
+            vec![spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+            weights,
+        )
+        .unwrap();
+        let full = conv2d(&PlainI64, &input, &weights, &bias, &spec).unwrap();
+        let n = full.len();
+        // Split at an arbitrary midpoint.
+        let mid = n / 2;
+        let lo = conv2d_range(&PlainI64, &input, &weights, &bias, &spec, 0..mid).unwrap();
+        let hi = conv2d_range(&PlainI64, &input, &weights, &bias, &spec, mid..n).unwrap();
+        prop_assert_eq!([lo, hi].concat(), full.data());
+    }
+
+    #[test]
+    fn conv_receptive_fields_cover_all_reads((spec, h, w, input, weights, bias) in arb_conv_case()) {
+        // Computing a range using ONLY the indices reported by
+        // conv_input_indices_for_range must give the same answer as using
+        // the full input — i.e. the index set is sufficient.
+        let shape = Shape::new(vec![spec.in_channels, h, w]);
+        let input_t = Tensor::from_vec(shape.clone(), input.clone()).unwrap();
+        let weights = Tensor::from_vec(
+            vec![spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+            weights,
+        )
+        .unwrap();
+        let out_len = spec.output_shape(&shape).unwrap().len();
+        let range = 0..out_len.div_ceil(2);
+        let needed = conv_input_indices_for_range(&shape, &spec, range.clone()).unwrap();
+        // Poison every unneeded element; result must be unchanged.
+        let poisoned: Vec<i64> = input
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if needed.contains(&i) { v } else { 9999 })
+            .collect();
+        let poisoned_t = Tensor::from_vec(shape, poisoned).unwrap();
+        let a = conv2d_range(&PlainI64, &input_t, &weights, &bias, &spec, range.clone()).unwrap();
+        let b = conv2d_range(&PlainI64, &poisoned_t, &weights, &bias, &spec, range).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fc_ranges_concatenate(
+        input in proptest::collection::vec(-100i64..100, 1..12),
+        rows in 1usize..8,
+    ) {
+        let in_f = input.len();
+        let weights: Vec<i64> = (0..rows * in_f).map(|i| (i as i64 % 7) - 3).collect();
+        let bias: Vec<i64> = (0..rows).map(|i| i as i64).collect();
+        let input = Tensor::from_flat(input);
+        let weights = Tensor::from_vec(vec![rows, in_f], weights).unwrap();
+        let full = fully_connected(&PlainI64, &input, &weights, &bias).unwrap();
+        let per_row: Vec<i64> = (0..rows)
+            .flat_map(|j| {
+                fully_connected_range(&PlainI64, &input, &weights, &bias, j..j + 1).unwrap()
+            })
+            .collect();
+        prop_assert_eq!(per_row, full.data());
+    }
+
+    #[test]
+    fn i64_and_i128_backends_agree((spec, h, w, input, weights, bias) in arb_conv_case()) {
+        let input64 = Tensor::from_vec(vec![spec.in_channels, h, w], input.clone()).unwrap();
+        let input128 = input64.map(|&v| v as i128);
+        let weights = Tensor::from_vec(
+            vec![spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+            weights,
+        )
+        .unwrap();
+        let o64 = conv2d(&PlainI64, &input64, &weights, &bias, &spec).unwrap();
+        let o128 = conv2d(&PlainI128, &input128, &weights, &bias, &spec).unwrap();
+        for (a, b) in o64.data().iter().zip(o128.data()) {
+            prop_assert_eq!(*a as i128, *b);
+        }
+    }
+
+    #[test]
+    fn f64_matches_integer_backend_on_integer_data(
+        input in proptest::collection::vec(-40i64..40, 6),
+        weights in proptest::collection::vec(-40i64..40, 12),
+    ) {
+        let wi = Tensor::from_vec(vec![2, 6], weights.clone()).unwrap();
+        let wf = wi.map(|&v| v as f64);
+        let xi = Tensor::from_flat(input.clone());
+        let xf = xi.map(|&v| v as f64);
+        let oi = fully_connected(&PlainI64, &xi, &wi, &[1, -1]).unwrap();
+        let of = fully_connected(&PlainF64, &xf, &wf, &[1.0, -1.0]).unwrap();
+        for (a, b) in oi.data().iter().zip(of.data()) {
+            prop_assert_eq!(*a as f64, *b);
+        }
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(
+        data in proptest::collection::vec(-1000i64..1000, 16),
+    ) {
+        let t = Tensor::from_vec(vec![1, 4, 4], data.clone()).unwrap();
+        let out = max_pool2d(&t, 2, 2).unwrap();
+        let max = data.iter().max().unwrap();
+        for v in out.data() {
+            prop_assert!(v <= max);
+            prop_assert!(data.contains(v));
+        }
+    }
+
+    #[test]
+    fn reshape_roundtrip(data in proptest::collection::vec(any::<i64>(), 1..64)) {
+        let n = data.len();
+        let t = Tensor::from_flat(data.clone());
+        // Any factorization reshapes losslessly.
+        for d in 1..=n {
+            if n % d == 0 {
+                let r = t.clone().reshape(vec![d, n / d]).unwrap().flatten();
+                prop_assert_eq!(r.data(), &data[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Information-leakage audit of the obfuscation mechanism (paper Exp#5).
+//!
+//! ```sh
+//! cargo run --release --example leakage_audit
+//! ```
+//!
+//! The permutation obfuscation reorders tensor elements but keeps their
+//! values, so a curious data provider sees the multiset of activations.
+//! This audit quantifies what that leaks, exactly as the paper does:
+//! distance correlation (Székely et al.) between tensors before and
+//! after obfuscation, across tensor lengths 2⁵..2¹³.
+
+use pp_obfuscate::{distance_correlation, Permutation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    println!("tensor length   distance correlation   permutations (P!)");
+    for exp in 5..=13u32 {
+        let n = 1usize << exp;
+        // Activation-like values (post-ReLU mix of zeros and positives).
+        let tensor: Vec<f64> = (0..n)
+            .map(|_| {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                v.max(0.0)
+            })
+            .collect();
+        let perm = Permutation::random(n, &mut rng);
+        let obfuscated = perm.apply(&tensor).expect("lengths match");
+        let dcor = distance_correlation(&tensor, &obfuscated);
+        // log10(P!) via Stirling, to show the search space the adversary
+        // faces (paper Sec. III-D: success probability 1/P!).
+        let nf = n as f64;
+        let log10_fact = nf * nf.log10() - nf / std::f64::consts::LN_10
+            + 0.5 * (2.0 * std::f64::consts::PI * nf).log10();
+        println!("  2^{exp:<2} = {n:<6} {dcor:>10.4}            10^{log10_fact:.0}");
+    }
+    println!("\nlower dcor = less leakage; the paper's Table VI reports the same trend");
+    println!("(0.29 at 2^5 falling to 0.02 at 2^13).");
+}

@@ -1,0 +1,79 @@
+//! Medical diagnosis — the paper's motivating healthcare scenario.
+//!
+//! ```sh
+//! cargo run --release --example medical_diagnosis
+//! ```
+//!
+//! A hospital (data provider) wants tumor-malignancy predictions from a
+//! diagnostics company's proprietary model (model provider) without
+//! revealing patient features; the company won't reveal its weights.
+//!
+//! End-to-end flow: train a 3FC model on the Breast dataset stand-in,
+//! pick the scaling factor with the paper's Sec. IV-A search, deploy
+//! PP-Stream, and stream test patients through the private pipeline.
+
+use pp_nn::{choose_scaling_factor, zoo, ScaledModel, TrainConfig, Trainer};
+use pp_stream::{PpStream, PpStreamConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = pp_datasets::breast(11);
+
+    // Model provider: train the 3FC diagnosis model.
+    let mut model = zoo::healthcare_3fc("Breast-3FC", 30, &mut rng).expect("model");
+    let mut trainer = Trainer::new(TrainConfig {
+        learning_rate: 0.1,
+        epochs: 25,
+        batch_size: 16,
+        momentum: 0.9,
+    });
+    trainer.train(&mut model, &data.train, &mut rng).expect("training");
+    let train_acc = model.accuracy(&data.train).expect("accuracy");
+    let test_acc = model.accuracy(&data.test).expect("accuracy");
+    println!("trained 3FC: train accuracy {:.2}%, test accuracy {:.2}%", train_acc * 100.0, test_acc * 100.0);
+
+    // Parameter scaling (Sec. IV-A): smallest F = 10^f that keeps
+    // training accuracy within 0.01%.
+    let report = choose_scaling_factor(&model, &data.train, 1e-4, 6).expect("scaling search");
+    println!(
+        "scaling factor search: accuracies per f = {:?} → chose F = 10^{}",
+        report
+            .accuracies
+            .iter()
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .collect::<Vec<_>>(),
+        report.f
+    );
+    let scaled = ScaledModel::from_model(&model, report.factor.max(10));
+
+    // Deploy and stream 20 test patients.
+    let mut config = PpStreamConfig::default();
+    config.key_bits = 256;
+    let session = PpStream::new(scaled, config).expect("session");
+    let patients: Vec<_> = data.test.iter().take(20).collect();
+    let inputs: Vec<_> = patients.iter().map(|(x, _)| x.clone()).collect();
+    let (classes, run) = session.classify_stream(&inputs).expect("private inference");
+
+    let mut correct = 0;
+    let mut agree = 0;
+    for ((input, label), &private) in patients.iter().zip(&classes) {
+        let plain = model.classify(input).expect("plain");
+        correct += usize::from(private == *label);
+        agree += usize::from(private == plain);
+    }
+    println!(
+        "private inference on {} patients: {}/{} correct, {}/{} agree with plaintext",
+        patients.len(),
+        correct,
+        patients.len(),
+        agree,
+        patients.len()
+    );
+    println!(
+        "mean private latency {:?} (pipeline makespan {:?})",
+        run.mean_latency, run.makespan
+    );
+    assert_eq!(agree, patients.len(), "correctness guarantee violated");
+}

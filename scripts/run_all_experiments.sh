@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the PP-Stream evaluation.
+# Usage: scripts/run_all_experiments.sh [output-dir]
+set -euo pipefail
+out="${1:-experiment-results}"
+mkdir -p "$out"
+
+run() {
+    local name="$1"
+    echo "=== running $name ==="
+    cargo run -p pp-bench --release --bin "$name" > "$out/$name.txt" 2>&1
+    echo "    → $out/$name.txt"
+}
+
+cargo build -p pp-bench --release
+
+run fig1             # Fig. 1
+run exp1_accuracy    # Tables IV & V
+run exp1_latency     # Fig. 6
+run exp2_streaming   # Fig. 8
+run exp3_loadbalance # Fig. 7
+run exp4_partition   # Fig. 9
+run exp5_leakage     # Table VI
+run exp6_sota        # Table VII
+
+echo "=== criterion ablations ==="
+cargo bench --workspace > "$out/ablations.txt" 2>&1
+echo "all results in $out/"

@@ -1,0 +1,79 @@
+//! Cross-system integration: PP-Stream, the centralized baselines, and
+//! the EzPC-style mini-ABY baseline must all agree on classifications.
+
+use pp_mpc::nn::SecureInference;
+use pp_nn::{zoo, ScaledModel};
+use pp_stream::baseline::{cipher_base, plain_base};
+use pp_stream::{PpStream, PpStreamConfig};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_four_systems_agree() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = zoo::mlp("m", &[6, 10, 4], &mut rng).expect("model");
+    let scaled = ScaledModel::from_model(&model, 10_000);
+
+    let inputs: Vec<Tensor<f64>> = (0..3)
+        .map(|i| {
+            Tensor::from_flat(
+                (0..6)
+                    .map(|j| ((i * 6 + j) as f64 * 0.53).sin() * 0.9)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+
+    let (plain, _) = plain_base(&model, &inputs).expect("plain");
+    let (cipher, _) = cipher_base(&scaled, 128, 3, &inputs).expect("cipher");
+    let session = PpStream::new(scaled, PpStreamConfig::small_test(128)).expect("session");
+    let (stream, _) = session.classify_stream(&inputs).expect("stream");
+
+    let mut mpc = SecureInference::new(model, 5);
+    let mpc_classes: Vec<usize> = inputs
+        .iter()
+        .map(|x| {
+            let (out, _) = mpc.infer(x).expect("mpc");
+            pp_nn::activation::argmax(&out)
+        })
+        .collect();
+
+    assert_eq!(plain, cipher, "plain vs cipher-base");
+    assert_eq!(plain, stream, "plain vs pp-stream");
+    assert_eq!(plain, mpc_classes, "plain vs mini-ABY");
+}
+
+#[test]
+fn mpc_cost_structure_shows_protocol_switching() {
+    // The paper's Exp#6 diagnosis: EzPC pays per-element protocol
+    // switches. Verify the cost report reflects exactly one garbled
+    // circuit per ReLU element.
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = zoo::mlp("m", &[4, 12, 3], &mut rng).expect("model");
+    let relu_elems = 12;
+    let mut mpc = SecureInference::new(model, 7);
+    let x = Tensor::from_flat(vec![0.2, -0.4, 0.6, -0.8]);
+    let (_, cost) = mpc.infer(&x).expect("mpc");
+    assert_eq!(cost.gc_executions, relu_elems);
+    // Each dense layer consumes in×out triples.
+    assert_eq!(cost.triples, 4 * 12 + 12 * 3);
+}
+
+#[test]
+fn pp_stream_has_no_per_element_protocol_switch() {
+    // PP-Stream's cross-provider messages scale with rounds (stages),
+    // not with non-linear element counts: one crossing per stage.
+    let mut rng = StdRng::seed_from_u64(3);
+    let wide = zoo::mlp("wide", &[4, 64, 3], &mut rng).expect("model");
+    let narrow = zoo::mlp("narrow", &[4, 8, 3], &mut rng).expect("model");
+    let count_stages = |m: &pp_nn::Model| {
+        let scaled = ScaledModel::from_model(m, 100);
+        pp_stream::encapsulate(&scaled).expect("stages").len()
+    };
+    assert_eq!(
+        count_stages(&wide),
+        count_stages(&narrow),
+        "round count is independent of layer width"
+    );
+}

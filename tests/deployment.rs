@@ -1,0 +1,106 @@
+//! Deployment-lifecycle integration: persistence, key distribution, and
+//! transport optimizations working together — the operational story
+//! around the core protocol.
+
+use pp_nn::{zoo, Model, ScaledModel};
+use pp_paillier::packing::{PackedCiphertext, PackingSpec};
+use pp_paillier::{Keypair, PublicKey, RandomnessPool};
+use pp_stream::{PpStream, PpStreamConfig};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn model_roundtrip_preserves_private_inference() {
+    // Train → save → load → deploy: the restored model must produce the
+    // same private inferences as the original.
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = zoo::mlp("persisted", &[4, 6, 3], &mut rng).expect("model");
+    let restored = Model::from_bytes(&model.to_bytes()).expect("restore");
+
+    let scaled_a = ScaledModel::from_model(&model, 1_000);
+    let scaled_b = ScaledModel::from_model(&restored, 1_000);
+    let sa = PpStream::new(scaled_a, PpStreamConfig::small_test(128)).expect("session");
+    let sb = PpStream::new(scaled_b, PpStreamConfig::small_test(128)).expect("session");
+
+    let inputs: Vec<Tensor<f64>> = (0..3)
+        .map(|i| Tensor::from_flat(vec![0.1 * i as f64, -0.4, 0.7, 0.2]))
+        .collect();
+    let (ca, _) = sa.classify_stream(&inputs).expect("inference");
+    let (cb, _) = sb.classify_stream(&inputs).expect("inference");
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn key_distribution_via_bytes() {
+    // The data provider exports its public key; the model provider
+    // imports it and evaluates homomorphically; only the original private
+    // key decrypts.
+    let mut rng = StdRng::seed_from_u64(2);
+    let kp = Keypair::generate(128, &mut rng);
+    let wire = kp.public().to_bytes();
+    let imported = PublicKey::from_bytes(&wire).expect("import");
+
+    // Model provider side: Σ wᵢ·mᵢ + b on the imported key.
+    let ms = [5i64, -3, 8];
+    let ws = [2i64, 4, -1];
+    let cts: Vec<_> = ms.iter().map(|&m| imported.encrypt_i64(m, &mut rng)).collect();
+    let mut acc = imported.encrypt_constant_i64(10);
+    for (c, &w) in cts.iter().zip(&ws) {
+        acc = imported.add(&acc, &imported.mul_scalar_i64(c, w));
+    }
+    let want: i64 = ms.iter().zip(&ws).map(|(m, w)| m * w).sum::<i64>() + 10;
+    assert_eq!(kp.private().decrypt_i64(&acc), want);
+}
+
+#[test]
+fn randomness_pool_accelerated_encryption_is_compatible() {
+    // Pool-precomputed encryption interoperates with ordinary ciphertexts
+    // in homomorphic expressions.
+    let mut rng = StdRng::seed_from_u64(3);
+    let kp = Keypair::generate(128, &mut rng);
+    let mut pool = RandomnessPool::new(kp.public());
+    pool.refill(3, &mut rng);
+
+    let fast = pool.encrypt_i64(21, &mut rng);
+    let slow = kp.public().encrypt_i64(21, &mut rng);
+    let sum = kp.public().add(&fast, &slow);
+    assert_eq!(kp.private().decrypt_i64(&sum), 42);
+}
+
+#[test]
+fn packed_transport_carries_a_tensor() {
+    // A whole activation vector rides one ciphertext (BatchCrypt [66]);
+    // the slot-wise sum of two tensors survives the trip.
+    let mut rng = StdRng::seed_from_u64(4);
+    let kp = Keypair::generate(512, &mut rng);
+    let spec = PackingSpec::for_key(&kp.public(), 32);
+    assert!(spec.slots >= 8, "512-bit key should hold ≥ 8 slots");
+
+    let a: Vec<i64> = (0..8).map(|i| i * 1000 - 3500).collect();
+    let b: Vec<i64> = (0..8).map(|i| -i * 77).collect();
+    let pa = PackedCiphertext::encrypt(&kp.public(), spec, &a, &mut rng).expect("pack");
+    let pb = PackedCiphertext::encrypt(&kp.public(), spec, &b, &mut rng).expect("pack");
+    let sum = pa.add(&kp.public(), &pb).expect("add");
+    let got = sum.decrypt(&kp.private()).expect("decrypt");
+    let want: Vec<i64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn avgpool_generality_end_to_end() {
+    // The AvgPool extension: a pooling layer that runs homomorphically
+    // (no MaxPool replacement needed), matching its scaled reference.
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = zoo::avgpool_convnet("avg-e2e", (1, 8, 8), 2, 4, &mut rng).expect("model");
+    let scaled = ScaledModel::from_model(&model, 100);
+    let session = PpStream::new(scaled.clone(), PpStreamConfig::small_test(128)).expect("session");
+    let input = Tensor::from_vec(
+        vec![1, 8, 8],
+        (0..64).map(|i| ((i * 11) % 17) as f64 / 17.0 - 0.5).collect(),
+    )
+    .expect("sized");
+    let (out, _) = session.infer_stream(std::slice::from_ref(&input)).expect("inference");
+    let want = scaled.forward_scaled(&scaled.scale_input(&input)).expect("reference");
+    assert_eq!(out[0].data(), want.data());
+}

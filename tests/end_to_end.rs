@@ -1,0 +1,124 @@
+//! End-to-end integration: train → scale → deploy → stream, across all
+//! workspace crates.
+
+use pp_nn::{choose_scaling_factor, zoo, ScaledModel, TrainConfig, Trainer};
+use pp_stream::baseline::{cipher_base, plain_base};
+use pp_stream::{PpStream, PpStreamConfig};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Train a small healthcare model on the Breast stand-in dataset.
+fn trained_breast_model(seed: u64) -> (pp_nn::Model, pp_datasets::Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = pp_datasets::breast(seed).subsample(0.35);
+    let mut model = zoo::healthcare_3fc("Breast", 30, &mut rng).expect("model");
+    let mut trainer = Trainer::new(TrainConfig {
+        learning_rate: 0.1,
+        epochs: 15,
+        batch_size: 16,
+        momentum: 0.9,
+    });
+    trainer.train(&mut model, &data.train, &mut rng).expect("training");
+    (model, data)
+}
+
+#[test]
+fn trained_model_private_inference_matches_plaintext() {
+    let (model, data) = trained_breast_model(1);
+    assert!(model.accuracy(&data.train).unwrap() > 0.9, "training failed");
+
+    let report = choose_scaling_factor(&model, &data.train, 1e-4, 6).expect("scaling");
+    let scaled = ScaledModel::from_model(&model, report.factor.max(100));
+
+    let session = PpStream::new(scaled.clone(), PpStreamConfig::small_test(128)).expect("session");
+    let inputs: Vec<Tensor<f64>> = data.test.iter().take(8).map(|(x, _)| x.clone()).collect();
+    let (classes, run) = session.classify_stream(&inputs).expect("inference");
+
+    for (input, &c) in inputs.iter().zip(&classes) {
+        assert_eq!(c, scaled.classify_scaled(input).expect("reference"));
+    }
+    assert_eq!(run.latencies.len(), inputs.len());
+    assert!(run.makespan >= *run.latencies.iter().max().unwrap());
+}
+
+#[test]
+fn pipeline_and_cipher_base_agree() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = zoo::mlp("m", &[5, 8, 3], &mut rng).expect("model");
+    let scaled = ScaledModel::from_model(&model, 1_000);
+    let inputs: Vec<Tensor<f64>> = (0..3)
+        .map(|i| Tensor::from_flat((0..5).map(|j| ((i * 5 + j) as f64 * 0.7).sin()).collect::<Vec<_>>()))
+        .collect();
+
+    let session = PpStream::new(scaled.clone(), PpStreamConfig::small_test(128)).expect("session");
+    let (stream_classes, _) = session.classify_stream(&inputs).expect("pipeline");
+    let (cipher_classes, _) = cipher_base(&scaled, 128, 7, &inputs).expect("cipher base");
+    let (plain_classes, _) = plain_base(&model, &inputs).expect("plain base");
+
+    assert_eq!(stream_classes, cipher_classes, "pipeline vs centralized ciphertext");
+    // With a comfortable scaling factor the scaled path agrees with float.
+    assert_eq!(stream_classes, plain_classes, "private vs plaintext");
+}
+
+#[test]
+fn streaming_many_requests_preserves_order_and_results() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = zoo::mlp("m", &[4, 6, 2], &mut rng).expect("model");
+    let scaled = ScaledModel::from_model(&model, 100);
+    let session = PpStream::new(scaled.clone(), PpStreamConfig::small_test(128)).expect("session");
+
+    let inputs: Vec<Tensor<f64>> = (0..10)
+        .map(|i| Tensor::from_flat(vec![(i as f64).sin(), (i as f64).cos(), 0.1 * i as f64, -0.5]))
+        .collect();
+    let (outputs, _) = session.infer_stream(&inputs).expect("stream");
+    assert_eq!(outputs.len(), 10);
+    for (input, out) in inputs.iter().zip(&outputs) {
+        let want = scaled.forward_scaled(&scaled.scale_input(input)).expect("reference");
+        assert_eq!(out.data(), want.data(), "results must arrive in request order");
+    }
+}
+
+#[test]
+fn mixed_layer_model_runs_privately() {
+    // ScaledSigmoid exercises the mixed-layer decomposition (Sec. IV-B).
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = pp_nn::Model::new(
+        "mixed",
+        vec![4],
+        vec![
+            zoo::dense_layer(&mut rng, 4, 6),
+            pp_nn::Layer::ScaledSigmoid { alpha: 1.5 },
+            zoo::dense_layer(&mut rng, 6, 3),
+            pp_nn::Layer::SoftMax,
+        ],
+    )
+    .expect("model");
+    let scaled = ScaledModel::from_model(&model, 1_000);
+    let session = PpStream::new(scaled.clone(), PpStreamConfig::small_test(128)).expect("session");
+    let input = Tensor::from_flat(vec![0.4, -0.8, 0.2, 0.6]);
+    let (outputs, _) = session.infer_stream(&[input.clone()]).expect("inference");
+    let want = scaled.forward_scaled(&scaled.scale_input(&input)).expect("reference");
+    assert_eq!(outputs[0].data(), want.data());
+}
+
+#[test]
+fn larger_scaling_factor_tracks_float_model_more_closely() {
+    let (model, data) = trained_breast_model(5);
+    let sample: Vec<(Tensor<f64>, usize)> = data.test.iter().take(30).cloned().collect();
+    let plain_acc = model.accuracy(&sample).expect("accuracy");
+
+    let mut accs = Vec::new();
+    for f in [1i64, 100, 10_000] {
+        let scaled = ScaledModel::from_model(&model, f);
+        let correct = sample
+            .iter()
+            .filter(|(x, y)| scaled.classify_scaled(x).expect("scaled") == *y)
+            .count();
+        accs.push(correct as f64 / sample.len() as f64);
+    }
+    // The Table IV/V trend: accuracy improves (weakly) with the factor
+    // and converges to the float model's.
+    assert!(accs[2] >= accs[0], "accs={accs:?}");
+    assert!((accs[2] - plain_acc).abs() < 0.15, "accs={accs:?} plain={plain_acc}");
+}

@@ -1,0 +1,210 @@
+//! Security-property integration tests for the guarantees of paper
+//! Sec. II-C: what each party (and an eavesdropper) can observe.
+
+use pp_nn::{zoo, ScaledModel};
+use pp_obfuscate::distance_correlation;
+use pp_paillier::Keypair;
+use pp_stream::encapsulate::{encapsulate, StageRole};
+use pp_stream::messages::{EncTensorMsg, PlainTensorMsg};
+use pp_stream::protocol::{EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore};
+use pp_stream_runtime::WorkerPool;
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+struct Protocol {
+    kp: Keypair,
+    scaled: ScaledModel,
+    stages: Vec<pp_stream::MergedStage>,
+    perms: Arc<PermStore>,
+    pool: WorkerPool,
+}
+
+impl Protocol {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = zoo::mlp("m", &[6, 8, 3], &mut rng).expect("model");
+        let scaled = ScaledModel::from_model(&model, 1_000);
+        let stages = encapsulate(&scaled).expect("stages");
+        Protocol {
+            kp: Keypair::generate(128, &mut rng),
+            scaled,
+            stages,
+            perms: Arc::new(PermStore::default()),
+            pool: WorkerPool::new(2),
+        }
+    }
+
+    /// Runs the protocol, returning every message that crossed the
+    /// provider boundary (model↔data), in order.
+    fn run_collecting(&self, input: &Tensor<f64>, seq: u64) -> Vec<EncTensorMsg> {
+        let mut crossings = Vec::new();
+        let enc = EncryptStage { pk: self.kp.public(), seed: 1 ^ seq };
+        let scaled_in = self.scaled.scale_input(input);
+        let mut msg = enc.process(
+            PlainTensorMsg {
+                seq,
+                shape: vec![input.len() as u64],
+                values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+            },
+            &self.pool,
+        );
+        crossings.push(msg.clone()); // data → model
+
+        let n_linear = self.stages.iter().filter(|s| s.role == StageRole::Linear).count();
+        let mut linear_idx = 0;
+        for (i, stage) in self.stages.iter().enumerate() {
+            match stage.role {
+                StageRole::Linear => {
+                    let exec = LinearStage {
+                        pk: self.kp.public(),
+                        stage: stage.clone(),
+                        linear_idx,
+                        is_first: linear_idx == 0,
+                        is_last: linear_idx == n_linear - 1,
+                        perms: Arc::clone(&self.perms),
+                        mode: PartitionMode::Partitioned,
+                        seed: 2,
+                        intra_bytes: Arc::new(AtomicU64::new(0)),
+                    };
+                    msg = exec.process(msg, &self.pool);
+                    crossings.push(msg.clone()); // model → data
+                    linear_idx += 1;
+                }
+                StageRole::NonLinear => {
+                    let exec = NonLinearStage {
+                        keypair: self.kp.clone(),
+                        stage: stage.clone(),
+                        factor: self.scaled.factor(),
+                        is_last: i == self.stages.len() - 1,
+                        seed: 3,
+                    };
+                    if !exec.is_last {
+                        msg = exec.process(msg, &self.pool);
+                        crossings.push(msg.clone()); // data → model
+                    }
+                }
+            }
+        }
+        crossings
+    }
+}
+
+#[test]
+fn everything_crossing_providers_is_encrypted() {
+    // Eavesdropper guarantee: all inter-provider traffic is ciphertext.
+    let p = Protocol::new(1);
+    let input = Tensor::from_flat(vec![0.5, -0.25, 0.1, 0.9, -0.7, 0.3]);
+    let crossings = p.run_collecting(&input, 0);
+    assert!(crossings.len() >= 3);
+    let pk = p.kp.public();
+    for (i, msg) in crossings.iter().enumerate() {
+        for ct_bytes in &msg.cts {
+            let ct = pp_paillier::Ciphertext::from_bytes(ct_bytes);
+            assert!(pk.validate(&ct), "crossing {i} carries an invalid ciphertext");
+            // A plaintext leak would be a small integer; real ciphertexts
+            // are indistinguishable from random elements of Z_{n²}.
+            assert!(
+                ct.raw().bit_len() > 64,
+                "crossing {i} carries a suspiciously small value"
+            );
+        }
+    }
+}
+
+#[test]
+fn model_provider_cannot_decrypt_what_it_sees() {
+    // The model provider holds only the public key; semantic security of
+    // Paillier (Sec. III-D) covers the values. We check the system-level
+    // consequence: two encryptions of the same input are unlinkable.
+    let p = Protocol::new(2);
+    let input = Tensor::from_flat(vec![0.5, -0.25, 0.1, 0.9, -0.7, 0.3]);
+    let a = p.run_collecting(&input, 0);
+    let b = p.run_collecting(&input, 1);
+    // Same plaintext request, different randomness: every ciphertext
+    // differs.
+    for (ma, mb) in a.iter().zip(&b) {
+        for (ca, cb) in ma.cts.iter().zip(&mb.cts) {
+            assert_ne!(ca, cb, "ciphertexts must be probabilistic");
+        }
+    }
+}
+
+#[test]
+fn intermediate_crossings_to_data_provider_are_obfuscated() {
+    let p = Protocol::new(3);
+    let input = Tensor::from_flat(vec![0.2, 0.4, -0.6, 0.8, -1.0, 0.1]);
+    let crossings = p.run_collecting(&input, 0);
+    // crossings: [enc input (D→M), linear0 out (M→D, obf), re-enc (D→M,
+    // still obf), linear1 out (M→D, last round: clear positions)].
+    assert!(!crossings[0].obfuscated, "input tensor is not obfuscated");
+    assert!(crossings[1].obfuscated, "intermediate round must be obfuscated (Step 1.4)");
+    let last = crossings.last().unwrap();
+    assert!(!last.obfuscated, "final round skips obfuscation (Step 3.4)");
+}
+
+#[test]
+fn data_provider_view_is_weakly_correlated_with_true_activations() {
+    // What the curious data provider actually sees mid-protocol: the
+    // decrypted but permuted activation vector. Its positional
+    // correlation with the true (unpermuted) activations must be weak —
+    // the Exp#5 argument, at integration level.
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = zoo::mlp("m", &[32, 256, 4], &mut rng).expect("model");
+    let scaled = ScaledModel::from_model(&model, 1_000);
+
+    let input = Tensor::from_flat((0..32).map(|i| ((i as f64) * 0.3).sin()).collect::<Vec<_>>());
+    let x = scaled.scale_input(&input);
+
+    // True first-layer pre-activations (what obfuscation protects).
+    let ops = scaled.ops();
+    let (weights, bias) = match &ops[0] {
+        pp_nn::scaling::ScaledOp::Dense { weights, bias } => (weights, bias),
+        _ => panic!("expected dense"),
+    };
+    let truth: Vec<f64> = (0..weights.shape().dims()[0])
+        .map(|j| {
+            let mut acc = bias[j] as i128;
+            for (i, &xi) in x.data().iter().enumerate() {
+                acc += *weights.get(&[j, i]).unwrap() as i128 * xi as i128;
+            }
+            acc as f64
+        })
+        .collect();
+
+    // The data provider's view: a fresh random permutation of it.
+    let perm = pp_obfuscate::Permutation::random(truth.len(), &mut rng);
+    let view = perm.apply(&truth).unwrap();
+    let d = distance_correlation(&truth, &view);
+    assert!(d < 0.25, "positional leakage too high: dcor={d}");
+}
+
+#[test]
+fn permutations_vary_per_round_and_request() {
+    // Fresh seeds per round (Sec. III-C): the permutation drawn by the
+    // same stage for different requests must differ, so positions cannot
+    // be linked across rounds.
+    let p = Protocol::new(5);
+    let input = Tensor::from_flat(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+    let a = p.run_collecting(&input, 10);
+    let b = p.run_collecting(&input, 11);
+    // Same request content, different seq: the obfuscated crossings carry
+    // different element orders. Decrypt both and compare orders.
+    let sk = p.kp.private();
+    let dec = |m: &EncTensorMsg| -> Vec<i64> {
+        m.cts
+            .iter()
+            .map(|c| sk.decrypt_i64(&pp_paillier::Ciphertext::from_bytes(c)))
+            .collect()
+    };
+    let va = dec(&a[1]);
+    let vb = dec(&b[1]);
+    let mut sa = va.clone();
+    let mut sb = vb.clone();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    assert_eq!(sa, sb, "same multiset of activations");
+    assert_ne!(va, vb, "different permutation per request");
+}
