@@ -46,16 +46,18 @@ fn main() {
             .collect();
         for &factor in factors {
             let scaled = ScaledModel::from_model(&bm.model, factor);
-            let mut cfg = PpStreamConfig::default();
-            cfg.key_bits = key_bits();
-            cfg.servers = servers.clone();
-            cfg.profile_samples = 1;
+            let cfg = PpStreamConfig {
+                key_bits: key_bits(),
+                servers: servers.clone(),
+                profile_samples: 1,
+                ..Default::default()
+            };
             let session = PpStream::new(scaled, cfg).expect("session");
             let profiles = pp_bench::profile_min(&session, PartitionMode::Partitioned, 2);
             let sim = simulate(
                 &profiles,
                 session.stages(),
-                &session.allocation().threads,
+                session.plan().threads(),
                 PartitionMode::Partitioned,
                 ct,
                 ser,

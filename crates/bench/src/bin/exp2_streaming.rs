@@ -76,24 +76,24 @@ fn main() {
         // Simulated PP-Stream-k (even split, no LB, no partitioning —
         // paper's Exp#2 configuration). One profiled session per model;
         // the 25- and 50-core deployments share its measurements.
-        let mut cfg = PpStreamConfig::default();
-        cfg.key_bits = key_bits();
-        cfg.servers = servers_for(50, bm.servers);
-        cfg.load_balance = false;
-        cfg.tensor_partition = false;
-        cfg.profile_samples = 1;
+        let cfg = PpStreamConfig {
+            key_bits: key_bits(),
+            servers: servers_for(50, bm.servers),
+            load_balance: false,
+            tensor_partition: false,
+            profile_samples: 1,
+            ..Default::default()
+        };
         let session = PpStream::new(scaled.clone(), cfg).expect("session");
         let profiles = pp_bench::profile_min(&session, PartitionMode::None, 2);
         let mut sim_lat = Vec::new();
         for total in [25usize, 50] {
             let servers = servers_for(total, bm.servers);
-            let alloc = session
-                .allocation_for(&servers, false, true)
-                .expect("allocation");
+            let plan = session.plan_for(&servers, false, true).expect("allocation plan");
             let sim = simulate(
                 &profiles,
                 session.stages(),
-                &alloc.threads,
+                plan.threads(),
                 PartitionMode::None,
                 ct,
                 ser,

@@ -66,22 +66,22 @@ fn main() {
 
     for bm in &models {
         let scaled = ScaledModel::from_model(&bm.model, bm.factor.min(10_000));
-        let mut cfg = PpStreamConfig::default();
-        cfg.key_bits = key_bits();
-        cfg.servers = servers_for(*cores.last().unwrap(), bm.servers, (16, 16));
-        cfg.profile_samples = 1;
+        let cfg = PpStreamConfig {
+            key_bits: key_bits(),
+            servers: servers_for(*cores.last().unwrap(), bm.servers, (16, 16)),
+            profile_samples: 1,
+            ..Default::default()
+        };
         let session = PpStream::new(scaled, cfg).expect("session");
         let profiles = pp_bench::profile_min(&session, PartitionMode::Partitioned, 2);
 
         let lat = |total: usize, lb: bool| {
             let servers = servers_for(total, bm.servers, role_minimums(&session));
-            let alloc = session
-                .allocation_for(&servers, lb, true)
-                .expect("allocation");
+            let plan = session.plan_for(&servers, lb, true).expect("allocation plan");
             simulate(
                 &profiles,
                 session.stages(),
-                &alloc.threads,
+                plan.threads(),
                 PartitionMode::Partitioned,
                 ct,
                 ser,

@@ -65,10 +65,12 @@ fn main() {
 
     for bm in &models {
         let scaled = ScaledModel::from_model(&bm.model, bm.factor.min(10_000));
-        let mut cfg = PpStreamConfig::default();
-        cfg.key_bits = key_bits();
-        cfg.servers = servers_for(*cores.last().unwrap(), bm.servers, (16, 16));
-        cfg.profile_samples = 1;
+        let cfg = PpStreamConfig {
+            key_bits: key_bits(),
+            servers: servers_for(*cores.last().unwrap(), bm.servers, (16, 16)),
+            profile_samples: 1,
+            ..Default::default()
+        };
         let session = PpStream::new(scaled, cfg).expect("session");
 
         // Profile once per mode: the no-partition run really performs the
@@ -78,12 +80,12 @@ fn main() {
 
         let lat = |total: usize, mode: PartitionMode| {
             let servers = servers_for(total, bm.servers, role_minimums(&session));
-            let alloc = session.allocation_for(&servers, true, true).expect("allocation");
+            let plan = session.plan_for(&servers, true, true).expect("allocation plan");
             let profiles = match mode {
                 PartitionMode::Partitioned => &prof_part,
                 PartitionMode::None => &prof_none,
             };
-            simulate(profiles, session.stages(), &alloc.threads, mode, ct, ser, &net).latency
+            simulate(profiles, session.stages(), plan.threads(), mode, ct, ser, &net).latency
         };
 
         let with: Vec<_> = cores.iter().map(|&c| lat(c, PartitionMode::Partitioned)).collect();

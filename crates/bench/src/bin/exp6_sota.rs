@@ -53,16 +53,18 @@ fn main() {
             .map(|_| ServerSpec { role: Role::Linear, cores: 24 })
             .chain((0..bm.servers.1).map(|_| ServerSpec { role: Role::NonLinear, cores: 24 }))
             .collect();
-        let mut cfg = PpStreamConfig::default();
-        cfg.key_bits = key_bits();
-        cfg.servers = servers;
-        cfg.profile_samples = 1;
+        let cfg = PpStreamConfig {
+            key_bits: key_bits(),
+            servers,
+            profile_samples: 1,
+            ..Default::default()
+        };
         let session = PpStream::new(scaled, cfg).expect("session");
         let profiles = pp_bench::profile_min(&session, PartitionMode::Partitioned, 2);
         let pp = simulate(
             &profiles,
             session.stages(),
-            &session.allocation().threads,
+            session.plan().threads(),
             PartitionMode::Partitioned,
             ct,
             ser,

@@ -42,9 +42,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            out.push(adc(long[i], b, &mut carry));
+            out.push(adc(a, b, &mut carry));
         }
         if carry != 0 {
             out.push(carry);

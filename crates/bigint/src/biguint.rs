@@ -58,7 +58,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even. Zero counts as even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns `true` if the value is odd.
@@ -77,7 +77,7 @@ impl BigUint {
     /// Returns bit `i` (little-endian bit order; out-of-range bits are `0`).
     pub fn bit(&self, i: usize) -> bool {
         let (limb, off) = (i / 64, i % 64);
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to `value`, growing the limb vector if needed.

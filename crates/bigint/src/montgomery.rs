@@ -101,10 +101,14 @@ impl MontgomeryCtx {
             t[k] = t[k + 1].wrapping_add((s >> 64) as Limb);
             t[k + 1] = 0;
         }
-        // Final conditional subtraction: t may be in [0, 2n).
+        // Final conditional subtraction: t may be in [0, 2n). When the
+        // carry limb t[k] is set, t[..k] alone is below n and the
+        // subtraction borrows out of that implicit high limb — the
+        // wrapped low limbs are exactly t - n.
         let mut out = t[..k].to_vec();
         if t[k] != 0 || ge(&out, &self.n) {
-            sub_in_place(&mut out, &self.n);
+            let borrow = sub_in_place(&mut out, &self.n);
+            debug_assert_eq!(borrow, t[k]);
         }
         out
     }
@@ -210,15 +214,17 @@ fn ge(a: &[Limb], b: &[Limb]) -> bool {
     true
 }
 
-/// `a -= b` for equal-length limb slices; assumes no underflow.
-fn sub_in_place(a: &mut [Limb], b: &[Limb]) {
+/// `a -= b` for equal-length limb slices, wrapping mod 2^(64·len);
+/// returns the final borrow (0 or 1) so callers can account for an
+/// implicit high limb.
+fn sub_in_place(a: &mut [Limb], b: &[Limb]) -> Limb {
     let mut borrow = 0i128;
     for i in 0..a.len() {
         let d = a[i] as i128 - b[i] as i128 + borrow;
         a[i] = d as Limb;
         borrow = d >> 64;
     }
-    debug_assert_eq!(borrow, 0);
+    (-borrow) as Limb
 }
 
 #[cfg(test)]
@@ -291,7 +297,7 @@ mod tests {
         // base bigger than modulus is reduced first
         assert_eq!(
             ctx.pow_mod(&BigUint::from(205u64), &BigUint::from(2u64)).to_u64(),
-            Some(3 * 3 % 101)
+            Some(9) // (205 mod 101)² = 3² = 9
         );
     }
 

@@ -116,21 +116,23 @@ pub fn cipher_base(
             shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
             values: scaled_in.data().iter().map(|&v| v as i128).collect(),
         };
-        let mut msg = encrypt.process(plain, &pool);
+        let mut msg = encrypt.encrypt(plain, &pool);
         let (mut li, mut ni) = (0usize, 0usize);
         let mut result: Option<PlainTensorMsg> = None;
         for stage in &stages {
             match stage.role {
                 StageRole::Linear => {
-                    msg = linear_execs[li].process(msg, &pool);
+                    msg = linear_execs[li]
+                        .execute(msg, &pool)
+                        .map_err(|e| CoreError::Runtime(e.to_string()))?;
                     li += 1;
                 }
                 StageRole::NonLinear => {
                     let exec = &nonlinear_execs[ni];
                     if exec.is_last {
-                        result = Some(exec.process_final(msg.clone(), &pool));
+                        result = Some(exec.execute_final(msg.clone(), &pool));
                     } else {
-                        msg = exec.process(msg, &pool);
+                        msg = exec.execute(msg, &pool);
                     }
                     ni += 1;
                 }

@@ -48,12 +48,14 @@ pub mod baseline;
 pub mod encapsulate;
 mod encctx;
 pub mod messages;
+pub mod plan;
 pub mod protocol;
 mod session;
 pub mod simulate;
 
 pub use encapsulate::{encapsulate, MergedStage, StageRole};
 pub use encctx::EncCtx;
+pub use plan::{AllocationPlan, PlanSource};
 pub use session::{PpStream, PpStreamConfig, RunReport};
 
 /// Errors from PP-Stream session construction or execution.

@@ -1,0 +1,104 @@
+//! Allocation plans: the bridge between the `pp-allocate` solver and the
+//! runtime's per-stage worker pools.
+//!
+//! A [`AllocationPlan`] records how many worker threads (`y_i`) each
+//! pipeline stage gets and where those numbers came from, so the session
+//! can build pipelines whose pool sizes are allocator-driven instead of
+//! hardcoded.
+
+use pp_allocate::Allocation;
+
+/// Where a plan's thread counts came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The branch-and-bound ILP solver (Sec. IV-C).
+    Solver,
+    /// The even-split baseline (Exp#3's comparison point), also the
+    /// fallback when the solver finds the instance infeasible.
+    EvenSplit,
+    /// A fixed thread count per stage — used for offline profiling,
+    /// where the simulate model needs single-thread stage times `T_i`.
+    Uniform,
+}
+
+/// Threads per pipeline stage (index 0 = encrypt stage) plus provenance.
+#[derive(Clone, Debug)]
+pub struct AllocationPlan {
+    threads: Vec<usize>,
+    source: PlanSource,
+}
+
+impl AllocationPlan {
+    /// A plan giving every one of `n_stages` stages `threads` workers.
+    pub fn uniform(n_stages: usize, threads: usize) -> Self {
+        AllocationPlan { threads: vec![threads.max(1); n_stages], source: PlanSource::Uniform }
+    }
+
+    /// The single-thread plan used for offline profiling: the simulate
+    /// model (Sec. IV-C) derives multi-thread predictions from
+    /// single-thread stage times, so profiling pools must have one
+    /// worker per stage.
+    pub fn profiling_baseline(n_stages: usize) -> Self {
+        Self::uniform(n_stages, 1)
+    }
+
+    /// Adopts a solved (or evenly split) allocation.
+    pub fn from_allocation(alloc: &Allocation, source: PlanSource) -> Self {
+        AllocationPlan { threads: alloc.threads.clone(), source }
+    }
+
+    /// Threads per stage, in pipeline order.
+    pub fn threads(&self) -> &[usize] {
+        &self.threads
+    }
+
+    /// Threads for one stage; clamps to 1 for out-of-range indices so a
+    /// plan solved for fewer stages never produces a zero-sized pool.
+    pub fn threads_for(&self, stage: usize) -> usize {
+        self.threads.get(stage).copied().unwrap_or(1).max(1)
+    }
+
+    /// Number of stages the plan covers.
+    pub fn n_stages(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Provenance of the thread counts.
+    pub fn source(&self) -> PlanSource {
+        self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_plan_clamps_to_one_thread() {
+        let p = AllocationPlan::uniform(3, 0);
+        assert_eq!(p.threads(), &[1, 1, 1]);
+        assert_eq!(p.source(), PlanSource::Uniform);
+    }
+
+    #[test]
+    fn profiling_baseline_is_single_threaded() {
+        let p = AllocationPlan::profiling_baseline(5);
+        assert_eq!(p.n_stages(), 5);
+        assert!(p.threads().iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn from_allocation_copies_threads() {
+        let alloc = Allocation { threads: vec![2, 4, 3], server_of: vec![0, 1, 0], objective: 1.5 };
+        let p = AllocationPlan::from_allocation(&alloc, PlanSource::Solver);
+        assert_eq!(p.threads(), &[2, 4, 3]);
+        assert_eq!(p.threads_for(1), 4);
+        assert_eq!(p.source(), PlanSource::Solver);
+    }
+
+    #[test]
+    fn out_of_range_stage_gets_one_thread() {
+        let p = AllocationPlan::uniform(2, 3);
+        assert_eq!(p.threads_for(7), 1);
+    }
+}

@@ -25,7 +25,7 @@ use pp_nn::activation::sigmoid_scalar;
 use pp_nn::scaling::{div_round, ScaledOp};
 use pp_obfuscate::Permutation;
 use pp_paillier::{Ciphertext, Keypair, PublicKey};
-use pp_stream_runtime::WorkerPool;
+use pp_stream_runtime::{Stage, StageContext, StreamError, WorkerPool};
 use pp_tensor::ops::{
     conv2d_range, conv_input_indices_for_range, fully_connected_range,
     pool_input_indices_for_range, sum_pool2d_range,
@@ -82,7 +82,7 @@ pub struct EncryptStage {
 
 impl EncryptStage {
     /// Encrypts a plaintext scaled tensor (Step 1.1 + 1.2).
-    pub fn process(&self, msg: PlainTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
+    pub fn encrypt(&self, msg: PlainTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
         let pk = self.pk.clone();
         let values: Arc<Vec<i128>> = Arc::new(msg.values);
         let seed = mix(self.seed ^ msg.seq.wrapping_mul(0x517c_c1b7));
@@ -97,6 +97,15 @@ impl EncryptStage {
             .collect()
         });
         EncTensorMsg { seq: msg.seq, shape: msg.shape, obfuscated: false, cts }
+    }
+}
+
+impl Stage for EncryptStage {
+    type In = PlainTensorMsg;
+    type Out = EncTensorMsg;
+
+    fn process(&self, msg: PlainTensorMsg, cx: &mut StageContext) -> Result<EncTensorMsg, StreamError> {
+        Ok(self.encrypt(msg, cx.pool()))
     }
 }
 
@@ -132,8 +141,10 @@ pub struct LinearStage {
 
 impl LinearStage {
     /// Full linear-stage round: inverse obfuscation → linear ops →
-    /// obfuscation.
-    pub fn process(&self, msg: EncTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
+    /// obfuscation. Fails when the preceding linear stage's permutation
+    /// is missing (a protocol-ordering violation), which stops the
+    /// pipeline cleanly instead of panicking its stage thread.
+    pub fn execute(&self, msg: EncTensorMsg, pool: &WorkerPool) -> Result<EncTensorMsg, StreamError> {
         assert_eq!(self.stage.role, StageRole::Linear, "misconfigured stage");
         let seq = msg.seq;
         let mut cts: Vec<Ciphertext> =
@@ -141,11 +152,15 @@ impl LinearStage {
 
         // Inverse obfuscation (Steps 2.5 / 3.2).
         if !self.is_first {
-            let perm = self
-                .perms
-                .take(seq, self.linear_idx - 1)
-                .expect("previous linear stage stored a permutation");
-            cts = perm.invert(&cts).expect("permutation length matches");
+            let perm = self.perms.take(seq, self.linear_idx - 1).ok_or_else(|| {
+                StreamError::Stage(format!(
+                    "linear stage {} has no stored permutation for request {seq}",
+                    self.linear_idx
+                ))
+            })?;
+            cts = perm.invert(&cts).map_err(|e| {
+                StreamError::Stage(format!("inverse obfuscation failed: {e}"))
+            })?;
         }
 
         // Homomorphic linear ops.
@@ -171,12 +186,12 @@ impl LinearStage {
             true
         };
 
-        EncTensorMsg {
+        Ok(EncTensorMsg {
             seq,
             shape: shape_to_wire(&shape),
             obfuscated,
             cts: cts_to_bytes(&out),
-        }
+        })
     }
 
     /// Executes one linear op with the configured partitioning mode.
@@ -359,6 +374,22 @@ impl LinearStage {
     }
 }
 
+impl Stage for LinearStage {
+    type In = EncTensorMsg;
+    type Out = EncTensorMsg;
+
+    fn process(&self, msg: EncTensorMsg, cx: &mut StageContext) -> Result<EncTensorMsg, StreamError> {
+        // Attribute this message's worker-dispatch bytes (Sec. IV-D) to
+        // the stage's metrics. The stage instance is driven by a single
+        // pipeline thread, so the before/after delta is this message's.
+        let before = self.intra_bytes.load(Ordering::Relaxed);
+        let out = self.execute(msg, cx.pool())?;
+        let after = self.intra_bytes.load(Ordering::Relaxed);
+        cx.record_serialized_bytes(after.saturating_sub(before));
+        Ok(out)
+    }
+}
+
 /// Rebuilds a full ciphertext tensor from serialized bytes (the "receive"
 /// half of a worker task).
 fn deserialize_tensor(bytes: &[Vec<u8>], shape: &Shape) -> Tensor<Ciphertext> {
@@ -395,8 +426,8 @@ pub struct NonLinearStage {
 impl NonLinearStage {
     /// Decrypt → non-linear ops → re-encrypt (Steps 2.1–2.3).
     /// Only valid for non-final stages.
-    pub fn process(&self, msg: EncTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
-        assert!(!self.is_last, "final stage must use process_final");
+    pub fn execute(&self, msg: EncTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
+        assert!(!self.is_last, "final stage must use execute_final");
         let values = self.decrypt_and_apply(&msg, pool);
         // Re-encrypt at scale F (fits i64 after rescaling).
         let pk = self.keypair.public();
@@ -417,8 +448,8 @@ impl NonLinearStage {
 
     /// Final round (Steps 3.5–3.7): decrypt and produce the cleartext
     /// scaled result — stays at the data provider.
-    pub fn process_final(&self, msg: EncTensorMsg, pool: &WorkerPool) -> PlainTensorMsg {
-        assert!(self.is_last, "non-final stage must use process");
+    pub fn execute_final(&self, msg: EncTensorMsg, pool: &WorkerPool) -> PlainTensorMsg {
+        assert!(self.is_last, "non-final stage must use execute");
         assert!(!msg.obfuscated, "final round arrives without obfuscation (Step 3.4)");
         let values = self.decrypt_and_apply(&msg, pool);
         PlainTensorMsg { seq: msg.seq, shape: msg.shape, values }
@@ -464,6 +495,45 @@ impl NonLinearStage {
     }
 }
 
+/// Mid-pipeline rounds: re-encrypted ciphertext tensor out.
+impl Stage for NonLinearStage {
+    type In = EncTensorMsg;
+    type Out = EncTensorMsg;
+
+    fn process(&self, msg: EncTensorMsg, cx: &mut StageContext) -> Result<EncTensorMsg, StreamError> {
+        if self.is_last {
+            return Err(StreamError::Stage(
+                "final non-linear stage placed mid-pipeline; wrap it in FinalNonLinearStage".into(),
+            ));
+        }
+        Ok(self.execute(msg, cx.pool()))
+    }
+}
+
+/// The final round of a [`NonLinearStage`] as a typed pipeline terminal:
+/// consumes the last linear stage's ciphertexts, emits the cleartext
+/// scaled result (Steps 3.5–3.7).
+pub struct FinalNonLinearStage(pub Arc<NonLinearStage>);
+
+impl Stage for FinalNonLinearStage {
+    type In = EncTensorMsg;
+    type Out = PlainTensorMsg;
+
+    fn process(&self, msg: EncTensorMsg, cx: &mut StageContext) -> Result<PlainTensorMsg, StreamError> {
+        if !self.0.is_last {
+            return Err(StreamError::Stage(
+                "non-final stage wrapped as the pipeline terminal".into(),
+            ));
+        }
+        if msg.obfuscated {
+            return Err(StreamError::Stage(
+                "final round arrived obfuscated (Step 3.4 violated)".into(),
+            ));
+        }
+        Ok(self.0.execute_final(msg, cx.pool()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,7 +562,7 @@ mod tests {
 
         let enc = EncryptStage { pk: kp.public(), seed: 7 };
         let scaled_in = scaled.scale_input(input);
-        let mut msg = enc.process(
+        let mut msg = enc.encrypt(
             PlainTensorMsg {
                 seq: 0,
                 shape: shape_to_wire(input.shape()),
@@ -517,7 +587,7 @@ mod tests {
                         seed: 11,
                         intra_bytes: Arc::clone(&intra),
                     };
-                    msg = exec.process(msg, pool);
+                    msg = exec.execute(msg, pool).unwrap();
                     linear_idx += 1;
                 }
                 StageRole::NonLinear => {
@@ -530,9 +600,9 @@ mod tests {
                         seed: 13,
                     };
                     if is_last {
-                        final_values = Some(exec.process_final(msg.clone(), pool).values);
+                        final_values = Some(exec.execute_final(msg.clone(), pool).values);
                     } else {
-                        msg = exec.process(msg, pool);
+                        msg = exec.execute(msg, pool);
                     }
                 }
             }
@@ -608,7 +678,7 @@ mod tests {
                 seed: 1,
                 intra_bytes: Arc::clone(&intra),
             };
-            let _ = exec.process(msg.clone(), &pool);
+            let _ = exec.execute(msg.clone(), &pool).unwrap();
             intra.load(Ordering::Relaxed)
         };
         let with = run(PartitionMode::Partitioned);
@@ -645,7 +715,7 @@ mod tests {
 
         let enc = EncryptStage { pk: kp.public(), seed: 1 };
         let scaled_in = scaled.scale_input(&pp_tensor::Tensor::from_flat(vec![0.1, 0.2, 0.3]));
-        let msg0 = enc.process(
+        let msg0 = enc.encrypt(
             PlainTensorMsg {
                 seq: 0,
                 shape: vec![3],
@@ -666,7 +736,7 @@ mod tests {
             seed: 2,
             intra_bytes: Arc::clone(&intra),
         };
-        let msg1 = first.process(msg0, &pool);
+        let msg1 = first.execute(msg0, &pool).unwrap();
         assert!(msg1.obfuscated, "intermediate round must be obfuscated (Step 1.4)");
 
         let nl = NonLinearStage {
@@ -676,7 +746,7 @@ mod tests {
             is_last: false,
             seed: 3,
         };
-        let msg2 = nl.process(msg1, &pool);
+        let msg2 = nl.execute(msg1, &pool);
         assert!(msg2.obfuscated, "re-encrypted tensor keeps permuted order");
 
         let last = LinearStage {
@@ -690,7 +760,7 @@ mod tests {
             seed: 4,
             intra_bytes: intra,
         };
-        let msg3 = last.process(msg2, &pool);
+        let msg3 = last.execute(msg2, &pool).unwrap();
         assert!(!msg3.obfuscated, "last round sends without obfuscation (Step 3.4)");
     }
 
@@ -724,8 +794,8 @@ mod tests {
                 .map(|i| kp.public().encrypt_i64(i, rng).to_bytes())
                 .collect(),
         };
-        let _ = exec.process(make(0, &mut rng), &pool);
-        let _ = exec.process(make(1, &mut rng), &pool);
+        let _ = exec.execute(make(0, &mut rng), &pool).unwrap();
+        let _ = exec.execute(make(1, &mut rng), &pool).unwrap();
         let p0 = perms.take(0, 0).unwrap();
         let p1 = perms.take(1, 0).unwrap();
         assert_ne!(
@@ -733,5 +803,70 @@ mod tests {
             p1.forward_indices(),
             "permutations must differ across requests/rounds (Sec. III-C)"
         );
+    }
+
+    #[test]
+    fn missing_permutation_is_an_error_not_a_panic() {
+        let (kp, pool) = setup(14);
+        let stage = MergedStage {
+            role: StageRole::Linear,
+            ops: vec![ScaledOp::ScaleMul { alpha: 1 }],
+            input_shape: Shape::vector(4),
+            output_shape: Shape::vector(4),
+        };
+        // is_first == false but nothing was stored for (seq, linear_idx-1).
+        let exec = LinearStage {
+            pk: kp.public(),
+            stage,
+            linear_idx: 1,
+            is_first: false,
+            is_last: false,
+            perms: Arc::new(PermStore::default()),
+            mode: PartitionMode::Partitioned,
+            seed: 5,
+            intra_bytes: Arc::new(AtomicU64::new(0)),
+        };
+        let mut rng = StdRng::seed_from_u64(15);
+        let msg = EncTensorMsg {
+            seq: 9,
+            shape: vec![4],
+            obfuscated: true,
+            cts: (0..4).map(|i| kp.public().encrypt_i64(i, &mut rng).to_bytes()).collect(),
+        };
+        let err = exec.execute(msg, &pool).unwrap_err();
+        assert!(
+            matches!(&err, StreamError::Stage(s) if s.contains("permutation")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn final_stage_wrapper_rejects_obfuscated_input() {
+        use pp_stream_runtime::StageMetrics;
+        let (kp, pool) = setup(16);
+        let stage = MergedStage {
+            role: StageRole::NonLinear,
+            ops: vec![ScaledOp::ReLU { rescale: 1 }],
+            input_shape: Shape::vector(2),
+            output_shape: Shape::vector(2),
+        };
+        let nl = Arc::new(NonLinearStage {
+            keypair: kp.clone(),
+            stage,
+            factor: 10,
+            is_last: true,
+            seed: 3,
+        });
+        let mut rng = StdRng::seed_from_u64(17);
+        let msg = EncTensorMsg {
+            seq: 0,
+            shape: vec![2],
+            obfuscated: true,
+            cts: (0..2).map(|i| kp.public().encrypt_i64(i, &mut rng).to_bytes()).collect(),
+        };
+        let metrics = StageMetrics::default();
+        let mut cx = StageContext::new(&pool, &metrics);
+        let err = FinalNonLinearStage(nl).process(msg, &mut cx).unwrap_err();
+        assert!(matches!(&err, StreamError::Stage(s) if s.contains("obfuscated")), "{err}");
     }
 }

@@ -3,16 +3,16 @@
 //! and pipelined streaming inference.
 
 use crate::encapsulate::{encapsulate_with, MergedStage, StageRole};
-use crate::messages::{EncTensorMsg, PlainTensorMsg};
+use crate::messages::PlainTensorMsg;
+use crate::plan::{AllocationPlan, PlanSource};
 use crate::protocol::{
-    EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore,
+    EncryptStage, FinalNonLinearStage, LinearStage, NonLinearStage, PartitionMode, PermStore,
 };
 use crate::CoreError;
 use pp_allocate::{even_allocation, solve, Allocation, LayerLoad, Role, ServerSpec, SolveConfig};
 use pp_nn::scaling::ScaledModel;
 use pp_paillier::Keypair;
-use pp_stream_runtime::wire::{from_frame, to_frame};
-use pp_stream_runtime::{Pipeline, StageSpec, WorkerPool};
+use pp_stream_runtime::{PipelineBuilder, StageReport, WorkerPool};
 use pp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,6 +108,9 @@ pub struct RunReport {
     pub stage_busy: Vec<Duration>,
     /// Threads allocated per stage.
     pub stage_threads: Vec<usize>,
+    /// Per-stage runtime metrics (items in/out, serialized bytes,
+    /// compute time, queue wait, errors), in pipeline order.
+    pub stages: Vec<StageReport>,
 }
 
 /// A ready-to-run PP-Stream deployment for one model.
@@ -117,6 +120,7 @@ pub struct PpStream {
     keypair: Keypair,
     config: PpStreamConfig,
     allocation: Allocation,
+    plan: AllocationPlan,
     profile: Vec<f64>,
 }
 
@@ -129,16 +133,20 @@ impl PpStream {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let keypair = Keypair::generate(config.key_bits, &mut rng);
 
+        let n_pipeline_stages = stages.len() + 1;
         let mut session = PpStream {
             scaled,
             stages,
             keypair,
             config,
             allocation: Allocation { threads: vec![], server_of: vec![], objective: 0.0 },
+            plan: AllocationPlan::profiling_baseline(n_pipeline_stages),
             profile: vec![],
         };
         session.profile = session.profile_stages()?;
-        session.allocation = session.allocate()?;
+        let (allocation, source) = session.allocate()?;
+        session.plan = AllocationPlan::from_allocation(&allocation, source);
+        session.allocation = allocation;
         Ok(session)
     }
 
@@ -152,15 +160,24 @@ impl PpStream {
         &self.allocation
     }
 
+    /// The allocation plan driving per-stage pool sizes.
+    pub fn plan(&self) -> &AllocationPlan {
+        &self.plan
+    }
+
     /// The offline profile `T_i` per pipeline stage (seconds).
     pub fn profile(&self) -> &[f64] {
         &self.profile
     }
 
     /// Offline profiling (Sec. IV-C): run sample inputs through the
-    /// stages sequentially on one thread and average each stage's time.
+    /// stages sequentially and average each stage's time. Pool sizes
+    /// come from [`AllocationPlan::profiling_baseline`] — one worker per
+    /// stage, because the simulate model scales single-thread times.
     fn profile_stages(&self) -> Result<Vec<f64>, CoreError> {
-        let pool = WorkerPool::new(1);
+        let plan = AllocationPlan::profiling_baseline(self.stages.len() + 1);
+        let pools: Vec<WorkerPool> =
+            (0..plan.n_stages()).map(|i| WorkerPool::new(plan.threads_for(i))).collect();
         let samples = self.config.profile_samples.max(1);
         // 1 pipeline stage per merged stage, plus the encrypt stage.
         let mut times = vec![0.0f64; self.stages.len() + 1];
@@ -173,7 +190,7 @@ impl PpStream {
                 .collect();
             let input = Tensor::from_vec(input_shape.clone(), sample)
                 .map_err(|e| CoreError::Model(e.to_string()))?;
-            let execs = self.build_execs(PartitionMode::Partitioned, Arc::new(AtomicU64::new(0)));
+            let execs = self.build_execs(PartitionMode::Partitioned);
 
             let scaled_in = self.scaled.scale_input(&input);
             let mut plain = PlainTensorMsg {
@@ -183,20 +200,23 @@ impl PpStream {
             };
 
             let t0 = Instant::now();
-            let mut msg = execs.encrypt.process(plain.clone(), &pool);
+            let mut msg = execs.encrypt.encrypt(plain.clone(), &pools[0]);
             times[0] += t0.elapsed().as_secs_f64();
 
             for (i, exec) in execs.stages.iter().enumerate() {
+                let pool = &pools[i + 1];
                 let t0 = Instant::now();
                 match exec {
                     StageExec::Linear(l) => {
-                        msg = l.process(msg, &pool);
+                        msg = l
+                            .execute(msg, pool)
+                            .map_err(|e| CoreError::Runtime(e.to_string()))?;
                     }
                     StageExec::NonLinear(nl) => {
                         if nl.is_last {
-                            plain = nl.process_final(msg.clone(), &pool);
+                            plain = nl.execute_final(msg.clone(), pool);
                         } else {
-                            msg = nl.process(msg, &pool);
+                            msg = nl.execute(msg, pool);
                         }
                     }
                 }
@@ -221,9 +241,10 @@ impl PpStream {
         use crate::simulate::StageProfile;
         use pp_stream_runtime::wire::to_frame;
 
-        let pool = WorkerPool::new(1);
-        let intra = Arc::new(AtomicU64::new(0));
-        let execs = self.build_execs(mode, Arc::clone(&intra));
+        let plan = AllocationPlan::profiling_baseline(self.stages.len() + 1);
+        let pools: Vec<WorkerPool> =
+            (0..plan.n_stages()).map(|i| WorkerPool::new(plan.threads_for(i))).collect();
+        let execs = self.build_execs(mode);
         let input_shape = self.scaled.input_shape().clone();
         let sample: Vec<f64> = (0..input_shape.len())
             .map(|i| (((i * 31) % 200) as f64 / 100.0) - 1.0)
@@ -239,37 +260,42 @@ impl PpStream {
 
         let mut profiles = Vec::with_capacity(self.stages.len() + 1);
         let t0 = Instant::now();
-        let mut msg = execs.encrypt.process(plain, &pool);
+        let mut msg = execs.encrypt.encrypt(plain, &pools[0]);
         profiles.push(StageProfile {
             wall_1thread: t0.elapsed().as_secs_f64().max(1e-9),
             dispatch_bytes_1thread: 0, // element-wise encryption
             link_bytes: to_frame(&msg).len() as u64,
         });
 
-        for exec in execs.stages.iter() {
-            let before = intra.load(Ordering::Relaxed);
+        for (i, exec) in execs.stages.iter().enumerate() {
+            let pool = &pools[i + 1];
             let t0 = Instant::now();
             let link_bytes;
+            let dispatch_bytes;
             match exec {
                 StageExec::Linear(l) => {
-                    msg = l.process(msg, &pool);
+                    let before = l.intra_bytes.load(Ordering::Relaxed);
+                    msg = l
+                        .execute(msg, pool)
+                        .map_err(|e| CoreError::Runtime(e.to_string()))?;
+                    dispatch_bytes = l.intra_bytes.load(Ordering::Relaxed) - before;
                     link_bytes = to_frame(&msg).len() as u64;
                 }
                 StageExec::NonLinear(nl) => {
+                    dispatch_bytes = 0; // element-wise decrypt + activation
                     if nl.is_last {
-                        let out = nl.process_final(msg.clone(), &pool);
+                        let out = nl.execute_final(msg.clone(), pool);
                         link_bytes = to_frame(&out).len() as u64;
                     } else {
-                        msg = nl.process(msg, &pool);
+                        msg = nl.execute(msg, pool);
                         link_bytes = to_frame(&msg).len() as u64;
                     }
                 }
             }
             let wall = t0.elapsed().as_secs_f64().max(1e-9);
-            let after = intra.load(Ordering::Relaxed);
             profiles.push(StageProfile {
                 wall_1thread: wall,
-                dispatch_bytes_1thread: after - before,
+                dispatch_bytes_1thread: dispatch_bytes,
                 link_bytes,
             });
         }
@@ -284,12 +310,7 @@ impl PpStream {
         load_balance: bool,
         hyperthreading: bool,
     ) -> Result<Allocation, CoreError> {
-        let layers: Vec<LayerLoad> = self
-            .pipeline_roles()
-            .iter()
-            .zip(&self.profile)
-            .map(|(&role, &time)| LayerLoad { role, time })
-            .collect();
+        let layers = self.layer_loads();
         let alloc = if load_balance {
             solve(
                 &layers,
@@ -302,6 +323,30 @@ impl PpStream {
         Ok(alloc)
     }
 
+    /// Like [`PpStream::allocation_for`], but returns an
+    /// [`AllocationPlan`] ready to drive per-stage pool sizes: the
+    /// solver's thread counts when `load_balance` holds and the ILP is
+    /// feasible, the even-split baseline otherwise.
+    pub fn plan_for(
+        &self,
+        servers: &[ServerSpec],
+        load_balance: bool,
+        hyperthreading: bool,
+    ) -> Result<AllocationPlan, CoreError> {
+        let layers = self.layer_loads();
+        if load_balance {
+            if let Ok(alloc) = solve(
+                &layers,
+                servers,
+                SolveConfig { hyperthreading, node_budget: 2_000_000 },
+            ) {
+                return Ok(AllocationPlan::from_allocation(&alloc, PlanSource::Solver));
+            }
+        }
+        let alloc = even_allocation(&layers, servers, hyperthreading)?;
+        Ok(AllocationPlan::from_allocation(&alloc, PlanSource::EvenSplit))
+    }
+
     /// The scaled model this session serves.
     pub fn scaled_model(&self) -> &ScaledModel {
         &self.scaled
@@ -312,27 +357,34 @@ impl PpStream {
         self.config.key_bits
     }
 
-    /// Solves (or evenly splits) the stage → server/thread allocation.
-    fn allocate(&self) -> Result<Allocation, CoreError> {
-        let layers: Vec<LayerLoad> = self
-            .pipeline_roles()
-            .iter()
-            .zip(&self.profile)
-            .map(|(&role, &time)| LayerLoad { role, time })
-            .collect();
-        let alloc = if self.config.load_balance {
-            solve(
+    /// Solves the stage → server/thread allocation (Sec. IV-C). The
+    /// even-split baseline is used when load balancing is disabled and
+    /// as the fallback when the ILP instance is infeasible.
+    fn allocate(&self) -> Result<(Allocation, PlanSource), CoreError> {
+        let layers = self.layer_loads();
+        if self.config.load_balance {
+            if let Ok(alloc) = solve(
                 &layers,
                 &self.config.servers,
                 SolveConfig {
                     hyperthreading: self.config.hyperthreading,
                     node_budget: 2_000_000,
                 },
-            )?
-        } else {
-            even_allocation(&layers, &self.config.servers, self.config.hyperthreading)?
-        };
-        Ok(alloc)
+            ) {
+                return Ok((alloc, PlanSource::Solver));
+            }
+        }
+        let alloc = even_allocation(&layers, &self.config.servers, self.config.hyperthreading)?;
+        Ok((alloc, PlanSource::EvenSplit))
+    }
+
+    /// Profiled load per pipeline stage, in the solver's input form.
+    fn layer_loads(&self) -> Vec<LayerLoad> {
+        self.pipeline_roles()
+            .iter()
+            .zip(&self.profile)
+            .map(|(&role, &time)| LayerLoad { role, time })
+            .collect()
     }
 
     /// Role of each pipeline stage (index 0 = encrypt stage).
@@ -365,7 +417,7 @@ impl PpStream {
         names
     }
 
-    fn build_execs(&self, mode: PartitionMode, intra: Arc<AtomicU64>) -> Execs {
+    fn build_execs(&self, mode: PartitionMode) -> Execs {
         let perms = Arc::new(PermStore::default());
         let n_linear = self.stages.iter().filter(|s| s.role == StageRole::Linear).count();
         let mut linear_idx = 0usize;
@@ -384,7 +436,7 @@ impl PpStream {
                         perms: Arc::clone(&perms),
                         mode,
                         seed: self.config.seed ^ 0x11AE ^ (i as u64) << 8,
-                        intra_bytes: Arc::clone(&intra),
+                        intra_bytes: Arc::new(AtomicU64::new(0)),
                     };
                     linear_idx += 1;
                     StageExec::Linear(Arc::new(exec))
@@ -422,74 +474,72 @@ impl PpStream {
         } else {
             PartitionMode::None
         };
-        let intra = Arc::new(AtomicU64::new(0));
-        let execs = self.build_execs(mode, Arc::clone(&intra));
+        let execs = self.build_execs(mode);
 
-        // Assemble the runtime pipeline: one StageSpec per merged stage.
+        // Assemble the typed pipeline: the encrypt stage followed by one
+        // protocol stage per merged stage. `.link()` marks the hops that
+        // cross between the data provider and a model-provider server —
+        // only those serialize through the wire codec; co-located hops
+        // hand owned messages across directly.
         let names = self.stage_names();
-        let mut specs: Vec<StageSpec> = Vec::with_capacity(self.stages.len() + 1);
-        let enc = Arc::clone(&execs.encrypt);
-        specs.push(StageSpec::new(
-            names[0].clone(),
-            self.allocation.threads[0],
-            move |frame, pool| {
-                let msg: PlainTensorMsg = from_frame(frame)?;
-                Ok(to_frame(&enc.process(msg, pool)))
-            },
-        ));
-        for (i, exec) in execs.stages.iter().enumerate() {
-            let threads = self.allocation.threads[i + 1];
-            match exec {
-                StageExec::Linear(l) => {
-                    let l = Arc::clone(l);
-                    specs.push(StageSpec::new(names[i + 1].clone(), threads, move |frame, pool| {
-                        let msg: EncTensorMsg = from_frame(frame)?;
-                        Ok(to_frame(&l.process(msg, pool)))
-                    }));
-                }
-                StageExec::NonLinear(nl) => {
-                    let nl = Arc::clone(nl);
-                    specs.push(StageSpec::new(names[i + 1].clone(), threads, move |frame, pool| {
-                        let msg: EncTensorMsg = from_frame(frame)?;
-                        if nl.is_last {
-                            Ok(to_frame(&nl.process_final(msg, pool)))
-                        } else {
-                            Ok(to_frame(&nl.process(msg, pool)))
-                        }
-                    }));
-                }
+        let roles = self.pipeline_roles();
+        let n = execs.stages.len();
+        let last = match execs.stages.last() {
+            Some(StageExec::NonLinear(nl)) if nl.is_last => FinalNonLinearStage(Arc::clone(nl)),
+            _ => {
+                return Err(CoreError::Runtime(
+                    "pipeline must end with a final non-linear stage".into(),
+                ))
             }
+        };
+
+        let mut builder = PipelineBuilder::<PlainTensorMsg, PlainTensorMsg>::new()
+            .with_capacity(self.config.link_capacity)
+            .stage(names[0].clone(), self.plan.threads_for(0), Arc::clone(&execs.encrypt));
+        for (i, exec) in execs.stages.iter().take(n - 1).enumerate() {
+            if roles[i] != roles[i + 1] {
+                builder = builder.link();
+            }
+            let threads = self.plan.threads_for(i + 1);
+            builder = match exec {
+                StageExec::Linear(l) => builder.stage(names[i + 1].clone(), threads, Arc::clone(l)),
+                StageExec::NonLinear(nl) => {
+                    builder.stage(names[i + 1].clone(), threads, Arc::clone(nl))
+                }
+            };
         }
+        if roles[n - 1] != roles[n] {
+            builder = builder.link();
+        }
+        let pipeline =
+            builder.stage(names[n].clone(), self.plan.threads_for(n), last).build()?;
 
-        let mut pipeline = Pipeline::new(specs)?.with_capacity(self.config.link_capacity);
-
-        // Source frames: scaled plaintext tensors (inside the data
-        // provider).
-        let frames: Vec<bytes::Bytes> = inputs
+        // Source messages: scaled plaintext tensors (inside the data
+        // provider, so no serialization before the encrypt stage).
+        let msgs: Vec<PlainTensorMsg> = inputs
             .iter()
             .enumerate()
             .map(|(seq, input)| {
                 let scaled_in = self.scaled.scale_input(input);
-                to_frame(&PlainTensorMsg {
+                PlainTensorMsg {
                     seq: seq as u64,
                     shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
                     values: scaled_in.data().iter().map(|&v| v as i128).collect(),
-                })
+                }
             })
             .collect();
 
-        let (out_frames, stats) = pipeline.process_stream(frames)?;
-        if out_frames.len() != inputs.len() {
+        let (out_msgs, stats) = pipeline.process_stream(msgs)?;
+        if out_msgs.len() != inputs.len() {
             return Err(CoreError::Runtime(format!(
                 "expected {} results, got {}",
                 inputs.len(),
-                out_frames.len()
+                out_msgs.len()
             )));
         }
 
-        let mut outputs = Vec::with_capacity(out_frames.len());
-        for frame in out_frames {
-            let msg: PlainTensorMsg = from_frame(frame)?;
+        let mut outputs = Vec::with_capacity(out_msgs.len());
+        for msg in out_msgs {
             let shape: Vec<usize> = msg.shape.iter().map(|&d| d as usize).collect();
             let values: Vec<i64> = msg
                 .values
@@ -505,10 +555,11 @@ impl PpStream {
             latencies: stats.latencies,
             makespan: stats.makespan,
             link_bytes: stats.link_bytes,
-            intra_stage_bytes: intra.load(Ordering::Relaxed),
+            intra_stage_bytes: execs.intra_total(),
             stage_names: names,
             stage_busy: stats.stage_busy,
-            stage_threads: self.allocation.threads.clone(),
+            stage_threads: self.plan.threads().to_vec(),
+            stages: stats.stages,
         };
         Ok((outputs, report))
     }
@@ -521,7 +572,7 @@ impl PpStream {
         let (outputs, report) = self.infer_stream(inputs)?;
         let classes = outputs
             .iter()
-            .map(|t| pp_nn::activation::argmax_i64(t))
+            .map(pp_nn::activation::argmax_i64)
             .collect();
         Ok((classes, report))
     }
@@ -535,6 +586,21 @@ enum StageExec {
 struct Execs {
     encrypt: Arc<EncryptStage>,
     stages: Vec<StageExec>,
+}
+
+impl Execs {
+    /// Total bytes dispatched to worker threads inside linear stages
+    /// (Sec. IV-D's intra-stage communication), summed over the
+    /// per-stage counters.
+    fn intra_total(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                StageExec::Linear(l) => l.intra_bytes.load(Ordering::Relaxed),
+                StageExec::NonLinear(_) => 0,
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -577,7 +643,7 @@ mod tests {
     fn outputs_match_scaled_reference_exactly() {
         let (_, session) = small_session(2);
         let input = Tensor::from_flat(vec![0.9, -0.1, 0.0, 0.33]);
-        let (outputs, _) = session.infer_stream(&[input.clone()]).unwrap();
+        let (outputs, _) = session.infer_stream(std::slice::from_ref(&input)).unwrap();
         let want = session.scaled.forward_scaled(&session.scaled.scale_input(&input)).unwrap();
         assert_eq!(outputs[0].data(), want.data());
     }
@@ -600,7 +666,7 @@ mod tests {
         cfg.load_balance = false;
         let session = PpStream::new(scaled, cfg).unwrap();
         let input = Tensor::from_flat(vec![0.5, 0.5, -0.5]);
-        let (classes, _) = session.classify_stream(&[input.clone()]).unwrap();
+        let (classes, _) = session.classify_stream(std::slice::from_ref(&input)).unwrap();
         assert_eq!(classes[0], model.classify(&input).unwrap());
     }
 
@@ -615,7 +681,7 @@ mod tests {
         cfg.tensor_partition = false;
         let s1 = PpStream::new(scaled.clone(), cfg).unwrap();
         let s2 = PpStream::new(scaled, PpStreamConfig::small_test(128)).unwrap();
-        let (o1, r1) = s1.infer_stream(&[input.clone()]).unwrap();
+        let (o1, r1) = s1.infer_stream(std::slice::from_ref(&input)).unwrap();
         let (o2, r2) = s2.infer_stream(&[input]).unwrap();
         assert_eq!(o1[0].data(), o2[0].data());
         assert!(
@@ -638,7 +704,7 @@ mod tests {
             (0..36).map(|i| ((i * 7) % 12) as f64 / 12.0 - 0.5).collect(),
         )
         .unwrap();
-        let (outputs, _) = session.infer_stream(&[input.clone()]).unwrap();
+        let (outputs, _) = session.infer_stream(std::slice::from_ref(&input)).unwrap();
         let want = scaled.forward_scaled(&scaled.scale_input(&input)).unwrap();
         assert_eq!(outputs[0].data(), want.data());
     }
@@ -654,7 +720,7 @@ mod tests {
             (0..25).map(|i| ((i * 13) % 10) as f64 / 10.0 - 0.5).collect(),
         )
         .unwrap();
-        let (classes, _) = session.classify_stream(&[input.clone()]).unwrap();
+        let (classes, _) = session.classify_stream(std::slice::from_ref(&input)).unwrap();
         assert_eq!(classes[0], model.classify(&input).unwrap());
     }
 }

@@ -1,11 +1,11 @@
 //! Yao garbled circuits with point-and-permute and free-XOR.
 //!
-//! The garbler draws a global offset `Δ` (with its permute bit forced to
-//! 1) and a label pair `(W, W ⊕ Δ)` per input wire. XOR gates are free
-//! (`C = A ⊕ B`); NOT gates are free (the output labels are the input
-//! pair swapped); AND gates emit a four-row table of
-//! `H(Aᵥ, Bᵥ, gate, row) ⊕ C_{v_a ∧ v_b}`, indexed by the permute bits of
-//! the incoming labels.
+//! The garbler draws a global offset `Δ` (with its permute bit forced
+//! to 1) and a label pair `(W, W ⊕ Δ)` per input wire. XOR gates are
+//! free (`C = A ⊕ B`); NOT gates are free (the output labels are the
+//! input pair swapped); AND gates emit a four-row table of
+//! `H(Aᵥ, Bᵥ, gate, row) ⊕ C_{v_a ∧ v_b}`, indexed by the permute bits
+//! of the incoming labels.
 //!
 //! The evaluator walks the gates with one label per wire and decrypts
 //! exactly one row per AND gate. Output decoding maps each output label's

@@ -155,9 +155,9 @@ impl SecureInference {
                 }
                 let mut out = Vec::with_capacity(out_f);
                 let mut stats = OnlineStats::default();
-                for j in 0..out_f {
+                for (j, &bj) in bias.iter().enumerate().take(out_f) {
                     let mut acc =
-                        Shared::from_private(ring::encode_fixed(bias[j]), Party::P0)
+                        Shared::from_private(ring::encode_fixed(bj), Party::P0)
                             // bias at double scale to match un-truncated products
                             .mul_public(1u64 << ring::FRAC_BITS);
                     for (i, x) in acts.iter().enumerate() {

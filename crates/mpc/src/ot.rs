@@ -202,9 +202,9 @@ fn iknp_extend_with(
     // Sender reconstructs q columns = G(k^{s_i}) ⊕ s_i·u_i.
     let mut t_cols = Vec::with_capacity(KAPPA);
     let mut q_cols = Vec::with_capacity(KAPPA);
-    for i in 0..KAPPA {
-        let g0 = prg(seed_pairs[i].0, prg_offset, words_per_col);
-        let g1 = prg(seed_pairs[i].1, prg_offset, words_per_col);
+    for (i, pair) in seed_pairs.iter().enumerate().take(KAPPA) {
+        let g0 = prg(pair.0, prg_offset, words_per_col);
+        let g1 = prg(pair.1, prg_offset, words_per_col);
         let u: Vec<u64> = g0
             .iter()
             .zip(&g1)
@@ -394,12 +394,12 @@ mod tests {
         let choices: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
         let mut session = IknpSession::new(&mut rng, &mut stats);
         let ots = session.extend(&choices, &mut stats).unwrap();
-        for j in 0..choices.len() {
+        for (j, &choice) in choices.iter().enumerate() {
             let (p0, p1) = ots.sender_pads[j];
-            let want = if choices[j] { p1 } else { p0 };
+            let want = if choice { p1 } else { p0 };
             assert_eq!(ots.receiver_pads[j], want, "OT {j}");
             // And the *other* pad is unknown to the receiver.
-            let other = if choices[j] { p0 } else { p1 };
+            let other = if choice { p0 } else { p1 };
             assert_ne!(ots.receiver_pads[j], other, "OT {j} leaks");
         }
         assert_eq!(stats.base_ots, KAPPA);

@@ -236,16 +236,16 @@ fn dense_backward(
     let (out_f, in_f) = (dims[0], dims[1]);
     let x = input.data();
     let d = delta.data();
-    for j in 0..out_f {
-        grad.bias[j] += d[j];
-        for i in 0..in_f {
-            grad.weights[j * in_f + i] += d[j] * x[i];
+    for (j, &dj) in d.iter().enumerate().take(out_f) {
+        grad.bias[j] += dj;
+        for (i, &xi) in x.iter().enumerate().take(in_f) {
+            grad.weights[j * in_f + i] += dj * xi;
         }
     }
     let mut dx = vec![0.0; in_f];
-    for j in 0..out_f {
-        for i in 0..in_f {
-            dx[i] += d[j] * weights.data()[j * in_f + i];
+    for (j, &dj) in d.iter().enumerate().take(out_f) {
+        for (i, dxi) in dx.iter_mut().enumerate() {
+            *dxi += dj * weights.data()[j * in_f + i];
         }
     }
     Tensor::from_vec(input.shape().clone(), dx).expect("same length")

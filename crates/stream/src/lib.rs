@@ -6,45 +6,53 @@
 //!
 //! The runtime models PP-Stream's execution architecture (paper Fig. 4):
 //!
-//! * a [`pipeline::Pipeline`] is an ordered chain of **stages** (one per
-//!   AF-Stream worker / merged primitive layer), each running on its own
-//!   OS thread, connected by byte-counted **links**;
-//! * inference requests flow through the chain as serialized **frames**
-//!   (tensors of ciphertexts or obfuscated values) — every hop pays real
-//!   serialization/deserialization through the [`wire`] codec, as it
-//!   would over the testbed's 10 Gbps NICs;
+//! * a [`pipeline::TypedPipeline`] is an ordered chain of typed
+//!   [`stage::Stage`]s (one per AF-Stream worker / merged primitive
+//!   layer), each running on its own OS thread and connected by bounded
+//!   channels;
+//! * co-located stages hand **owned messages** straight across the hop;
+//!   hops marked with [`pipeline::PipelineBuilder::link`] are **wire
+//!   boundaries** that serialize through the [`wire`] codec — bytes
+//!   counted per hop, as they would be over the testbed's 10 Gbps NICs;
 //! * inside a stage, a [`pool::WorkerPool`] provides the `y_i` threads
 //!   that PP-Stream's load-balanced resource allocation assigns to the
 //!   stage (Sec. IV-C), over which tensor partitions are parallelized
-//!   (Sec. IV-D).
+//!   (Sec. IV-D); the pool plus per-stage metrics reach the stage via a
+//!   [`stage::StageContext`].
 //!
 //! Pipelining is where the performance comes from: with `k` stages,
 //! request `j+1` occupies stage 1 while request `j` is in stage 2 —
 //! the Exp#2 speed-up over the centralized `CipherBase`.
 //!
 //! ```
-//! use pp_stream_runtime::{Pipeline, StageSpec};
-//! use pp_stream_runtime::wire::{from_frame, to_frame};
+//! use pp_stream_runtime::{stage_fn, StageContext, TypedPipeline};
 //!
-//! let double = StageSpec::new("double", 2, |frame, _pool| {
-//!     let v: u64 = from_frame(frame)?;
-//!     Ok(to_frame(&(v * 2)))
-//! });
-//! let mut pipeline = Pipeline::new(vec![double]).unwrap();
-//! let (out, stats) = pipeline.process_stream(vec![to_frame(&21u64)]).unwrap();
-//! assert_eq!(from_frame::<u64>(out[0].clone()).unwrap(), 42);
-//! assert_eq!(stats.latencies.len(), 1);
+//! let p = TypedPipeline::<u64, u64>::builder()
+//!     .stage("double", 2, stage_fn(|v: u64, _: &mut StageContext| Ok(v * 2)))
+//!     .link() // wire boundary: serialize, count bytes, deserialize
+//!     .stage("inc", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v + 1)))
+//!     .build()
+//!     .unwrap();
+//! let (out, stats) = p.process_stream(vec![20u64]).unwrap();
+//! assert_eq!(out, vec![41]);
+//! assert_eq!(stats.link_bytes, vec![0, 8, 0]);
+//! assert_eq!(stats.stages.len(), 2);
 //! ```
+//!
+//! The legacy closure-based [`Pipeline`]/[`StageSpec`] API remains as a
+//! shim over the typed engine with every hop a wire boundary.
 
 pub mod link;
 pub mod pipeline;
 pub mod pool;
+pub mod stage;
 pub mod tcp;
 pub mod wire;
 
 pub use link::{Link, LinkStats};
-pub use pipeline::{Pipeline, PipelineStats, StageSpec};
+pub use pipeline::{BoxMsg, Pipeline, PipelineBuilder, PipelineStats, StageSpec, TypedPipeline};
 pub use pool::WorkerPool;
+pub use stage::{stage_fn, FnStage, Stage, StageContext, StageMetrics, StageReport};
 pub use wire::{Decoder, Encoder, WireDecode, WireEncode};
 
 /// Errors from the stream runtime.
@@ -56,6 +64,8 @@ pub enum StreamError {
     Disconnected,
     /// Pipeline construction error.
     Config(String),
+    /// A stage failed while processing a message.
+    Stage(String),
 }
 
 impl std::fmt::Display for StreamError {
@@ -64,6 +74,7 @@ impl std::fmt::Display for StreamError {
             StreamError::Decode(s) => write!(f, "decode error: {s}"),
             StreamError::Disconnected => write!(f, "link disconnected"),
             StreamError::Config(s) => write!(f, "pipeline config error: {s}"),
+            StreamError::Stage(s) => write!(f, "stage error: {s}"),
         }
     }
 }

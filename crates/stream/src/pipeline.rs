@@ -1,23 +1,428 @@
 //! Pipelined stage execution (paper Fig. 4): each stage runs on its own
 //! thread with a private worker pool; inference requests stream through
 //! the chain so consecutive requests overlap across stages.
+//!
+//! Stages are typed [`Stage`] implementations chained by a typestate
+//! [`PipelineBuilder`]: `.stage()` appends a stage whose input type must
+//! equal the chain's current message type, `.link()` marks the hop after
+//! the latest stage as a **wire boundary** (the message is serialized on
+//! the sender thread, its bytes counted, and deserialized on the
+//! receiver thread — the cost a real deployment pays between servers).
+//! Hops *not* marked with `.link()` hand the owned message over directly,
+//! so co-located stages skip serialization entirely.
+//!
+//! The legacy closure-based [`Pipeline`]/[`StageSpec`] API is kept as a
+//! thin shim over the typed engine with every hop a wire boundary,
+//! preserving its original byte-accounting semantics.
 
-use crate::link::{Frame, Link, LinkReceiver, LinkSender, LinkStats};
 use crate::pool::WorkerPool;
+use crate::stage::{Stage, StageContext, StageMetrics, StageReport};
+use crate::wire::{from_frame, to_frame, WireDecode, WireEncode};
 use crate::StreamError;
 use bytes::Bytes;
+use std::any::Any;
 use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A stage handler: transforms one serialized frame payload into the next
-/// stage's payload, using the stage's worker pool for data parallelism.
-/// A returned error stops the pipeline cleanly: upstream stages drain,
-/// and [`Pipeline::process_stream`] reports the failing stage.
+/// Type-erased message travelling an owned (co-located) hop.
+pub type BoxMsg = Box<dyn Any + Send>;
+
+type MsgRunFn = Box<dyn Fn(BoxMsg, &mut StageContext) -> Result<BoxMsg, StreamError> + Send + Sync>;
+type MsgEncodeFn = Box<dyn Fn(BoxMsg) -> Bytes + Send + Sync>;
+type MsgDecodeFn = Box<dyn Fn(Bytes) -> Result<BoxMsg, StreamError> + Send + Sync>;
+
+/// What travels a hop: an owned message (co-located stages) or a
+/// serialized frame (wire boundary).
+enum Payload {
+    Owned(BoxMsg),
+    Wire(Bytes),
+}
+
+/// One in-flight message plus the instant it was enqueued, from which the
+/// receiving stage derives queue-wait time.
+struct Envelope {
+    seq: u64,
+    sent_at: Instant,
+    payload: Payload,
+}
+
+/// A type-erased stage plus its hop codecs, as assembled by the builder.
+struct StageSlot {
+    name: String,
+    threads: usize,
+    /// Present iff the hop *into* this stage is a wire boundary.
+    in_decode: Option<MsgDecodeFn>,
+    run: MsgRunFn,
+    /// Present iff the hop *out of* this stage is a wire boundary.
+    out_encode: Option<MsgEncodeFn>,
+}
+
+/// Typestate builder for a [`TypedPipeline`]: `In` is the pipeline input
+/// type, `Cur` the message type at the current end of the chain.
+pub struct PipelineBuilder<In, Cur> {
+    slots: Vec<StageSlot>,
+    /// Present iff `.link()` was called before the first stage: the
+    /// source serializes inputs before injecting them.
+    source_encode: Option<MsgEncodeFn>,
+    /// Decode half of the most recent `.link()`, consumed by the next
+    /// `.stage()` (or by `.build()` as the sink decoder).
+    pending_decode: Option<MsgDecodeFn>,
+    capacity: usize,
+    _marker: PhantomData<fn(In) -> Cur>,
+}
+
+impl<In: Send + 'static> PipelineBuilder<In, In> {
+    /// Starts an empty chain whose first stage consumes `In`.
+    pub fn new() -> Self {
+        PipelineBuilder {
+            slots: Vec::new(),
+            source_encode: None,
+            pending_decode: None,
+            capacity: 4,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<In: Send + 'static> Default for PipelineBuilder<In, In> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
+    /// Appends a stage. Its input type must be the chain's current
+    /// message type; the chain advances to the stage's output type.
+    pub fn stage<S>(
+        mut self,
+        name: impl Into<String>,
+        threads: usize,
+        stage: S,
+    ) -> PipelineBuilder<In, S::Out>
+    where
+        S: Stage<In = Cur> + 'static,
+    {
+        let run: MsgRunFn = Box::new(move |msg, cx| {
+            let input = msg
+                .downcast::<Cur>()
+                .expect("builder typestate guarantees the hop message type");
+            Ok(Box::new(stage.process(*input, cx)?) as BoxMsg)
+        });
+        self.slots.push(StageSlot {
+            name: name.into(),
+            threads: threads.max(1),
+            in_decode: self.pending_decode.take(),
+            run,
+            out_encode: None,
+        });
+        PipelineBuilder {
+            slots: self.slots,
+            source_encode: self.source_encode,
+            pending_decode: None,
+            capacity: self.capacity,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Marks the hop after the latest stage (or the source hop, if no
+    /// stage has been added yet) as a wire boundary: the current message
+    /// type is serialized on the sender thread — bytes counted into the
+    /// hop's `link_bytes` entry — and deserialized on the receiver.
+    pub fn link(mut self) -> Self
+    where
+        Cur: WireEncode + WireDecode,
+    {
+        let encode: MsgEncodeFn = Box::new(|msg| {
+            let v = msg
+                .downcast::<Cur>()
+                .expect("builder typestate guarantees the hop message type");
+            to_frame(&*v)
+        });
+        let decode: MsgDecodeFn =
+            Box::new(|bytes| Ok(Box::new(from_frame::<Cur>(bytes)?) as BoxMsg));
+        match self.slots.last_mut() {
+            Some(last) => last.out_encode = Some(encode),
+            None => self.source_encode = Some(encode),
+        }
+        self.pending_decode = Some(decode);
+        self
+    }
+
+    /// Overrides the per-hop buffering capacity (default 4).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Finalizes the chain. Fails if no stage was added.
+    pub fn build(self) -> Result<TypedPipeline<In, Cur>, StreamError> {
+        if self.slots.is_empty() {
+            return Err(StreamError::Config("pipeline needs at least one stage".into()));
+        }
+        Ok(TypedPipeline {
+            slots: self.slots,
+            source_encode: self.source_encode,
+            sink_decode: self.pending_decode,
+            capacity: self.capacity,
+            _marker: PhantomData,
+        })
+    }
+}
+
+/// Execution statistics of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// Per-request latency (source injection → sink arrival), in request
+    /// order.
+    pub latencies: Vec<Duration>,
+    /// Wall-clock time from first injection to last arrival.
+    pub makespan: Duration,
+    /// Bytes transferred per hop (`n_stages + 1` entries: source → s0,
+    /// s0 → s1, …, s_last → sink). Owned hops carry no serialized bytes
+    /// and report 0.
+    pub link_bytes: Vec<u64>,
+    /// Per-stage busy time (sum of handler execution times).
+    pub stage_busy: Vec<Duration>,
+    /// Per-stage metrics: items in/out, serialized bytes, compute time,
+    /// queue wait, errors.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineStats {
+    /// Mean request latency; zero when no request completed.
+    pub fn mean_latency(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
+    }
+
+    /// Total bytes over all hops.
+    pub fn total_bytes(&self) -> u64 {
+        self.link_bytes.iter().sum()
+    }
+}
+
+/// A built chain of typed stages connected by bounded channels.
+pub struct TypedPipeline<In, Out> {
+    slots: Vec<StageSlot>,
+    source_encode: Option<MsgEncodeFn>,
+    sink_decode: Option<MsgDecodeFn>,
+    capacity: usize,
+    _marker: PhantomData<fn(In) -> Out>,
+}
+
+impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
+    /// Starts a builder for a pipeline consuming `In`.
+    pub fn builder() -> PipelineBuilder<In, In> {
+        PipelineBuilder::new()
+    }
+
+    /// Number of stages in the chain.
+    pub fn n_stages(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Streams `inputs` through the pipeline, returning the outputs in
+    /// request order together with run statistics. Fails with the first
+    /// stage error, naming the stage.
+    ///
+    /// Stages run on dedicated threads for the duration of the call;
+    /// requests are injected back-to-back, so with `k` stages up to `k`
+    /// requests execute concurrently — the pipelining the paper's Exp#2
+    /// measures. On a stage error the chain drains cleanly: upstream
+    /// senders observe the closed channel and stop, all stage threads
+    /// join before this returns.
+    pub fn process_stream(
+        &self,
+        inputs: Vec<In>,
+    ) -> Result<(Vec<Out>, PipelineStats), StreamError> {
+        let n_stages = self.slots.len();
+        let hop_bytes: Vec<Arc<AtomicU64>> =
+            (0..=n_stages).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let metrics: Vec<Arc<StageMetrics>> =
+            (0..n_stages).map(|_| Arc::new(StageMetrics::default())).collect();
+
+        let mut senders: Vec<Option<crossbeam::channel::Sender<Envelope>>> =
+            Vec::with_capacity(n_stages + 1);
+        let mut receivers: Vec<Option<crossbeam::channel::Receiver<Envelope>>> =
+            Vec::with_capacity(n_stages + 1);
+        for _ in 0..=n_stages {
+            let (tx, rx) = crossbeam::channel::bounded(self.capacity);
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+
+        let start = Instant::now();
+
+        let failure: Arc<parking_lot::Mutex<Option<(String, StreamError)>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        std::thread::scope(|scope| {
+            // Spawn stage threads.
+            let mut busy_handles = Vec::with_capacity(n_stages);
+            for (i, slot) in self.slots.iter().enumerate() {
+                let rx = receivers[i].take().expect("receiver unused");
+                let tx = senders[i + 1].take().expect("sender unused");
+                let failure = Arc::clone(&failure);
+                let m = Arc::clone(&metrics[i]);
+                let out_hop = Arc::clone(&hop_bytes[i + 1]);
+                let handle = scope.spawn(move || {
+                    let pool = WorkerPool::new(slot.threads);
+                    let mut busy = Duration::ZERO;
+                    while let Ok(env) = rx.recv() {
+                        m.queue_wait_ns
+                            .fetch_add(env.sent_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        m.items_in.fetch_add(1, Ordering::Relaxed);
+                        let t0 = Instant::now();
+                        // Decode (wire hop only) + process + encode (wire
+                        // hop only) all count as this stage's compute.
+                        let step = (|| -> Result<Payload, StreamError> {
+                            let msg: BoxMsg = match env.payload {
+                                Payload::Owned(b) => b,
+                                Payload::Wire(bytes) => {
+                                    let decode = slot
+                                        .in_decode
+                                        .as_ref()
+                                        .expect("wire payload only arrives on linked hops");
+                                    decode(bytes)?
+                                }
+                            };
+                            let mut cx = StageContext::new(&pool, &m);
+                            let out = (slot.run)(msg, &mut cx)?;
+                            Ok(match &slot.out_encode {
+                                Some(encode) => {
+                                    let bytes = encode(out);
+                                    out_hop.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                                    m.bytes_serialized
+                                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                                    Payload::Wire(bytes)
+                                }
+                                None => Payload::Owned(out),
+                            })
+                        })();
+                        let elapsed = t0.elapsed();
+                        busy += elapsed;
+                        m.compute_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                        match step {
+                            Ok(payload) => {
+                                m.items_out.fetch_add(1, Ordering::Relaxed);
+                                let env =
+                                    Envelope { seq: env.seq, sent_at: Instant::now(), payload };
+                                if tx.send(env).is_err() {
+                                    break; // sink gone
+                                }
+                            }
+                            Err(e) => {
+                                // Record the first failure and stop this
+                                // stage; dropping rx/tx unwinds the chain.
+                                m.errors.fetch_add(1, Ordering::Relaxed);
+                                failure.lock().get_or_insert((slot.name.clone(), e));
+                                break;
+                            }
+                        }
+                    }
+                    busy
+                });
+                busy_handles.push(handle);
+            }
+
+            // Source: inject requests from a dedicated thread so the
+            // sink below drains concurrently — injecting and collecting
+            // on one thread would deadlock once the bounded hops fill.
+            let source = senders[0].take().expect("source sender");
+            let source_hop = Arc::clone(&hop_bytes[0]);
+            let source_encode = &self.source_encode;
+            let source_handle = scope.spawn(move || {
+                let mut inject_times: HashMap<u64, Instant> = HashMap::new();
+                for (seq, input) in inputs.into_iter().enumerate() {
+                    let payload = match source_encode {
+                        Some(encode) => {
+                            let bytes = encode(Box::new(input) as BoxMsg);
+                            source_hop.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                            Payload::Wire(bytes)
+                        }
+                        None => Payload::Owned(Box::new(input)),
+                    };
+                    inject_times.insert(seq as u64, Instant::now());
+                    let env = Envelope { seq: seq as u64, sent_at: Instant::now(), payload };
+                    if source.send(env).is_err() {
+                        break; // chain collapsed after a stage failure
+                    }
+                }
+                inject_times // sender drops here, closing the chain head
+            });
+
+            // Sink: collect everything.
+            let sink = receivers[n_stages].take().expect("sink receiver");
+            let mut arrived: Vec<(u64, Out, Instant)> = Vec::new();
+            while let Ok(env) = sink.recv() {
+                let at = Instant::now();
+                let msg: BoxMsg = match env.payload {
+                    Payload::Owned(b) => b,
+                    Payload::Wire(bytes) => {
+                        let decode = self
+                            .sink_decode
+                            .as_ref()
+                            .expect("wire payload only arrives on linked hops");
+                        match decode(bytes) {
+                            Ok(msg) => msg,
+                            Err(e) => {
+                                failure.lock().get_or_insert(("sink".into(), e));
+                                break;
+                            }
+                        }
+                    }
+                };
+                let out = *msg
+                    .downcast::<Out>()
+                    .expect("builder typestate guarantees the sink message type");
+                arrived.push((env.seq, out, at));
+            }
+            // Drop the sink receiver before joining: if the loop broke on
+            // a decode failure, stages still sending must observe the
+            // closed hop rather than block forever.
+            drop(sink);
+
+            let makespan = start.elapsed();
+            let inject_times = source_handle.join().expect("source thread");
+            let stage_busy: Vec<Duration> =
+                busy_handles.into_iter().map(|h| h.join().expect("stage thread")).collect();
+
+            if let Some((stage, err)) = failure.lock().take() {
+                return Err(StreamError::Config(format!("stage {stage:?} failed: {err}")));
+            }
+
+            arrived.sort_by_key(|(seq, _, _)| *seq);
+            let latencies =
+                arrived.iter().map(|(seq, _, at)| *at - inject_times[seq]).collect();
+            let outputs = arrived.into_iter().map(|(_, out, _)| out).collect();
+            let link_bytes = hop_bytes.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            let stages = self
+                .slots
+                .iter()
+                .zip(&metrics)
+                .map(|(s, m)| m.report(s.name.clone(), s.threads))
+                .collect();
+
+            Ok((
+                outputs,
+                PipelineStats { latencies, makespan, link_bytes, stage_busy, stages },
+            ))
+        })
+    }
+}
+
+/// A stage handler in the legacy closure API: transforms one serialized
+/// frame payload into the next stage's payload, using the stage's worker
+/// pool for data parallelism.
 pub type StageFn =
     Box<dyn Fn(Bytes, &WorkerPool) -> Result<Bytes, StreamError> + Send + Sync + 'static>;
 
-/// Specification of one pipeline stage.
+/// Specification of one legacy (frame → frame) pipeline stage. Also a
+/// [`Stage`] over `Bytes`, so specs drop into typed chains.
 pub struct StageSpec {
     /// Human-readable name (e.g. `"linear-0 @ model-server-1"`).
     pub name: String,
@@ -38,39 +443,21 @@ impl StageSpec {
     }
 }
 
-/// Execution statistics of one pipeline run.
-#[derive(Clone, Debug)]
-pub struct PipelineStats {
-    /// Per-request latency (source injection → sink arrival), in request
-    /// order.
-    pub latencies: Vec<Duration>,
-    /// Wall-clock time from first injection to last arrival.
-    pub makespan: Duration,
-    /// Bytes transferred per link (between stage `i` and `i+1`).
-    pub link_bytes: Vec<u64>,
-    /// Per-stage busy time (sum of handler execution times).
-    pub stage_busy: Vec<Duration>,
-}
+impl Stage for StageSpec {
+    type In = Bytes;
+    type Out = Bytes;
 
-impl PipelineStats {
-    /// Mean request latency.
-    pub fn mean_latency(&self) -> Duration {
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
-    }
-
-    /// Total bytes over all links.
-    pub fn total_bytes(&self) -> u64 {
-        self.link_bytes.iter().sum()
+    fn process(&self, msg: Bytes, cx: &mut StageContext) -> Result<Bytes, StreamError> {
+        (self.handler)(msg, cx.pool())
     }
 }
 
-/// A chain of stages connected by links.
+/// Legacy chain of frame → frame stages: a shim over [`TypedPipeline`]
+/// with *every* hop a wire boundary, so each of the `n_stages + 1` hops
+/// counts its frame bytes exactly as the original link-based runtime did.
 pub struct Pipeline {
-    stages: Vec<StageSpec>,
-    /// In-flight frames per link before backpressure.
+    stages: Vec<Arc<StageSpec>>,
+    /// In-flight frames per hop before backpressure.
     capacity: usize,
 }
 
@@ -80,120 +467,35 @@ impl Pipeline {
         if stages.is_empty() {
             return Err(StreamError::Config("pipeline needs at least one stage".into()));
         }
-        Ok(Pipeline { stages, capacity: 4 })
+        Ok(Pipeline { stages: stages.into_iter().map(Arc::new).collect(), capacity: 4 })
     }
 
-    /// Overrides the per-link buffering capacity.
+    /// Overrides the per-hop buffering capacity.
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity.max(1);
         self
     }
 
-    /// Streams `inputs` through the pipeline, returning the output frames
-    /// in request order together with run statistics. Fails with the
-    /// first stage error, naming the stage.
-    ///
-    /// Stages run on dedicated threads for the duration of the call;
-    /// requests are injected back-to-back, so with `k` stages up to `k`
-    /// requests execute concurrently — the pipelining the paper's Exp#2
-    /// measures.
+    /// Streams `inputs` through the pipeline; see
+    /// [`TypedPipeline::process_stream`].
     pub fn process_stream(
         &mut self,
         inputs: Vec<Bytes>,
     ) -> Result<(Vec<Bytes>, PipelineStats), StreamError> {
-        let n_stages = self.stages.len();
-        // Build the chain of links: source → s0 → s1 → … → sink.
-        let mut links: Vec<Link> = (0..=n_stages).map(|_| Link::new(self.capacity)).collect();
-        let link_stats: Vec<Arc<LinkStats>> = links.iter().map(Link::stats).collect();
-        let mut senders: Vec<Option<LinkSender>> = Vec::with_capacity(n_stages + 1);
-        let mut receivers: Vec<Option<LinkReceiver>> = Vec::with_capacity(n_stages + 1);
-        for link in links.drain(..) {
-            let (tx, rx) = link.split();
-            senders.push(Some(tx));
-            receivers.push(Some(rx));
+        let mut builder =
+            PipelineBuilder::<Bytes, Bytes>::new().with_capacity(self.capacity).link();
+        for spec in &self.stages {
+            builder =
+                builder.stage(spec.name.clone(), spec.threads, Arc::clone(spec)).link();
         }
-
-        let start = Instant::now();
-        let mut inject_times: HashMap<u64, Instant> = HashMap::new();
-
-        let failure: Arc<parking_lot::Mutex<Option<(String, StreamError)>>> =
-            Arc::new(parking_lot::Mutex::new(None));
-        std::thread::scope(|scope| {
-            // Spawn stage threads.
-            let mut busy_handles = Vec::with_capacity(n_stages);
-            for (i, spec) in self.stages.iter().enumerate() {
-                let rx = receivers[i].take().expect("receiver unused");
-                let tx = senders[i + 1].take().expect("sender unused");
-                let handler = &spec.handler;
-                let threads = spec.threads;
-                let name = spec.name.clone();
-                let failure = Arc::clone(&failure);
-                let handle = scope.spawn(move || {
-                    let pool = WorkerPool::new(threads);
-                    let mut busy = Duration::ZERO;
-                    while let Some(frame) = rx.recv() {
-                        let t0 = Instant::now();
-                        let out = match handler(frame.payload, &pool) {
-                            Ok(out) => out,
-                            Err(e) => {
-                                // Record the first failure and stop this
-                                // stage; dropping tx unwinds the chain.
-                                failure.lock().get_or_insert((name.clone(), e));
-                                break;
-                            }
-                        };
-                        busy += t0.elapsed();
-                        if !tx.send(Frame { seq: frame.seq, payload: out }) {
-                            break; // sink gone
-                        }
-                    }
-                    busy
-                });
-                busy_handles.push(handle);
-            }
-
-            // Source: inject all requests (blocking on backpressure).
-            let source = senders[0].take().expect("source sender");
-            for (seq, payload) in inputs.into_iter().enumerate() {
-                inject_times.insert(seq as u64, Instant::now());
-                source.send(Frame { seq: seq as u64, payload });
-            }
-            drop(source); // close the chain head
-
-            // Sink: collect everything.
-            let sink = receivers[n_stages].take().expect("sink receiver");
-            let mut arrived: Vec<(u64, Bytes, Instant)> = Vec::new();
-            while let Some(frame) = sink.recv() {
-                arrived.push((frame.seq, frame.payload, Instant::now()));
-            }
-
-            let makespan = start.elapsed();
-            let stage_busy: Vec<Duration> =
-                busy_handles.into_iter().map(|h| h.join().expect("stage thread")).collect();
-
-            if let Some((stage, err)) = failure.lock().take() {
-                return Err(StreamError::Config(format!("stage {stage:?} failed: {err}")));
-            }
-
-            arrived.sort_by_key(|(seq, _, _)| *seq);
-            let latencies = arrived
-                .iter()
-                .map(|(seq, _, at)| *at - inject_times[seq])
-                .collect();
-            let outputs = arrived.into_iter().map(|(_, p, _)| p).collect();
-            let link_bytes = link_stats.iter().map(|s| s.bytes()).collect();
-
-            Ok((
-                outputs,
-                PipelineStats { latencies, makespan, link_bytes, stage_busy },
-            ))
-        })
+        builder.build()?.process_stream(inputs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stage::stage_fn;
     use crate::wire::{from_frame, to_frame};
 
     fn passthrough(name: &str) -> StageSpec {
@@ -234,6 +536,7 @@ mod tests {
     #[test]
     fn empty_pipeline_rejected() {
         assert!(Pipeline::new(vec![]).is_err());
+        assert!(PipelineBuilder::<u64, u64>::new().build().is_err());
     }
 
     #[test]
@@ -304,5 +607,177 @@ mod tests {
             assert!(*l >= Duration::from_millis(9), "latency {l:?}");
         }
         assert!(stats.mean_latency() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn mean_latency_of_empty_run_is_zero() {
+        // Division-by-zero guard: zero completed requests must not panic.
+        let stats = PipelineStats {
+            latencies: vec![],
+            makespan: Duration::ZERO,
+            link_bytes: vec![0, 0],
+            stage_busy: vec![],
+            stages: vec![],
+        };
+        assert_eq!(stats.mean_latency(), Duration::ZERO);
+
+        // And an actual run with zero inputs takes the same path.
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage("id", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v)))
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream(vec![]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(stats.mean_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn typed_owned_hops_move_messages_without_serialization() {
+        // u64 → Vec<u64> → String with no .link(): every hop is owned,
+        // none of the message types even need a wire codec impl.
+        struct Fan;
+        impl Stage for Fan {
+            type In = u64;
+            type Out = Vec<u64>;
+            fn process(&self, v: u64, _: &mut StageContext) -> Result<Vec<u64>, StreamError> {
+                Ok((0..v).collect())
+            }
+        }
+        let p = TypedPipeline::<u64, String>::builder()
+            .stage("fan", 1, Fan)
+            .stage(
+                "fmt",
+                1,
+                stage_fn(|v: Vec<u64>, _: &mut StageContext| Ok(v.len().to_string())),
+            )
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream(vec![3, 7]).unwrap();
+        assert_eq!(out, vec!["3".to_string(), "7".to_string()]);
+        assert_eq!(stats.link_bytes, vec![0, 0, 0], "owned hops serialize nothing");
+        assert_eq!(stats.stages.len(), 2);
+        assert_eq!(stats.stages[0].items_in, 2);
+        assert_eq!(stats.stages[0].items_out, 2);
+        assert_eq!(stats.stages[1].name, "fmt");
+    }
+
+    #[test]
+    fn typed_wire_hop_counts_bytes_only_at_boundary() {
+        // Owned hop into "a", wire boundary between "a" and "b", owned
+        // hop to the sink: only the middle hop carries serialized bytes.
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage("a", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v * 2)))
+            .link()
+            .stage("b", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v + 1)))
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream(vec![10, 20]).unwrap();
+        assert_eq!(out, vec![21, 41]);
+        assert_eq!(stats.link_bytes[0], 0);
+        assert_eq!(stats.link_bytes[1], 2 * 8, "two u64 frames over the wire hop");
+        assert_eq!(stats.link_bytes[2], 0);
+        assert_eq!(stats.stages[0].bytes_serialized, 16, "sender pays the encode");
+        assert_eq!(stats.stages[1].bytes_serialized, 0);
+    }
+
+    #[test]
+    fn typed_source_and_sink_links_serialize_ends() {
+        let p = TypedPipeline::<u64, u64>::builder()
+            .link() // client → first stage
+            .stage("id", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v)))
+            .link() // last stage → client
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream(vec![1, 2, 3]).unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(stats.link_bytes, vec![24, 24]);
+    }
+
+    #[test]
+    fn stage_reports_record_compute_and_queue_wait() {
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "slow",
+                2,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    Ok(v)
+                }),
+            )
+            .build()
+            .unwrap();
+        let (_, stats) = p.process_stream((0..4).collect()).unwrap();
+        let r = &stats.stages[0];
+        assert_eq!(r.name, "slow");
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.items_in, 4);
+        assert_eq!(r.items_out, 4);
+        assert!(r.compute >= Duration::from_millis(4 * 5 - 2), "compute {:?}", r.compute);
+        // Requests are injected back-to-back, so later ones queue while
+        // the first is in the handler.
+        assert!(r.queue_wait > Duration::ZERO, "queue wait {:?}", r.queue_wait);
+        assert_eq!(r.errors, 0);
+    }
+
+    #[test]
+    fn mid_pipeline_error_drains_cleanly_under_backpressure() {
+        // A failing middle stage with a tiny hop capacity and many
+        // in-flight requests: the run must terminate (no deadlock, all
+        // scoped threads join), surface the error, and name the stage.
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage("head", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v)))
+            .stage(
+                "mid",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    if v == 10 {
+                        Err(StreamError::Stage("tensor shape mismatch".into()))
+                    } else {
+                        Ok(v)
+                    }
+                }),
+            )
+            .stage("tail", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v)))
+            .with_capacity(2)
+            .build()
+            .unwrap();
+        let err = p.process_stream((0..50).collect()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("mid"), "error should name the stage: {msg}");
+        assert!(msg.contains("tensor shape mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn error_in_first_stage_with_pending_injections_terminates() {
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "gate",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    if v == 0 {
+                        Err(StreamError::Stage("rejected".into()))
+                    } else {
+                        Ok(v)
+                    }
+                }),
+            )
+            .with_capacity(1)
+            .build()
+            .unwrap();
+        // First request fails while dozens more wait to be injected; the
+        // source must observe the closed channel instead of blocking.
+        let err = p.process_stream((0..64).collect()).unwrap_err();
+        assert!(err.to_string().contains("gate"), "{err}");
+    }
+
+    #[test]
+    fn arc_shared_stage_runs_in_pipeline() {
+        let shared = Arc::new(stage_fn(|v: u64, _: &mut StageContext| Ok(v + 1)));
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage("shared", 1, Arc::clone(&shared))
+            .build()
+            .unwrap();
+        let (out, _) = p.process_stream(vec![41]).unwrap();
+        assert_eq!(out, vec![42]);
     }
 }

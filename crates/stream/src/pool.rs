@@ -3,7 +3,7 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -46,6 +46,11 @@ impl WorkerPool {
     /// worker (PP-Stream's output-tensor partitioning: each thread
     /// produces `1/yᵢ` of the output elements). Results are concatenated
     /// in index order. Blocks until all chunks complete.
+    ///
+    /// A panic inside `f` does not kill the worker thread or hang the
+    /// caller: the panic is caught in the job, the remaining chunks
+    /// still run, and `map_ranges` re-panics on the calling thread once
+    /// every chunk has finished. The pool stays usable afterwards.
     pub fn map_ranges<T, F>(&self, count: usize, f: F) -> Vec<T>
     where
         T: Send + 'static,
@@ -59,6 +64,7 @@ impl WorkerPool {
         let results: Arc<Vec<parking_lot::Mutex<Option<Vec<T>>>>> =
             Arc::new((0..parts).map(|_| parking_lot::Mutex::new(None)).collect());
         let remaining = Arc::new(AtomicUsize::new(parts));
+        let panicked = Arc::new(AtomicBool::new(false));
         let done = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
 
         let chunk = count.div_ceil(parts);
@@ -68,10 +74,16 @@ impl WorkerPool {
             let f = Arc::clone(&f);
             let results = Arc::clone(&results);
             let remaining = Arc::clone(&remaining);
+            let panicked = Arc::clone(&panicked);
             let done = Arc::clone(&done);
             let job: Job = Box::new(move || {
-                let out = f(start..end);
-                *results[p].lock() = Some(out);
+                // Contain a panicking chunk so the worker survives and
+                // the caller is always woken; the payload Vec is simply
+                // never stored.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(start..end))) {
+                    Ok(out) => *results[p].lock() = Some(out),
+                    Err(_) => panicked.store(true, Ordering::Release),
+                }
                 if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let (lock, cvar) = &*done;
                     *lock.lock() = true;
@@ -87,6 +99,10 @@ impl WorkerPool {
             cvar.wait(&mut finished);
         }
         drop(finished);
+
+        if panicked.load(Ordering::Acquire) {
+            panic!("worker job panicked in map_ranges");
+        }
 
         let mut out = Vec::with_capacity(count);
         for cell in results.iter() {
@@ -165,5 +181,55 @@ mod tests {
     fn size_clamped_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn panicking_job_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_ranges(8, |r| {
+                r.map(|i| if i == 5 { panic!("bad chunk") } else { i }).collect::<Vec<_>>()
+            })
+        }));
+        assert!(caught.is_err(), "panic in a job must reach the caller");
+        // Workers caught the panic internally and keep serving jobs.
+        let out = pool.map_ranges(10, |r| r.collect::<Vec<usize>>());
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_in_every_chunk_still_wakes_caller() {
+        let pool = WorkerPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_ranges(4, |_| -> Vec<usize> { panic!("all chunks fail") })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.map_ranges(3, |r| r.collect::<Vec<_>>()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn concurrent_submissions_share_the_pool() {
+        // Several threads issue map_ranges on one pool at once, mixing
+        // empty (count == 0) and count < size submissions with larger
+        // ones; every caller must get its own complete, ordered result.
+        let pool = Arc::new(WorkerPool::new(3));
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for round in 0..20usize {
+                        let count = match (t + round) % 3 {
+                            0 => 0,
+                            1 => 2, // fewer items than workers
+                            _ => 64,
+                        };
+                        let out = pool.map_ranges(count, move |r| {
+                            r.map(|i| i * 7 + t).collect::<Vec<_>>()
+                        });
+                        assert_eq!(out, (0..count).map(|i| i * 7 + t).collect::<Vec<_>>());
+                    }
+                });
+            }
+        });
     }
 }

@@ -1,0 +1,196 @@
+//! Typed stage abstraction: every pipeline stage — protocol stages,
+//! merged encapsulated stages, test fixtures — implements [`Stage`],
+//! a typed `In -> Out` transform executed on the stage's own thread.
+//!
+//! The [`StageContext`] handed to each invocation carries the stage's
+//! [`WorkerPool`] (the `y_i` threads assigned by the load-balanced
+//! allocation, Sec. IV-C) and records per-stage runtime metrics that the
+//! pipeline aggregates into [`StageReport`]s.
+
+use crate::pool::WorkerPool;
+use crate::StreamError;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A typed pipeline stage.
+///
+/// Co-located stages exchange owned `In`/`Out` values directly (no
+/// serialization); only hops explicitly marked as wire boundaries with
+/// [`PipelineBuilder::link`](crate::pipeline::PipelineBuilder::link) pay
+/// the encode/decode cost.
+pub trait Stage: Send + Sync {
+    /// Input message type.
+    type In: Send + 'static;
+    /// Output message type.
+    type Out: Send + 'static;
+
+    /// Transforms one message. A returned error stops the pipeline
+    /// cleanly: upstream stages drain and the error surfaces from
+    /// `process_stream`, naming the stage.
+    fn process(&self, msg: Self::In, cx: &mut StageContext) -> Result<Self::Out, StreamError>;
+}
+
+/// Stages behind `Arc` are stages too — lets the session share one
+/// protocol-stage instance between the pipeline and profiling code.
+impl<S: Stage + ?Sized> Stage for Arc<S> {
+    type In = S::In;
+    type Out = S::Out;
+
+    fn process(&self, msg: Self::In, cx: &mut StageContext) -> Result<Self::Out, StreamError> {
+        (**self).process(msg, cx)
+    }
+}
+
+/// Per-invocation context: the stage's worker pool plus a metrics sink.
+pub struct StageContext<'a> {
+    pool: &'a WorkerPool,
+    metrics: &'a StageMetrics,
+}
+
+impl<'a> StageContext<'a> {
+    /// Builds a context over a pool and metrics sink. Pipelines construct
+    /// this per stage thread; tests and profilers may build their own.
+    pub fn new(pool: &'a WorkerPool, metrics: &'a StageMetrics) -> Self {
+        StageContext { pool, metrics }
+    }
+
+    /// The stage's worker pool (`y_i` threads for tensor parallelism).
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool
+    }
+
+    /// Records bytes the stage serialized internally (e.g. tensor
+    /// partitions dispatched to workers, Sec. IV-D). Wire-hop bytes are
+    /// recorded by the pipeline itself; this is for intra-stage traffic.
+    pub fn record_serialized_bytes(&mut self, n: u64) {
+        self.metrics.bytes_serialized.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Live per-stage counters, updated by the pipeline's stage threads and
+/// via [`StageContext::record_serialized_bytes`].
+#[derive(Default, Debug)]
+pub struct StageMetrics {
+    /// Messages received by the stage.
+    pub items_in: AtomicU64,
+    /// Messages successfully emitted downstream.
+    pub items_out: AtomicU64,
+    /// Bytes serialized on behalf of this stage: wire-hop encodes of its
+    /// output plus intra-stage dispatch bytes recorded by the stage.
+    pub bytes_serialized: AtomicU64,
+    /// Nanoseconds spent in decode + `process` + encode.
+    pub compute_ns: AtomicU64,
+    /// Nanoseconds messages waited in the stage's input queue.
+    pub queue_wait_ns: AtomicU64,
+    /// Number of failed invocations.
+    pub errors: AtomicU64,
+}
+
+impl StageMetrics {
+    /// Snapshots the counters into a report.
+    pub fn report(&self, name: impl Into<String>, threads: usize) -> StageReport {
+        StageReport {
+            name: name.into(),
+            threads,
+            items_in: self.items_in.load(Ordering::Relaxed),
+            items_out: self.items_out.load(Ordering::Relaxed),
+            bytes_serialized: self.bytes_serialized.load(Ordering::Relaxed),
+            compute: Duration::from_nanos(self.compute_ns.load(Ordering::Relaxed)),
+            queue_wait: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregated metrics of one stage over one pipeline run.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Stage name as given to the builder.
+    pub name: String,
+    /// Worker threads the stage ran with.
+    pub threads: usize,
+    /// Messages received.
+    pub items_in: u64,
+    /// Messages emitted downstream.
+    pub items_out: u64,
+    /// Bytes serialized (wire-hop output encodes + intra-stage dispatch).
+    pub bytes_serialized: u64,
+    /// Time spent in decode + `process` + encode.
+    pub compute: Duration,
+    /// Time messages spent queued before this stage.
+    pub queue_wait: Duration,
+    /// Failed invocations (0 or 1 — the pipeline stops on first error).
+    pub errors: u64,
+}
+
+/// A [`Stage`] built from a closure — the quickest way to drop ad-hoc
+/// logic (tests, adapters, format shims) into a typed pipeline.
+pub struct FnStage<In, Out, F> {
+    f: F,
+    _marker: PhantomData<fn(In) -> Out>,
+}
+
+/// Wraps a closure as a [`Stage`].
+pub fn stage_fn<In, Out, F>(f: F) -> FnStage<In, Out, F>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+    F: Fn(In, &mut StageContext) -> Result<Out, StreamError> + Send + Sync,
+{
+    FnStage { f, _marker: PhantomData }
+}
+
+impl<In, Out, F> Stage for FnStage<In, Out, F>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+    F: Fn(In, &mut StageContext) -> Result<Out, StreamError> + Send + Sync,
+{
+    type In = In;
+    type Out = Out;
+
+    fn process(&self, msg: In, cx: &mut StageContext) -> Result<Out, StreamError> {
+        (self.f)(msg, cx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_stage_runs_with_context() {
+        let pool = WorkerPool::new(2);
+        let metrics = StageMetrics::default();
+        let mut cx = StageContext::new(&pool, &metrics);
+        let s = stage_fn(|v: u64, cx: &mut StageContext| {
+            cx.record_serialized_bytes(8);
+            Ok(v * 2)
+        });
+        assert_eq!(s.process(21, &mut cx).unwrap(), 42);
+        assert_eq!(metrics.bytes_serialized.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn arc_stage_delegates() {
+        let pool = WorkerPool::new(1);
+        let metrics = StageMetrics::default();
+        let mut cx = StageContext::new(&pool, &metrics);
+        let s = Arc::new(stage_fn(|v: u64, _: &mut StageContext| Ok(v + 1)));
+        assert_eq!(s.process(1, &mut cx).unwrap(), 2);
+    }
+
+    #[test]
+    fn report_snapshots_counters() {
+        let metrics = StageMetrics::default();
+        metrics.items_in.store(5, Ordering::Relaxed);
+        metrics.compute_ns.store(1_500, Ordering::Relaxed);
+        let r = metrics.report("s0", 3);
+        assert_eq!(r.name, "s0");
+        assert_eq!(r.threads, 3);
+        assert_eq!(r.items_in, 5);
+        assert_eq!(r.compute, Duration::from_nanos(1_500));
+    }
+}

@@ -82,6 +82,12 @@ impl Encoder {
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
     }
+
+    /// Raw bytes with no length prefix — for payloads that occupy the
+    /// rest of the frame (e.g. an already-framed [`Bytes`] value).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
 }
 
 /// Consuming decode cursor over a frame.
@@ -148,6 +154,12 @@ impl Decoder {
     pub fn get_str(&mut self) -> Result<String, StreamError> {
         String::from_utf8(self.get_bytes()?)
             .map_err(|e| StreamError::Decode(format!("invalid utf8: {e}")))
+    }
+
+    /// Takes all remaining bytes, leaving the decoder empty — the
+    /// counterpart of [`Encoder::put_raw`].
+    pub fn take_remaining(&mut self) -> Bytes {
+        std::mem::replace(&mut self.buf, Bytes::new())
     }
 }
 
@@ -249,6 +261,23 @@ impl WireDecode for String {
     }
 }
 
+/// Raw passthrough: a [`Bytes`] value is written verbatim (no length
+/// prefix) and decoded by taking the rest of the frame. This makes
+/// `to_frame`/`from_frame` the identity on `Bytes`, so already-framed
+/// payloads cross wire hops without re-framing overhead. A `Bytes`
+/// field must therefore come last in any composite encoding.
+impl WireEncode for Bytes {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_raw(self);
+    }
+}
+
+impl WireDecode for Bytes {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        Ok(dec.take_remaining())
+    }
+}
+
 /// Convenience: encode a value into a standalone frame.
 pub fn to_frame<T: WireEncode>(value: &T) -> Bytes {
     let mut enc = Encoder::new();
@@ -274,7 +303,7 @@ mod tests {
         enc.put_u64(u64::MAX);
         enc.put_i64(-42);
         enc.put_i128(-(1i128 << 100));
-        enc.put_f64(3.14159);
+        enc.put_f64(1.25);
         enc.put_str("hello");
         let mut dec = Decoder::new(enc.finish());
         assert_eq!(dec.get_u8().unwrap(), 7);
@@ -282,7 +311,7 @@ mod tests {
         assert_eq!(dec.get_u64().unwrap(), u64::MAX);
         assert_eq!(dec.get_i64().unwrap(), -42);
         assert_eq!(dec.get_i128().unwrap(), -(1i128 << 100));
-        assert_eq!(dec.get_f64().unwrap(), 3.14159);
+        assert_eq!(dec.get_f64().unwrap(), 1.25);
         assert_eq!(dec.get_str().unwrap(), "hello");
         assert_eq!(dec.remaining(), 0);
     }

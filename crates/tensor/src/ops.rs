@@ -534,7 +534,7 @@ mod tests {
         let input = Tensor::from_vec(vec![1, 4, 4], (0..16).collect::<Vec<i64>>()).unwrap();
         let out = sum_pool2d(&PlainI64, &input, 2, 2).unwrap();
         assert_eq!(out.shape().dims(), &[1, 2, 2]);
-        assert_eq!(out.data(), &[0 + 1 + 4 + 5, 2 + 3 + 6 + 7, 8 + 9 + 12 + 13, 10 + 11 + 14 + 15]);
+        assert_eq!(out.data(), &[1 + 4 + 5, 2 + 3 + 6 + 7, 8 + 9 + 12 + 13, 10 + 11 + 14 + 15]);
     }
 
     #[test]

@@ -84,7 +84,7 @@ fn main() {
             bytes_seen += frame.payload.len() as u64;
             let msg: EncTensorMsg = from_frame(frame.payload).expect("enc tensor");
             let round = next_round.entry(msg.seq).or_insert(0);
-            let out = linear[*round].process(msg, &pool);
+            let out = linear[*round].execute(msg, &pool).expect("linear round");
             *round += 1;
             let payload = to_frame(&out);
             bytes_seen += payload.len() as u64;
@@ -123,7 +123,7 @@ fn main() {
         );
         let t0 = Instant::now();
         let scaled_in = scaled.scale_input(&input);
-        let mut msg = encrypt.process(
+        let mut msg = encrypt.encrypt(
             pp_stream::messages::PlainTensorMsg {
                 seq,
                 shape: vec![6],
@@ -139,9 +139,9 @@ fn main() {
             let enc: EncTensorMsg = from_frame(reply.payload).expect("enc tensor");
             // … then run our non-linear round on the (permuted) values.
             if nl.is_last {
-                result = Some(nl.process_final(enc, &pool));
+                result = Some(nl.execute_final(enc, &pool));
             } else {
-                msg = nl.process(enc, &pool);
+                msg = nl.execute(enc, &pool);
             }
         }
         let result = result.expect("final round");

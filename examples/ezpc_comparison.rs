@@ -31,10 +31,9 @@ fn main() {
 
     // PP-Stream.
     let scaled = ScaledModel::from_model(&model, 10_000);
-    let mut config = PpStreamConfig::default();
-    config.key_bits = 256;
+    let config = PpStreamConfig { key_bits: 256, ..Default::default() };
     let session = PpStream::new(scaled, config).expect("session");
-    let (classes, report) = session.classify_stream(&[input.clone()]).expect("pp-stream");
+    let (classes, report) = session.classify_stream(std::slice::from_ref(&input)).expect("pp-stream");
     println!("PP-Stream : class {} | latency {:?} | {} B inter-stage traffic", classes[0], report.mean_latency, report.link_bytes.iter().sum::<u64>());
 
     // EzPC-style mini-ABY.

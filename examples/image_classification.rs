@@ -52,9 +52,11 @@ fn main() {
         .collect();
 
     for partition in [true, false] {
-        let mut config = PpStreamConfig::default();
-        config.key_bits = 192;
-        config.tensor_partition = partition;
+        let config = PpStreamConfig {
+            key_bits: 192,
+            tensor_partition: partition,
+            ..Default::default()
+        };
         let session = PpStream::new(scaled.clone(), config).expect("session");
         let (classes, report) = session.classify_stream(&inputs).expect("inference");
         for (input, &c) in inputs.iter().zip(&classes) {

@@ -49,8 +49,7 @@ fn main() {
     let scaled = ScaledModel::from_model(&model, report.factor.max(10));
 
     // Deploy and stream 20 test patients.
-    let mut config = PpStreamConfig::default();
-    config.key_bits = 256;
+    let config = PpStreamConfig { key_bits: 256, ..Default::default() };
     let session = PpStream::new(scaled, config).expect("session");
     let patients: Vec<_> = data.test.iter().take(20).collect();
     let inputs: Vec<_> = patients.iter().map(|(x, _)| x.clone()).collect();

@@ -27,8 +27,8 @@ fn main() {
 
     // 3. Deploy the PP-Stream session: keygen, operation encapsulation,
     //    offline profiling, ILP-based load balancing.
-    let mut config = PpStreamConfig::default();
-    config.key_bits = 256; // demo-sized key; the paper uses 2048
+    // demo-sized key; the paper uses 2048
+    let config = PpStreamConfig { key_bits: 256, ..Default::default() };
     let session = PpStream::new(scaled, config).expect("session");
 
     println!("pipeline stages:");
@@ -36,7 +36,7 @@ fn main() {
         .stages()
         .iter()
         .map(|s| format!("{:?}", s.role))
-        .zip(session.allocation().threads.iter().skip(1))
+        .zip(session.plan().threads().iter().skip(1))
     {
         println!("  {name:<10} × {threads} threads");
     }
@@ -66,4 +66,11 @@ fn main() {
         report.makespan,
         report.link_bytes.iter().sum::<u64>()
     );
+    println!("\nper-stage metrics (from the instrumented runtime):");
+    for s in &report.stages {
+        println!(
+            "  {:<16} compute {:>10?}  queue-wait {:>10?}  {} B serialized",
+            s.name, s.compute, s.queue_wait, s.bytes_serialized
+        );
+    }
 }

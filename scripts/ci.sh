@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 CI gate: release build, test suite, and lint-clean clippy.
+# Run from the repository root:
+#
+#   ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> CI gate passed"

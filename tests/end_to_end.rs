@@ -97,7 +97,7 @@ fn mixed_layer_model_runs_privately() {
     let scaled = ScaledModel::from_model(&model, 1_000);
     let session = PpStream::new(scaled.clone(), PpStreamConfig::small_test(128)).expect("session");
     let input = Tensor::from_flat(vec![0.4, -0.8, 0.2, 0.6]);
-    let (outputs, _) = session.infer_stream(&[input.clone()]).expect("inference");
+    let (outputs, _) = session.infer_stream(std::slice::from_ref(&input)).expect("inference");
     let want = scaled.forward_scaled(&scaled.scale_input(&input)).expect("reference");
     assert_eq!(outputs[0].data(), want.data());
 }

@@ -43,7 +43,7 @@ impl Protocol {
         let mut crossings = Vec::new();
         let enc = EncryptStage { pk: self.kp.public(), seed: 1 ^ seq };
         let scaled_in = self.scaled.scale_input(input);
-        let mut msg = enc.process(
+        let mut msg = enc.encrypt(
             PlainTensorMsg {
                 seq,
                 shape: vec![input.len() as u64],
@@ -69,7 +69,7 @@ impl Protocol {
                         seed: 2,
                         intra_bytes: Arc::new(AtomicU64::new(0)),
                     };
-                    msg = exec.process(msg, &self.pool);
+                    msg = exec.execute(msg, &self.pool).expect("linear round");
                     crossings.push(msg.clone()); // model → data
                     linear_idx += 1;
                 }
@@ -82,7 +82,7 @@ impl Protocol {
                         seed: 3,
                     };
                     if !exec.is_last {
-                        msg = exec.process(msg, &self.pool);
+                        msg = exec.execute(msg, &self.pool);
                         crossings.push(msg.clone()); // data → model
                     }
                 }
