@@ -48,6 +48,7 @@ pub mod baseline;
 pub mod encapsulate;
 mod encctx;
 pub mod messages;
+pub mod net;
 pub mod plan;
 pub mod protocol;
 mod session;
@@ -55,6 +56,7 @@ pub mod simulate;
 
 pub use encapsulate::{encapsulate, MergedStage, StageRole};
 pub use encctx::EncCtx;
+pub use net::{ModelProvider, NetConfig, NetworkedSession, ServeReport, TransportReport};
 pub use plan::{AllocationPlan, PlanSource};
 pub use session::{PpStream, PpStreamConfig, RunReport};
 

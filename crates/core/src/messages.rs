@@ -71,11 +71,118 @@ impl WireDecode for PlainTensorMsg {
     }
 }
 
+/// Version of the two-process deployment protocol (handshake + frame
+/// exchange). Bumped on any wire-incompatible change; peers with
+/// different versions refuse to talk.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Deployment handshake: the data provider's opening message. Carries
+/// everything both sides must agree on before ciphertexts flow —
+/// protocol version, the Paillier public key (with a fingerprint so a
+/// mismatch is reported compactly), and a digest of the merged-stage
+/// topology so a client built against a different model layout fails
+/// fast instead of mid-stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HelloMsg {
+    /// Sender's [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// Paillier public key modulus `n`, big-endian bytes.
+    pub pk_n: Vec<u8>,
+    /// FNV-1a-64 fingerprint of `pk_n` (echoed in [`AcceptMsg`]).
+    pub pk_fingerprint: u64,
+    /// Digest of the merged-stage topology (roles, shapes, op kinds).
+    pub topology: u64,
+    /// Number of merged protocol stages.
+    pub n_stages: u32,
+    /// Fixed-point scaling factor both sides must share.
+    pub factor: i64,
+}
+
+impl WireEncode for HelloMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::Hello as u8);
+        enc.put_u32(self.version);
+        self.pk_n.encode(enc);
+        enc.put_u64(self.pk_fingerprint);
+        enc.put_u64(self.topology);
+        enc.put_u32(self.n_stages);
+        enc.put_i64(self.factor);
+    }
+}
+
+impl WireDecode for HelloMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::Hello)?;
+        Ok(HelloMsg {
+            version: dec.get_u32()?,
+            pk_n: Vec::<u8>::decode(dec)?,
+            pk_fingerprint: dec.get_u64()?,
+            topology: dec.get_u64()?,
+            n_stages: dec.get_u32()?,
+            factor: dec.get_i64()?,
+        })
+    }
+}
+
+/// Deployment handshake: the model provider's acceptance. Echoes the
+/// agreed parameters so the client can double-check the server saw what
+/// it sent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AcceptMsg {
+    pub version: u32,
+    pub pk_fingerprint: u64,
+    pub topology: u64,
+}
+
+impl WireEncode for AcceptMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::Accept as u8);
+        enc.put_u32(self.version);
+        enc.put_u64(self.pk_fingerprint);
+        enc.put_u64(self.topology);
+    }
+}
+
+impl WireDecode for AcceptMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::Accept)?;
+        Ok(AcceptMsg {
+            version: dec.get_u32()?,
+            pk_fingerprint: dec.get_u64()?,
+            topology: dec.get_u64()?,
+        })
+    }
+}
+
+/// Deployment handshake: the model provider's refusal, naming the
+/// mismatch so the operator can fix the deployment instead of guessing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RejectMsg {
+    pub reason: String,
+}
+
+impl WireEncode for RejectMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::Reject as u8);
+        self.reason.encode(enc);
+    }
+}
+
+impl WireDecode for RejectMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::Reject)?;
+        Ok(RejectMsg { reason: String::decode(dec)? })
+    }
+}
+
 /// Message type tags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MsgTag {
     EncTensor = 1,
     PlainTensor = 2,
+    Hello = 3,
+    Accept = 4,
+    Reject = 5,
 }
 
 /// Peeks the tag byte of a frame without consuming the decoder.
@@ -83,6 +190,9 @@ pub fn peek_tag(frame: &bytes::Bytes) -> Option<MsgTag> {
     match frame.first() {
         Some(1) => Some(MsgTag::EncTensor),
         Some(2) => Some(MsgTag::PlainTensor),
+        Some(3) => Some(MsgTag::Hello),
+        Some(4) => Some(MsgTag::Accept),
+        Some(5) => Some(MsgTag::Reject),
         _ => None,
     }
 }
@@ -124,6 +234,29 @@ mod tests {
         };
         let back: PlainTensorMsg = from_frame(to_frame(&msg)).unwrap();
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn handshake_roundtrips() {
+        let hello = HelloMsg {
+            version: PROTOCOL_VERSION,
+            pk_n: vec![0xab; 32],
+            pk_fingerprint: 0xDEAD_BEEF_u64,
+            topology: 77,
+            n_stages: 4,
+            factor: 1 << 13,
+        };
+        let back: HelloMsg = from_frame(to_frame(&hello)).unwrap();
+        assert_eq!(back, hello);
+
+        let accept = AcceptMsg { version: 1, pk_fingerprint: 2, topology: 3 };
+        let back: AcceptMsg = from_frame(to_frame(&accept)).unwrap();
+        assert_eq!(back, accept);
+
+        let reject = RejectMsg { reason: "topology mismatch".into() };
+        let back: RejectMsg = from_frame(to_frame(&reject)).unwrap();
+        assert_eq!(back, reject);
+        assert_eq!(peek_tag(&to_frame(&reject)), Some(MsgTag::Reject));
     }
 
     #[test]

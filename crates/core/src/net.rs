@@ -1,0 +1,766 @@
+//! Two-process networked deployment: the model provider and data
+//! provider as separate processes exchanging [`pp_stream_runtime::link::Frame`]s
+//! over real TCP sockets — the paper's testbed topology (model and data
+//! providers on separate hosts), versus the in-process pipeline of
+//! [`crate::PpStream`].
+//!
+//! ## Roles
+//!
+//! * [`ModelProvider`] — the server. Holds the scaled weights, executes
+//!   the **linear** stages homomorphically under the data provider's
+//!   public key, and manages obfuscation (permutation draw/invert),
+//!   exactly as [`crate::protocol::LinearStage`] does in-process.
+//! * [`NetworkedSession`] — the client (data provider). Holds the
+//!   Paillier keypair and the inputs, runs the encrypt stage and the
+//!   **non-linear** stages locally, and round-trips every linear stage
+//!   through the server.
+//!
+//! ## Handshake
+//!
+//! Before any ciphertext flows the client sends a
+//! [`HelloMsg`](crate::messages::HelloMsg): protocol version, public-key
+//! bytes + fingerprint, and a digest of the merged-stage topology. The
+//! server answers [`AcceptMsg`](crate::messages::AcceptMsg) (echoing the
+//! agreed parameters) or [`RejectMsg`](crate::messages::RejectMsg)
+//! naming the mismatch, so a client built against a different model
+//! layout fails fast with `Transport { kind: Handshake, .. }` instead of
+//! corrupting an inference mid-stream.
+//!
+//! ## Frame exchange
+//!
+//! Each inference request runs the in-process protocol's rounds over the
+//! socket: the client serializes the current
+//! [`EncTensorMsg`](crate::messages::EncTensorMsg) through the wire
+//! codec and ships it in a frame whose transport `seq` is stamped by
+//! [`TcpFrameSender::send_payload`] (strictly increasing per direction,
+//! validated by the receiving side); the request's own `seq` travels
+//! inside the message, decoupled from transport framing. Requests are
+//! processed sequentially in this version — cross-request pipelining
+//! over the socket is future work; the in-process pipeline remains the
+//! throughput path.
+
+use crate::encapsulate::{encapsulate_with, MergedStage, StageRole};
+use crate::messages::{
+    AcceptMsg, EncTensorMsg, HelloMsg, MsgTag, PlainTensorMsg, RejectMsg, PROTOCOL_VERSION,
+};
+use crate::protocol::{EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore};
+use crate::session::RunReport;
+use crate::CoreError;
+use pp_bigint::BigUint;
+use pp_nn::scaling::{ScaledModel, ScaledOp};
+use pp_paillier::{Keypair, PublicKey};
+use pp_stream_runtime::wire::{from_frame, to_frame};
+use pp_stream_runtime::{
+    tcp, StreamError, TcpConfig, TcpFrameReceiver, TcpFrameSender, TransportErrorKind, WorkerPool,
+};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration shared by both ends of a deployment.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Paillier key size in bits (client-side keygen).
+    pub key_bits: usize,
+    /// Determinism seed for keys, permutations, and encryption
+    /// randomness.
+    pub seed: u64,
+    /// Worker threads per side.
+    pub threads: usize,
+    /// Merge adjacent same-type primitive layers (Sec. IV-B). Must match
+    /// between peers — it shapes the topology digest.
+    pub merge_stages: bool,
+    /// Socket knobs: connect retry/backoff, read/write timeouts, seq
+    /// validation.
+    pub tcp: TcpConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            key_bits: 512,
+            seed: 0x9950_57EA,
+            threads: 2,
+            merge_stages: true,
+            tcp: TcpConfig::new(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// A fast configuration for tests: tiny key, short timeouts.
+    pub fn small_test(key_bits: usize) -> Self {
+        NetConfig {
+            key_bits,
+            seed: 42,
+            tcp: TcpConfig::new().with_timeouts(
+                Duration::from_secs(30),
+                Duration::from_secs(30),
+            ),
+            ..Default::default()
+        }
+    }
+}
+
+/// Client-side transport statistics, surfaced through
+/// [`RunReport::transport`] and returned by
+/// [`NetworkedSession::shutdown`].
+#[derive(Clone, Debug, Default)]
+pub struct TransportReport {
+    /// Frames sent to the model provider.
+    pub frames_sent: u64,
+    /// Frames received from the model provider.
+    pub frames_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Connection attempts the retry loop used (1 = first try).
+    pub connect_attempts: u32,
+    /// Whether the connection ended without a transport error.
+    pub clean_shutdown: bool,
+}
+
+/// Server-side statistics for one served connection.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Inference requests completed (distinct request seqs finished).
+    pub requests: u64,
+    /// Frames received from the data provider (handshake included).
+    pub frames_in: u64,
+    /// Frames sent to the data provider.
+    pub frames_out: u64,
+    /// Payload bytes received.
+    pub bytes_in: u64,
+    /// Payload bytes sent.
+    pub bytes_out: u64,
+    /// True when the client closed the connection between frames (a
+    /// mid-frame disconnect is an error, not a clean shutdown).
+    pub clean_shutdown: bool,
+}
+
+/// FNV-1a 64-bit — stable, dependency-free fingerprint for handshake
+/// digests (not cryptographic; the handshake detects misconfiguration,
+/// not adversaries).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of a public key's modulus bytes.
+pub fn pk_fingerprint(pk_n: &[u8]) -> u64 {
+    fnv1a64(pk_n)
+}
+
+/// Digest of the merged-stage topology: stage roles, shapes, op kinds
+/// and their cheap structural parameters (window sizes, rescales, weight
+/// element counts) — **not** the weight values, which never leave the
+/// model provider. Two peers agree on this digest iff they encapsulated
+/// the same model architecture at the same scaling factor.
+pub fn topology_digest(stages: &[MergedStage], factor: i64) -> u64 {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&factor.to_le_bytes());
+    buf.extend_from_slice(&(stages.len() as u64).to_le_bytes());
+    for stage in stages {
+        buf.push(match stage.role {
+            StageRole::Linear => 1,
+            StageRole::NonLinear => 2,
+        });
+        for shape in [&stage.input_shape, &stage.output_shape] {
+            buf.extend_from_slice(&(shape.dims().len() as u64).to_le_bytes());
+            for &d in shape.dims() {
+                buf.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(stage.ops.len() as u64).to_le_bytes());
+        for op in &stage.ops {
+            match op {
+                ScaledOp::Conv2d { weights, bias, .. } => {
+                    buf.push(1);
+                    buf.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(&(bias.len() as u64).to_le_bytes());
+                }
+                ScaledOp::Dense { weights, bias } => {
+                    buf.push(2);
+                    buf.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+                    buf.extend_from_slice(&(bias.len() as u64).to_le_bytes());
+                }
+                ScaledOp::Affine { scale, .. } => {
+                    buf.push(3);
+                    buf.extend_from_slice(&(scale.len() as u64).to_le_bytes());
+                }
+                ScaledOp::ScaleMul { alpha } => {
+                    buf.push(4);
+                    buf.extend_from_slice(&alpha.to_le_bytes());
+                }
+                ScaledOp::ReLU { rescale } => {
+                    buf.push(5);
+                    buf.extend_from_slice(&rescale.to_le_bytes());
+                }
+                ScaledOp::Sigmoid { rescale } => {
+                    buf.push(6);
+                    buf.extend_from_slice(&rescale.to_le_bytes());
+                }
+                ScaledOp::SoftMax { rescale } => {
+                    buf.push(7);
+                    buf.extend_from_slice(&rescale.to_le_bytes());
+                }
+                ScaledOp::MaxPool { window, stride, rescale } => {
+                    buf.push(8);
+                    buf.extend_from_slice(&(*window as u64).to_le_bytes());
+                    buf.extend_from_slice(&(*stride as u64).to_le_bytes());
+                    buf.extend_from_slice(&rescale.to_le_bytes());
+                }
+                ScaledOp::SumPool { window, stride } => {
+                    buf.push(9);
+                    buf.extend_from_slice(&(*window as u64).to_le_bytes());
+                    buf.extend_from_slice(&(*stride as u64).to_le_bytes());
+                }
+                ScaledOp::Flatten => buf.push(10),
+            }
+        }
+    }
+    fnv1a64(&buf)
+}
+
+fn handshake_err(context: impl Into<String>) -> StreamError {
+    StreamError::transport(TransportErrorKind::Handshake, context)
+}
+
+// ---------------------------------------------------------------------------
+// Model provider (server)
+// ---------------------------------------------------------------------------
+
+/// The model-provider server: serves the linear stages of one scaled
+/// model over a framed TCP connection.
+pub struct ModelProvider {
+    stages: Vec<MergedStage>,
+    topology: u64,
+    factor: i64,
+    seed: u64,
+    pool: WorkerPool,
+    tcp: TcpConfig,
+}
+
+impl ModelProvider {
+    /// Encapsulates the model into merged stages and prepares the server.
+    pub fn new(model: &ScaledModel, config: &NetConfig) -> Result<Self, CoreError> {
+        let stages = encapsulate_with(model, config.merge_stages)?;
+        let topology = topology_digest(&stages, model.factor());
+        Ok(ModelProvider {
+            stages,
+            topology,
+            factor: model.factor(),
+            seed: config.seed,
+            pool: WorkerPool::new(config.threads.max(1)),
+            tcp: config.tcp.clone(),
+        })
+    }
+
+    /// The topology digest clients must present.
+    pub fn topology(&self) -> u64 {
+        self.topology
+    }
+
+    /// Binds `addr` and serves exactly one client connection to
+    /// completion. Returns the bound address alongside the report so
+    /// `127.0.0.1:0` callers can learn the assigned port — though for
+    /// that pattern [`ModelProvider::serve_listener`] with a pre-bound
+    /// listener avoids the race entirely.
+    pub fn serve_once(
+        &self,
+        addr: impl ToSocketAddrs,
+    ) -> Result<(ServeReport, std::net::SocketAddr), CoreError> {
+        let listener = TcpListener::bind(addr).map_err(|e| {
+            CoreError::from(StreamError::transport(TransportErrorKind::Bind, format!("bind: {e}")))
+        })?;
+        let local = listener.local_addr().map_err(|e| {
+            CoreError::from(StreamError::transport(
+                TransportErrorKind::Bind,
+                format!("local addr: {e}"),
+            ))
+        })?;
+        let report = self.serve_listener(&listener)?;
+        Ok((report, local))
+    }
+
+    /// Accepts one client on a pre-bound listener and serves it to
+    /// completion: handshake, then one reply frame per linear-stage
+    /// request frame, until the client closes the connection.
+    pub fn serve_listener(&self, listener: &TcpListener) -> Result<ServeReport, CoreError> {
+        let (mut tx, mut rx) = tcp::accept_on(listener, &self.tcp)?;
+        let mut report = ServeReport::default();
+
+        // --- Handshake -----------------------------------------------------
+        let hello_frame = rx
+            .recv()
+            .map_err(|e| e.at_stage("handshake"))?
+            .ok_or_else(|| handshake_err("client closed before sending hello"))?;
+        report.frames_in += 1;
+        report.bytes_in += hello_frame.payload.len() as u64;
+        let hello: HelloMsg = from_frame(hello_frame.payload)
+            .map_err(|_| handshake_err("first frame was not a hello message"))?;
+
+        if let Some(reason) = self.validate_hello(&hello) {
+            // The report is discarded on the error path, so no counting.
+            let payload = to_frame(&RejectMsg { reason: reason.clone() });
+            tx.send_payload(payload).map_err(|e| e.at_stage("handshake reject"))?;
+            return Err(CoreError::from(handshake_err(format!("rejected client: {reason}"))));
+        }
+
+        let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
+        let accept = to_frame(&AcceptMsg {
+            version: PROTOCOL_VERSION,
+            pk_fingerprint: hello.pk_fingerprint,
+            topology: self.topology,
+        });
+        report.bytes_out += accept.len() as u64;
+        report.frames_out += 1;
+        tx.send_payload(accept).map_err(|e| e.at_stage("handshake accept"))?;
+
+        // --- Serve linear rounds ------------------------------------------
+        let execs = self.build_linear_execs(&pk);
+        let n_linear = execs.len();
+        // Requests arrive with their linear rounds in order; track each
+        // request's next round index.
+        let mut next_round: HashMap<u64, usize> = HashMap::new();
+
+        loop {
+            let frame = match rx.recv().map_err(|e| e.at_stage("linear request"))? {
+                Some(f) => f,
+                None => {
+                    report.clean_shutdown = true;
+                    return Ok(report);
+                }
+            };
+            report.frames_in += 1;
+            report.bytes_in += frame.payload.len() as u64;
+            let msg: EncTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
+
+            let round = *next_round.entry(msg.seq).or_insert(0);
+            if round >= n_linear {
+                let err = StreamError::Stage(format!(
+                    "request {} sent more linear rounds than the model has ({n_linear})",
+                    msg.seq
+                ));
+                return Err(CoreError::from(err));
+            }
+            let seq = msg.seq;
+            let out = execs[round].execute(msg, &self.pool).map_err(CoreError::from)?;
+            if round + 1 == n_linear {
+                next_round.remove(&seq);
+                report.requests += 1;
+            } else {
+                next_round.insert(seq, round + 1);
+            }
+
+            let payload = to_frame(&out);
+            report.bytes_out += payload.len() as u64;
+            report.frames_out += 1;
+            tx.send_payload(payload)
+                .map_err(|e| e.at_stage(&format!("linear-{round} reply for request {seq}")))?;
+        }
+    }
+
+    /// `None` when the hello is acceptable, otherwise the rejection
+    /// reason sent back to the client.
+    fn validate_hello(&self, hello: &HelloMsg) -> Option<String> {
+        if hello.version != PROTOCOL_VERSION {
+            return Some(format!(
+                "protocol version mismatch: server speaks {PROTOCOL_VERSION}, client {}",
+                hello.version
+            ));
+        }
+        if pk_fingerprint(&hello.pk_n) != hello.pk_fingerprint {
+            return Some("public-key fingerprint does not match the key bytes".into());
+        }
+        if hello.factor != self.factor {
+            return Some(format!(
+                "scaling factor mismatch: server {}, client {}",
+                self.factor, hello.factor
+            ));
+        }
+        if hello.n_stages as usize != self.stages.len() || hello.topology != self.topology {
+            return Some(format!(
+                "model topology mismatch: server digest {:#018x} ({} stages), \
+                 client digest {:#018x} ({} stages)",
+                self.topology,
+                self.stages.len(),
+                hello.topology,
+                hello.n_stages
+            ));
+        }
+        None
+    }
+
+    fn build_linear_execs(&self, pk: &PublicKey) -> Vec<LinearStage> {
+        let perms = Arc::new(PermStore::default());
+        let n_linear = self.stages.iter().filter(|s| s.role == StageRole::Linear).count();
+        let mut linear_idx = 0usize;
+        let mut execs = Vec::with_capacity(n_linear);
+        for (i, stage) in self.stages.iter().enumerate() {
+            if stage.role != StageRole::Linear {
+                continue;
+            }
+            execs.push(LinearStage {
+                pk: pk.clone(),
+                stage: stage.clone(),
+                linear_idx,
+                is_first: linear_idx == 0,
+                is_last: linear_idx == n_linear - 1,
+                perms: Arc::clone(&perms),
+                mode: PartitionMode::Partitioned,
+                seed: self.seed ^ 0x11AE ^ (i as u64) << 8,
+                intra_bytes: Arc::new(AtomicU64::new(0)),
+            });
+            linear_idx += 1;
+        }
+        execs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data provider (client)
+// ---------------------------------------------------------------------------
+
+/// One protocol step as seen from the client: a socket round trip to the
+/// server's next linear stage, or a local non-linear stage.
+enum ClientStep {
+    Linear { round: usize },
+    NonLinear(Box<NonLinearStage>),
+}
+
+/// The data-provider client: a connected, handshaken session against a
+/// [`ModelProvider`].
+pub struct NetworkedSession {
+    tx: TcpFrameSender,
+    rx: TcpFrameReceiver,
+    scaled: ScaledModel,
+    steps: Vec<ClientStep>,
+    encrypt: EncryptStage,
+    pool: WorkerPool,
+    transport: TransportReport,
+}
+
+impl NetworkedSession {
+    /// Connects (with the configured retry/backoff), generates the
+    /// Paillier keypair, and performs the deployment handshake. A server
+    /// rejection or a version/echo mismatch surfaces as
+    /// `Transport { kind: Handshake, .. }`.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        scaled: ScaledModel,
+        config: &NetConfig,
+    ) -> Result<Self, CoreError> {
+        let connected = tcp::connect_with(addr, &config.tcp)?;
+        let (mut tx, mut rx) = (connected.tx, connected.rx);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let keypair = Keypair::generate(config.key_bits, &mut rng);
+        let stages = encapsulate_with(&scaled, config.merge_stages)?;
+        let topology = topology_digest(&stages, scaled.factor());
+
+        let pk_n = keypair.public().n().to_bytes_be();
+        let fingerprint = pk_fingerprint(&pk_n);
+        let hello = to_frame(&HelloMsg {
+            version: PROTOCOL_VERSION,
+            pk_n,
+            pk_fingerprint: fingerprint,
+            topology,
+            n_stages: stages.len() as u32,
+            factor: scaled.factor(),
+        });
+
+        let mut transport = TransportReport {
+            connect_attempts: connected.attempts,
+            ..Default::default()
+        };
+        transport.bytes_sent += hello.len() as u64;
+        transport.frames_sent += 1;
+        tx.send_payload(hello).map_err(|e| e.at_stage("handshake hello"))?;
+
+        let reply = rx
+            .recv()
+            .map_err(|e| e.at_stage("handshake reply"))?
+            .ok_or_else(|| handshake_err("server closed without answering hello"))?;
+        transport.bytes_received += reply.payload.len() as u64;
+        transport.frames_received += 1;
+        match crate::messages::peek_tag(&reply.payload) {
+            Some(MsgTag::Accept) => {
+                let accept: AcceptMsg = from_frame(reply.payload).map_err(CoreError::from)?;
+                if accept.version != PROTOCOL_VERSION
+                    || accept.pk_fingerprint != fingerprint
+                    || accept.topology != topology
+                {
+                    return Err(CoreError::from(handshake_err(
+                        "server accept did not echo the agreed parameters",
+                    )));
+                }
+            }
+            Some(MsgTag::Reject) => {
+                let reject: RejectMsg = from_frame(reply.payload).map_err(CoreError::from)?;
+                return Err(CoreError::from(handshake_err(format!(
+                    "server rejected handshake: {}",
+                    reject.reason
+                ))));
+            }
+            _ => {
+                return Err(CoreError::from(handshake_err(
+                    "unexpected reply to hello (neither accept nor reject)",
+                )));
+            }
+        }
+
+        // Client-side execution plan: socket round trips for linear
+        // stages, local executors for the rest (same construction as the
+        // in-process session, so results match bit-for-bit).
+        let n = stages.len();
+        let mut round = 0usize;
+        let steps = stages
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| match stage.role {
+                StageRole::Linear => {
+                    let step = ClientStep::Linear { round };
+                    round += 1;
+                    step
+                }
+                StageRole::NonLinear => ClientStep::NonLinear(Box::new(NonLinearStage {
+                    keypair: keypair.clone(),
+                    stage: stage.clone(),
+                    factor: scaled.factor(),
+                    is_last: i == n - 1,
+                    seed: config.seed ^ 0x2020 ^ (i as u64) << 8,
+                })),
+            })
+            .collect();
+
+        Ok(NetworkedSession {
+            tx,
+            rx,
+            scaled,
+            steps,
+            encrypt: EncryptStage { pk: keypair.public(), seed: config.seed ^ 0x0E2C },
+            pool: WorkerPool::new(config.threads.max(1)),
+            transport,
+        })
+    }
+
+    /// Transport statistics so far.
+    pub fn transport(&self) -> &TransportReport {
+        &self.transport
+    }
+
+    /// Streams inference requests through the deployment (sequentially,
+    /// one socket round trip per linear stage), returning the scaled
+    /// output tensors and a run report whose
+    /// [`transport`](RunReport::transport) field carries the socket-level
+    /// statistics.
+    pub fn infer_stream(
+        &mut self,
+        inputs: &[Tensor<f64>],
+    ) -> Result<(Vec<Tensor<i64>>, RunReport), CoreError> {
+        if inputs.is_empty() {
+            return Err(CoreError::Runtime("no inputs".into()));
+        }
+        let t_run = Instant::now();
+        let mut latencies = Vec::with_capacity(inputs.len());
+        let mut outputs = Vec::with_capacity(inputs.len());
+
+        for (seq, input) in inputs.iter().enumerate() {
+            let t0 = Instant::now();
+            let scaled_in = self.scaled.scale_input(input);
+            let plain = PlainTensorMsg {
+                seq: seq as u64,
+                shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
+                values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+            };
+            let out = self.run_request(plain)?;
+            latencies.push(t0.elapsed());
+
+            let shape: Vec<usize> = out.shape.iter().map(|&d| d as usize).collect();
+            let values: Vec<i64> = out
+                .values
+                .iter()
+                .map(|&v| i64::try_from(v).expect("final logits fit i64"))
+                .collect();
+            outputs.push(
+                Tensor::from_vec(shape, values).map_err(|e| CoreError::Runtime(e.to_string()))?,
+            );
+        }
+
+        let makespan = t_run.elapsed();
+        let mean_latency = latencies.iter().sum::<Duration>() / latencies.len() as u32;
+        let mut transport = self.transport.clone();
+        transport.clean_shutdown = true; // no transport error reached here
+        let report = RunReport {
+            latencies,
+            makespan,
+            mean_latency,
+            // One physical link: request and reply directions.
+            link_bytes: vec![transport.bytes_sent, transport.bytes_received],
+            intra_stage_bytes: 0, // linear dispatch happens server-side
+            stage_names: self.stage_names(),
+            stage_busy: vec![],
+            stage_threads: vec![],
+            stages: vec![],
+            transport: Some(transport),
+        };
+        Ok((outputs, report))
+    }
+
+    /// Streams requests and returns the predicted class per input.
+    pub fn classify_stream(
+        &mut self,
+        inputs: &[Tensor<f64>],
+    ) -> Result<(Vec<usize>, RunReport), CoreError> {
+        let (outputs, report) = self.infer_stream(inputs)?;
+        let classes = outputs.iter().map(pp_nn::activation::argmax_i64).collect();
+        Ok((classes, report))
+    }
+
+    /// Closes the connection (the server observes a clean EOF between
+    /// frames) and returns the final transport statistics.
+    pub fn shutdown(mut self) -> TransportReport {
+        self.transport.clean_shutdown = true;
+        // Dropping both halves closes the socket's two cloned handles.
+        self.transport
+    }
+
+    fn run_request(&mut self, plain: PlainTensorMsg) -> Result<PlainTensorMsg, CoreError> {
+        let seq = plain.seq;
+        let mut msg = self.encrypt.encrypt(plain, &self.pool);
+        let last = self.steps.len() - 1;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                ClientStep::Linear { round } => {
+                    let stage_name = format!("linear-{round}@model (request {seq})");
+                    let payload = to_frame(&msg);
+                    self.transport.bytes_sent += payload.len() as u64;
+                    self.transport.frames_sent += 1;
+                    self.tx
+                        .send_payload(payload)
+                        .map_err(|e| e.at_stage(&format!("{stage_name} send")))?;
+                    let frame = self
+                        .rx
+                        .recv()
+                        .map_err(|e| e.at_stage(&format!("{stage_name} reply")))?
+                        .ok_or_else(|| {
+                            StreamError::transport(
+                                TransportErrorKind::Eof,
+                                format!("server closed before the {stage_name} reply"),
+                            )
+                        })?;
+                    self.transport.bytes_received += frame.payload.len() as u64;
+                    self.transport.frames_received += 1;
+                    msg = from_frame(frame.payload).map_err(CoreError::from)?;
+                }
+                ClientStep::NonLinear(nl) => {
+                    if i == last {
+                        return Ok(nl.execute_final(msg, &self.pool));
+                    }
+                    msg = nl.execute(msg, &self.pool);
+                }
+            }
+        }
+        Err(CoreError::Runtime(
+            "pipeline must end with a final non-linear stage".into(),
+        ))
+    }
+
+    fn stage_names(&self) -> Vec<String> {
+        let mut names = vec!["encrypt@data".to_string()];
+        let mut ni = 0;
+        for step in &self.steps {
+            match step {
+                ClientStep::Linear { round } => names.push(format!("linear-{round}@model")),
+                ClientStep::NonLinear(_) => {
+                    names.push(format!("nonlinear-{ni}@data"));
+                    ni += 1;
+                }
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_nn::zoo;
+
+    fn model(seed: u64) -> ScaledModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ScaledModel::from_model(&zoo::mlp("m", &[4, 6, 3], &mut rng).unwrap(), 100)
+    }
+
+    #[test]
+    fn topology_digest_is_stable_and_discriminating() {
+        let m = model(1);
+        let stages = encapsulate_with(&m, true).unwrap();
+        let d1 = topology_digest(&stages, m.factor());
+        let d2 = topology_digest(&stages, m.factor());
+        assert_eq!(d1, d2, "digest must be deterministic");
+        assert_ne!(d1, topology_digest(&stages, m.factor() + 1), "factor changes digest");
+
+        let other = model(1); // same weights, same architecture
+        let other_stages = encapsulate_with(&other, true).unwrap();
+        assert_eq!(d1, topology_digest(&other_stages, other.factor()));
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let wider = ScaledModel::from_model(&zoo::mlp("m", &[4, 7, 3], &mut rng).unwrap(), 100);
+        let wider_stages = encapsulate_with(&wider, true).unwrap();
+        assert_ne!(
+            d1,
+            topology_digest(&wider_stages, wider.factor()),
+            "different architecture must change the digest"
+        );
+    }
+
+    #[test]
+    fn fingerprint_differs_for_different_keys() {
+        assert_ne!(pk_fingerprint(&[1, 2, 3]), pk_fingerprint(&[1, 2, 4]));
+        assert_eq!(pk_fingerprint(b"same"), pk_fingerprint(b"same"));
+    }
+
+    #[test]
+    fn hello_validation_names_each_mismatch() {
+        let m = model(2);
+        let provider = ModelProvider::new(&m, &NetConfig::small_test(128)).unwrap();
+        let pk_n = vec![7u8; 16];
+        let good = HelloMsg {
+            version: PROTOCOL_VERSION,
+            pk_fingerprint: pk_fingerprint(&pk_n),
+            pk_n,
+            topology: provider.topology(),
+            n_stages: provider.stages.len() as u32,
+            factor: m.factor(),
+        };
+        assert_eq!(provider.validate_hello(&good), None);
+
+        let mut bad = good.clone();
+        bad.version += 1;
+        assert!(provider.validate_hello(&bad).unwrap().contains("version"));
+
+        let mut bad = good.clone();
+        bad.pk_fingerprint ^= 1;
+        assert!(provider.validate_hello(&bad).unwrap().contains("fingerprint"));
+
+        let mut bad = good.clone();
+        bad.factor += 1;
+        assert!(provider.validate_hello(&bad).unwrap().contains("factor"));
+
+        let mut bad = good;
+        bad.topology ^= 1;
+        assert!(provider.validate_hello(&bad).unwrap().contains("topology"));
+    }
+}

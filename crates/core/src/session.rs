@@ -111,6 +111,9 @@ pub struct RunReport {
     /// Per-stage runtime metrics (items in/out, serialized bytes,
     /// compute time, queue wait, errors), in pipeline order.
     pub stages: Vec<StageReport>,
+    /// Socket-level statistics when the run crossed real sockets
+    /// ([`crate::net::NetworkedSession`]); `None` for in-process runs.
+    pub transport: Option<crate::net::TransportReport>,
 }
 
 /// A ready-to-run PP-Stream deployment for one model.
@@ -560,6 +563,7 @@ impl PpStream {
             stage_busy: stats.stage_busy,
             stage_threads: self.plan.threads().to_vec(),
             stages: stats.stages,
+            transport: None,
         };
         Ok((outputs, report))
     }

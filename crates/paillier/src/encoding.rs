@@ -8,11 +8,36 @@
 use crate::PaillierError;
 use pp_bigint::{BigInt, BigUint};
 
+/// True when `m` fits the symmetric encoding for modulus `n`, i.e.
+/// `2·|m| < n`: positive and negative values occupy disjoint halves of
+/// `[0, n)` and decode with the correct sign.
+fn in_symmetric_range(m: i64, n: &BigUint) -> bool {
+    BigUint::from(m.unsigned_abs()).shl_bits(1) < *n
+}
+
 /// Encodes a signed 64-bit value into `[0, n)`.
 ///
-/// Panics if `|m| >= n/2` (only possible with absurdly small test keys).
+/// # Panics
+/// In debug builds, panics if `2·|m| >= n` — with such a small modulus
+/// the value wraps into the other half of the plaintext space and
+/// decodes with the wrong sign. Release builds skip the check on this
+/// hot path; use [`try_encode_i64`] where the modulus isn't trusted.
 pub fn encode_i64(m: i64, n: &BigUint) -> BigUint {
+    debug_assert!(
+        in_symmetric_range(m, n),
+        "encode_i64: |{m}| >= n/2 wraps and decodes with the wrong sign"
+    );
     BigInt::from(m).rem_euclid_biguint(n)
+}
+
+/// Fallible form of [`encode_i64`]: returns
+/// [`PaillierError::MessageOutOfRange`] instead of wrapping when
+/// `2·|m| >= n`.
+pub fn try_encode_i64(m: i64, n: &BigUint) -> Result<BigUint, PaillierError> {
+    if !in_symmetric_range(m, n) {
+        return Err(PaillierError::MessageOutOfRange);
+    }
+    Ok(BigInt::from(m).rem_euclid_biguint(n))
 }
 
 /// Decodes a residue in `[0, n)` back to a signed value, interpreting
@@ -78,6 +103,42 @@ mod tests {
             let sum = encode_i64(a, &n).addmod(&encode_i64(b, &n), &n).unwrap();
             assert_eq!(decode_i64(&sum, &n).unwrap(), a + b);
         }
+    }
+
+    #[test]
+    fn boundary_at_half_n() {
+        // Regression: values at the ±n/2 boundary used to wrap silently
+        // and decode with the wrong sign. Use a small modulus so the
+        // boundary is reachable from i64.
+        let n = BigUint::from(1001u64); // odd: n/2 = 500 (floor)
+        // Largest encodable magnitude: 2·500 < 1001, 2·(-500) < 1001.
+        for m in [500i64, -500] {
+            let e = try_encode_i64(m, &n).unwrap();
+            assert_eq!(decode_i64(&e, &n).unwrap(), m, "m={m}");
+        }
+        // One past the boundary must be rejected, not wrapped.
+        for m in [501i64, -501, i64::MAX, i64::MIN] {
+            assert_eq!(
+                try_encode_i64(m, &n).unwrap_err(),
+                PaillierError::MessageOutOfRange,
+                "m={m}"
+            );
+        }
+
+        let even = BigUint::from(1000u64);
+        // For even n the symmetric check rejects ±500: +500 would be
+        // ambiguous with -500 (both encode to 500).
+        assert!(try_encode_i64(499, &even).is_ok());
+        assert!(try_encode_i64(-499, &even).is_ok());
+        assert!(try_encode_i64(500, &even).is_err());
+        assert!(try_encode_i64(-500, &even).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong sign")]
+    #[cfg(debug_assertions)]
+    fn encode_panics_out_of_range_in_debug() {
+        encode_i64(501, &BigUint::from(1001u64));
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod pool;
 mod serde;
 
 pub use ciphertext::Ciphertext;
-pub use encoding::{decode_i64, encode_i64};
+pub use encoding::{decode_i64, encode_i64, try_encode_i64};
 pub use keys::{Keypair, PrivateKey, PublicKey};
 pub use packing::{PackedCiphertext, PackingSpec};
 pub use pool::RandomnessPool;

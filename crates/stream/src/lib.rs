@@ -49,16 +49,66 @@ pub mod stage;
 pub mod tcp;
 pub mod wire;
 
-pub use link::{Link, LinkStats};
+pub use link::{Link, LinkStats, SeqValidator};
 pub use pipeline::{BoxMsg, Pipeline, PipelineBuilder, PipelineStats, StageSpec, TypedPipeline};
 pub use pool::WorkerPool;
 pub use stage::{stage_fn, FnStage, Stage, StageContext, StageMetrics, StageReport};
+pub use tcp::{RetryPolicy, TcpConfig, TcpFrameReceiver, TcpFrameSender};
 pub use wire::{Decoder, Encoder, WireDecode, WireEncode};
+
+/// What failed at the transport layer. Distinguishing the operation lets
+/// an operator tell a refused connection from a dead peer from a stalled
+/// network, without parsing message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// Binding the listening socket failed.
+    Bind,
+    /// Accepting an inbound connection failed.
+    Accept,
+    /// Connecting to the peer failed (after all retries).
+    Connect,
+    /// Post-connect socket configuration (nodelay, timeouts, clone) failed.
+    Setup,
+    /// A socket write failed.
+    Send,
+    /// A socket read failed.
+    Recv,
+    /// A configured read/write deadline expired.
+    Timeout,
+    /// The peer disconnected in the middle of a frame (a clean shutdown
+    /// only ever closes *between* frames).
+    Eof,
+    /// A received frame violated sequence monotonicity (reordered,
+    /// duplicated, or replayed).
+    Seq,
+    /// The deployment handshake failed (version, key, or topology
+    /// mismatch).
+    Handshake,
+}
+
+impl std::fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TransportErrorKind::Bind => "bind",
+            TransportErrorKind::Accept => "accept",
+            TransportErrorKind::Connect => "connect",
+            TransportErrorKind::Setup => "setup",
+            TransportErrorKind::Send => "send",
+            TransportErrorKind::Recv => "recv",
+            TransportErrorKind::Timeout => "timeout",
+            TransportErrorKind::Eof => "eof",
+            TransportErrorKind::Seq => "seq",
+            TransportErrorKind::Handshake => "handshake",
+        };
+        f.write_str(s)
+    }
+}
 
 /// Errors from the stream runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StreamError {
-    /// A frame failed to decode.
+    /// A frame failed to decode. Strictly for malformed *bytes* — socket
+    /// and connection failures are [`StreamError::Transport`].
     Decode(String),
     /// A link was disconnected unexpectedly.
     Disconnected,
@@ -66,6 +116,34 @@ pub enum StreamError {
     Config(String),
     /// A stage failed while processing a message.
     Stage(String),
+    /// A transport (socket) operation failed: I/O errors, timeouts,
+    /// mid-frame disconnects, sequence violations, handshake failures.
+    Transport {
+        /// Which transport operation failed.
+        kind: TransportErrorKind,
+        /// Human-readable context naming the failing protocol stage.
+        context: String,
+    },
+}
+
+impl StreamError {
+    /// Convenience constructor for transport failures.
+    pub fn transport(kind: TransportErrorKind, context: impl Into<String>) -> Self {
+        StreamError::Transport { kind, context: context.into() }
+    }
+
+    /// Prefixes a transport error's context with the protocol stage that
+    /// observed it (e.g. `"linear round 2 reply"`); other variants pass
+    /// through unchanged.
+    pub fn at_stage(self, stage: &str) -> Self {
+        match self {
+            StreamError::Transport { kind, context } => StreamError::Transport {
+                kind,
+                context: format!("{stage}: {context}"),
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for StreamError {
@@ -75,6 +153,9 @@ impl std::fmt::Display for StreamError {
             StreamError::Disconnected => write!(f, "link disconnected"),
             StreamError::Config(s) => write!(f, "pipeline config error: {s}"),
             StreamError::Stage(s) => write!(f, "stage error: {s}"),
+            StreamError::Transport { kind, context } => {
+                write!(f, "transport error ({kind}): {context}")
+            }
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Byte-counted inter-stage links — the simulated network between the
 //! model provider's and data provider's servers.
 
+use crate::{StreamError, TransportErrorKind};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,6 +16,38 @@ pub struct Frame {
     pub seq: u64,
     /// Serialized tensor payload.
     pub payload: Bytes,
+}
+
+/// Receive-side sequence-monotonicity check, shared by the TCP transport
+/// and the in-process link: each direction of a connection must carry
+/// strictly increasing `Frame.seq`, so a reordered, duplicated, or
+/// replayed frame is rejected instead of silently mis-ordering inference
+/// results.
+#[derive(Debug, Default)]
+pub struct SeqValidator {
+    last: Option<u64>,
+}
+
+impl SeqValidator {
+    /// A fresh validator that accepts any first seq.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts `seq` iff it is strictly greater than every seq seen so
+    /// far; otherwise returns `Transport { kind: Seq, .. }`.
+    pub fn check(&mut self, seq: u64) -> Result<(), StreamError> {
+        if let Some(last) = self.last {
+            if seq <= last {
+                return Err(StreamError::transport(
+                    TransportErrorKind::Seq,
+                    format!("frame seq {seq} not after {last} (reordered or duplicated frame)"),
+                ));
+            }
+        }
+        self.last = Some(seq);
+        Ok(())
+    }
 }
 
 /// Traffic counters for one link.
@@ -60,7 +93,7 @@ impl Link {
     pub fn split(self) -> (LinkSender, LinkReceiver) {
         (
             LinkSender { tx: self.tx, stats: Arc::clone(&self.stats) },
-            LinkReceiver { rx: self.rx },
+            LinkReceiver { rx: self.rx, validator: SeqValidator::new() },
         )
     }
 }
@@ -85,13 +118,32 @@ impl LinkSender {
 /// Receiving half of a link.
 pub struct LinkReceiver {
     rx: Receiver<Frame>,
+    validator: SeqValidator,
 }
 
 impl LinkReceiver {
     /// Receives the next frame; `None` when the sender side is closed and
-    /// drained.
+    /// drained. Performs no sequence validation — see [`recv_strict`].
+    ///
+    /// [`recv_strict`]: LinkReceiver::recv_strict
     pub fn recv(&self) -> Option<Frame> {
         self.rx.recv().ok()
+    }
+
+    /// As [`recv`], but additionally enforces strict seq monotonicity
+    /// across all frames received through this method: a reordered or
+    /// duplicated frame yields `Transport { kind: Seq, .. }` instead of a
+    /// silently mis-ordered inference.
+    ///
+    /// [`recv`]: LinkReceiver::recv
+    pub fn recv_strict(&mut self) -> Result<Option<Frame>, StreamError> {
+        match self.rx.recv() {
+            Ok(frame) => {
+                self.validator.check(frame.seq)?;
+                Ok(Some(frame))
+            }
+            Err(_) => Ok(None),
+        }
     }
 }
 
@@ -123,6 +175,38 @@ mod tests {
         drop(tx);
         assert!(rx.recv().is_some());
         assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn seq_validator_rejects_reorder_and_duplicate() {
+        let mut v = SeqValidator::new();
+        v.check(3).unwrap(); // any first seq is fine
+        v.check(4).unwrap();
+        v.check(10).unwrap(); // gaps are fine; only ordering matters
+        let dup = v.check(10).unwrap_err();
+        assert!(matches!(
+            dup,
+            StreamError::Transport { kind: TransportErrorKind::Seq, .. }
+        ));
+        let reorder = v.check(5).unwrap_err();
+        assert!(reorder.to_string().contains("not after 10"));
+    }
+
+    #[test]
+    fn recv_strict_flags_out_of_order_frames() {
+        let link = Link::new(4);
+        let (tx, mut rx) = link.split();
+        tx.send(Frame { seq: 1, payload: Bytes::new() });
+        tx.send(Frame { seq: 2, payload: Bytes::new() });
+        tx.send(Frame { seq: 2, payload: Bytes::new() }); // duplicate
+        drop(tx);
+        assert_eq!(rx.recv_strict().unwrap().unwrap().seq, 1);
+        assert_eq!(rx.recv_strict().unwrap().unwrap().seq, 2);
+        let err = rx.recv_strict().unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Transport { kind: TransportErrorKind::Seq, .. }
+        ));
     }
 
     #[test]

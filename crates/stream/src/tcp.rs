@@ -4,74 +4,265 @@
 //! Frames are length-prefixed: `seq: u64 LE | len: u32 LE | payload`.
 //! The in-process [`crate::link::Link`] and this transport carry the same
 //! [`Frame`]s, so a pipeline stage can face either without changes.
+//!
+//! Error taxonomy (see [`StreamError`]): socket failures — refused
+//! connections, resets, timeouts, mid-frame disconnects, sequence
+//! violations — are [`StreamError::Transport`] with the failing operation
+//! named; [`StreamError::Decode`] is reserved for malformed bytes (an
+//! oversize length prefix is corrupt framing, not a dead socket).
+//!
+//! Robustness knobs live in [`TcpConfig`]: connect retry with exponential
+//! backoff + jitter ([`RetryPolicy`]), read/write timeouts, and receive-
+//! side sequence-monotonicity validation (on by default — each direction
+//! of a connection carries strictly increasing `Frame.seq`, which
+//! [`TcpFrameSender::send_payload`] stamps automatically).
 
-use crate::link::Frame;
-use crate::StreamError;
+use crate::link::{Frame, SeqValidator};
+use crate::{StreamError, TransportErrorKind};
 use bytes::Bytes;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Connect-retry policy: exponential backoff with deterministic jitter.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total connection attempts before giving up (min 1).
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Scale each delay by a pseudo-random factor in [0.5, 1.0) so
+    /// simultaneously restarting clients don't reconnect in lockstep.
+    pub jitter: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no waiting — for tests and fail-fast callers.
+    pub fn no_retry() -> Self {
+        RetryPolicy { max_attempts: 1, ..Default::default() }
+    }
+
+    /// Backoff before attempt `attempt` (1-based; attempt 1 has none).
+    fn delay_before(&self, attempt: u32, seed: u64) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 2).min(16);
+        let raw = self.base_delay.saturating_mul(1u32 << exp).min(self.max_delay);
+        if !self.jitter {
+            return raw;
+        }
+        // SplitMix64 on (seed, attempt): deterministic per process run,
+        // decorrelated across processes.
+        let mut z = seed ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let frac = ((z >> 11) as f64) / ((1u64 << 53) as f64); // [0, 1)
+        raw.mul_f64(0.5 + frac / 2.0)
+    }
+}
+
+/// Socket configuration for framed connections.
+#[derive(Clone, Debug, Default)]
+pub struct TcpConfig {
+    /// Read deadline; `None` blocks indefinitely. A expired deadline
+    /// surfaces as `Transport { kind: Timeout, .. }`.
+    pub read_timeout: Option<Duration>,
+    /// Write deadline; `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Connect-retry policy (used by [`connect_with`]).
+    pub retry: RetryPolicy,
+    /// Reject frames whose `seq` is not strictly greater than the last
+    /// received one. Defaults to on.
+    pub validate_seq: bool,
+}
+
+// `Default` must derive for the field-less construction sites, but the
+// semantic default turns validation ON — so route everything through
+// `TcpConfig::new`.
+impl TcpConfig {
+    /// The default configuration: no timeouts, default retry policy,
+    /// sequence validation enabled.
+    pub fn new() -> Self {
+        TcpConfig { validate_seq: true, ..Default::default() }
+    }
+
+    /// Disables receive-side sequence validation (for callers that stamp
+    /// their own non-monotonic seqs).
+    pub fn without_seq_validation(mut self) -> Self {
+        self.validate_seq = false;
+        self
+    }
+
+    /// Sets both read and write deadlines.
+    pub fn with_timeouts(mut self, read: Duration, write: Duration) -> Self {
+        self.read_timeout = Some(read);
+        self.write_timeout = Some(write);
+        self
+    }
+
+    /// Replaces the connect-retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+fn io_err(kind: TransportErrorKind, what: &str, e: &std::io::Error) -> StreamError {
+    // Expired socket deadlines surface as WouldBlock (Unix) / TimedOut
+    // (Windows); fold both into the Timeout kind.
+    let kind = match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportErrorKind::Timeout,
+        _ => kind,
+    };
+    StreamError::transport(kind, format!("{what}: {e}"))
+}
 
 /// Sending half of a framed TCP connection.
 pub struct TcpFrameSender {
     writer: BufWriter<TcpStream>,
+    next_seq: u64,
 }
 
 impl TcpFrameSender {
     /// Sends one frame (flushes immediately — each frame is a protocol
     /// round trip, not a throughput stream).
     pub fn send(&mut self, frame: &Frame) -> Result<(), StreamError> {
-        let io = |e: std::io::Error| StreamError::Decode(format!("tcp send: {e}"));
+        let io = |e: std::io::Error| {
+            io_err(TransportErrorKind::Send, &format!("tcp send (seq {})", frame.seq), &e)
+        };
         self.writer.write_all(&frame.seq.to_le_bytes()).map_err(io)?;
-        self.writer
-            .write_all(&(frame.payload.len() as u32).to_le_bytes())
-            .map_err(io)?;
+        let len = u32::try_from(frame.payload.len()).map_err(|_| {
+            StreamError::transport(
+                TransportErrorKind::Send,
+                format!(
+                    "frame payload of {} bytes exceeds the u32 length prefix",
+                    frame.payload.len()
+                ),
+            )
+        })?;
+        self.writer.write_all(&len.to_le_bytes()).map_err(io)?;
         self.writer.write_all(&frame.payload).map_err(io)?;
-        self.writer.flush().map_err(io)
+        self.writer.flush().map_err(io)?;
+        self.next_seq = self.next_seq.max(frame.seq.wrapping_add(1));
+        Ok(())
+    }
+
+    /// Sends a payload stamped with this connection's next transport
+    /// sequence number (strictly increasing per direction, so the peer's
+    /// monotonicity validation holds). Returns the seq used.
+    pub fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError> {
+        let seq = self.next_seq;
+        self.send(&Frame { seq, payload })?;
+        Ok(seq)
     }
 }
 
 /// Receiving half of a framed TCP connection.
 pub struct TcpFrameReceiver {
     reader: BufReader<TcpStream>,
+    validator: Option<SeqValidator>,
 }
 
 impl TcpFrameReceiver {
-    /// Receives the next frame; `None` on clean EOF.
+    /// Receives the next frame; `None` on clean EOF (the peer closed
+    /// *between* frames). A disconnect mid-frame is
+    /// `Transport { kind: Eof, .. }`, an expired read deadline
+    /// `Transport { kind: Timeout, .. }`, and a reordered/duplicated seq
+    /// `Transport { kind: Seq, .. }`. [`StreamError::Decode`] is returned
+    /// only for malformed framing bytes (oversize length prefix).
     pub fn recv(&mut self) -> Result<Option<Frame>, StreamError> {
+        // First header byte read separately: a clean shutdown closes the
+        // socket exactly here, which `read` reports as Ok(0). Any EOF
+        // after this point is a mid-frame disconnect.
         let mut seq_buf = [0u8; 8];
-        match self.reader.read_exact(&mut seq_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(StreamError::Decode(format!("tcp recv: {e}"))),
+        let mut first = 0usize;
+        while first == 0 {
+            match self.reader.read(&mut seq_buf[..1]) {
+                Ok(0) => return Ok(None),
+                Ok(n) => first = n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(TransportErrorKind::Recv, "tcp recv (header)", &e)),
+            }
         }
+        self.read_exact_mid_frame(&mut seq_buf[1..], "header (seq)")?;
+        let seq = u64::from_le_bytes(seq_buf);
+
         let mut len_buf = [0u8; 4];
-        self.reader
-            .read_exact(&mut len_buf)
-            .map_err(|e| StreamError::Decode(format!("tcp recv: {e}")))?;
+        self.read_exact_mid_frame(&mut len_buf, "header (len)")?;
         let len = u32::from_le_bytes(len_buf) as usize;
         if len > 1 << 30 {
-            return Err(StreamError::Decode(format!("frame too large: {len} bytes")));
+            // Malformed bytes, not a socket failure: stays a Decode error.
+            return Err(StreamError::Decode(format!(
+                "frame length prefix {len} exceeds the 1 GiB guard"
+            )));
         }
+
         let mut payload = vec![0u8; len];
-        self.reader
-            .read_exact(&mut payload)
-            .map_err(|e| StreamError::Decode(format!("tcp recv: {e}")))?;
-        Ok(Some(Frame { seq: u64::from_le_bytes(seq_buf), payload: Bytes::from(payload) }))
+        self.read_exact_mid_frame(&mut payload, "payload")?;
+
+        if let Some(v) = &mut self.validator {
+            v.check(seq)?;
+        }
+        Ok(Some(Frame { seq, payload: Bytes::from(payload) }))
+    }
+
+    fn read_exact_mid_frame(&mut self, buf: &mut [u8], what: &str) -> Result<(), StreamError> {
+        self.reader.read_exact(buf).map_err(|e| {
+            if e.kind() == ErrorKind::UnexpectedEof {
+                StreamError::transport(
+                    TransportErrorKind::Eof,
+                    format!("peer disconnected mid-frame while reading {what}"),
+                )
+            } else {
+                io_err(TransportErrorKind::Recv, &format!("tcp recv ({what})"), &e)
+            }
+        })
     }
 }
 
 /// Wraps a connected socket into framed halves (duplex: both sides can
-/// send and receive on the same connection).
+/// send and receive on the same connection) with the default
+/// configuration ([`TcpConfig::new`]).
 pub fn framed(stream: TcpStream) -> Result<(TcpFrameSender, TcpFrameReceiver), StreamError> {
+    framed_with(stream, &TcpConfig::new())
+}
+
+/// As [`framed`], with explicit socket configuration.
+pub fn framed_with(
+    stream: TcpStream,
+    config: &TcpConfig,
+) -> Result<(TcpFrameSender, TcpFrameReceiver), StreamError> {
+    let setup = |what: &str, e: &std::io::Error| {
+        StreamError::transport(TransportErrorKind::Setup, format!("{what}: {e}"))
+    };
+    stream.set_nodelay(true).map_err(|e| setup("nodelay", &e))?;
     stream
-        .set_nodelay(true)
-        .map_err(|e| StreamError::Config(format!("nodelay: {e}")))?;
-    let reader = stream
-        .try_clone()
-        .map_err(|e| StreamError::Config(format!("clone socket: {e}")))?;
+        .set_read_timeout(config.read_timeout)
+        .map_err(|e| setup("read timeout", &e))?;
+    stream
+        .set_write_timeout(config.write_timeout)
+        .map_err(|e| setup("write timeout", &e))?;
+    let reader = stream.try_clone().map_err(|e| setup("clone socket", &e))?;
     Ok((
-        TcpFrameSender { writer: BufWriter::new(stream) },
-        TcpFrameReceiver { reader: BufReader::new(reader) },
+        TcpFrameSender { writer: BufWriter::new(stream), next_seq: 0 },
+        TcpFrameReceiver {
+            reader: BufReader::new(reader),
+            validator: config.validate_seq.then(SeqValidator::new),
+        },
     ))
 }
 
@@ -79,24 +270,70 @@ pub fn framed(stream: TcpStream) -> Result<(TcpFrameSender, TcpFrameReceiver), S
 pub fn accept_one(
     addr: impl ToSocketAddrs,
 ) -> Result<(TcpFrameSender, TcpFrameReceiver, std::net::SocketAddr), StreamError> {
-    let listener =
-        TcpListener::bind(addr).map_err(|e| StreamError::Config(format!("bind: {e}")))?;
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| StreamError::transport(TransportErrorKind::Bind, format!("bind: {e}")))?;
     let local = listener
         .local_addr()
-        .map_err(|e| StreamError::Config(format!("local addr: {e}")))?;
-    let (stream, _) =
-        listener.accept().map_err(|e| StreamError::Config(format!("accept: {e}")))?;
-    let (tx, rx) = framed(stream)?;
+        .map_err(|e| StreamError::transport(TransportErrorKind::Bind, format!("local addr: {e}")))?;
+    let (tx, rx) = accept_on(&listener, &TcpConfig::new())?;
     Ok((tx, rx, local))
 }
 
-/// Connects to a peer (the client side of a provider link).
+/// Accepts one peer on an already-bound listener (lets callers bind
+/// `127.0.0.1:0` first and publish the assigned port).
+pub fn accept_on(
+    listener: &TcpListener,
+    config: &TcpConfig,
+) -> Result<(TcpFrameSender, TcpFrameReceiver), StreamError> {
+    let (stream, _) = listener
+        .accept()
+        .map_err(|e| StreamError::transport(TransportErrorKind::Accept, format!("accept: {e}")))?;
+    framed_with(stream, config)
+}
+
+/// Outcome of [`connect_with`]: the framed halves plus how many attempts
+/// the retry loop used (1 = first try succeeded).
+pub struct Connected {
+    pub tx: TcpFrameSender,
+    pub rx: TcpFrameReceiver,
+    pub attempts: u32,
+}
+
+/// Connects to a peer with the default configuration (the client side of
+/// a provider link).
 pub fn connect(
     addr: impl ToSocketAddrs,
 ) -> Result<(TcpFrameSender, TcpFrameReceiver), StreamError> {
-    let stream =
-        TcpStream::connect(addr).map_err(|e| StreamError::Config(format!("connect: {e}")))?;
-    framed(stream)
+    let c = connect_with(addr, &TcpConfig::new())?;
+    Ok((c.tx, c.rx))
+}
+
+/// Connects with retry: exponential backoff + jitter per
+/// [`TcpConfig::retry`]. Fails with `Transport { kind: Connect, .. }`
+/// naming the attempt count once the policy is exhausted.
+pub fn connect_with(addr: impl ToSocketAddrs, config: &TcpConfig) -> Result<Connected, StreamError> {
+    let attempts_max = config.retry.max_attempts.max(1);
+    // Jitter seed: decorrelate processes without pulling in a rand dep.
+    let seed = std::process::id() as u64 ^ 0x5bd1_e995_9950_57ea;
+    let mut last_err = None;
+    for attempt in 1..=attempts_max {
+        let delay = config.retry.delay_before(attempt, seed);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        match TcpStream::connect(&addr) {
+            Ok(stream) => {
+                let (tx, rx) = framed_with(stream, config)?;
+                return Ok(Connected { tx, rx, attempts: attempt });
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    let e = last_err.expect("at least one attempt");
+    Err(StreamError::transport(
+        TransportErrorKind::Connect,
+        format!("connect failed after {attempts_max} attempts: {e}"),
+    ))
 }
 
 #[cfg(test)]
@@ -164,5 +401,47 @@ mod tests {
         drop(tx);
         drop(_rx);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn send_payload_stamps_monotonic_seqs() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let (_tx, mut rx) = framed(stream).unwrap();
+            for want in 0..3u64 {
+                assert_eq!(rx.recv().unwrap().unwrap().seq, want);
+            }
+            assert!(rx.recv().unwrap().is_none());
+        });
+        let (mut tx, _rx) = connect(addr).unwrap();
+        for _ in 0..3 {
+            tx.send_payload(Bytes::from_static(b"x")).unwrap();
+        }
+        drop(tx);
+        drop(_rx);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_delays_grow_and_respect_ceiling() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(45),
+            jitter: false,
+        };
+        assert_eq!(p.delay_before(1, 0), Duration::ZERO);
+        assert_eq!(p.delay_before(2, 0), Duration::from_millis(10));
+        assert_eq!(p.delay_before(3, 0), Duration::from_millis(20));
+        assert_eq!(p.delay_before(4, 0), Duration::from_millis(40));
+        assert_eq!(p.delay_before(5, 0), Duration::from_millis(45), "ceiling");
+        let jittered = RetryPolicy { jitter: true, ..p };
+        for attempt in 2..6 {
+            let d = jittered.delay_before(attempt, 7);
+            let raw = p.delay_before(attempt, 0);
+            assert!(d >= raw / 2 && d <= raw, "jitter within [raw/2, raw]: {d:?} vs {raw:?}");
+        }
     }
 }

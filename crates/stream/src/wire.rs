@@ -73,8 +73,12 @@ impl Encoder {
     }
 
     /// Length-prefixed byte slice.
+    ///
+    /// # Panics
+    /// Panics if `v.len()` exceeds `u32::MAX` — the wire format's length
+    /// prefix is 32-bit, and truncating would silently corrupt the frame.
     pub fn put_bytes(&mut self, v: &[u8]) {
-        self.put_u32(v.len() as u32);
+        self.put_u32(len_to_u32(v.len()));
         self.buf.put_slice(v);
     }
 
@@ -88,6 +92,15 @@ impl Encoder {
     pub fn put_raw(&mut self, v: &[u8]) {
         self.buf.put_slice(v);
     }
+}
+
+/// Converts a collection length to the 32-bit wire length prefix.
+/// Lengths ≥ 4 GiB used to be truncated by a bare `as u32` cast,
+/// corrupting the frame silently; now they abort loudly.
+fn len_to_u32(len: usize) -> u32 {
+    u32::try_from(len).unwrap_or_else(|_| {
+        panic!("wire encode: length {len} exceeds the u32 length prefix (max {})", u32::MAX)
+    })
 }
 
 /// Consuming decode cursor over a frame.
@@ -230,7 +243,7 @@ where
     T: WireEncode,
 {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_u32(self.len() as u32);
+        enc.put_u32(len_to_u32(self.len()));
         for item in self {
             item.encode(enc);
         }
@@ -345,6 +358,20 @@ mod tests {
         enc.put_u32(u32::MAX); // claims 4 billion elements
         let res: Result<Vec<u64>, _> = from_frame(enc.finish());
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn len_fits_u32_passes_through() {
+        assert_eq!(len_to_u32(0), 0);
+        assert_eq!(len_to_u32(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 length prefix")]
+    fn oversize_len_panics_instead_of_truncating() {
+        // A real ≥4 GiB buffer is not allocatable in CI; exercising the
+        // guard with the mocked length is equivalent.
+        len_to_u32(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Transport robustness over real sockets: malformed frames, abrupt
+//! disconnects, timeouts, retry/backoff, and sequence validation. Every
+//! socket failure must surface as `StreamError::Transport` — `Decode` is
+//! reserved for malformed bytes.
+
+use bytes::Bytes;
+use pp_stream_runtime::link::Frame;
+use pp_stream_runtime::tcp::{self, RetryPolicy};
+use pp_stream_runtime::{StreamError, TcpConfig, TransportErrorKind};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+fn listen() -> (TcpListener, std::net::SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    (listener, addr)
+}
+
+/// A raw-socket peer that writes `bytes` and then closes the connection.
+fn raw_peer(listener: TcpListener, bytes: Vec<u8>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.write_all(&bytes).unwrap();
+        // Drop closes the socket, mid-frame if `bytes` stopped there.
+    })
+}
+
+#[test]
+fn truncated_header_is_transport_eof_not_decode() {
+    let (listener, addr) = listen();
+    // 3 bytes of an 8-byte seq header, then disconnect.
+    let peer = raw_peer(listener, vec![0xAA, 0xBB, 0xCC]);
+    let (_tx, mut rx) = tcp::connect(addr).unwrap();
+    let err = rx.recv().unwrap_err();
+    assert!(
+        matches!(err, StreamError::Transport { kind: TransportErrorKind::Eof, .. }),
+        "truncated header must be a transport EOF, got: {err}"
+    );
+    assert!(err.to_string().contains("mid-frame"), "{err}");
+    peer.join().unwrap();
+}
+
+#[test]
+fn truncated_length_field_is_transport_eof() {
+    let (listener, addr) = listen();
+    // Full seq, 2 of 4 length bytes.
+    let mut bytes = 7u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[0x01, 0x00]);
+    let peer = raw_peer(listener, bytes);
+    let (_tx, mut rx) = tcp::connect(addr).unwrap();
+    let err = rx.recv().unwrap_err();
+    assert!(
+        matches!(err, StreamError::Transport { kind: TransportErrorKind::Eof, .. }),
+        "{err}"
+    );
+    peer.join().unwrap();
+}
+
+#[test]
+fn oversize_length_prefix_is_decode_error() {
+    let (listener, addr) = listen();
+    // Valid header claiming a 2 GiB payload: malformed *bytes*, so this
+    // one stays a Decode error (the socket is fine).
+    let mut bytes = 1u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&(2u32 << 30).to_le_bytes());
+    let peer = raw_peer(listener, bytes);
+    let (_tx, mut rx) = tcp::connect(addr).unwrap();
+    let err = rx.recv().unwrap_err();
+    assert!(
+        matches!(err, StreamError::Decode(_)),
+        "oversize length prefix is corrupt framing, not a transport failure: {err}"
+    );
+    assert!(err.to_string().contains("1 GiB guard"), "{err}");
+    peer.join().unwrap();
+}
+
+#[test]
+fn mid_payload_disconnect_is_transport_eof() {
+    let (listener, addr) = listen();
+    // Header promises 100 payload bytes; only 10 arrive.
+    let mut bytes = 3u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&100u32.to_le_bytes());
+    bytes.extend_from_slice(&[0x55; 10]);
+    let peer = raw_peer(listener, bytes);
+    let (_tx, mut rx) = tcp::connect(addr).unwrap();
+    let err = rx.recv().unwrap_err();
+    assert!(
+        matches!(err, StreamError::Transport { kind: TransportErrorKind::Eof, .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("payload"), "{err}");
+    peer.join().unwrap();
+}
+
+#[test]
+fn clean_close_between_frames_is_none() {
+    let (listener, addr) = listen();
+    let mut bytes = 5u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&3u32.to_le_bytes());
+    bytes.extend_from_slice(b"abc");
+    let peer = raw_peer(listener, bytes);
+    let (_tx, mut rx) = tcp::connect(addr).unwrap();
+    let frame = rx.recv().unwrap().unwrap();
+    assert_eq!(frame.seq, 5);
+    assert_eq!(&frame.payload[..], b"abc");
+    assert!(rx.recv().unwrap().is_none(), "close between frames is a clean EOF");
+    peer.join().unwrap();
+}
+
+#[test]
+fn connect_retry_reaches_late_binding_listener() {
+    // Learn a free port, release it, bind it again only after a delay —
+    // the client's backoff must ride out the gap.
+    let (listener, addr) = listen();
+    drop(listener);
+    let server = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        let listener = TcpListener::bind(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let (_tx, mut rx) = tcp::framed(stream).unwrap();
+        assert!(rx.recv().unwrap().is_none());
+    });
+    let config = TcpConfig::new().with_retry(RetryPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_millis(200),
+        jitter: true,
+    });
+    let connected = tcp::connect_with(addr, &config).expect("retry must eventually connect");
+    assert!(
+        connected.attempts > 1,
+        "the port was not bound on the first attempt; attempts = {}",
+        connected.attempts
+    );
+    drop(connected);
+    server.join().unwrap();
+}
+
+#[test]
+fn connect_exhaustion_is_transport_connect_error() {
+    // Bind-then-drop gives an address that refuses connections.
+    let (listener, addr) = listen();
+    drop(listener);
+    let config = TcpConfig::new().with_retry(RetryPolicy {
+        max_attempts: 3,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(5),
+        jitter: false,
+    });
+    let err = tcp::connect_with(addr, &config).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, StreamError::Transport { kind: TransportErrorKind::Connect, .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("3 attempts"), "{err}");
+}
+
+#[test]
+fn read_deadline_expires_as_transport_timeout() {
+    let (listener, addr) = listen();
+    // A peer that connects but never sends anything.
+    let silent = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_millis(500));
+        drop(stream);
+    });
+    let config =
+        TcpConfig::new().with_timeouts(Duration::from_millis(50), Duration::from_secs(5));
+    let connected = tcp::connect_with(addr, &config).unwrap();
+    let mut rx = connected.rx;
+    let t0 = Instant::now();
+    let err = rx.recv().unwrap_err();
+    assert!(
+        matches!(err, StreamError::Transport { kind: TransportErrorKind::Timeout, .. }),
+        "{err}"
+    );
+    assert!(t0.elapsed() < Duration::from_millis(450), "deadline must fire early");
+    silent.join().unwrap();
+}
+
+#[test]
+fn reordered_seq_over_socket_is_transport_seq_error() {
+    let (listener, addr) = listen();
+    let peer = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        // Sender side stamps explicit, deliberately out-of-order seqs.
+        let (mut tx, _rx) = tcp::framed(stream).unwrap();
+        tx.send(&Frame { seq: 4, payload: Bytes::from_static(b"a") }).unwrap();
+        tx.send(&Frame { seq: 2, payload: Bytes::from_static(b"b") }).unwrap();
+    });
+    let (_tx, mut rx) = tcp::connect(addr).unwrap();
+    assert_eq!(rx.recv().unwrap().unwrap().seq, 4);
+    let err = rx.recv().unwrap_err();
+    assert!(
+        matches!(err, StreamError::Transport { kind: TransportErrorKind::Seq, .. }),
+        "reordered frame must be rejected: {err}"
+    );
+    peer.join().unwrap();
+}
+
+#[test]
+fn duplicated_seq_rejected_unless_validation_disabled() {
+    for validate in [true, false] {
+        let (listener, addr) = listen();
+        let peer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let (mut tx, _rx) = tcp::framed(stream).unwrap();
+            for _ in 0..2 {
+                tx.send(&Frame { seq: 9, payload: Bytes::new() }).unwrap();
+            }
+        });
+        let config = if validate {
+            TcpConfig::new()
+        } else {
+            TcpConfig::new().without_seq_validation()
+        };
+        let connected = tcp::connect_with(addr, &config).unwrap();
+        let mut rx = connected.rx;
+        assert_eq!(rx.recv().unwrap().unwrap().seq, 9);
+        if validate {
+            let err = rx.recv().unwrap_err();
+            assert!(
+                matches!(err, StreamError::Transport { kind: TransportErrorKind::Seq, .. }),
+                "{err}"
+            );
+        } else {
+            assert_eq!(rx.recv().unwrap().unwrap().seq, 9, "validation off lets it through");
+        }
+        peer.join().unwrap();
+    }
+}
+
+#[test]
+fn send_to_dead_peer_is_transport_not_decode() {
+    let (listener, addr) = listen();
+    let stream = TcpStream::connect(addr).unwrap();
+    let (accepted, _) = listener.accept().unwrap();
+    drop(accepted); // peer dies immediately
+    let (mut tx, _rx) = tcp::framed(stream).unwrap();
+    // The first write(s) may land in kernel buffers; keep sending until
+    // the broken pipe surfaces.
+    let payload = Bytes::from(vec![0u8; 64 * 1024]);
+    let mut last = Ok(());
+    for seq in 0..200u64 {
+        last = tx.send(&Frame { seq, payload: payload.clone() });
+        if last.is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let err = last.expect_err("writing to a dead peer must eventually fail");
+    assert!(
+        matches!(
+            err,
+            StreamError::Transport {
+                kind: TransportErrorKind::Send | TransportErrorKind::Recv,
+                ..
+            }
+        ),
+        "dead-peer send must be a Transport error, never Decode: {err}"
+    );
+}

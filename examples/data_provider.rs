@@ -1,0 +1,69 @@
+//! Standalone data-provider client for a real two-process deployment.
+//!
+//! Start `model_provider` first (same address), then:
+//!
+//! ```sh
+//! cargo run --release --example data_provider -- 127.0.0.1:7700
+//! ```
+//!
+//! The client owns the Paillier keypair and the inputs; it encrypts
+//! locally, round-trips every linear stage through the server, runs the
+//! non-linear stages on permutation-obfuscated plaintext, and checks the
+//! final classes against the local scaled reference. Connection attempts
+//! retry with exponential backoff, so starting the client slightly
+//! before the server is fine.
+
+use pp_nn::{zoo, ScaledModel};
+use pp_stream::{NetConfig, NetworkedSession};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The architecture both demo binaries agree on.
+fn demo_model() -> ScaledModel {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp("distributed-mlp", &[6, 10, 3], &mut rng).expect("model");
+    ScaledModel::from_model(&model, 10_000)
+}
+
+fn demo_config() -> NetConfig {
+    NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() }
+}
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let scaled = demo_model();
+    let config = demo_config();
+
+    let mut session =
+        NetworkedSession::connect(&*addr, scaled.clone(), &config).expect("connect + handshake");
+    println!(
+        "[data-provider] handshake accepted by {addr} (connect attempts: {})",
+        session.transport().connect_attempts
+    );
+
+    let inputs: Vec<Tensor<f64>> = (0..3u64)
+        .map(|seq| {
+            Tensor::from_flat(
+                (0..6).map(|j| ((seq * 6 + j) as f64 * 0.41).sin()).collect::<Vec<f64>>(),
+            )
+        })
+        .collect();
+
+    let (classes, report) = session.classify_stream(&inputs).expect("networked inference");
+    for (i, (input, &class)) in inputs.iter().zip(&classes).enumerate() {
+        let want = scaled.classify_scaled(input).expect("reference");
+        println!("[data-provider] request {i}: class {class} (local reference {want})");
+        assert_eq!(class, want, "networked result must match the local reference");
+    }
+    let transport = report.transport.expect("networked run has transport stats");
+    println!(
+        "[data-provider] done in {:?}; {} frames / {} B sent, {} frames / {} B received",
+        report.makespan,
+        transport.frames_sent,
+        transport.bytes_sent,
+        transport.frames_received,
+        transport.bytes_received,
+    );
+    session.shutdown();
+}

@@ -1,164 +1,88 @@
 //! Truly distributed PP-Stream: the model provider and the data provider
 //! run as independent endpoints connected only by a real TCP socket
 //! (localhost here; point the address at another host for a two-machine
-//! deployment, as in the paper's testbed).
+//! deployment, as in the paper's testbed — see also the standalone
+//! `model_provider` / `data_provider` binaries for a real two-process
+//! run).
 //!
 //! ```sh
 //! cargo run --release --example distributed_inference
 //! ```
 //!
-//! The wire carries exactly the protocol of paper Fig. 3: the handshake
-//! shares the data provider's *public* key, then every crossing is an
-//! encrypted (and, mid-protocol, permutation-obfuscated) tensor.
+//! The wire carries exactly the protocol of paper Fig. 3, preceded by a
+//! versioned handshake (protocol version + public-key fingerprint +
+//! model-topology digest); after it, every crossing is an encrypted
+//! (and, mid-protocol, permutation-obfuscated) tensor. The demo asserts
+//! the networked classifications equal the in-process pipeline's.
 
-use pp_bigint::BigUint;
 use pp_nn::{zoo, ScaledModel};
-use pp_paillier::{Keypair, PublicKey};
-use pp_stream::encapsulate::{encapsulate, StageRole};
-use pp_stream::messages::EncTensorMsg;
-use pp_stream::protocol::{EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore};
-use pp_stream_runtime::link::Frame;
-use pp_stream_runtime::tcp;
-use pp_stream_runtime::wire::{from_frame, to_frame};
-use pp_stream_runtime::WorkerPool;
+use pp_stream::{ModelProvider, NetConfig, NetworkedSession, PpStream, PpStreamConfig};
+use pp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
-use std::time::Instant;
 
 fn main() {
+    // Both parties agree on the model architecture and scaling factor
+    // out of band; the handshake's topology digest verifies they did.
     let mut rng = StdRng::seed_from_u64(31);
-    // Both parties agree on the model *architecture* out of band; only
-    // the model provider holds the weights.
     let model = zoo::mlp("distributed-mlp", &[6, 10, 3], &mut rng).expect("model");
     let scaled = ScaledModel::from_model(&model, 10_000);
-    let stages = encapsulate(&scaled).expect("stages");
-    let factor = scaled.factor();
+
+    let config = NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() };
 
     // ---- Model provider: a TCP server owning the weights. ----
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
-    let mp_stages = stages.clone();
-    let model_provider = std::thread::spawn(move || {
-        let (stream, peer) = listener.accept().expect("accept");
-        println!("[model-provider] data provider connected from {peer}");
-        let (mut tx, mut rx) = tcp::framed(stream).expect("framed");
-
-        // Handshake: receive the data provider's public key (n).
-        let hello = rx.recv().expect("recv").expect("handshake frame");
-        let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.payload));
-        println!("[model-provider] received {}-bit public key", pk.bits());
-
-        // Build the linear-stage executors (the weights never leave here).
-        let pool = WorkerPool::new(2);
-        let perms = Arc::new(PermStore::default());
-        let intra = Arc::new(AtomicU64::new(0));
-        let linear: Vec<LinearStage> = {
-            let n_linear =
-                mp_stages.iter().filter(|s| s.role == StageRole::Linear).count();
-            mp_stages
-                .iter()
-                .filter(|s| s.role == StageRole::Linear)
-                .enumerate()
-                .map(|(idx, stage)| LinearStage {
-                    pk: pk.clone(),
-                    stage: stage.clone(),
-                    linear_idx: idx,
-                    is_first: idx == 0,
-                    is_last: idx == n_linear - 1,
-                    perms: Arc::clone(&perms),
-                    mode: PartitionMode::Partitioned,
-                    seed: 77,
-                    intra_bytes: Arc::clone(&intra),
-                })
-                .collect()
-        };
-
-        // Serve: each incoming frame for a request advances it one linear
-        // round.
-        let mut next_round: HashMap<u64, usize> = HashMap::new();
-        let mut bytes_seen = 0u64;
-        while let Some(frame) = rx.recv().expect("recv") {
-            bytes_seen += frame.payload.len() as u64;
-            let msg: EncTensorMsg = from_frame(frame.payload).expect("enc tensor");
-            let round = next_round.entry(msg.seq).or_insert(0);
-            let out = linear[*round].execute(msg, &pool).expect("linear round");
-            *round += 1;
-            let payload = to_frame(&out);
-            bytes_seen += payload.len() as u64;
-            tx.send(&Frame { seq: out.seq, payload }).expect("send");
-        }
-        println!("[model-provider] connection closed; {bytes_seen} B exchanged");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || {
+        let report = provider.serve_listener(&listener).expect("serve");
+        println!(
+            "[model-provider] served {} requests, {} B in / {} B out, clean shutdown: {}",
+            report.requests, report.bytes_in, report.bytes_out, report.clean_shutdown
+        );
+        report
     });
 
     // ---- Data provider: a TCP client owning the keys and the inputs. ----
-    let keypair = {
-        let mut rng = StdRng::seed_from_u64(99);
-        Keypair::generate(256, &mut rng)
-    };
-    let (mut tx, mut rx) = tcp::connect(addr).expect("connect");
-    tx.send(&Frame { seq: 0, payload: keypair.public().n().to_bytes_be().into() })
-        .expect("handshake");
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    println!("[data-provider] handshake accepted by {addr}");
 
-    let pool = WorkerPool::new(2);
-    let encrypt = EncryptStage { pk: keypair.public(), seed: 5 };
-    let nonlinear: Vec<NonLinearStage> = stages
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.role == StageRole::NonLinear)
-        .map(|(i, stage)| NonLinearStage {
-            keypair: keypair.clone(),
-            stage: stage.clone(),
-            factor,
-            is_last: i == stages.len() - 1,
-            seed: 6,
+    let inputs: Vec<Tensor<f64>> = (0..3u64)
+        .map(|seq| {
+            Tensor::from_flat(
+                (0..6).map(|j| ((seq * 6 + j) as f64 * 0.41).sin()).collect::<Vec<f64>>(),
+            )
         })
         .collect();
 
-    for seq in 0..3u64 {
-        let input = pp_tensor::Tensor::from_flat(
-            (0..6).map(|j| ((seq * 6 + j) as f64 * 0.41).sin()).collect::<Vec<f64>>(),
-        );
-        let t0 = Instant::now();
-        let scaled_in = scaled.scale_input(&input);
-        let mut msg = encrypt.encrypt(
-            pp_stream::messages::PlainTensorMsg {
-                seq,
-                shape: vec![6],
-                values: scaled_in.data().iter().map(|&v| v as i128).collect(),
-            },
-            &pool,
-        );
-        let mut result = None;
-        for nl in &nonlinear {
-            // Send to the model provider (linear round) …
-            tx.send(&Frame { seq, payload: to_frame(&msg) }).expect("send");
-            let reply = rx.recv().expect("recv").expect("reply");
-            let enc: EncTensorMsg = from_frame(reply.payload).expect("enc tensor");
-            // … then run our non-linear round on the (permuted) values.
-            if nl.is_last {
-                result = Some(nl.execute_final(enc, &pool));
-            } else {
-                msg = nl.execute(enc, &pool);
-            }
-        }
-        let result = result.expect("final round");
-        let out: Vec<i64> =
-            result.values.iter().map(|&v| i64::try_from(v).expect("fits")).collect();
-        let class = pp_nn::activation::argmax_i64(&pp_tensor::Tensor::from_flat(out));
-        let want = scaled.classify_scaled(&input).expect("reference");
-        println!(
-            "[data-provider] request {seq}: class {class} (reference {want}) in {:?}",
-            t0.elapsed()
-        );
-        assert_eq!(class, want, "distributed result must match the local reference");
-    }
+    let (classes, report) = session.classify_stream(&inputs).expect("networked inference");
+    let transport = report.transport.as_ref().expect("networked run has transport stats");
+    println!(
+        "[data-provider] {} requests in {:?} (mean latency {:?}); {} frames / {} B sent, \
+         {} frames / {} B received",
+        classes.len(),
+        report.makespan,
+        report.mean_latency,
+        transport.frames_sent,
+        transport.bytes_sent,
+        transport.frames_received,
+        transport.bytes_received,
+    );
+    let final_report = session.shutdown();
+    assert!(final_report.clean_shutdown);
+    let server_report = server.join().expect("model provider thread");
+    assert!(server_report.clean_shutdown, "server must observe a clean EOF");
 
-    drop(tx);
-    drop(rx);
-    model_provider.join().expect("model provider thread");
-    println!("\nall requests matched the local scaled reference — the distributed");
-    println!("deployment computes the same function while exchanging only ciphertext.");
+    // The networked deployment must compute the same function as the
+    // in-process pipeline.
+    let mut local_cfg = PpStreamConfig::small_test(config.key_bits);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.classify_stream(&inputs).expect("in-process inference");
+    assert_eq!(classes, want, "networked classifications must match in-process");
+
+    println!("\nall {} networked classifications match the in-process pipeline —", classes.len());
+    println!("the two-process deployment computes the same function while exchanging");
+    println!("only ciphertext.");
 }

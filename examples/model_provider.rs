@@ -1,0 +1,69 @@
+//! Standalone model-provider server for a real two-process deployment.
+//!
+//! Run this first, then `data_provider` (optionally on another machine):
+//!
+//! ```sh
+//! cargo run --release --example model_provider -- 127.0.0.1:7700
+//! cargo run --release --example data_provider  -- 127.0.0.1:7700
+//! ```
+//!
+//! The server owns the scaled weights and executes the linear stages
+//! homomorphically; it never sees the client's private key or any
+//! plaintext activation. Pass `--once` to exit after serving one client
+//! (useful in scripts); otherwise it serves clients sequentially until
+//! killed.
+//!
+//! Both binaries build the same demo model from a fixed seed so their
+//! topology digests agree — in a real deployment the architecture (not
+//! the weights) is what the two parties must share out of band.
+
+use pp_nn::{zoo, ScaledModel};
+use pp_stream::{ModelProvider, NetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The architecture both demo binaries agree on.
+fn demo_model() -> ScaledModel {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp("distributed-mlp", &[6, 10, 3], &mut rng).expect("model");
+    ScaledModel::from_model(&model, 10_000)
+}
+
+fn demo_config() -> NetConfig {
+    NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let once = args.iter().any(|a| a == "--once");
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7700".to_string());
+
+    let scaled = demo_model();
+    let provider = ModelProvider::new(&scaled, &demo_config()).expect("provider");
+    let listener = std::net::TcpListener::bind(&addr).expect("bind");
+    let local = listener.local_addr().expect("addr");
+    println!(
+        "[model-provider] listening on {local} (topology digest {:#018x})",
+        provider.topology()
+    );
+
+    loop {
+        match provider.serve_listener(&listener) {
+            Ok(report) => println!(
+                "[model-provider] connection done: {} requests, {} B in / {} B out, \
+                 clean shutdown: {}",
+                report.requests, report.bytes_in, report.bytes_out, report.clean_shutdown
+            ),
+            // A failed client (handshake rejection, mid-stream drop) must
+            // not take the server down; log and keep serving.
+            Err(e) => eprintln!("[model-provider] connection failed: {e}"),
+        }
+        if once {
+            break;
+        }
+    }
+}

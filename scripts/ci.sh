@@ -13,6 +13,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> loopback two-process deployment test"
+cargo test -p pp-stream --test deployment -q
+cargo run --release --example distributed_inference
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

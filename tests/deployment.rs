@@ -5,10 +5,31 @@
 use pp_nn::{zoo, Model, ScaledModel};
 use pp_paillier::packing::{PackedCiphertext, PackingSpec};
 use pp_paillier::{Keypair, PublicKey, RandomnessPool};
-use pp_stream::{PpStream, PpStreamConfig};
+use pp_stream::messages::{AcceptMsg, HelloMsg, PROTOCOL_VERSION};
+use pp_stream::{ModelProvider, NetConfig, NetworkedSession, PpStream, PpStreamConfig};
+use pp_stream_runtime::wire::{from_frame, to_frame};
+use pp_stream_runtime::{tcp, TcpConfig};
 use pp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn mlp_model(name: &str, widths: &[usize]) -> ScaledModel {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp(name, widths, &mut rng).expect("model");
+    ScaledModel::from_model(&model, 10_000)
+}
+
+fn stream_inputs(n: u64, width: usize) -> Vec<Tensor<f64>> {
+    (0..n)
+        .map(|seq| {
+            Tensor::from_flat(
+                (0..width as u64)
+                    .map(|j| ((seq * width as u64 + j) as f64 * 0.37).sin())
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
+}
 
 #[test]
 fn model_roundtrip_preserves_private_inference() {
@@ -103,4 +124,96 @@ fn avgpool_generality_end_to_end() {
     let (out, _) = session.infer_stream(std::slice::from_ref(&input)).expect("inference");
     let want = scaled.forward_scaled(&scaled.scale_input(&input)).expect("reference");
     assert_eq!(out[0].data(), want.data());
+}
+
+#[test]
+fn networked_loopback_matches_in_process_pipeline() {
+    // The acceptance bar for the two-process deployment: run the full
+    // handshake + streamed inference over a real 127.0.0.1 socket and
+    // require the classifications to equal the in-process pipeline's,
+    // bit for bit.
+    let scaled = mlp_model("loopback-mlp", &[6, 10, 3]);
+    let config = NetConfig::small_test(128);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let inputs = stream_inputs(3, 6);
+    let (classes, report) = session.classify_stream(&inputs).expect("networked inference");
+    let transport = report.transport.expect("networked run records transport stats");
+    assert!(transport.frames_sent > 0 && transport.frames_received > 0);
+    assert!(session.shutdown().clean_shutdown);
+
+    let server_report = server.join().expect("server thread");
+    assert_eq!(server_report.requests as usize, inputs.len());
+    assert!(server_report.clean_shutdown, "server must observe a clean EOF");
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.classify_stream(&inputs).expect("in-process inference");
+    assert_eq!(classes, want, "networked classifications must match in-process");
+}
+
+#[test]
+fn mid_stream_kill_is_a_transport_error_naming_the_stage() {
+    // A server that completes the handshake, then dies before answering
+    // the first linear round. The client must report a *transport* error
+    // that names the failing stage — never a Decode error.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = std::thread::spawn(move || {
+        let (mut tx, mut rx) = tcp::accept_on(&listener, &TcpConfig::new()).expect("accept");
+        let frame = rx.recv().expect("recv hello").expect("hello frame");
+        let hello: HelloMsg = from_frame(frame.payload).expect("decode hello");
+        let accept = AcceptMsg {
+            version: PROTOCOL_VERSION,
+            pk_fingerprint: hello.pk_fingerprint,
+            topology: hello.topology,
+        };
+        tx.send_payload(to_frame(&accept)).expect("send accept");
+        // Connection drops here: the client's first request dies.
+    });
+
+    let scaled = mlp_model("killed-mlp", &[6, 10, 3]);
+    let config = NetConfig::small_test(128);
+    let mut session =
+        NetworkedSession::connect(addr, scaled, &config).expect("handshake completes");
+    server.join().expect("server thread");
+
+    let inputs = stream_inputs(1, 6);
+    let err = session.classify_stream(&inputs).expect_err("peer is gone");
+    let text = err.to_string();
+    assert!(text.contains("transport error"), "must be a transport error: {text}");
+    assert!(text.contains("linear-0@model"), "must name the failing stage: {text}");
+    assert!(!text.to_lowercase().contains("decode"), "must never be Decode: {text}");
+}
+
+#[test]
+fn topology_mismatch_is_rejected_at_handshake() {
+    // Server and client built against different architectures: the
+    // handshake must fail fast with a reason naming the topology, and
+    // the server must survive to report the rejection as an error.
+    let server_model = mlp_model("server-mlp", &[6, 10, 3]);
+    let client_model = mlp_model("client-mlp", &[6, 8, 3]);
+    let config = NetConfig::small_test(128);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&server_model, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener));
+
+    let err = NetworkedSession::connect(addr, client_model, &config)
+        .map(|_| ())
+        .expect_err("mismatched topology must be rejected");
+    let text = err.to_string();
+    assert!(text.contains("rejected handshake"), "{text}");
+    assert!(text.contains("topology"), "reason must name the mismatch: {text}");
+
+    let server_result = server.join().expect("server thread");
+    assert!(server_result.is_err(), "server reports the rejected handshake as an error");
 }
