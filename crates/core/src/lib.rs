@@ -56,7 +56,12 @@ pub mod simulate;
 
 pub use encapsulate::{encapsulate, MergedStage, StageRole};
 pub use encctx::EncCtx;
-pub use net::{ModelProvider, NetConfig, NetworkedSession, ServeReport, TransportReport};
+pub use net::{
+    ModelProvider, NetConfig, NetworkedSession, ServeOptions, ServeReport, ServerHandle,
+    TransportReport,
+};
+#[cfg(feature = "fault-injection")]
+pub use pp_stream_runtime::fault::FaultPlan;
 pub use plan::{AllocationPlan, PlanSource};
 pub use session::{PpStream, PpStreamConfig, RunReport};
 

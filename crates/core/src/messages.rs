@@ -74,7 +74,11 @@ impl WireDecode for PlainTensorMsg {
 /// Version of the two-process deployment protocol (handshake + frame
 /// exchange). Bumped on any wire-incompatible change; peers with
 /// different versions refuse to talk.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: [`AcceptMsg`] carries a server-assigned session ID, and the
+/// session-resume message set ([`ResumeMsg`], [`AckMsg`], [`ByeMsg`])
+/// exists.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Deployment handshake: the data provider's opening message. Carries
 /// everything both sides must agree on before ciphertexts flow —
@@ -132,6 +136,10 @@ pub struct AcceptMsg {
     pub version: u32,
     pub pk_fingerprint: u64,
     pub topology: u64,
+    /// Server-assigned session ID. A client that loses its connection
+    /// presents this in a [`ResumeMsg`] to pick the stream back up
+    /// without redoing delivered work.
+    pub session: u64,
 }
 
 impl WireEncode for AcceptMsg {
@@ -140,6 +148,7 @@ impl WireEncode for AcceptMsg {
         enc.put_u32(self.version);
         enc.put_u64(self.pk_fingerprint);
         enc.put_u64(self.topology);
+        enc.put_u64(self.session);
     }
 }
 
@@ -150,6 +159,7 @@ impl WireDecode for AcceptMsg {
             version: dec.get_u32()?,
             pk_fingerprint: dec.get_u64()?,
             topology: dec.get_u64()?,
+            session: dec.get_u64()?,
         })
     }
 }
@@ -175,6 +185,92 @@ impl WireDecode for RejectMsg {
     }
 }
 
+/// Session resume: the data provider's opening message on a
+/// *re*connection. Instead of a full [`HelloMsg`] (the server already
+/// holds the key and parameters in its session table), the client
+/// presents its session ID and how many items it has fully completed —
+/// the server syncs its ack floor to `items_done` and the client replays
+/// only the in-flight item. Answered by [`AcceptMsg`] (echoing the
+/// session) or [`RejectMsg`] (unknown/expired session, digest mismatch).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResumeMsg {
+    /// Sender's [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// The session ID from the original [`AcceptMsg`].
+    pub session: u64,
+    /// Count of fully completed items: items `0..items_done` are done
+    /// and must never be re-executed (a count, not a last-seq, so a
+    /// fresh stream needs no sentinel value).
+    pub items_done: u64,
+    /// Topology digest, re-checked so a client rebuilt against a
+    /// different model cannot resume into a stale session.
+    pub topology: u64,
+}
+
+impl WireEncode for ResumeMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::Resume as u8);
+        enc.put_u32(self.version);
+        enc.put_u64(self.session);
+        enc.put_u64(self.items_done);
+        enc.put_u64(self.topology);
+    }
+}
+
+impl WireDecode for ResumeMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::Resume)?;
+        Ok(ResumeMsg {
+            version: dec.get_u32()?,
+            session: dec.get_u64()?,
+            items_done: dec.get_u64()?,
+            topology: dec.get_u64()?,
+        })
+    }
+}
+
+/// Client → server: items `0..items_done` are fully delivered. Raises
+/// the server's exactly-once floor — a later round-0 request below the
+/// floor is a protocol violation, not a replay. Fire-and-forget (no
+/// reply); a lost ack is re-synced by the next [`ResumeMsg`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AckMsg {
+    pub items_done: u64,
+}
+
+impl WireEncode for AckMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::Ack as u8);
+        enc.put_u64(self.items_done);
+    }
+}
+
+impl WireDecode for AckMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::Ack)?;
+        Ok(AckMsg { items_done: dec.get_u64()? })
+    }
+}
+
+/// Client → server: deliberate end of session. Distinguishes a clean
+/// shutdown from a crashed client — both close the socket, but only a
+/// dropped connection leaves resumable session state behind.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ByeMsg;
+
+impl WireEncode for ByeMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::Bye as u8);
+    }
+}
+
+impl WireDecode for ByeMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::Bye)?;
+        Ok(ByeMsg)
+    }
+}
+
 /// Message type tags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MsgTag {
@@ -183,6 +279,9 @@ pub enum MsgTag {
     Hello = 3,
     Accept = 4,
     Reject = 5,
+    Resume = 6,
+    Ack = 7,
+    Bye = 8,
 }
 
 /// Peeks the tag byte of a frame without consuming the decoder.
@@ -193,6 +292,9 @@ pub fn peek_tag(frame: &bytes::Bytes) -> Option<MsgTag> {
         Some(3) => Some(MsgTag::Hello),
         Some(4) => Some(MsgTag::Accept),
         Some(5) => Some(MsgTag::Reject),
+        Some(6) => Some(MsgTag::Resume),
+        Some(7) => Some(MsgTag::Ack),
+        Some(8) => Some(MsgTag::Bye),
         _ => None,
     }
 }
@@ -249,7 +351,7 @@ mod tests {
         let back: HelloMsg = from_frame(to_frame(&hello)).unwrap();
         assert_eq!(back, hello);
 
-        let accept = AcceptMsg { version: 1, pk_fingerprint: 2, topology: 3 };
+        let accept = AcceptMsg { version: 2, pk_fingerprint: 2, topology: 3, session: 99 };
         let back: AcceptMsg = from_frame(to_frame(&accept)).unwrap();
         assert_eq!(back, accept);
 
@@ -257,6 +359,25 @@ mod tests {
         let back: RejectMsg = from_frame(to_frame(&reject)).unwrap();
         assert_eq!(back, reject);
         assert_eq!(peek_tag(&to_frame(&reject)), Some(MsgTag::Reject));
+    }
+
+    #[test]
+    fn resume_message_set_roundtrips() {
+        let resume =
+            ResumeMsg { version: PROTOCOL_VERSION, session: 7, items_done: 42, topology: 0xA1 };
+        let back: ResumeMsg = from_frame(to_frame(&resume)).unwrap();
+        assert_eq!(back, resume);
+        assert_eq!(peek_tag(&to_frame(&resume)), Some(MsgTag::Resume));
+
+        let ack = AckMsg { items_done: 13 };
+        let back: AckMsg = from_frame(to_frame(&ack)).unwrap();
+        assert_eq!(back, ack);
+        assert_eq!(peek_tag(&to_frame(&ack)), Some(MsgTag::Ack));
+
+        let bye = to_frame(&ByeMsg);
+        assert_eq!(peek_tag(&bye), Some(MsgTag::Bye));
+        let back: ByeMsg = from_frame(bye).unwrap();
+        assert_eq!(back, ByeMsg);
     }
 
     #[test]

@@ -15,16 +15,36 @@
 //!   **non-linear** stages locally, and round-trips every linear stage
 //!   through the server.
 //!
-//! ## Handshake
+//! ## Handshake and sessions
 //!
 //! Before any ciphertext flows the client sends a
 //! [`HelloMsg`](crate::messages::HelloMsg): protocol version, public-key
 //! bytes + fingerprint, and a digest of the merged-stage topology. The
 //! server answers [`AcceptMsg`](crate::messages::AcceptMsg) (echoing the
-//! agreed parameters) or [`RejectMsg`](crate::messages::RejectMsg)
-//! naming the mismatch, so a client built against a different model
-//! layout fails fast with `Transport { kind: Handshake, .. }` instead of
-//! corrupting an inference mid-stream.
+//! agreed parameters plus a server-assigned **session ID**) or
+//! [`RejectMsg`](crate::messages::RejectMsg) naming the mismatch, so a
+//! client built against a different model layout fails fast with
+//! `Transport { kind: Handshake, .. }` instead of corrupting an
+//! inference mid-stream.
+//!
+//! ## Fault tolerance (DESIGN.md §5)
+//!
+//! The server keeps a bounded, TTL-evicting session table. When a
+//! connection dies mid-stream the client transparently reconnects (with
+//! the configured [`RetryPolicy`](pp_stream_runtime::RetryPolicy)),
+//! presents [`ResumeMsg`](crate::messages::ResumeMsg) with its count of
+//! fully completed items, and replays only the in-flight item. After
+//! each completed item the client sends a fire-and-forget
+//! [`AckMsg`](crate::messages::AckMsg) raising the server's exactly-once
+//! floor: a round-0 request below the floor is a protocol violation, so
+//! a delivered item's Paillier evaluations are never silently repeated.
+//! A deliberate [`ByeMsg`](crate::messages::ByeMsg) ends the session;
+//! a bare EOF leaves it resumable until the TTL expires.
+//!
+//! Replay is sound because every stage derives its randomness
+//! deterministically from `(seed, seq)` — re-running an item from round
+//! 0 regenerates bit-identical ciphertexts and permutations, which the
+//! chaos tests assert.
 //!
 //! ## Frame exchange
 //!
@@ -41,25 +61,34 @@
 
 use crate::encapsulate::{encapsulate_with, MergedStage, StageRole};
 use crate::messages::{
-    AcceptMsg, EncTensorMsg, HelloMsg, MsgTag, PlainTensorMsg, RejectMsg, PROTOCOL_VERSION,
+    AcceptMsg, AckMsg, ByeMsg, EncTensorMsg, HelloMsg, MsgTag, PlainTensorMsg, RejectMsg,
+    ResumeMsg, PROTOCOL_VERSION,
 };
 use crate::protocol::{EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore};
 use crate::session::RunReport;
 use crate::CoreError;
+use bytes::Bytes;
+use parking_lot::Mutex;
 use pp_bigint::BigUint;
 use pp_nn::scaling::{ScaledModel, ScaledOp};
 use pp_paillier::{Keypair, PublicKey};
+#[cfg(feature = "fault-injection")]
+use pp_stream_runtime::fault::{FaultPlan, FaultReceiver, FaultSender, FaultState};
+use pp_stream_runtime::link::Frame;
 use pp_stream_runtime::wire::{from_frame, to_frame};
 use pp_stream_runtime::{
-    tcp, StreamError, TcpConfig, TcpFrameReceiver, TcpFrameSender, TransportErrorKind, WorkerPool,
+    tcp, FrameReceiver, FrameSender, StreamError, TcpConfig, TcpFrameReceiver, TcpFrameSender,
+    TransportErrorKind, WorkerPool,
 };
 use pp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::net::{TcpListener, ToSocketAddrs};
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Configuration shared by both ends of a deployment.
@@ -78,6 +107,18 @@ pub struct NetConfig {
     /// Socket knobs: connect retry/backoff, read/write timeouts, seq
     /// validation.
     pub tcp: TcpConfig,
+    /// How many reconnect-and-resume cycles a client survives per
+    /// request before giving up with the underlying transport error.
+    pub max_resumes: u32,
+    /// Server-side: how long a dropped session stays resumable.
+    pub session_ttl: Duration,
+    /// Server-side: resumable-session table bound; beyond it the
+    /// least-recently-seen session is evicted.
+    pub session_capacity: usize,
+    /// Client-side deterministic fault injection (tests and chaos
+    /// drills); `None` leaves the transport untouched.
+    #[cfg(feature = "fault-injection")]
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for NetConfig {
@@ -88,20 +129,30 @@ impl Default for NetConfig {
             threads: 2,
             merge_stages: true,
             tcp: TcpConfig::new(),
+            max_resumes: 8,
+            session_ttl: Duration::from_secs(300),
+            session_capacity: 1024,
+            #[cfg(feature = "fault-injection")]
+            fault: None,
         }
     }
 }
 
 impl NetConfig {
-    /// A fast configuration for tests: tiny key, short timeouts.
+    /// A fast configuration for tests: tiny key, bounded timeouts, quick
+    /// reconnect backoff.
     pub fn small_test(key_bits: usize) -> Self {
         NetConfig {
             key_bits,
             seed: 42,
-            tcp: TcpConfig::new().with_timeouts(
-                Duration::from_secs(30),
-                Duration::from_secs(30),
-            ),
+            tcp: TcpConfig::new()
+                .with_timeouts(Duration::from_secs(30), Duration::from_secs(30))
+                .with_retry(pp_stream_runtime::RetryPolicy {
+                    max_attempts: 3,
+                    base_delay: Duration::from_millis(5),
+                    max_delay: Duration::from_millis(40),
+                    jitter: true,
+                }),
             ..Default::default()
         }
     }
@@ -120,28 +171,80 @@ pub struct TransportReport {
     pub bytes_sent: u64,
     /// Payload bytes received.
     pub bytes_received: u64,
-    /// Connection attempts the retry loop used (1 = first try).
+    /// Connection attempts the retry loops used (1 = first try, with no
+    /// reconnects).
     pub connect_attempts: u32,
+    /// Successful reconnect-and-resume cycles after a mid-stream
+    /// transport failure.
+    pub reconnects: u64,
+    /// Items whose linear rounds had partially run before a failure and
+    /// were replayed from round 0 after a resume.
+    pub items_replayed: u64,
+    /// Faults the injection layer fired (0 without a
+    /// [`NetConfig::fault`] plan).
+    pub faults_injected: u64,
     /// Whether the connection ended without a transport error.
     pub clean_shutdown: bool,
 }
 
-/// Server-side statistics for one served connection.
+/// Server-side statistics, aggregated over every connection a
+/// [`ModelProvider::serve_listener`] or [`ModelProvider::serve_forever`]
+/// call handled.
 #[derive(Clone, Debug, Default)]
 pub struct ServeReport {
-    /// Inference requests completed (distinct request seqs finished).
+    /// Inference request streams completed (a replayed item counts each
+    /// time its last linear round finishes).
     pub requests: u64,
-    /// Frames received from the data provider (handshake included).
+    /// Frames received from data providers (handshakes included).
     pub frames_in: u64,
-    /// Frames sent to the data provider.
+    /// Frames sent to data providers.
     pub frames_out: u64,
     /// Payload bytes received.
     pub bytes_in: u64,
     /// Payload bytes sent.
     pub bytes_out: u64,
-    /// True when the client closed the connection between frames (a
-    /// mid-frame disconnect is an error, not a clean shutdown).
+    /// Connections accepted (handshaken or not).
+    pub connections: u64,
+    /// Connections that opened with a valid [`ResumeMsg`].
+    pub resumed_sessions: u64,
+    /// Handshakes rejected or never completed (bad hello, unknown
+    /// session, EOF before the first frame). The server keeps serving.
+    pub rejected_handshakes: u64,
+    /// Connections that died with a transport/protocol error after the
+    /// handshake. The session stays resumable; the server keeps serving.
+    pub failed_connections: u64,
+    /// Worker threads that panicked while serving a connection
+    /// (isolated; the server keeps serving).
+    pub panicked_connections: u64,
+    /// Items whose round 0 arrived again after a resume (the client
+    /// replaying in-flight work — never below the acked floor).
+    pub replayed_items: u64,
+    /// The most recent per-connection error, for operator visibility.
+    pub last_error: Option<String>,
+    /// True when at least one client ended its session deliberately
+    /// ([`ByeMsg`]) rather than by dropping the connection.
     pub clean_shutdown: bool,
+}
+
+impl ServeReport {
+    /// Folds another report (e.g. one worker's connection) into this one.
+    pub fn merge(&mut self, other: &ServeReport) {
+        self.requests += other.requests;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.connections += other.connections;
+        self.resumed_sessions += other.resumed_sessions;
+        self.rejected_handshakes += other.rejected_handshakes;
+        self.failed_connections += other.failed_connections;
+        self.panicked_connections += other.panicked_connections;
+        self.replayed_items += other.replayed_items;
+        if other.last_error.is_some() {
+            self.last_error = other.last_error.clone();
+        }
+        self.clean_shutdown |= other.clean_shutdown;
+    }
 }
 
 /// FNV-1a 64-bit — stable, dependency-free fingerprint for handshake
@@ -237,11 +340,221 @@ fn handshake_err(context: impl Into<String>) -> StreamError {
 }
 
 // ---------------------------------------------------------------------------
+// Fault-injection hook (compiled out without the feature)
+// ---------------------------------------------------------------------------
+
+/// Client-side handle on the shared fault state; `()` when the
+/// `fault-injection` feature is off, so the session struct and the
+/// reconnect path carry zero cost in release deployments.
+#[cfg(feature = "fault-injection")]
+type FaultHook = Option<Arc<Mutex<FaultState>>>;
+#[cfg(not(feature = "fault-injection"))]
+type FaultHook = ();
+
+#[cfg(feature = "fault-injection")]
+fn fault_hook(config: &NetConfig) -> FaultHook {
+    config.fault.clone().filter(FaultPlan::is_active).map(FaultPlan::into_state)
+}
+#[cfg(not(feature = "fault-injection"))]
+fn fault_hook(_config: &NetConfig) -> FaultHook {}
+
+/// Boxes the freshly handshaken halves, wrapping them in the fault
+/// injectors when a plan is active. Handshake and resume frames travel
+/// on the raw halves *before* this call, so injected kills never starve
+/// the recovery path itself.
+#[cfg(feature = "fault-injection")]
+fn wrap_transport(
+    tx: TcpFrameSender,
+    rx: TcpFrameReceiver,
+    hook: &FaultHook,
+) -> (Box<dyn FrameSender>, Box<dyn FrameReceiver>) {
+    match hook {
+        Some(state) => (
+            Box::new(FaultSender::new(tx, Arc::clone(state))),
+            Box::new(FaultReceiver::new(rx, Arc::clone(state))),
+        ),
+        None => (Box::new(tx), Box::new(rx)),
+    }
+}
+#[cfg(not(feature = "fault-injection"))]
+fn wrap_transport(
+    tx: TcpFrameSender,
+    rx: TcpFrameReceiver,
+    _hook: &FaultHook,
+) -> (Box<dyn FrameSender>, Box<dyn FrameReceiver>) {
+    (Box::new(tx), Box::new(rx))
+}
+
+#[cfg(feature = "fault-injection")]
+fn revive_fault(hook: &FaultHook) {
+    if let Some(state) = hook {
+        state.lock().revive();
+    }
+}
+#[cfg(not(feature = "fault-injection"))]
+fn revive_fault(_hook: &FaultHook) {}
+
+#[cfg(feature = "fault-injection")]
+fn fault_count(hook: &FaultHook) -> u64 {
+    hook.as_ref().map(|s| s.lock().faults_injected()).unwrap_or(0)
+}
+#[cfg(not(feature = "fault-injection"))]
+fn fault_count(_hook: &FaultHook) -> u64 {
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Session table (server side)
+// ---------------------------------------------------------------------------
+
+/// Per-session resume state the server retains across connections.
+#[derive(Clone, Debug)]
+struct SessionEntry {
+    pk_n: Vec<u8>,
+    pk_fingerprint: u64,
+    topology: u64,
+    /// Items `0..acked` are client-confirmed delivered — the
+    /// exactly-once floor. Round 0 below it is a protocol violation.
+    acked: u64,
+    /// Items `0..started` have begun round 0 at least once; round 0 in
+    /// `acked..started` is a legitimate post-resume replay.
+    started: u64,
+    last_seen: Instant,
+}
+
+/// Bounded, TTL-evicting table of resumable sessions, shared by every
+/// connection a provider serves.
+struct SessionTable {
+    ttl: Duration,
+    capacity: usize,
+    next_id: AtomicU64,
+    inner: Mutex<HashMap<u64, SessionEntry>>,
+}
+
+impl SessionTable {
+    fn new(ttl: Duration, capacity: usize) -> Self {
+        SessionTable {
+            ttl,
+            capacity: capacity.max(1),
+            // Session 0 is never issued, so a zeroed client can't
+            // accidentally resume a real stream.
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn evict_expired(map: &mut HashMap<u64, SessionEntry>, ttl: Duration) {
+        let now = Instant::now();
+        map.retain(|_, e| now.duration_since(e.last_seen) <= ttl);
+    }
+
+    /// Registers a fresh session, evicting expired entries and — at
+    /// capacity — the least-recently-seen live one.
+    fn create(&self, pk_n: Vec<u8>, pk_fingerprint: u64, topology: u64) -> u64 {
+        let mut map = self.inner.lock();
+        Self::evict_expired(&mut map, self.ttl);
+        if map.len() >= self.capacity {
+            if let Some(oldest) = map.iter().min_by_key(|(_, e)| e.last_seen).map(|(&id, _)| id) {
+                map.remove(&oldest);
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        map.insert(
+            id,
+            SessionEntry {
+                pk_n,
+                pk_fingerprint,
+                topology,
+                acked: 0,
+                started: 0,
+                last_seen: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Validates a resume and syncs the ack floor to the client's count.
+    fn resume(&self, session: u64, items_done: u64, topology: u64) -> Result<SessionEntry, String> {
+        let mut map = self.inner.lock();
+        Self::evict_expired(&mut map, self.ttl);
+        let entry = map
+            .get_mut(&session)
+            .ok_or_else(|| format!("resume rejected: session {session} is unknown or expired"))?;
+        if entry.topology != topology {
+            return Err(format!(
+                "resume rejected: topology digest {topology:#018x} does not match session \
+                 {session}'s {:#018x}",
+                entry.topology
+            ));
+        }
+        if items_done < entry.acked {
+            return Err(format!(
+                "resume rejected: client reports {items_done} items done but {} are already \
+                 acked — replaying them would break exactly-once delivery",
+                entry.acked
+            ));
+        }
+        entry.acked = items_done;
+        entry.started = entry.started.max(entry.acked);
+        entry.last_seen = Instant::now();
+        Ok(entry.clone())
+    }
+
+    /// Raises the exactly-once floor from a client ack.
+    fn ack(&self, session: u64, items_done: u64) {
+        if let Some(e) = self.inner.lock().get_mut(&session) {
+            e.acked = e.acked.max(items_done);
+            e.started = e.started.max(e.acked);
+            e.last_seen = Instant::now();
+        }
+    }
+
+    /// Gate for an item's first linear round. `Ok(true)` means the item
+    /// is a post-resume replay; `Err` means the floor was violated.
+    fn on_round0(&self, session: u64, seq: u64) -> Result<bool, String> {
+        let mut map = self.inner.lock();
+        let e = map
+            .get_mut(&session)
+            .ok_or_else(|| format!("session {session} vanished mid-connection"))?;
+        if seq < e.acked {
+            return Err(format!(
+                "exactly-once violation: request {seq} restarted below the acked floor {}",
+                e.acked
+            ));
+        }
+        let replayed = seq < e.started;
+        e.started = e.started.max(seq + 1);
+        e.last_seen = Instant::now();
+        Ok(replayed)
+    }
+
+    /// Ends a session deliberately (client Bye).
+    fn remove(&self, session: u64) {
+        self.inner.lock().remove(&session);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Model provider (server)
 // ---------------------------------------------------------------------------
 
+/// How one served connection ended.
+enum ConnOutcome {
+    /// The client ended the session with [`ByeMsg`]; its state is gone.
+    Clean,
+    /// The socket closed without a Bye; the session stays resumable.
+    Dropped,
+    /// The handshake was rejected (or never arrived).
+    Rejected,
+}
+
 /// The model-provider server: serves the linear stages of one scaled
-/// model over a framed TCP connection.
+/// model over framed TCP connections, with resumable sessions.
 pub struct ModelProvider {
     stages: Vec<MergedStage>,
     topology: u64,
@@ -249,6 +562,7 @@ pub struct ModelProvider {
     seed: u64,
     pool: WorkerPool,
     tcp: TcpConfig,
+    sessions: SessionTable,
 }
 
 impl ModelProvider {
@@ -263,6 +577,7 @@ impl ModelProvider {
             seed: config.seed,
             pool: WorkerPool::new(config.threads.max(1)),
             tcp: config.tcp.clone(),
+            sessions: SessionTable::new(config.session_ttl, config.session_capacity),
         })
     }
 
@@ -271,15 +586,15 @@ impl ModelProvider {
         self.topology
     }
 
-    /// Binds `addr` and serves exactly one client connection to
-    /// completion. Returns the bound address alongside the report so
-    /// `127.0.0.1:0` callers can learn the assigned port — though for
-    /// that pattern [`ModelProvider::serve_listener`] with a pre-bound
-    /// listener avoids the race entirely.
+    /// Binds `addr` and serves client connections until one ends its
+    /// session cleanly (Bye). Returns the bound address alongside the
+    /// report so `127.0.0.1:0` callers can learn the assigned port —
+    /// though for that pattern [`ModelProvider::serve_listener`] with a
+    /// pre-bound listener avoids the race entirely.
     pub fn serve_once(
         &self,
         addr: impl ToSocketAddrs,
-    ) -> Result<(ServeReport, std::net::SocketAddr), CoreError> {
+    ) -> Result<(ServeReport, SocketAddr), CoreError> {
         let listener = TcpListener::bind(addr).map_err(|e| {
             CoreError::from(StreamError::transport(TransportErrorKind::Bind, format!("bind: {e}")))
         })?;
@@ -293,57 +608,219 @@ impl ModelProvider {
         Ok((report, local))
     }
 
-    /// Accepts one client on a pre-bound listener and serves it to
-    /// completion: handshake, then one reply frame per linear-stage
-    /// request frame, until the client closes the connection.
+    /// Serves connections on a pre-bound listener, sequentially, until a
+    /// client ends its session with a Bye. A dropped connection leaves
+    /// its session resumable and the loop accepts the reconnect; a
+    /// rejected or failed handshake is counted and the loop keeps
+    /// serving — one misconfigured client cannot take the server down.
     pub fn serve_listener(&self, listener: &TcpListener) -> Result<ServeReport, CoreError> {
-        let (mut tx, mut rx) = tcp::accept_on(listener, &self.tcp)?;
         let mut report = ServeReport::default();
-
-        // --- Handshake -----------------------------------------------------
-        let hello_frame = rx
-            .recv()
-            .map_err(|e| e.at_stage("handshake"))?
-            .ok_or_else(|| handshake_err("client closed before sending hello"))?;
-        report.frames_in += 1;
-        report.bytes_in += hello_frame.payload.len() as u64;
-        let hello: HelloMsg = from_frame(hello_frame.payload)
-            .map_err(|_| handshake_err("first frame was not a hello message"))?;
-
-        if let Some(reason) = self.validate_hello(&hello) {
-            // The report is discarded on the error path, so no counting.
-            let payload = to_frame(&RejectMsg { reason: reason.clone() });
-            tx.send_payload(payload).map_err(|e| e.at_stage("handshake reject"))?;
-            return Err(CoreError::from(handshake_err(format!("rejected client: {reason}"))));
+        loop {
+            let (mut tx, mut rx) = tcp::accept_on(listener, &self.tcp)?;
+            report.connections += 1;
+            match self.handle_conn(&mut tx, &mut rx, &mut report) {
+                Ok(ConnOutcome::Clean) => {
+                    report.clean_shutdown = true;
+                    return Ok(report);
+                }
+                Ok(ConnOutcome::Dropped) | Ok(ConnOutcome::Rejected) => continue,
+                Err(e) => {
+                    report.failed_connections += 1;
+                    report.last_error = Some(e.to_string());
+                    continue;
+                }
+            }
         }
+    }
 
-        let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
-        let accept = to_frame(&AcceptMsg {
-            version: PROTOCOL_VERSION,
-            pk_fingerprint: hello.pk_fingerprint,
-            topology: self.topology,
-        });
-        report.bytes_out += accept.len() as u64;
-        report.frames_out += 1;
-        tx.send_payload(accept).map_err(|e| e.at_stage("handshake accept"))?;
+    /// Supervised multi-client serving: accepts connections on
+    /// `listener` until [`ServerHandle::shutdown`], dispatching each to
+    /// a bounded pool of worker threads. A worker panic or per-connection
+    /// error is isolated and counted — the accept loop keeps serving.
+    /// Shutdown stops accepting and drains in-flight connections (it
+    /// blocks until their clients close or time out, so configure read
+    /// timeouts for unattended deployments).
+    pub fn serve_forever(
+        self: &Arc<Self>,
+        listener: TcpListener,
+        options: ServeOptions,
+    ) -> Result<ServerHandle, CoreError> {
+        let addr = listener.local_addr().map_err(|e| {
+            CoreError::from(StreamError::transport(
+                TransportErrorKind::Bind,
+                format!("local addr: {e}"),
+            ))
+        })?;
+        listener.set_nonblocking(true).map_err(|e| {
+            CoreError::from(StreamError::transport(
+                TransportErrorKind::Setup,
+                format!("nonblocking listener: {e}"),
+            ))
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let provider = Arc::clone(self);
+        let thread = std::thread::spawn(move || provider.supervise(listener, options, stop_flag));
+        Ok(ServerHandle { stop, addr, thread })
+    }
+
+    /// The accept/supervise loop behind [`ModelProvider::serve_forever`].
+    fn supervise(
+        self: Arc<Self>,
+        listener: TcpListener,
+        options: ServeOptions,
+        stop: Arc<AtomicBool>,
+    ) -> ServeReport {
+        let mut report = ServeReport::default();
+        let (done_tx, done_rx) = mpsc::channel::<WorkerDone>();
+        let mut active = 0usize;
+        let max_workers = options.max_workers.max(1);
+        while !stop.load(Ordering::Relaxed) {
+            while let Ok(done) = done_rx.try_recv() {
+                active -= 1;
+                absorb_worker(&mut report, done);
+            }
+            if active >= max_workers {
+                std::thread::sleep(options.poll_interval);
+                continue;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    report.connections += 1;
+                    active += 1;
+                    let provider = Arc::clone(&self);
+                    let done_tx = done_tx.clone();
+                    std::thread::spawn(move || {
+                        let done = catch_unwind(AssertUnwindSafe(|| {
+                            let mut local = ServeReport::default();
+                            let outcome = match tcp::framed_with(stream, &provider.tcp) {
+                                Ok((mut ctx, mut crx)) => {
+                                    provider.handle_conn(&mut ctx, &mut crx, &mut local)
+                                }
+                                Err(e) => Err(CoreError::from(e)),
+                            };
+                            (outcome, local)
+                        }));
+                        let _ = done_tx.send(done);
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(options.poll_interval);
+                }
+                Err(e) => {
+                    report.failed_connections += 1;
+                    report.last_error = Some(format!("accept: {e}"));
+                    std::thread::sleep(options.poll_interval);
+                }
+            }
+        }
+        // Graceful drain: no new connections, wait out the in-flight ones.
+        drop(done_tx);
+        while active > 0 {
+            match done_rx.recv() {
+                Ok(done) => {
+                    active -= 1;
+                    absorb_worker(&mut report, done);
+                }
+                Err(_) => break,
+            }
+        }
+        report
+    }
+
+    /// Serves one accepted connection: opening Hello/Resume, then the
+    /// EncTensor/Ack/Bye loop. Counts into `report`; transport and
+    /// protocol failures return `Err` (the caller isolates them).
+    fn handle_conn(
+        &self,
+        tx: &mut TcpFrameSender,
+        rx: &mut TcpFrameReceiver,
+        report: &mut ServeReport,
+    ) -> Result<ConnOutcome, CoreError> {
+        // --- Opening frame: Hello (fresh session) or Resume ----------------
+        let first = match rx.recv().map_err(|e| e.at_stage("handshake"))? {
+            Some(f) => f,
+            None => {
+                report.rejected_handshakes += 1;
+                return Ok(ConnOutcome::Rejected);
+            }
+        };
+        report.frames_in += 1;
+        report.bytes_in += first.payload.len() as u64;
+
+        let (session, pk) = match crate::messages::peek_tag(&first.payload) {
+            Some(MsgTag::Hello) => {
+                let hello: HelloMsg = match from_frame(first.payload) {
+                    Ok(h) => h,
+                    Err(_) => return self.reject(tx, report, "malformed hello frame"),
+                };
+                if let Some(reason) = self.validate_hello(&hello) {
+                    return self.reject(tx, report, &reason);
+                }
+                let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
+                let session =
+                    self.sessions.create(hello.pk_n, hello.pk_fingerprint, hello.topology);
+                self.send_accept(tx, report, hello.pk_fingerprint, session)?;
+                (session, pk)
+            }
+            Some(MsgTag::Resume) => {
+                let resume: ResumeMsg = match from_frame(first.payload) {
+                    Ok(r) => r,
+                    Err(_) => return self.reject(tx, report, "malformed resume frame"),
+                };
+                if resume.version != PROTOCOL_VERSION {
+                    return self.reject(
+                        tx,
+                        report,
+                        &format!(
+                            "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
+                             client {}",
+                            resume.version
+                        ),
+                    );
+                }
+                let entry =
+                    match self.sessions.resume(resume.session, resume.items_done, resume.topology)
+                    {
+                        Ok(entry) => entry,
+                        Err(reason) => return self.reject(tx, report, &reason),
+                    };
+                report.resumed_sessions += 1;
+                let pk = PublicKey::from_n(BigUint::from_bytes_be(&entry.pk_n));
+                self.send_accept(tx, report, entry.pk_fingerprint, resume.session)?;
+                (resume.session, pk)
+            }
+            _ => return self.reject(tx, report, "first frame was neither hello nor resume"),
+        };
 
         // --- Serve linear rounds ------------------------------------------
         let execs = self.build_linear_execs(&pk);
         let n_linear = execs.len();
         // Requests arrive with their linear rounds in order; track each
-        // request's next round index.
+        // request's next round index (per connection: a replay after a
+        // reconnect legitimately restarts at round 0).
         let mut next_round: HashMap<u64, usize> = HashMap::new();
 
         loop {
             let frame = match rx.recv().map_err(|e| e.at_stage("linear request"))? {
                 Some(f) => f,
-                None => {
-                    report.clean_shutdown = true;
-                    return Ok(report);
-                }
+                None => return Ok(ConnOutcome::Dropped),
             };
             report.frames_in += 1;
             report.bytes_in += frame.payload.len() as u64;
+
+            match crate::messages::peek_tag(&frame.payload) {
+                Some(MsgTag::Ack) => {
+                    let ack: AckMsg = from_frame(frame.payload).map_err(CoreError::from)?;
+                    self.sessions.ack(session, ack.items_done);
+                    continue;
+                }
+                Some(MsgTag::Bye) => {
+                    self.sessions.remove(session);
+                    return Ok(ConnOutcome::Clean);
+                }
+                _ => {}
+            }
             let msg: EncTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
 
             let round = *next_round.entry(msg.seq).or_insert(0);
@@ -351,6 +828,25 @@ impl ModelProvider {
                 let err = StreamError::Stage(format!(
                     "request {} sent more linear rounds than the model has ({n_linear})",
                     msg.seq
+                ));
+                return Err(CoreError::from(err));
+            }
+            if round == 0 {
+                match self.sessions.on_round0(session, msg.seq) {
+                    Ok(true) => report.replayed_items += 1,
+                    Ok(false) => {}
+                    Err(reason) => return Err(CoreError::from(StreamError::Stage(reason))),
+                }
+            }
+            // The stage would panic on a shape/count mismatch; turn
+            // attacker-reachable malformed input into an error instead.
+            let elems = msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
+            if elems.map(|n| n as usize) != Some(msg.cts.len()) {
+                let err = StreamError::Stage(format!(
+                    "request {} round {round}: shape {:?} does not match {} ciphertexts",
+                    msg.seq,
+                    msg.shape,
+                    msg.cts.len()
                 ));
                 return Err(CoreError::from(err));
             }
@@ -371,6 +867,43 @@ impl ModelProvider {
         }
     }
 
+    /// Sends a Reject naming `reason` (best-effort — the client may be
+    /// gone) and counts the rejection. The caller keeps serving.
+    fn reject(
+        &self,
+        tx: &mut TcpFrameSender,
+        report: &mut ServeReport,
+        reason: &str,
+    ) -> Result<ConnOutcome, CoreError> {
+        report.rejected_handshakes += 1;
+        report.last_error = Some(format!("rejected client: {reason}"));
+        let payload = to_frame(&RejectMsg { reason: reason.to_string() });
+        if tx.send_payload(payload.clone()).is_ok() {
+            report.bytes_out += payload.len() as u64;
+            report.frames_out += 1;
+        }
+        Ok(ConnOutcome::Rejected)
+    }
+
+    fn send_accept(
+        &self,
+        tx: &mut TcpFrameSender,
+        report: &mut ServeReport,
+        pk_fingerprint: u64,
+        session: u64,
+    ) -> Result<(), CoreError> {
+        let accept = to_frame(&AcceptMsg {
+            version: PROTOCOL_VERSION,
+            pk_fingerprint,
+            topology: self.topology,
+            session,
+        });
+        report.bytes_out += accept.len() as u64;
+        report.frames_out += 1;
+        tx.send_payload(accept).map_err(|e| e.at_stage("handshake accept"))?;
+        Ok(())
+    }
+
     /// `None` when the hello is acceptable, otherwise the rejection
     /// reason sent back to the client.
     fn validate_hello(&self, hello: &HelloMsg) -> Option<String> {
@@ -378,6 +911,12 @@ impl ModelProvider {
             return Some(format!(
                 "protocol version mismatch: server speaks {PROTOCOL_VERSION}, client {}",
                 hello.version
+            ));
+        }
+        if hello.pk_n.is_empty() || hello.pk_n.len() > 4096 {
+            return Some(format!(
+                "public key size {} bytes is outside the accepted range (1..=4096)",
+                hello.pk_n.len()
             ));
         }
         if pk_fingerprint(&hello.pk_n) != hello.pk_fingerprint {
@@ -428,6 +967,67 @@ impl ModelProvider {
     }
 }
 
+/// Knobs for [`ModelProvider::serve_forever`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Concurrent connection workers; further accepts wait for a slot.
+    pub max_workers: usize,
+    /// Idle accept-loop poll interval (the listener is non-blocking so
+    /// the stop flag is observed promptly).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { max_workers: 4, poll_interval: Duration::from_millis(10) }
+    }
+}
+
+/// One worker's outcome: its connection result and local counters, or
+/// the panic payload `catch_unwind` trapped.
+type WorkerDone = std::thread::Result<(Result<ConnOutcome, CoreError>, ServeReport)>;
+
+fn absorb_worker(report: &mut ServeReport, done: WorkerDone) {
+    match done {
+        Ok((outcome, local)) => {
+            report.merge(&local);
+            match outcome {
+                Ok(ConnOutcome::Clean) => report.clean_shutdown = true,
+                Ok(ConnOutcome::Dropped) | Ok(ConnOutcome::Rejected) => {}
+                Err(e) => {
+                    report.failed_connections += 1;
+                    report.last_error = Some(e.to_string());
+                }
+            }
+        }
+        Err(_) => report.panicked_connections += 1,
+    }
+}
+
+/// Handle on a running [`ModelProvider::serve_forever`] loop.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<ServeReport>,
+}
+
+impl ServerHandle {
+    /// The bound listening address (useful with `127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight connections, and returns the
+    /// aggregated report.
+    pub fn shutdown(self) -> ServeReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread.join().unwrap_or_else(|_| ServeReport {
+            last_error: Some("serve_forever supervisor panicked".into()),
+            ..Default::default()
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Data provider (client)
 // ---------------------------------------------------------------------------
@@ -439,16 +1039,67 @@ enum ClientStep {
     NonLinear(Box<NonLinearStage>),
 }
 
+/// Transient transport failures the resume loop recovers from; protocol
+/// violations (handshake, seq, decode, stage) stay fatal.
+fn is_transient(e: &StreamError) -> bool {
+    matches!(
+        e,
+        StreamError::Transport {
+            kind: TransportErrorKind::Send
+                | TransportErrorKind::Recv
+                | TransportErrorKind::Timeout
+                | TransportErrorKind::Eof
+                | TransportErrorKind::Connect,
+            ..
+        }
+    )
+}
+
+/// Placeholder halves installed while a reconnect is in flight, so the
+/// dead socket drops (and the server sees its EOF) *before* the resume
+/// handshake waits on a reply.
+struct DeadHalf;
+
+fn dead_err() -> StreamError {
+    StreamError::transport(TransportErrorKind::Eof, "connection torn down for reconnect")
+}
+
+impl FrameSender for DeadHalf {
+    fn send(&mut self, _frame: &Frame) -> Result<(), StreamError> {
+        Err(dead_err())
+    }
+    fn send_payload(&mut self, _payload: Bytes) -> Result<u64, StreamError> {
+        Err(dead_err())
+    }
+}
+
+impl FrameReceiver for DeadHalf {
+    fn recv(&mut self) -> Result<Option<Frame>, StreamError> {
+        Err(dead_err())
+    }
+}
+
 /// The data-provider client: a connected, handshaken session against a
-/// [`ModelProvider`].
+/// [`ModelProvider`], with transparent reconnect-and-resume.
 pub struct NetworkedSession {
-    tx: TcpFrameSender,
-    rx: TcpFrameReceiver,
+    tx: Box<dyn FrameSender>,
+    rx: Box<dyn FrameReceiver>,
+    addrs: Vec<SocketAddr>,
+    tcp: TcpConfig,
     scaled: ScaledModel,
     steps: Vec<ClientStep>,
     encrypt: EncryptStage,
     pool: WorkerPool,
     transport: TransportReport,
+    session: u64,
+    /// Items fully delivered to the caller; doubles as the next item's
+    /// request seq, so a second `infer_stream` call keeps seqs unique
+    /// and the exactly-once floor intact.
+    items_done: u64,
+    topology: u64,
+    fingerprint: u64,
+    max_resumes: u32,
+    fault: FaultHook,
 }
 
 impl NetworkedSession {
@@ -461,7 +1112,17 @@ impl NetworkedSession {
         scaled: ScaledModel,
         config: &NetConfig,
     ) -> Result<Self, CoreError> {
-        let connected = tcp::connect_with(addr, &config.tcp)?;
+        // Resolve once so reconnects don't depend on the generic addr.
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| {
+                CoreError::from(StreamError::transport(
+                    TransportErrorKind::Connect,
+                    format!("resolve peer address: {e}"),
+                ))
+            })?
+            .collect();
+        let connected = tcp::connect_with(&addrs[..], &config.tcp)?;
         let (mut tx, mut rx) = (connected.tx, connected.rx);
 
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -494,7 +1155,7 @@ impl NetworkedSession {
             .ok_or_else(|| handshake_err("server closed without answering hello"))?;
         transport.bytes_received += reply.payload.len() as u64;
         transport.frames_received += 1;
-        match crate::messages::peek_tag(&reply.payload) {
+        let session = match crate::messages::peek_tag(&reply.payload) {
             Some(MsgTag::Accept) => {
                 let accept: AcceptMsg = from_frame(reply.payload).map_err(CoreError::from)?;
                 if accept.version != PROTOCOL_VERSION
@@ -505,6 +1166,7 @@ impl NetworkedSession {
                         "server accept did not echo the agreed parameters",
                     )));
                 }
+                accept.session
             }
             Some(MsgTag::Reject) => {
                 let reject: RejectMsg = from_frame(reply.payload).map_err(CoreError::from)?;
@@ -518,7 +1180,7 @@ impl NetworkedSession {
                     "unexpected reply to hello (neither accept nor reject)",
                 )));
             }
-        }
+        };
 
         // Client-side execution plan: socket round trips for linear
         // stages, local executors for the rest (same construction as the
@@ -544,14 +1206,27 @@ impl NetworkedSession {
             })
             .collect();
 
+        // Fault injection (when configured) wraps only the post-handshake
+        // traffic — the recovery path itself stays un-faulted.
+        let fault = fault_hook(config);
+        let (tx, rx) = wrap_transport(tx, rx, &fault);
+
         Ok(NetworkedSession {
             tx,
             rx,
+            addrs,
+            tcp: config.tcp.clone(),
             scaled,
             steps,
             encrypt: EncryptStage { pk: keypair.public(), seed: config.seed ^ 0x0E2C },
             pool: WorkerPool::new(config.threads.max(1)),
             transport,
+            session,
+            items_done: 0,
+            topology,
+            fingerprint,
+            max_resumes: config.max_resumes,
+            fault,
         })
     }
 
@@ -560,11 +1235,18 @@ impl NetworkedSession {
         &self.transport
     }
 
+    /// The server-assigned session ID.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
     /// Streams inference requests through the deployment (sequentially,
     /// one socket round trip per linear stage), returning the scaled
     /// output tensors and a run report whose
     /// [`transport`](RunReport::transport) field carries the socket-level
-    /// statistics.
+    /// statistics. Transient transport failures are absorbed by the
+    /// reconnect-and-resume loop; only exhausted retries or protocol
+    /// violations surface as errors.
     pub fn infer_stream(
         &mut self,
         inputs: &[Tensor<f64>],
@@ -576,23 +1258,32 @@ impl NetworkedSession {
         let mut latencies = Vec::with_capacity(inputs.len());
         let mut outputs = Vec::with_capacity(inputs.len());
 
-        for (seq, input) in inputs.iter().enumerate() {
+        for input in inputs.iter() {
             let t0 = Instant::now();
+            let seq = self.items_done;
             let scaled_in = self.scaled.scale_input(input);
             let plain = PlainTensorMsg {
-                seq: seq as u64,
+                seq,
                 shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
                 values: scaled_in.data().iter().map(|&v| v as i128).collect(),
             };
             let out = self.run_request(plain)?;
+            self.items_done += 1;
+            self.send_ack();
             latencies.push(t0.elapsed());
 
             let shape: Vec<usize> = out.shape.iter().map(|&d| d as usize).collect();
-            let values: Vec<i64> = out
+            let values = out
                 .values
                 .iter()
-                .map(|&v| i64::try_from(v).expect("final logits fit i64"))
-                .collect();
+                .map(|&v| {
+                    i64::try_from(v).map_err(|_| {
+                        CoreError::Runtime(format!(
+                            "final logit {v} for request {seq} does not fit i64"
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<i64>, CoreError>>()?;
             outputs.push(
                 Tensor::from_vec(shape, values).map_err(|e| CoreError::Runtime(e.to_string()))?,
             );
@@ -600,6 +1291,7 @@ impl NetworkedSession {
 
         let makespan = t_run.elapsed();
         let mean_latency = latencies.iter().sum::<Duration>() / latencies.len() as u32;
+        self.transport.faults_injected = fault_count(&self.fault);
         let mut transport = self.transport.clone();
         transport.clean_shutdown = true; // no transport error reached here
         let report = RunReport {
@@ -628,28 +1320,82 @@ impl NetworkedSession {
         Ok((classes, report))
     }
 
-    /// Closes the connection (the server observes a clean EOF between
-    /// frames) and returns the final transport statistics.
+    /// Ends the session deliberately (Bye, so the server frees its
+    /// resume state and observes a clean shutdown) and returns the final
+    /// transport statistics. Best-effort: if the connection is dead, one
+    /// reconnect is attempted to deliver the Bye.
     pub fn shutdown(mut self) -> TransportReport {
-        self.transport.clean_shutdown = true;
-        // Dropping both halves closes the socket's two cloned handles.
+        let bye = to_frame(&ByeMsg);
+        let len = bye.len() as u64;
+        let mut sent = self.tx.send_payload(bye.clone()).is_ok();
+        if !sent && self.reconnect_and_resume().is_ok() {
+            sent = self.tx.send_payload(bye).is_ok();
+        }
+        if sent {
+            self.transport.bytes_sent += len;
+            self.transport.frames_sent += 1;
+        }
+        self.transport.clean_shutdown = sent;
+        self.transport.faults_injected = fault_count(&self.fault);
         self.transport
     }
 
+    /// Runs one item to completion, absorbing transient transport
+    /// failures via reconnect-and-resume (up to `max_resumes` cycles).
     fn run_request(&mut self, plain: PlainTensorMsg) -> Result<PlainTensorMsg, CoreError> {
+        let mut resumes = 0u32;
+        loop {
+            let mut progressed = false;
+            let err = match self.try_request(&plain, &mut progressed) {
+                Ok(out) => return Ok(out),
+                Err(e) => e,
+            };
+            if !is_transient(&err) || resumes >= self.max_resumes {
+                return Err(CoreError::from(err));
+            }
+            resumes += 1;
+            match self.reconnect_and_resume() {
+                Ok(()) => {
+                    if progressed {
+                        // The server saw at least round 0 of this
+                        // attempt; the retry is a true replay.
+                        self.transport.items_replayed += 1;
+                    }
+                }
+                Err(resume_err) => {
+                    // Surface the original failure; the failed recovery
+                    // is context, not the headline.
+                    return Err(CoreError::from(
+                        err.at_stage(&format!("after failed resume ({resume_err})")),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// One attempt at an item's full round set over the current
+    /// connection. `progressed` flips once the server has seen round 0,
+    /// so the caller can count true replays.
+    fn try_request(
+        &mut self,
+        plain: &PlainTensorMsg,
+        progressed: &mut bool,
+    ) -> Result<PlainTensorMsg, StreamError> {
         let seq = plain.seq;
-        let mut msg = self.encrypt.encrypt(plain, &self.pool);
+        let mut msg = self.encrypt.encrypt(plain.clone(), &self.pool);
         let last = self.steps.len() - 1;
         for (i, step) in self.steps.iter().enumerate() {
             match step {
                 ClientStep::Linear { round } => {
                     let stage_name = format!("linear-{round}@model (request {seq})");
                     let payload = to_frame(&msg);
-                    self.transport.bytes_sent += payload.len() as u64;
-                    self.transport.frames_sent += 1;
+                    let len = payload.len() as u64;
                     self.tx
                         .send_payload(payload)
                         .map_err(|e| e.at_stage(&format!("{stage_name} send")))?;
+                    *progressed = true;
+                    self.transport.bytes_sent += len;
+                    self.transport.frames_sent += 1;
                     let frame = self
                         .rx
                         .recv()
@@ -662,7 +1408,23 @@ impl NetworkedSession {
                         })?;
                     self.transport.bytes_received += frame.payload.len() as u64;
                     self.transport.frames_received += 1;
-                    msg = from_frame(frame.payload).map_err(CoreError::from)?;
+                    msg = from_frame(frame.payload)?;
+                    // A corrupted-but-decodable reply must die here, not
+                    // flow into a stage that would panic on it.
+                    if msg.seq != seq {
+                        return Err(StreamError::Stage(format!(
+                            "{stage_name}: reply carries seq {} (corrupt or misrouted)",
+                            msg.seq
+                        )));
+                    }
+                    let elems = msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
+                    if elems.map(|n| n as usize) != Some(msg.cts.len()) {
+                        return Err(StreamError::Stage(format!(
+                            "{stage_name}: reply shape {:?} does not match {} ciphertexts",
+                            msg.shape,
+                            msg.cts.len()
+                        )));
+                    }
                 }
                 ClientStep::NonLinear(nl) => {
                     if i == last {
@@ -672,9 +1434,81 @@ impl NetworkedSession {
                 }
             }
         }
-        Err(CoreError::Runtime(
-            "pipeline must end with a final non-linear stage".into(),
-        ))
+        Err(StreamError::Stage("pipeline must end with a final non-linear stage".into()))
+    }
+
+    /// Tears down the dead connection, reconnects with the configured
+    /// retry policy, and re-syncs the session via Resume. On success the
+    /// new (fault-wrapped) halves are installed.
+    fn reconnect_and_resume(&mut self) -> Result<(), StreamError> {
+        // Drop the dead socket *first*: a sequential server is still
+        // blocked reading it and will only accept the new connection
+        // after seeing its EOF.
+        self.tx = Box::new(DeadHalf);
+        self.rx = Box::new(DeadHalf);
+        revive_fault(&self.fault);
+
+        let connected = tcp::connect_with(&self.addrs[..], &self.tcp)
+            .map_err(|e| e.at_stage("reconnect"))?;
+        let (mut tx, mut rx) = (connected.tx, connected.rx);
+        self.transport.connect_attempts += connected.attempts;
+
+        let resume = to_frame(&ResumeMsg {
+            version: PROTOCOL_VERSION,
+            session: self.session,
+            items_done: self.items_done,
+            topology: self.topology,
+        });
+        self.transport.bytes_sent += resume.len() as u64;
+        self.transport.frames_sent += 1;
+        tx.send_payload(resume).map_err(|e| e.at_stage("resume"))?;
+
+        let reply = rx
+            .recv()
+            .map_err(|e| e.at_stage("resume reply"))?
+            .ok_or_else(|| handshake_err("server closed without answering resume"))?;
+        self.transport.bytes_received += reply.payload.len() as u64;
+        self.transport.frames_received += 1;
+        match crate::messages::peek_tag(&reply.payload) {
+            Some(MsgTag::Accept) => {
+                let accept: AcceptMsg = from_frame(reply.payload)?;
+                if accept.version != PROTOCOL_VERSION
+                    || accept.pk_fingerprint != self.fingerprint
+                    || accept.session != self.session
+                {
+                    return Err(handshake_err(
+                        "server resume-accept did not echo the session parameters",
+                    ));
+                }
+            }
+            Some(MsgTag::Reject) => {
+                let reject: RejectMsg = from_frame(reply.payload)?;
+                return Err(handshake_err(format!("server rejected resume: {}", reject.reason)));
+            }
+            _ => {
+                return Err(handshake_err(
+                    "unexpected reply to resume (neither accept nor reject)",
+                ));
+            }
+        }
+
+        let (tx, rx) = wrap_transport(tx, rx, &self.fault);
+        self.tx = tx;
+        self.rx = rx;
+        self.transport.reconnects += 1;
+        Ok(())
+    }
+
+    /// Fire-and-forget delivery confirmation after a completed item. A
+    /// lost ack is harmless: the next operation's failure triggers a
+    /// resume, which re-syncs the floor from `items_done`.
+    fn send_ack(&mut self) {
+        let payload = to_frame(&AckMsg { items_done: self.items_done });
+        let len = payload.len() as u64;
+        if self.tx.send_payload(payload).is_ok() {
+            self.transport.bytes_sent += len;
+            self.transport.frames_sent += 1;
+        }
     }
 
     fn stage_names(&self) -> Vec<String> {
@@ -752,6 +1586,16 @@ mod tests {
         assert!(provider.validate_hello(&bad).unwrap().contains("version"));
 
         let mut bad = good.clone();
+        bad.pk_n = vec![0u8; 5000];
+        bad.pk_fingerprint = pk_fingerprint(&bad.pk_n);
+        assert!(provider.validate_hello(&bad).unwrap().contains("key size"));
+
+        let mut bad = good.clone();
+        bad.pk_n = vec![];
+        bad.pk_fingerprint = pk_fingerprint(&bad.pk_n);
+        assert!(provider.validate_hello(&bad).unwrap().contains("key size"));
+
+        let mut bad = good.clone();
         bad.pk_fingerprint ^= 1;
         assert!(provider.validate_hello(&bad).unwrap().contains("fingerprint"));
 
@@ -762,5 +1606,91 @@ mod tests {
         let mut bad = good;
         bad.topology ^= 1;
         assert!(provider.validate_hello(&bad).unwrap().contains("topology"));
+    }
+
+    #[test]
+    fn session_table_enforces_exactly_once() {
+        let table = SessionTable::new(Duration::from_secs(60), 8);
+        let s = table.create(vec![1, 2, 3], 99, 0x70B0);
+        assert!(s >= 1, "session 0 is never issued");
+
+        // Fresh item, then a legitimate post-resume replay of the same.
+        assert_eq!(table.on_round0(s, 0), Ok(false));
+        assert_eq!(table.on_round0(s, 0), Ok(true), "restart before ack is a replay");
+
+        // Ack raises the floor; restarting below it is a violation.
+        table.ack(s, 1);
+        let err = table.on_round0(s, 0).unwrap_err();
+        assert!(err.contains("exactly-once"), "{err}");
+        assert_eq!(table.on_round0(s, 1), Ok(false), "the floor itself is fair game");
+    }
+
+    #[test]
+    fn session_table_resume_validates_and_syncs() {
+        let table = SessionTable::new(Duration::from_secs(60), 8);
+        let s = table.create(vec![9], pk_fingerprint(&[9]), 0xABCD);
+
+        let missing = table.resume(s + 1, 0, 0xABCD).unwrap_err();
+        assert!(missing.contains("unknown or expired"), "{missing}");
+
+        let wrong_topo = table.resume(s, 0, 0xDCBA).unwrap_err();
+        assert!(wrong_topo.contains("topology"), "{wrong_topo}");
+
+        // Resume syncs the ack floor from the client's completed count.
+        let entry = table.resume(s, 5, 0xABCD).unwrap();
+        assert_eq!(entry.acked, 5);
+        assert_eq!(entry.started, 5);
+
+        // A client claiming *less* done than the server has acked lost
+        // state — replaying delivered items is refused.
+        let behind = table.resume(s, 3, 0xABCD).unwrap_err();
+        assert!(behind.contains("exactly-once"), "{behind}");
+    }
+
+    #[test]
+    fn session_table_evicts_by_ttl_and_capacity() {
+        // TTL: a zero-TTL table expires entries as soon as wall time
+        // advances past their last touch.
+        let table = SessionTable::new(Duration::ZERO, 8);
+        let s = table.create(vec![1], 1, 1);
+        std::thread::sleep(Duration::from_millis(2));
+        let err = table.resume(s, 0, 1).unwrap_err();
+        assert!(err.contains("unknown or expired"), "{err}");
+
+        // Capacity: the least-recently-seen session is evicted.
+        let table = SessionTable::new(Duration::from_secs(60), 2);
+        let a = table.create(vec![1], 1, 7);
+        std::thread::sleep(Duration::from_millis(2));
+        let b = table.create(vec![2], 2, 7);
+        std::thread::sleep(Duration::from_millis(2));
+        table.ack(a, 0); // touch a, making b the LRU entry
+        std::thread::sleep(Duration::from_millis(2));
+        let c = table.create(vec![3], 3, 7);
+        assert_eq!(table.len(), 2);
+        assert!(table.resume(b, 0, 7).unwrap_err().contains("unknown"));
+        assert!(table.resume(a, 0, 7).is_ok());
+        assert!(table.resume(c, 0, 7).is_ok());
+    }
+
+    #[test]
+    fn serve_report_merge_accumulates() {
+        let mut total = ServeReport { requests: 1, connections: 1, ..Default::default() };
+        let worker = ServeReport {
+            requests: 3,
+            frames_in: 10,
+            replayed_items: 2,
+            rejected_handshakes: 1,
+            clean_shutdown: true,
+            last_error: Some("boom".into()),
+            ..Default::default()
+        };
+        total.merge(&worker);
+        assert_eq!(total.requests, 4);
+        assert_eq!(total.frames_in, 10);
+        assert_eq!(total.connections, 1, "merge only sums what the worker counted");
+        assert_eq!(total.replayed_items, 2);
+        assert_eq!(total.rejected_handshakes, 1);
+        assert!(total.clean_shutdown);
+        assert_eq!(total.last_error.as_deref(), Some("boom"));
     }
 }

@@ -1,0 +1,395 @@
+//! Deterministic, seeded fault injection for framed transports.
+//!
+//! Wraps any [`FrameSender`]/[`FrameReceiver`] pair and injects failures
+//! according to a [`FaultPlan`]: connection kills after every N *sent*
+//! frames, per-frame send delays, stalled reads, and header-region bit
+//! corruption on received frames. Every decision derives from the plan's
+//! seed and the running frame counters, so a failing run replays
+//! exactly — the chaos tests assert bit-identical inference results
+//! under seeded kills.
+//!
+//! The shared [`FaultState`] **survives reconnects**: the client keeps
+//! the `Arc` and wraps each new connection with the same state, so the
+//! frame budget keeps counting across connections instead of resetting —
+//! a plan of `kill_every: 3` kills every third frame of the whole
+//! session, not of each connection. After a kill, [`FaultState::revive`]
+//! re-arms the wrapper for the next connection.
+//!
+//! Kills count **sent** frames only. Counting receives too would let a
+//! small budget (`kill_every: 3`) fire mid-item on every replay attempt
+//! and livelock the resume loop; counting sends guarantees the window
+//! between kills always admits the two linear-round requests an item
+//! needs.
+//!
+//! The module compiles only with the `fault-injection` cargo feature, so
+//! release deployments carry none of this code.
+
+use crate::link::Frame;
+use crate::tcp::{FrameReceiver, FrameSender};
+use crate::{StreamError, TransportErrorKind};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// SplitMix64 — the same deterministic mixer the protocol stages use for
+/// per-request randomness.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault schedule. The default plan injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for every pseudo-random decision (corruption bit positions).
+    pub seed: u64,
+    /// Kill the connection on every Nth sent frame: the Nth send fails
+    /// with `Transport { kind: Send, .. }`, and both halves refuse all
+    /// traffic until [`FaultState::revive`] (i.e. until reconnect).
+    pub kill_every: Option<u64>,
+    /// Sleep this long before each frame send (a slow sender).
+    pub delay: Option<Duration>,
+    /// Sleep this long before each frame receive (a stalled read; with a
+    /// read deadline configured this surfaces timeouts).
+    pub stall: Option<Duration>,
+    /// Flip one seeded bit in the header region (first 16 bytes) of
+    /// every Nth received frame's payload — corrupt framing the decoder
+    /// must reject, never silently accept.
+    pub corrupt_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects at least one kind of fault.
+    pub fn is_active(&self) -> bool {
+        self.kill_every.is_some()
+            || self.delay.is_some()
+            || self.stall.is_some()
+            || self.corrupt_every.is_some()
+    }
+
+    /// Reads a plan from `PP_FAULT_*` environment variables
+    /// (`PP_FAULT_SEED`, `PP_FAULT_KILL_EVERY`, `PP_FAULT_DELAY_MS`,
+    /// `PP_FAULT_STALL_MS`, `PP_FAULT_CORRUPT_EVERY`); `None` when no
+    /// fault variable is set. Lets the example binaries run under
+    /// injected faults without recompilation.
+    pub fn from_env() -> Option<FaultPlan> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`FaultPlan::from_env`] with an injectable variable lookup, so the
+    /// parsing is testable without mutating process-global state.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Option<FaultPlan> {
+        let num = |k: &str| lookup(k).and_then(|v| v.parse::<u64>().ok());
+        let plan = FaultPlan {
+            seed: num("PP_FAULT_SEED").unwrap_or(0),
+            kill_every: num("PP_FAULT_KILL_EVERY").filter(|&k| k > 0),
+            delay: num("PP_FAULT_DELAY_MS").map(Duration::from_millis),
+            stall: num("PP_FAULT_STALL_MS").map(Duration::from_millis),
+            corrupt_every: num("PP_FAULT_CORRUPT_EVERY").filter(|&k| k > 0),
+        };
+        plan.is_active().then_some(plan)
+    }
+
+    /// Wraps the plan into the shared state a session threads through
+    /// its (re)connections.
+    pub fn into_state(self) -> Arc<Mutex<FaultState>> {
+        Arc::new(Mutex::new(FaultState::new(self)))
+    }
+}
+
+/// Counters and kill latch shared by the sender and receiver wrappers —
+/// and, across reconnects, by every connection of a session.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    frames_sent: u64,
+    frames_received: u64,
+    killed: bool,
+    faults_injected: u64,
+}
+
+impl FaultState {
+    /// Fresh state for a plan: nothing sent, connection alive.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState { plan, frames_sent: 0, frames_received: 0, killed: false, faults_injected: 0 }
+    }
+
+    /// Total faults injected so far (kills + corruptions).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Whether the current connection has been killed.
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Re-arms a killed connection — called by the client after it
+    /// reconnects. Counters keep running; only the kill latch resets.
+    pub fn revive(&mut self) {
+        self.killed = false;
+    }
+
+    fn killed_err(op: &str, kind: TransportErrorKind) -> StreamError {
+        StreamError::transport(kind, format!("fault injection: connection killed ({op})"))
+    }
+
+    /// Send-side gate: returns the configured delay, or the injected
+    /// failure. The Nth send under `kill_every: N` consumes its slot in
+    /// the frame count but is never transmitted.
+    fn on_send(&mut self) -> Result<Option<Duration>, StreamError> {
+        if self.killed {
+            return Err(Self::killed_err("send on dead connection", TransportErrorKind::Send));
+        }
+        self.frames_sent += 1;
+        if let Some(k) = self.plan.kill_every {
+            if self.frames_sent.is_multiple_of(k) {
+                self.killed = true;
+                self.faults_injected += 1;
+                return Err(Self::killed_err(
+                    &format!("kill after frame {}", self.frames_sent),
+                    TransportErrorKind::Send,
+                ));
+            }
+        }
+        Ok(self.plan.delay)
+    }
+
+    /// Receive-side gate, before the read.
+    fn on_recv(&mut self) -> Result<Option<Duration>, StreamError> {
+        if self.killed {
+            return Err(Self::killed_err("recv on dead connection", TransportErrorKind::Recv));
+        }
+        Ok(self.plan.stall)
+    }
+
+    /// Receive-side mutation, after the read: seeded header-region bit
+    /// corruption on every Nth frame.
+    fn on_received(&mut self, frame: &mut Frame) {
+        self.frames_received += 1;
+        if let Some(k) = self.plan.corrupt_every {
+            if self.frames_received.is_multiple_of(k) && !frame.payload.is_empty() {
+                self.faults_injected += 1;
+                let region = frame.payload.len().min(16);
+                let bit = mix(self.plan.seed ^ self.frames_received) as usize % (region * 8);
+                let mut bytes = frame.payload.to_vec();
+                bytes[bit / 8] ^= 1 << (bit % 8);
+                frame.payload = Bytes::from(bytes);
+            }
+        }
+    }
+}
+
+/// Fault-injecting wrapper around a [`FrameSender`].
+pub struct FaultSender<S> {
+    inner: S,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl<S: FrameSender> FaultSender<S> {
+    /// Wraps `inner`, sharing `state` with the paired receiver (and with
+    /// future connections of the same session).
+    pub fn new(inner: S, state: Arc<Mutex<FaultState>>) -> Self {
+        FaultSender { inner, state }
+    }
+
+    fn gate(&mut self) -> Result<(), StreamError> {
+        let delay = self.state.lock().on_send()?;
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        Ok(())
+    }
+}
+
+impl<S: FrameSender> FrameSender for FaultSender<S> {
+    fn send(&mut self, frame: &Frame) -> Result<(), StreamError> {
+        self.gate()?;
+        self.inner.send(frame)
+    }
+
+    fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError> {
+        self.gate()?;
+        self.inner.send_payload(payload)
+    }
+}
+
+/// Fault-injecting wrapper around a [`FrameReceiver`].
+pub struct FaultReceiver<R> {
+    inner: R,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl<R: FrameReceiver> FaultReceiver<R> {
+    /// Wraps `inner`; see [`FaultSender::new`].
+    pub fn new(inner: R, state: Arc<Mutex<FaultState>>) -> Self {
+        FaultReceiver { inner, state }
+    }
+}
+
+impl<R: FrameReceiver> FrameReceiver for FaultReceiver<R> {
+    fn recv(&mut self) -> Result<Option<Frame>, StreamError> {
+        let stall = self.state.lock().on_recv()?;
+        if let Some(d) = stall {
+            std::thread::sleep(d);
+        }
+        match self.inner.recv()? {
+            Some(mut frame) => {
+                self.state.lock().on_received(&mut frame);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory transport for exercising the wrappers without sockets.
+    #[derive(Default)]
+    struct VecSender {
+        sent: Vec<Frame>,
+        next_seq: u64,
+    }
+
+    impl FrameSender for VecSender {
+        fn send(&mut self, frame: &Frame) -> Result<(), StreamError> {
+            self.sent.push(frame.clone());
+            self.next_seq = self.next_seq.max(frame.seq + 1);
+            Ok(())
+        }
+        fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError> {
+            let seq = self.next_seq;
+            self.send(&Frame { seq, payload })?;
+            Ok(seq)
+        }
+    }
+
+    struct VecReceiver {
+        frames: std::vec::IntoIter<Frame>,
+    }
+
+    impl FrameReceiver for VecReceiver {
+        fn recv(&mut self) -> Result<Option<Frame>, StreamError> {
+            Ok(self.frames.next())
+        }
+    }
+
+    fn frames(n: u64) -> VecReceiver {
+        VecReceiver {
+            frames: (0..n)
+                .map(|i| Frame { seq: i, payload: Bytes::from(vec![i as u8; 32]) })
+                .collect::<Vec<_>>()
+                .into_iter(),
+        }
+    }
+
+    #[test]
+    fn kill_every_fires_on_exactly_the_nth_send() {
+        let state = FaultPlan { kill_every: Some(3), ..Default::default() }.into_state();
+        let mut tx = FaultSender::new(VecSender::default(), Arc::clone(&state));
+        assert!(tx.send_payload(Bytes::from_static(b"a")).is_ok());
+        assert!(tx.send_payload(Bytes::from_static(b"b")).is_ok());
+        let err = tx.send_payload(Bytes::from_static(b"c")).unwrap_err();
+        assert!(matches!(err, StreamError::Transport { kind: TransportErrorKind::Send, .. }));
+        assert_eq!(tx.inner.sent.len(), 2, "the killed frame is never transmitted");
+        assert!(state.lock().is_killed());
+        assert_eq!(state.lock().faults_injected(), 1);
+
+        // Dead until revived; the counter does not advance while dead.
+        assert!(tx.send_payload(Bytes::from_static(b"d")).is_err());
+        state.lock().revive();
+        assert!(tx.send_payload(Bytes::from_static(b"e")).is_ok());
+        assert!(tx.send_payload(Bytes::from_static(b"f")).is_ok());
+        let err = tx.send_payload(Bytes::from_static(b"g")).unwrap_err();
+        assert!(err.to_string().contains("frame 6"), "budget spans revives: {err}");
+    }
+
+    #[test]
+    fn kill_latch_blocks_the_receiver_too() {
+        let state = FaultPlan { kill_every: Some(1), ..Default::default() }.into_state();
+        let mut tx = FaultSender::new(VecSender::default(), Arc::clone(&state));
+        let mut rx = FaultReceiver::new(frames(3), Arc::clone(&state));
+        assert!(rx.recv().unwrap().is_some(), "alive before the kill");
+        assert!(tx.send_payload(Bytes::new()).is_err());
+        let err = rx.recv().unwrap_err();
+        assert!(matches!(err, StreamError::Transport { kind: TransportErrorKind::Recv, .. }));
+        state.lock().revive();
+        assert!(rx.recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_confined_to_the_header_region() {
+        let run = |seed: u64| -> Vec<Vec<u8>> {
+            let state =
+                FaultPlan { seed, corrupt_every: Some(2), ..Default::default() }.into_state();
+            let mut rx = FaultReceiver::new(frames(4), state);
+            std::iter::from_fn(|| rx.recv().unwrap()).map(|f| f.payload.to_vec()).collect()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed, same corruption");
+        let clean: Vec<Vec<u8>> =
+            std::iter::from_fn({
+                let mut it = frames(4);
+                move || it.recv().unwrap()
+            })
+            .map(|f| f.payload.to_vec())
+            .collect();
+        assert_eq!(a[0], clean[0], "odd frames pass untouched");
+        assert_eq!(a[2], clean[2]);
+        for i in [1usize, 3] {
+            let diff: Vec<usize> =
+                (0..32).filter(|&j| a[i][j] != clean[i][j]).collect();
+            assert_eq!(diff.len(), 1, "exactly one corrupted byte");
+            assert!(diff[0] < 16, "corruption stays in the header region");
+            assert_eq!(
+                (a[i][diff[0]] ^ clean[i][diff[0]]).count_ones(),
+                1,
+                "exactly one flipped bit"
+            );
+        }
+        let c = run(12);
+        assert_ne!(a, c, "different seed, different corruption");
+    }
+
+    #[test]
+    fn from_lookup_parses_the_env_schema() {
+        assert!(FaultPlan::from_lookup(|_| None).is_none(), "no vars, no plan");
+        let vars = |k: &str| match k {
+            "PP_FAULT_SEED" => Some("9".to_string()),
+            "PP_FAULT_KILL_EVERY" => Some("17".to_string()),
+            "PP_FAULT_DELAY_MS" => Some("5".to_string()),
+            _ => None,
+        };
+        let plan = FaultPlan::from_lookup(vars).expect("kill var activates the plan");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.kill_every, Some(17));
+        assert_eq!(plan.delay, Some(Duration::from_millis(5)));
+        assert_eq!(plan.stall, None);
+        assert_eq!(plan.corrupt_every, None);
+        // A zero interval would fire on every frame forever; filtered out.
+        assert!(
+            FaultPlan::from_lookup(|k| (k == "PP_FAULT_KILL_EVERY").then(|| "0".into()))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn inactive_plan_is_a_transparent_wrapper() {
+        let state = FaultPlan::default().into_state();
+        let mut tx = FaultSender::new(VecSender::default(), Arc::clone(&state));
+        let mut rx = FaultReceiver::new(frames(2), Arc::clone(&state));
+        for _ in 0..5 {
+            tx.send_payload(Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(tx.inner.sent.len(), 5);
+        assert_eq!(rx.recv().unwrap().unwrap().payload, Bytes::from(vec![0u8; 32]));
+        assert_eq!(state.lock().faults_injected(), 0);
+    }
+}

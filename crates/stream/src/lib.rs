@@ -42,6 +42,8 @@
 //! The legacy closure-based [`Pipeline`]/[`StageSpec`] API remains as a
 //! shim over the typed engine with every hop a wire boundary.
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod link;
 pub mod pipeline;
 pub mod pool;
@@ -49,11 +51,13 @@ pub mod stage;
 pub mod tcp;
 pub mod wire;
 
+#[cfg(feature = "fault-injection")]
+pub use fault::{FaultPlan, FaultReceiver, FaultSender, FaultState};
 pub use link::{Link, LinkStats, SeqValidator};
 pub use pipeline::{BoxMsg, Pipeline, PipelineBuilder, PipelineStats, StageSpec, TypedPipeline};
 pub use pool::WorkerPool;
 pub use stage::{stage_fn, FnStage, Stage, StageContext, StageMetrics, StageReport};
-pub use tcp::{RetryPolicy, TcpConfig, TcpFrameReceiver, TcpFrameSender};
+pub use tcp::{FrameReceiver, FrameSender, RetryPolicy, TcpConfig, TcpFrameReceiver, TcpFrameSender};
 pub use wire::{Decoder, Encoder, WireDecode, WireEncode};
 
 /// What failed at the transport layer. Distinguishing the operation lets

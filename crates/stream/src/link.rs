@@ -193,6 +193,40 @@ mod tests {
     }
 
     #[test]
+    fn seq_validator_rejects_wraparound() {
+        // u64::MAX → 0 is numerically a wraparound but semantically a
+        // replay from the validator's point of view: seqs must be
+        // strictly increasing, full stop.
+        let mut v = SeqValidator::new();
+        v.check(u64::MAX).unwrap();
+        let err = v.check(0).unwrap_err();
+        assert!(matches!(err, StreamError::Transport { kind: TransportErrorKind::Seq, .. }));
+        assert!(err.to_string().contains("not after"), "{err}");
+        // And the validator stays poisoned at the high-water mark.
+        assert!(v.check(u64::MAX - 1).is_err());
+    }
+
+    #[test]
+    fn seq_validator_accepts_any_first_seq() {
+        // A connection resumed mid-stream legitimately starts above 0;
+        // zero itself is also fine. Only the *relative* order matters.
+        let mut nonzero = SeqValidator::new();
+        nonzero.check(1_000_000).unwrap();
+        let mut zero = SeqValidator::new();
+        zero.check(0).unwrap();
+        let mut max = SeqValidator::new();
+        max.check(u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn seq_validator_rejects_immediate_duplicate_of_first_seq() {
+        let mut v = SeqValidator::new();
+        v.check(7).unwrap();
+        let err = v.check(7).unwrap_err();
+        assert!(matches!(err, StreamError::Transport { kind: TransportErrorKind::Seq, .. }));
+    }
+
+    #[test]
     fn recv_strict_flags_out_of_order_frames() {
         let link = Link::new(4);
         let (tx, mut rx) = link.split();

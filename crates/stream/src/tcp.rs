@@ -121,6 +121,25 @@ impl TcpConfig {
     }
 }
 
+/// Object-safe sending half of a framed transport. [`TcpFrameSender`]
+/// is the real-socket implementation; the fault-injection layer
+/// (`crate::fault`, behind the `fault-injection` feature) wraps any
+/// implementor to inject deterministic failures, so protocol code can
+/// hold a `Box<dyn FrameSender>` and stay oblivious.
+pub trait FrameSender: Send {
+    /// Sends one frame.
+    fn send(&mut self, frame: &Frame) -> Result<(), StreamError>;
+    /// Sends a payload stamped with the next transport seq; returns the
+    /// seq used.
+    fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError>;
+}
+
+/// Object-safe receiving half of a framed transport; see [`FrameSender`].
+pub trait FrameReceiver: Send {
+    /// Receives the next frame; `None` on clean EOF.
+    fn recv(&mut self) -> Result<Option<Frame>, StreamError>;
+}
+
 fn io_err(kind: TransportErrorKind, what: &str, e: &std::io::Error) -> StreamError {
     // Expired socket deadlines surface as WouldBlock (Unix) / TimedOut
     // (Windows); fold both into the Timeout kind.
@@ -168,6 +187,15 @@ impl TcpFrameSender {
         let seq = self.next_seq;
         self.send(&Frame { seq, payload })?;
         Ok(seq)
+    }
+}
+
+impl FrameSender for TcpFrameSender {
+    fn send(&mut self, frame: &Frame) -> Result<(), StreamError> {
+        TcpFrameSender::send(self, frame)
+    }
+    fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError> {
+        TcpFrameSender::send_payload(self, payload)
     }
 }
 
@@ -231,6 +259,12 @@ impl TcpFrameReceiver {
                 io_err(TransportErrorKind::Recv, &format!("tcp recv ({what})"), &e)
             }
         })
+    }
+}
+
+impl FrameReceiver for TcpFrameReceiver {
+    fn recv(&mut self) -> Result<Option<Frame>, StreamError> {
+        TcpFrameReceiver::recv(self)
     }
 }
 
@@ -443,5 +477,68 @@ mod tests {
             let raw = p.delay_before(attempt, 0);
             assert!(d >= raw / 2 && d <= raw, "jitter within [raw/2, raw]: {d:?} vs {raw:?}");
         }
+    }
+
+    #[test]
+    fn jitter_sequence_is_deterministic_per_seed() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter: true,
+        };
+        let first: Vec<Duration> = (1..=8).map(|n| p.delay_before(n, 0xFEED)).collect();
+        let again: Vec<Duration> = (1..=8).map(|n| p.delay_before(n, 0xFEED)).collect();
+        assert_eq!(first, again, "same seed must reproduce the exact sequence");
+        assert_eq!(first[0], Duration::ZERO, "attempt 1 never waits");
+
+        let other: Vec<Duration> = (1..=8).map(|n| p.delay_before(n, 0xBEEF)).collect();
+        assert_ne!(first, other, "different seeds must decorrelate the sequence");
+    }
+
+    #[test]
+    fn zero_retry_policy_fails_on_first_refusal() {
+        // Bind-then-drop finds a port that is currently refusing
+        // connections; no_retry must surface Connect after one attempt.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = TcpConfig::new().with_retry(RetryPolicy::no_retry());
+        let err = connect_with(addr, &config).err().expect("nothing is listening");
+        match err {
+            StreamError::Transport { kind, context } => {
+                assert_eq!(kind, TransportErrorKind::Connect);
+                assert!(context.contains("after 1 attempts"), "names the attempt count: {context}");
+            }
+            other => panic!("expected Transport/Connect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trait_objects_carry_frames() {
+        // The dyn-dispatched path must behave exactly like the concrete
+        // one — the networked session holds `Box<dyn Frame{Sender,Receiver}>`.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let (tx, rx) = framed(stream).unwrap();
+            let mut tx: Box<dyn FrameSender> = Box::new(tx);
+            let mut rx: Box<dyn FrameReceiver> = Box::new(rx);
+            while let Some(frame) = rx.recv().unwrap() {
+                tx.send(&Frame { seq: frame.seq + 1, payload: frame.payload }).unwrap();
+            }
+        });
+        let (tx, rx) = connect(addr).unwrap();
+        let mut tx: Box<dyn FrameSender> = Box::new(tx);
+        let mut rx: Box<dyn FrameReceiver> = Box::new(rx);
+        let seq = tx.send_payload(Bytes::from_static(b"dyn")).unwrap();
+        let echoed = rx.recv().unwrap().unwrap();
+        assert_eq!(echoed.seq, seq + 1);
+        assert_eq!(&echoed.payload[..], b"dyn");
+        drop(tx);
+        drop(rx);
+        server.join().unwrap();
     }
 }

@@ -1,12 +1,12 @@
 //! From-scratch binary wire codec.
 //!
-//! The dependency policy (DESIGN.md §5) allows `bytes` but no serde
+//! The dependency policy (DESIGN.md §7) allows `bytes` but no serde
 //! binary format crate, so framing is hand-rolled: little-endian
 //! fixed-width integers, length-prefixed variable-size fields. Every
 //! pipeline hop round-trips frames through this codec so that inter-stage
 //! communication pays realistic serialization cost.
 
-use crate::StreamError;
+use crate::{StreamError, TransportErrorKind};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Serialize into a wire buffer.
@@ -22,9 +22,19 @@ pub trait WireDecode: Sized {
 }
 
 /// Growable encode buffer.
+///
+/// A length that does not fit the 32-bit wire prefix *poisons* the
+/// encoder instead of panicking mid-encode: the first oversize field is
+/// recorded (which field, how many bytes) and surfaced when the frame is
+/// finished — as `Transport { kind: Send, .. }` from [`try_finish`], or
+/// as a panic from the legacy [`finish`].
+///
+/// [`try_finish`]: Encoder::try_finish
+/// [`finish`]: Encoder::finish
 #[derive(Default)]
 pub struct Encoder {
     buf: BytesMut,
+    overflow: Option<String>,
 }
 
 impl Encoder {
@@ -35,12 +45,52 @@ impl Encoder {
 
     /// Creates with a capacity hint.
     pub fn with_capacity(cap: usize) -> Self {
-        Encoder { buf: BytesMut::with_capacity(cap) }
+        Encoder { buf: BytesMut::with_capacity(cap), overflow: None }
     }
 
     /// Finishes, returning the frozen frame.
+    ///
+    /// # Panics
+    /// Panics if any length prefix overflowed u32 (see [`Encoder`]);
+    /// fallible callers should prefer [`Encoder::try_finish`].
     pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+        match self.try_finish() {
+            Ok(frame) => frame,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Finishes, returning the frozen frame — or, if any length prefix
+    /// overflowed the u32 wire format, a `Transport { kind: Send, .. }`
+    /// error naming the field and its byte count.
+    pub fn try_finish(self) -> Result<Bytes, StreamError> {
+        match self.overflow {
+            Some(what) => Err(StreamError::transport(
+                TransportErrorKind::Send,
+                format!("wire encode: {what}"),
+            )),
+            None => Ok(self.buf.freeze()),
+        }
+    }
+
+    /// Writes a u32 length prefix for a field of `len` items, poisoning
+    /// the encoder when `len` exceeds `u32::MAX` (`what` names the field
+    /// in the eventual error). A poisoned prefix encodes as 0 so the
+    /// buffer stays structurally sane; the frame is rejected at
+    /// [`Encoder::try_finish`] and never reaches the wire.
+    pub fn put_len_prefix(&mut self, len: usize, what: &str) {
+        match u32::try_from(len) {
+            Ok(v) => self.put_u32(v),
+            Err(_) => {
+                if self.overflow.is_none() {
+                    self.overflow = Some(format!(
+                        "{what} length {len} exceeds the u32 length prefix (max {})",
+                        u32::MAX
+                    ));
+                }
+                self.put_u32(0);
+            }
+        }
     }
 
     /// Bytes written so far.
@@ -72,14 +122,14 @@ impl Encoder {
         self.buf.put_f64_le(v);
     }
 
-    /// Length-prefixed byte slice.
-    ///
-    /// # Panics
-    /// Panics if `v.len()` exceeds `u32::MAX` — the wire format's length
-    /// prefix is 32-bit, and truncating would silently corrupt the frame.
+    /// Length-prefixed byte slice. A slice longer than `u32::MAX`
+    /// (truncating its prefix would silently corrupt the frame) poisons
+    /// the encoder — see [`Encoder`].
     pub fn put_bytes(&mut self, v: &[u8]) {
-        self.put_u32(len_to_u32(v.len()));
-        self.buf.put_slice(v);
+        self.put_len_prefix(v.len(), "byte field");
+        if self.overflow.is_none() {
+            self.buf.put_slice(v);
+        }
     }
 
     /// Length-prefixed UTF-8 string.
@@ -92,15 +142,6 @@ impl Encoder {
     pub fn put_raw(&mut self, v: &[u8]) {
         self.buf.put_slice(v);
     }
-}
-
-/// Converts a collection length to the 32-bit wire length prefix.
-/// Lengths ≥ 4 GiB used to be truncated by a bare `as u32` cast,
-/// corrupting the frame silently; now they abort loudly.
-fn len_to_u32(len: usize) -> u32 {
-    u32::try_from(len).unwrap_or_else(|_| {
-        panic!("wire encode: length {len} exceeds the u32 length prefix (max {})", u32::MAX)
-    })
 }
 
 /// Consuming decode cursor over a frame.
@@ -243,7 +284,7 @@ where
     T: WireEncode,
 {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_u32(len_to_u32(self.len()));
+        enc.put_len_prefix(self.len(), "vec field");
         for item in self {
             item.encode(enc);
         }
@@ -292,10 +333,24 @@ impl WireDecode for Bytes {
 }
 
 /// Convenience: encode a value into a standalone frame.
+///
+/// # Panics
+/// Panics if any length prefix overflows u32 — the request paths of the
+/// networked deployment use [`try_to_frame`] instead, which surfaces the
+/// overflow as a `Transport { kind: Send, .. }` error.
 pub fn to_frame<T: WireEncode>(value: &T) -> Bytes {
     let mut enc = Encoder::new();
     value.encode(&mut enc);
     enc.finish()
+}
+
+/// As [`to_frame`], but an oversize length prefix returns
+/// `Transport { kind: Send, .. }` (naming the field and byte count)
+/// instead of panicking.
+pub fn try_to_frame<T: WireEncode>(value: &T) -> Result<Bytes, StreamError> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.try_finish()
 }
 
 /// Convenience: decode a full frame into a value.
@@ -361,17 +416,46 @@ mod tests {
     }
 
     #[test]
-    fn len_fits_u32_passes_through() {
-        assert_eq!(len_to_u32(0), 0);
-        assert_eq!(len_to_u32(u32::MAX as usize), u32::MAX);
+    fn len_prefix_in_range_does_not_poison() {
+        let mut enc = Encoder::new();
+        enc.put_len_prefix(0, "empty");
+        enc.put_len_prefix(u32::MAX as usize, "huge but legal");
+        let frame = enc.try_finish().expect("in-range lengths never poison");
+        let mut dec = Decoder::new(frame);
+        assert_eq!(dec.get_u32().unwrap(), 0);
+        assert_eq!(dec.get_u32().unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn oversize_len_surfaces_as_transport_send_error() {
+        // Regression: a ≥4 GiB field used to panic mid-encode (and before
+        // that, truncate silently). A real 4 GiB buffer is not
+        // allocatable in CI; poisoning via the length alone exercises the
+        // same path `put_bytes` takes.
+        let oversize = u32::MAX as usize + 1;
+        let mut enc = Encoder::new();
+        enc.put_u64(7); // fields before the poison are irrelevant
+        enc.put_len_prefix(oversize, "ciphertext field");
+        let err = enc.try_finish().expect_err("oversize length must poison the frame");
+        match &err {
+            StreamError::Transport { kind, context } => {
+                assert_eq!(*kind, TransportErrorKind::Send);
+                assert!(context.contains("ciphertext field"), "names the field: {context}");
+                assert!(context.contains(&oversize.to_string()), "names the size: {context}");
+            }
+            other => panic!("expected Transport/Send, got {other:?}"),
+        }
+        // The protocol stage wrapper composes with the poison error.
+        let staged = err.at_stage("linear-0 request");
+        assert!(staged.to_string().contains("linear-0 request"));
     }
 
     #[test]
     #[should_panic(expected = "exceeds the u32 length prefix")]
-    fn oversize_len_panics_instead_of_truncating() {
-        // A real ≥4 GiB buffer is not allocatable in CI; exercising the
-        // guard with the mocked length is equivalent.
-        len_to_u32(u32::MAX as usize + 1);
+    fn legacy_finish_still_panics_on_poison() {
+        let mut enc = Encoder::new();
+        enc.put_len_prefix(u32::MAX as usize + 1, "field");
+        let _ = enc.finish();
     }
 
     #[test]

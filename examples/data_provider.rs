@@ -12,6 +12,17 @@
 //! final classes against the local scaled reference. Connection attempts
 //! retry with exponential backoff, so starting the client slightly
 //! before the server is fine.
+//!
+//! Mid-stream socket loss is absorbed transparently: the client
+//! reconnects, resumes its session, and replays only unacknowledged
+//! items. To watch that happen, inject deterministic faults via the
+//! `PP_FAULT_*` environment variables (needs the default
+//! `fault-injection` feature), e.g.:
+//!
+//! ```sh
+//! PP_FAULT_KILL_EVERY=7 PP_FAULT_SEED=1 \
+//!   cargo run --release --example data_provider -- 127.0.0.1:7700
+//! ```
 
 use pp_nn::{zoo, ScaledModel};
 use pp_stream::{NetConfig, NetworkedSession};
@@ -27,7 +38,15 @@ fn demo_model() -> ScaledModel {
 }
 
 fn demo_config() -> NetConfig {
-    NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() }
+    let mut config = NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() };
+    #[cfg(feature = "fault-injection")]
+    {
+        config.fault = pp_stream::FaultPlan::from_env();
+        if let Some(plan) = &config.fault {
+            println!("[data-provider] fault injection armed: {plan:?}");
+        }
+    }
+    config
 }
 
 fn main() {
@@ -38,7 +57,8 @@ fn main() {
     let mut session =
         NetworkedSession::connect(&*addr, scaled.clone(), &config).expect("connect + handshake");
     println!(
-        "[data-provider] handshake accepted by {addr} (connect attempts: {})",
+        "[data-provider] handshake accepted by {addr} (session {}, connect attempts: {})",
+        session.session(),
         session.transport().connect_attempts
     );
 
@@ -65,5 +85,13 @@ fn main() {
         transport.frames_received,
         transport.bytes_received,
     );
-    session.shutdown();
+    let final_report = session.shutdown();
+    println!(
+        "[data-provider] resilience: {} reconnects, {} items replayed, {} faults injected, \
+         clean shutdown: {}",
+        final_report.reconnects,
+        final_report.items_replayed,
+        final_report.faults_injected,
+        final_report.clean_shutdown,
+    );
 }

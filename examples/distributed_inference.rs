@@ -71,6 +71,10 @@ fn main() {
     );
     let final_report = session.shutdown();
     assert!(final_report.clean_shutdown);
+    println!(
+        "[data-provider] resilience: {} reconnects, {} items replayed, {} faults injected",
+        final_report.reconnects, final_report.items_replayed, final_report.faults_injected,
+    );
     let server_report = server.join().expect("model provider thread");
     assert!(server_report.clean_shutdown, "server must observe a clean EOF");
 

@@ -9,16 +9,24 @@
 //!
 //! The server owns the scaled weights and executes the linear stages
 //! homomorphically; it never sees the client's private key or any
-//! plaintext activation. Pass `--once` to exit after serving one client
-//! (useful in scripts); otherwise it serves clients sequentially until
-//! killed.
+//! plaintext activation. By default it runs the supervised multi-client
+//! server: a bounded worker pool where a misbehaving client (garbage
+//! handshake, mid-stream disconnect, even a worker panic) is isolated to
+//! its own connection while everyone else keeps streaming. Pass `--once`
+//! to serve a single connection sequentially and exit (useful in
+//! scripts).
+//!
+//! Clients that lose their socket mid-stream reconnect and resume their
+//! session; the server keeps a bounded, TTL-evicted session table so
+//! acknowledged items are never re-executed.
 //!
 //! Both binaries build the same demo model from a fixed seed so their
 //! topology digests agree — in a real deployment the architecture (not
 //! the weights) is what the two parties must share out of band.
 
 use pp_nn::{zoo, ScaledModel};
-use pp_stream::{ModelProvider, NetConfig};
+use pp_stream::{ModelProvider, NetConfig, ServeOptions, ServeReport};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,6 +39,26 @@ fn demo_model() -> ScaledModel {
 
 fn demo_config() -> NetConfig {
     NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() }
+}
+
+fn print_report(report: &ServeReport) {
+    println!(
+        "[model-provider] {} connections ({} resumed, {} rejected, {} failed, {} panicked): \
+         {} requests ({} replayed), {} B in / {} B out, clean shutdown: {}",
+        report.connections,
+        report.resumed_sessions,
+        report.rejected_handshakes,
+        report.failed_connections,
+        report.panicked_connections,
+        report.requests,
+        report.replayed_items,
+        report.bytes_in,
+        report.bytes_out,
+        report.clean_shutdown
+    );
+    if let Some(err) = &report.last_error {
+        println!("[model-provider] last connection error: {err}");
+    }
 }
 
 fn main() {
@@ -51,19 +79,21 @@ fn main() {
         provider.topology()
     );
 
-    loop {
+    if once {
+        // Sequential single-connection mode for scripted runs.
         match provider.serve_listener(&listener) {
-            Ok(report) => println!(
-                "[model-provider] connection done: {} requests, {} B in / {} B out, \
-                 clean shutdown: {}",
-                report.requests, report.bytes_in, report.bytes_out, report.clean_shutdown
-            ),
-            // A failed client (handshake rejection, mid-stream drop) must
-            // not take the server down; log and keep serving.
+            Ok(report) => print_report(&report),
             Err(e) => eprintln!("[model-provider] connection failed: {e}"),
         }
-        if once {
-            break;
-        }
+        return;
+    }
+
+    // Supervised multi-client mode: a bounded worker pool where each
+    // connection is isolated, running until the process is killed.
+    let provider = std::sync::Arc::new(provider);
+    let _handle = provider.serve_forever(listener, ServeOptions::default()).expect("spawn server");
+    println!("[model-provider] supervised server up (Ctrl+C to stop)");
+    loop {
+        std::thread::park();
     }
 }

@@ -17,6 +17,13 @@ echo "==> loopback two-process deployment test"
 cargo test -p pp-stream --test deployment -q
 cargo run --release --example distributed_inference
 
+echo "==> chaos soak under two fixed fault seeds"
+PP_FAULT_SEED=1 cargo test -p pp-stream --test chaos -q
+PP_FAULT_SEED=2 cargo test -p pp-stream --test chaos -q
+
+echo "==> fault injection compiles out cleanly"
+cargo build -p pp-stream --no-default-features
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -1,0 +1,200 @@
+//! Chaos/soak tests: deterministic fault injection against the
+//! two-process deployment (requires the `fault-injection` feature).
+//!
+//! The headline assertion: with the connection killed on every Nth sent
+//! frame, a 200-item stream still produces **bit-identical** outputs to
+//! the in-process pipeline, reconnect-and-resume absorbs every kill, and
+//! the replay accounting agrees between client and server — so no
+//! delivered item's Paillier evaluations are ever repeated.
+//!
+//! `PP_FAULT_SEED` overrides the fault seed, letting CI soak the same
+//! schedule under different corruption/jitter draws without recompiling.
+
+use pp_nn::{zoo, ScaledModel};
+use pp_stream::{
+    FaultPlan, ModelProvider, NetConfig, NetworkedSession, PpStream, PpStreamConfig,
+};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn mlp_model(name: &str) -> ScaledModel {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp(name, &[4, 6, 3], &mut rng).expect("model");
+    ScaledModel::from_model(&model, 10_000)
+}
+
+fn stream_inputs(n: u64) -> Vec<Tensor<f64>> {
+    (0..n)
+        .map(|seq| {
+            Tensor::from_flat(
+                (0..4u64).map(|j| ((seq * 4 + j) as f64 * 0.37).sin()).collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("PP_FAULT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0x00C0_FFEE)
+}
+
+/// Drives 200 items through a transport that kills the connection on
+/// every `kill_every`-th sent frame and checks the full fault-tolerance
+/// contract.
+fn kill_soak(kill_every: u64) {
+    let scaled = mlp_model("chaos-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), kill_every: Some(kill_every), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let items = stream_inputs(200);
+    let (got, report) = session.infer_stream(&items).expect("soak survives the kills");
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown, "the Bye must get through, reconnecting if needed");
+    assert!(transport.reconnects > 0, "the kill schedule must actually fire");
+    assert!(transport.faults_injected > 0);
+    assert!(
+        transport.faults_injected >= transport.reconnects,
+        "every reconnect is fault-triggered: {} faults vs {} reconnects",
+        transport.faults_injected,
+        transport.reconnects
+    );
+    assert!(report.transport.expect("transport stats").reconnects > 0);
+
+    let server_report = server.join().expect("server thread");
+    assert!(server_report.clean_shutdown);
+    assert!(server_report.requests >= 200, "every item's linear rounds completed");
+    assert!(server_report.resumed_sessions as u64 >= transport.reconnects);
+    assert_eq!(
+        server_report.replayed_items, transport.items_replayed,
+        "client and server must agree on exactly which items were replayed"
+    );
+
+    // The acceptance bar: identical outputs to the in-process pipeline,
+    // bit for bit, kills or no kills.
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.infer_stream(&items).expect("in-process inference");
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.data(), w.data(), "item {i} diverged from the in-process pipeline");
+    }
+}
+
+#[test]
+fn chaos_kill_every_3_bit_identical_soak() {
+    // k=3 lands every kill on an ack frame (3 sends per item), so the
+    // soak exercises reconnects on *every* item without replays.
+    kill_soak(3);
+}
+
+#[test]
+fn chaos_kill_every_17_bit_identical_soak() {
+    // k=17 walks the kill position across the round-0/round-1/ack
+    // phases, so some kills interrupt an item mid-flight and force a
+    // replay from round 0 — which the accounting must show.
+    kill_soak(17);
+}
+
+#[test]
+fn chaos_kill_every_17_forces_replays() {
+    // Pinned companion to the soak above: a kill that lands after a
+    // round-0 send must surface as a replayed item on both ends.
+    let scaled = mlp_model("chaos-replay-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), kill_every: Some(17), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session = NetworkedSession::connect(addr, scaled, &config).expect("connect");
+    session.infer_stream(&stream_inputs(20)).expect("inference");
+    let transport = session.shutdown();
+    assert!(transport.items_replayed > 0, "a mid-item kill must be replayed");
+
+    let server_report = server.join().expect("server thread");
+    assert_eq!(server_report.replayed_items, transport.items_replayed);
+}
+
+#[test]
+fn corrupt_frame_is_fatal_not_silent() {
+    // Bit corruption in a reply's header region must surface as an
+    // immediate error — never silently wrong ciphertexts, and never an
+    // endless resume loop (corruption is not a transient fault).
+    let scaled = mlp_model("corrupt-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), corrupt_every: Some(1), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session = NetworkedSession::connect(addr, scaled, &config).expect("connect");
+    let err = session
+        .classify_stream(&stream_inputs(1))
+        .expect_err("a corrupted reply must not produce a classification");
+    let text = err.to_string().to_lowercase();
+    assert!(
+        text.contains("decode") || text.contains("stage") || text.contains("corrupt"),
+        "corruption must be named, got: {text}"
+    );
+    assert_eq!(session.transport().reconnects, 0, "corruption must not trigger resume");
+
+    // The connection itself is healthy; a clean Bye releases the server.
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown);
+    assert!(transport.faults_injected > 0);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn expired_session_rejects_resume() {
+    // With a zero TTL every dropped session expires before the client
+    // can resume it: the resume must be *rejected* (exactly-once state
+    // is gone), surfacing the original failure plus the rejection — and
+    // the server must keep serving fresh clients afterwards.
+    let scaled = mlp_model("ttl-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.session_ttl = Duration::ZERO;
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), kill_every: Some(3), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session = NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect");
+    let err = session
+        .classify_stream(&stream_inputs(5))
+        .expect_err("resume into an expired session must fail");
+    let text = err.to_string();
+    assert!(text.contains("after failed resume"), "{text}");
+    assert!(text.contains("unknown or expired"), "{text}");
+
+    // A fresh hello (no resume involved) still works.
+    let mut fresh_config = config.clone();
+    fresh_config.fault = None;
+    let mut fresh =
+        NetworkedSession::connect(addr, scaled, &fresh_config).expect("fresh client connects");
+    fresh.classify_stream(&stream_inputs(1)).expect("inference after the expired session");
+    assert!(fresh.shutdown().clean_shutdown);
+
+    let report = server.join().expect("server thread");
+    assert!(report.rejected_handshakes >= 1, "the expired resume was rejected");
+    assert!(report.clean_shutdown);
+}

@@ -5,8 +5,8 @@
 use pp_nn::{zoo, Model, ScaledModel};
 use pp_paillier::packing::{PackedCiphertext, PackingSpec};
 use pp_paillier::{Keypair, PublicKey, RandomnessPool};
-use pp_stream::messages::{AcceptMsg, HelloMsg, PROTOCOL_VERSION};
-use pp_stream::{ModelProvider, NetConfig, NetworkedSession, PpStream, PpStreamConfig};
+use pp_stream::messages::{AcceptMsg, HelloMsg, RejectMsg, PROTOCOL_VERSION};
+use pp_stream::{ModelProvider, NetConfig, NetworkedSession, PpStream, PpStreamConfig, ServeOptions};
 use pp_stream_runtime::wire::{from_frame, to_frame};
 use pp_stream_runtime::{tcp, TcpConfig};
 use pp_tensor::Tensor;
@@ -174,6 +174,7 @@ fn mid_stream_kill_is_a_transport_error_naming_the_stage() {
             version: PROTOCOL_VERSION,
             pk_fingerprint: hello.pk_fingerprint,
             topology: hello.topology,
+            session: 1,
         };
         tx.send_payload(to_frame(&accept)).expect("send accept");
         // Connection drops here: the client's first request dies.
@@ -194,10 +195,11 @@ fn mid_stream_kill_is_a_transport_error_naming_the_stage() {
 }
 
 #[test]
-fn topology_mismatch_is_rejected_at_handshake() {
+fn topology_mismatch_is_rejected_and_server_keeps_serving() {
     // Server and client built against different architectures: the
-    // handshake must fail fast with a reason naming the topology, and
-    // the server must survive to report the rejection as an error.
+    // handshake must fail fast with a reason naming the topology — and
+    // the server must shrug it off and serve the next, well-built client
+    // to completion.
     let server_model = mlp_model("server-mlp", &[6, 10, 3]);
     let client_model = mlp_model("client-mlp", &[6, 8, 3]);
     let config = NetConfig::small_test(128);
@@ -214,6 +216,63 @@ fn topology_mismatch_is_rejected_at_handshake() {
     assert!(text.contains("rejected handshake"), "{text}");
     assert!(text.contains("topology"), "reason must name the mismatch: {text}");
 
-    let server_result = server.join().expect("server thread");
-    assert!(server_result.is_err(), "server reports the rejected handshake as an error");
+    // The rejection must not have taken the server down.
+    let mut session = NetworkedSession::connect(addr, server_model, &config)
+        .expect("matching client connects after the rejection");
+    let inputs = stream_inputs(1, 6);
+    session.classify_stream(&inputs).expect("inference after a rejected peer");
+    assert!(session.shutdown().clean_shutdown);
+
+    let report = server.join().expect("server thread").expect("server survives rejections");
+    assert_eq!(report.rejected_handshakes, 1, "the mismatch was counted, not fatal");
+    assert_eq!(report.requests, 1);
+    assert!(report.clean_shutdown);
+}
+
+#[test]
+fn supervised_server_isolates_bad_clients() {
+    // serve_forever: a garbage-speaking client and three concurrent good
+    // clients share one supervised server; the bad one is counted and
+    // isolated, the good ones all complete, and shutdown drains cleanly.
+    let scaled = mlp_model("fleet-mlp", &[6, 10, 3]);
+    let config = NetConfig::small_test(128);
+    let provider = std::sync::Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = provider.serve_forever(listener, ServeOptions::default()).expect("spawn server");
+    let addr = handle.addr();
+
+    // A client that never speaks the protocol: one garbage frame.
+    let (mut gtx, mut grx) = tcp::connect(addr).expect("garbage client connects");
+    gtx.send_payload(bytes::Bytes::from_static(b"\xffnot a handshake")).expect("send garbage");
+    let reply = grx.recv().expect("reject reply").expect("reject frame");
+    let reject: RejectMsg = from_frame(reply.payload).expect("decode reject");
+    assert!(reject.reason.contains("hello"), "{}", reject.reason);
+    drop(gtx);
+    drop(grx);
+
+    // Three well-behaved clients, concurrently.
+    let mut clients = Vec::new();
+    for _ in 0..3 {
+        let scaled = scaled.clone();
+        let config = config.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut session =
+                NetworkedSession::connect(addr, scaled, &config).expect("connect + handshake");
+            let inputs = stream_inputs(2, 6);
+            let (classes, _) = session.classify_stream(&inputs).expect("inference");
+            assert!(session.shutdown().clean_shutdown);
+            classes
+        }));
+    }
+    let results: Vec<Vec<usize>> =
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect();
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "same inputs, same classes");
+
+    let report = handle.shutdown();
+    assert_eq!(report.connections, 4, "three good clients plus one garbage client");
+    assert_eq!(report.rejected_handshakes, 1);
+    assert_eq!(report.requests, 6, "3 clients x 2 items each");
+    assert_eq!(report.failed_connections, 0);
+    assert_eq!(report.panicked_connections, 0);
+    assert!(report.clean_shutdown);
 }
