@@ -56,9 +56,10 @@ pub mod simulate;
 
 pub use encapsulate::{encapsulate, MergedStage, StageRole};
 pub use encctx::EncCtx;
+pub use messages::{ItemErrorKind, RejectCode};
 pub use net::{
-    ModelProvider, NetConfig, NetworkedSession, ServeOptions, ServeReport, ServerHandle,
-    TransportReport,
+    ItemOutcome, ModelProvider, NetConfig, NetworkedSession, ServeOptions, ServeReport,
+    ServerHandle, TransportReport,
 };
 #[cfg(feature = "fault-injection")]
 pub use pp_stream_runtime::fault::FaultPlan;

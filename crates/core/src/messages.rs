@@ -78,7 +78,12 @@ impl WireDecode for PlainTensorMsg {
 /// v2: [`AcceptMsg`] carries a server-assigned session ID, and the
 /// session-resume message set ([`ResumeMsg`], [`AckMsg`], [`ByeMsg`])
 /// exists.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: [`RejectMsg`] carries a [`RejectCode`] and a busy-server
+/// `retry_after_ms` hint (admission control), and the per-item error
+/// reply [`ItemErrorMsg`] exists (deadline expiry / quarantine / load
+/// shedding are per-item outcomes, not session-fatal failures).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Deployment handshake: the data provider's opening message. Carries
 /// everything both sides must agree on before ciphertexts flow —
@@ -164,24 +169,63 @@ impl WireDecode for AcceptMsg {
     }
 }
 
+/// Why the model provider refused a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectCode {
+    /// Deployment mismatch (version, key, topology, unknown session) —
+    /// permanent until the operator fixes the deployment.
+    Mismatch = 0,
+    /// The server is at its admission-control capacity. Transient: the
+    /// client should back off and retry, honoring `retry_after_ms`.
+    Busy = 1,
+}
+
 /// Deployment handshake: the model provider's refusal, naming the
 /// mismatch so the operator can fix the deployment instead of guessing.
+/// A [`RejectCode::Busy`] refusal is transient and carries a
+/// `retry_after_ms` backoff hint.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RejectMsg {
+    pub code: RejectCode,
     pub reason: String,
+    /// For [`RejectCode::Busy`]: how long the client should wait before
+    /// retrying, in milliseconds. Zero (and any value on other codes)
+    /// means "no hint".
+    pub retry_after_ms: u64,
+}
+
+impl RejectMsg {
+    /// A permanent deployment-mismatch refusal.
+    pub fn mismatch(reason: impl Into<String>) -> Self {
+        RejectMsg { code: RejectCode::Mismatch, reason: reason.into(), retry_after_ms: 0 }
+    }
+
+    /// A transient at-capacity refusal with a backoff hint.
+    pub fn busy(reason: impl Into<String>, retry_after_ms: u64) -> Self {
+        RejectMsg { code: RejectCode::Busy, reason: reason.into(), retry_after_ms }
+    }
 }
 
 impl WireEncode for RejectMsg {
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u8(MsgTag::Reject as u8);
+        enc.put_u8(self.code as u8);
         self.reason.encode(enc);
+        enc.put_u64(self.retry_after_ms);
     }
 }
 
 impl WireDecode for RejectMsg {
     fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
         expect_tag(dec, MsgTag::Reject)?;
-        Ok(RejectMsg { reason: String::decode(dec)? })
+        let code = match dec.get_u8()? {
+            0 => RejectCode::Mismatch,
+            1 => RejectCode::Busy,
+            other => {
+                return Err(StreamError::Decode(format!("unknown reject code {other}")));
+            }
+        };
+        Ok(RejectMsg { code, reason: String::decode(dec)?, retry_after_ms: dec.get_u64()? })
     }
 }
 
@@ -271,6 +315,60 @@ impl WireDecode for ByeMsg {
     }
 }
 
+/// Why the server failed one item while keeping the session alive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemErrorKind {
+    /// The item's end-to-end deadline budget ran out before (or while)
+    /// the server worked on it.
+    DeadlineExpired = 0,
+    /// The item made a protocol stage panic; it is quarantined and will
+    /// never be re-executed, including across session resumes.
+    Quarantined = 1,
+    /// The server shed the item under overload (per-session in-flight
+    /// cap exceeded). Unlike the other kinds, a shed item may be
+    /// retried later.
+    Shed = 2,
+}
+
+/// Server → client: a *per-item* failure reply, sent in place of the
+/// item's result. The session — and the exactly-once floors — survive;
+/// only this item is affected. This is the wire half of the overload
+/// taxonomy: shed / expired / quarantined are item outcomes, fatal
+/// errors tear down the connection instead.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ItemErrorMsg {
+    /// Sequence number of the failed item.
+    pub seq: u64,
+    pub kind: ItemErrorKind,
+    /// Human-readable detail (panic message, expired budget, …).
+    pub detail: String,
+}
+
+impl WireEncode for ItemErrorMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::ItemError as u8);
+        enc.put_u64(self.seq);
+        enc.put_u8(self.kind as u8);
+        self.detail.encode(enc);
+    }
+}
+
+impl WireDecode for ItemErrorMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::ItemError)?;
+        let seq = dec.get_u64()?;
+        let kind = match dec.get_u8()? {
+            0 => ItemErrorKind::DeadlineExpired,
+            1 => ItemErrorKind::Quarantined,
+            2 => ItemErrorKind::Shed,
+            other => {
+                return Err(StreamError::Decode(format!("unknown item-error kind {other}")));
+            }
+        };
+        Ok(ItemErrorMsg { seq, kind, detail: String::decode(dec)? })
+    }
+}
+
 /// Message type tags.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MsgTag {
@@ -282,6 +380,7 @@ pub enum MsgTag {
     Resume = 6,
     Ack = 7,
     Bye = 8,
+    ItemError = 9,
 }
 
 /// Peeks the tag byte of a frame without consuming the decoder.
@@ -295,6 +394,7 @@ pub fn peek_tag(frame: &bytes::Bytes) -> Option<MsgTag> {
         Some(6) => Some(MsgTag::Resume),
         Some(7) => Some(MsgTag::Ack),
         Some(8) => Some(MsgTag::Bye),
+        Some(9) => Some(MsgTag::ItemError),
         _ => None,
     }
 }
@@ -355,10 +455,33 @@ mod tests {
         let back: AcceptMsg = from_frame(to_frame(&accept)).unwrap();
         assert_eq!(back, accept);
 
-        let reject = RejectMsg { reason: "topology mismatch".into() };
+        let reject = RejectMsg::mismatch("topology mismatch");
         let back: RejectMsg = from_frame(to_frame(&reject)).unwrap();
         assert_eq!(back, reject);
+        assert_eq!(back.code, RejectCode::Mismatch);
         assert_eq!(peek_tag(&to_frame(&reject)), Some(MsgTag::Reject));
+    }
+
+    #[test]
+    fn busy_reject_roundtrips_with_backoff_hint() {
+        let busy = RejectMsg::busy("at capacity (2 sessions)", 250);
+        let back: RejectMsg = from_frame(to_frame(&busy)).unwrap();
+        assert_eq!(back, busy);
+        assert_eq!(back.code, RejectCode::Busy);
+        assert_eq!(back.retry_after_ms, 250);
+    }
+
+    #[test]
+    fn item_error_roundtrips_all_kinds() {
+        for kind in
+            [ItemErrorKind::DeadlineExpired, ItemErrorKind::Quarantined, ItemErrorKind::Shed]
+        {
+            let msg = ItemErrorMsg { seq: 17, kind, detail: "budget spent".into() };
+            let frame = to_frame(&msg);
+            assert_eq!(peek_tag(&frame), Some(MsgTag::ItemError));
+            let back: ItemErrorMsg = from_frame(frame).unwrap();
+            assert_eq!(back, msg);
+        }
     }
 
     #[test]

@@ -61,8 +61,8 @@
 
 use crate::encapsulate::{encapsulate_with, MergedStage, StageRole};
 use crate::messages::{
-    AcceptMsg, AckMsg, ByeMsg, EncTensorMsg, HelloMsg, MsgTag, PlainTensorMsg, RejectMsg,
-    ResumeMsg, PROTOCOL_VERSION,
+    AcceptMsg, AckMsg, ByeMsg, EncTensorMsg, HelloMsg, ItemErrorKind, ItemErrorMsg, MsgTag,
+    PlainTensorMsg, RejectCode, RejectMsg, ResumeMsg, PROTOCOL_VERSION,
 };
 use crate::protocol::{EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore};
 use crate::session::RunReport;
@@ -83,9 +83,9 @@ use pp_stream_runtime::{
 use pp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -115,8 +115,30 @@ pub struct NetConfig {
     /// Server-side: resumable-session table bound; beyond it the
     /// least-recently-seen session is evicted.
     pub session_capacity: usize,
+    /// Server-side: per-session cap on items with linear rounds in
+    /// flight. An item whose round 0 arrives while the session is at the
+    /// cap is **shed** with a per-item [`ItemErrorKind::Shed`] reply
+    /// instead of queueing unboundedly. A zero cap sheds every item —
+    /// a drain mode useful for overload drills.
+    pub max_inflight_items: usize,
+    /// Client-side: per-item end-to-end deadline budget. Stamped into
+    /// every linear-round frame as the *remaining* budget in
+    /// milliseconds (relative durations, never wall timestamps, so
+    /// client/server clock skew is irrelevant); the server sheds an item
+    /// whose budget has run out with an
+    /// [`ItemErrorKind::DeadlineExpired`] reply. `None` disables
+    /// deadlines entirely.
+    pub item_deadline: Option<Duration>,
+    /// Client-side stall watchdog: if a linear-round reply takes longer
+    /// than this window, the item is treated as stalled
+    /// ([`StreamError::Stalled`]) and recovered by reconnect-and-resume,
+    /// instead of waiting out the full TCP read timeout. `None` disables
+    /// the watchdog.
+    pub stall_window: Option<Duration>,
     /// Client-side deterministic fault injection (tests and chaos
-    /// drills); `None` leaves the transport untouched.
+    /// drills); `None` leaves the transport untouched. The server reads
+    /// [`FaultPlan::poison_seq`] from its own config to drive the
+    /// poison-item quarantine boundary.
     #[cfg(feature = "fault-injection")]
     pub fault: Option<FaultPlan>,
 }
@@ -132,6 +154,9 @@ impl Default for NetConfig {
             max_resumes: 8,
             session_ttl: Duration::from_secs(300),
             session_capacity: 1024,
+            max_inflight_items: 256,
+            item_deadline: None,
+            stall_window: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
         }
@@ -183,6 +208,23 @@ pub struct TransportReport {
     /// Faults the injection layer fired (0 without a
     /// [`NetConfig::fault`] plan).
     pub faults_injected: u64,
+    /// Busy rejections absorbed by the admission-control backoff loops
+    /// (at connect and at resume).
+    pub rejected_busy: u64,
+    /// Linear-round replies that arrived later than
+    /// [`NetConfig::stall_window`] and were recovered by
+    /// reconnect-and-resume.
+    pub stalls: u64,
+    /// Items that failed with an expired end-to-end deadline — shed
+    /// client-side before a send, or reported by the server via
+    /// [`ItemErrorKind::DeadlineExpired`].
+    pub deadline_expired: u64,
+    /// Items the server quarantined after a poison panic
+    /// ([`ItemErrorKind::Quarantined`] replies received).
+    pub quarantined: u64,
+    /// Items the server shed at its per-session in-flight cap
+    /// ([`ItemErrorKind::Shed`] replies received).
+    pub shed: u64,
     /// Whether the connection ended without a transport error.
     pub clean_shutdown: bool,
 }
@@ -219,6 +261,18 @@ pub struct ServeReport {
     /// Items whose round 0 arrived again after a resume (the client
     /// replaying in-flight work — never below the acked floor).
     pub replayed_items: u64,
+    /// Connections refused at the admission-control session cap with a
+    /// [`RejectCode::Busy`] reply ([`ServeOptions::max_sessions`]).
+    pub rejected_busy: u64,
+    /// Items answered with [`ItemErrorKind::DeadlineExpired`]: their
+    /// end-to-end budget ran out before the linear stage started.
+    pub deadline_expired: u64,
+    /// [`ItemErrorKind::Quarantined`] replies sent: a poison item's
+    /// first panic plus every refused replay of it.
+    pub quarantined: u64,
+    /// Items answered with [`ItemErrorKind::Shed`] at the per-session
+    /// in-flight cap ([`NetConfig::max_inflight_items`]).
+    pub shed: u64,
     /// The most recent per-connection error, for operator visibility.
     pub last_error: Option<String>,
     /// True when at least one client ended its session deliberately
@@ -240,6 +294,10 @@ impl ServeReport {
         self.failed_connections += other.failed_connections;
         self.panicked_connections += other.panicked_connections;
         self.replayed_items += other.replayed_items;
+        self.rejected_busy += other.rejected_busy;
+        self.deadline_expired += other.deadline_expired;
+        self.quarantined += other.quarantined;
+        self.shed += other.shed;
         if other.last_error.is_some() {
             self.last_error = other.last_error.clone();
         }
@@ -339,6 +397,18 @@ fn handshake_err(context: impl Into<String>) -> StreamError {
     StreamError::transport(TransportErrorKind::Handshake, context)
 }
 
+/// Best-effort extraction of a panic payload's message for the
+/// quarantine reply.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Fault-injection hook (compiled out without the feature)
 // ---------------------------------------------------------------------------
@@ -419,6 +489,10 @@ struct SessionEntry {
     /// Items `0..started` have begun round 0 at least once; round 0 in
     /// `acked..started` is a legitimate post-resume replay.
     started: u64,
+    /// Seqs whose linear execution panicked. Outlives the connection:
+    /// replaying a quarantined item after a resume is refused with a
+    /// fresh [`ItemErrorKind::Quarantined`] reply, never re-executed.
+    quarantined: HashSet<u64>,
     last_seen: Instant,
 }
 
@@ -467,6 +541,7 @@ impl SessionTable {
                 topology,
                 acked: 0,
                 started: 0,
+                quarantined: HashSet::new(),
                 last_seen: Instant::now(),
             },
         );
@@ -528,6 +603,20 @@ impl SessionTable {
         Ok(replayed)
     }
 
+    /// Marks an item as poison: its execution panicked, and no replay of
+    /// it will ever be executed again.
+    fn quarantine(&self, session: u64, seq: u64) {
+        if let Some(e) = self.inner.lock().get_mut(&session) {
+            e.quarantined.insert(seq);
+            e.last_seen = Instant::now();
+        }
+    }
+
+    /// Whether an item is quarantined (its replay must be refused).
+    fn is_quarantined(&self, session: u64, seq: u64) -> bool {
+        self.inner.lock().get(&session).is_some_and(|e| e.quarantined.contains(&seq))
+    }
+
     /// Ends a session deliberately (client Bye).
     fn remove(&self, session: u64) {
         self.inner.lock().remove(&session);
@@ -563,6 +652,13 @@ pub struct ModelProvider {
     pool: WorkerPool,
     tcp: TcpConfig,
     sessions: SessionTable,
+    /// Per-session cap on items with linear rounds in flight; round-0
+    /// arrivals beyond it are shed ([`NetConfig::max_inflight_items`]).
+    max_inflight: usize,
+    /// Chaos driver: the linear execution of this seq panics once, so
+    /// tests can exercise the quarantine boundary deterministically.
+    #[cfg(feature = "fault-injection")]
+    poison_seq: Option<u64>,
 }
 
 impl ModelProvider {
@@ -578,6 +674,9 @@ impl ModelProvider {
             pool: WorkerPool::new(config.threads.max(1)),
             tcp: config.tcp.clone(),
             sessions: SessionTable::new(config.session_ttl, config.session_capacity),
+            max_inflight: config.max_inflight_items,
+            #[cfg(feature = "fault-injection")]
+            poison_seq: config.fault.as_ref().and_then(|f| f.poison_seq),
         })
     }
 
@@ -680,6 +779,26 @@ impl ModelProvider {
                 active -= 1;
                 absorb_worker(&mut report, done);
             }
+            // Admission control: at the session cap, refuse newcomers
+            // with a Busy reply instead of queueing them for a slot.
+            if options.max_sessions.is_some_and(|cap| active >= cap) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        report.connections += 1;
+                        report.rejected_busy += 1;
+                        self.reject_busy(stream, active, options.retry_after);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(options.poll_interval);
+                    }
+                    Err(e) => {
+                        report.failed_connections += 1;
+                        report.last_error = Some(format!("accept: {e}"));
+                        std::thread::sleep(options.poll_interval);
+                    }
+                }
+                continue;
+            }
             if active >= max_workers {
                 std::thread::sleep(options.poll_interval);
                 continue;
@@ -726,6 +845,25 @@ impl ModelProvider {
             }
         }
         report
+    }
+
+    /// Answers an over-capacity connection with a Busy rejection on a
+    /// detached thread (so a slow client can't wedge the accept loop),
+    /// then closes it. The client's opening hello is drained first: the
+    /// socket closes with unread data otherwise, and the resulting RST
+    /// could destroy the rejection before the client reads it.
+    fn reject_busy(self: &Arc<Self>, stream: TcpStream, active: usize, retry_after: Duration) {
+        let provider = Arc::clone(self);
+        std::thread::spawn(move || {
+            if let Ok((mut tx, mut rx)) = tcp::framed_with(stream, &provider.tcp) {
+                let _ = rx.recv();
+                let reject = RejectMsg::busy(
+                    format!("server at capacity ({active} active sessions)"),
+                    retry_after.as_millis() as u64,
+                );
+                let _ = tx.send_payload(to_frame(&reject));
+            }
+        });
     }
 
     /// Serves one accepted connection: opening Hello/Resume, then the
@@ -821,18 +959,50 @@ impl ModelProvider {
                 }
                 _ => {}
             }
+            let budget_ms = frame.deadline_ms;
+            let arrival = Instant::now();
             let msg: EncTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
+            let seq = msg.seq;
 
-            let round = *next_round.entry(msg.seq).or_insert(0);
+            // A quarantined item is refused before any bookkeeping: a
+            // replay (e.g. after a resume) must never execute again.
+            if self.sessions.is_quarantined(session, seq) {
+                report.quarantined += 1;
+                self.send_item_error(
+                    tx,
+                    report,
+                    seq,
+                    ItemErrorKind::Quarantined,
+                    "replay refused: item is quarantined after a panic",
+                )?;
+                continue;
+            }
+
+            let round = match next_round.get(&seq) {
+                Some(&r) => r,
+                // Item-level admission control: at the in-flight cap,
+                // shedding the newcomer beats queueing without bound.
+                None if next_round.len() >= self.max_inflight => {
+                    report.shed += 1;
+                    self.send_item_error(
+                        tx,
+                        report,
+                        seq,
+                        ItemErrorKind::Shed,
+                        &format!("session at its in-flight cap ({})", self.max_inflight),
+                    )?;
+                    continue;
+                }
+                None => 0,
+            };
             if round >= n_linear {
                 let err = StreamError::Stage(format!(
-                    "request {} sent more linear rounds than the model has ({n_linear})",
-                    msg.seq
+                    "request {seq} sent more linear rounds than the model has ({n_linear})"
                 ));
                 return Err(CoreError::from(err));
             }
             if round == 0 {
-                match self.sessions.on_round0(session, msg.seq) {
+                match self.sessions.on_round0(session, seq) {
                     Ok(true) => report.replayed_items += 1,
                     Ok(false) => {}
                     Err(reason) => return Err(CoreError::from(StreamError::Stage(reason))),
@@ -843,15 +1013,59 @@ impl ModelProvider {
             let elems = msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
             if elems.map(|n| n as usize) != Some(msg.cts.len()) {
                 let err = StreamError::Stage(format!(
-                    "request {} round {round}: shape {:?} does not match {} ciphertexts",
-                    msg.seq,
+                    "request {seq} round {round}: shape {:?} does not match {} ciphertexts",
                     msg.shape,
                     msg.cts.len()
                 ));
                 return Err(CoreError::from(err));
             }
-            let seq = msg.seq;
-            let out = execs[round].execute(msg, &self.pool).map_err(CoreError::from)?;
+            // Deadline gate before the expensive Paillier work. The frame
+            // carries the *remaining* budget in milliseconds relative to
+            // its arrival, so clock skew between the hosts is irrelevant.
+            if let Some(ms) = budget_ms {
+                if arrival.elapsed() >= Duration::from_millis(ms) {
+                    report.deadline_expired += 1;
+                    next_round.remove(&seq);
+                    self.send_item_error(
+                        tx,
+                        report,
+                        seq,
+                        ItemErrorKind::DeadlineExpired,
+                        &format!("budget of {ms} ms ran out before linear round {round}"),
+                    )?;
+                    continue;
+                }
+            }
+            // Poison-item boundary: a panic inside the linear execution
+            // quarantines the item instead of killing the connection.
+            #[cfg(feature = "fault-injection")]
+            let poison = self.poison_seq == Some(seq);
+            let exec = &execs[round];
+            let pool = &self.pool;
+            let executed = catch_unwind(AssertUnwindSafe(move || {
+                #[cfg(feature = "fault-injection")]
+                if poison {
+                    panic!("injected poison item {seq}");
+                }
+                exec.execute(msg, pool)
+            }));
+            let out = match executed {
+                Ok(res) => res.map_err(CoreError::from)?,
+                Err(panic_payload) => {
+                    let detail = panic_message(panic_payload.as_ref());
+                    self.sessions.quarantine(session, seq);
+                    next_round.remove(&seq);
+                    report.quarantined += 1;
+                    self.send_item_error(
+                        tx,
+                        report,
+                        seq,
+                        ItemErrorKind::Quarantined,
+                        &format!("item {seq} panicked: {detail}"),
+                    )?;
+                    continue;
+                }
+            };
             if round + 1 == n_linear {
                 next_round.remove(&seq);
                 report.requests += 1;
@@ -877,12 +1091,31 @@ impl ModelProvider {
     ) -> Result<ConnOutcome, CoreError> {
         report.rejected_handshakes += 1;
         report.last_error = Some(format!("rejected client: {reason}"));
-        let payload = to_frame(&RejectMsg { reason: reason.to_string() });
+        let payload = to_frame(&RejectMsg::mismatch(reason));
         if tx.send_payload(payload.clone()).is_ok() {
             report.bytes_out += payload.len() as u64;
             report.frames_out += 1;
         }
         Ok(ConnOutcome::Rejected)
+    }
+
+    /// Sends a per-item error reply: the item fails, the session and the
+    /// connection survive.
+    fn send_item_error(
+        &self,
+        tx: &mut TcpFrameSender,
+        report: &mut ServeReport,
+        seq: u64,
+        kind: ItemErrorKind,
+        detail: &str,
+    ) -> Result<(), CoreError> {
+        let payload = to_frame(&ItemErrorMsg { seq, kind, detail: detail.to_string() });
+        report.bytes_out += payload.len() as u64;
+        report.frames_out += 1;
+        tx.send_payload(payload).map_err(|e| {
+            CoreError::from(e.at_stage(&format!("item-error reply for request {seq}")))
+        })?;
+        Ok(())
     }
 
     fn send_accept(
@@ -975,11 +1208,26 @@ pub struct ServeOptions {
     /// Idle accept-loop poll interval (the listener is non-blocking so
     /// the stop flag is observed promptly).
     pub poll_interval: Duration,
+    /// Admission control: with `Some(cap)`, a connection arriving while
+    /// `cap` sessions are already being served is answered with a
+    /// [`RejectCode::Busy`] reply (carrying [`retry_after`] as the
+    /// backoff hint) and closed, instead of waiting for a worker slot.
+    /// `None` keeps the legacy queue-for-a-slot behavior.
+    ///
+    /// [`retry_after`]: ServeOptions::retry_after
+    pub max_sessions: Option<usize>,
+    /// Backoff hint sent with every busy rejection.
+    pub retry_after: Duration,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { max_workers: 4, poll_interval: Duration::from_millis(10) }
+        ServeOptions {
+            max_workers: 4,
+            poll_interval: Duration::from_millis(10),
+            max_sessions: None,
+            retry_after: Duration::from_millis(25),
+        }
     }
 }
 
@@ -1055,6 +1303,13 @@ fn is_transient(e: &StreamError) -> bool {
     )
 }
 
+/// Backoff before retrying a Busy-rejected connect: the server's
+/// `retry_after_ms` hint, clamped into the retry policy's delay range.
+fn busy_backoff(retry: &pp_stream_runtime::RetryPolicy, hint_ms: u64) -> Duration {
+    let floor = retry.base_delay.min(retry.max_delay);
+    Duration::from_millis(hint_ms).clamp(floor, retry.max_delay.max(floor))
+}
+
 /// Placeholder halves installed while a reconnect is in flight, so the
 /// dead socket drops (and the server sees its EOF) *before* the resume
 /// handshake waits on a reply.
@@ -1069,6 +1324,13 @@ impl FrameSender for DeadHalf {
         Err(dead_err())
     }
     fn send_payload(&mut self, _payload: Bytes) -> Result<u64, StreamError> {
+        Err(dead_err())
+    }
+    fn send_payload_deadline(
+        &mut self,
+        _payload: Bytes,
+        _deadline_ms: Option<u64>,
+    ) -> Result<u64, StreamError> {
         Err(dead_err())
     }
 }
@@ -1099,7 +1361,46 @@ pub struct NetworkedSession {
     topology: u64,
     fingerprint: u64,
     max_resumes: u32,
+    /// Per-item end-to-end budget ([`NetConfig::item_deadline`]).
+    item_deadline: Option<Duration>,
+    /// Stall-watchdog window on linear replies
+    /// ([`NetConfig::stall_window`]).
+    stall_window: Option<Duration>,
     fault: FaultHook,
+}
+
+/// How one item of a partial stream ended — see
+/// [`NetworkedSession::infer_stream_partial`].
+#[derive(Clone, Debug)]
+pub enum ItemOutcome {
+    /// The item completed; the scaled output tensor.
+    Done(Tensor<i64>),
+    /// The item failed individually (shed, expired, or quarantined)
+    /// while the session survived. The item was **resolved**: its seq is
+    /// acked and it will never be retried by this session.
+    Failed {
+        /// Which overload outcome failed the item.
+        kind: ItemErrorKind,
+        /// Human-readable detail from the failing side.
+        detail: String,
+    },
+}
+
+impl ItemOutcome {
+    /// The output tensor, if the item completed.
+    pub fn output(&self) -> Option<&Tensor<i64>> {
+        match self {
+            ItemOutcome::Done(t) => Some(t),
+            ItemOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Internal per-item result: completed output, or a per-item failure
+/// that resolves the item without failing the session.
+enum ItemResult {
+    Output(PlainTensorMsg),
+    Failed { kind: ItemErrorKind, detail: String },
 }
 
 impl NetworkedSession {
@@ -1122,9 +1423,6 @@ impl NetworkedSession {
                 ))
             })?
             .collect();
-        let connected = tcp::connect_with(&addrs[..], &config.tcp)?;
-        let (mut tx, mut rx) = (connected.tx, connected.rx);
-
         let mut rng = StdRng::seed_from_u64(config.seed);
         let keypair = Keypair::generate(config.key_bits, &mut rng);
         let stages = encapsulate_with(&scaled, config.merge_stages)?;
@@ -1141,44 +1439,62 @@ impl NetworkedSession {
             factor: scaled.factor(),
         });
 
-        let mut transport = TransportReport {
-            connect_attempts: connected.attempts,
-            ..Default::default()
-        };
-        transport.bytes_sent += hello.len() as u64;
-        transport.frames_sent += 1;
-        tx.send_payload(hello).map_err(|e| e.at_stage("handshake hello"))?;
+        let mut transport = TransportReport::default();
+        // Busy-rejection backoff: an admission-controlled server answers
+        // the hello with `Reject { code: Busy, retry_after_ms }`. Honor
+        // the hint and retry within the connect retry budget instead of
+        // treating the rejection as fatal.
+        let mut attempt = 0u32;
+        let (tx, rx, session) = loop {
+            attempt += 1;
+            let connected = tcp::connect_with(&addrs[..], &config.tcp)?;
+            let (mut tx, mut rx) = (connected.tx, connected.rx);
+            transport.connect_attempts += connected.attempts;
+            transport.bytes_sent += hello.len() as u64;
+            transport.frames_sent += 1;
+            tx.send_payload(hello.clone()).map_err(|e| e.at_stage("handshake hello"))?;
 
-        let reply = rx
-            .recv()
-            .map_err(|e| e.at_stage("handshake reply"))?
-            .ok_or_else(|| handshake_err("server closed without answering hello"))?;
-        transport.bytes_received += reply.payload.len() as u64;
-        transport.frames_received += 1;
-        let session = match crate::messages::peek_tag(&reply.payload) {
-            Some(MsgTag::Accept) => {
-                let accept: AcceptMsg = from_frame(reply.payload).map_err(CoreError::from)?;
-                if accept.version != PROTOCOL_VERSION
-                    || accept.pk_fingerprint != fingerprint
-                    || accept.topology != topology
-                {
+            let reply = rx
+                .recv()
+                .map_err(|e| e.at_stage("handshake reply"))?
+                .ok_or_else(|| handshake_err("server closed without answering hello"))?;
+            transport.bytes_received += reply.payload.len() as u64;
+            transport.frames_received += 1;
+            match crate::messages::peek_tag(&reply.payload) {
+                Some(MsgTag::Accept) => {
+                    let accept: AcceptMsg = from_frame(reply.payload).map_err(CoreError::from)?;
+                    if accept.version != PROTOCOL_VERSION
+                        || accept.pk_fingerprint != fingerprint
+                        || accept.topology != topology
+                    {
+                        return Err(CoreError::from(handshake_err(
+                            "server accept did not echo the agreed parameters",
+                        )));
+                    }
+                    break (tx, rx, accept.session);
+                }
+                Some(MsgTag::Reject) => {
+                    let reject: RejectMsg = from_frame(reply.payload).map_err(CoreError::from)?;
+                    if reject.code == RejectCode::Busy
+                        && attempt < config.tcp.retry.max_attempts.max(1)
+                    {
+                        transport.rejected_busy += 1;
+                        std::thread::sleep(busy_backoff(
+                            &config.tcp.retry,
+                            reject.retry_after_ms,
+                        ));
+                        continue;
+                    }
+                    return Err(CoreError::from(handshake_err(format!(
+                        "server rejected handshake: {}",
+                        reject.reason
+                    ))));
+                }
+                _ => {
                     return Err(CoreError::from(handshake_err(
-                        "server accept did not echo the agreed parameters",
+                        "unexpected reply to hello (neither accept nor reject)",
                     )));
                 }
-                accept.session
-            }
-            Some(MsgTag::Reject) => {
-                let reject: RejectMsg = from_frame(reply.payload).map_err(CoreError::from)?;
-                return Err(CoreError::from(handshake_err(format!(
-                    "server rejected handshake: {}",
-                    reject.reason
-                ))));
-            }
-            _ => {
-                return Err(CoreError::from(handshake_err(
-                    "unexpected reply to hello (neither accept nor reject)",
-                )));
             }
         };
 
@@ -1226,6 +1542,8 @@ impl NetworkedSession {
             topology,
             fingerprint,
             max_resumes: config.max_resumes,
+            item_deadline: config.item_deadline,
+            stall_window: config.stall_window,
             fault,
         })
     }
@@ -1251,12 +1569,56 @@ impl NetworkedSession {
         &mut self,
         inputs: &[Tensor<f64>],
     ) -> Result<(Vec<Tensor<i64>>, RunReport), CoreError> {
+        let (outcomes, report) = self.run_stream(inputs, true)?;
+        let outputs = outcomes
+            .into_iter()
+            .map(|o| match o {
+                ItemOutcome::Done(t) => t,
+                ItemOutcome::Failed { .. } => unreachable!("strict mode errors on failed items"),
+            })
+            .collect();
+        Ok((outputs, report))
+    }
+
+    /// As [`infer_stream`](NetworkedSession::infer_stream), but per-item
+    /// overload failures (shed, deadline-expired, quarantined) are
+    /// returned as [`ItemOutcome::Failed`] entries instead of failing
+    /// the whole call — the session keeps streaming the remaining items.
+    /// Every item, failed or not, is resolved and acked: a failed item
+    /// is never silently retried (a quarantined one must not be).
+    pub fn infer_stream_partial(
+        &mut self,
+        inputs: &[Tensor<f64>],
+    ) -> Result<(Vec<ItemOutcome>, RunReport), CoreError> {
+        self.run_stream(inputs, false)
+    }
+
+    /// Partial-tolerant classification: `None` for items that failed
+    /// individually, the predicted class otherwise.
+    pub fn classify_stream_partial(
+        &mut self,
+        inputs: &[Tensor<f64>],
+    ) -> Result<(Vec<Option<usize>>, RunReport), CoreError> {
+        let (outcomes, report) = self.run_stream(inputs, false)?;
+        let classes =
+            outcomes.iter().map(|o| o.output().map(pp_nn::activation::argmax_i64)).collect();
+        Ok((classes, report))
+    }
+
+    /// The shared per-item loop behind the strict and partial streaming
+    /// APIs. In strict mode the first per-item failure errors the call;
+    /// in partial mode it becomes an [`ItemOutcome::Failed`] entry.
+    fn run_stream(
+        &mut self,
+        inputs: &[Tensor<f64>],
+        strict: bool,
+    ) -> Result<(Vec<ItemOutcome>, RunReport), CoreError> {
         if inputs.is_empty() {
             return Err(CoreError::Runtime("no inputs".into()));
         }
         let t_run = Instant::now();
         let mut latencies = Vec::with_capacity(inputs.len());
-        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut outcomes = Vec::with_capacity(inputs.len());
 
         for input in inputs.iter() {
             let t0 = Instant::now();
@@ -1267,26 +1629,45 @@ impl NetworkedSession {
                 shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
                 values: scaled_in.data().iter().map(|&v| v as i128).collect(),
             };
-            let out = self.run_request(plain)?;
+            // The end-to-end budget is stamped once per item and spans
+            // every hop, resume, and replay of it.
+            let deadline = self.item_deadline.map(|budget| Instant::now() + budget);
+            let result = self.run_request(plain, deadline)?;
+            // Success and per-item failure both *resolve* the item: the
+            // seq is consumed and acked, so a failed item is never
+            // retried (a quarantined one must not be).
             self.items_done += 1;
             self.send_ack();
             latencies.push(t0.elapsed());
 
-            let shape: Vec<usize> = out.shape.iter().map(|&d| d as usize).collect();
-            let values = out
-                .values
-                .iter()
-                .map(|&v| {
-                    i64::try_from(v).map_err(|_| {
-                        CoreError::Runtime(format!(
-                            "final logit {v} for request {seq} does not fit i64"
-                        ))
-                    })
-                })
-                .collect::<Result<Vec<i64>, CoreError>>()?;
-            outputs.push(
-                Tensor::from_vec(shape, values).map_err(|e| CoreError::Runtime(e.to_string()))?,
-            );
+            match result {
+                ItemResult::Output(out) => {
+                    let shape: Vec<usize> = out.shape.iter().map(|&d| d as usize).collect();
+                    let values = out
+                        .values
+                        .iter()
+                        .map(|&v| {
+                            i64::try_from(v).map_err(|_| {
+                                CoreError::Runtime(format!(
+                                    "final logit {v} for request {seq} does not fit i64"
+                                ))
+                            })
+                        })
+                        .collect::<Result<Vec<i64>, CoreError>>()?;
+                    outcomes.push(ItemOutcome::Done(
+                        Tensor::from_vec(shape, values)
+                            .map_err(|e| CoreError::Runtime(e.to_string()))?,
+                    ));
+                }
+                ItemResult::Failed { kind, detail } => {
+                    if strict {
+                        return Err(CoreError::Runtime(format!(
+                            "request {seq} failed ({kind:?}): {detail}"
+                        )));
+                    }
+                    outcomes.push(ItemOutcome::Failed { kind, detail });
+                }
+            }
         }
 
         let makespan = t_run.elapsed();
@@ -1307,7 +1688,7 @@ impl NetworkedSession {
             stages: vec![],
             transport: Some(transport),
         };
-        Ok((outputs, report))
+        Ok((outcomes, report))
     }
 
     /// Streams requests and returns the predicted class per input.
@@ -1340,17 +1721,23 @@ impl NetworkedSession {
         self.transport
     }
 
-    /// Runs one item to completion, absorbing transient transport
-    /// failures via reconnect-and-resume (up to `max_resumes` cycles).
-    fn run_request(&mut self, plain: PlainTensorMsg) -> Result<PlainTensorMsg, CoreError> {
+    /// Runs one item to completion (or a per-item failure), absorbing
+    /// transient transport failures and watchdog-diagnosed stalls via
+    /// reconnect-and-resume (up to `max_resumes` cycles).
+    fn run_request(
+        &mut self,
+        plain: PlainTensorMsg,
+        deadline: Option<Instant>,
+    ) -> Result<ItemResult, CoreError> {
         let mut resumes = 0u32;
         loop {
             let mut progressed = false;
-            let err = match self.try_request(&plain, &mut progressed) {
+            let err = match self.try_request(&plain, deadline, &mut progressed) {
                 Ok(out) => return Ok(out),
                 Err(e) => e,
             };
-            if !is_transient(&err) || resumes >= self.max_resumes {
+            let recoverable = is_transient(&err) || matches!(err, StreamError::Stalled { .. });
+            if !recoverable || resumes >= self.max_resumes {
                 return Err(CoreError::from(err));
             }
             resumes += 1;
@@ -1379,8 +1766,9 @@ impl NetworkedSession {
     fn try_request(
         &mut self,
         plain: &PlainTensorMsg,
+        deadline: Option<Instant>,
         progressed: &mut bool,
-    ) -> Result<PlainTensorMsg, StreamError> {
+    ) -> Result<ItemResult, StreamError> {
         let seq = plain.seq;
         let mut msg = self.encrypt.encrypt(plain.clone(), &self.pool);
         let last = self.steps.len() - 1;
@@ -1388,14 +1776,35 @@ impl NetworkedSession {
             match step {
                 ClientStep::Linear { round } => {
                     let stage_name = format!("linear-{round}@model (request {seq})");
+                    // Remaining budget for this hop, re-stamped as a
+                    // relative duration (never a wall timestamp, so the
+                    // peers' clocks need not agree). An exhausted budget
+                    // sheds the item client-side before the send.
+                    let budget_ms = match deadline {
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                self.transport.deadline_expired += 1;
+                                return Ok(ItemResult::Failed {
+                                    kind: ItemErrorKind::DeadlineExpired,
+                                    detail: format!(
+                                        "budget exhausted before the {stage_name} send"
+                                    ),
+                                });
+                            }
+                            Some((d - now).as_millis() as u64)
+                        }
+                        None => None,
+                    };
                     let payload = to_frame(&msg);
                     let len = payload.len() as u64;
                     self.tx
-                        .send_payload(payload)
+                        .send_payload_deadline(payload, budget_ms)
                         .map_err(|e| e.at_stage(&format!("{stage_name} send")))?;
                     *progressed = true;
                     self.transport.bytes_sent += len;
                     self.transport.frames_sent += 1;
+                    let t_recv = Instant::now();
                     let frame = self
                         .rx
                         .recv()
@@ -1408,6 +1817,39 @@ impl NetworkedSession {
                         })?;
                     self.transport.bytes_received += frame.payload.len() as u64;
                     self.transport.frames_received += 1;
+                    // Stall watchdog: a reply that took longer than the
+                    // window marks the connection as alive-but-stuck.
+                    // The late frame is discarded and the item recovered
+                    // by reconnect-and-resume — replay is bit-identical,
+                    // so dropping a valid reply is safe.
+                    if let Some(window) = self.stall_window {
+                        if t_recv.elapsed() > window {
+                            self.transport.stalls += 1;
+                            return Err(StreamError::Stalled { stage: stage_name });
+                        }
+                    }
+                    // A per-item error reply fails this item and leaves
+                    // the session streaming.
+                    if matches!(
+                        crate::messages::peek_tag(&frame.payload),
+                        Some(MsgTag::ItemError)
+                    ) {
+                        let ie: ItemErrorMsg = from_frame(frame.payload)?;
+                        if ie.seq != seq {
+                            return Err(StreamError::Stage(format!(
+                                "{stage_name}: item-error reply carries seq {} (misrouted)",
+                                ie.seq
+                            )));
+                        }
+                        match ie.kind {
+                            ItemErrorKind::DeadlineExpired => {
+                                self.transport.deadline_expired += 1
+                            }
+                            ItemErrorKind::Quarantined => self.transport.quarantined += 1,
+                            ItemErrorKind::Shed => self.transport.shed += 1,
+                        }
+                        return Ok(ItemResult::Failed { kind: ie.kind, detail: ie.detail });
+                    }
                     msg = from_frame(frame.payload)?;
                     // A corrupted-but-decodable reply must die here, not
                     // flow into a stage that would panic on it.
@@ -1428,7 +1870,7 @@ impl NetworkedSession {
                 }
                 ClientStep::NonLinear(nl) => {
                     if i == last {
-                        return Ok(nl.execute_final(msg, &self.pool));
+                        return Ok(ItemResult::Output(nl.execute_final(msg, &self.pool)));
                     }
                     msg = nl.execute(msg, &self.pool);
                 }
@@ -1448,55 +1890,73 @@ impl NetworkedSession {
         self.rx = Box::new(DeadHalf);
         revive_fault(&self.fault);
 
-        let connected = tcp::connect_with(&self.addrs[..], &self.tcp)
-            .map_err(|e| e.at_stage("reconnect"))?;
-        let (mut tx, mut rx) = (connected.tx, connected.rx);
-        self.transport.connect_attempts += connected.attempts;
-
         let resume = to_frame(&ResumeMsg {
             version: PROTOCOL_VERSION,
             session: self.session,
             items_done: self.items_done,
             topology: self.topology,
         });
-        self.transport.bytes_sent += resume.len() as u64;
-        self.transport.frames_sent += 1;
-        tx.send_payload(resume).map_err(|e| e.at_stage("resume"))?;
 
-        let reply = rx
-            .recv()
-            .map_err(|e| e.at_stage("resume reply"))?
-            .ok_or_else(|| handshake_err("server closed without answering resume"))?;
-        self.transport.bytes_received += reply.payload.len() as u64;
-        self.transport.frames_received += 1;
-        match crate::messages::peek_tag(&reply.payload) {
-            Some(MsgTag::Accept) => {
-                let accept: AcceptMsg = from_frame(reply.payload)?;
-                if accept.version != PROTOCOL_VERSION
-                    || accept.pk_fingerprint != self.fingerprint
-                    || accept.session != self.session
-                {
+        // Busy rejections of the resume are backed off and retried, like
+        // at connect: an at-capacity server has *not* forgotten the
+        // session — giving up would orphan its resumable state.
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let connected = tcp::connect_with(&self.addrs[..], &self.tcp)
+                .map_err(|e| e.at_stage("reconnect"))?;
+            let (mut tx, mut rx) = (connected.tx, connected.rx);
+            self.transport.connect_attempts += connected.attempts;
+
+            self.transport.bytes_sent += resume.len() as u64;
+            self.transport.frames_sent += 1;
+            tx.send_payload(resume.clone()).map_err(|e| e.at_stage("resume"))?;
+
+            let reply = rx
+                .recv()
+                .map_err(|e| e.at_stage("resume reply"))?
+                .ok_or_else(|| handshake_err("server closed without answering resume"))?;
+            self.transport.bytes_received += reply.payload.len() as u64;
+            self.transport.frames_received += 1;
+            match crate::messages::peek_tag(&reply.payload) {
+                Some(MsgTag::Accept) => {
+                    let accept: AcceptMsg = from_frame(reply.payload)?;
+                    if accept.version != PROTOCOL_VERSION
+                        || accept.pk_fingerprint != self.fingerprint
+                        || accept.session != self.session
+                    {
+                        return Err(handshake_err(
+                            "server resume-accept did not echo the session parameters",
+                        ));
+                    }
+                }
+                Some(MsgTag::Reject) => {
+                    let reject: RejectMsg = from_frame(reply.payload)?;
+                    if reject.code == RejectCode::Busy
+                        && attempt < self.tcp.retry.max_attempts.max(1)
+                    {
+                        self.transport.rejected_busy += 1;
+                        std::thread::sleep(busy_backoff(&self.tcp.retry, reject.retry_after_ms));
+                        continue;
+                    }
+                    return Err(handshake_err(format!(
+                        "server rejected resume: {}",
+                        reject.reason
+                    )));
+                }
+                _ => {
                     return Err(handshake_err(
-                        "server resume-accept did not echo the session parameters",
+                        "unexpected reply to resume (neither accept nor reject)",
                     ));
                 }
             }
-            Some(MsgTag::Reject) => {
-                let reject: RejectMsg = from_frame(reply.payload)?;
-                return Err(handshake_err(format!("server rejected resume: {}", reject.reason)));
-            }
-            _ => {
-                return Err(handshake_err(
-                    "unexpected reply to resume (neither accept nor reject)",
-                ));
-            }
-        }
 
-        let (tx, rx) = wrap_transport(tx, rx, &self.fault);
-        self.tx = tx;
-        self.rx = rx;
-        self.transport.reconnects += 1;
-        Ok(())
+            let (tx, rx) = wrap_transport(tx, rx, &self.fault);
+            self.tx = tx;
+            self.rx = rx;
+            self.transport.reconnects += 1;
+            return Ok(());
+        }
     }
 
     /// Fire-and-forget delivery confirmation after a completed item. A
@@ -1680,6 +2140,10 @@ mod tests {
             frames_in: 10,
             replayed_items: 2,
             rejected_handshakes: 1,
+            rejected_busy: 5,
+            deadline_expired: 4,
+            quarantined: 1,
+            shed: 2,
             clean_shutdown: true,
             last_error: Some("boom".into()),
             ..Default::default()
@@ -1690,7 +2154,46 @@ mod tests {
         assert_eq!(total.connections, 1, "merge only sums what the worker counted");
         assert_eq!(total.replayed_items, 2);
         assert_eq!(total.rejected_handshakes, 1);
+        assert_eq!(total.rejected_busy, 5);
+        assert_eq!(total.deadline_expired, 4);
+        assert_eq!(total.quarantined, 1);
+        assert_eq!(total.shed, 2);
         assert!(total.clean_shutdown);
         assert_eq!(total.last_error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn session_table_quarantine_survives_resume() {
+        let table = SessionTable::new(Duration::from_secs(60), 8);
+        let s = table.create(vec![1], 1, 7);
+        assert!(!table.is_quarantined(s, 3));
+        table.quarantine(s, 3);
+        assert!(table.is_quarantined(s, 3));
+        // The poison marker outlives the connection: a resume sees it.
+        let entry = table.resume(s, 0, 7).unwrap();
+        assert!(entry.quarantined.contains(&3));
+        assert!(table.is_quarantined(s, 3));
+        assert!(!table.is_quarantined(s, 4), "only the poison seq is marked");
+    }
+
+    #[test]
+    fn busy_backoff_honors_and_clamps_the_hint() {
+        let retry = pp_stream_runtime::RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter: false,
+        };
+        assert_eq!(busy_backoff(&retry, 0), Duration::from_millis(10), "no hint -> base delay");
+        assert_eq!(busy_backoff(&retry, 25), Duration::from_millis(25), "hint in range");
+        assert_eq!(busy_backoff(&retry, 10_000), Duration::from_millis(80), "hint capped");
+    }
+
+    #[test]
+    fn panic_message_extracts_str_and_string() {
+        let p = catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static str");
+        let p = catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
     }
 }

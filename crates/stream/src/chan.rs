@@ -1,0 +1,323 @@
+//! Bounded MPMC channels with timeout-aware send/recv and queue-depth
+//! inspection — the hop primitive under [`crate::link`] and
+//! [`crate::pipeline`].
+//!
+//! The overload-protection machinery needs three things a plain blocking
+//! channel cannot give it: a **send that gives up** after a bounded wait
+//! (so a producer can shed load instead of wedging behind a stalled
+//! consumer), a **recv that wakes up** periodically (so the sink can
+//! notice a recorded failure while the wedged stage still holds the
+//! hop open), and **queue-depth inspection** (the watchdog's "input
+//! queued but no progress" stall criterion).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The receiver side is gone; the unsent value is returned.
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Outcome of [`Sender::send_timeout`] when the value was not enqueued.
+pub enum SendTimeoutError<T> {
+    /// The queue stayed full for the whole timeout; the value is returned.
+    Timeout(T),
+    /// The receiver side is gone; the value is returned.
+    Disconnected(T),
+}
+
+/// The sender side is gone and the queue is drained.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Outcome of [`Receiver::recv_timeout`] when no value arrived.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout; senders are still connected.
+    Timeout,
+    /// The sender side is gone and the queue is drained.
+    Disconnected,
+}
+
+/// Outcome of [`Receiver::try_recv`] when no value was ready.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty; senders are still connected.
+    Empty,
+    /// The sender side is gone and the queue is drained.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Sending half; cloneable for multi-producer use.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half; cloneable for multi-consumer use.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Wake receivers blocked on an empty queue so they observe
+            // the disconnect. The lock orders the wake after any racing
+            // waiter has actually started waiting.
+            let _guard = self.inner.queue.lock().unwrap();
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.inner.queue.lock().unwrap();
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocking send; waits for space while the queue is at capacity.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            match self.inner.cap {
+                Some(cap) if q.len() >= cap => {
+                    q = self.inner.not_full.wait(q).unwrap();
+                }
+                _ => break,
+            }
+        }
+        q.push_back(value);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// As [`send`](Sender::send), but waits for space at most `timeout`.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            match self.inner.cap {
+                Some(cap) if q.len() >= cap => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                    let (guard, _) =
+                        self.inner.not_full.wait_timeout(q, deadline - now).unwrap();
+                    q = guard;
+                }
+                _ => break,
+            }
+        }
+        q.push_back(value);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive; `Err` once all senders are gone and the queue is
+    /// drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            q = self.inner.not_empty.wait(q).unwrap();
+        }
+    }
+
+    /// As [`recv`](Receiver::recv), but waits at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(v) = q.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self.inner.not_empty.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.inner.queue.lock().unwrap();
+        if let Some(v) = q.pop_front() {
+            self.inner.not_full.notify_one();
+            return Ok(v);
+        }
+        if self.inner.senders.load(Ordering::SeqCst) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        cap,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+/// A channel with unlimited buffering (sends never block).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+/// A channel holding at most `cap` (≥ 1) in-flight values.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    make(Some(cap.max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_flow_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn send_timeout_times_out_on_full_queue() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        match tx.send_timeout(2, Duration::from_millis(10)) {
+            Err(SendTimeoutError::Timeout(v)) => assert_eq!(v, 2, "value handed back"),
+            _ => panic!("expected timeout"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.send_timeout(2, Duration::from_millis(10)).map_err(|_| ()).unwrap();
+    }
+
+    #[test]
+    fn send_timeout_disconnected_when_receiver_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(
+            tx.send_timeout(1, Duration::from_millis(1)),
+            Err(SendTimeoutError::Disconnected(1))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn len_tracks_queued_values() {
+        let (tx, rx) = bounded(8);
+        assert!(rx.is_empty());
+        tx.send(1u8).unwrap();
+        tx.send(2u8).unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn cloned_receiver_keeps_channel_open_for_senders() {
+        let (tx, rx) = bounded(1);
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(5u8).unwrap();
+        assert_eq!(rx2.recv().unwrap(), 5);
+        drop(rx2);
+        assert!(tx.send(6u8).is_err(), "all receivers gone");
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_last_receiver_drops() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        let t = std::thread::spawn(move || tx.send(1u8));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap().is_err(), "send must fail, not hang");
+    }
+}

@@ -53,12 +53,25 @@ pub struct FaultPlan {
     /// Sleep this long before each frame send (a slow sender).
     pub delay: Option<Duration>,
     /// Sleep this long before each frame receive (a stalled read; with a
-    /// read deadline configured this surfaces timeouts).
+    /// read deadline configured this surfaces timeouts). By default the
+    /// stall applies to *every* receive; see
+    /// [`stall_every`](FaultPlan::stall_every) to make it periodic.
     pub stall: Option<Duration>,
+    /// Stall only every Nth receive instead of all of them. A periodic
+    /// stall is what the watchdog chaos tests need: the client's stall
+    /// detector fires, it resumes, and the replayed item's reads sail
+    /// through — stalling every read would livelock the resume loop.
+    /// `None` preserves the stall-every-read behavior.
+    pub stall_every: Option<u64>,
     /// Flip one seeded bit in the header region (first 16 bytes) of
     /// every Nth received frame's payload — corrupt framing the decoder
     /// must reject, never silently accept.
     pub corrupt_every: Option<u64>,
+    /// Poison item: the *model provider* (not the transport wrappers)
+    /// panics while executing the linear stage of the item with this
+    /// sequence number — the chaos driver for the server's poison-item
+    /// quarantine boundary.
+    pub poison_seq: Option<u64>,
 }
 
 impl FaultPlan {
@@ -68,11 +81,13 @@ impl FaultPlan {
             || self.delay.is_some()
             || self.stall.is_some()
             || self.corrupt_every.is_some()
+            || self.poison_seq.is_some()
     }
 
     /// Reads a plan from `PP_FAULT_*` environment variables
     /// (`PP_FAULT_SEED`, `PP_FAULT_KILL_EVERY`, `PP_FAULT_DELAY_MS`,
-    /// `PP_FAULT_STALL_MS`, `PP_FAULT_CORRUPT_EVERY`); `None` when no
+    /// `PP_FAULT_STALL_MS`, `PP_FAULT_STALL_EVERY`,
+    /// `PP_FAULT_CORRUPT_EVERY`, `PP_FAULT_POISON_SEQ`); `None` when no
     /// fault variable is set. Lets the example binaries run under
     /// injected faults without recompilation.
     pub fn from_env() -> Option<FaultPlan> {
@@ -88,7 +103,9 @@ impl FaultPlan {
             kill_every: num("PP_FAULT_KILL_EVERY").filter(|&k| k > 0),
             delay: num("PP_FAULT_DELAY_MS").map(Duration::from_millis),
             stall: num("PP_FAULT_STALL_MS").map(Duration::from_millis),
+            stall_every: num("PP_FAULT_STALL_EVERY").filter(|&k| k > 0),
             corrupt_every: num("PP_FAULT_CORRUPT_EVERY").filter(|&k| k > 0),
+            poison_seq: num("PP_FAULT_POISON_SEQ"),
         };
         plan.is_active().then_some(plan)
     }
@@ -107,6 +124,7 @@ pub struct FaultState {
     plan: FaultPlan,
     frames_sent: u64,
     frames_received: u64,
+    recv_gates: u64,
     killed: bool,
     faults_injected: u64,
 }
@@ -114,7 +132,14 @@ pub struct FaultState {
 impl FaultState {
     /// Fresh state for a plan: nothing sent, connection alive.
     pub fn new(plan: FaultPlan) -> Self {
-        FaultState { plan, frames_sent: 0, frames_received: 0, killed: false, faults_injected: 0 }
+        FaultState {
+            plan,
+            frames_sent: 0,
+            frames_received: 0,
+            recv_gates: 0,
+            killed: false,
+            faults_injected: 0,
+        }
     }
 
     /// Total faults injected so far (kills + corruptions).
@@ -158,12 +183,26 @@ impl FaultState {
         Ok(self.plan.delay)
     }
 
-    /// Receive-side gate, before the read.
+    /// Receive-side gate, before the read. With `stall_every: Some(k)`
+    /// only every kth receive of the whole session stalls (the counter,
+    /// like the kill budget, survives reconnects); without it every
+    /// receive stalls.
     fn on_recv(&mut self) -> Result<Option<Duration>, StreamError> {
         if self.killed {
             return Err(Self::killed_err("recv on dead connection", TransportErrorKind::Recv));
         }
-        Ok(self.plan.stall)
+        let Some(stall) = self.plan.stall else { return Ok(None) };
+        self.recv_gates += 1;
+        let due = match self.plan.stall_every {
+            Some(k) => self.recv_gates.is_multiple_of(k),
+            None => true,
+        };
+        if due {
+            self.faults_injected += 1;
+            Ok(Some(stall))
+        } else {
+            Ok(None)
+        }
     }
 
     /// Receive-side mutation, after the read: seeded header-region bit
@@ -215,6 +254,15 @@ impl<S: FrameSender> FrameSender for FaultSender<S> {
         self.gate()?;
         self.inner.send_payload(payload)
     }
+
+    fn send_payload_deadline(
+        &mut self,
+        payload: Bytes,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, StreamError> {
+        self.gate()?;
+        self.inner.send_payload_deadline(payload, deadline_ms)
+    }
 }
 
 /// Fault-injecting wrapper around a [`FrameReceiver`].
@@ -265,7 +313,16 @@ mod tests {
         }
         fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError> {
             let seq = self.next_seq;
-            self.send(&Frame { seq, payload })?;
+            self.send(&Frame::new(seq, payload))?;
+            Ok(seq)
+        }
+        fn send_payload_deadline(
+            &mut self,
+            payload: Bytes,
+            deadline_ms: Option<u64>,
+        ) -> Result<u64, StreamError> {
+            let seq = self.next_seq;
+            self.send(&Frame { seq, deadline_ms, payload })?;
             Ok(seq)
         }
     }
@@ -283,7 +340,7 @@ mod tests {
     fn frames(n: u64) -> VecReceiver {
         VecReceiver {
             frames: (0..n)
-                .map(|i| Frame { seq: i, payload: Bytes::from(vec![i as u8; 32]) })
+                .map(|i| Frame::new(i, Bytes::from(vec![i as u8; 32])))
                 .collect::<Vec<_>>()
                 .into_iter(),
         }
@@ -365,6 +422,8 @@ mod tests {
             "PP_FAULT_SEED" => Some("9".to_string()),
             "PP_FAULT_KILL_EVERY" => Some("17".to_string()),
             "PP_FAULT_DELAY_MS" => Some("5".to_string()),
+            "PP_FAULT_STALL_EVERY" => Some("4".to_string()),
+            "PP_FAULT_POISON_SEQ" => Some("13".to_string()),
             _ => None,
         };
         let plan = FaultPlan::from_lookup(vars).expect("kill var activates the plan");
@@ -372,12 +431,40 @@ mod tests {
         assert_eq!(plan.kill_every, Some(17));
         assert_eq!(plan.delay, Some(Duration::from_millis(5)));
         assert_eq!(plan.stall, None);
+        assert_eq!(plan.stall_every, Some(4));
         assert_eq!(plan.corrupt_every, None);
+        assert_eq!(plan.poison_seq, Some(13));
         // A zero interval would fire on every frame forever; filtered out.
         assert!(
             FaultPlan::from_lookup(|k| (k == "PP_FAULT_KILL_EVERY").then(|| "0".into()))
                 .is_none()
         );
+    }
+
+    #[test]
+    fn stall_every_fires_periodically_and_counts_as_a_fault() {
+        let state = FaultPlan {
+            stall: Some(Duration::from_millis(1)),
+            stall_every: Some(3),
+            ..Default::default()
+        }
+        .into_state();
+        let mut rx = FaultReceiver::new(frames(6), Arc::clone(&state));
+        for _ in 0..6 {
+            rx.recv().unwrap().unwrap();
+        }
+        assert_eq!(state.lock().faults_injected(), 2, "receives 3 and 6 stalled");
+    }
+
+    #[test]
+    fn stall_without_period_fires_on_every_recv() {
+        let state =
+            FaultPlan { stall: Some(Duration::from_millis(1)), ..Default::default() }.into_state();
+        let mut rx = FaultReceiver::new(frames(3), Arc::clone(&state));
+        for _ in 0..3 {
+            rx.recv().unwrap().unwrap();
+        }
+        assert_eq!(state.lock().faults_injected(), 3);
     }
 
     #[test]

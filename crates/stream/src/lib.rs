@@ -42,6 +42,7 @@
 //! The legacy closure-based [`Pipeline`]/[`StageSpec`] API remains as a
 //! shim over the typed engine with every hop a wire boundary.
 
+pub mod chan;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod link;
@@ -128,6 +129,17 @@ pub enum StreamError {
         /// Human-readable context naming the failing protocol stage.
         context: String,
     },
+    /// An item's end-to-end deadline expired before a stage started its
+    /// expensive work. Per-item, never fatal to the session: overloaded
+    /// pipelines shed the item and keep draining.
+    DeadlineExceeded(String),
+    /// The watchdog observed a stage with input queued but no progress
+    /// for longer than the configured window. Unlike a dead socket this
+    /// is an *alive-but-stuck* diagnosis, so it names the stage.
+    Stalled {
+        /// Name of the stage that stopped making progress.
+        stage: String,
+    },
 }
 
 impl StreamError {
@@ -159,6 +171,10 @@ impl std::fmt::Display for StreamError {
             StreamError::Stage(s) => write!(f, "stage error: {s}"),
             StreamError::Transport { kind, context } => {
                 write!(f, "transport error ({kind}): {context}")
+            }
+            StreamError::DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
+            StreamError::Stalled { stage } => {
+                write!(f, "pipeline stalled: stage {stage:?} has input queued but made no progress")
             }
         }
     }

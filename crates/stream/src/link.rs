@@ -1,11 +1,17 @@
 //! Byte-counted inter-stage links — the simulated network between the
 //! model provider's and data provider's servers.
 
+use crate::chan::{bounded, Receiver, SendTimeoutError, Sender};
 use crate::{StreamError, TransportErrorKind};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Wire sentinel for "no deadline" in [`Frame::deadline_ms`]'s on-the-wire
+/// encoding (see `tcp`): `u64::MAX` milliseconds is ~584 million years,
+/// safely outside any real budget.
+pub const NO_DEADLINE: u64 = u64::MAX;
 
 /// A frame in flight: a request sequence number plus its serialized
 /// payload.
@@ -14,8 +20,27 @@ pub struct Frame {
     /// Inference-request sequence number (assigned by the pipeline
     /// source).
     pub seq: u64,
+    /// Remaining end-to-end deadline budget for this item, in
+    /// milliseconds, measured at send time. Deadlines are *relative
+    /// durations* re-stamped by the sender on every hop — never wall
+    /// timestamps — so the two providers' clocks need not agree (only
+    /// their clock *rates*, which NTP-free hosts already satisfy).
+    /// `None` means the item has no deadline.
+    pub deadline_ms: Option<u64>,
     /// Serialized tensor payload.
     pub payload: Bytes,
+}
+
+impl Frame {
+    /// A frame with no deadline.
+    pub fn new(seq: u64, payload: Bytes) -> Self {
+        Frame { seq, deadline_ms: None, payload }
+    }
+
+    /// A frame carrying `deadline_ms` of remaining budget.
+    pub fn with_deadline(seq: u64, deadline_ms: u64, payload: Bytes) -> Self {
+        Frame { seq, deadline_ms: Some(deadline_ms), payload }
+    }
 }
 
 /// Receive-side sequence-monotonicity check, shared by the TCP transport
@@ -55,6 +80,8 @@ impl SeqValidator {
 pub struct LinkStats {
     bytes: AtomicU64,
     frames: AtomicU64,
+    depth: AtomicU64,
+    max_depth: AtomicU64,
 }
 
 impl LinkStats {
@@ -66,6 +93,32 @@ impl LinkStats {
     /// Total frames transferred.
     pub fn frames(&self) -> u64 {
         self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Frames currently queued in the link (sent, not yet received).
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`depth`](LinkStats::depth) over the link's
+    /// lifetime — how close the queue came to its capacity.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    fn on_enqueue(&self, payload_len: usize) {
+        self.bytes.fetch_add(payload_len as u64, Ordering::Relaxed);
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn on_dequeue(&self) {
+        // Saturating: a frame counted at enqueue is always in flight, but
+        // guard against underflow if halves are driven independently.
+        let _ = self.depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+            Some(d.saturating_sub(1))
+        });
     }
 }
 
@@ -93,7 +146,7 @@ impl Link {
     pub fn split(self) -> (LinkSender, LinkReceiver) {
         (
             LinkSender { tx: self.tx, stats: Arc::clone(&self.stats) },
-            LinkReceiver { rx: self.rx, validator: SeqValidator::new() },
+            LinkReceiver { rx: self.rx, stats: self.stats, validator: SeqValidator::new() },
         )
     }
 }
@@ -109,15 +162,41 @@ impl LinkSender {
     /// Sends a frame, blocking when the link is full (backpressure).
     /// Returns `false` if the receiver is gone.
     pub fn send(&self, frame: Frame) -> bool {
-        self.stats.bytes.fetch_add(frame.payload.len() as u64, Ordering::Relaxed);
-        self.stats.frames.fetch_add(1, Ordering::Relaxed);
-        self.tx.send(frame).is_ok()
+        let len = frame.payload.len();
+        match self.tx.send(frame) {
+            Ok(()) => {
+                self.stats.on_enqueue(len);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// As [`send`](LinkSender::send), but blocks at most `timeout` when
+    /// the link is full. A full link that stays full past the timeout is
+    /// an overload signal — the caller gets `Transport { kind: Timeout }`
+    /// and can shed the item instead of wedging the whole pipeline behind
+    /// one stalled consumer.
+    pub fn send_timeout(&self, frame: Frame, timeout: Duration) -> Result<(), StreamError> {
+        let len = frame.payload.len();
+        match self.tx.send_timeout(frame, timeout) {
+            Ok(()) => {
+                self.stats.on_enqueue(len);
+                Ok(())
+            }
+            Err(SendTimeoutError::Timeout(_)) => Err(StreamError::transport(
+                TransportErrorKind::Timeout,
+                format!("link full for {timeout:?} (receiver not draining)"),
+            )),
+            Err(SendTimeoutError::Disconnected(_)) => Err(StreamError::Disconnected),
+        }
     }
 }
 
 /// Receiving half of a link.
 pub struct LinkReceiver {
     rx: Receiver<Frame>,
+    stats: Arc<LinkStats>,
     validator: SeqValidator,
 }
 
@@ -127,7 +206,11 @@ impl LinkReceiver {
     ///
     /// [`recv_strict`]: LinkReceiver::recv_strict
     pub fn recv(&self) -> Option<Frame> {
-        self.rx.recv().ok()
+        let frame = self.rx.recv().ok();
+        if frame.is_some() {
+            self.stats.on_dequeue();
+        }
+        frame
     }
 
     /// As [`recv`], but additionally enforces strict seq monotonicity
@@ -139,6 +222,7 @@ impl LinkReceiver {
     pub fn recv_strict(&mut self) -> Result<Option<Frame>, StreamError> {
         match self.rx.recv() {
             Ok(frame) => {
+                self.stats.on_dequeue();
                 self.validator.check(frame.seq)?;
                 Ok(Some(frame))
             }
@@ -156,8 +240,8 @@ mod tests {
         let link = Link::new(8);
         let stats = link.stats();
         let (tx, rx) = link.split();
-        assert!(tx.send(Frame { seq: 1, payload: Bytes::from_static(b"hello") }));
-        assert!(tx.send(Frame { seq: 2, payload: Bytes::from_static(b"world!") }));
+        assert!(tx.send(Frame::new(1, Bytes::from_static(b"hello"))));
+        assert!(tx.send(Frame::new(2, Bytes::from_static(b"world!"))));
         let f1 = rx.recv().unwrap();
         assert_eq!(f1.seq, 1);
         assert_eq!(&f1.payload[..], b"hello");
@@ -171,7 +255,7 @@ mod tests {
     fn drop_sender_ends_stream() {
         let link = Link::new(2);
         let (tx, rx) = link.split();
-        tx.send(Frame { seq: 0, payload: Bytes::new() });
+        tx.send(Frame::new(0, Bytes::new()));
         drop(tx);
         assert!(rx.recv().is_some());
         assert!(rx.recv().is_none());
@@ -230,9 +314,9 @@ mod tests {
     fn recv_strict_flags_out_of_order_frames() {
         let link = Link::new(4);
         let (tx, mut rx) = link.split();
-        tx.send(Frame { seq: 1, payload: Bytes::new() });
-        tx.send(Frame { seq: 2, payload: Bytes::new() });
-        tx.send(Frame { seq: 2, payload: Bytes::new() }); // duplicate
+        tx.send(Frame::new(1, Bytes::new()));
+        tx.send(Frame::new(2, Bytes::new()));
+        tx.send(Frame::new(2, Bytes::new())); // duplicate
         drop(tx);
         assert_eq!(rx.recv_strict().unwrap().unwrap().seq, 1);
         assert_eq!(rx.recv_strict().unwrap().unwrap().seq, 2);
@@ -244,13 +328,64 @@ mod tests {
     }
 
     #[test]
+    fn send_timeout_flags_full_link_as_timeout() {
+        let link = Link::new(1);
+        let (tx, rx) = link.split();
+        tx.send_timeout(Frame::new(0, Bytes::new()), Duration::from_millis(5)).unwrap();
+        let err = tx
+            .send_timeout(Frame::new(1, Bytes::new()), Duration::from_millis(5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StreamError::Transport { kind: TransportErrorKind::Timeout, .. }
+        ));
+        // Draining unsticks it; the timed-out frame was never counted.
+        assert_eq!(rx.recv().unwrap().seq, 0);
+        tx.send_timeout(Frame::new(1, Bytes::new()), Duration::from_millis(5)).unwrap();
+    }
+
+    #[test]
+    fn send_timeout_on_closed_link_is_disconnected() {
+        let link = Link::new(1);
+        let (tx, rx) = link.split();
+        drop(rx);
+        let err = tx.send_timeout(Frame::new(0, Bytes::new()), Duration::from_millis(1));
+        assert_eq!(err.unwrap_err(), StreamError::Disconnected);
+    }
+
+    #[test]
+    fn stats_track_queue_depth_high_water_mark() {
+        let link = Link::new(4);
+        let stats = link.stats();
+        let (tx, rx) = link.split();
+        for seq in 0..3 {
+            assert!(tx.send(Frame::new(seq, Bytes::new())));
+        }
+        assert_eq!(stats.depth(), 3);
+        assert_eq!(stats.max_depth(), 3);
+        rx.recv().unwrap();
+        rx.recv().unwrap();
+        assert_eq!(stats.depth(), 1);
+        // The high-water mark is sticky.
+        assert_eq!(stats.max_depth(), 3);
+    }
+
+    #[test]
+    fn frame_deadline_constructors() {
+        let plain = Frame::new(7, Bytes::new());
+        assert_eq!(plain.deadline_ms, None);
+        let tight = Frame::with_deadline(7, 250, Bytes::new());
+        assert_eq!(tight.deadline_ms, Some(250));
+    }
+
+    #[test]
     fn backpressure_blocks_until_drained() {
         let link = Link::new(1);
         let (tx, rx) = link.split();
-        tx.send(Frame { seq: 0, payload: Bytes::new() });
+        tx.send(Frame::new(0, Bytes::new()));
         // Second send would block; do it from another thread and drain.
         let t = std::thread::spawn(move || {
-            tx.send(Frame { seq: 1, payload: Bytes::new() });
+            tx.send(Frame::new(1, Bytes::new()));
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(rx.recv().unwrap().seq, 0);

@@ -46,6 +46,9 @@ enum Payload {
 struct Envelope {
     seq: u64,
     sent_at: Instant,
+    /// Absolute instant the item's end-to-end budget runs out (stamped by
+    /// the source from the builder's deadline); `None` = no deadline.
+    deadline: Option<Instant>,
     payload: Payload,
 }
 
@@ -71,6 +74,9 @@ pub struct PipelineBuilder<In, Cur> {
     /// `.stage()` (or by `.build()` as the sink decoder).
     pending_decode: Option<MsgDecodeFn>,
     capacity: usize,
+    deadline: Option<Duration>,
+    watchdog: Option<Duration>,
+    quarantine: bool,
     _marker: PhantomData<fn(In) -> Cur>,
 }
 
@@ -82,6 +88,9 @@ impl<In: Send + 'static> PipelineBuilder<In, In> {
             source_encode: None,
             pending_decode: None,
             capacity: 4,
+            deadline: None,
+            watchdog: None,
+            quarantine: false,
             _marker: PhantomData,
         }
     }
@@ -123,6 +132,9 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             source_encode: self.source_encode,
             pending_decode: None,
             capacity: self.capacity,
+            deadline: self.deadline,
+            watchdog: self.watchdog,
+            quarantine: self.quarantine,
             _marker: PhantomData,
         }
     }
@@ -157,6 +169,40 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         self
     }
 
+    /// Gives every item an end-to-end deadline of `budget` from the
+    /// moment the source injects it. A stage that dequeues an item whose
+    /// deadline has already passed **sheds** it — counts it in the
+    /// stage's `deadline_expired` and drops it — instead of spending
+    /// compute on an answer nobody is waiting for. Shed items are simply
+    /// missing from the output; the run itself still succeeds.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Arms a stall watchdog: a monitor thread flags any stage that has
+    /// input queued but has made no progress for `window`, aborting the
+    /// run with [`StreamError::Stalled`] naming the stage — instead of
+    /// the whole call hanging forever behind one wedged stage. (The
+    /// watchdog cannot preempt a handler: a stage blocked *inside*
+    /// `process` must still return before the call unwinds, but the
+    /// error is already recorded and the drain is already underway.)
+    pub fn with_watchdog(mut self, window: Duration) -> Self {
+        self.watchdog = Some(window.max(Duration::from_millis(1)));
+        self
+    }
+
+    /// Quarantines poison items: an item whose handler **panics** is
+    /// counted in the stage's `quarantined` metric and dropped, and the
+    /// stream keeps flowing. Without this (the default), a panicking
+    /// item stops the run with a clean [`StreamError::Stage`] carrying
+    /// the panic message — in neither mode does the panic unwind through
+    /// `process_stream`.
+    pub fn with_quarantine(mut self, quarantine: bool) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
     /// Finalizes the chain. Fails if no stage was added.
     pub fn build(self) -> Result<TypedPipeline<In, Cur>, StreamError> {
         if self.slots.is_empty() {
@@ -167,6 +213,9 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             source_encode: self.source_encode,
             sink_decode: self.pending_decode,
             capacity: self.capacity,
+            deadline: self.deadline,
+            watchdog: self.watchdog,
+            quarantine: self.quarantine,
             _marker: PhantomData,
         })
     }
@@ -204,6 +253,22 @@ impl PipelineStats {
     pub fn total_bytes(&self) -> u64 {
         self.link_bytes.iter().sum()
     }
+
+    /// Items shed across all stages because their deadline had expired.
+    pub fn deadline_expired(&self) -> u64 {
+        self.stages.iter().map(|s| s.deadline_expired).sum()
+    }
+
+    /// Items quarantined across all stages after panicking.
+    pub fn quarantined(&self) -> u64 {
+        self.stages.iter().map(|s| s.quarantined).sum()
+    }
+
+    /// Max observed input-queue depth over all stages — how close the
+    /// bounded hops came to saturation during the run.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.stages.iter().map(|s| s.max_queue_depth).max().unwrap_or(0)
+    }
 }
 
 /// A built chain of typed stages connected by bounded channels.
@@ -212,6 +277,9 @@ pub struct TypedPipeline<In, Out> {
     source_encode: Option<MsgEncodeFn>,
     sink_decode: Option<MsgDecodeFn>,
     capacity: usize,
+    deadline: Option<Duration>,
+    watchdog: Option<Duration>,
+    quarantine: bool,
     _marker: PhantomData<fn(In) -> Out>,
 }
 
@@ -246,12 +314,12 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
         let metrics: Vec<Arc<StageMetrics>> =
             (0..n_stages).map(|_| Arc::new(StageMetrics::default())).collect();
 
-        let mut senders: Vec<Option<crossbeam::channel::Sender<Envelope>>> =
+        let mut senders: Vec<Option<crate::chan::Sender<Envelope>>> =
             Vec::with_capacity(n_stages + 1);
-        let mut receivers: Vec<Option<crossbeam::channel::Receiver<Envelope>>> =
+        let mut receivers: Vec<Option<crate::chan::Receiver<Envelope>>> =
             Vec::with_capacity(n_stages + 1);
         for _ in 0..=n_stages {
-            let (tx, rx) = crossbeam::channel::bounded(self.capacity);
+            let (tx, rx) = crate::chan::bounded(self.capacity);
             senders.push(Some(tx));
             receivers.push(Some(rx));
         }
@@ -260,6 +328,21 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
 
         let failure: Arc<parking_lot::Mutex<Option<(String, StreamError)>>> =
             Arc::new(parking_lot::Mutex::new(None));
+        let quarantine = self.quarantine;
+        // Receiver clones for the watchdog: receivers are multi-consumer
+        // and the watchdog only ever calls len() on them. Only cloned
+        // when a watchdog is armed — a lingering receiver clone would
+        // keep a hop open after its consumer stage exited, so the
+        // watchdog must (and does) drop these the moment any failure is
+        // recorded.
+        let watch_rx: Vec<crate::chan::Receiver<Envelope>> = if self.watchdog.is_some() {
+            (0..n_stages)
+                .map(|i| receivers[i].as_ref().expect("receiver present").clone())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let watchdog_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         std::thread::scope(|scope| {
             // Spawn stage threads.
             let mut busy_handles = Vec::with_capacity(n_stages);
@@ -273,53 +356,90 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
                     let pool = WorkerPool::new(slot.threads);
                     let mut busy = Duration::ZERO;
                     while let Ok(env) = rx.recv() {
+                        // Queue depth at the moment of dequeue: the item
+                        // in hand plus whatever is still waiting.
+                        m.observe_queue_depth(rx.len() as u64 + 1);
                         m.queue_wait_ns
                             .fetch_add(env.sent_at.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         m.items_in.fetch_add(1, Ordering::Relaxed);
+                        let deadline = env.deadline;
+                        // Shed before the expensive work: an item whose
+                        // budget is already gone gets no compute.
+                        if deadline.is_some_and(|d| Instant::now() > d) {
+                            m.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                            m.touch();
+                            continue;
+                        }
                         let t0 = Instant::now();
                         // Decode (wire hop only) + process + encode (wire
                         // hop only) all count as this stage's compute.
-                        let step = (|| -> Result<Payload, StreamError> {
-                            let msg: BoxMsg = match env.payload {
-                                Payload::Owned(b) => b,
-                                Payload::Wire(bytes) => {
-                                    let decode = slot
-                                        .in_decode
-                                        .as_ref()
-                                        .expect("wire payload only arrives on linked hops");
-                                    decode(bytes)?
-                                }
-                            };
-                            let mut cx = StageContext::new(&pool, &m);
-                            let out = (slot.run)(msg, &mut cx)?;
-                            Ok(match &slot.out_encode {
-                                Some(encode) => {
-                                    let bytes = encode(out);
-                                    out_hop.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                                    m.bytes_serialized
-                                        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                                    Payload::Wire(bytes)
-                                }
-                                None => Payload::Owned(out),
-                            })
-                        })();
+                        // The catch_unwind is the poison-item boundary:
+                        // a panicking item must not tear down the chain.
+                        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || -> Result<Payload, StreamError> {
+                                let msg: BoxMsg = match env.payload {
+                                    Payload::Owned(b) => b,
+                                    Payload::Wire(bytes) => {
+                                        let decode = slot
+                                            .in_decode
+                                            .as_ref()
+                                            .expect("wire payload only arrives on linked hops");
+                                        decode(bytes)?
+                                    }
+                                };
+                                let mut cx = StageContext::new(&pool, &m);
+                                let out = (slot.run)(msg, &mut cx)?;
+                                Ok(match &slot.out_encode {
+                                    Some(encode) => {
+                                        let bytes = encode(out);
+                                        out_hop.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                                        m.bytes_serialized
+                                            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                                        Payload::Wire(bytes)
+                                    }
+                                    None => Payload::Owned(out),
+                                })
+                            },
+                        ));
                         let elapsed = t0.elapsed();
                         busy += elapsed;
                         m.compute_ns.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
                         match step {
-                            Ok(payload) => {
+                            Ok(Ok(payload)) => {
                                 m.items_out.fetch_add(1, Ordering::Relaxed);
-                                let env =
-                                    Envelope { seq: env.seq, sent_at: Instant::now(), payload };
+                                m.touch();
+                                let env = Envelope {
+                                    seq: env.seq,
+                                    sent_at: Instant::now(),
+                                    deadline,
+                                    payload,
+                                };
                                 if tx.send(env).is_err() {
                                     break; // sink gone
                                 }
                             }
-                            Err(e) => {
+                            Ok(Err(e)) => {
                                 // Record the first failure and stop this
                                 // stage; dropping rx/tx unwinds the chain.
                                 m.errors.fetch_add(1, Ordering::Relaxed);
                                 failure.lock().get_or_insert((slot.name.clone(), e));
+                                break;
+                            }
+                            Err(payload) => {
+                                let msg = panic_message(payload.as_ref());
+                                if quarantine {
+                                    m.quarantined.fetch_add(1, Ordering::Relaxed);
+                                    m.touch();
+                                    continue;
+                                }
+                                m.errors.fetch_add(1, Ordering::Relaxed);
+                                failure.lock().get_or_insert((
+                                    slot.name.clone(),
+                                    StreamError::Stage(format!(
+                                        "item {} panicked: {msg}",
+                                        env.seq
+                                    )),
+                                ));
                                 break;
                             }
                         }
@@ -329,12 +449,45 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
                 busy_handles.push(handle);
             }
 
+            // Stall watchdog: flags a stage with input queued but no
+            // progress for the window — an alive-but-stuck diagnosis a
+            // plain join could never make.
+            if let Some(window) = self.watchdog {
+                let failure = Arc::clone(&failure);
+                let metrics = metrics.clone();
+                let slot_names: Vec<String> =
+                    self.slots.iter().map(|s| s.name.clone()).collect();
+                let stop = Arc::clone(&watchdog_stop);
+                let poll = (window / 8).clamp(Duration::from_millis(1), Duration::from_millis(50));
+                scope.spawn(move || {
+                    // Returning drops the watch_rx clones so blocked
+                    // upstream senders observe the closed hops.
+                    let _watch_rx = watch_rx;
+                    while !stop.load(Ordering::Relaxed) {
+                        if failure.lock().is_some() {
+                            return; // some stage already failed; stand down
+                        }
+                        for (i, name) in slot_names.iter().enumerate() {
+                            if !_watch_rx[i].is_empty() && metrics[i].heartbeat_age() > window {
+                                failure.lock().get_or_insert((
+                                    name.clone(),
+                                    StreamError::Stalled { stage: name.clone() },
+                                ));
+                                return;
+                            }
+                        }
+                        std::thread::sleep(poll);
+                    }
+                });
+            }
+
             // Source: inject requests from a dedicated thread so the
             // sink below drains concurrently — injecting and collecting
             // on one thread would deadlock once the bounded hops fill.
             let source = senders[0].take().expect("source sender");
             let source_hop = Arc::clone(&hop_bytes[0]);
             let source_encode = &self.source_encode;
+            let budget = self.deadline;
             let source_handle = scope.spawn(move || {
                 let mut inject_times: HashMap<u64, Instant> = HashMap::new();
                 for (seq, input) in inputs.into_iter().enumerate() {
@@ -346,8 +499,14 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
                         }
                         None => Payload::Owned(Box::new(input)),
                     };
-                    inject_times.insert(seq as u64, Instant::now());
-                    let env = Envelope { seq: seq as u64, sent_at: Instant::now(), payload };
+                    let now = Instant::now();
+                    inject_times.insert(seq as u64, now);
+                    let env = Envelope {
+                        seq: seq as u64,
+                        sent_at: now,
+                        deadline: budget.map(|b| now + b),
+                        payload,
+                    };
                     if source.send(env).is_err() {
                         break; // chain collapsed after a stage failure
                     }
@@ -355,10 +514,22 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
                 inject_times // sender drops here, closing the chain head
             });
 
-            // Sink: collect everything.
+            // Sink: collect everything. Polls rather than blocks so a
+            // watchdog-detected stall (the wedged stage never closes the
+            // sink hop) still aborts the collection loop.
             let sink = receivers[n_stages].take().expect("sink receiver");
             let mut arrived: Vec<(u64, Out, Instant)> = Vec::new();
-            while let Ok(env) = sink.recv() {
+            loop {
+                let env = match sink.recv_timeout(Duration::from_millis(20)) {
+                    Ok(env) => env,
+                    Err(crate::chan::RecvTimeoutError::Timeout) => {
+                        if failure.lock().is_some() {
+                            break; // stall or stage error recorded; stop waiting
+                        }
+                        continue;
+                    }
+                    Err(crate::chan::RecvTimeoutError::Disconnected) => break,
+                };
                 let at = Instant::now();
                 let msg: BoxMsg = match env.payload {
                     Payload::Owned(b) => b,
@@ -383,8 +554,11 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
             }
             // Drop the sink receiver before joining: if the loop broke on
             // a decode failure, stages still sending must observe the
-            // closed hop rather than block forever.
+            // closed hop rather than block forever. The watchdog is told
+            // to stand down for the same reason — joins must not wait on
+            // its poll loop.
             drop(sink);
+            watchdog_stop.store(true, Ordering::Relaxed);
 
             let makespan = start.elapsed();
             let inject_times = source_handle.join().expect("source thread");
@@ -392,6 +566,11 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
                 busy_handles.into_iter().map(|h| h.join().expect("stage thread")).collect();
 
             if let Some((stage, err)) = failure.lock().take() {
+                // A stall is already a first-class diagnosis naming the
+                // stage; every other stage error gets the naming wrapper.
+                if matches!(err, StreamError::Stalled { .. }) {
+                    return Err(err);
+                }
                 return Err(StreamError::Config(format!("stage {stage:?} failed: {err}")));
             }
 
@@ -413,6 +592,16 @@ impl<In: Send + 'static, Out: Send + 'static> TypedPipeline<In, Out> {
             ))
         })
     }
+}
+
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` with a literal yields `&str`, with formatting a `String`).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".into())
 }
 
 /// A stage handler in the legacy closure API: transforms one serialized
@@ -768,6 +957,202 @@ mod tests {
         // source must observe the closed channel instead of blocking.
         let err = p.process_stream((0..64).collect()).unwrap_err();
         assert!(err.to_string().contains("gate"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_sheds_items_but_run_succeeds() {
+        // A zero budget expires before the first stage dequeues anything:
+        // every item is shed, none reach the output, the run still Oks.
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage("work", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v)))
+            .with_deadline(Duration::ZERO)
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream((0..8).collect()).unwrap();
+        assert!(out.is_empty(), "expired items must be shed, got {out:?}");
+        assert_eq!(stats.deadline_expired(), 8);
+        assert_eq!(stats.stages[0].items_in, 8);
+        assert_eq!(stats.stages[0].items_out, 0);
+        assert_eq!(stats.stages[0].errors, 0, "shedding is not an error");
+    }
+
+    #[test]
+    fn generous_deadline_passes_everything_through() {
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage("work", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v + 1)))
+            .with_deadline(Duration::from_secs(60))
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream(vec![1, 2, 3]).unwrap();
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(stats.deadline_expired(), 0);
+    }
+
+    #[test]
+    fn deadline_propagates_across_stages() {
+        // A slow first stage eats the whole budget, so a later stage does
+        // the shedding: deadlines must travel with the item, not reset
+        // per hop.
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "slow",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    Ok(v)
+                }),
+            )
+            .stage("late", 1, stage_fn(|v: u64, _: &mut StageContext| Ok(v)))
+            .with_deadline(Duration::from_millis(5))
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream(vec![1, 2]).unwrap();
+        assert!(out.is_empty(), "budget spent upstream, got {out:?}");
+        assert_eq!(stats.deadline_expired(), 2, "every item shed somewhere");
+        // The first item passes "slow" with budget left, so only the
+        // downstream stage can shed it — the deadline travelled the hop.
+        assert!(stats.stages[1].deadline_expired >= 1, "the late stage sheds");
+    }
+
+    #[test]
+    fn watchdog_flags_stalled_stage_by_name() {
+        // The first item wedges the stage far longer than the window
+        // while more input sits queued behind it — the watchdog must
+        // diagnose the stall instead of the call just taking forever.
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "wedged",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    if v == 0 {
+                        std::thread::sleep(Duration::from_millis(400));
+                    }
+                    Ok(v)
+                }),
+            )
+            .with_watchdog(Duration::from_millis(60))
+            .with_capacity(2)
+            .build()
+            .unwrap();
+        let err = p.process_stream((0..6).collect()).unwrap_err();
+        match err {
+            StreamError::Stalled { stage } => assert_eq!(stage, "wedged"),
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_a_healthy_run() {
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "steady",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok(v)
+                }),
+            )
+            .with_watchdog(Duration::from_millis(500))
+            .build()
+            .unwrap();
+        let (out, _) = p.process_stream((0..10).collect()).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn quarantine_drops_poison_item_and_stream_survives() {
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "risky",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    if v == 3 {
+                        panic!("poison item {v}");
+                    }
+                    Ok(v * 10)
+                }),
+            )
+            .with_quarantine(true)
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream((0..6).collect()).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 40, 50], "only the poison item is missing");
+        assert_eq!(stats.quarantined(), 1);
+        assert_eq!(stats.stages[0].errors, 0, "quarantine is not a stage error");
+    }
+
+    #[test]
+    fn panic_without_quarantine_is_a_clean_stage_error() {
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "risky",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    if v == 2 {
+                        panic!("bad tensor");
+                    }
+                    Ok(v)
+                }),
+            )
+            .build()
+            .unwrap();
+        let err = p.process_stream((0..5).collect()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("risky"), "error should name the stage: {msg}");
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("bad tensor"), "original payload must survive: {msg}");
+    }
+
+    #[test]
+    fn quarantine_catches_worker_pool_panics_with_payload() {
+        // The panic happens on a pool worker thread; map_ranges re-raises
+        // the original payload on the stage thread, where the quarantine
+        // boundary catches it.
+        let p = TypedPipeline::<Vec<u64>, Vec<u64>>::builder()
+            .stage(
+                "par",
+                2,
+                stage_fn(|v: Vec<u64>, cx: &mut StageContext| {
+                    let v = Arc::new(v);
+                    let n = v.len();
+                    let v2 = Arc::clone(&v);
+                    Ok(cx.pool().map_ranges(n, move |r| {
+                        r.map(|i| {
+                            if v2[i] == 99 {
+                                panic!("poison element");
+                            }
+                            v2[i] + 1
+                        })
+                        .collect()
+                    }))
+                }),
+            )
+            .with_quarantine(true)
+            .build()
+            .unwrap();
+        let (out, stats) = p.process_stream(vec![vec![1, 2], vec![99], vec![3]]).unwrap();
+        assert_eq!(out, vec![vec![2, 3], vec![4]]);
+        assert_eq!(stats.quarantined(), 1);
+    }
+
+    #[test]
+    fn queue_depth_high_water_mark_reported() {
+        // One slow stage with many queued items: max observed depth must
+        // exceed 1 (items stack up behind the handler).
+        let p = TypedPipeline::<u64, u64>::builder()
+            .stage(
+                "slow",
+                1,
+                stage_fn(|v: u64, _: &mut StageContext| {
+                    std::thread::sleep(Duration::from_millis(3));
+                    Ok(v)
+                }),
+            )
+            .with_capacity(8)
+            .build()
+            .unwrap();
+        let (_, stats) = p.process_stream((0..12).collect()).unwrap();
+        assert!(stats.max_queue_depth() >= 2, "depth {}", stats.max_queue_depth());
     }
 
     #[test]

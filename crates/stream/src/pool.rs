@@ -2,8 +2,9 @@
 //! allocation assigns to each stage.
 
 use crossbeam::channel::{unbounded, Sender};
+use std::any::Any;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -49,8 +50,11 @@ impl WorkerPool {
     ///
     /// A panic inside `f` does not kill the worker thread or hang the
     /// caller: the panic is caught in the job, the remaining chunks
-    /// still run, and `map_ranges` re-panics on the calling thread once
-    /// every chunk has finished. The pool stays usable afterwards.
+    /// still run, and `map_ranges` re-raises the **first chunk's
+    /// original panic payload** on the calling thread once every chunk
+    /// has finished — so `catch_unwind` above the pool (e.g. the
+    /// poison-item quarantine boundary) sees the real message, not a
+    /// generic one. The pool stays usable afterwards.
     pub fn map_ranges<T, F>(&self, count: usize, f: F) -> Vec<T>
     where
         T: Send + 'static,
@@ -64,7 +68,8 @@ impl WorkerPool {
         let results: Arc<Vec<parking_lot::Mutex<Option<Vec<T>>>>> =
             Arc::new((0..parts).map(|_| parking_lot::Mutex::new(None)).collect());
         let remaining = Arc::new(AtomicUsize::new(parts));
-        let panicked = Arc::new(AtomicBool::new(false));
+        let panicked: Arc<parking_lot::Mutex<Option<Box<dyn Any + Send>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
         let done = Arc::new((parking_lot::Mutex::new(false), parking_lot::Condvar::new()));
 
         let chunk = count.div_ceil(parts);
@@ -78,11 +83,13 @@ impl WorkerPool {
             let done = Arc::clone(&done);
             let job: Job = Box::new(move || {
                 // Contain a panicking chunk so the worker survives and
-                // the caller is always woken; the payload Vec is simply
-                // never stored.
+                // the caller is always woken; the first panic payload is
+                // kept for re-raising on the calling thread.
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(start..end))) {
                     Ok(out) => *results[p].lock() = Some(out),
-                    Err(_) => panicked.store(true, Ordering::Release),
+                    Err(payload) => {
+                        panicked.lock().get_or_insert(payload);
+                    }
                 }
                 if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let (lock, cvar) = &*done;
@@ -100,8 +107,8 @@ impl WorkerPool {
         }
         drop(finished);
 
-        if panicked.load(Ordering::Acquire) {
-            panic!("worker job panicked in map_ranges");
+        if let Some(payload) = panicked.lock().take() {
+            std::panic::resume_unwind(payload);
         }
 
         let mut out = Vec::with_capacity(count);
@@ -195,6 +202,24 @@ mod tests {
         // Workers caught the panic internally and keep serving jobs.
         let out = pool.map_ranges(10, |r| r.collect::<Vec<usize>>());
         assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_payload_survives_propagation() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_ranges(8, |r| {
+                r.map(|i| if i == 5 { panic!("poison at index {i}") } else { i })
+                    .collect::<Vec<_>>()
+            })
+        }));
+        let payload = caught.expect_err("panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload is a string");
+        assert_eq!(msg, "poison at index 5", "original payload, not a generic re-panic");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::StreamError;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A typed pipeline stage.
 ///
@@ -71,7 +71,7 @@ impl<'a> StageContext<'a> {
 
 /// Live per-stage counters, updated by the pipeline's stage threads and
 /// via [`StageContext::record_serialized_bytes`].
-#[derive(Default, Debug)]
+#[derive(Debug)]
 pub struct StageMetrics {
     /// Messages received by the stage.
     pub items_in: AtomicU64,
@@ -86,9 +86,62 @@ pub struct StageMetrics {
     pub queue_wait_ns: AtomicU64,
     /// Number of failed invocations.
     pub errors: AtomicU64,
+    /// Items shed because their end-to-end deadline had already expired
+    /// when they reached this stage.
+    pub deadline_expired: AtomicU64,
+    /// Items dropped by the quarantine boundary after panicking inside
+    /// this stage.
+    pub quarantined: AtomicU64,
+    /// High-water mark of the stage's input queue depth.
+    pub max_queue_depth: AtomicU64,
+    /// Heartbeat: nanoseconds since `epoch` at the stage's last progress
+    /// (item completed or shed). The watchdog compares it against the
+    /// live clock to diagnose a stalled stage.
+    last_progress_ns: AtomicU64,
+    /// Monotonic anchor for the heartbeat.
+    epoch: Instant,
+}
+
+impl Default for StageMetrics {
+    fn default() -> Self {
+        StageMetrics {
+            items_in: AtomicU64::new(0),
+            items_out: AtomicU64::new(0),
+            bytes_serialized: AtomicU64::new(0),
+            compute_ns: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            last_progress_ns: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl StageMetrics {
+    /// Records that the stage just made progress (completed, shed, or
+    /// quarantined an item) — resets the watchdog's stall clock.
+    pub fn touch(&self) {
+        let ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.last_progress_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Time since the stage last made progress (since metrics creation if
+    /// it never has) — the watchdog's stall criterion alongside a
+    /// non-empty input queue.
+    pub fn heartbeat_age(&self) -> Duration {
+        self.epoch
+            .elapsed()
+            .saturating_sub(Duration::from_nanos(self.last_progress_ns.load(Ordering::Relaxed)))
+    }
+
+    /// Records an observed input-queue depth, keeping the high-water mark.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Snapshots the counters into a report.
     pub fn report(&self, name: impl Into<String>, threads: usize) -> StageReport {
         StageReport {
@@ -100,6 +153,9 @@ impl StageMetrics {
             compute: Duration::from_nanos(self.compute_ns.load(Ordering::Relaxed)),
             queue_wait: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
             errors: self.errors.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +179,12 @@ pub struct StageReport {
     pub queue_wait: Duration,
     /// Failed invocations (0 or 1 — the pipeline stops on first error).
     pub errors: u64,
+    /// Items shed at this stage because their deadline had expired.
+    pub deadline_expired: u64,
+    /// Items dropped by the quarantine boundary after panicking here.
+    pub quarantined: u64,
+    /// High-water mark of the stage's input queue depth.
+    pub max_queue_depth: u64,
 }
 
 /// A [`Stage`] built from a closure — the quickest way to drop ad-hoc
@@ -180,6 +242,24 @@ mod tests {
         let mut cx = StageContext::new(&pool, &metrics);
         let s = Arc::new(stage_fn(|v: u64, _: &mut StageContext| Ok(v + 1)));
         assert_eq!(s.process(1, &mut cx).unwrap(), 2);
+    }
+
+    #[test]
+    fn heartbeat_age_resets_on_touch() {
+        let metrics = StageMetrics::default();
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(metrics.heartbeat_age() >= Duration::from_millis(10), "ages from creation");
+        metrics.touch();
+        assert!(metrics.heartbeat_age() < Duration::from_millis(10), "touch resets the clock");
+    }
+
+    #[test]
+    fn queue_depth_high_water_mark_is_sticky() {
+        let metrics = StageMetrics::default();
+        metrics.observe_queue_depth(3);
+        metrics.observe_queue_depth(7);
+        metrics.observe_queue_depth(2);
+        assert_eq!(metrics.report("s", 1).max_queue_depth, 7);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! TCP framing: the real-network transport for running the two providers
 //! as separate processes/hosts, as on the paper's nine-server testbed.
 //!
-//! Frames are length-prefixed: `seq: u64 LE | len: u32 LE | payload`.
-//! The in-process [`crate::link::Link`] and this transport carry the same
-//! [`Frame`]s, so a pipeline stage can face either without changes.
+//! Frames are length-prefixed:
+//! `seq: u64 LE | deadline_ms: u64 LE | len: u32 LE | payload`, where
+//! `deadline_ms` is the item's remaining end-to-end budget at send time
+//! ([`crate::link::NO_DEADLINE`] = no deadline). The in-process
+//! [`crate::link::Link`] and this transport carry the same [`Frame`]s, so
+//! a pipeline stage can face either without changes.
 //!
 //! Error taxonomy (see [`StreamError`]): socket failures — refused
 //! connections, resets, timeouts, mid-frame disconnects, sequence
@@ -76,9 +79,15 @@ impl RetryPolicy {
 }
 
 /// Socket configuration for framed connections.
+///
+/// The read/write timeouts here are **per-syscall** socket deadlines —
+/// they bound how long one `read(2)`/`write(2)` may block, not how long
+/// an inference item may take end to end. An item's end-to-end budget is
+/// the per-item deadline carried in [`Frame::deadline_ms`], enforced by
+/// the stages that do the expensive work.
 #[derive(Clone, Debug, Default)]
 pub struct TcpConfig {
-    /// Read deadline; `None` blocks indefinitely. A expired deadline
+    /// Read deadline; `None` blocks indefinitely. An expired deadline
     /// surfaces as `Transport { kind: Timeout, .. }`.
     pub read_timeout: Option<Duration>,
     /// Write deadline; `None` blocks indefinitely.
@@ -132,6 +141,13 @@ pub trait FrameSender: Send {
     /// Sends a payload stamped with the next transport seq; returns the
     /// seq used.
     fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError>;
+    /// As [`send_payload`](FrameSender::send_payload), but also stamps a
+    /// remaining-deadline budget (milliseconds) onto the frame.
+    fn send_payload_deadline(
+        &mut self,
+        payload: Bytes,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, StreamError>;
 }
 
 /// Object-safe receiving half of a framed transport; see [`FrameSender`].
@@ -164,6 +180,8 @@ impl TcpFrameSender {
             io_err(TransportErrorKind::Send, &format!("tcp send (seq {})", frame.seq), &e)
         };
         self.writer.write_all(&frame.seq.to_le_bytes()).map_err(io)?;
+        let deadline = frame.deadline_ms.unwrap_or(crate::link::NO_DEADLINE);
+        self.writer.write_all(&deadline.to_le_bytes()).map_err(io)?;
         let len = u32::try_from(frame.payload.len()).map_err(|_| {
             StreamError::transport(
                 TransportErrorKind::Send,
@@ -184,8 +202,18 @@ impl TcpFrameSender {
     /// sequence number (strictly increasing per direction, so the peer's
     /// monotonicity validation holds). Returns the seq used.
     pub fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError> {
+        self.send_payload_deadline(payload, None)
+    }
+
+    /// As [`send_payload`](TcpFrameSender::send_payload), stamping a
+    /// remaining-deadline budget in milliseconds.
+    pub fn send_payload_deadline(
+        &mut self,
+        payload: Bytes,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, StreamError> {
         let seq = self.next_seq;
-        self.send(&Frame { seq, payload })?;
+        self.send(&Frame { seq, deadline_ms, payload })?;
         Ok(seq)
     }
 }
@@ -196,6 +224,13 @@ impl FrameSender for TcpFrameSender {
     }
     fn send_payload(&mut self, payload: Bytes) -> Result<u64, StreamError> {
         TcpFrameSender::send_payload(self, payload)
+    }
+    fn send_payload_deadline(
+        &mut self,
+        payload: Bytes,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, StreamError> {
+        TcpFrameSender::send_payload_deadline(self, payload, deadline_ms)
     }
 }
 
@@ -229,6 +264,12 @@ impl TcpFrameReceiver {
         self.read_exact_mid_frame(&mut seq_buf[1..], "header (seq)")?;
         let seq = u64::from_le_bytes(seq_buf);
 
+        let mut deadline_buf = [0u8; 8];
+        self.read_exact_mid_frame(&mut deadline_buf, "header (deadline)")?;
+        let deadline_raw = u64::from_le_bytes(deadline_buf);
+        let deadline_ms =
+            (deadline_raw != crate::link::NO_DEADLINE).then_some(deadline_raw);
+
         let mut len_buf = [0u8; 4];
         self.read_exact_mid_frame(&mut len_buf, "header (len)")?;
         let len = u32::from_le_bytes(len_buf) as usize;
@@ -245,7 +286,7 @@ impl TcpFrameReceiver {
         if let Some(v) = &mut self.validator {
             v.check(seq)?;
         }
-        Ok(Some(Frame { seq, payload: Bytes::from(payload) }))
+        Ok(Some(Frame { seq, deadline_ms, payload: Bytes::from(payload) }))
     }
 
     fn read_exact_mid_frame(&mut self, buf: &mut [u8], what: &str) -> Result<(), StreamError> {
@@ -383,14 +424,14 @@ mod tests {
             let (mut tx, mut rx) = framed(stream).unwrap();
             // Echo frames with seq+1 until EOF.
             while let Some(frame) = rx.recv().unwrap() {
-                tx.send(&Frame { seq: frame.seq + 1, payload: frame.payload }).unwrap();
+                tx.send(&Frame { seq: frame.seq + 1, deadline_ms: frame.deadline_ms, payload: frame.payload }).unwrap();
             }
         });
 
         let (mut tx, mut rx) = connect(addr).unwrap();
         for i in 0..5u64 {
             let payload = Bytes::from(vec![i as u8; (i as usize + 1) * 100]);
-            tx.send(&Frame { seq: i, payload: payload.clone() }).unwrap();
+            tx.send(&Frame::new(i, payload.clone())).unwrap();
             let echoed = rx.recv().unwrap().unwrap();
             assert_eq!(echoed.seq, i + 1);
             assert_eq!(echoed.payload, payload);
@@ -412,7 +453,7 @@ mod tests {
             assert!(rx.recv().unwrap().is_none(), "clean EOF after sender drops");
         });
         let (mut tx, _rx) = connect(addr).unwrap();
-        tx.send(&Frame { seq: 9, payload: Bytes::new() }).unwrap();
+        tx.send(&Frame::new(9, Bytes::new())).unwrap();
         drop(tx);
         drop(_rx);
         server.join().unwrap();
@@ -431,7 +472,27 @@ mod tests {
             assert_eq!(&f.payload[..], &expect[..]);
         });
         let (mut tx, _rx) = connect(addr).unwrap();
-        tx.send(&Frame { seq: 1, payload: Bytes::from(payload) }).unwrap();
+        tx.send(&Frame::new(1, Bytes::from(payload))).unwrap();
+        drop(tx);
+        drop(_rx);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_budget_survives_the_wire() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let (_tx, mut rx) = framed(stream).unwrap();
+            let with = rx.recv().unwrap().unwrap();
+            assert_eq!(with.deadline_ms, Some(1500));
+            let without = rx.recv().unwrap().unwrap();
+            assert_eq!(without.deadline_ms, None, "NO_DEADLINE decodes back to None");
+        });
+        let (mut tx, _rx) = connect(addr).unwrap();
+        tx.send_payload_deadline(Bytes::from_static(b"budgeted"), Some(1500)).unwrap();
+        tx.send_payload(Bytes::from_static(b"unbounded")).unwrap();
         drop(tx);
         drop(_rx);
         server.join().unwrap();
@@ -527,7 +588,7 @@ mod tests {
             let mut tx: Box<dyn FrameSender> = Box::new(tx);
             let mut rx: Box<dyn FrameReceiver> = Box::new(rx);
             while let Some(frame) = rx.recv().unwrap() {
-                tx.send(&Frame { seq: frame.seq + 1, payload: frame.payload }).unwrap();
+                tx.send(&Frame { seq: frame.seq + 1, deadline_ms: frame.deadline_ms, payload: frame.payload }).unwrap();
             }
         });
         let (tx, rx) = connect(addr).unwrap();

@@ -44,8 +44,9 @@ fn truncated_header_is_transport_eof_not_decode() {
 #[test]
 fn truncated_length_field_is_transport_eof() {
     let (listener, addr) = listen();
-    // Full seq, 2 of 4 length bytes.
+    // Full seq and deadline words, 2 of 4 length bytes.
     let mut bytes = 7u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&pp_stream_runtime::link::NO_DEADLINE.to_le_bytes());
     bytes.extend_from_slice(&[0x01, 0x00]);
     let peer = raw_peer(listener, bytes);
     let (_tx, mut rx) = tcp::connect(addr).unwrap();
@@ -63,6 +64,7 @@ fn oversize_length_prefix_is_decode_error() {
     // Valid header claiming a 2 GiB payload: malformed *bytes*, so this
     // one stays a Decode error (the socket is fine).
     let mut bytes = 1u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&pp_stream_runtime::link::NO_DEADLINE.to_le_bytes());
     bytes.extend_from_slice(&(2u32 << 30).to_le_bytes());
     let peer = raw_peer(listener, bytes);
     let (_tx, mut rx) = tcp::connect(addr).unwrap();
@@ -80,6 +82,7 @@ fn mid_payload_disconnect_is_transport_eof() {
     let (listener, addr) = listen();
     // Header promises 100 payload bytes; only 10 arrive.
     let mut bytes = 3u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&pp_stream_runtime::link::NO_DEADLINE.to_le_bytes());
     bytes.extend_from_slice(&100u32.to_le_bytes());
     bytes.extend_from_slice(&[0x55; 10]);
     let peer = raw_peer(listener, bytes);
@@ -97,12 +100,14 @@ fn mid_payload_disconnect_is_transport_eof() {
 fn clean_close_between_frames_is_none() {
     let (listener, addr) = listen();
     let mut bytes = 5u64.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&pp_stream_runtime::link::NO_DEADLINE.to_le_bytes());
     bytes.extend_from_slice(&3u32.to_le_bytes());
     bytes.extend_from_slice(b"abc");
     let peer = raw_peer(listener, bytes);
     let (_tx, mut rx) = tcp::connect(addr).unwrap();
     let frame = rx.recv().unwrap().unwrap();
     assert_eq!(frame.seq, 5);
+    assert!(frame.deadline_ms.is_none(), "sentinel word decodes as no deadline");
     assert_eq!(&frame.payload[..], b"abc");
     assert!(rx.recv().unwrap().is_none(), "close between frames is a clean EOF");
     peer.join().unwrap();
@@ -186,8 +191,8 @@ fn reordered_seq_over_socket_is_transport_seq_error() {
         let (stream, _) = listener.accept().unwrap();
         // Sender side stamps explicit, deliberately out-of-order seqs.
         let (mut tx, _rx) = tcp::framed(stream).unwrap();
-        tx.send(&Frame { seq: 4, payload: Bytes::from_static(b"a") }).unwrap();
-        tx.send(&Frame { seq: 2, payload: Bytes::from_static(b"b") }).unwrap();
+        tx.send(&Frame::new(4, Bytes::from_static(b"a"))).unwrap();
+        tx.send(&Frame::new(2, Bytes::from_static(b"b"))).unwrap();
     });
     let (_tx, mut rx) = tcp::connect(addr).unwrap();
     assert_eq!(rx.recv().unwrap().unwrap().seq, 4);
@@ -207,7 +212,7 @@ fn duplicated_seq_rejected_unless_validation_disabled() {
             let (stream, _) = listener.accept().unwrap();
             let (mut tx, _rx) = tcp::framed(stream).unwrap();
             for _ in 0..2 {
-                tx.send(&Frame { seq: 9, payload: Bytes::new() }).unwrap();
+                tx.send(&Frame::new(9, Bytes::new())).unwrap();
             }
         });
         let config = if validate {
@@ -243,7 +248,7 @@ fn send_to_dead_peer_is_transport_not_decode() {
     let payload = Bytes::from(vec![0u8; 64 * 1024]);
     let mut last = Ok(());
     for seq in 0..200u64 {
-        last = tx.send(&Frame { seq, payload: payload.clone() });
+        last = tx.send(&Frame::new(seq, payload.clone()));
         if last.is_err() {
             break;
         }

@@ -23,6 +23,13 @@
 //! PP_FAULT_KILL_EVERY=7 PP_FAULT_SEED=1 \
 //!   cargo run --release --example data_provider -- 127.0.0.1:7700
 //! ```
+//!
+//! Overload knobs: `PP_ITEM_DEADLINE_MS=n` stamps an `n`-millisecond
+//! end-to-end budget on every item (an expired item is shed with a
+//! per-item error, not a session failure); `PP_WATCHDOG_MS=n` arms the
+//! stall watchdog, recovering a linear-round reply slower than `n`
+//! milliseconds by reconnect-and-resume instead of waiting out the full
+//! TCP read timeout.
 
 use pp_nn::{zoo, ScaledModel};
 use pp_stream::{NetConfig, NetworkedSession};
@@ -38,7 +45,21 @@ fn demo_model() -> ScaledModel {
 }
 
 fn demo_config() -> NetConfig {
+    let env_ms = |key: &str| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(std::time::Duration::from_millis)
+    };
     let mut config = NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() };
+    config.item_deadline = env_ms("PP_ITEM_DEADLINE_MS");
+    config.stall_window = env_ms("PP_WATCHDOG_MS");
+    if let Some(budget) = config.item_deadline {
+        println!("[data-provider] end-to-end deadline: {budget:?} per item");
+    }
+    if let Some(window) = config.stall_window {
+        println!("[data-provider] stall watchdog armed: {window:?}");
+    }
     #[cfg(feature = "fault-injection")]
     {
         config.fault = pp_stream::FaultPlan::from_env();
@@ -70,11 +91,18 @@ fn main() {
         })
         .collect();
 
-    let (classes, report) = session.classify_stream(&inputs).expect("networked inference");
-    for (i, (input, &class)) in inputs.iter().zip(&classes).enumerate() {
+    // The partial API: a per-item overload failure (deadline expiry,
+    // quarantine, shed) is a `None` class, not a dead session.
+    let (classes, report) = session.classify_stream_partial(&inputs).expect("networked inference");
+    for (i, (input, class)) in inputs.iter().zip(&classes).enumerate() {
         let want = scaled.classify_scaled(input).expect("reference");
-        println!("[data-provider] request {i}: class {class} (local reference {want})");
-        assert_eq!(class, want, "networked result must match the local reference");
+        match class {
+            Some(class) => {
+                println!("[data-provider] request {i}: class {class} (local reference {want})");
+                assert_eq!(*class, want, "networked result must match the local reference");
+            }
+            None => println!("[data-provider] request {i}: failed individually (overload)"),
+        }
     }
     let transport = report.transport.expect("networked run has transport stats");
     println!(
@@ -94,4 +122,21 @@ fn main() {
         final_report.faults_injected,
         final_report.clean_shutdown,
     );
+    if final_report.rejected_busy
+        + final_report.stalls
+        + final_report.deadline_expired
+        + final_report.quarantined
+        + final_report.shed
+        > 0
+    {
+        println!(
+            "[data-provider] overload: {} busy rejections absorbed, {} stalls recovered, \
+             {} deadline-expired, {} quarantined, {} shed",
+            final_report.rejected_busy,
+            final_report.stalls,
+            final_report.deadline_expired,
+            final_report.quarantined,
+            final_report.shed,
+        );
+    }
 }

@@ -20,6 +20,12 @@
 //! session; the server keeps a bounded, TTL-evicted session table so
 //! acknowledged items are never re-executed.
 //!
+//! Overload protection: set `PP_MAX_SESSIONS=n` to cap concurrent
+//! sessions — a connection over the cap is answered with
+//! `Reject { code: Busy }` and a retry hint instead of queueing, and
+//! clients back off and retry. Per-item counters (deadline expiries,
+//! quarantined poison items, load sheds) appear in the final report.
+//!
 //! Both binaries build the same demo model from a fixed seed so their
 //! topology digests agree — in a real deployment the architecture (not
 //! the weights) is what the two parties must share out of band.
@@ -43,11 +49,13 @@ fn demo_config() -> NetConfig {
 
 fn print_report(report: &ServeReport) {
     println!(
-        "[model-provider] {} connections ({} resumed, {} rejected, {} failed, {} panicked): \
-         {} requests ({} replayed), {} B in / {} B out, clean shutdown: {}",
+        "[model-provider] {} connections ({} resumed, {} rejected, {} busy-rejected, \
+         {} failed, {} panicked): {} requests ({} replayed), {} B in / {} B out, \
+         clean shutdown: {}",
         report.connections,
         report.resumed_sessions,
         report.rejected_handshakes,
+        report.rejected_busy,
         report.failed_connections,
         report.panicked_connections,
         report.requests,
@@ -56,6 +64,12 @@ fn print_report(report: &ServeReport) {
         report.bytes_out,
         report.clean_shutdown
     );
+    if report.deadline_expired + report.quarantined + report.shed > 0 {
+        println!(
+            "[model-provider] overload: {} deadline-expired, {} quarantined, {} shed",
+            report.deadline_expired, report.quarantined, report.shed
+        );
+    }
     if let Some(err) = &report.last_error {
         println!("[model-provider] last connection error: {err}");
     }
@@ -90,8 +104,15 @@ fn main() {
 
     // Supervised multi-client mode: a bounded worker pool where each
     // connection is isolated, running until the process is killed.
+    let options = ServeOptions {
+        max_sessions: std::env::var("PP_MAX_SESSIONS").ok().and_then(|v| v.parse().ok()),
+        ..ServeOptions::default()
+    };
+    if let Some(cap) = options.max_sessions {
+        println!("[model-provider] admission control: at most {cap} concurrent sessions");
+    }
     let provider = std::sync::Arc::new(provider);
-    let _handle = provider.serve_forever(listener, ServeOptions::default()).expect("spawn server");
+    let _handle = provider.serve_forever(listener, options).expect("spawn server");
     println!("[model-provider] supervised server up (Ctrl+C to stop)");
     loop {
         std::thread::park();

@@ -21,6 +21,14 @@ echo "==> chaos soak under two fixed fault seeds"
 PP_FAULT_SEED=1 cargo test -p pp-stream --test chaos -q
 PP_FAULT_SEED=2 cargo test -p pp-stream --test chaos -q
 
+echo "==> overload protection: watchdog, busy rejection, quarantine, saturation"
+PP_FAULT_SEED=3 cargo test -p pp-stream --test chaos -q -- \
+  chaos_stalled_reads_recovered_by_watchdog_soak \
+  chaos_busy_rejection_is_retried_after_backoff \
+  chaos_poison_item_quarantined_stream_survives \
+  chaos_saturation_sheds_excess_clients_without_failures
+cargo test -p pp-stream --test deployment -q -- deadline inflight_cap budget
+
 echo "==> fault injection compiles out cleanly"
 cargo build -p pp-stream --no-default-features
 

@@ -12,11 +12,14 @@
 
 use pp_nn::{zoo, ScaledModel};
 use pp_stream::{
-    FaultPlan, ModelProvider, NetConfig, NetworkedSession, PpStream, PpStreamConfig,
+    FaultPlan, ItemErrorKind, ItemOutcome, ModelProvider, NetConfig, NetworkedSession, PpStream,
+    PpStreamConfig, ServeOptions,
 };
+use pp_stream_runtime::RetryPolicy;
 use pp_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn mlp_model(name: &str) -> ScaledModel {
@@ -159,6 +162,251 @@ fn corrupt_frame_is_fatal_not_silent() {
     assert!(transport.clean_shutdown);
     assert!(transport.faults_injected > 0);
     server.join().expect("server thread");
+}
+
+#[test]
+fn chaos_stalled_reads_recovered_by_watchdog_soak() {
+    // Every 7th receive stalls for 80ms — past the 40ms watchdog window
+    // but nowhere near the 30s TCP read timeout. The client's stall
+    // watchdog must diagnose each stall as `Stalled`, recover it by
+    // reconnect-and-resume (replaying the interrupted item), and still
+    // deliver bit-identical outputs over 200 items.
+    let scaled = mlp_model("stall-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.stall_window = Some(Duration::from_millis(40));
+    config.fault = Some(FaultPlan {
+        seed: fault_seed(),
+        stall: Some(Duration::from_millis(80)),
+        stall_every: Some(7),
+        ..Default::default()
+    });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let items = stream_inputs(200);
+    let (got, _) = session.infer_stream(&items).expect("soak survives the stalls");
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown);
+    assert!(transport.stalls > 0, "the stall schedule must trip the watchdog");
+    assert_eq!(
+        transport.reconnects, transport.stalls,
+        "every stall is recovered by exactly one resume (and nothing else fails)"
+    );
+    assert!(transport.items_replayed > 0, "a stalled round reply replays its item");
+
+    let server_report = server.join().expect("server thread");
+    assert!(server_report.clean_shutdown);
+    assert_eq!(
+        server_report.replayed_items, transport.items_replayed,
+        "client and server must agree on exactly which items were replayed"
+    );
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.infer_stream(&items).expect("in-process inference");
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.data(), w.data(), "item {i} diverged from the in-process pipeline");
+    }
+}
+
+#[test]
+fn chaos_busy_rejection_is_retried_after_backoff() {
+    // Admission control at a one-session cap: while client A holds the
+    // slot, client B's hello is answered with `Reject { code: Busy }`
+    // and a retry hint. B must back off on the hint and get served once
+    // A leaves — and both sides must count every rejection.
+    let scaled = mlp_model("busy-mlp");
+    let mut config = NetConfig::small_test(128);
+    // B needs a retry budget deep enough to outlast A's whole stream.
+    config.tcp.retry = RetryPolicy {
+        max_attempts: 60,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        jitter: false,
+    };
+
+    let provider = Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let options = ServeOptions {
+        max_sessions: Some(1),
+        retry_after: Duration::from_millis(20),
+        ..ServeOptions::default()
+    };
+    let handle = provider.serve_forever(listener, options).expect("spawn server");
+    let addr = handle.addr();
+
+    // Client A occupies the only session slot...
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let a_scaled = scaled.clone();
+    let a_config = config.clone();
+    let a = std::thread::spawn(move || {
+        let mut session =
+            NetworkedSession::connect(addr, a_scaled, &a_config).expect("A connects");
+        started_tx.send(()).expect("signal");
+        let (out, _) = session.infer_stream(&stream_inputs(4)).expect("A inference");
+        let transport = session.shutdown();
+        assert!(transport.clean_shutdown);
+        assert_eq!(transport.rejected_busy, 0, "A arrived at an idle server");
+        out
+    });
+    started_rx.recv().expect("A handshaken");
+
+    // ...so client B is busy-rejected, honors the backoff hint, and is
+    // served after A's Bye frees the slot.
+    let mut b = NetworkedSession::connect(addr, scaled, &config).expect("B retries in");
+    let (b_out, _) = b.infer_stream(&stream_inputs(4)).expect("B inference");
+    let b_transport = b.shutdown();
+    assert!(b_transport.clean_shutdown);
+    assert!(b_transport.rejected_busy > 0, "B must have absorbed at least one Busy");
+
+    let a_out = a.join().expect("client A");
+    // Same inputs, same seed: the serialized clients compute the same
+    // stream, bit for bit.
+    for (i, (x, y)) in a_out.iter().zip(&b_out).enumerate() {
+        assert_eq!(x.data(), y.data(), "item {i} diverged between the two clients");
+    }
+
+    let report = handle.shutdown();
+    assert_eq!(report.rejected_busy, b_transport.rejected_busy, "both sides count every Busy");
+    assert_eq!(report.requests, 8, "2 clients x 4 items each");
+    assert_eq!(report.failed_connections, 0);
+    assert_eq!(report.panicked_connections, 0);
+    assert!(report.clean_shutdown);
+}
+
+#[test]
+fn chaos_poison_item_quarantined_stream_survives() {
+    // Item 13 panics the model provider's linear stage. The panic must
+    // be contained to that one item: the client sees a single
+    // `Quarantined` outcome, the other 199 items complete bit-identical
+    // to the in-process pipeline, and both sides agree on the count.
+    let scaled = mlp_model("poison-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), poison_seq: Some(13), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let items = stream_inputs(200);
+    let (outcomes, _) =
+        session.infer_stream_partial(&items).expect("the stream survives the poison item");
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown);
+    assert_eq!(transport.quarantined, 1, "exactly one quarantine reply");
+    assert_eq!(transport.reconnects, 0, "a poison panic is per-item, not a transport fault");
+
+    let failed: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.output().is_none())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(failed, vec![13], "exactly the poisoned seq fails");
+    match &outcomes[13] {
+        ItemOutcome::Failed { kind, detail } => {
+            assert_eq!(*kind, ItemErrorKind::Quarantined);
+            assert!(detail.contains("panicked"), "detail must name the panic: {detail}");
+        }
+        ItemOutcome::Done(_) => unreachable!("outcome 13 failed above"),
+    }
+
+    let server_report = server.join().expect("server thread");
+    assert!(server_report.clean_shutdown);
+    assert_eq!(server_report.quarantined, transport.quarantined);
+    assert_eq!(server_report.requests, 199, "the poisoned item's rounds never complete");
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.infer_stream(&items).expect("in-process inference");
+    for (i, (o, w)) in outcomes.iter().zip(&want).enumerate() {
+        if i == 13 {
+            continue;
+        }
+        assert_eq!(
+            o.output().expect("non-poisoned items complete").data(),
+            w.data(),
+            "item {i} diverged from the in-process pipeline"
+        );
+    }
+}
+
+#[test]
+fn chaos_saturation_sheds_excess_clients_without_failures() {
+    // Five clients stampede a server admission-capped at two concurrent
+    // sessions. The surplus must be busy-rejected (not queued, not
+    // crashed), every client must eventually be served after backoff,
+    // and the admitted work must stay bit-identical across clients.
+    let scaled = mlp_model("saturate-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.tcp.retry = RetryPolicy {
+        max_attempts: 120,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(40),
+        jitter: true,
+    };
+
+    let provider = Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let options = ServeOptions {
+        max_workers: 2,
+        max_sessions: Some(2),
+        retry_after: Duration::from_millis(15),
+        ..ServeOptions::default()
+    };
+    let handle = provider.serve_forever(listener, options).expect("spawn server");
+    let addr = handle.addr();
+
+    let items = stream_inputs(3);
+    let mut clients = Vec::new();
+    for _ in 0..5 {
+        let scaled = scaled.clone();
+        let config = config.clone();
+        let items = items.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut session =
+                NetworkedSession::connect(addr, scaled, &config).expect("eventually admitted");
+            let (out, _) = session.infer_stream(&items).expect("inference");
+            let transport = session.shutdown();
+            assert!(transport.clean_shutdown);
+            (out, transport.rejected_busy)
+        }));
+    }
+    let results: Vec<(Vec<Tensor<i64>>, u64)> =
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect();
+
+    let client_busy: u64 = results.iter().map(|(_, b)| b).sum();
+    assert!(client_busy > 0, "five clients against a cap of two must see Busy");
+    for (out, _) in &results {
+        assert_eq!(out.len(), items.len());
+        for (i, (g, w)) in out.iter().zip(&results[0].0).enumerate() {
+            assert_eq!(g.data(), w.data(), "admitted item {i} diverged between clients");
+        }
+    }
+
+    let report = handle.shutdown();
+    assert_eq!(report.rejected_busy, client_busy, "client and server agree on every Busy");
+    assert_eq!(report.requests, 15, "5 clients x 3 items, all served eventually");
+    assert_eq!(report.failed_connections, 0);
+    assert_eq!(report.panicked_connections, 0);
+    assert_eq!(
+        report.connections,
+        5 + report.rejected_busy,
+        "every connection was either served or busy-rejected"
+    );
+    assert!(report.clean_shutdown);
 }
 
 #[test]

@@ -6,7 +6,10 @@ use pp_nn::{zoo, Model, ScaledModel};
 use pp_paillier::packing::{PackedCiphertext, PackingSpec};
 use pp_paillier::{Keypair, PublicKey, RandomnessPool};
 use pp_stream::messages::{AcceptMsg, HelloMsg, RejectMsg, PROTOCOL_VERSION};
-use pp_stream::{ModelProvider, NetConfig, NetworkedSession, PpStream, PpStreamConfig, ServeOptions};
+use pp_stream::{
+    ItemErrorKind, ItemOutcome, ModelProvider, NetConfig, NetworkedSession, PpStream,
+    PpStreamConfig, ServeOptions,
+};
 use pp_stream_runtime::wire::{from_frame, to_frame};
 use pp_stream_runtime::{tcp, TcpConfig};
 use pp_tensor::Tensor;
@@ -275,4 +278,158 @@ fn supervised_server_isolates_bad_clients() {
     assert_eq!(report.failed_connections, 0);
     assert_eq!(report.panicked_connections, 0);
     assert!(report.clean_shutdown);
+}
+
+#[test]
+fn zero_deadline_sheds_every_item_client_side() {
+    // An already-expired budget must shed each item before any bytes
+    // move: the session survives, every outcome is `DeadlineExpired`,
+    // and the server never sees a request.
+    let scaled = mlp_model("deadline-zero-mlp", &[4, 6, 3]);
+    let mut config = NetConfig::small_test(128);
+    config.item_deadline = Some(std::time::Duration::ZERO);
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let inputs = stream_inputs(5, 4);
+    let (outcomes, report) =
+        session.infer_stream_partial(&inputs).expect("the session survives total expiry");
+    assert!(
+        outcomes.iter().all(|o| matches!(
+            o,
+            ItemOutcome::Failed { kind: ItemErrorKind::DeadlineExpired, .. }
+        )),
+        "every item must expire"
+    );
+    let transport = report.transport.expect("transport stats");
+    assert_eq!(transport.deadline_expired, 5);
+
+    // The strict API turns the same per-item expiry into a hard error.
+    let err = session.infer_stream(&inputs).expect_err("strict mode rejects expired items");
+    assert!(err.to_string().contains("DeadlineExpired"), "{err}");
+    assert!(session.shutdown().clean_shutdown);
+
+    let server_report = server.join().expect("server thread");
+    assert_eq!(server_report.requests, 0, "expired items never reach the wire");
+    assert_eq!(server_report.deadline_expired, 0, "the shed happened client-side");
+    assert!(server_report.clean_shutdown);
+}
+
+#[test]
+fn sub_millisecond_budget_expires_at_the_server() {
+    // A 1ms budget survives the client's own pre-send check (local prep
+    // is microseconds) but truncates to a zero-millisecond remaining
+    // budget on the wire, so the *server* sheds the item with a per-item
+    // `DeadlineExpired` reply — and the session keeps streaming.
+    let scaled = mlp_model("deadline-wire-mlp", &[4, 6, 3]);
+    let mut config = NetConfig::small_test(128);
+    config.item_deadline = Some(std::time::Duration::from_millis(1));
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let inputs = stream_inputs(16, 4);
+    let (outcomes, _) =
+        session.infer_stream_partial(&inputs).expect("the session survives total expiry");
+    assert!(
+        outcomes.iter().all(|o| matches!(
+            o,
+            ItemOutcome::Failed { kind: ItemErrorKind::DeadlineExpired, .. }
+        )),
+        "every item must expire — a 1ms budget cannot fund a Paillier round trip"
+    );
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown);
+    assert_eq!(transport.deadline_expired, 16);
+
+    let server_report = server.join().expect("server thread");
+    assert!(server_report.clean_shutdown);
+    assert!(
+        server_report.deadline_expired > 0,
+        "at least one expiry must be the server's verdict (budget arrived already spent)"
+    );
+    assert!(server_report.deadline_expired <= 16);
+    assert_eq!(server_report.requests, 0, "no item's linear rounds ever complete");
+}
+
+#[test]
+fn generous_deadline_and_watchdog_leave_the_stream_untouched() {
+    // Deadline stamping rides every linear-round frame: with a generous
+    // budget and stall window the deployment must behave exactly as if
+    // both were off — bit-identical results, zero overload counters.
+    let scaled = mlp_model("deadline-ok-mlp", &[6, 10, 3]);
+    let mut config = NetConfig::small_test(128);
+    config.item_deadline = Some(std::time::Duration::from_secs(30));
+    config.stall_window = Some(std::time::Duration::from_secs(30));
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let inputs = stream_inputs(3, 6);
+    let (classes, report) = session.classify_stream(&inputs).expect("networked inference");
+    let transport = report.transport.expect("transport stats");
+    assert_eq!(transport.deadline_expired, 0);
+    assert_eq!(transport.stalls, 0);
+    assert_eq!(transport.shed, 0);
+    assert_eq!(transport.quarantined, 0);
+    assert!(session.shutdown().clean_shutdown);
+
+    let server_report = server.join().expect("server thread");
+    assert_eq!(server_report.requests as usize, inputs.len());
+    assert_eq!(server_report.deadline_expired + server_report.shed + server_report.quarantined, 0);
+    assert!(server_report.clean_shutdown);
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.classify_stream(&inputs).expect("in-process inference");
+    assert_eq!(classes, want, "deadline stamping must not perturb the protocol");
+}
+
+#[test]
+fn zero_inflight_cap_sheds_every_item() {
+    // With the per-session in-flight cap at zero, every round-0 arrival
+    // is over the cap: the server must answer each with a per-item
+    // `Shed` reply instead of queueing or failing the session.
+    let scaled = mlp_model("shed-mlp", &[4, 6, 3]);
+    let mut config = NetConfig::small_test(128);
+    config.max_inflight_items = 0;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let inputs = stream_inputs(4, 4);
+    let (outcomes, _) =
+        session.infer_stream_partial(&inputs).expect("the session survives total shedding");
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| matches!(o, ItemOutcome::Failed { kind: ItemErrorKind::Shed, .. })),
+        "every item must be shed at a zero cap"
+    );
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown);
+    assert_eq!(transport.shed, 4);
+
+    let server_report = server.join().expect("server thread");
+    assert!(server_report.clean_shutdown);
+    assert_eq!(server_report.shed, transport.shed, "both sides count every shed item");
+    assert_eq!(server_report.requests, 0);
 }
