@@ -1,0 +1,206 @@
+//! **Kernel microbenchmark** — the fused Montgomery multi-exponentiation
+//! dot kernel versus the naive per-term `mul_scalar`/`add` fold, plus the
+//! encryption hot path (inline vs pooled `r^n`).
+//!
+//! Writes machine-readable results to `BENCH_paillier.json` (override
+//! with `PP_BENCH_OUT`) and asserts along the way that the fused kernel
+//! is *bit-identical* to the naive fold — a benchmark that silently
+//! benchmarked a wrong kernel would be worse than none.
+//!
+//! ```sh
+//! cargo run -p pp-bench --release --bin bench_kernels            # full
+//! cargo run -p pp-bench --release --bin bench_kernels -- --smoke # CI gate
+//! ```
+//!
+//! Full mode sweeps `PP_KEY_BITS ∈ {256, 2048}` (or just `PP_KEY_BITS`
+//! when set) and dot lengths {9, 64, 256, 1024} with ~25% negative
+//! weights. Smoke mode (also `PP_BENCH_SMOKE=1`) runs 256-bit keys at
+//! lengths {9, 64} and fails if the fused kernel is not at least as fast
+//! as the naive fold — the CI regression gate for the kernel.
+
+use pp_paillier::{Ciphertext, Keypair, PublicKey, RandomnessPool};
+use pp_stream_runtime::WorkerPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark row destined for the JSON report.
+struct Sample {
+    key_bits: usize,
+    op: &'static str,
+    /// Dot-product length; 0 for per-ciphertext ops.
+    len: usize,
+    ns_per_op: u128,
+    ops_per_sec: f64,
+}
+
+/// Times `f` `reps` times and returns the *minimum* per-op duration
+/// (noise-robust for CPU-bound work), where each rep performs `ops`
+/// operations.
+fn time_min<F: FnMut()>(reps: usize, ops: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best / ops.max(1) as u32
+}
+
+fn record(out: &mut Vec<Sample>, key_bits: usize, op: &'static str, len: usize, per_op: Duration) {
+    let ns = per_op.as_nanos().max(1);
+    out.push(Sample { key_bits, op, len, ns_per_op: ns, ops_per_sec: 1e9 / ns as f64 });
+    let len_tag = if len > 0 { format!(" len={len}") } else { String::new() };
+    println!("  {key_bits:>4}-bit {op:<14}{len_tag:<10} {:>12} ns/op", ns);
+}
+
+/// Signed weights with ~25% negative entries — the mix a trained layer
+/// actually feeds the kernel (all-positive would skip the `modinv` path).
+fn weights(rng: &mut StdRng, len: usize) -> Vec<i64> {
+    (0..len)
+        .map(|_| {
+            let mag = rng.gen_range(1i64..1_000_000);
+            if rng.gen_bool(0.25) {
+                -mag
+            } else {
+                mag
+            }
+        })
+        .collect()
+}
+
+/// The pre-kernel linear fold: one `pow_mod` and one `mul_mod` per term.
+fn naive_dot(pk: &PublicKey, cts: &[Ciphertext], ws: &[i64]) -> Ciphertext {
+    let mut acc = pk.encrypt_constant_i64(0);
+    for (c, &w) in cts.iter().zip(ws) {
+        acc = pk.add(&acc, &pk.mul_scalar_i64(c, w));
+    }
+    acc
+}
+
+fn bench_key_size(bits: usize, lens: &[usize], smoke: bool, out: &mut Vec<Sample>) {
+    let mut rng = StdRng::seed_from_u64(bits as u64 ^ 0xD07);
+    let kp = Keypair::generate(bits, &mut rng);
+    let pk = kp.public();
+    let enc_reps = if bits >= 2048 { 3 } else { 8 };
+    let enc_ops = if bits >= 2048 { 4 } else { 64 };
+
+    // Inline encryption: r^n computed on the request path.
+    let ms: Vec<i64> = (0..enc_ops).map(|_| rng.gen_range(-1000i64..1000)).collect();
+    let per = time_min(enc_reps, enc_ops, || {
+        for &m in &ms {
+            std::hint::black_box(pk.encrypt_i64(m, &mut rng));
+        }
+    });
+    record(out, bits, "encrypt", 0, per);
+
+    // Pooled encryption: r^n precomputed off-path (untimed refill); the
+    // timed section is what a streaming client pays per input element.
+    let workers = WorkerPool::new(4);
+    let mut pool = RandomnessPool::new(kp.public());
+    let mut pool_rng = StdRng::seed_from_u64(bits as u64 ^ 0xF00D);
+    pool.refill_parallel(enc_ops * enc_reps, &workers, bits as u64 ^ 0xF2);
+    let per = time_min(enc_reps, enc_ops, || {
+        for &m in &ms {
+            std::hint::black_box(pool.encrypt_i64(m, &mut pool_rng));
+        }
+    });
+    assert_eq!(pool.misses(), 0, "pooled bench must not fall back to inline r^n");
+    record(out, bits, "encrypt_pooled", 0, per);
+
+    // Scalar multiply: the unit the naive fold is built from.
+    let ct = pk.encrypt_i64(7, &mut rng);
+    let mul_ops = if bits >= 2048 { 8 } else { 128 };
+    let per = time_min(enc_reps, mul_ops, || {
+        for i in 0..mul_ops {
+            std::hint::black_box(pk.mul_scalar_i64(&ct, 999_983 + i as i64));
+        }
+    });
+    record(out, bits, "mul_scalar_i64", 0, per);
+
+    // Naive vs fused dot product across layer widths.
+    for &len in lens {
+        let cts: Vec<Ciphertext> =
+            (0..len).map(|_| pk.encrypt_i64(rng.gen_range(-500i64..500), &mut rng)).collect();
+        let ws = weights(&mut rng, len);
+
+        // Bit-identity first: a fast wrong kernel must fail loudly here.
+        let naive_ct = naive_dot(&pk, &cts, &ws);
+        let fused_ct = pk.dot_i64(&cts, &ws);
+        assert_eq!(
+            fused_ct.raw(),
+            naive_ct.raw(),
+            "fused dot diverged from naive fold at {bits} bits, len {len}"
+        );
+
+        let dot_reps = if bits >= 2048 { 2 } else { 4 };
+        let naive_per = time_min(dot_reps, 1, || {
+            std::hint::black_box(naive_dot(&pk, &cts, &ws));
+        });
+        record(out, bits, "dot_naive", len, naive_per);
+        let fused_per = time_min(dot_reps, 1, || {
+            std::hint::black_box(pk.dot_i64(&cts, &ws));
+        });
+        record(out, bits, "dot_fused", len, fused_per);
+        let speedup = naive_per.as_secs_f64() / fused_per.as_secs_f64().max(1e-12);
+        println!("       dot len={len}: fused is {speedup:.2}x naive");
+        if smoke {
+            assert!(
+                fused_per <= naive_per,
+                "kernel regression: fused dot ({fused_per:?}) slower than naive \
+                 ({naive_per:?}) at {bits} bits, len {len}"
+            );
+        }
+    }
+}
+
+fn write_json(path: &str, mode: &str, samples: &[Sample]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"paillier_kernels\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"key_bits\": {}, \"op\": \"{}\", \"len\": {}, \
+             \"ns_per_op\": {}, \"ops_per_sec\": {:.1}}}{comma}",
+            r.key_bits, r.op, r.len, r.ns_per_op, r.ops_per_sec
+        );
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write benchmark JSON");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("PP_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let out_path =
+        std::env::var("PP_BENCH_OUT").unwrap_or_else(|_| "BENCH_paillier.json".into());
+
+    let key_sizes: Vec<usize> = if smoke {
+        vec![256]
+    } else if let Ok(v) = std::env::var("PP_KEY_BITS") {
+        vec![v.parse().expect("PP_KEY_BITS must be an integer")]
+    } else {
+        vec![256, 2048]
+    };
+    let lens: &[usize] = if smoke { &[9, 64] } else { &[9, 64, 256, 1024] };
+
+    println!(
+        "=== Paillier kernel benchmark ({}) ===",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut samples = Vec::new();
+    for &bits in &key_sizes {
+        println!("\nkey size {bits} bits:");
+        bench_key_size(bits, lens, smoke, &mut samples);
+    }
+    write_json(&out_path, if smoke { "smoke" } else { "full" }, &samples);
+    if smoke {
+        println!("smoke gate passed: fused dot ≤ naive at every length");
+    }
+}

@@ -22,6 +22,15 @@ pub struct MontgomeryCtx {
     r2_mod_n: Vec<Limb>,
 }
 
+/// Reusable CIOS accumulator for the in-place Montgomery operations.
+/// Obtain one from [`MontgomeryCtx::scratch`]; the buffer is sized for
+/// the limb width of the context that created it and must not be shared
+/// across contexts of different widths.
+#[derive(Clone, Debug)]
+pub struct MontScratch {
+    t: Vec<Limb>,
+}
+
 /// Computes `-n^{-1} mod 2^64` for odd `n0` via Newton–Hensel lifting.
 fn neg_inv_u64(n0: Limb) -> Limb {
     debug_assert!(n0 & 1 == 1);
@@ -67,14 +76,26 @@ impl MontgomeryCtx {
         BigUint::from_limbs(self.n.clone())
     }
 
-    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
-    /// `a` and `b` must be padded to `k` limbs and `< n`.
-    fn mont_mul(&self, a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    /// A scratch buffer sized for this context's CIOS accumulator, so the
+    /// in-place Montgomery operations can run without per-call allocation.
+    pub fn scratch(&self) -> MontScratch {
+        MontScratch { t: vec![0 as Limb; self.n.len() + 2] }
+    }
+
+    /// `1` in Montgomery form (`R mod n`) — the neutral element for
+    /// [`MontgomeryCtx::mont_mul_inplace`] ladders.
+    pub fn one_mont(&self) -> Vec<Limb> {
+        self.r_mod_n.clone()
+    }
+
+    /// CIOS core: accumulates `a·b·R^{-1}` into `t` (length `k + 2`),
+    /// leaving the possibly-unreduced result in `t[..=k]`.
+    fn cios(&self, a: &[Limb], b: &[Limb], t: &mut [Limb]) {
         let k = self.n.len();
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(b.len(), k);
-        // t has k+2 limbs: accumulator for the interleaved reduce.
-        let mut t = vec![0 as Limb; k + 2];
+        debug_assert_eq!(t.len(), k + 2);
+        t.fill(0);
         for &bi in b {
             // t += a * bi
             let mut carry: u128 = 0;
@@ -101,16 +122,45 @@ impl MontgomeryCtx {
             t[k] = t[k + 1].wrapping_add((s >> 64) as Limb);
             t[k + 1] = 0;
         }
-        // Final conditional subtraction: t may be in [0, 2n). When the
-        // carry limb t[k] is set, t[..k] alone is below n and the
-        // subtraction borrows out of that implicit high limb — the
-        // wrapped low limbs are exactly t - n.
-        let mut out = t[..k].to_vec();
-        if t[k] != 0 || ge(&out, &self.n) {
-            let borrow = sub_in_place(&mut out, &self.n);
+    }
+
+    /// Final conditional subtraction of the CIOS pass: `t` may be in
+    /// `[0, 2n)`. When the carry limb `t[k]` is set, `t[..k]` alone is
+    /// below `n` and the subtraction borrows out of that implicit high
+    /// limb — the wrapped low limbs are exactly `t - n`.
+    fn reduce(&self, t: &[Limb], out: &mut [Limb]) {
+        let k = self.n.len();
+        out.copy_from_slice(&t[..k]);
+        if t[k] != 0 || ge(out, &self.n) {
+            let borrow = sub_in_place(out, &self.n);
             debug_assert_eq!(borrow, t[k]);
         }
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
+    /// `a` and `b` must be padded to `k` limbs and `< n`.
+    fn mont_mul(&self, a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+        let mut scratch = self.scratch();
+        let mut out = vec![0 as Limb; self.n.len()];
+        self.cios(a, b, &mut scratch.t);
+        self.reduce(&scratch.t, &mut out);
         out
+    }
+
+    /// In-place Montgomery multiplication `acc ← acc·b·R^{-1} mod n`.
+    /// Both operands are Montgomery-domain residues padded to `k` limbs;
+    /// `scratch` comes from [`MontgomeryCtx::scratch`] and is reused
+    /// across calls, so a ladder allocates nothing per step.
+    pub fn mont_mul_inplace(&self, acc: &mut [Limb], b: &[Limb], scratch: &mut MontScratch) {
+        self.cios(acc, b, &mut scratch.t);
+        self.reduce(&scratch.t, acc);
+    }
+
+    /// In-place Montgomery squaring `acc ← acc²·R^{-1} mod n`.
+    pub fn mont_sqr_inplace(&self, acc: &mut [Limb], scratch: &mut MontScratch) {
+        let a: &[Limb] = acc;
+        self.cios(a, a, &mut scratch.t);
+        self.reduce(&scratch.t, acc);
     }
 
     /// Converts `x < n` into Montgomery form (`x·R mod n`).
@@ -144,35 +194,36 @@ impl MontgomeryCtx {
 
         // Short exponents (PP-Stream's scaled weights are ~10–24 bits):
         // plain square-and-multiply beats paying for the window table.
+        let mut scratch = self.scratch();
         let bits = exp.bit_len();
         if bits <= 32 {
             let mut acc = bm.clone();
             for i in (0..bits - 1).rev() {
-                acc = self.mont_mul(&acc, &acc);
+                self.mont_sqr_inplace(&mut acc, &mut scratch);
                 if exp.bit(i) {
-                    acc = self.mont_mul(&acc, &bm);
+                    self.mont_mul_inplace(&mut acc, &bm, &mut scratch);
                 }
             }
             return self.from_mont(&acc);
         }
 
         // Precompute bm^0..bm^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
+        let mut table: Vec<Vec<Limb>> = Vec::with_capacity(16);
         table.push(self.r_mod_n.clone()); // 1 in Montgomery form
         table.push(bm.clone());
         for i in 2..16 {
-            let prev: &Vec<Limb> = &table[i - 1];
-            table.push(self.mont_mul(prev, &bm));
+            let mut next = table[i - 1].clone();
+            self.mont_mul_inplace(&mut next, &bm, &mut scratch);
+            table.push(next);
         }
 
-        let bits = exp.bit_len();
         let windows = bits.div_ceil(4);
         let mut acc = self.r_mod_n.clone();
         let mut started = false;
         for w in (0..windows).rev() {
             if started {
                 for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
+                    self.mont_sqr_inplace(&mut acc, &mut scratch);
                 }
             }
             let mut digit = 0usize;
@@ -184,10 +235,12 @@ impl MontgomeryCtx {
                 }
             }
             if digit != 0 {
-                acc = self.mont_mul(&acc, &table[digit]);
-                started = true;
-            } else if started {
-                // squarings already applied
+                if started {
+                    self.mont_mul_inplace(&mut acc, &table[digit], &mut scratch);
+                } else {
+                    acc.copy_from_slice(&table[digit]);
+                    started = true;
+                }
             }
         }
         if !started {
@@ -195,6 +248,111 @@ impl MontgomeryCtx {
             return BigUint::one();
         }
         self.from_mont(&acc)
+    }
+
+    /// Straus/interleaved multi-exponentiation `Π bᵢ^{eᵢ} mod n` over
+    /// Montgomery-domain bases, returning a Montgomery-domain result.
+    ///
+    /// All bases share a single squaring ladder: the ladder costs
+    /// `max_bits` squarings **total** instead of per base, which is the
+    /// whole win for encrypted dot products where one accumulator
+    /// absorbs dozens-to-thousands of small-exponent terms. Each base
+    /// pays only its windowed table (`2^w − 2` multiplies) plus one
+    /// multiply per non-zero window digit.
+    ///
+    /// Bases with a zero exponent are skipped entirely (no table, no
+    /// digit scan). An empty or all-zero input yields `1` in Montgomery
+    /// form.
+    pub fn pow_mod_multi_mont(&self, bases: &[&[Limb]], exps: &[u64]) -> Vec<Limb> {
+        debug_assert_eq!(bases.len(), exps.len());
+        let k = self.n.len();
+        let active: Vec<(usize, u64)> = exps
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e != 0)
+            .map(|(i, &e)| (i, e))
+            .collect();
+        if active.is_empty() {
+            return self.one_mont();
+        }
+        let mut scratch = self.scratch();
+        let max_bits = active
+            .iter()
+            .map(|&(_, e)| 64 - e.leading_zeros() as usize)
+            .max()
+            .expect("active is non-empty");
+        let w = multi_exp_window(max_bits);
+        let table_len = 1usize << w;
+
+        // Per-base windowed tables b^1 .. b^(2^w - 1); slot 0 unused.
+        let mut tables: Vec<Vec<Vec<Limb>>> = Vec::with_capacity(active.len());
+        for &(i, _) in &active {
+            let b = bases[i];
+            debug_assert_eq!(b.len(), k);
+            let mut tbl: Vec<Vec<Limb>> = Vec::with_capacity(table_len);
+            tbl.push(Vec::new());
+            tbl.push(b.to_vec());
+            for j in 2..table_len {
+                let mut next = tbl[j - 1].clone();
+                self.mont_mul_inplace(&mut next, b, &mut scratch);
+                tbl.push(next);
+            }
+            tables.push(tbl);
+        }
+
+        let windows = max_bits.div_ceil(w);
+        let digit_mask = (1u64 << w) - 1;
+        let mut acc = vec![0 as Limb; k];
+        let mut started = false;
+        for win in (0..windows).rev() {
+            if started {
+                for _ in 0..w {
+                    self.mont_sqr_inplace(&mut acc, &mut scratch);
+                }
+            }
+            for (slot, &(_, e)) in active.iter().enumerate() {
+                let digit = ((e >> (win * w)) & digit_mask) as usize;
+                if digit != 0 {
+                    if started {
+                        self.mont_mul_inplace(&mut acc, &tables[slot][digit], &mut scratch);
+                    } else {
+                        acc.copy_from_slice(&tables[slot][digit]);
+                        started = true;
+                    }
+                }
+            }
+        }
+        debug_assert!(started, "at least one non-zero exponent implies a non-empty ladder");
+        acc
+    }
+
+    /// Multi-exponentiation `Π bᵢ^{eᵢ} mod n` over ordinary residues —
+    /// the convenience wrapper around [`MontgomeryCtx::pow_mod_multi_mont`]
+    /// that pays one domain conversion per base.
+    pub fn pow_mod_multi(&self, bases: &[BigUint], exps: &[u64]) -> BigUint {
+        assert_eq!(bases.len(), exps.len(), "bases/exps length mismatch");
+        let n = self.modulus();
+        let monts: Vec<Vec<Limb>> = bases
+            .iter()
+            .map(|b| self.to_mont(&b.rem_ref(&n).expect("n > 1")))
+            .collect();
+        let refs: Vec<&[Limb]> = monts.iter().map(|m| m.as_slice()).collect();
+        self.from_mont(&self.pow_mod_multi_mont(&refs, exps))
+    }
+}
+
+/// Window width for the interleaved ladder, chosen by the largest
+/// exponent's bit length: per base the table costs `2^w − 2` multiplies
+/// while wider windows save ladder multiplies, so small exponents (the
+/// common case — quantized NN weights are ≲ 24 bits) want narrow
+/// windows.
+fn multi_exp_window(max_bits: usize) -> usize {
+    if max_bits <= 16 {
+        1
+    } else if max_bits <= 40 {
+        2
+    } else {
+        4
     }
 }
 
@@ -299,6 +457,75 @@ mod tests {
             ctx.pow_mod(&BigUint::from(205u64), &BigUint::from(2u64)).to_u64(),
             Some(9) // (205 mod 101)² = 3² = 9
         );
+    }
+
+    #[test]
+    fn multi_exp_matches_iterated_pow() {
+        let p = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let bases: Vec<BigUint> =
+            [2u64, 3, 65537, 999_999_999, 12345].iter().map(|&b| BigUint::from(b)).collect();
+        let exps: [u64; 5] = [1, 77, 0, 300_000, u64::MAX];
+        let got = ctx.pow_mod_multi(&bases, &exps);
+        let mut want = BigUint::one();
+        for (b, &e) in bases.iter().zip(exps.iter()) {
+            let term = ctx.pow_mod(b, &BigUint::from(e));
+            want = ctx.mul_mod(&want, &term);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multi_exp_empty_and_all_zero() {
+        let p = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        assert!(ctx.pow_mod_multi(&[], &[]).is_one());
+        let bases = vec![BigUint::from(5u64), BigUint::from(7u64)];
+        assert!(ctx.pow_mod_multi(&bases, &[0, 0]).is_one());
+    }
+
+    #[test]
+    fn multi_exp_single_base_all_windows() {
+        // One base exercises each window width: ≤16-bit, ≤40-bit, 64-bit.
+        let p = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        for e in [1u64, 2, 65535, 65536, (1 << 40) - 1, 1 << 40, u64::MAX] {
+            let got = ctx.pow_mod_multi(&[BigUint::from(3u64)], &[e]);
+            let want = ctx.pow_mod(&BigUint::from(3u64), &BigUint::from(e));
+            assert_eq!(got, want, "e={e}");
+        }
+    }
+
+    #[test]
+    fn multi_exp_mont_domain_roundtrip() {
+        // Exercise the Montgomery-domain entry point directly with
+        // reused scratch-domain bases, as the paillier dot kernel does.
+        let p = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let b1 = ctx.to_mont(&BigUint::from(123u64));
+        let b2 = ctx.to_mont(&BigUint::from(456u64));
+        let acc = ctx.pow_mod_multi_mont(&[&b1, &b2], &[10, 20]);
+        let want = ctx.mul_mod(
+            &ctx.pow_mod(&BigUint::from(123u64), &BigUint::from(10u64)),
+            &ctx.pow_mod(&BigUint::from(456u64), &BigUint::from(20u64)),
+        );
+        assert_eq!(ctx.from_mont(&acc), want);
+    }
+
+    #[test]
+    fn inplace_ops_match_by_value_api() {
+        let n = BigUint::from_hex_str("f123456789abcdef0011223344556678").unwrap();
+        let n = if n.is_even() { &n + &BigUint::one() } else { n };
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let mut scratch = ctx.scratch();
+        let a = ctx.to_mont(&BigUint::from(0xdead_beefu64));
+        let b = ctx.to_mont(&BigUint::from(0x1234_5678u64));
+        let mut acc = a.clone();
+        ctx.mont_mul_inplace(&mut acc, &b, &mut scratch);
+        assert_eq!(ctx.from_mont(&acc), ctx.mul_mod(&BigUint::from(0xdead_beefu64), &BigUint::from(0x1234_5678u64)));
+        let mut sq = a.clone();
+        ctx.mont_sqr_inplace(&mut sq, &mut scratch);
+        assert_eq!(ctx.from_mont(&sq), ctx.mul_mod(&BigUint::from(0xdead_beefu64), &BigUint::from(0xdead_beefu64)));
     }
 
     #[test]

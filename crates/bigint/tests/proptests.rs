@@ -1,7 +1,7 @@
 //! Property-based tests for `pp-bigint`: algebraic laws, cross-validation
 //! against native `u128` arithmetic, and roundtrips.
 
-use pp_bigint::{BigInt, BigUint};
+use pp_bigint::{BigInt, BigUint, MontgomeryCtx};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary BigUint of up to 6 limbs.
@@ -149,5 +149,33 @@ proptest! {
         let got = BigUint::from(a).low_bits(bits);
         let want = if bits >= 128 { a } else { a & ((1u128 << bits) - 1) };
         prop_assert_eq!(got.to_u128(), Some(want));
+    }
+
+    /// Multi-exponentiation over a shared squaring ladder must match the
+    /// product of independent single-base `pow_mod` calls for any mix of
+    /// base count (1–8) and exponent magnitude (including zeros, which
+    /// exercise the skip path and the started-flag logic).
+    #[test]
+    fn multi_exp_matches_iterated_pow(
+        m in any::<u64>().prop_map(|x| (x | 1).max(3)),
+        pairs in proptest::collection::vec(
+            (any::<u64>(), prop_oneof![Just(0u64), 0u64..64, any::<u64>()]),
+            1..=8,
+        ),
+    ) {
+        let n = BigUint::from(m);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let bases: Vec<BigUint> =
+            pairs.iter().map(|(b, _)| BigUint::from(*b)).collect();
+        let exps: Vec<u64> = pairs.iter().map(|(_, e)| *e).collect();
+
+        let fused = ctx.pow_mod_multi(&bases, &exps);
+
+        let mut want = BigUint::one().rem_ref(&n).unwrap();
+        for (b, &e) in bases.iter().zip(&exps) {
+            let term = ctx.pow_mod(&b.rem_ref(&n).unwrap(), &BigUint::from(e));
+            want = ctx.mul_mod(&want, &term);
+        }
+        prop_assert_eq!(fused, want);
     }
 }

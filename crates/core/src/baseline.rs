@@ -75,7 +75,7 @@ pub fn cipher_base(
     let intra = Arc::new(AtomicU64::new(0));
     let n_linear = stages.iter().filter(|s| s.role == StageRole::Linear).count();
 
-    let encrypt = EncryptStage { pk: keypair.public(), seed };
+    let encrypt = EncryptStage { pk: keypair.public(), seed, rand_pool: None };
     let mut linear_execs = Vec::new();
     let mut nonlinear_execs = Vec::new();
     let mut linear_idx = 0usize;

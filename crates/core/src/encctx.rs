@@ -1,7 +1,7 @@
 //! Homomorphic arithmetic back-end for the shared layer kernels.
 
-use pp_paillier::{Ciphertext, PublicKey};
-use pp_tensor::LinearAlgebra;
+use pp_paillier::{Ciphertext, MontInputs, PublicKey};
+use pp_tensor::{DotRow, LinearAlgebra};
 
 /// [`LinearAlgebra`] over Paillier ciphertexts: the model provider's view
 /// of a linear layer. `weight × element` is `E(m)^w mod n²` and
@@ -27,6 +27,21 @@ impl LinearAlgebra for EncCtx<'_> {
 
     fn constant(&self, w: i64) -> Ciphertext {
         self.pk.encrypt_constant_i64(w)
+    }
+
+    /// Fused dot product via Straus multi-exponentiation — one shared
+    /// squaring ladder across every term and a single `modinv` for the
+    /// negative-weight product, bit-identical to the mul/add fold.
+    fn dot(&self, elems: &[Ciphertext], terms: &[(usize, i64)], bias: i64) -> Ciphertext {
+        MontInputs::new(self.pk, elems).dot_i64(terms, bias)
+    }
+
+    /// A layer's worth of fused dot products sharing one set of
+    /// Montgomery conversions: each input ciphertext enters the residue
+    /// domain once, no matter how many output neurons read it.
+    fn dot_rows(&self, elems: &[Ciphertext], rows: &[DotRow<i64>]) -> Vec<Ciphertext> {
+        let inputs = MontInputs::new(self.pk, elems);
+        rows.iter().map(|r| inputs.dot_i64(&r.terms, r.bias)).collect()
     }
 }
 
@@ -88,5 +103,36 @@ mod tests {
         for (c, &want) in enc_out.data().iter().zip(plain_out.data()) {
             assert_eq!(kp.private().decrypt_i128(c), want);
         }
+    }
+
+    #[test]
+    fn fused_dot_bit_identical_to_mul_add_fold() {
+        // The override must produce the exact residues of the default
+        // mul/add fold, not just values that decrypt equally — the
+        // deployment bit-for-bit soaks depend on it.
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = Keypair::generate(128, &mut rng);
+        let pk = kp.public();
+        let ctx = EncCtx { pk: &pk };
+
+        let ms = [4i64, 0, -9, 17, -1];
+        let cts: Vec<Ciphertext> = ms.iter().map(|&m| pk.encrypt_i64(m, &mut rng)).collect();
+        let terms: Vec<(usize, i64)> = vec![(0, 3), (1, -5), (2, 0), (3, -2), (4, 7)];
+        let bias = -11i64;
+
+        let fused = ctx.dot(&cts, &terms, bias);
+        let mut naive = ctx.constant(bias);
+        for &(i, w) in &terms {
+            naive = ctx.add(&naive, &ctx.mul(w, &cts[i]));
+        }
+        assert_eq!(fused.raw(), naive.raw());
+
+        let rows = vec![
+            pp_tensor::DotRow { bias, terms: terms.clone() },
+            pp_tensor::DotRow { bias: 0, terms: vec![(2, -4)] },
+        ];
+        let batched = ctx.dot_rows(&cts, &rows);
+        assert_eq!(batched[0].raw(), naive.raw());
+        assert_eq!(batched[1].raw(), ctx.mul(-4, &cts[2]).raw());
     }
 }

@@ -71,7 +71,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use pp_bigint::BigUint;
 use pp_nn::scaling::{ScaledModel, ScaledOp};
-use pp_paillier::{Keypair, PublicKey};
+use pp_paillier::{Keypair, PublicKey, RandomnessPool};
 #[cfg(feature = "fault-injection")]
 use pp_stream_runtime::fault::{FaultPlan, FaultReceiver, FaultSender, FaultState};
 use pp_stream_runtime::link::Frame;
@@ -1351,6 +1351,9 @@ pub struct NetworkedSession {
     scaled: ScaledModel,
     steps: Vec<ClientStep>,
     encrypt: EncryptStage,
+    /// Precomputed `r^n` blinding factors, refilled per stream off the
+    /// request path (shared with `encrypt`).
+    rand_pool: Arc<Mutex<RandomnessPool>>,
     pool: WorkerPool,
     transport: TransportReport,
     session: u64,
@@ -1527,6 +1530,7 @@ impl NetworkedSession {
         let fault = fault_hook(config);
         let (tx, rx) = wrap_transport(tx, rx, &fault);
 
+        let rand_pool = Arc::new(Mutex::new(RandomnessPool::new(keypair.public())));
         Ok(NetworkedSession {
             tx,
             rx,
@@ -1534,7 +1538,12 @@ impl NetworkedSession {
             tcp: config.tcp.clone(),
             scaled,
             steps,
-            encrypt: EncryptStage { pk: keypair.public(), seed: config.seed ^ 0x0E2C },
+            encrypt: EncryptStage {
+                pk: keypair.public(),
+                seed: config.seed ^ 0x0E2C,
+                rand_pool: Some(Arc::clone(&rand_pool)),
+            },
+            rand_pool,
             pool: WorkerPool::new(config.threads.max(1)),
             transport,
             session,
@@ -1617,6 +1626,13 @@ impl NetworkedSession {
             return Err(CoreError::Runtime("no inputs".into()));
         }
         let t_run = Instant::now();
+        // Precompute the stream's worth of `r^n` blinding factors in
+        // parallel before the first request, so per-item encryption is a
+        // cheap multiply on the request path.
+        {
+            let need = inputs.len() * self.scaled.input_shape().len();
+            self.rand_pool.lock().refill_parallel(need, &self.pool, self.encrypt.seed ^ 0x5EED);
+        }
         let mut latencies = Vec::with_capacity(inputs.len());
         let mut outcomes = Vec::with_capacity(inputs.len());
 
@@ -1687,6 +1703,7 @@ impl NetworkedSession {
             stage_threads: vec![],
             stages: vec![],
             transport: Some(transport),
+            pool_misses: self.rand_pool.lock().misses(),
         };
         Ok((outcomes, report))
     }

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 use pp_nn::activation::sigmoid_scalar;
 use pp_nn::scaling::{div_round, ScaledOp};
 use pp_obfuscate::Permutation;
-use pp_paillier::{Ciphertext, Keypair, PublicKey};
+use pp_paillier::{Ciphertext, Keypair, PublicKey, RandomnessPool};
 use pp_stream_runtime::{Stage, StageContext, StreamError, WorkerPool};
 use pp_tensor::ops::{
     conv2d_range, conv_input_indices_for_range, fully_connected_range,
@@ -75,9 +75,17 @@ fn cts_to_bytes(cts: &[Ciphertext]) -> Vec<Vec<u8>> {
 
 /// Data provider: scales are already applied by the session; this stage
 /// encrypts every element under the data provider's public key.
+///
+/// When a [`RandomnessPool`] is attached, the expensive `r^n` blinding
+/// factors are popped from the pool (precomputed off the request path)
+/// and each element costs only `g^m` and one modular multiplication; a
+/// drained pool falls back to inline exponentiation, counted by the
+/// pool's miss statistic.
 pub struct EncryptStage {
     pub pk: PublicKey,
     pub seed: u64,
+    /// Precomputed `r^n` factors; `None` encrypts inline.
+    pub rand_pool: Option<Arc<Mutex<RandomnessPool>>>,
 }
 
 impl EncryptStage {
@@ -87,12 +95,25 @@ impl EncryptStage {
         let values: Arc<Vec<i128>> = Arc::new(msg.values);
         let seed = mix(self.seed ^ msg.seq.wrapping_mul(0x517c_c1b7));
         let n = values.len();
+        // Pop the whole batch under one short lock; workers then run
+        // lock-free. Missing factors (drained pool) fall back to inline
+        // exponentiation in the worker, and the pool counts each miss.
+        let factors: Arc<Vec<Option<pp_bigint::BigUint>>> = Arc::new(match &self.rand_pool {
+            Some(rp) => {
+                let mut rp = rp.lock();
+                (0..n).map(|_| rp.take_factor()).collect()
+            }
+            None => vec![None; n],
+        });
         let values2 = Arc::clone(&values);
         let cts: Vec<Vec<u8>> = pool.map_ranges(n, move |r| {
             let mut rng = StdRng::seed_from_u64(mix(seed ^ r.start as u64));
             r.map(|i| {
                 let v = i64::try_from(values2[i]).expect("scaled input fits i64");
-                pk.encrypt_i64(v, &mut rng).to_bytes()
+                match &factors[i] {
+                    Some(rn) => pk.encrypt_i64_with_factor(v, rn).to_bytes(),
+                    None => pk.encrypt_i64(v, &mut rng).to_bytes(),
+                }
             })
             .collect()
         });
@@ -560,7 +581,7 @@ mod tests {
         let intra = Arc::new(AtomicU64::new(0));
         let n_linear = stages.iter().filter(|s| s.role == StageRole::Linear).count();
 
-        let enc = EncryptStage { pk: kp.public(), seed: 7 };
+        let enc = EncryptStage { pk: kp.public(), seed: 7, rand_pool: None };
         let scaled_in = scaled.scale_input(input);
         let mut msg = enc.encrypt(
             PlainTensorMsg {
@@ -713,7 +734,7 @@ mod tests {
         let perms = Arc::new(PermStore::default());
         let intra = Arc::new(AtomicU64::new(0));
 
-        let enc = EncryptStage { pk: kp.public(), seed: 1 };
+        let enc = EncryptStage { pk: kp.public(), seed: 1, rand_pool: None };
         let scaled_in = scaled.scale_input(&pp_tensor::Tensor::from_flat(vec![0.1, 0.2, 0.3]));
         let msg0 = enc.encrypt(
             PlainTensorMsg {

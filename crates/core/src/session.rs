@@ -11,7 +11,8 @@ use crate::protocol::{
 use crate::CoreError;
 use pp_allocate::{even_allocation, solve, Allocation, LayerLoad, Role, ServerSpec, SolveConfig};
 use pp_nn::scaling::ScaledModel;
-use pp_paillier::Keypair;
+use parking_lot::Mutex;
+use pp_paillier::{Keypair, RandomnessPool};
 use pp_stream_runtime::{PipelineBuilder, StageReport, WorkerPool};
 use pp_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -114,6 +115,10 @@ pub struct RunReport {
     /// Socket-level statistics when the run crossed real sockets
     /// ([`crate::net::NetworkedSession`]); `None` for in-process runs.
     pub transport: Option<crate::net::TransportReport>,
+    /// Times the encrypt stage found the randomness pool drained and
+    /// paid an inline `r^n` exponentiation on the request path. A
+    /// non-zero value means the pool is undersized for the workload.
+    pub pool_misses: u64,
 }
 
 /// A ready-to-run PP-Stream deployment for one model.
@@ -421,6 +426,14 @@ impl PpStream {
     }
 
     fn build_execs(&self, mode: PartitionMode) -> Execs {
+        self.build_execs_with(mode, None)
+    }
+
+    fn build_execs_with(
+        &self,
+        mode: PartitionMode,
+        rand_pool: Option<Arc<Mutex<RandomnessPool>>>,
+    ) -> Execs {
         let perms = Arc::new(PermStore::default());
         let n_linear = self.stages.iter().filter(|s| s.role == StageRole::Linear).count();
         let mut linear_idx = 0usize;
@@ -457,6 +470,7 @@ impl PpStream {
             encrypt: Arc::new(EncryptStage {
                 pk: self.keypair.public(),
                 seed: self.config.seed ^ 0x0E2C,
+                rand_pool,
             }),
             stages,
         }
@@ -477,7 +491,16 @@ impl PpStream {
         } else {
             PartitionMode::None
         };
-        let execs = self.build_execs(mode);
+        // Precompute one r^n blinding factor per element of the batch
+        // before the stream starts — the exponentiations run across the
+        // encrypt stage's thread allocation, off the request path.
+        let rand_pool = Arc::new(Mutex::new(RandomnessPool::new(self.keypair.public())));
+        {
+            let need = inputs.len() * self.scaled.input_shape().len();
+            let workers = WorkerPool::new(self.plan.threads_for(0));
+            rand_pool.lock().refill_parallel(need, &workers, self.config.seed ^ 0x5EED);
+        }
+        let execs = self.build_execs_with(mode, Some(Arc::clone(&rand_pool)));
 
         // Assemble the typed pipeline: the encrypt stage followed by one
         // protocol stage per merged stage. `.link()` marks the hops that
@@ -564,6 +587,7 @@ impl PpStream {
             stage_threads: self.plan.threads().to_vec(),
             stages: stats.stages,
             transport: None,
+            pool_misses: rand_pool.lock().misses(),
         };
         Ok((outputs, report))
     }

@@ -1,0 +1,191 @@
+//! Fused encrypted dot products.
+//!
+//! The model provider's linear layers evaluate `Π E(mᵢ)^{wᵢ} · g^b mod n²`
+//! (paper Eq. 3). The naive path pays, per weight, a full `pow_mod` with
+//! Montgomery in/out conversions — and a `modinv` for every *negative*
+//! weight. [`MontInputs`] fuses the whole dot product:
+//!
+//! * each input ciphertext is converted to Montgomery form **once per
+//!   layer** (lazily, since conv taps touch a sparse subset) and reused by
+//!   every output neuron that reads it;
+//! * the positive-weight and negative-weight terms are each evaluated by a
+//!   single Straus interleaved multi-exponentiation
+//!   ([`pp_bigint::MontgomeryCtx::pow_mod_multi_mont`]), sharing one
+//!   squaring ladder across all bases;
+//! * negative weights are folded into one product `B = Π cᵢ^{|wᵢ⁻|}` and
+//!   inverted **once** (`A·B⁻¹`), instead of once per negative weight —
+//!   valid because `(Π cᵢ^{|wᵢ|})⁻¹ = Π (cᵢ⁻¹)^{|wᵢ|}` in `Z*_{n²}`.
+//!
+//! Every step multiplies exactly the same residues mod `n²` as the scalar
+//! mul/add loop, just reassociated — multiplication in `Z*_{n²}` is
+//! commutative — so the fused result is **bit-identical** to the naive
+//! path, and the existing end-to-end bit-for-bit assertions double as
+//! correctness gates for this kernel.
+
+use crate::ciphertext::Ciphertext;
+use crate::encoding::encode_i64;
+use crate::keys::PublicKey;
+use pp_bigint::Limb;
+use std::cell::OnceCell;
+
+/// A layer's encrypted inputs with per-ciphertext Montgomery residues,
+/// converted lazily and cached for the lifetime of the layer evaluation.
+pub struct MontInputs<'a> {
+    pk: &'a PublicKey,
+    cts: &'a [Ciphertext],
+    monts: Vec<OnceCell<Vec<Limb>>>,
+}
+
+impl<'a> MontInputs<'a> {
+    /// Wraps a layer's input ciphertexts. No conversion happens yet:
+    /// each input enters the Montgomery domain the first time a dot
+    /// product reads it (conv layers only ever touch a sparse subset).
+    pub fn new(pk: &'a PublicKey, cts: &'a [Ciphertext]) -> Self {
+        let monts = (0..cts.len()).map(|_| OnceCell::new()).collect();
+        MontInputs { pk, cts, monts }
+    }
+
+    /// Number of wrapped inputs.
+    pub fn len(&self) -> usize {
+        self.cts.len()
+    }
+
+    /// True when the layer has no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.cts.is_empty()
+    }
+
+    fn mont(&self, i: usize) -> &[Limb] {
+        self.monts[i].get_or_init(|| self.pk.ctx().to_mont(self.cts[i].raw()))
+    }
+
+    /// Fused `Σ wᵢ·mᵢ + bias` over the wrapped ciphertexts:
+    /// `terms` pairs an input index with its signed weight.
+    ///
+    /// Bit-identical to the naive
+    /// `fold(E(bias), |acc, (i, w)| acc · cᵢ^w)` loop.
+    pub fn dot_i64(&self, terms: &[(usize, i64)], bias: i64) -> Ciphertext {
+        let ctx = self.pk.ctx();
+
+        let mut pos_bases: Vec<&[Limb]> = Vec::new();
+        let mut pos_exps: Vec<u64> = Vec::new();
+        let mut neg_bases: Vec<&[Limb]> = Vec::new();
+        let mut neg_exps: Vec<u64> = Vec::new();
+        for &(i, w) in terms {
+            if w > 0 {
+                pos_bases.push(self.mont(i));
+                pos_exps.push(w as u64);
+            } else if w < 0 {
+                neg_bases.push(self.mont(i));
+                neg_exps.push(w.unsigned_abs());
+            }
+        }
+
+        // A = Π cᵢ^{wᵢ⁺} in Montgomery form (1·R when no positive terms).
+        let mut acc = ctx.pow_mod_multi_mont(&pos_bases, &pos_exps);
+        let mut scratch = ctx.scratch();
+
+        // B = Π cᵢ^{|wᵢ⁻|}, inverted once: acc ← A · B⁻¹.
+        if !neg_bases.is_empty() {
+            let b = ctx.from_mont(&ctx.pow_mod_multi_mont(&neg_bases, &neg_exps));
+            let b_inv = b
+                .modinv(self.pk.n_squared())
+                .expect("ciphertexts are units mod n²");
+            let b_inv_m = ctx.to_mont(&b_inv);
+            ctx.mont_mul_inplace(&mut acc, &b_inv_m, &mut scratch);
+        }
+
+        // g^bias = 1 + bias·n, reduction-free for encoded bias < n.
+        if bias != 0 {
+            let gb = self.pk.g_pow_encoded(&encode_i64(bias, self.pk.n()));
+            let gb_m = ctx.to_mont(&gb);
+            ctx.mont_mul_inplace(&mut acc, &gb_m, &mut scratch);
+        }
+
+        Ciphertext::new(ctx.from_mont(&acc))
+    }
+}
+
+impl PublicKey {
+    /// Fused encrypted dot product `Σ wᵢ·mᵢ` over parallel slices —
+    /// the one-shot convenience form of [`MontInputs::dot_i64`]. For a
+    /// whole layer (many dot products over the same inputs), build one
+    /// [`MontInputs`] instead so the Montgomery conversions are shared.
+    pub fn dot_i64(&self, cts: &[Ciphertext], weights: &[i64]) -> Ciphertext {
+        assert_eq!(cts.len(), weights.len(), "cts/weights length mismatch");
+        let inputs = MontInputs::new(self, cts);
+        let terms: Vec<(usize, i64)> = weights.iter().copied().enumerate().collect();
+        inputs.dot_i64(&terms, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_dot(pk: &PublicKey, cts: &[Ciphertext], terms: &[(usize, i64)], bias: i64) -> Ciphertext {
+        let mut acc = pk.encrypt_constant_i64(bias);
+        for &(i, w) in terms {
+            acc = pk.add(&acc, &pk.mul_scalar_i64(&cts[i], w));
+        }
+        acc
+    }
+
+    #[test]
+    fn fused_dot_matches_naive_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let kp = Keypair::generate(128, &mut rng);
+        let (pk, sk) = (kp.public(), kp.private());
+        let ms: Vec<i64> = (0..12).map(|_| rng.gen_range(-500i64..500)).collect();
+        let cts: Vec<_> = ms.iter().map(|&m| pk.encrypt_i64(m, &mut rng)).collect();
+        let ws: Vec<i64> = (0..12).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let inputs = MontInputs::new(&pk, &cts);
+        let terms: Vec<(usize, i64)> = ws.iter().copied().enumerate().collect();
+        for bias in [0i64, 17, -3] {
+            let fused = inputs.dot_i64(&terms, bias);
+            let naive = naive_dot(&pk, &cts, &terms, bias);
+            assert_eq!(fused.raw(), naive.raw(), "bias={bias}");
+            let want: i64 = ms.iter().zip(&ws).map(|(m, w)| m * w).sum::<i64>() + bias;
+            assert_eq!(sk.decrypt_i64(&fused), want);
+        }
+    }
+
+    #[test]
+    fn fused_dot_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let kp = Keypair::generate(128, &mut rng);
+        let pk = kp.public();
+        let cts: Vec<_> = [3i64, -5, 11].iter().map(|&m| pk.encrypt_i64(m, &mut rng)).collect();
+        let inputs = MontInputs::new(&pk, &cts);
+
+        // Empty term list is E(bias) with unit randomness.
+        let empty = inputs.dot_i64(&[], 4);
+        assert_eq!(empty.raw(), pk.encrypt_constant_i64(4).raw());
+
+        // All-zero weights equal the empty dot.
+        let zeros = inputs.dot_i64(&[(0, 0), (1, 0), (2, 0)], 4);
+        assert_eq!(zeros.raw(), empty.raw());
+
+        // All-negative and single-element cases match the naive loop.
+        for terms in [vec![(0usize, -2i64), (1, -7), (2, -1)], vec![(1, 9)], vec![(2, -4)]] {
+            let fused = inputs.dot_i64(&terms, 0);
+            let naive = naive_dot(&pk, &cts, &terms, 0);
+            assert_eq!(fused.raw(), naive.raw(), "terms={terms:?}");
+        }
+    }
+
+    #[test]
+    fn one_shot_dot_matches_mont_inputs() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let kp = Keypair::generate(128, &mut rng);
+        let (pk, sk) = (kp.public(), kp.private());
+        let ms = [10i64, -20, 30];
+        let ws = [1i64, -2, 3];
+        let cts: Vec<_> = ms.iter().map(|&m| pk.encrypt_i64(m, &mut rng)).collect();
+        let got = pk.dot_i64(&cts, &ws);
+        assert_eq!(sk.decrypt_i64(&got), 10 + 40 + 90);
+    }
+}

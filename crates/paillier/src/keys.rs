@@ -134,6 +134,15 @@ impl PublicKey {
         &self.ctx_n2
     }
 
+    /// `g^m = 1 + m·n mod n²` for an already-encoded residue `m < n`.
+    ///
+    /// No reduction is needed: `1 + m·n ≤ 1 + (n−1)·n = n² − n + 1 < n²`
+    /// whenever `m < n`, which `encode_i64` guarantees.
+    pub(crate) fn g_pow_encoded(&self, encoded: &BigUint) -> BigUint {
+        debug_assert!(encoded < &self.n, "encoded message must be reduced mod n");
+        &BigUint::one() + &encoded.mul_ref(&self.n)
+    }
+
     /// Encrypts a non-negative message `m < n` with fresh randomness.
     ///
     /// With `g = n + 1`, `g^m = 1 + m·n (mod n²)`, so encryption costs one
@@ -146,13 +155,18 @@ impl PublicKey {
     /// Encrypts with caller-provided randomness `r ∈ Z*_n` (used by
     /// [`crate::RandomnessPool`] and by deterministic tests).
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
-        debug_assert!(m < &self.n, "message must be reduced mod n");
-        // g^m = 1 + m·n mod n²
-        let gm = (&BigUint::one() + &m.mul_ref(&self.n))
-            .rem_ref(&self.n_squared)
-            .expect("n² non-zero");
+        let gm = self.g_pow_encoded(m);
         let rn = self.ctx_n2.pow_mod(r, &self.n);
         Ciphertext::new(self.ctx_n2.mul_mod(&gm, &rn))
+    }
+
+    /// Encrypts a signed message with a **precomputed** blinding factor
+    /// `rn = r^n mod n²` (the expensive half of encryption), as produced
+    /// by [`crate::RandomnessPool`]. This is the request-path entry
+    /// point when the exponentiation already happened off-path.
+    pub fn encrypt_i64_with_factor(&self, m: i64, rn: &BigUint) -> Ciphertext {
+        let gm = self.g_pow_encoded(&encode_i64(m, &self.n));
+        Ciphertext::new(self.ctx_n2.mul_mod(&gm, rn))
     }
 
     /// Encrypts a signed 64-bit message (PP-Stream's scaled values).
@@ -169,11 +183,7 @@ impl PublicKey {
     /// product) and never sent bare. Avoids one modular exponentiation per
     /// bias term.
     pub fn encrypt_constant_i64(&self, m: i64) -> Ciphertext {
-        let encoded = encode_i64(m, &self.n);
-        let gm = (&BigUint::one() + &encoded.mul_ref(&self.n))
-            .rem_ref(&self.n_squared)
-            .expect("n² non-zero");
-        Ciphertext::new(gm)
+        Ciphertext::new(self.g_pow_encoded(&encode_i64(m, &self.n)))
     }
 
     /// Homomorphic addition: `D(add(c₁, c₂)) = m₁ + m₂` (paper Eq. 1).
@@ -184,11 +194,8 @@ impl PublicKey {
     /// Homomorphic addition of a plaintext constant (no encryption of the
     /// constant needed): `D(add_plain(c, k)) = m + k`.
     pub fn add_plain_i64(&self, c: &Ciphertext, k: i64) -> Ciphertext {
-        let encoded = encode_i64(k, &self.n);
         // c · g^k = c · (1 + k·n) mod n²
-        let gk = (&BigUint::one() + &encoded.mul_ref(&self.n))
-            .rem_ref(&self.n_squared)
-            .expect("n² non-zero");
+        let gk = self.g_pow_encoded(&encode_i64(k, &self.n));
         Ciphertext::new(self.ctx_n2.mul_mod(c.raw(), &gk))
     }
 
@@ -459,5 +466,33 @@ mod tests {
     fn keypair_bits() {
         let kp = small_keypair(10);
         assert_eq!(kp.public().bits(), 128);
+    }
+
+    #[test]
+    fn encrypt_at_message_space_boundary() {
+        // m = n − 1 maximizes g^m = 1 + m·n; since 1 + (n−1)·n < n²,
+        // the reduction-free g_pow_encoded stays valid at the boundary.
+        let mut rng = StdRng::seed_from_u64(11);
+        let kp = small_keypair(11);
+        let (pk, sk) = (kp.public(), kp.private());
+        let m = pk.n() - &BigUint::one();
+        assert!(pk.g_pow_encoded(&m) < *pk.n_squared());
+        let c = pk.encrypt(&m, &mut rng);
+        assert_eq!(sk.decrypt(&c), m);
+        // The signed view of n − 1 is −1.
+        assert_eq!(sk.decrypt_i64(&c), -1);
+    }
+
+    #[test]
+    fn encrypt_with_precomputed_factor_matches_inline() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let kp = small_keypair(12);
+        let (pk, sk) = (kp.public(), kp.private());
+        let r = pp_bigint::random_coprime(&mut rng, pk.n());
+        let rn = pk.ctx().pow_mod(&r, pk.n());
+        let via_factor = pk.encrypt_i64_with_factor(-1234, &rn);
+        let inline = pk.encrypt_with_randomness(&encode_i64(-1234, pk.n()), &r);
+        assert_eq!(via_factor.raw(), inline.raw());
+        assert_eq!(sk.decrypt_i64(&via_factor), -1234);
     }
 }

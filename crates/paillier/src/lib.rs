@@ -36,6 +36,7 @@
 //! ```
 
 mod ciphertext;
+mod dot;
 mod encoding;
 mod keys;
 pub mod packing;
@@ -43,6 +44,7 @@ mod pool;
 mod serde;
 
 pub use ciphertext::Ciphertext;
+pub use dot::MontInputs;
 pub use encoding::{decode_i64, encode_i64, try_encode_i64};
 pub use keys::{Keypair, PrivateKey, PublicKey};
 pub use packing::{PackedCiphertext, PackingSpec};

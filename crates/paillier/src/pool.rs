@@ -6,22 +6,30 @@
 //! each online encryption into a single modular multiplication. This is a
 //! standard PHE deployment optimization and one of the "optional
 //! extensions" we implement beyond the paper's prototype.
+//!
+//! A drained pool never degrades *silently*: every fallback to inline
+//! exponentiation bumps [`RandomnessPool::misses`], which the pipeline
+//! surfaces through its run report so an undersized pool shows up in
+//! telemetry instead of as a mystery latency cliff.
 
 use crate::{Ciphertext, PublicKey};
 use pp_bigint::{random_coprime, BigUint};
-use rand::Rng;
+use pp_stream_runtime::pool::WorkerPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// A pool of precomputed `r^n mod n²` factors for fast online encryption.
 pub struct RandomnessPool {
     pk: PublicKey,
     factors: VecDeque<BigUint>,
+    misses: u64,
 }
 
 impl RandomnessPool {
     /// Creates an empty pool for `pk`.
     pub fn new(pk: PublicKey) -> Self {
-        RandomnessPool { pk, factors: VecDeque::new() }
+        RandomnessPool { pk, factors: VecDeque::new(), misses: 0 }
     }
 
     /// Precomputes `count` randomness factors.
@@ -33,22 +41,51 @@ impl RandomnessPool {
         }
     }
 
+    /// Precomputes `count` factors across a [`WorkerPool`], keeping the
+    /// `r^n` exponentiations off the request path. Each worker chunk
+    /// derives its own deterministic RNG from `seed` and its start
+    /// index, so the refill is reproducible regardless of how the pool
+    /// splits the range.
+    pub fn refill_parallel(&mut self, count: usize, workers: &WorkerPool, seed: u64) {
+        let pk = self.pk.clone();
+        let factors = workers.map_ranges(count, move |range| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (range.start as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            range
+                .map(|_| {
+                    let r = random_coprime(&mut rng, pk.n());
+                    pk.ctx().pow_mod(&r, pk.n())
+                })
+                .collect()
+        });
+        self.factors.extend(factors);
+    }
+
     /// Number of factors currently available.
     pub fn available(&self) -> usize {
         self.factors.len()
     }
 
+    /// Number of times an encryption found the pool empty and had to
+    /// pay an inline `r^n` exponentiation on the request path.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Pops a precomputed `r^n` factor, recording a miss when drained.
+    pub fn take_factor(&mut self) -> Option<BigUint> {
+        let f = self.factors.pop_front();
+        if f.is_none() {
+            self.misses += 1;
+        }
+        f
+    }
+
     /// Encrypts a signed message using a pooled factor; falls back to a
-    /// fresh exponentiation when the pool is empty.
+    /// fresh exponentiation when the pool is empty, counting the miss.
     pub fn encrypt_i64<R: Rng + ?Sized>(&mut self, m: i64, rng: &mut R) -> Ciphertext {
-        match self.factors.pop_front() {
-            Some(rn) => {
-                let encoded = crate::encoding::encode_i64(m, self.pk.n());
-                let gm = (&BigUint::one() + &encoded.mul_ref(self.pk.n()))
-                    .rem_ref(self.pk.n_squared())
-                    .expect("n² non-zero");
-                Ciphertext::new(self.pk.ctx().mul_mod(&gm, &rn))
-            }
+        match self.take_factor() {
+            Some(rn) => self.pk.encrypt_i64_with_factor(m, &rn),
             None => self.pk.encrypt_i64(m, rng),
         }
     }
@@ -73,9 +110,11 @@ mod tests {
             assert_eq!(kp.private().decrypt_i64(&c), m);
         }
         assert_eq!(pool.available(), 0);
-        // Fallback path when drained.
+        assert_eq!(pool.misses(), 0);
+        // Fallback path when drained is counted, not silent.
         let c = pool.encrypt_i64(-1, &mut rng);
         assert_eq!(kp.private().decrypt_i64(&c), -1);
+        assert_eq!(pool.misses(), 1);
     }
 
     #[test]
@@ -87,5 +126,44 @@ mod tests {
         let c1 = pool.encrypt_i64(9, &mut rng);
         let c2 = pool.encrypt_i64(9, &mut rng);
         assert_ne!(c1.raw(), c2.raw());
+    }
+
+    #[test]
+    fn parallel_refill_is_deterministic_and_valid() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let kp = Keypair::generate(128, &mut rng);
+        let workers = WorkerPool::new(4);
+
+        let mut a = RandomnessPool::new(kp.public());
+        a.refill_parallel(16, &workers, 0x5EED);
+        let mut b = RandomnessPool::new(kp.public());
+        b.refill_parallel(16, &workers, 0x5EED);
+        assert_eq!(a.available(), 16);
+        // Same seed → identical factor stream, independent of scheduling.
+        let fa: Vec<_> = (0..16).map(|_| a.take_factor().unwrap()).collect();
+        let fb: Vec<_> = (0..16).map(|_| b.take_factor().unwrap()).collect();
+        assert_eq!(fa, fb);
+
+        // Factors from the parallel path encrypt correctly.
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill_parallel(3, &workers, 99);
+        for m in [7i64, -42, 0] {
+            let c = pool.encrypt_i64(m, &mut rng);
+            assert_eq!(kp.private().decrypt_i64(&c), m);
+        }
+        assert_eq!(pool.misses(), 0);
+    }
+
+    #[test]
+    fn take_factor_counts_misses() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let kp = Keypair::generate(128, &mut rng);
+        let mut pool = RandomnessPool::new(kp.public());
+        assert!(pool.take_factor().is_none());
+        assert!(pool.take_factor().is_none());
+        assert_eq!(pool.misses(), 2);
+        pool.refill(1, &mut rng);
+        assert!(pool.take_factor().is_some());
+        assert_eq!(pool.misses(), 2);
     }
 }

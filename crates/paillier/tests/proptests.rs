@@ -68,4 +68,33 @@ proptest! {
         let c = pk.encrypt_i64(m as i64, &mut rng);
         prop_assert_eq!(sk.decrypt_i64(&pk.add_plain_i64(&c, k as i64)), m as i64 + k as i64);
     }
+
+    /// The fused multi-exponentiation dot kernel must be *bit-for-bit*
+    /// identical to the naive mul/add fold — not just decrypt-equal —
+    /// for arbitrary signed weights (zeros included) and biases.
+    #[test]
+    fn fused_dot_bit_identical_to_naive(
+        pairs in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 0..10),
+        bias in -1000i64..1000,
+    ) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(bias as u64 ^ (pairs.len() as u64) << 32);
+        let pk = kp.public();
+        let cts: Vec<_> =
+            pairs.iter().map(|(m, _)| pk.encrypt_i64(*m, &mut rng)).collect();
+        let terms: Vec<(usize, i64)> =
+            pairs.iter().enumerate().map(|(i, (_, w))| (i, *w)).collect();
+
+        let fused = pp_paillier::MontInputs::new(&pk, &cts).dot_i64(&terms, bias);
+
+        let mut naive = pk.encrypt_constant_i64(bias);
+        for &(i, w) in &terms {
+            naive = pk.add(&naive, &pk.mul_scalar_i64(&cts[i], w));
+        }
+        prop_assert_eq!(fused.raw(), naive.raw());
+
+        let want: i64 =
+            pairs.iter().map(|(m, w)| m * w).sum::<i64>() + bias;
+        prop_assert_eq!(kp.private().decrypt_i64(&fused), want);
+    }
 }

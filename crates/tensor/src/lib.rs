@@ -33,7 +33,7 @@ pub mod ops;
 mod shape;
 mod tensor;
 
-pub use linalg::{LinearAlgebra, PlainF64, PlainI128, PlainI64};
+pub use linalg::{DotRow, LinearAlgebra, PlainF64, PlainI128, PlainI64};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

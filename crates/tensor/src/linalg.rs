@@ -1,6 +1,19 @@
 //! The [`LinearAlgebra`] abstraction: one set of layer kernels, three
 //! arithmetic back-ends (float, scaled integer, Paillier ciphertext).
 
+/// One output element of a linear layer, described as a sparse dot
+/// product over the layer's input elements: `bias + Σ terms[k].1 ·
+/// x[terms[k].0]`. The range kernels in [`crate::ops`] lower every
+/// fully-connected / convolution output to this shape so back-ends can
+/// fuse whole dot products (see [`LinearAlgebra::dot_rows`]).
+#[derive(Clone, Debug)]
+pub struct DotRow<W> {
+    /// The additive constant of this output element.
+    pub bias: W,
+    /// `(input index, weight)` pairs in evaluation order.
+    pub terms: Vec<(usize, W)>,
+}
+
 /// Arithmetic context for the linear-layer kernels in [`crate::ops`].
 ///
 /// PP-Stream executes the *same* convolution / fully-connected /
@@ -28,6 +41,28 @@ pub trait LinearAlgebra {
     fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
     /// Introduces a constant (bias) into the element domain.
     fn constant(&self, w: Self::Weight) -> Self::Elem;
+
+    /// One sparse dot product `bias + Σ wₖ·x[iₖ]`.
+    ///
+    /// The default is the plain mul/add fold, so scalar back-ends get
+    /// exactly their historical element-by-element semantics. Back-ends
+    /// with a cheaper fused form (the Paillier context's interleaved
+    /// multi-exponentiation) override this hook.
+    fn dot(&self, elems: &[Self::Elem], terms: &[(usize, Self::Weight)], bias: Self::Weight) -> Self::Elem {
+        let mut acc = self.constant(bias);
+        for &(i, w) in terms {
+            acc = self.add(&acc, &self.mul(w, &elems[i]));
+        }
+        acc
+    }
+
+    /// A batch of dot products over one shared input slice — a layer's
+    /// worth of output elements. Overriding back-ends can hoist
+    /// per-input preparation (e.g. Montgomery conversion of each
+    /// ciphertext) across all rows; the default just evaluates each row.
+    fn dot_rows(&self, elems: &[Self::Elem], rows: &[DotRow<Self::Weight>]) -> Vec<Self::Elem> {
+        rows.iter().map(|r| self.dot(elems, &r.terms, r.bias)).collect()
+    }
 }
 
 /// Plaintext `f64` arithmetic.
@@ -120,5 +155,18 @@ mod tests {
     fn plain_i128_widens() {
         let ctx = PlainI128;
         assert_eq!(ctx.mul(i64::MAX, &2), i64::MAX as i128 * 2);
+    }
+
+    #[test]
+    fn default_dot_matches_mul_add_fold() {
+        let ctx = PlainI64;
+        let elems = [2i64, -3, 4, 7];
+        let terms = [(0usize, 5i64), (2, -1), (3, 0)];
+        assert_eq!(ctx.dot(&elems, &terms, 10), 10 + 10 - 4);
+        let rows = vec![
+            DotRow { bias: 1, terms: vec![(1, 2)] },
+            DotRow { bias: 0, terms: vec![] },
+        ];
+        assert_eq!(ctx.dot_rows(&elems, &rows), vec![-5, 0]);
     }
 }

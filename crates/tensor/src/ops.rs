@@ -13,7 +13,7 @@
 //!   partitioning possible for convolutions: a thread is sent only the
 //!   sub-tensor covering its receptive fields instead of the whole input.
 
-use crate::{LinearAlgebra, Shape, Tensor, TensorError};
+use crate::{DotRow, LinearAlgebra, Shape, Tensor, TensorError};
 use std::collections::BTreeSet;
 use std::ops::Range;
 
@@ -92,11 +92,11 @@ pub fn conv2d_range<L: LinearAlgebra>(
     let in_dims = input.shape().dims();
     let (h, w) = (in_dims[1], in_dims[2]);
 
-    let mut out = Vec::with_capacity(range.len());
+    let mut rows = Vec::with_capacity(range.len());
     for flat in range {
         let idx = out_shape.unravel(flat);
         let (oc, oy, ox) = (idx[0], idx[1], idx[2]);
-        let mut acc = ctx.constant(bias[oc]);
+        let mut terms = Vec::with_capacity(spec.in_channels * spec.kernel * spec.kernel);
         for ic in 0..spec.in_channels {
             for ky in 0..spec.kernel {
                 for kx in 0..spec.kernel {
@@ -105,17 +105,18 @@ pub fn conv2d_range<L: LinearAlgebra>(
                     if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
                         continue; // zero-padded tap
                     }
-                    let x = input
-                        .get(&[ic, iy as usize, ix as usize])
+                    let off = input
+                        .shape()
+                        .offset(&[ic, iy as usize, ix as usize])
                         .expect("bounds checked");
                     let wv = *weights.get(&[oc, ic, ky, kx]).expect("shape checked");
-                    acc = ctx.add(&acc, &ctx.mul(wv, x));
+                    terms.push((off, wv));
                 }
             }
         }
-        out.push(acc);
+        rows.push(DotRow { bias: bias[oc], terms });
     }
-    Ok(out)
+    Ok(ctx.dot_rows(input.data(), &rows))
 }
 
 /// The set of flat input indices a convolution output range reads — the
@@ -195,17 +196,15 @@ pub fn fully_connected_range<L: LinearAlgebra>(
     if range.end > out_features {
         return Err(TensorError::IndexOutOfBounds);
     }
-    let x = input.data();
-    let mut out = Vec::with_capacity(range.len());
-    for j in range {
-        let mut acc = ctx.constant(bias[j]);
-        for (i, xi) in x.iter().enumerate() {
-            let wv = *weights.get(&[j, i]).expect("shape checked");
-            acc = ctx.add(&acc, &ctx.mul(wv, xi));
-        }
-        out.push(acc);
-    }
-    Ok(out)
+    let rows: Vec<DotRow<L::Weight>> = range
+        .map(|j| DotRow {
+            bias: bias[j],
+            terms: (0..in_features)
+                .map(|i| (i, *weights.get(&[j, i]).expect("shape checked")))
+                .collect(),
+        })
+        .collect();
+    Ok(ctx.dot_rows(input.data(), &rows))
 }
 
 /// Per-channel affine transform `y = a[c]·x + b[c]` over `[C, H, W]` (or

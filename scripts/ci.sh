@@ -32,6 +32,9 @@ cargo test -p pp-stream --test deployment -q -- deadline inflight_cap budget
 echo "==> fault injection compiles out cleanly"
 cargo build -p pp-stream --no-default-features
 
+echo "==> kernel gate: fused dot must not regress below the naive fold"
+cargo run --release -p pp-bench --bin bench_kernels -- --smoke
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

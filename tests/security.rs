@@ -41,7 +41,7 @@ impl Protocol {
     /// provider boundary (model↔data), in order.
     fn run_collecting(&self, input: &Tensor<f64>, seq: u64) -> Vec<EncTensorMsg> {
         let mut crossings = Vec::new();
-        let enc = EncryptStage { pk: self.kp.public(), seed: 1 ^ seq };
+        let enc = EncryptStage { pk: self.kp.public(), seed: 1 ^ seq, rand_pool: None };
         let scaled_in = self.scaled.scale_input(input);
         let mut msg = enc.encrypt(
             PlainTensorMsg {
