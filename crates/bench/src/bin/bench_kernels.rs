@@ -18,6 +18,7 @@
 //! lengths {9, 64} and fails if the fused kernel is not at least as fast
 //! as the naive fold — the CI regression gate for the kernel.
 
+use pp_paillier::packing::{PackedCiphertext, PackedMontInputs, PackingSpec};
 use pp_paillier::{Ciphertext, Keypair, PublicKey, RandomnessPool};
 use pp_stream_runtime::WorkerPool;
 use rand::rngs::StdRng;
@@ -31,6 +32,8 @@ struct Sample {
     op: &'static str,
     /// Dot-product length; 0 for per-ciphertext ops.
     len: usize,
+    /// Requests served per evaluation (packed rows); 1 for per-item ops.
+    batch: usize,
     ns_per_op: u128,
     ops_per_sec: f64,
 }
@@ -49,10 +52,26 @@ fn time_min<F: FnMut()>(reps: usize, ops: usize, mut f: F) -> Duration {
 }
 
 fn record(out: &mut Vec<Sample>, key_bits: usize, op: &'static str, len: usize, per_op: Duration) {
+    record_batch(out, key_bits, op, len, 1, per_op);
+}
+
+/// As [`record`], with the packed batch size; `ns_per_op` is *per item*
+/// so packed rows compare directly against the per-item kernels.
+fn record_batch(
+    out: &mut Vec<Sample>,
+    key_bits: usize,
+    op: &'static str,
+    len: usize,
+    batch: usize,
+    per_op: Duration,
+) {
     let ns = per_op.as_nanos().max(1);
-    out.push(Sample { key_bits, op, len, ns_per_op: ns, ops_per_sec: 1e9 / ns as f64 });
-    let len_tag = if len > 0 { format!(" len={len}") } else { String::new() };
-    println!("  {key_bits:>4}-bit {op:<14}{len_tag:<10} {:>12} ns/op", ns);
+    out.push(Sample { key_bits, op, len, batch, ns_per_op: ns, ops_per_sec: 1e9 / ns as f64 });
+    let mut tag = if len > 0 { format!(" len={len}") } else { String::new() };
+    if batch > 1 {
+        let _ = write!(tag, " batch={batch}");
+    }
+    println!("  {key_bits:>4}-bit {op:<16}{tag:<16} {:>12} ns/op", ns);
 }
 
 /// Signed weights with ~25% negative entries — the mix a trained layer
@@ -155,6 +174,88 @@ fn bench_key_size(bits: usize, lens: &[usize], smoke: bool, out: &mut Vec<Sample
     }
 }
 
+/// Batch-packed dot kernel versus the per-item fused kernel: one packed
+/// evaluation over `len` ciphertexts serves `batch` requests at once, so
+/// the per-item cost divides by the batch. Gates (when `gate`):
+/// per-item packed ≤ per-item unpacked at batch ≥ 8, and ≥ 4× faster at
+/// batch ≥ 32 — the acceptance bar for end-to-end ciphertext packing.
+fn bench_packed_dot(bits: usize, slot_bits: usize, gate: bool, out: &mut Vec<Sample>) {
+    let mut rng = StdRng::seed_from_u64(bits as u64 ^ 0xBA7C);
+    let kp = Keypair::generate(bits, &mut rng);
+    let pk = kp.public();
+    let len = 9usize; // a 3×3 conv patch / small dense row
+
+    // Small signed weights: the slot width must hold the op budget
+    // (1 + Σ|wᵢ|) alongside the value payload, unlike the unbounded
+    // weights of the per-item sweep.
+    let ws: Vec<i64> =
+        (0..len as i64).map(|i| if i % 4 == 0 { -(i % 13 + 1) } else { i % 13 + 1 }).collect();
+    let mass: u64 = 1 + ws.iter().map(|w| w.unsigned_abs()).sum::<u64>();
+    let spec = PackingSpec::for_key(&pk, slot_bits)
+        .map(|s| s.with_budget(mass))
+        .and_then(|s| s.check().map(|()| s))
+        .expect("packed bench layout must fit the key");
+    let bound = spec.value_bound().min(500);
+    println!("  packed layout: {slot_bits}-bit slots x {}, budget {mass}", spec.slots);
+
+    // Per-item baseline: the fused unpacked kernel on the same weights
+    // and value magnitudes.
+    let xs: Vec<i64> = (0..len).map(|_| rng.gen_range(1 - bound..bound)).collect();
+    let cts: Vec<Ciphertext> = xs.iter().map(|&x| pk.encrypt_i64(x, &mut rng)).collect();
+    let reps = if bits >= 2048 { 2 } else { 4 };
+    let unpacked_per = time_min(reps, 1, || {
+        std::hint::black_box(pk.dot_i64(&cts, &ws));
+    });
+    record_batch(out, bits, "dot_unpacked_ref", len, 1, unpacked_per);
+
+    let mut batches = vec![8usize, 32, spec.slots];
+    batches.iter_mut().for_each(|b| *b = (*b).min(spec.slots));
+    batches.dedup();
+    let bias = 3i64;
+    for &batch in &batches {
+        // Element e of request j — deterministic, within the value bound.
+        let value = |e: usize, j: usize| ((e * 31 + j * 17) as i64 % (2 * bound - 1)) - (bound - 1);
+        let packed: Vec<PackedCiphertext> = (0..len)
+            .map(|e| {
+                let slot_vals: Vec<i64> = (0..batch).map(|j| value(e, j)).collect();
+                PackedCiphertext::encrypt(&pk, spec, &slot_vals, &mut rng).expect("pack")
+            })
+            .collect();
+        let inputs = PackedMontInputs::new(&pk, &packed).expect("packed inputs");
+        let terms: Vec<(usize, i64)> = ws.iter().copied().enumerate().collect();
+
+        // Bit-identity first: slot j must decode to request j's dot.
+        let got =
+            inputs.dot_i64(&terms, bias).expect("packed dot").decrypt(&kp.private()).expect("slots");
+        for (j, &slot) in got.iter().enumerate().take(batch) {
+            let want: i64 = ws.iter().enumerate().map(|(e, &w)| w * value(e, j)).sum::<i64>() + bias;
+            assert_eq!(slot, want, "packed dot diverged for member {j} at batch {batch}");
+        }
+
+        let per_eval = time_min(reps, 1, || {
+            std::hint::black_box(inputs.dot_i64(&terms, bias).expect("packed dot"));
+        });
+        let per_item = per_eval / batch as u32;
+        record_batch(out, bits, "dot_packed", len, batch, per_item);
+        let speedup = unpacked_per.as_secs_f64() / per_item.as_secs_f64().max(1e-12);
+        println!("       packed dot batch={batch}: {speedup:.2}x per-item vs unpacked fused");
+        if gate && batch >= 8 {
+            assert!(
+                per_item <= unpacked_per,
+                "packing regression: per-item packed dot ({per_item:?}) slower than \
+                 unpacked ({unpacked_per:?}) at {bits} bits, batch {batch}"
+            );
+        }
+        if gate && batch >= 32 {
+            assert!(
+                speedup >= 4.0,
+                "packing acceptance: per-item packed dot must be ≥4x the unpacked \
+                 kernel at batch {batch} ({bits} bits), got {speedup:.2}x"
+            );
+        }
+    }
+}
+
 fn write_json(path: &str, mode: &str, samples: &[Sample]) {
     let mut s = String::new();
     s.push_str("{\n");
@@ -165,9 +266,9 @@ fn write_json(path: &str, mode: &str, samples: &[Sample]) {
         let comma = if i + 1 < samples.len() { "," } else { "" };
         let _ = writeln!(
             s,
-            "    {{\"key_bits\": {}, \"op\": \"{}\", \"len\": {}, \
+            "    {{\"key_bits\": {}, \"op\": \"{}\", \"len\": {}, \"batch\": {}, \
              \"ns_per_op\": {}, \"ops_per_sec\": {:.1}}}{comma}",
-            r.key_bits, r.op, r.len, r.ns_per_op, r.ops_per_sec
+            r.key_bits, r.op, r.len, r.batch, r.ns_per_op, r.ops_per_sec
         );
     }
     s.push_str("  ]\n}\n");
@@ -175,11 +276,36 @@ fn write_json(path: &str, mode: &str, samples: &[Sample]) {
     println!("\nwrote {path}");
 }
 
+/// The slot width benched per key size: wide enough for realistic
+/// activations, narrow enough to pack a useful batch.
+fn slot_bits_for(key_bits: usize) -> usize {
+    if key_bits >= 2048 {
+        32
+    } else {
+        16
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("PP_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let packed_gate = std::env::args().any(|a| a == "--packed-gate");
     let out_path =
         std::env::var("PP_BENCH_OUT").unwrap_or_else(|_| "BENCH_paillier.json".into());
+
+    if packed_gate {
+        // Packed-dot acceptance gate only (no JSON artifact): per-item
+        // packed ≤ unpacked at batch ≥ 8, and ≥4x at batch 32 on
+        // 2048-bit keys — run from ci.sh.
+        println!("=== Packed-dot kernel gate ===");
+        let mut samples = Vec::new();
+        for bits in [256usize, 2048] {
+            println!("\nkey size {bits} bits:");
+            bench_packed_dot(bits, slot_bits_for(bits), true, &mut samples);
+        }
+        println!("packed gate passed: per-item packed ≤ unpacked at batch ≥ 8, ≥4x at batch 32");
+        return;
+    }
 
     let key_sizes: Vec<usize> = if smoke {
         vec![256]
@@ -198,9 +324,10 @@ fn main() {
     for &bits in &key_sizes {
         println!("\nkey size {bits} bits:");
         bench_key_size(bits, lens, smoke, &mut samples);
+        bench_packed_dot(bits, slot_bits_for(bits), smoke, &mut samples);
     }
     write_json(&out_path, if smoke { "smoke" } else { "full" }, &samples);
     if smoke {
-        println!("smoke gate passed: fused dot ≤ naive at every length");
+        println!("smoke gate passed: fused ≤ naive and packed per-item ≤ unpacked");
     }
 }

@@ -49,6 +49,7 @@ pub mod encapsulate;
 mod encctx;
 pub mod messages;
 pub mod net;
+pub mod packed;
 pub mod plan;
 pub mod protocol;
 mod session;
@@ -61,6 +62,7 @@ pub use net::{
     ItemOutcome, ModelProvider, NetConfig, NetworkedSession, ServeOptions, ServeReport,
     ServerHandle, TransportReport,
 };
+pub use packed::{required_budget, PackedEncCtx};
 #[cfg(feature = "fault-injection")]
 pub use pp_stream_runtime::fault::FaultPlan;
 pub use plan::{AllocationPlan, PlanSource};

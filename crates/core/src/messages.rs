@@ -83,7 +83,15 @@ impl WireDecode for PlainTensorMsg {
 /// `retry_after_ms` hint (admission control), and the per-item error
 /// reply [`ItemErrorMsg`] exists (deadline expiry / quarantine / load
 /// shedding are per-item outcomes, not session-fatal failures).
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4: ciphertext packing. [`HelloMsg`] proposes a slot layout
+/// (`pack_slot_bits` / `pack_slots` / `pack_budget`), [`AcceptMsg`]
+/// echoes `pack_slot_bits` (zero declines), the batched frame
+/// [`PackedTensorMsg`] exists, and a failed packed round is answered
+/// with [`ItemErrorKind::PackedAbort`] so the client can replay the
+/// batch unpacked. Unpacked operation (all packing fields zero) is the
+/// compatibility default.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Deployment handshake: the data provider's opening message. Carries
 /// everything both sides must agree on before ciphertexts flow —
@@ -105,6 +113,16 @@ pub struct HelloMsg {
     pub n_stages: u32,
     /// Fixed-point scaling factor both sides must share.
     pub factor: i64,
+    /// Proposed packed-ciphertext slot width in bits; zero means the
+    /// client will stream unpacked (the compatibility default).
+    pub pack_slot_bits: u32,
+    /// Slots per packed ciphertext under the proposed layout (zero when
+    /// unpacked).
+    pub pack_slots: u32,
+    /// Operation budget the client sized its slots for — the maximum
+    /// offset weight any packed round may accumulate. The server rejects
+    /// packing (echoing zero) if its model needs more.
+    pub pack_budget: u64,
 }
 
 impl WireEncode for HelloMsg {
@@ -116,6 +134,9 @@ impl WireEncode for HelloMsg {
         enc.put_u64(self.topology);
         enc.put_u32(self.n_stages);
         enc.put_i64(self.factor);
+        enc.put_u32(self.pack_slot_bits);
+        enc.put_u32(self.pack_slots);
+        enc.put_u64(self.pack_budget);
     }
 }
 
@@ -129,6 +150,9 @@ impl WireDecode for HelloMsg {
             topology: dec.get_u64()?,
             n_stages: dec.get_u32()?,
             factor: dec.get_i64()?,
+            pack_slot_bits: dec.get_u32()?,
+            pack_slots: dec.get_u32()?,
+            pack_budget: dec.get_u64()?,
         })
     }
 }
@@ -145,6 +169,9 @@ pub struct AcceptMsg {
     /// presents this in a [`ResumeMsg`] to pick the stream back up
     /// without redoing delivered work.
     pub session: u64,
+    /// Echo of the client's accepted `pack_slot_bits`; zero declines
+    /// packing (the client silently streams unpacked).
+    pub pack_slot_bits: u32,
 }
 
 impl WireEncode for AcceptMsg {
@@ -154,6 +181,7 @@ impl WireEncode for AcceptMsg {
         enc.put_u64(self.pk_fingerprint);
         enc.put_u64(self.topology);
         enc.put_u64(self.session);
+        enc.put_u32(self.pack_slot_bits);
     }
 }
 
@@ -165,6 +193,7 @@ impl WireDecode for AcceptMsg {
             pk_fingerprint: dec.get_u64()?,
             topology: dec.get_u64()?,
             session: dec.get_u64()?,
+            pack_slot_bits: dec.get_u32()?,
         })
     }
 }
@@ -328,6 +357,11 @@ pub enum ItemErrorKind {
     /// cap exceeded). Unlike the other kinds, a shed item may be
     /// retried later.
     Shed = 2,
+    /// A packed round failed as a whole (a member item quarantined or
+    /// expired, a packing-arithmetic error, a panic). The `seq` is the
+    /// batch's first member; the client replays every unresolved member
+    /// unpacked, where per-item outcomes apply individually.
+    PackedAbort = 3,
 }
 
 /// Server → client: a *per-item* failure reply, sent in place of the
@@ -361,11 +395,71 @@ impl WireDecode for ItemErrorMsg {
             0 => ItemErrorKind::DeadlineExpired,
             1 => ItemErrorKind::Quarantined,
             2 => ItemErrorKind::Shed,
+            3 => ItemErrorKind::PackedAbort,
             other => {
                 return Err(StreamError::Decode(format!("unknown item-error kind {other}")));
             }
         };
         Ok(ItemErrorMsg { seq, kind, detail: String::decode(dec)? })
+    }
+}
+
+/// A tensor of *packed* Paillier ciphertexts in flight: slot `j` of
+/// ciphertext `i` holds activation `i` of request `seqs[j]`, so one
+/// frame carries a whole batch's worth of one tensor position
+/// (batch-major slot layout). Carries the full slot-layout metadata so
+/// the receiver can reconstruct the [`PackingSpec`] without shared
+/// out-of-band state.
+///
+/// [`PackingSpec`]: pp_paillier::PackingSpec
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedTensorMsg {
+    /// Request seqs occupying slots `0..seqs.len()`, in slot order.
+    pub seqs: Vec<u64>,
+    /// Per-item tensor shape (all batch members share it).
+    pub shape: Vec<u64>,
+    /// Whether element positions are currently permuted.
+    pub obfuscated: bool,
+    /// Slot width in bits of the packing layout.
+    pub slot_bits: u32,
+    /// Total slots per ciphertext (`seqs.len()` of them are active).
+    pub slots: u32,
+    /// Operation budget the layout was sized for.
+    pub op_budget: u64,
+    /// Accumulated offset weight of every ciphertext in the frame
+    /// (uniform: senders raise all elements to the stage maximum).
+    pub weight: u64,
+    /// Big-endian ciphertext bytes, one per tensor element.
+    pub cts: Vec<Vec<u8>>,
+}
+
+impl WireEncode for PackedTensorMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(MsgTag::PackedTensor as u8);
+        self.seqs.encode(enc);
+        self.shape.encode(enc);
+        enc.put_u8(self.obfuscated as u8);
+        enc.put_u32(self.slot_bits);
+        enc.put_u32(self.slots);
+        enc.put_u64(self.op_budget);
+        enc.put_u64(self.weight);
+        self.cts.encode(enc);
+    }
+}
+
+impl WireDecode for PackedTensorMsg {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        expect_tag(dec, MsgTag::PackedTensor)?;
+        Ok(PackedTensorMsg {
+            seqs: Vec::<u64>::decode(dec)?,
+            shape: Vec::<u64>::decode(dec)?,
+            obfuscated: dec.get_u8()? != 0,
+            slot_bits: dec.get_u32()?,
+            slots: dec.get_u32()?,
+            op_budget: dec.get_u64()?,
+            weight: dec.get_u64()?,
+            cts: Vec::<Vec<u8>>::decode(dec)?,
+        })
     }
 }
 
@@ -381,6 +475,7 @@ pub enum MsgTag {
     Ack = 7,
     Bye = 8,
     ItemError = 9,
+    PackedTensor = 10,
 }
 
 /// Peeks the tag byte of a frame without consuming the decoder.
@@ -395,6 +490,7 @@ pub fn peek_tag(frame: &bytes::Bytes) -> Option<MsgTag> {
         Some(7) => Some(MsgTag::Ack),
         Some(8) => Some(MsgTag::Bye),
         Some(9) => Some(MsgTag::ItemError),
+        Some(10) => Some(MsgTag::PackedTensor),
         _ => None,
     }
 }
@@ -447,11 +543,20 @@ mod tests {
             topology: 77,
             n_stages: 4,
             factor: 1 << 13,
+            pack_slot_bits: 32,
+            pack_slots: 14,
+            pack_budget: 4096,
         };
         let back: HelloMsg = from_frame(to_frame(&hello)).unwrap();
         assert_eq!(back, hello);
 
-        let accept = AcceptMsg { version: 2, pk_fingerprint: 2, topology: 3, session: 99 };
+        let accept = AcceptMsg {
+            version: 2,
+            pk_fingerprint: 2,
+            topology: 3,
+            session: 99,
+            pack_slot_bits: 32,
+        };
         let back: AcceptMsg = from_frame(to_frame(&accept)).unwrap();
         assert_eq!(back, accept);
 
@@ -473,9 +578,12 @@ mod tests {
 
     #[test]
     fn item_error_roundtrips_all_kinds() {
-        for kind in
-            [ItemErrorKind::DeadlineExpired, ItemErrorKind::Quarantined, ItemErrorKind::Shed]
-        {
+        for kind in [
+            ItemErrorKind::DeadlineExpired,
+            ItemErrorKind::Quarantined,
+            ItemErrorKind::Shed,
+            ItemErrorKind::PackedAbort,
+        ] {
             let msg = ItemErrorMsg { seq: 17, kind, detail: "budget spent".into() };
             let frame = to_frame(&msg);
             assert_eq!(peek_tag(&frame), Some(MsgTag::ItemError));
@@ -501,6 +609,24 @@ mod tests {
         assert_eq!(peek_tag(&bye), Some(MsgTag::Bye));
         let back: ByeMsg = from_frame(bye).unwrap();
         assert_eq!(back, ByeMsg);
+    }
+
+    #[test]
+    fn packed_tensor_roundtrip() {
+        let msg = PackedTensorMsg {
+            seqs: vec![4, 5, 6],
+            shape: vec![2, 2],
+            obfuscated: true,
+            slot_bits: 32,
+            slots: 14,
+            op_budget: 4096,
+            weight: 257,
+            cts: vec![vec![1, 2], vec![], vec![0xff; 48], vec![0]],
+        };
+        let frame = to_frame(&msg);
+        assert_eq!(peek_tag(&frame), Some(MsgTag::PackedTensor));
+        let back: PackedTensorMsg = from_frame(frame).unwrap();
+        assert_eq!(back, msg);
     }
 
     #[test]

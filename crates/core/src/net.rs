@@ -62,8 +62,9 @@
 use crate::encapsulate::{encapsulate_with, MergedStage, StageRole};
 use crate::messages::{
     AcceptMsg, AckMsg, ByeMsg, EncTensorMsg, HelloMsg, ItemErrorKind, ItemErrorMsg, MsgTag,
-    PlainTensorMsg, RejectCode, RejectMsg, ResumeMsg, PROTOCOL_VERSION,
+    PackedTensorMsg, PlainTensorMsg, RejectCode, RejectMsg, ResumeMsg, PROTOCOL_VERSION,
 };
+use crate::packed::{self, PACKED_PERM_BIT};
 use crate::protocol::{EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore};
 use crate::session::RunReport;
 use crate::CoreError;
@@ -71,6 +72,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use pp_bigint::BigUint;
 use pp_nn::scaling::{ScaledModel, ScaledOp};
+use pp_paillier::packing::PackingSpec;
 use pp_paillier::{Keypair, PublicKey, RandomnessPool};
 #[cfg(feature = "fault-injection")]
 use pp_stream_runtime::fault::{FaultPlan, FaultReceiver, FaultSender, FaultState};
@@ -141,6 +143,17 @@ pub struct NetConfig {
     /// poison-item quarantine boundary.
     #[cfg(feature = "fault-injection")]
     pub fault: Option<FaultPlan>,
+    /// Client-side: slot width (bits) for **batch-packed ciphertexts**
+    /// (DESIGN.md §8). Non-zero proposes packing in the handshake; the
+    /// server accepts only when the layout fits its model's op budget,
+    /// and either side's `0` keeps the stream on the per-item protocol.
+    /// The `data_provider` example exposes this as `PP_PACK_BITS`.
+    pub pack_slot_bits: usize,
+    /// Client-side: requests gathered per packed batch. `0` means "fill
+    /// every slot the negotiated layout offers"; values above the slot
+    /// count are clamped to it. The `data_provider` example exposes this
+    /// as `PP_PACK_BATCH`.
+    pub pack_batch: usize,
 }
 
 impl Default for NetConfig {
@@ -159,6 +172,8 @@ impl Default for NetConfig {
             stall_window: None,
             #[cfg(feature = "fault-injection")]
             fault: None,
+            pack_slot_bits: 0,
+            pack_batch: 0,
         }
     }
 }
@@ -225,6 +240,15 @@ pub struct TransportReport {
     /// Items the server shed at its per-session in-flight cap
     /// ([`ItemErrorKind::Shed`] replies received).
     pub shed: u64,
+    /// Packed linear rounds completed (one per batch per linear stage).
+    pub packed_rounds: u64,
+    /// Items served inside packed batches end-to-end (no fallback).
+    pub packed_items: u64,
+    /// Packed batches that fell back to per-item requests — a server
+    /// [`ItemErrorKind::PackedAbort`], a transport failure mid-batch, or
+    /// a client-side packing error. Each member is then replayed
+    /// unpacked, so fallbacks cost latency, never results.
+    pub packed_fallbacks: u64,
     /// Whether the connection ended without a transport error.
     pub clean_shutdown: bool,
 }
@@ -273,6 +297,12 @@ pub struct ServeReport {
     /// Items answered with [`ItemErrorKind::Shed`] at the per-session
     /// in-flight cap ([`NetConfig::max_inflight_items`]).
     pub shed: u64,
+    /// Packed linear rounds executed (one per batch per linear stage).
+    pub packed_rounds: u64,
+    /// Packed batches aborted with [`ItemErrorKind::PackedAbort`]
+    /// (deadline, shed, quarantined member, panic, or a packing error);
+    /// the client replays the members unpacked.
+    pub packed_aborts: u64,
     /// The most recent per-connection error, for operator visibility.
     pub last_error: Option<String>,
     /// True when at least one client ended its session deliberately
@@ -298,6 +328,8 @@ impl ServeReport {
         self.deadline_expired += other.deadline_expired;
         self.quarantined += other.quarantined;
         self.shed += other.shed;
+        self.packed_rounds += other.packed_rounds;
+        self.packed_aborts += other.packed_aborts;
         if other.last_error.is_some() {
             self.last_error = other.last_error.clone();
         }
@@ -886,7 +918,7 @@ impl ModelProvider {
         report.frames_in += 1;
         report.bytes_in += first.payload.len() as u64;
 
-        let (session, pk) = match crate::messages::peek_tag(&first.payload) {
+        let (session, pk, packing) = match crate::messages::peek_tag(&first.payload) {
             Some(MsgTag::Hello) => {
                 let hello: HelloMsg = match from_frame(first.payload) {
                     Ok(h) => h,
@@ -896,10 +928,20 @@ impl ModelProvider {
                     return self.reject(tx, report, &reason);
                 }
                 let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
+                // Packing is negotiated, never assumed: the client's
+                // proposed layout must fit the key and cover this model's
+                // op budget, else the stream stays per-item.
+                let packing = self.negotiate_packing(&hello, &pk);
                 let session =
                     self.sessions.create(hello.pk_n, hello.pk_fingerprint, hello.topology);
-                self.send_accept(tx, report, hello.pk_fingerprint, session)?;
-                (session, pk)
+                self.send_accept(
+                    tx,
+                    report,
+                    hello.pk_fingerprint,
+                    session,
+                    packing.map_or(0, |s| s.slot_bits as u32),
+                )?;
+                (session, pk, packing)
             }
             Some(MsgTag::Resume) => {
                 let resume: ResumeMsg = match from_frame(first.payload) {
@@ -925,8 +967,10 @@ impl ModelProvider {
                     };
                 report.resumed_sessions += 1;
                 let pk = PublicKey::from_n(BigUint::from_bytes_be(&entry.pk_n));
-                self.send_accept(tx, report, entry.pk_fingerprint, resume.session)?;
-                (resume.session, pk)
+                // Resumed connections run unpacked: replay bookkeeping is
+                // per-item, and a resume already signals a degraded path.
+                self.send_accept(tx, report, entry.pk_fingerprint, resume.session, 0)?;
+                (resume.session, pk, None)
             }
             _ => return self.reject(tx, report, "first frame was neither hello nor resume"),
         };
@@ -938,6 +982,9 @@ impl ModelProvider {
         // request's next round index (per connection: a replay after a
         // reconnect legitimately restarts at round 0).
         let mut next_round: HashMap<u64, usize> = HashMap::new();
+        // Packed batches, keyed by their first member's seq: the full
+        // member list (pinned at round 0) and the next round index.
+        let mut next_packed: HashMap<u64, (Vec<u64>, usize)> = HashMap::new();
 
         loop {
             let frame = match rx.recv().map_err(|e| e.at_stage("linear request"))? {
@@ -961,6 +1008,28 @@ impl ModelProvider {
             }
             let budget_ms = frame.deadline_ms;
             let arrival = Instant::now();
+
+            // Packed batches take their own serving path: one frame per
+            // linear round serves every member at once, and any failure
+            // aborts the batch (client falls back per-item) instead of
+            // poisoning the connection.
+            if crate::messages::peek_tag(&frame.payload) == Some(MsgTag::PackedTensor) {
+                let msg: PackedTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
+                self.serve_packed_round(
+                    tx,
+                    report,
+                    session,
+                    packing,
+                    &execs,
+                    next_round.len(),
+                    &mut next_packed,
+                    msg,
+                    budget_ms,
+                    arrival,
+                )?;
+                continue;
+            }
+
             let msg: EncTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
             let seq = msg.seq;
 
@@ -1124,17 +1193,251 @@ impl ModelProvider {
         report: &mut ServeReport,
         pk_fingerprint: u64,
         session: u64,
+        pack_slot_bits: u32,
     ) -> Result<(), CoreError> {
         let accept = to_frame(&AcceptMsg {
             version: PROTOCOL_VERSION,
             pk_fingerprint,
             topology: self.topology,
             session,
+            pack_slot_bits,
         });
         report.bytes_out += accept.len() as u64;
         report.frames_out += 1;
         tx.send_payload(accept).map_err(|e| e.at_stage("handshake accept"))?;
         Ok(())
+    }
+
+    /// Accepts the client's proposed packing layout only when it fits
+    /// the key's capacity and covers this model's accumulated op budget
+    /// (`None` declines — the stream stays on the per-item protocol).
+    fn negotiate_packing(&self, hello: &HelloMsg, pk: &PublicKey) -> Option<PackingSpec> {
+        if hello.pack_slot_bits == 0 || hello.pack_slots == 0 {
+            return None;
+        }
+        let max = PackingSpec::for_key(pk, hello.pack_slot_bits as usize).ok()?;
+        if hello.pack_slots as usize > max.slots {
+            return None;
+        }
+        let spec = PackingSpec {
+            slot_bits: hello.pack_slot_bits as usize,
+            slots: hello.pack_slots as usize,
+            op_budget: hello.pack_budget,
+        };
+        spec.check().ok()?;
+        if hello.pack_budget < packed::required_budget(&self.stages) {
+            return None;
+        }
+        Some(spec)
+    }
+
+    /// One linear round of a packed batch. All failure modes short of a
+    /// dead socket answer with a single [`ItemErrorKind::PackedAbort`]
+    /// (batch state dropped, perms released) so the client can replay
+    /// the members unpacked over the same connection.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_packed_round(
+        &self,
+        tx: &mut TcpFrameSender,
+        report: &mut ServeReport,
+        session: u64,
+        packing: Option<PackingSpec>,
+        execs: &[LinearStage],
+        unpacked_inflight: usize,
+        next_packed: &mut HashMap<u64, (Vec<u64>, usize)>,
+        msg: PackedTensorMsg,
+        budget_ms: Option<u64>,
+        arrival: Instant,
+    ) -> Result<(), CoreError> {
+        let n_linear = execs.len();
+        let Some(&key) = msg.seqs.first() else {
+            return Err(CoreError::from(StreamError::Stage(
+                "packed frame with an empty batch".into(),
+            )));
+        };
+        let Some(spec) = packing else {
+            return self.send_packed_abort(
+                tx,
+                report,
+                execs,
+                next_packed,
+                key,
+                "packing was not negotiated for this connection",
+            );
+        };
+        if msg.slot_bits as usize != spec.slot_bits
+            || msg.slots as usize != spec.slots
+            || msg.op_budget != spec.op_budget
+            || msg.seqs.len() > spec.slots
+        {
+            return self.send_packed_abort(
+                tx,
+                report,
+                execs,
+                next_packed,
+                key,
+                "packed layout differs from the negotiated spec",
+            );
+        }
+        let elems = msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
+        if elems.map(|n| n as usize) != Some(msg.cts.len()) {
+            return self.send_packed_abort(
+                tx,
+                report,
+                execs,
+                next_packed,
+                key,
+                "packed shape does not match the ciphertext count",
+            );
+        }
+
+        let round = match next_packed.get(&key) {
+            Some((seqs, round)) => {
+                if *seqs != msg.seqs {
+                    return self.send_packed_abort(
+                        tx,
+                        report,
+                        execs,
+                        next_packed,
+                        key,
+                        "packed batch membership changed between rounds",
+                    );
+                }
+                *round
+            }
+            None => {
+                // Round 0: admission control and per-member exactly-once
+                // bookkeeping, mirroring the unpacked path.
+                if msg.seqs.iter().any(|&s| self.sessions.is_quarantined(session, s)) {
+                    return self.send_packed_abort(
+                        tx,
+                        report,
+                        execs,
+                        next_packed,
+                        key,
+                        "batch contains a quarantined item",
+                    );
+                }
+                let packed_inflight: usize =
+                    next_packed.values().map(|(seqs, _)| seqs.len()).sum();
+                if unpacked_inflight + packed_inflight + msg.seqs.len() > self.max_inflight {
+                    report.shed += 1;
+                    return self.send_packed_abort(
+                        tx,
+                        report,
+                        execs,
+                        next_packed,
+                        key,
+                        &format!("session at its in-flight cap ({})", self.max_inflight),
+                    );
+                }
+                for &s in &msg.seqs {
+                    match self.sessions.on_round0(session, s) {
+                        Ok(true) => report.replayed_items += 1,
+                        Ok(false) => {}
+                        Err(reason) => {
+                            return Err(CoreError::from(StreamError::Stage(reason)))
+                        }
+                    }
+                }
+                0
+            }
+        };
+        if round >= n_linear {
+            return Err(CoreError::from(StreamError::Stage(format!(
+                "packed batch {key} sent more linear rounds than the model has ({n_linear})"
+            ))));
+        }
+        if let Some(ms) = budget_ms {
+            if arrival.elapsed() >= Duration::from_millis(ms) {
+                report.deadline_expired += 1;
+                return self.send_packed_abort(
+                    tx,
+                    report,
+                    execs,
+                    next_packed,
+                    key,
+                    &format!("budget of {ms} ms ran out before packed linear round {round}"),
+                );
+            }
+        }
+
+        // A panic (op-budget violation, poison member) aborts the batch;
+        // the per-item replay re-establishes item-level quarantine.
+        #[cfg(feature = "fault-injection")]
+        let poison =
+            self.poison_seq.is_some_and(|p| msg.seqs.contains(&p));
+        let used = msg.seqs.len() as u64;
+        let exec = &execs[round];
+        let executed = catch_unwind(AssertUnwindSafe(move || {
+            #[cfg(feature = "fault-injection")]
+            if poison {
+                panic!("injected poison item in packed batch {key}");
+            }
+            packed::execute_packed_linear(exec, msg)
+        }));
+        let out = match executed {
+            Ok(Ok(out)) => out,
+            Ok(Err(e)) => {
+                return self.send_packed_abort(
+                    tx,
+                    report,
+                    execs,
+                    next_packed,
+                    key,
+                    &format!("packed round {round} failed: {e}"),
+                );
+            }
+            Err(panic_payload) => {
+                let detail = panic_message(panic_payload.as_ref());
+                return self.send_packed_abort(
+                    tx,
+                    report,
+                    execs,
+                    next_packed,
+                    key,
+                    &format!("packed round {round} panicked: {detail}"),
+                );
+            }
+        };
+        if round + 1 == n_linear {
+            next_packed.remove(&key);
+            report.requests += used;
+        } else {
+            next_packed.insert(key, (out.seqs.clone(), round + 1));
+        }
+        report.packed_rounds += 1;
+
+        let payload = to_frame(&out);
+        report.bytes_out += payload.len() as u64;
+        report.frames_out += 1;
+        tx.send_payload(payload)
+            .map_err(|e| e.at_stage(&format!("packed linear-{round} reply for batch {key}")))?;
+        Ok(())
+    }
+
+    /// Aborts a packed batch: drops its round tracking and any stored
+    /// permutations, and answers with one [`ItemErrorKind::PackedAbort`]
+    /// keyed by the batch's first member. The connection survives; the
+    /// client replays every unresolved member unpacked.
+    fn send_packed_abort(
+        &self,
+        tx: &mut TcpFrameSender,
+        report: &mut ServeReport,
+        execs: &[LinearStage],
+        next_packed: &mut HashMap<u64, (Vec<u64>, usize)>,
+        key: u64,
+        detail: &str,
+    ) -> Result<(), CoreError> {
+        next_packed.remove(&key);
+        if let Some(exec0) = execs.first() {
+            let packed_key = key | PACKED_PERM_BIT;
+            for idx in 0..execs.len() {
+                let _ = exec0.perms.take(packed_key, idx);
+            }
+        }
+        report.packed_aborts += 1;
+        self.send_item_error(tx, report, key, ItemErrorKind::PackedAbort, detail)
     }
 
     /// `None` when the hello is acceptable, otherwise the rejection
@@ -1369,6 +1672,13 @@ pub struct NetworkedSession {
     /// Stall-watchdog window on linear replies
     /// ([`NetConfig::stall_window`]).
     stall_window: Option<Duration>,
+    /// The packed-ciphertext layout negotiated at connect, or `None`
+    /// when the stream runs per-item (declined, disabled, or dropped
+    /// after a resume — resumed connections are always unpacked).
+    packing: Option<PackingSpec>,
+    /// Requested members per packed batch ([`NetConfig::pack_batch`];
+    /// 0 fills every slot the negotiated layout offers).
+    pack_batch: usize,
     fault: FaultHook,
 }
 
@@ -1406,6 +1716,47 @@ enum ItemResult {
     Failed { kind: ItemErrorKind, detail: String },
 }
 
+/// How one packed round set ended: every member's plaintext output, or
+/// an instruction to replay the members unpacked. `reset` asks for a
+/// reconnect first — the server may still hold batch round state (and
+/// stored permutations) that only a connection teardown releases.
+enum PackedRoundOutcome {
+    Done(Vec<PlainTensorMsg>),
+    Fallback { reset: bool },
+}
+
+/// Converts a resolved item into the caller-facing outcome. In strict
+/// mode a per-item failure errors the whole call.
+fn outcome_from(result: ItemResult, seq: u64, strict: bool) -> Result<ItemOutcome, CoreError> {
+    match result {
+        ItemResult::Output(out) => {
+            let shape: Vec<usize> = out.shape.iter().map(|&d| d as usize).collect();
+            let values = out
+                .values
+                .iter()
+                .map(|&v| {
+                    i64::try_from(v).map_err(|_| {
+                        CoreError::Runtime(format!(
+                            "final logit {v} for request {seq} does not fit i64"
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<i64>, CoreError>>()?;
+            Ok(ItemOutcome::Done(
+                Tensor::from_vec(shape, values).map_err(|e| CoreError::Runtime(e.to_string()))?,
+            ))
+        }
+        ItemResult::Failed { kind, detail } => {
+            if strict {
+                return Err(CoreError::Runtime(format!(
+                    "request {seq} failed ({kind:?}): {detail}"
+                )));
+            }
+            Ok(ItemOutcome::Failed { kind, detail })
+        }
+    }
+}
+
 impl NetworkedSession {
     /// Connects (with the configured retry/backoff), generates the
     /// Paillier keypair, and performs the deployment handshake. A server
@@ -1433,6 +1784,17 @@ impl NetworkedSession {
 
         let pk_n = keypair.public().n().to_bytes_be();
         let fingerprint = pk_fingerprint(&pk_n);
+        // Propose a packed-ciphertext layout sized for this key and
+        // model (the op budget covers the worst linear stage). An
+        // infeasible proposal silently degrades to per-item streaming.
+        let packing = if config.pack_slot_bits > 0 {
+            PackingSpec::for_key(&keypair.public(), config.pack_slot_bits)
+                .map(|s| s.with_budget(packed::required_budget(&stages)))
+                .and_then(|s| s.check().map(|()| s))
+                .ok()
+        } else {
+            None
+        };
         let hello = to_frame(&HelloMsg {
             version: PROTOCOL_VERSION,
             pk_n,
@@ -1440,6 +1802,9 @@ impl NetworkedSession {
             topology,
             n_stages: stages.len() as u32,
             factor: scaled.factor(),
+            pack_slot_bits: packing.map_or(0, |s| s.slot_bits as u32),
+            pack_slots: packing.map_or(0, |s| s.slots as u32),
+            pack_budget: packing.map_or(0, |s| s.op_budget),
         });
 
         let mut transport = TransportReport::default();
@@ -1448,7 +1813,7 @@ impl NetworkedSession {
         // the hint and retry within the connect retry budget instead of
         // treating the rejection as fatal.
         let mut attempt = 0u32;
-        let (tx, rx, session) = loop {
+        let (tx, rx, session, accepted_slot_bits) = loop {
             attempt += 1;
             let connected = tcp::connect_with(&addrs[..], &config.tcp)?;
             let (mut tx, mut rx) = (connected.tx, connected.rx);
@@ -1474,7 +1839,7 @@ impl NetworkedSession {
                             "server accept did not echo the agreed parameters",
                         )));
                     }
-                    break (tx, rx, accept.session);
+                    break (tx, rx, accept.session, accept.pack_slot_bits);
                 }
                 Some(MsgTag::Reject) => {
                     let reject: RejectMsg = from_frame(reply.payload).map_err(CoreError::from)?;
@@ -1500,6 +1865,10 @@ impl NetworkedSession {
                 }
             }
         };
+
+        // The proposal stands only if the server echoed its slot width;
+        // an echo of 0 (or anything else) declines packing.
+        let packing = packing.filter(|s| accepted_slot_bits as usize == s.slot_bits);
 
         // Client-side execution plan: socket round trips for linear
         // stages, local executors for the rest (same construction as the
@@ -1553,6 +1922,8 @@ impl NetworkedSession {
             max_resumes: config.max_resumes,
             item_deadline: config.item_deadline,
             stall_window: config.stall_window,
+            packing,
+            pack_batch: config.pack_batch,
             fault,
         })
     }
@@ -1636,54 +2007,88 @@ impl NetworkedSession {
         let mut latencies = Vec::with_capacity(inputs.len());
         let mut outcomes = Vec::with_capacity(inputs.len());
 
-        for input in inputs.iter() {
-            let t0 = Instant::now();
-            let seq = self.items_done;
-            let scaled_in = self.scaled.scale_input(input);
-            let plain = PlainTensorMsg {
-                seq,
-                shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
-                values: scaled_in.data().iter().map(|&v| v as i128).collect(),
-            };
-            // The end-to-end budget is stamped once per item and spans
-            // every hop, resume, and replay of it.
-            let deadline = self.item_deadline.map(|budget| Instant::now() + budget);
-            let result = self.run_request(plain, deadline)?;
-            // Success and per-item failure both *resolve* the item: the
-            // seq is consumed and acked, so a failed item is never
-            // retried (a quarantined one must not be).
-            self.items_done += 1;
-            self.send_ack();
-            latencies.push(t0.elapsed());
-
-            match result {
-                ItemResult::Output(out) => {
-                    let shape: Vec<usize> = out.shape.iter().map(|&d| d as usize).collect();
-                    let values = out
-                        .values
-                        .iter()
-                        .map(|&v| {
-                            i64::try_from(v).map_err(|_| {
-                                CoreError::Runtime(format!(
-                                    "final logit {v} for request {seq} does not fit i64"
-                                ))
-                            })
-                        })
-                        .collect::<Result<Vec<i64>, CoreError>>()?;
-                    outcomes.push(ItemOutcome::Done(
-                        Tensor::from_vec(shape, values)
-                            .map_err(|e| CoreError::Runtime(e.to_string()))?,
-                    ));
+        let mut idx = 0usize;
+        while idx < inputs.len() {
+            let remaining = inputs.len() - idx;
+            // Chunk size under the negotiated packing (1 = per-item): a
+            // lone trailing item always travels unpacked — packing it
+            // would cost the batch protocol for no amortization.
+            let batch = match self.packing {
+                Some(spec) => {
+                    let want =
+                        if self.pack_batch == 0 { spec.slots } else { self.pack_batch.min(spec.slots) };
+                    want.min(remaining)
                 }
-                ItemResult::Failed { kind, detail } => {
-                    if strict {
-                        return Err(CoreError::Runtime(format!(
-                            "request {seq} failed ({kind:?}): {detail}"
-                        )));
+                None => 1,
+            };
+            if batch >= 2 {
+                let t0 = Instant::now();
+                let base = self.items_done;
+                let plains: Vec<PlainTensorMsg> = inputs[idx..idx + batch]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, input)| {
+                        let scaled_in = self.scaled.scale_input(input);
+                        PlainTensorMsg {
+                            seq: base + j as u64,
+                            shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
+                            values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+                        }
+                    })
+                    .collect();
+                // One budget spans the whole batch: its members travel
+                // together, so they expire together.
+                let deadline = self.item_deadline.map(|budget| Instant::now() + budget);
+                match self.run_packed_batch(&plains, deadline) {
+                    PackedRoundOutcome::Done(results) => {
+                        self.items_done += batch as u64;
+                        self.send_ack();
+                        let per_item = t0.elapsed();
+                        self.transport.packed_items += batch as u64;
+                        for out in results {
+                            let seq = out.seq;
+                            latencies.push(per_item);
+                            outcomes.push(outcome_from(ItemResult::Output(out), seq, strict)?);
+                        }
+                        idx += batch;
+                        continue;
                     }
-                    outcomes.push(ItemOutcome::Failed { kind, detail });
+                    PackedRoundOutcome::Fallback { reset } => {
+                        self.transport.packed_fallbacks += 1;
+                        if reset {
+                            // The server may still track this batch (and
+                            // its stored permutations); reconnecting
+                            // clears both, and drops packing for the
+                            // rest of the stream (resumed connections
+                            // run unpacked).
+                            self.reconnect_and_resume().map_err(CoreError::from)?;
+                        }
+                        // Fall through: replay every member per-item.
+                    }
                 }
             }
+            for input in &inputs[idx..idx + batch] {
+                let t0 = Instant::now();
+                let seq = self.items_done;
+                let scaled_in = self.scaled.scale_input(input);
+                let plain = PlainTensorMsg {
+                    seq,
+                    shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
+                    values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+                };
+                // The end-to-end budget is stamped once per item and spans
+                // every hop, resume, and replay of it.
+                let deadline = self.item_deadline.map(|budget| Instant::now() + budget);
+                let result = self.run_request(plain, deadline)?;
+                // Success and per-item failure both *resolve* the item: the
+                // seq is consumed and acked, so a failed item is never
+                // retried (a quarantined one must not be).
+                self.items_done += 1;
+                self.send_ack();
+                latencies.push(t0.elapsed());
+                outcomes.push(outcome_from(result, seq, strict)?);
+            }
+            idx += batch;
         }
 
         let makespan = t_run.elapsed();
@@ -1777,6 +2182,117 @@ impl NetworkedSession {
         }
     }
 
+    /// One attempt at a whole batch's round set as packed ciphertexts.
+    /// Never fails the call: anything short of full success asks the
+    /// caller to fall back to per-item replay (`reset` when the server
+    /// may still hold batch state that a reconnect must clear).
+    fn run_packed_batch(
+        &mut self,
+        plains: &[PlainTensorMsg],
+        deadline: Option<Instant>,
+    ) -> PackedRoundOutcome {
+        let Some(spec) = self.packing else {
+            return PackedRoundOutcome::Fallback { reset: false };
+        };
+        let Some(first) = plains.first() else {
+            return PackedRoundOutcome::Fallback { reset: false };
+        };
+        let key = first.seq;
+        let expected: Vec<u64> = plains.iter().map(|p| p.seq).collect();
+        let packed = {
+            let mut pool = self.rand_pool.lock();
+            packed::pack_plain_batch(&self.encrypt.pk, spec, plains, &mut pool, self.encrypt.seed)
+        };
+        let mut msg = match packed {
+            Ok(m) => m,
+            Err(_) => return PackedRoundOutcome::Fallback { reset: false },
+        };
+        let last = self.steps.len() - 1;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                ClientStep::Linear { round } => {
+                    let budget_ms = match deadline {
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                // Expired mid-flight: replay unpacked
+                                // (with fresh per-item budgets). Past
+                                // round 0 the server tracks the batch,
+                                // so the fallback must reconnect.
+                                return PackedRoundOutcome::Fallback { reset: *round > 0 };
+                            }
+                            Some((d - now).as_millis() as u64)
+                        }
+                        None => None,
+                    };
+                    let payload = to_frame(&msg);
+                    let len = payload.len() as u64;
+                    if self.tx.send_payload_deadline(payload, budget_ms).is_err() {
+                        // Dead socket: the per-item replay reconnects.
+                        return PackedRoundOutcome::Fallback { reset: false };
+                    }
+                    self.transport.bytes_sent += len;
+                    self.transport.frames_sent += 1;
+                    let t_recv = Instant::now();
+                    let frame = match self.rx.recv() {
+                        Ok(Some(frame)) => frame,
+                        Ok(None) | Err(_) => {
+                            return PackedRoundOutcome::Fallback { reset: false };
+                        }
+                    };
+                    self.transport.bytes_received += frame.payload.len() as u64;
+                    self.transport.frames_received += 1;
+                    if let Some(window) = self.stall_window {
+                        if t_recv.elapsed() > window {
+                            self.transport.stalls += 1;
+                            return PackedRoundOutcome::Fallback { reset: true };
+                        }
+                    }
+                    match crate::messages::peek_tag(&frame.payload) {
+                        Some(MsgTag::ItemError) => {
+                            // A PackedAbort already released the server's
+                            // batch state; any other error reply is a
+                            // protocol surprise worth a clean slate.
+                            let reset = match from_frame::<ItemErrorMsg>(frame.payload) {
+                                Ok(ie) => ie.kind != ItemErrorKind::PackedAbort || ie.seq != key,
+                                Err(_) => true,
+                            };
+                            return PackedRoundOutcome::Fallback { reset };
+                        }
+                        Some(MsgTag::PackedTensor) => {
+                            msg = match from_frame(frame.payload) {
+                                Ok(m) => m,
+                                Err(_) => return PackedRoundOutcome::Fallback { reset: true },
+                            };
+                            let elems =
+                                msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
+                            if msg.seqs != expected
+                                || elems.map(|n| n as usize) != Some(msg.cts.len())
+                            {
+                                return PackedRoundOutcome::Fallback { reset: true };
+                            }
+                            self.transport.packed_rounds += 1;
+                        }
+                        _ => return PackedRoundOutcome::Fallback { reset: true },
+                    }
+                }
+                ClientStep::NonLinear(nl) => {
+                    if i == last {
+                        return match packed::unpack_final(nl, msg) {
+                            Ok(outputs) => PackedRoundOutcome::Done(outputs),
+                            Err(_) => PackedRoundOutcome::Fallback { reset: true },
+                        };
+                    }
+                    msg = match packed::repack_nonlinear(nl, msg) {
+                        Ok(m) => m,
+                        Err(_) => return PackedRoundOutcome::Fallback { reset: true },
+                    };
+                }
+            }
+        }
+        PackedRoundOutcome::Fallback { reset: true }
+    }
+
     /// One attempt at an item's full round set over the current
     /// connection. `progressed` flips once the server has seen round 0,
     /// so the caller can count true replays.
@@ -1864,6 +2380,10 @@ impl NetworkedSession {
                             }
                             ItemErrorKind::Quarantined => self.transport.quarantined += 1,
                             ItemErrorKind::Shed => self.transport.shed += 1,
+                            // Only packed rounds are answered with an
+                            // abort; for an unpacked item it still
+                            // resolves the item like any other failure.
+                            ItemErrorKind::PackedAbort => {}
                         }
                         return Ok(ItemResult::Failed { kind: ie.kind, detail: ie.detail });
                     }
@@ -1972,6 +2492,10 @@ impl NetworkedSession {
             self.tx = tx;
             self.rx = rx;
             self.transport.reconnects += 1;
+            // Resumed connections run unpacked: the replacement server
+            // connection negotiated no packing (Resume has no proposal)
+            // and its fresh PermStore has no packed permutations.
+            self.packing = None;
             return Ok(());
         }
     }
@@ -2055,6 +2579,9 @@ mod tests {
             topology: provider.topology(),
             n_stages: provider.stages.len() as u32,
             factor: m.factor(),
+            pack_slot_bits: 0,
+            pack_slots: 0,
+            pack_budget: 0,
         };
         assert_eq!(provider.validate_hello(&good), None);
 
@@ -2083,6 +2610,49 @@ mod tests {
         let mut bad = good;
         bad.topology ^= 1;
         assert!(provider.validate_hello(&bad).unwrap().contains("topology"));
+    }
+
+    #[test]
+    fn packing_negotiation_accepts_fitting_layouts_and_declines_the_rest() {
+        let m = model(2);
+        let provider = ModelProvider::new(&m, &NetConfig::small_test(128)).unwrap();
+        let pk = Keypair::generate(128, &mut StdRng::seed_from_u64(5)).public();
+        let budget = packed::required_budget(&provider.stages);
+        let max = PackingSpec::for_key(&pk, 32).unwrap();
+        let hello = |bits: u32, slots: u32, budget: u64| HelloMsg {
+            version: PROTOCOL_VERSION,
+            pk_fingerprint: 0,
+            pk_n: vec![],
+            topology: provider.topology(),
+            n_stages: provider.stages.len() as u32,
+            factor: m.factor(),
+            pack_slot_bits: bits,
+            pack_slots: slots,
+            pack_budget: budget,
+        };
+
+        let good = hello(32, max.slots as u32, budget);
+        let spec = provider.negotiate_packing(&good, &pk).expect("fitting layout accepted");
+        assert_eq!(
+            spec,
+            PackingSpec { slot_bits: 32, slots: max.slots, op_budget: budget },
+            "the accepted spec is exactly the client's proposal"
+        );
+
+        // No proposal → per-item protocol.
+        assert_eq!(provider.negotiate_packing(&hello(0, 0, budget), &pk), None);
+        // More slots than the key's plaintext space holds.
+        assert_eq!(provider.negotiate_packing(&hello(32, max.slots as u32 + 1, budget), &pk), None);
+        // Slot width outside the key's usable bits.
+        assert_eq!(provider.negotiate_packing(&hello(200, 1, budget), &pk), None);
+        // Budget too small for this model's linear stages.
+        assert_eq!(
+            provider.negotiate_packing(&hello(32, max.slots as u32, budget - 1), &pk),
+            None,
+            "a proposal that under-provisions the op budget is declined"
+        );
+        // Slot too narrow to hold the offset guard bits for this budget.
+        assert_eq!(provider.negotiate_packing(&hello(4, 1, budget), &pk), None);
     }
 
     #[test]

@@ -1,0 +1,791 @@
+//! Batch-packed execution: a whole batch of requests rides in the slots
+//! of each ciphertext.
+//!
+//! The layout is *batch-major*: slot `j` of packed ciphertext `i` holds
+//! activation `i` of request `j` (DESIGN.md §8). One homomorphic linear
+//! pass then serves the entire batch — the Straus multi-exponentiation
+//! in [`PackedMontInputs`] computes every request's dot product at once,
+//! amortizing the `O(key_bits)` squarings that dominate unpacked cost.
+//!
+//! The module supplies the four protocol legs of the packed round trip:
+//!
+//! * [`pack_plain_batch`] — data provider: gather a batch of scaled
+//!   plaintext tensors into one [`PackedTensorMsg`] (encrypt once per
+//!   tensor *position*, not per request);
+//! * [`execute_packed_linear`] — model provider: the same inverse
+//!   obfuscation → linear ops → obfuscation round as
+//!   [`LinearStage::execute`], on packed ciphertexts;
+//! * [`repack_nonlinear`] — data provider: decrypt each position, apply
+//!   the stage's element-wise non-linear ops to the slot values, and
+//!   re-encrypt at weight 1;
+//! * [`unpack_final`] — data provider: scatter the final decrypted
+//!   positions back into one [`PlainTensorMsg`] per request.
+//!
+//! Because every slot sees exactly the arithmetic the unpacked protocol
+//! would apply to that request (same weights, same rescales, same
+//! rounding on the same `i128` values), a packed run is bit-identical to
+//! the per-request baseline.
+
+use crate::encapsulate::{op_output_shape, MergedStage, StageRole};
+use crate::messages::{PackedTensorMsg, PlainTensorMsg};
+use crate::protocol::{mix, shape_to_wire, LinearStage, NonLinearStage};
+use pp_nn::scaling::ScaledOp;
+use pp_obfuscate::Permutation;
+use pp_paillier::packing::{PackedCiphertext, PackedMontInputs, PackingSpec};
+use pp_paillier::{Ciphertext, PaillierError, PublicKey, RandomnessPool};
+use pp_stream_runtime::StreamError;
+use pp_tensor::ops::{affine, conv2d, fully_connected, sum_pool2d};
+use pp_tensor::{LinearAlgebra, Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Packed rounds share the per-connection [`crate::protocol::PermStore`]
+/// with unpacked requests. A batch's permutations are stored under its
+/// first member's sequence number with this bit set, which cannot
+/// collide with any per-request key: `u64::MAX / 2` requests would have
+/// to be in flight first.
+pub(crate) const PACKED_PERM_BIT: u64 = 1 << 63;
+
+/// The [`LinearAlgebra`] back-end over batch-packed ciphertexts — the
+/// packed sibling of [`crate::encctx::EncCtx`]. The same layer kernels
+/// (`conv2d`, `fully_connected`, …) run unchanged; every element-level
+/// operation transparently applies to all `used` slots at once.
+///
+/// Operations panic when the packing invariant would break (mismatched
+/// layouts, op-budget overflow). Sessions size the budget up front with
+/// [`required_budget`], so a panic here means a negotiation bug; the
+/// serving loop backstops it with `catch_unwind` and aborts the batch
+/// instead of the connection.
+pub struct PackedEncCtx<'a> {
+    pub pk: &'a PublicKey,
+    pub spec: PackingSpec,
+    /// Active slots (= batch size) in every operand.
+    pub used: usize,
+}
+
+impl LinearAlgebra for PackedEncCtx<'_> {
+    type Elem = PackedCiphertext;
+    type Weight = i64;
+
+    fn mul(&self, w: i64, x: &PackedCiphertext) -> PackedCiphertext {
+        x.mul_signed(self.pk, w).expect("packed scalar multiply within op budget")
+    }
+
+    fn add(&self, a: &PackedCiphertext, b: &PackedCiphertext) -> PackedCiphertext {
+        a.add(self.pk, b).expect("packed add on matching layouts within op budget")
+    }
+
+    fn constant(&self, w: i64) -> PackedCiphertext {
+        PackedCiphertext::constant(self.pk, self.spec, self.used, w)
+            .expect("packed constant within value bound")
+    }
+
+    fn dot(
+        &self,
+        elems: &[PackedCiphertext],
+        terms: &[(usize, i64)],
+        bias: i64,
+    ) -> PackedCiphertext {
+        PackedMontInputs::new(self.pk, elems)
+            .expect("packed dot inputs share one layout")
+            .dot_i64(terms, bias)
+            .expect("packed dot within op budget")
+    }
+
+    fn dot_rows(
+        &self,
+        elems: &[PackedCiphertext],
+        rows: &[pp_tensor::DotRow<i64>],
+    ) -> Vec<PackedCiphertext> {
+        let inputs = PackedMontInputs::new(self.pk, elems)
+            .expect("packed dot inputs share one layout");
+        rows.iter()
+            .map(|r| inputs.dot_i64(&r.terms, r.bias).expect("packed dot within op budget"))
+            .collect()
+    }
+}
+
+/// The smallest op budget `W` that keeps every linear stage of `stages`
+/// within the packed weight invariant, assuming weight-1 inputs per
+/// stage (non-linear stages re-encrypt fresh between linear rounds).
+///
+/// Per op the simulation tracks the worst-case accumulated weight `u`
+/// of any output element (bias constants count one unit, dot products
+/// `1 + Σ|wᵢ|·u`, sum-pools `u·window²`), saturating on overflow — so
+/// the result can only *over*-provision, never under. Conv2d uses the
+/// full-kernel mass per output channel; zero-padded edge taps only
+/// shrink the true weight.
+pub fn required_budget(stages: &[MergedStage]) -> u64 {
+    let mut worst = 1u64;
+    for stage in stages.iter().filter(|s| s.role == StageRole::Linear) {
+        let mut u = 1u64;
+        for op in &stage.ops {
+            u = match op {
+                ScaledOp::Dense { weights, .. } => {
+                    let in_features = weights.shape().dims()[1].max(1);
+                    weights
+                        .data()
+                        .chunks(in_features)
+                        .map(|row| abs_mass(row, u))
+                        .max()
+                        .unwrap_or(1)
+                }
+                ScaledOp::Conv2d { spec, weights, .. } => {
+                    let per_oc = weights.data().len() / spec.out_channels.max(1);
+                    weights
+                        .data()
+                        .chunks(per_oc.max(1))
+                        .map(|taps| abs_mass(taps, u))
+                        .max()
+                        .unwrap_or(1)
+                }
+                ScaledOp::Affine { scale, .. } => scale
+                    .iter()
+                    .map(|s| 1u64.saturating_add(s.unsigned_abs().saturating_mul(u)))
+                    .max()
+                    .unwrap_or(u),
+                ScaledOp::ScaleMul { alpha } => alpha.unsigned_abs().saturating_mul(u).max(1),
+                ScaledOp::SumPool { window, .. } => {
+                    let taps = (*window as u64).saturating_mul(*window as u64);
+                    u.saturating_mul(taps).max(1)
+                }
+                ScaledOp::Flatten => u,
+                // Non-linear ops never appear in linear stages
+                // (encapsulation guarantees it); they reset u anyway.
+                _ => u,
+            };
+            worst = worst.max(u);
+        }
+    }
+    worst
+}
+
+/// `1 + Σ|wᵢ|·input_weight` — one dot row's packed weight, saturating.
+fn abs_mass(weights: &[i64], input_weight: u64) -> u64 {
+    weights.iter().fold(1u64, |acc, &w| {
+        acc.saturating_add(w.unsigned_abs().saturating_mul(input_weight))
+    })
+}
+
+/// The packing layout a wire message claims to use.
+pub(crate) fn msg_spec(msg: &PackedTensorMsg) -> PackingSpec {
+    PackingSpec {
+        slot_bits: msg.slot_bits as usize,
+        slots: msg.slots as usize,
+        op_budget: msg.op_budget,
+    }
+}
+
+/// Revalidates and reassembles every packed ciphertext of a wire
+/// message ([`PackedCiphertext::from_parts`] checks layout, key
+/// capacity, and budget).
+fn reassemble(
+    pk: &PublicKey,
+    msg: &PackedTensorMsg,
+) -> Result<Vec<PackedCiphertext>, PaillierError> {
+    let spec = msg_spec(msg);
+    msg.cts
+        .iter()
+        .map(|b| {
+            PackedCiphertext::from_parts(pk, Ciphertext::from_bytes(b), spec, msg.seqs.len(), msg.weight)
+        })
+        .collect()
+}
+
+/// Data provider: packs one batch of scaled plaintext tensors into a
+/// single [`PackedTensorMsg`] at weight 1. All members must share one
+/// shape; member `j`'s activations land in slot `j` of every ciphertext.
+/// Blinding factors come from the randomness pool (misses counted), the
+/// derivation seed follows the unpacked [`crate::protocol::EncryptStage`]
+/// convention keyed by the first member's sequence number.
+pub(crate) fn pack_plain_batch(
+    pk: &PublicKey,
+    spec: PackingSpec,
+    plains: &[PlainTensorMsg],
+    rand_pool: &mut RandomnessPool,
+    seed: u64,
+) -> Result<PackedTensorMsg, PaillierError> {
+    let first = plains
+        .first()
+        .ok_or_else(|| PaillierError::InvalidPacking("empty packed batch".into()))?;
+    if plains.len() > spec.slots {
+        return Err(PaillierError::InvalidPacking(format!(
+            "batch of {} exceeds {} slots",
+            plains.len(),
+            spec.slots
+        )));
+    }
+    let n = first.values.len();
+    if plains.iter().any(|p| p.shape != first.shape || p.values.len() != n) {
+        return Err(PaillierError::PackingMismatch);
+    }
+    let _ = pk;
+    let mut rng = StdRng::seed_from_u64(mix(seed ^ first.seq.wrapping_mul(0x517c_c1b7)));
+    let mut slots = vec![0i64; plains.len()];
+    let mut cts = Vec::with_capacity(n);
+    for a in 0..n {
+        for (j, p) in plains.iter().enumerate() {
+            slots[j] =
+                i64::try_from(p.values[a]).map_err(|_| PaillierError::MessageOutOfRange)?;
+        }
+        let packed = rand_pool.encrypt_packed(spec, &slots, &mut rng)?;
+        cts.push(packed.ct.to_bytes());
+    }
+    Ok(PackedTensorMsg {
+        seqs: plains.iter().map(|p| p.seq).collect(),
+        shape: first.shape.clone(),
+        obfuscated: false,
+        slot_bits: spec.slot_bits as u32,
+        slots: spec.slots as u32,
+        op_budget: spec.op_budget,
+        weight: 1,
+        cts,
+    })
+}
+
+/// Model provider: one packed linear round — inverse obfuscation, the
+/// stage's homomorphic linear ops over all slots at once, weight
+/// equalization (so the wire message carries a single `weight`), and
+/// obfuscation (skipped by the last linear stage, Step 3.4).
+///
+/// Permutations are stored under the batch's [`PACKED_PERM_BIT`] key.
+/// Errors are returned (not panicked) wherever the input could be at
+/// fault, so the server can abort the batch and keep the connection.
+pub(crate) fn execute_packed_linear(
+    exec: &LinearStage,
+    msg: PackedTensorMsg,
+) -> Result<PackedTensorMsg, StreamError> {
+    assert_eq!(exec.stage.role, StageRole::Linear, "misconfigured stage");
+    if msg.seqs.is_empty() {
+        return Err(StreamError::Stage("empty packed batch".into()));
+    }
+    let spec = msg_spec(&msg);
+    let pk = &exec.pk;
+    let packed_key = msg.seqs[0] | PACKED_PERM_BIT;
+    let mut cts = reassemble(pk, &msg)
+        .map_err(|e| StreamError::Stage(format!("packed decode: {e}")))?;
+
+    // Inverse obfuscation (Steps 2.5 / 3.2), batch-wide.
+    if !exec.is_first {
+        let perm = exec.perms.take(packed_key, exec.linear_idx - 1).ok_or_else(|| {
+            StreamError::Stage(format!(
+                "linear stage {} has no stored permutation for packed batch {}",
+                exec.linear_idx, msg.seqs[0]
+            ))
+        })?;
+        cts = perm
+            .invert(&cts)
+            .map_err(|e| StreamError::Stage(format!("inverse obfuscation failed: {e}")))?;
+    }
+
+    // Homomorphic linear ops: the whole-tensor kernels over the packed
+    // back-end. One pass computes all `used` requests.
+    let ctx = PackedEncCtx { pk, spec, used: msg.seqs.len() };
+    let mut shape = exec.stage.input_shape.clone();
+    let mut tensor = Tensor::from_vec(shape.clone(), cts)
+        .map_err(|e| StreamError::Stage(format!("packed input shape: {e}")))?;
+    for op in &exec.stage.ops {
+        let out_shape = op_output_shape(op, &shape)
+            .map_err(|e| StreamError::Stage(format!("packed op shape: {e}")))?;
+        tensor = run_packed_op(&ctx, op, tensor)
+            .map_err(|e| StreamError::Stage(format!("packed linear op: {e}")))?;
+        shape = out_shape;
+    }
+
+    // Equalize weights: sparse rows (padded conv edges, zero weights)
+    // accumulate less offset than dense ones; raising everything to the
+    // max lets the wire format carry one weight for the whole tensor.
+    let mut out = tensor.into_data();
+    let target = out.iter().map(PackedCiphertext::weight).max().unwrap_or(1).max(1);
+    for c in out.iter_mut() {
+        *c = c
+            .raise_weight(pk, target)
+            .map_err(|e| StreamError::Stage(format!("packed weight equalization: {e}")))?;
+    }
+
+    // Obfuscation (Steps 1.4 / 2.7), skipped in the last round (3.4).
+    let obfuscated = if exec.is_last {
+        false
+    } else {
+        let mut rng = StdRng::seed_from_u64(mix(exec.seed ^ mix(packed_key) ^ exec.linear_idx as u64));
+        let perm = Permutation::random(out.len(), &mut rng);
+        out = perm.apply(&out).expect("lengths match");
+        exec.perms.put(packed_key, exec.linear_idx, perm);
+        true
+    };
+
+    Ok(PackedTensorMsg {
+        seqs: msg.seqs,
+        shape: shape_to_wire(&shape),
+        obfuscated,
+        slot_bits: spec.slot_bits as u32,
+        slots: spec.slots as u32,
+        op_budget: spec.op_budget,
+        weight: target,
+        cts: out.iter().map(|c| c.ct.to_bytes()).collect(),
+    })
+}
+
+/// One linear op on a packed tensor, whole-tensor (packing already
+/// parallelizes over the batch; per-element worker dispatch would
+/// re-serialize full-width ciphertexts for no win).
+fn run_packed_op(
+    ctx: &PackedEncCtx<'_>,
+    op: &ScaledOp,
+    input: Tensor<PackedCiphertext>,
+) -> Result<Tensor<PackedCiphertext>, TensorError> {
+    match op {
+        ScaledOp::Flatten => Ok(input.flatten()),
+        ScaledOp::ScaleMul { alpha } => {
+            let shape = input.shape().clone();
+            let data = input.data().iter().map(|x| ctx.mul(*alpha, x)).collect();
+            Tensor::from_vec(shape, data)
+        }
+        ScaledOp::Affine { scale, shift } => affine(ctx, &input, scale, shift),
+        ScaledOp::Dense { weights, bias } => fully_connected(ctx, &input, weights, bias),
+        ScaledOp::Conv2d { spec, weights, bias } => conv2d(ctx, &input, weights, bias, spec),
+        ScaledOp::SumPool { window, stride } => sum_pool2d(ctx, &input, *window, *stride),
+        other => unreachable!("op {other:?} in packed linear stage"),
+    }
+}
+
+/// Data provider, mid-pipeline: decrypt every packed position, apply the
+/// stage's element-wise non-linear ops to the slot values (the identical
+/// `i128` math as [`NonLinearStage::apply_ops`] on the unpacked path),
+/// and re-encrypt at weight 1 for the next linear stage.
+pub(crate) fn repack_nonlinear(
+    nl: &NonLinearStage,
+    msg: PackedTensorMsg,
+) -> Result<PackedTensorMsg, PaillierError> {
+    if msg.seqs.is_empty() {
+        return Err(PaillierError::InvalidPacking("empty packed batch".into()));
+    }
+    let spec = msg_spec(&msg);
+    let pk = nl.keypair.public();
+    let sk = nl.keypair.private();
+    let used = msg.seqs.len();
+    let packed_key = msg.seqs[0] | PACKED_PERM_BIT;
+    let mut rng = StdRng::seed_from_u64(mix(nl.seed ^ mix(packed_key).rotate_left(17)));
+    let mut cts = Vec::with_capacity(msg.cts.len());
+    for b in &msg.cts {
+        let packed =
+            PackedCiphertext::from_parts(&pk, Ciphertext::from_bytes(b), spec, used, msg.weight)?;
+        let mut vals: Vec<i128> = packed.decrypt(&sk)?.iter().map(|&v| v as i128).collect();
+        nl.apply_ops(&mut vals);
+        let out: Vec<i64> = vals
+            .iter()
+            .map(|&v| i64::try_from(v).map_err(|_| PaillierError::MessageOutOfRange))
+            .collect::<Result<_, _>>()?;
+        let repacked = PackedCiphertext::encrypt(&pk, spec, &out, &mut rng)?;
+        cts.push(repacked.ct.to_bytes());
+    }
+    Ok(PackedTensorMsg {
+        seqs: msg.seqs,
+        shape: msg.shape,
+        obfuscated: msg.obfuscated,
+        slot_bits: spec.slot_bits as u32,
+        slots: spec.slots as u32,
+        op_budget: spec.op_budget,
+        weight: 1,
+        cts,
+    })
+}
+
+/// Data provider, final round: decrypt every position, apply the final
+/// stage's ops, and scatter slot `j` of each position into request `j`'s
+/// [`PlainTensorMsg`] (Steps 3.5–3.7, batch-wide).
+pub(crate) fn unpack_final(
+    nl: &NonLinearStage,
+    msg: PackedTensorMsg,
+) -> Result<Vec<PlainTensorMsg>, PaillierError> {
+    if msg.seqs.is_empty() {
+        return Err(PaillierError::InvalidPacking("empty packed batch".into()));
+    }
+    if msg.obfuscated {
+        return Err(PaillierError::InvalidPacking(
+            "final packed round arrived obfuscated (Step 3.4 violation)".into(),
+        ));
+    }
+    let spec = msg_spec(&msg);
+    let pk = nl.keypair.public();
+    let sk = nl.keypair.private();
+    let used = msg.seqs.len();
+    let mut per_item: Vec<Vec<i128>> = vec![Vec::with_capacity(msg.cts.len()); used];
+    for b in &msg.cts {
+        let packed =
+            PackedCiphertext::from_parts(&pk, Ciphertext::from_bytes(b), spec, used, msg.weight)?;
+        let mut vals: Vec<i128> = packed.decrypt(&sk)?.iter().map(|&v| v as i128).collect();
+        nl.apply_ops(&mut vals);
+        for (item, &v) in per_item.iter_mut().zip(vals.iter()) {
+            item.push(v);
+        }
+    }
+    Ok(msg
+        .seqs
+        .iter()
+        .zip(per_item)
+        .map(|(&seq, values)| PlainTensorMsg { seq, shape: msg.shape.clone(), values })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{PartitionMode, PermStore};
+    use pp_tensor::ops::Conv2dSpec;
+    use pp_paillier::Keypair;
+    use pp_stream_runtime::WorkerPool;
+    use pp_tensor::ops as plain_ops;
+    use pp_tensor::{PlainI64, Shape};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn keypair(seed: u64) -> Keypair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Keypair::generate(256, &mut rng)
+    }
+
+    fn linear_exec(kp: &Keypair, stage: MergedStage, is_last: bool) -> LinearStage {
+        LinearStage {
+            pk: kp.public(),
+            stage,
+            linear_idx: 0,
+            is_first: true,
+            is_last,
+            perms: Arc::new(PermStore::default()),
+            mode: PartitionMode::Partitioned,
+            seed: 7,
+            intra_bytes: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    #[test]
+    fn required_budget_tracks_abs_weight_mass() {
+        let dense = |rows: Vec<Vec<i64>>| {
+            let out = rows.len();
+            let inn = rows[0].len();
+            ScaledOp::Dense {
+                weights: Tensor::from_vec(vec![out, inn], rows.concat()).unwrap(),
+                bias: vec![0; out],
+            }
+        };
+        let stage = |ops: Vec<ScaledOp>, n: usize| MergedStage {
+            role: StageRole::Linear,
+            ops,
+            input_shape: Shape::vector(n),
+            output_shape: Shape::vector(n),
+        };
+
+        // One dense: worst row is 1 + |3| + |-4| = 8.
+        let s = stage(vec![dense(vec![vec![3, -4], vec![1, 1]])], 2);
+        assert_eq!(required_budget(std::slice::from_ref(&s)), 8);
+
+        // ScaleMul then dense compounds: u = 3, then 1 + (2+2)·3 = 13.
+        let s2 = stage(
+            vec![ScaledOp::ScaleMul { alpha: -3 }, dense(vec![vec![2, -2]])],
+            2,
+        );
+        assert_eq!(required_budget(&[s2]), 13);
+
+        // SumPool multiplies by window²: u = 2·2² = 8 (no bias term).
+        let s3 = MergedStage {
+            role: StageRole::Linear,
+            ops: vec![
+                ScaledOp::ScaleMul { alpha: 2 },
+                ScaledOp::SumPool { window: 2, stride: 2 },
+            ],
+            input_shape: Shape::new(vec![1, 4, 4]),
+            output_shape: Shape::new(vec![1, 2, 2]),
+        };
+        assert_eq!(required_budget(&[s3]), 8);
+
+        // Non-linear stages are ignored; budgets never drop below 1.
+        let nl = MergedStage {
+            role: StageRole::NonLinear,
+            ops: vec![ScaledOp::ReLU { rescale: 1 }],
+            input_shape: Shape::vector(2),
+            output_shape: Shape::vector(2),
+        };
+        assert_eq!(required_budget(&[nl]), 1);
+        assert_eq!(required_budget(&[]), 1);
+    }
+
+    #[test]
+    fn required_budget_bounds_actual_packed_weights() {
+        // The simulated budget must dominate the weight the kernels
+        // actually accumulate, conv padding included.
+        let kp = keypair(31);
+        let conv = ScaledOp::Conv2d {
+            spec: Conv2dSpec {
+                in_channels: 1,
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            weights: Tensor::from_vec(
+                vec![2, 1, 3, 3],
+                (0..18).map(|i| (i as i64 % 5) - 2).collect(),
+            )
+            .unwrap(),
+            bias: vec![1, -1],
+        };
+        let stage = MergedStage {
+            role: StageRole::Linear,
+            ops: vec![conv],
+            input_shape: Shape::new(vec![1, 4, 4]),
+            output_shape: Shape::new(vec![2, 4, 4]),
+        };
+        let budget = required_budget(std::slice::from_ref(&stage));
+        let exec = linear_exec(&kp, stage, true);
+
+        let spec = PackingSpec::for_key(&kp.public(), 40).unwrap().with_budget(budget);
+        spec.check().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let plains: Vec<PlainTensorMsg> = (0..3)
+            .map(|j| PlainTensorMsg {
+                seq: j,
+                shape: vec![1, 4, 4],
+                values: (0..16).map(|i| ((i as i128 * 7 + j as i128) % 9) - 4).collect(),
+            })
+            .collect();
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill(16, &mut rng);
+        let msg = pack_plain_batch(&kp.public(), spec, &plains, &mut pool, 3).unwrap();
+        let out = execute_packed_linear(&exec, msg).unwrap();
+        assert!(out.weight <= budget, "weight {} over budget {budget}", out.weight);
+    }
+
+    #[test]
+    fn packed_linear_round_matches_scaled_reference_per_item() {
+        let kp = keypair(32);
+        let weights = Tensor::from_vec(vec![2, 3], vec![2, -1, 3, 0, 4, -2]).unwrap();
+        let bias = vec![5, -7];
+        let stage = MergedStage {
+            role: StageRole::Linear,
+            ops: vec![
+                ScaledOp::ScaleMul { alpha: 2 },
+                ScaledOp::Dense { weights: weights.clone(), bias: bias.clone() },
+            ],
+            input_shape: Shape::vector(3),
+            output_shape: Shape::vector(2),
+        };
+        let budget = required_budget(std::slice::from_ref(&stage));
+        let exec = linear_exec(&kp, stage, true);
+        let spec = PackingSpec::for_key(&kp.public(), 32).unwrap().with_budget(budget);
+
+        let batch: Vec<Vec<i64>> = vec![vec![3, -2, 5], vec![-4, 0, 1], vec![7, 7, -7]];
+        let plains: Vec<PlainTensorMsg> = batch
+            .iter()
+            .enumerate()
+            .map(|(j, v)| PlainTensorMsg {
+                seq: j as u64,
+                shape: vec![3],
+                values: v.iter().map(|&x| x as i128).collect(),
+            })
+            .collect();
+        let mut pool = RandomnessPool::new(kp.public());
+        let msg = pack_plain_batch(&kp.public(), spec, &plains, &mut pool, 11).unwrap();
+        assert_eq!(msg.weight, 1);
+        assert_eq!(msg.seqs, vec![0, 1, 2]);
+
+        let out = execute_packed_linear(&exec, msg).unwrap();
+        assert!(!out.obfuscated, "last linear stage sends in the clear ordering");
+        assert_eq!(out.shape, vec![2]);
+
+        // Decrypt each output position; slot j must equal the plain
+        // scaled-integer reference for batch item j.
+        let out_spec = msg_spec(&out);
+        for (pos, b) in out.cts.iter().enumerate() {
+            let packed = PackedCiphertext::from_parts(
+                &kp.public(),
+                Ciphertext::from_bytes(b),
+                out_spec,
+                out.seqs.len(),
+                out.weight,
+            )
+            .unwrap();
+            let slots = packed.decrypt(&kp.private()).unwrap();
+            for (j, item) in batch.iter().enumerate() {
+                let scaled: Vec<i64> = item.iter().map(|&x| 2 * x).collect();
+                let want = plain_ops::fully_connected(
+                    &PlainI64,
+                    &Tensor::from_flat(scaled),
+                    &weights,
+                    &bias,
+                )
+                .unwrap();
+                assert_eq!(slots[j], want.data()[pos], "item {j} position {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_round_trip_obfuscation_and_nonlinear_matches_unpacked() {
+        // Two linear stages with a ReLU between them: the packed path
+        // must invert the stored permutation and produce exactly the
+        // per-item unpacked pipeline's final values.
+        let kp = keypair(33);
+        let w1 = Tensor::from_vec(vec![4, 2], vec![1, -2, 3, 1, -1, 2, 2, 2]).unwrap();
+        let w2 = Tensor::from_vec(vec![2, 4], vec![1, 1, -1, 0, 2, -2, 1, 1]).unwrap();
+        let lin1 = MergedStage {
+            role: StageRole::Linear,
+            ops: vec![ScaledOp::Dense { weights: w1.clone(), bias: vec![1, 0, -1, 2] }],
+            input_shape: Shape::vector(2),
+            output_shape: Shape::vector(4),
+        };
+        let relu = MergedStage {
+            role: StageRole::NonLinear,
+            ops: vec![ScaledOp::ReLU { rescale: 1 }],
+            input_shape: Shape::vector(4),
+            output_shape: Shape::vector(4),
+        };
+        let lin2 = MergedStage {
+            role: StageRole::Linear,
+            ops: vec![ScaledOp::Dense { weights: w2.clone(), bias: vec![0, 3] }],
+            input_shape: Shape::vector(4),
+            output_shape: Shape::vector(2),
+        };
+        let final_sm = MergedStage {
+            role: StageRole::NonLinear,
+            ops: vec![ScaledOp::SoftMax { rescale: 1 }],
+            input_shape: Shape::vector(2),
+            output_shape: Shape::vector(2),
+        };
+        let stages = [lin1.clone(), relu.clone(), lin2.clone(), final_sm.clone()];
+        let budget = required_budget(&stages);
+
+        let perms = Arc::new(PermStore::default());
+        let exec1 = LinearStage {
+            pk: kp.public(),
+            stage: lin1,
+            linear_idx: 0,
+            is_first: true,
+            is_last: false,
+            perms: Arc::clone(&perms),
+            mode: PartitionMode::Partitioned,
+            seed: 21,
+            intra_bytes: Arc::new(AtomicU64::new(0)),
+        };
+        let exec2 = LinearStage {
+            pk: kp.public(),
+            stage: lin2,
+            linear_idx: 1,
+            is_first: false,
+            is_last: true,
+            perms: Arc::clone(&perms),
+            mode: PartitionMode::Partitioned,
+            seed: 22,
+            intra_bytes: Arc::new(AtomicU64::new(0)),
+        };
+        let nl_mid = NonLinearStage { keypair: kp.clone(), stage: relu, factor: 100, is_last: false, seed: 23 };
+        let nl_last = NonLinearStage { keypair: kp.clone(), stage: final_sm, factor: 100, is_last: true, seed: 24 };
+
+        let spec = PackingSpec::for_key(&kp.public(), 32).unwrap().with_budget(budget);
+        let batch: Vec<Vec<i64>> = vec![vec![5, -3], vec![-2, 9], vec![0, 4], vec![6, 6]];
+        let plains: Vec<PlainTensorMsg> = batch
+            .iter()
+            .enumerate()
+            .map(|(j, v)| PlainTensorMsg {
+                seq: 10 + j as u64,
+                shape: vec![2],
+                values: v.iter().map(|&x| x as i128).collect(),
+            })
+            .collect();
+        let mut pool = RandomnessPool::new(kp.public());
+        let msg = pack_plain_batch(&kp.public(), spec, &plains, &mut pool, 9).unwrap();
+
+        let msg = execute_packed_linear(&exec1, msg).unwrap();
+        assert!(msg.obfuscated, "mid-pipeline linear output is obfuscated");
+        let msg = repack_nonlinear(&nl_mid, msg).unwrap();
+        assert_eq!(msg.weight, 1, "re-encryption resets the op weight");
+        let msg = execute_packed_linear(&exec2, msg).unwrap();
+        let outs = unpack_final(&nl_last, msg).unwrap();
+
+        // Unpacked per-item reference through the real stage executors.
+        let wp = WorkerPool::new(2);
+        let ref_perms = Arc::new(PermStore::default());
+        let r1 = LinearStage { perms: Arc::clone(&ref_perms), ..replace_perms(&exec1) };
+        let r2 = LinearStage { perms: Arc::clone(&ref_perms), ..replace_perms(&exec2) };
+        for (j, item) in batch.iter().enumerate() {
+            let seq = 10 + j as u64;
+            let mut rng = StdRng::seed_from_u64(77 + j as u64);
+            let cts: Vec<Vec<u8>> = item
+                .iter()
+                .map(|&v| kp.public().encrypt_i64(v, &mut rng).to_bytes())
+                .collect();
+            let enc = crate::messages::EncTensorMsg {
+                seq,
+                shape: vec![2],
+                obfuscated: false,
+                cts,
+            };
+            let enc = r1.execute(enc, &wp).unwrap();
+            let enc = nl_mid.execute(enc, &wp);
+            let enc = r2.execute(enc, &wp).unwrap();
+            let plain = nl_last.execute_final(enc, &wp);
+            assert_eq!(outs[j].seq, seq);
+            assert_eq!(outs[j].shape, plain.shape);
+            assert_eq!(outs[j].values, plain.values, "item {j} diverges from unpacked");
+        }
+    }
+
+    /// Clone a LinearStage but let the caller swap the perm store.
+    fn replace_perms(l: &LinearStage) -> LinearStage {
+        LinearStage {
+            pk: l.pk.clone(),
+            stage: l.stage.clone(),
+            linear_idx: l.linear_idx,
+            is_first: l.is_first,
+            is_last: l.is_last,
+            perms: Arc::new(PermStore::default()),
+            mode: l.mode,
+            seed: l.seed,
+            intra_bytes: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    #[test]
+    fn pack_plain_batch_validates_members() {
+        let kp = keypair(34);
+        let spec = PackingSpec::for_key(&kp.public(), 32).unwrap();
+        let mut pool = RandomnessPool::new(kp.public());
+        let a = PlainTensorMsg { seq: 0, shape: vec![2], values: vec![1, 2] };
+        let b = PlainTensorMsg { seq: 1, shape: vec![3], values: vec![1, 2, 3] };
+        assert!(matches!(
+            pack_plain_batch(&kp.public(), spec, &[a.clone(), b], &mut pool, 0),
+            Err(PaillierError::PackingMismatch)
+        ));
+        assert!(pack_plain_batch(&kp.public(), spec, &[], &mut pool, 0).is_err());
+
+        // Oversized batches are rejected up front.
+        let many: Vec<PlainTensorMsg> = (0..spec.slots as u64 + 1)
+            .map(|j| PlainTensorMsg { seq: j, shape: vec![1], values: vec![0] })
+            .collect();
+        assert!(pack_plain_batch(&kp.public(), spec, &many, &mut pool, 0).is_err());
+    }
+
+    #[test]
+    fn unpack_final_rejects_obfuscated_input() {
+        let kp = keypair(35);
+        let stage = MergedStage {
+            role: StageRole::NonLinear,
+            ops: vec![ScaledOp::SoftMax { rescale: 1 }],
+            input_shape: Shape::vector(1),
+            output_shape: Shape::vector(1),
+        };
+        let nl = NonLinearStage { keypair: kp.clone(), stage, factor: 100, is_last: true, seed: 1 };
+        let spec = PackingSpec::for_key(&kp.public(), 32).unwrap();
+        let msg = PackedTensorMsg {
+            seqs: vec![0],
+            shape: vec![1],
+            obfuscated: true,
+            slot_bits: spec.slot_bits as u32,
+            slots: spec.slots as u32,
+            op_budget: spec.op_budget,
+            weight: 1,
+            cts: vec![],
+        };
+        assert!(unpack_final(&nl, msg).is_err());
+    }
+}

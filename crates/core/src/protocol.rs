@@ -47,24 +47,24 @@ pub struct PermStore {
 }
 
 impl PermStore {
-    fn put(&self, seq: u64, linear_idx: usize, perm: Permutation) {
+    pub(crate) fn put(&self, seq: u64, linear_idx: usize, perm: Permutation) {
         self.map.lock().insert((seq, linear_idx), perm);
     }
-    fn take(&self, seq: u64, linear_idx: usize) -> Option<Permutation> {
+    pub(crate) fn take(&self, seq: u64, linear_idx: usize) -> Option<Permutation> {
         self.map.lock().remove(&(seq, linear_idx))
     }
 }
 
 /// SplitMix64 — deterministic seed derivation for per-(stage, request)
 /// randomness.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
 }
 
-fn shape_to_wire(shape: &Shape) -> Vec<u64> {
+pub(crate) fn shape_to_wire(shape: &Shape) -> Vec<u64> {
     shape.dims().iter().map(|&d| d as u64).collect()
 }
 
@@ -486,18 +486,26 @@ impl NonLinearStage {
             r.map(|i| sk.decrypt_i128(&Ciphertext::from_bytes(&bytes[i])))
                 .collect::<Vec<_>>()
         });
-        // Non-linear ops, element-wise, valid on permuted positions
-        // (Step 2.2). Rescale divisors restore scale F first.
+        self.apply_ops(&mut values);
+        values
+    }
+
+    /// The stage's non-linear ops, element-wise on already-decrypted
+    /// values — valid on permuted positions (Step 2.2). Rescale divisors
+    /// restore scale F first. Public so the packed-batch path can apply
+    /// the *same* math to slot-scattered values and stay bit-identical
+    /// to the unpacked protocol.
+    pub fn apply_ops(&self, values: &mut [i128]) {
         for op in &self.stage.ops {
             match op {
                 ScaledOp::ReLU { rescale } => {
-                    for v in &mut values {
+                    for v in values.iter_mut() {
                         *v = div_round(*v, *rescale).max(0);
                     }
                 }
                 ScaledOp::Sigmoid { rescale } => {
                     let f = self.factor as f64;
-                    for v in &mut values {
+                    for v in values.iter_mut() {
                         let x = div_round(*v, *rescale) as f64 / f;
                         *v = (sigmoid_scalar(x) * f).round() as i128;
                     }
@@ -505,14 +513,13 @@ impl NonLinearStage {
                 ScaledOp::SoftMax { rescale } => {
                     // Monotone: rescale only; probabilities are recovered
                     // from the scaled logits by the session.
-                    for v in &mut values {
+                    for v in values.iter_mut() {
                         *v = div_round(*v, *rescale);
                     }
                 }
                 other => unreachable!("op {other:?} in non-linear stage"),
             }
         }
-        values
     }
 }
 

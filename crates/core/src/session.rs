@@ -12,6 +12,7 @@ use crate::CoreError;
 use pp_allocate::{even_allocation, solve, Allocation, LayerLoad, Role, ServerSpec, SolveConfig};
 use pp_nn::scaling::ScaledModel;
 use parking_lot::Mutex;
+use pp_paillier::packing::PackingSpec;
 use pp_paillier::{Keypair, RandomnessPool};
 use pp_stream_runtime::{PipelineBuilder, StageReport, WorkerPool};
 use pp_tensor::Tensor;
@@ -592,6 +593,198 @@ impl PpStream {
         Ok((outputs, report))
     }
 
+    /// Streams a batch through the pipeline with **batch-packed
+    /// ciphertexts** (DESIGN.md §8): chunks of up to `slots` requests
+    /// ride the slots of shared ciphertexts, so each homomorphic linear
+    /// pass serves the whole chunk at once. The op budget is sized from
+    /// the model via [`crate::packed::required_budget`]; an infeasible
+    /// layout (slot too narrow for the budget) is an error. A chunk that
+    /// fails mid-flight (e.g. an activation outgrowing the slot's value
+    /// bound) falls back to the sequential unpacked executors, so the
+    /// returned outputs are always complete — and always bit-identical
+    /// to [`PpStream::infer_stream`]'s.
+    pub fn infer_stream_packed(
+        &self,
+        inputs: &[Tensor<f64>],
+        slot_bits: usize,
+    ) -> Result<(Vec<Tensor<i64>>, RunReport), CoreError> {
+        if inputs.is_empty() {
+            return Err(CoreError::Runtime("no inputs".into()));
+        }
+        let budget = crate::packed::required_budget(&self.stages);
+        let spec = PackingSpec::for_key(&self.keypair.public(), slot_bits)
+            .map(|s| s.with_budget(budget))
+            .and_then(|s| s.check().map(|()| s))
+            .map_err(|e| CoreError::Model(format!("packing infeasible: {e}")))?;
+        let mode = if self.config.tensor_partition {
+            PartitionMode::Partitioned
+        } else {
+            PartitionMode::None
+        };
+        // One factor per tensor *position* per chunk — the whole point:
+        // encryption cost no longer scales with the batch size.
+        let rand_pool = Arc::new(Mutex::new(RandomnessPool::new(self.keypair.public())));
+        {
+            let need = inputs.len().div_ceil(spec.slots) * self.scaled.input_shape().len();
+            let workers = WorkerPool::new(self.plan.threads_for(0));
+            rand_pool.lock().refill_parallel(need, &workers, self.config.seed ^ 0x5EED);
+        }
+        let execs = self.build_execs_with(mode, Some(Arc::clone(&rand_pool)));
+        let pools: Vec<WorkerPool> =
+            (0..self.plan.n_stages()).map(|i| WorkerPool::new(self.plan.threads_for(i))).collect();
+        let names = self.stage_names();
+        let mut stage_busy = vec![Duration::ZERO; self.stages.len() + 1];
+        let mut latencies = Vec::with_capacity(inputs.len());
+        let mut outputs: Vec<Option<Tensor<i64>>> = (0..inputs.len()).map(|_| None).collect();
+        let t_start = Instant::now();
+
+        for (c, chunk) in inputs.chunks(spec.slots).enumerate() {
+            let base = c * spec.slots;
+            let plains: Vec<PlainTensorMsg> = chunk
+                .iter()
+                .enumerate()
+                .map(|(j, input)| {
+                    let scaled_in = self.scaled.scale_input(input);
+                    PlainTensorMsg {
+                        seq: (base + j) as u64,
+                        shape: input.shape().dims().iter().map(|&d| d as u64).collect(),
+                        values: scaled_in.data().iter().map(|&v| v as i128).collect(),
+                    }
+                })
+                .collect();
+            let t0 = Instant::now();
+            match self.run_packed_chunk(&execs, &pools, &plains, spec, &rand_pool, &mut stage_busy)
+            {
+                Ok(outs) => {
+                    let dt = t0.elapsed();
+                    for out in outs {
+                        let idx = out.seq as usize;
+                        outputs[idx] = Some(plain_to_tensor(&out)?);
+                        latencies.push(dt);
+                    }
+                }
+                Err(_) => {
+                    // Packed chunk rejected (slot overflow, budget): run
+                    // its members through the unpacked executors instead.
+                    for plain in plains {
+                        let t0 = Instant::now();
+                        let idx = plain.seq as usize;
+                        let out =
+                            self.run_unpacked_item(&execs, &pools, plain, &mut stage_busy)?;
+                        outputs[idx] = Some(plain_to_tensor(&out)?);
+                        latencies.push(t0.elapsed());
+                    }
+                }
+            }
+        }
+
+        let outputs: Vec<Tensor<i64>> = outputs
+            .into_iter()
+            .map(|o| o.ok_or_else(|| CoreError::Runtime("unresolved packed request".into())))
+            .collect::<Result<_, _>>()?;
+        let makespan = t_start.elapsed();
+        let mean_latency = latencies.iter().sum::<Duration>() / latencies.len().max(1) as u32;
+        let report = RunReport {
+            latencies,
+            makespan,
+            mean_latency,
+            link_bytes: vec![],
+            intra_stage_bytes: execs.intra_total(),
+            stage_names: names,
+            stage_busy,
+            stage_threads: self.plan.threads().to_vec(),
+            stages: vec![],
+            transport: None,
+            pool_misses: rand_pool.lock().misses(),
+        };
+        Ok((outputs, report))
+    }
+
+    /// One packed chunk through every stage executor, sequentially.
+    fn run_packed_chunk(
+        &self,
+        execs: &Execs,
+        _pools: &[WorkerPool],
+        plains: &[PlainTensorMsg],
+        spec: PackingSpec,
+        rand_pool: &Arc<Mutex<RandomnessPool>>,
+        stage_busy: &mut [Duration],
+    ) -> Result<Vec<PlainTensorMsg>, CoreError> {
+        use crate::packed;
+        let rt = |e: String| CoreError::Runtime(e);
+        let t0 = Instant::now();
+        let mut msg = packed::pack_plain_batch(
+            &self.keypair.public(),
+            spec,
+            plains,
+            &mut rand_pool.lock(),
+            execs.encrypt.seed,
+        )
+        .map_err(|e| rt(format!("packed encode: {e}")))?;
+        stage_busy[0] += t0.elapsed();
+
+        let (last, mids) = execs
+            .stages
+            .split_last()
+            .ok_or_else(|| rt("empty pipeline".into()))?;
+        for (i, exec) in mids.iter().enumerate() {
+            let t0 = Instant::now();
+            msg = match exec {
+                StageExec::Linear(l) => packed::execute_packed_linear(l, msg)
+                    .map_err(|e| rt(e.to_string()))?,
+                StageExec::NonLinear(nl) => {
+                    packed::repack_nonlinear(nl, msg).map_err(|e| rt(e.to_string()))?
+                }
+            };
+            stage_busy[i + 1] += t0.elapsed();
+        }
+        let StageExec::NonLinear(nl) = last else {
+            return Err(rt("pipeline must end with a final non-linear stage".into()));
+        };
+        if !nl.is_last {
+            return Err(rt("pipeline must end with a final non-linear stage".into()));
+        }
+        let t0 = Instant::now();
+        let outs = packed::unpack_final(nl, msg).map_err(|e| rt(e.to_string()))?;
+        stage_busy[execs.stages.len()] += t0.elapsed();
+        Ok(outs)
+    }
+
+    /// One request through the unpacked executors, sequentially — the
+    /// fallback for a rejected packed chunk (identical math and seeds to
+    /// the pipelined path, so results stay deterministic).
+    fn run_unpacked_item(
+        &self,
+        execs: &Execs,
+        pools: &[WorkerPool],
+        plain: PlainTensorMsg,
+        stage_busy: &mut [Duration],
+    ) -> Result<PlainTensorMsg, CoreError> {
+        let t0 = Instant::now();
+        let mut msg = execs.encrypt.encrypt(plain, &pools[0]);
+        stage_busy[0] += t0.elapsed();
+        let mut out = None;
+        for (i, exec) in execs.stages.iter().enumerate() {
+            let t0 = Instant::now();
+            match exec {
+                StageExec::Linear(l) => {
+                    msg = l
+                        .execute(msg, &pools[i + 1])
+                        .map_err(|e| CoreError::Runtime(e.to_string()))?;
+                }
+                StageExec::NonLinear(nl) => {
+                    if nl.is_last {
+                        out = Some(nl.execute_final(msg.clone(), &pools[i + 1]));
+                    } else {
+                        msg = nl.execute(msg, &pools[i + 1]);
+                    }
+                }
+            }
+            stage_busy[i + 1] += t0.elapsed();
+        }
+        out.ok_or_else(|| CoreError::Runtime("pipeline missing final stage".into()))
+    }
+
     /// Streams requests and returns the predicted class per input.
     pub fn classify_stream(
         &self,
@@ -604,6 +797,17 @@ impl PpStream {
             .collect();
         Ok((classes, report))
     }
+}
+
+/// Converts a final plaintext message to the session's output tensor.
+fn plain_to_tensor(msg: &PlainTensorMsg) -> Result<Tensor<i64>, CoreError> {
+    let shape: Vec<usize> = msg.shape.iter().map(|&d| d as usize).collect();
+    let values: Vec<i64> = msg
+        .values
+        .iter()
+        .map(|&v| i64::try_from(v).expect("final logits fit i64"))
+        .collect();
+    Tensor::from_vec(shape, values).map_err(|e| CoreError::Runtime(e.to_string()))
 }
 
 enum StageExec {
@@ -735,6 +939,42 @@ mod tests {
         let (outputs, _) = session.infer_stream(std::slice::from_ref(&input)).unwrap();
         let want = scaled.forward_scaled(&scaled.scale_input(&input)).unwrap();
         assert_eq!(outputs[0].data(), want.data());
+    }
+
+    #[test]
+    fn packed_stream_matches_unpacked_bit_for_bit() {
+        // Five requests across two packed chunks (3 slots at 32-bit
+        // slots under a 128-bit key) must produce exactly the unpacked
+        // pipeline's scaled outputs — the tentpole acceptance property.
+        let (_, session) = small_session(7);
+        let inputs: Vec<Tensor<f64>> = (0..5)
+            .map(|i| {
+                Tensor::from_flat(vec![
+                    (i as f64 * 0.7).cos(),
+                    0.3 - 0.2 * i as f64,
+                    -0.6,
+                    0.1 * i as f64,
+                ])
+            })
+            .collect();
+        let (unpacked, _) = session.infer_stream(&inputs).unwrap();
+        let (packed, report) = session.infer_stream_packed(&inputs, 32).unwrap();
+        assert_eq!(packed.len(), unpacked.len());
+        for (j, (p, u)) in packed.iter().zip(&unpacked).enumerate() {
+            assert_eq!(p.data(), u.data(), "request {j} diverges under packing");
+        }
+        assert_eq!(report.latencies.len(), 5);
+        assert_eq!(report.pool_misses, 0, "refill must cover packed encodes");
+    }
+
+    #[test]
+    fn packed_stream_rejects_infeasible_layout() {
+        // An 8-bit slot cannot hold the MLP's op budget; the session
+        // reports the infeasibility instead of silently unpacking.
+        let (_, session) = small_session(8);
+        let input = Tensor::from_flat(vec![0.1, 0.2, 0.3, 0.4]);
+        let err = session.infer_stream_packed(std::slice::from_ref(&input), 8).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)), "{err}");
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use ciphertext::Ciphertext;
 pub use dot::MontInputs;
 pub use encoding::{decode_i64, encode_i64, try_encode_i64};
 pub use keys::{Keypair, PrivateKey, PublicKey};
-pub use packing::{PackedCiphertext, PackingSpec};
+pub use packing::{PackedCiphertext, PackedMontInputs, PackingSpec};
 pub use pool::RandomnessPool;
 
 /// Errors from Paillier operations.
@@ -59,6 +59,13 @@ pub enum PaillierError {
     InvalidCiphertext,
     /// Byte decoding failed.
     Decode(String),
+    /// A packed operation would exceed the spec's operation budget (or
+    /// overflow the weight arithmetic itself, reported saturated).
+    BudgetExceeded { weight: u64, budget: u64 },
+    /// Packed operands disagree on spec or active slot count.
+    PackingMismatch,
+    /// A packing layout is invalid for the key or operation.
+    InvalidPacking(String),
 }
 
 impl std::fmt::Display for PaillierError {
@@ -67,6 +74,11 @@ impl std::fmt::Display for PaillierError {
             PaillierError::MessageOutOfRange => write!(f, "message out of plaintext range"),
             PaillierError::InvalidCiphertext => write!(f, "invalid ciphertext"),
             PaillierError::Decode(s) => write!(f, "decode error: {s}"),
+            PaillierError::BudgetExceeded { weight, budget } => {
+                write!(f, "packed op weight {weight} exceeds budget {budget}")
+            }
+            PaillierError::PackingMismatch => write!(f, "packed operands mismatch"),
+            PaillierError::InvalidPacking(s) => write!(f, "invalid packing: {s}"),
         }
     }
 }

@@ -7,166 +7,403 @@
 //! multiplication** work directly on the packed ciphertext:
 //!
 //! ```text
-//!   pack(v) = Σᵢ enc(vᵢ) · 2^(i·s)
-//!   pack(v) + pack(w)  →  slot-wise vᵢ + wᵢ
-//!   pack(v) · k        →  slot-wise vᵢ · k      (k ≥ 0, uniform)
+//!   pack(v) = Σⱼ enc(vⱼ) · 2^(j·s)
+//!   pack(v) + pack(w)  →  slot-wise vⱼ + wⱼ
+//!   pack(v) · k        →  slot-wise vⱼ · k      (uniform k)
 //! ```
 //!
-//! Per-slot *distinct* weights do not distribute over slots, so packing
-//! accelerates transport, bias addition, and uniform scaling — not
-//! general matrix products.
+//! Per-slot *distinct* weights do not distribute over slots — but a dot
+//! product whose **batch dimension lives in the slots** applies each
+//! weight uniformly across slots. [`PackedMontInputs::dot_i64`] exploits
+//! this: slot `j` of input ciphertext `i` holds activation `i` of request
+//! `j`, so one Straus multi-exponentiation (the same kernel as
+//! [`crate::MontInputs`]) evaluates the whole batch's `Σᵢ wᵢ·xᵢ + b` at
+//! once, negative weights folded into a single inversion.
 //!
-//! ## Slot arithmetic and the operation budget
+//! ## Slot arithmetic, offsets, and the operation budget
 //!
-//! Values are offset-encoded (`v + 2·B` for bound `|v| < B`) so slot
-//! contents stay positive, and every homomorphic operation grows the
-//! content. A slot must never spill into its neighbour, so each spec
-//! carries an **operation budget** `W`: the total `Σ adds·scale` weight a
-//! ciphertext may accumulate. The value bound is sized as
-//! `B = 2^(s-2-⌈log₂W⌉)`, which guarantees `content ≤ 3·W·B < 2^s`.
-//! [`PackedCiphertext::add`] and [`PackedCiphertext::mul_uniform`] enforce
-//! the budget and fail rather than silently corrupt slots.
+//! Values are offset-encoded so slot contents stay non-negative. Every
+//! packed ciphertext carries a **weight** `w`: the invariant is
+//!
+//! ```text
+//!   slot content = v + w·2B,   |v| ≤ w·(B−1),   w ≤ W (the op budget)
+//! ```
+//!
+//! A fresh encryption has `w = 1`; addition sums weights; uniform
+//! multiplication by `k` scales the weight by `k`; signed/negative
+//! operations re-center by multiplying in `g^{δ·ones}` (a plaintext
+//! constant added to every active slot) so contents never wrap. The value
+//! bound is sized as `B = 2^(s−2−⌈log₂W⌉)`, which guarantees
+//! `content < 3·W·B ≤ 2^s`: a slot can never spill into its neighbour
+//! while the weight stays within budget. Every operation **checks** the
+//! budget and returns a typed [`PaillierError`] instead of corrupting
+//! slots.
 
-use crate::{Ciphertext, PaillierError, PrivateKey, PublicKey};
-use pp_bigint::BigUint;
+use crate::ciphertext::Ciphertext;
+use crate::{PaillierError, PrivateKey, PublicKey};
+use pp_bigint::{BigUint, Limb};
 use rand::Rng;
+use std::cell::OnceCell;
 
 /// Layout and operation budget of a packed ciphertext.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PackingSpec {
-    /// Bits per slot (including offset/guard headroom). 32 is a good
-    /// default for PP-Stream's scaled activations.
+    /// Bits per slot (including offset/guard headroom).
     pub slot_bits: usize,
     /// Number of slots per ciphertext.
     pub slots: usize,
-    /// Maximum accumulated `adds · scale` weight (see module docs).
+    /// Maximum accumulated operation weight (see module docs).
     pub op_budget: u64,
 }
 
 impl PackingSpec {
     /// Largest spec with `slot_bits`-wide slots that fits the key's
     /// plaintext space, with a default operation budget of 16.
-    pub fn for_key(pk: &PublicKey, slot_bits: usize) -> Self {
+    ///
+    /// Fails with a typed error when `slot_bits` is zero, wider than the
+    /// key's usable plaintext bits, or too narrow to leave headroom for
+    /// the offset encoding.
+    pub fn for_key(pk: &PublicKey, slot_bits: usize) -> Result<Self, PaillierError> {
         let usable = pk.bits().saturating_sub(2);
-        PackingSpec { slot_bits, slots: (usable / slot_bits).max(1), op_budget: 16 }
+        if slot_bits == 0 || slot_bits > usable {
+            return Err(PaillierError::InvalidPacking(format!(
+                "slot_bits {slot_bits} outside usable plaintext bits 1..={usable}"
+            )));
+        }
+        let spec = PackingSpec { slot_bits, slots: usable / slot_bits, op_budget: 16 };
+        spec.check()?;
+        Ok(spec)
     }
 
-    /// Adjusts the operation budget (shrinks the per-value bound).
+    /// Adjusts the operation budget (shrinks the per-value bound). The
+    /// combination is re-validated by every packing operation, so a
+    /// budget too large for the slot width fails typed, not silently.
     pub fn with_budget(mut self, op_budget: u64) -> Self {
         self.op_budget = op_budget.max(1);
         self
     }
 
+    /// `⌈log₂ op_budget⌉`, conservatively (≥ 1).
     fn budget_bits(&self) -> u32 {
         64 - (self.op_budget.max(1) - 1).leading_zeros().min(63)
     }
 
-    /// Magnitude bound for a slot value: `|v| < 2^(s - 2 - ⌈log₂W⌉)`.
-    pub fn value_bound(&self) -> i64 {
-        let shift = self.slot_bits.saturating_sub(2 + self.budget_bits() as usize);
-        1i64 << shift.clamp(1, 62)
+    /// Validates the layout: the slot must hold `2 + ⌈log₂W⌉` guard bits
+    /// *and* at least one value bit, and slot extraction must fit `u128`.
+    pub fn check(&self) -> Result<(), PaillierError> {
+        if self.slot_bits > 120 {
+            return Err(PaillierError::InvalidPacking(format!(
+                "slot_bits {} exceeds the 120-bit slot extraction limit",
+                self.slot_bits
+            )));
+        }
+        if self.slots == 0 {
+            return Err(PaillierError::InvalidPacking("zero slots".into()));
+        }
+        let need = 3 + self.budget_bits() as usize;
+        if self.slot_bits < need {
+            return Err(PaillierError::InvalidPacking(format!(
+                "slot_bits {} too narrow for op budget {} (needs ≥ {need})",
+                self.slot_bits, self.op_budget
+            )));
+        }
+        Ok(())
     }
 
-    fn offset(&self) -> u64 {
+    /// Magnitude bound for a slot value: `|v| < 2^(s − 2 − ⌈log₂W⌉)`.
+    pub fn value_bound(&self) -> i64 {
+        let shift = self.slot_bits.saturating_sub(2 + self.budget_bits() as usize);
+        1i64 << shift.min(62)
+    }
+
+    /// The per-unit-weight slot offset `2B`.
+    pub fn offset(&self) -> u64 {
         2 * self.value_bound() as u64
+    }
+
+    /// `Σ_{j<used} 2^{j·s}` — the mask that broadcasts a per-slot
+    /// constant across the first `used` slots.
+    pub fn ones_mask(&self, used: usize) -> BigUint {
+        let mut m = BigUint::zero();
+        for _ in 0..used {
+            m = m.shl_bits(self.slot_bits);
+            m = &m + &BigUint::one();
+        }
+        m
+    }
+
+    /// Capacity check against a key: all slots must fit the usable
+    /// plaintext space (the encoding never reduces mod `n`).
+    pub(crate) fn check_key(&self, pk: &PublicKey) -> Result<(), PaillierError> {
+        let usable = pk.bits().saturating_sub(2);
+        match self.slots.checked_mul(self.slot_bits) {
+            Some(total) if total <= usable => Ok(()),
+            _ => Err(PaillierError::InvalidPacking(format!(
+                "{} slots × {} bits exceed the key's usable {usable} plaintext bits",
+                self.slots, self.slot_bits
+            ))),
+        }
     }
 }
 
-/// A ciphertext holding `spec.slots` packed values, with the bookkeeping
-/// needed to strip offsets at decode time.
+/// Packs `values` into one plaintext with the fresh-encryption offset
+/// (`v + 2B` per slot), validating range and capacity.
+pub(crate) fn pack_values(spec: &PackingSpec, values: &[i64]) -> Result<BigUint, PaillierError> {
+    spec.check()?;
+    if values.len() > spec.slots {
+        return Err(PaillierError::InvalidPacking(format!(
+            "{} values exceed {} slots",
+            values.len(),
+            spec.slots
+        )));
+    }
+    let bound = spec.value_bound();
+    let mut m = BigUint::zero();
+    // Highest slot first: m = ((v_{k-1}) << s | … ) | v_0.
+    for &v in values.iter().rev() {
+        if v <= -bound || v >= bound {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        let encoded = (v + spec.offset() as i64) as u64;
+        m = m.shl_bits(spec.slot_bits);
+        m = &m + &BigUint::from(encoded);
+    }
+    Ok(m)
+}
+
+/// `magnitude · ones(used)` reduced mod `n`, negated in `Z_n` when
+/// `negative` — the encoded per-slot correction constant `δ`.
+fn signed_broadcast_residue(
+    pk: &PublicKey,
+    spec: &PackingSpec,
+    used: usize,
+    magnitude: u128,
+    negative: bool,
+) -> Result<BigUint, PaillierError> {
+    let plain = BigUint::from(magnitude).mul_ref(&spec.ones_mask(used));
+    let r = plain
+        .rem_ref(pk.n())
+        .map_err(|_| PaillierError::InvalidPacking("zero modulus".into()))?;
+    if negative && !r.is_zero() {
+        Ok(pk.n() - &r)
+    } else {
+        Ok(r)
+    }
+}
+
+/// A ciphertext holding up to `spec.slots` packed values, with the weight
+/// bookkeeping needed to strip offsets at decode time.
 #[derive(Clone, Debug)]
 pub struct PackedCiphertext {
     pub ct: Ciphertext,
     pub spec: PackingSpec,
-    /// How many packed ciphertexts were summed into this one.
-    adds: u64,
-    /// Uniform scalar applied.
-    scale: u64,
     /// How many of the slots actually carry values.
     used: usize,
+    /// Accumulated operation weight: every slot holds `v + weight·2B`.
+    weight: u64,
 }
 
 impl PackedCiphertext {
     /// Packs and encrypts up to `spec.slots` values, each `|v| <
-    /// spec.value_bound()`.
+    /// spec.value_bound()`, with fresh randomness.
     pub fn encrypt<R: Rng + ?Sized>(
         pk: &PublicKey,
         spec: PackingSpec,
         values: &[i64],
         rng: &mut R,
     ) -> Result<Self, PaillierError> {
-        if values.len() > spec.slots {
-            return Err(PaillierError::MessageOutOfRange);
+        spec.check_key(pk)?;
+        let m = pack_values(&spec, values)?;
+        Ok(PackedCiphertext { ct: pk.encrypt(&m, rng), spec, used: values.len(), weight: 1 })
+    }
+
+    /// Packs and encrypts with a **precomputed** blinding factor
+    /// `rn = r^n mod n²` (see [`crate::RandomnessPool`]) — the packed
+    /// analogue of [`PublicKey::encrypt_i64_with_factor`].
+    pub fn encrypt_with_factor(
+        pk: &PublicKey,
+        spec: PackingSpec,
+        values: &[i64],
+        rn: &BigUint,
+    ) -> Result<Self, PaillierError> {
+        spec.check_key(pk)?;
+        let m = pack_values(&spec, values)?;
+        Ok(PackedCiphertext::from_plain_with_factor(pk, spec, values.len(), &m, rn))
+    }
+
+    pub(crate) fn from_plain_with_factor(
+        pk: &PublicKey,
+        spec: PackingSpec,
+        used: usize,
+        m: &BigUint,
+        rn: &BigUint,
+    ) -> Self {
+        let ct = Ciphertext::new(pk.ctx().mul_mod(&pk.g_pow_encoded(m), rn));
+        PackedCiphertext { ct, spec, used, weight: 1 }
+    }
+
+    /// The deterministic packed constant `k` in every active slot
+    /// (weight 1, unit randomness — the packed analogue of
+    /// [`PublicKey::encrypt_constant_i64`], with the same caveat: only
+    /// for model-side constants that get multiplied into data-derived
+    /// ciphertexts).
+    pub fn constant(
+        pk: &PublicKey,
+        spec: PackingSpec,
+        used: usize,
+        k: i64,
+    ) -> Result<Self, PaillierError> {
+        spec.check()?;
+        spec.check_key(pk)?;
+        if used > spec.slots {
+            return Err(PaillierError::InvalidPacking(format!(
+                "{used} used slots exceed {}",
+                spec.slots
+            )));
         }
         let bound = spec.value_bound();
-        let mut m = BigUint::zero();
-        // Highest slot first: m = ((v_{k-1}) << s | … ) | v_0.
-        for &v in values.iter().rev() {
-            if v.abs() >= bound {
-                return Err(PaillierError::MessageOutOfRange);
-            }
-            let encoded = (v + spec.offset() as i64) as u64;
-            m = m.shl_bits(spec.slot_bits);
-            m = &m + &BigUint::from(encoded);
+        if k <= -bound || k >= bound {
+            return Err(PaillierError::MessageOutOfRange);
         }
+        let per_slot = (k + spec.offset() as i64) as u128;
+        let residue = signed_broadcast_residue(pk, &spec, used, per_slot, false)?;
         Ok(PackedCiphertext {
-            ct: pk.encrypt(&m, rng),
+            ct: Ciphertext::new(pk.g_pow_encoded(&residue)),
             spec,
-            adds: 1,
-            scale: 1,
-            used: values.len(),
+            used,
+            weight: 1,
         })
     }
 
-    /// Accumulated operation weight (`adds · scale`).
+    /// Reassembles a packed ciphertext received off the wire, validating
+    /// the metadata against the key and budget before it can be used.
+    pub fn from_parts(
+        pk: &PublicKey,
+        ct: Ciphertext,
+        spec: PackingSpec,
+        used: usize,
+        weight: u64,
+    ) -> Result<Self, PaillierError> {
+        spec.check()?;
+        spec.check_key(pk)?;
+        if used > spec.slots {
+            return Err(PaillierError::InvalidPacking(format!(
+                "{used} used slots exceed {}",
+                spec.slots
+            )));
+        }
+        if weight > spec.op_budget {
+            return Err(PaillierError::BudgetExceeded { weight, budget: spec.op_budget });
+        }
+        Ok(PackedCiphertext { ct, spec, used, weight })
+    }
+
+    /// Accumulated operation weight.
     pub fn weight(&self) -> u64 {
-        self.adds.saturating_mul(self.scale)
+        self.weight
+    }
+
+    /// Number of meaningful slots.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    fn checked_weight(&self, weight: Option<u64>) -> Result<u64, PaillierError> {
+        match weight {
+            Some(w) if w <= self.spec.op_budget => Ok(w),
+            Some(w) => Err(PaillierError::BudgetExceeded { weight: w, budget: self.spec.op_budget }),
+            // Arithmetic overflow: report the saturated weight.
+            None => Err(PaillierError::BudgetExceeded {
+                weight: u64::MAX,
+                budget: self.spec.op_budget,
+            }),
+        }
     }
 
     /// Slot-wise homomorphic addition. Both operands must share the spec
-    /// and uniform scale; fails if the operation budget would be exceeded.
+    /// **and** active slot count; fails typed when the operation budget
+    /// would be exceeded.
     pub fn add(&self, pk: &PublicKey, other: &Self) -> Result<Self, PaillierError> {
-        if self.spec != other.spec || self.scale != other.scale {
-            return Err(PaillierError::MessageOutOfRange);
+        if self.spec != other.spec || self.used != other.used {
+            return Err(PaillierError::PackingMismatch);
         }
-        let out = PackedCiphertext {
+        let weight = self.checked_weight(self.weight.checked_add(other.weight))?;
+        Ok(PackedCiphertext {
             ct: pk.add(&self.ct, &other.ct),
             spec: self.spec,
-            adds: self.adds + other.adds,
-            scale: self.scale,
-            used: self.used.max(other.used),
-        };
-        if out.weight() > self.spec.op_budget {
-            return Err(PaillierError::MessageOutOfRange);
-        }
-        Ok(out)
+            used: self.used,
+            weight,
+        })
     }
 
-    /// Uniform positive scalar multiplication across all slots; fails if
-    /// the operation budget would be exceeded.
+    /// Uniform positive scalar multiplication across all slots; fails
+    /// typed when the operation budget would be exceeded.
     pub fn mul_uniform(&self, pk: &PublicKey, k: u64) -> Result<Self, PaillierError> {
         if k == 0 {
             return Err(PaillierError::MessageOutOfRange);
         }
-        let out = PackedCiphertext {
+        let weight = self.checked_weight(self.weight.checked_mul(k))?;
+        Ok(PackedCiphertext {
             ct: pk.mul_scalar(&self.ct, &BigUint::from(k)),
             spec: self.spec,
-            adds: self.adds,
-            scale: self.scale * k,
             used: self.used,
-        };
-        if out.weight() > self.spec.op_budget {
-            return Err(PaillierError::MessageOutOfRange);
-        }
-        Ok(out)
+            weight,
+        })
     }
 
-    /// Decrypts and unpacks: slot `i` yields `scale · Σ vᵢ` over every
-    /// ciphertext summed in.
+    /// Uniform **signed** scalar multiplication. A negative scalar
+    /// inverts the ciphertext (slot contents go to `k·v + k·w·2B` mod
+    /// `n`), then re-centers every active slot by `+2|k|·w·2B` so the
+    /// invariant `content = k·v + |k|·w·2B ∈ (0, 2^s)` is restored.
+    pub fn mul_signed(&self, pk: &PublicKey, k: i64) -> Result<Self, PaillierError> {
+        if k > 0 {
+            return self.mul_uniform(pk, k as u64);
+        }
+        if k == 0 {
+            return Ok(PackedCiphertext {
+                ct: pk.mul_scalar_i64(&self.ct, 0),
+                spec: self.spec,
+                used: self.used,
+                weight: 0,
+            });
+        }
+        let weight = self.checked_weight(self.weight.checked_mul(k.unsigned_abs()))?;
+        let raw = pk.mul_scalar_i64(&self.ct, k);
+        // δ = (|k| − k)·w·2B = 2·|k|·w·2B per active slot.
+        let delta = 2 * weight as u128 * self.spec.offset() as u128;
+        let residue = signed_broadcast_residue(pk, &self.spec, self.used, delta, false)?;
+        let ct = Ciphertext::new(pk.ctx().mul_mod(raw.raw(), &pk.g_pow_encoded(&residue)));
+        Ok(PackedCiphertext { ct, spec: self.spec, used: self.used, weight })
+    }
+
+    /// Lifts the ciphertext to a larger weight without changing slot
+    /// values, by adding `(target − w)·2B` to every active slot. Used to
+    /// give every element of a packed round the same decode offset.
+    pub fn raise_weight(&self, pk: &PublicKey, target: u64) -> Result<Self, PaillierError> {
+        if target < self.weight {
+            return Err(PaillierError::InvalidPacking(format!(
+                "cannot lower weight {} to {target}",
+                self.weight
+            )));
+        }
+        let target = self.checked_weight(Some(target))?;
+        if target == self.weight {
+            return Ok(self.clone());
+        }
+        let delta = (target - self.weight) as u128 * self.spec.offset() as u128;
+        let residue = signed_broadcast_residue(pk, &self.spec, self.used, delta, false)?;
+        let ct = Ciphertext::new(pk.ctx().mul_mod(self.ct.raw(), &pk.g_pow_encoded(&residue)));
+        Ok(PackedCiphertext { ct, spec: self.spec, used: self.used, weight: target })
+    }
+
+    /// Decrypts and unpacks the active slots, stripping `weight·2B` from
+    /// each.
     pub fn decrypt(&self, sk: &PrivateKey) -> Result<Vec<i64>, PaillierError> {
         let m = sk.decrypt(&self.ct);
-        let offset_total =
-            self.adds as i128 * self.scale as i128 * self.spec.offset() as i128;
+        let offset_total = (self.weight as u128)
+            .checked_mul(self.spec.offset() as u128)
+            .and_then(|o| i128::try_from(o).ok())
+            .ok_or(PaillierError::MessageOutOfRange)?;
         let mut out = Vec::with_capacity(self.used);
         let mut rest = m;
         for _ in 0..self.used {
@@ -180,24 +417,178 @@ impl PackedCiphertext {
         }
         Ok(out)
     }
+}
 
-    /// Number of meaningful slots.
-    pub fn used(&self) -> usize {
-        self.used
+/// A batch's packed inputs with per-ciphertext Montgomery residues,
+/// converted lazily and cached — the packed counterpart of
+/// [`crate::MontInputs`]. Slot `j` of input `i` holds activation `i` of
+/// batch item `j`, so one fused dot product evaluates all items at once.
+pub struct PackedMontInputs<'a> {
+    pk: &'a PublicKey,
+    cts: &'a [PackedCiphertext],
+    monts: Vec<OnceCell<Vec<Limb>>>,
+    spec: PackingSpec,
+    used: usize,
+}
+
+impl<'a> PackedMontInputs<'a> {
+    /// Wraps a batch's packed input ciphertexts. All inputs must share
+    /// one spec and active slot count. No Montgomery conversion happens
+    /// yet: each input converts the first time a dot product reads it.
+    pub fn new(pk: &'a PublicKey, cts: &'a [PackedCiphertext]) -> Result<Self, PaillierError> {
+        let first = cts.first().ok_or(PaillierError::PackingMismatch)?;
+        if cts.iter().any(|c| c.spec != first.spec || c.used != first.used) {
+            return Err(PaillierError::PackingMismatch);
+        }
+        first.spec.check()?;
+        first.spec.check_key(pk)?;
+        let monts = (0..cts.len()).map(|_| OnceCell::new()).collect();
+        Ok(PackedMontInputs { pk, cts, monts, spec: first.spec, used: first.used })
+    }
+
+    /// Number of wrapped inputs.
+    pub fn len(&self) -> usize {
+        self.cts.len()
+    }
+
+    /// True when the batch has no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.cts.is_empty()
+    }
+
+    fn mont(&self, i: usize) -> &[Limb] {
+        self.monts[i].get_or_init(|| self.pk.ctx().to_mont(self.cts[i].ct.raw()))
+    }
+
+    /// The smallest weight a dot product over `terms` (plus a bias slot)
+    /// can carry: `1 + Σ|wᵢ|·weight(ctᵢ)`, checked against the budget.
+    pub fn natural_weight(&self, terms: &[(usize, i64)]) -> Result<u64, PaillierError> {
+        let mut acc: u64 = 1;
+        for &(i, w) in terms {
+            let contrib = w
+                .unsigned_abs()
+                .checked_mul(self.cts[i].weight)
+                .ok_or(PaillierError::BudgetExceeded {
+                    weight: u64::MAX,
+                    budget: self.spec.op_budget,
+                })?;
+            acc = acc.checked_add(contrib).ok_or(PaillierError::BudgetExceeded {
+                weight: u64::MAX,
+                budget: self.spec.op_budget,
+            })?;
+        }
+        if acc > self.spec.op_budget {
+            return Err(PaillierError::BudgetExceeded { weight: acc, budget: self.spec.op_budget });
+        }
+        Ok(acc)
+    }
+
+    /// Fused batched `Σᵢ wᵢ·xᵢ + bias`: slot `j` of the result decodes
+    /// to the dot product of batch item `j` — bit-identical to `used`
+    /// independent unpacked [`crate::MontInputs::dot_i64`] evaluations.
+    pub fn dot_i64(&self, terms: &[(usize, i64)], bias: i64) -> Result<PackedCiphertext, PaillierError> {
+        let weight = self.natural_weight(terms)?;
+        self.dot_i64_with_weight(terms, bias, weight)
+    }
+
+    /// [`Self::dot_i64`] re-centered to a caller-chosen `target` weight
+    /// (≥ the natural weight), so every output of a layer can share one
+    /// uniform decode offset regardless of its row's weight mass.
+    pub fn dot_i64_with_weight(
+        &self,
+        terms: &[(usize, i64)],
+        bias: i64,
+        target: u64,
+    ) -> Result<PackedCiphertext, PaillierError> {
+        let natural = self.natural_weight(terms)?;
+        if target < natural {
+            return Err(PaillierError::InvalidPacking(format!(
+                "target weight {target} below natural weight {natural}"
+            )));
+        }
+        if target > self.spec.op_budget {
+            return Err(PaillierError::BudgetExceeded {
+                weight: target,
+                budget: self.spec.op_budget,
+            });
+        }
+        let bound = self.spec.value_bound();
+        if bias <= -bound || bias >= bound {
+            return Err(PaillierError::MessageOutOfRange);
+        }
+        let ctx = self.pk.ctx();
+
+        let mut pos_bases: Vec<&[Limb]> = Vec::new();
+        let mut pos_exps: Vec<u64> = Vec::new();
+        let mut neg_bases: Vec<&[Limb]> = Vec::new();
+        let mut neg_exps: Vec<u64> = Vec::new();
+        // S = Σ wᵢ·weight(ctᵢ): the signed offset mass the raw product
+        // accumulates, to be re-centered to `target` below.
+        let mut offset_mass: i128 = 0;
+        for &(i, w) in terms {
+            offset_mass += w as i128 * self.cts[i].weight as i128;
+            if w > 0 {
+                pos_bases.push(self.mont(i));
+                pos_exps.push(w as u64);
+            } else if w < 0 {
+                neg_bases.push(self.mont(i));
+                neg_exps.push(w.unsigned_abs());
+            }
+        }
+
+        // A = Π cᵢ^{wᵢ⁺} in Montgomery form (1·R when no positive terms).
+        let mut acc = ctx.pow_mod_multi_mont(&pos_bases, &pos_exps);
+        let mut scratch = ctx.scratch();
+
+        // B = Π cᵢ^{|wᵢ⁻|}, inverted once: acc ← A · B⁻¹.
+        if !neg_bases.is_empty() {
+            let b = ctx.from_mont(&ctx.pow_mod_multi_mont(&neg_bases, &neg_exps));
+            let b_inv = b
+                .modinv(self.pk.n_squared())
+                .expect("ciphertexts are units mod n²");
+            let b_inv_m = ctx.to_mont(&b_inv);
+            ctx.mont_mul_inplace(&mut acc, &b_inv_m, &mut scratch);
+        }
+
+        // δ = bias + (target − S)·2B per active slot: one g-power fixes
+        // both the bias and the offset re-centering.
+        let delta = (target as i128)
+            .checked_sub(offset_mass)
+            .and_then(|d| d.checked_mul(self.spec.offset() as i128))
+            .and_then(|d| d.checked_add(bias as i128))
+            .ok_or(PaillierError::InvalidPacking("offset correction overflow".into()))?;
+        if delta != 0 {
+            let residue = signed_broadcast_residue(
+                self.pk,
+                &self.spec,
+                self.used,
+                delta.unsigned_abs(),
+                delta < 0,
+            )?;
+            let gd_m = ctx.to_mont(&self.pk.g_pow_encoded(&residue));
+            ctx.mont_mul_inplace(&mut acc, &gd_m, &mut scratch);
+        }
+
+        Ok(PackedCiphertext {
+            ct: Ciphertext::new(ctx.from_mont(&acc)),
+            spec: self.spec,
+            used: self.used,
+            weight: target,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Keypair;
+    use crate::{Keypair, MontInputs};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn setup(budget: u64) -> (Keypair, PackingSpec, StdRng) {
         let mut rng = StdRng::seed_from_u64(80);
         let kp = Keypair::generate(256, &mut rng);
-        let spec = PackingSpec::for_key(&kp.public(), 32).with_budget(budget);
+        let spec = PackingSpec::for_key(&kp.public(), 32).unwrap().with_budget(budget);
         (kp, spec, rng)
     }
 
@@ -266,14 +657,22 @@ mod tests {
     }
 
     #[test]
-    fn budget_enforced() {
+    fn budget_enforced_with_typed_error() {
         let (kp, spec, mut rng) = setup(2);
         let a = PackedCiphertext::encrypt(&kp.public(), spec, &[1], &mut rng).unwrap();
         let b = PackedCiphertext::encrypt(&kp.public(), spec, &[2], &mut rng).unwrap();
         let sum = a.add(&kp.public(), &b).unwrap(); // weight 2 == budget
         let c = PackedCiphertext::encrypt(&kp.public(), spec, &[3], &mut rng).unwrap();
-        assert!(sum.add(&kp.public(), &c).is_err(), "third add exceeds the budget");
-        assert!(a.mul_uniform(&kp.public(), 3).is_err(), "scale 3 exceeds the budget");
+        assert_eq!(
+            sum.add(&kp.public(), &c).unwrap_err(),
+            PaillierError::BudgetExceeded { weight: 3, budget: 2 },
+            "third add exceeds the budget"
+        );
+        assert_eq!(
+            a.mul_uniform(&kp.public(), 3).unwrap_err(),
+            PaillierError::BudgetExceeded { weight: 3, budget: 2 },
+            "scale 3 exceeds the budget"
+        );
     }
 
     #[test]
@@ -281,17 +680,182 @@ mod tests {
         let (kp, spec, mut rng) = setup(16);
         let too_big = spec.value_bound();
         assert!(PackedCiphertext::encrypt(&kp.public(), spec, &[too_big], &mut rng).is_err());
+        assert!(
+            PackedCiphertext::encrypt(&kp.public(), spec, &[i64::MIN], &mut rng).is_err(),
+            "i64::MIN must not wrap the range check"
+        );
         let too_many = vec![1i64; spec.slots + 1];
         assert!(PackedCiphertext::encrypt(&kp.public(), spec, &too_many, &mut rng).is_err());
     }
 
     #[test]
-    fn mismatched_specs_rejected() {
+    fn mismatched_specs_and_slots_rejected() {
         let (kp, spec, mut rng) = setup(16);
         let other_spec = PackingSpec { slot_bits: 16, slots: 4, op_budget: 16 };
         let a = PackedCiphertext::encrypt(&kp.public(), spec, &[1], &mut rng).unwrap();
         let b = PackedCiphertext::encrypt(&kp.public(), other_spec, &[1], &mut rng).unwrap();
-        assert!(a.add(&kp.public(), &b).is_err());
+        assert_eq!(a.add(&kp.public(), &b).unwrap_err(), PaillierError::PackingMismatch);
+        // Same spec, different active slot counts: a silent max() here
+        // would decode garbage, so it must be a typed error.
+        let c = PackedCiphertext::encrypt(&kp.public(), spec, &[1, 2], &mut rng).unwrap();
+        assert_eq!(a.add(&kp.public(), &c).unwrap_err(), PaillierError::PackingMismatch);
+    }
+
+    #[test]
+    fn for_key_boundary_slot_widths() {
+        let (kp, _, _) = setup(16);
+        let pk = kp.public();
+        let usable = pk.bits() - 2;
+        assert!(matches!(
+            PackingSpec::for_key(&pk, 0),
+            Err(PaillierError::InvalidPacking(_))
+        ));
+        assert!(matches!(
+            PackingSpec::for_key(&pk, usable + 1),
+            Err(PaillierError::InvalidPacking(_))
+        ));
+        // Widest supported slot on this key: two slots at 100 bits.
+        let wide = PackingSpec::for_key(&pk, 100).unwrap();
+        assert_eq!(wide.slots, 2);
+        // Too narrow to hold the default budget's guard bits.
+        assert!(matches!(
+            PackingSpec::for_key(&pk, 4),
+            Err(PaillierError::InvalidPacking(_))
+        ));
+    }
+
+    #[test]
+    fn budget_arithmetic_near_u64_overflow() {
+        let (kp, spec, mut rng) = setup(16);
+        // A budget of u64::MAX forces ⌈log₂W⌉ ≈ 64 guard bits into a
+        // 32-bit slot: every operation must fail typed, never wrap.
+        let huge = spec.with_budget(u64::MAX);
+        assert!(matches!(huge.check(), Err(PaillierError::InvalidPacking(_))));
+        assert!(PackedCiphertext::encrypt(&kp.public(), huge, &[1], &mut rng).is_err());
+
+        // Weight arithmetic overflow (not just budget comparison) on a
+        // wide-slot spec with a near-max budget.
+        let wide = PackingSpec { slot_bits: 80, slots: 3, op_budget: u64::MAX / 2 };
+        wide.check().unwrap();
+        let a = PackedCiphertext::encrypt(&kp.public(), wide, &[7, -9], &mut rng).unwrap();
+        let big = a.mul_uniform(&kp.public(), 1 << 40).unwrap();
+        assert_eq!(
+            big.mul_uniform(&kp.public(), 1 << 40).unwrap_err(),
+            PaillierError::BudgetExceeded { weight: u64::MAX, budget: u64::MAX / 2 },
+            "u64 overflow in weight arithmetic must saturate into a typed error"
+        );
+        assert_eq!(big.decrypt(&kp.private()).unwrap(), vec![7 << 40, -9 << 40]);
+    }
+
+    #[test]
+    fn mul_signed_recenters() {
+        let (kp, spec, mut rng) = setup(64);
+        let v = vec![5i64, -7, 0, 100];
+        let p = PackedCiphertext::encrypt(&kp.public(), spec, &v, &mut rng).unwrap();
+        let neg = p.mul_signed(&kp.public(), -3).unwrap();
+        assert_eq!(neg.weight(), 3);
+        assert_eq!(neg.decrypt(&kp.private()).unwrap(), vec![-15, 21, 0, -300]);
+        let zero = p.mul_signed(&kp.public(), 0).unwrap();
+        assert_eq!(zero.weight(), 0);
+        assert_eq!(zero.decrypt(&kp.private()).unwrap(), vec![0, 0, 0, 0]);
+        let pos = p.mul_signed(&kp.public(), 4).unwrap();
+        assert_eq!(pos.decrypt(&kp.private()).unwrap(), vec![20, -28, 0, 400]);
+    }
+
+    #[test]
+    fn constant_and_raise_weight() {
+        let (kp, spec, mut rng) = setup(16);
+        let c = PackedCiphertext::constant(&kp.public(), spec, 3, -42).unwrap();
+        assert_eq!(c.weight(), 1);
+        assert_eq!(c.decrypt(&kp.private()).unwrap(), vec![-42, -42, -42]);
+
+        let p = PackedCiphertext::encrypt(&kp.public(), spec, &[9, -9, 9], &mut rng).unwrap();
+        let lifted = p.raise_weight(&kp.public(), 5).unwrap();
+        assert_eq!(lifted.weight(), 5);
+        assert_eq!(lifted.decrypt(&kp.private()).unwrap(), vec![9, -9, 9]);
+        // Lifted operands still add with plain ones of the same weight.
+        let sum = lifted.add(&kp.public(), &c.raise_weight(&kp.public(), 5).unwrap()).unwrap();
+        assert_eq!(sum.decrypt(&kp.private()).unwrap(), vec![-33, -51, -33]);
+        assert!(p.raise_weight(&kp.public(), 0).is_err(), "weights never lower");
+        assert!(matches!(
+            p.raise_weight(&kp.public(), 17).unwrap_err(),
+            PaillierError::BudgetExceeded { weight: 17, budget: 16 }
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates_metadata() {
+        let (kp, spec, mut rng) = setup(16);
+        let p = PackedCiphertext::encrypt(&kp.public(), spec, &[1, 2], &mut rng).unwrap();
+        let ok = PackedCiphertext::from_parts(&kp.public(), p.ct.clone(), spec, 2, 1).unwrap();
+        assert_eq!(ok.decrypt(&kp.private()).unwrap(), vec![1, 2]);
+        assert!(matches!(
+            PackedCiphertext::from_parts(&kp.public(), p.ct.clone(), spec, spec.slots + 1, 1),
+            Err(PaillierError::InvalidPacking(_))
+        ));
+        assert!(matches!(
+            PackedCiphertext::from_parts(&kp.public(), p.ct.clone(), spec, 2, 17),
+            Err(PaillierError::BudgetExceeded { weight: 17, budget: 16 })
+        ));
+    }
+
+    #[test]
+    fn packed_dot_matches_independent_unpacked_dots() {
+        let (kp, spec, mut rng) = setup(1 << 14);
+        let pk = kp.public();
+        // 4 activations × 3 batch items, batch-major in the slots.
+        let acts: Vec<Vec<i64>> = vec![
+            vec![120, -45, 300],
+            vec![-7, 0, 99],
+            vec![1000, 1000, -1000],
+            vec![0, 5, -5],
+        ];
+        let packs: Vec<PackedCiphertext> = acts
+            .iter()
+            .map(|row| PackedCiphertext::encrypt(&pk, spec, row, &mut rng).unwrap())
+            .collect();
+        let inputs = PackedMontInputs::new(&pk, &packs).unwrap();
+        for (terms, bias) in [
+            (vec![(0usize, 3i64), (1, -2), (2, 7), (3, 1)], 17i64),
+            (vec![(0, -1), (1, -4), (2, -2), (3, -8)], -9), // all-negative
+            (vec![(0, 0), (1, 0), (2, 0), (3, 0)], 5),      // zero-weight row
+            (vec![], 0),
+        ] {
+            let packed = inputs.dot_i64(&terms, bias).unwrap();
+            let got = packed.decrypt(&kp.private()).unwrap();
+            for (j, &g) in got.iter().enumerate() {
+                let cts: Vec<Ciphertext> = acts
+                    .iter()
+                    .map(|row| pk.encrypt_i64(row[j], &mut rng))
+                    .collect();
+                let want = kp
+                    .private()
+                    .decrypt_i64(&MontInputs::new(&pk, &cts).dot_i64(&terms, bias));
+                assert_eq!(g, want, "slot {j}, terms {terms:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_dot_target_weight_uniformity() {
+        let (kp, spec, mut rng) = setup(1 << 10);
+        let pk = kp.public();
+        let packs: Vec<PackedCiphertext> = [[10i64, -10], [20, 5]]
+            .iter()
+            .map(|row| PackedCiphertext::encrypt(&pk, spec, row, &mut rng).unwrap())
+            .collect();
+        let inputs = PackedMontInputs::new(&pk, &packs).unwrap();
+        let light = inputs.dot_i64_with_weight(&[(0, 1)], 0, 100).unwrap();
+        let heavy = inputs.dot_i64_with_weight(&[(0, 3), (1, -5)], 2, 100).unwrap();
+        assert_eq!(light.weight(), 100);
+        assert_eq!(heavy.weight(), 100);
+        // Uniform weights make rows of one layer mutually addable.
+        let sum = light.add(&pk, &heavy).unwrap();
+        assert_eq!(sum.decrypt(&kp.private()).unwrap(), vec![10 - 68, -10 - 53]);
+        assert!(
+            inputs.dot_i64_with_weight(&[(0, 3), (1, -5)], 2, 4).is_err(),
+            "target below natural weight must fail"
+        );
     }
 
     #[test]

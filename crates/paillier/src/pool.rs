@@ -12,7 +12,8 @@
 //! surfaces through its run report so an undersized pool shows up in
 //! telemetry instead of as a mystery latency cliff.
 
-use crate::{Ciphertext, PublicKey};
+use crate::packing::{pack_values, PackedCiphertext, PackingSpec};
+use crate::{Ciphertext, PaillierError, PublicKey};
 use pp_bigint::{random_coprime, BigUint};
 use pp_stream_runtime::pool::WorkerPool;
 use rand::rngs::StdRng;
@@ -89,6 +90,26 @@ impl RandomnessPool {
             None => self.pk.encrypt_i64(m, rng),
         }
     }
+
+    /// Packs and encrypts a batch of values using a pooled factor,
+    /// falling back (and counting the miss) when the pool is drained.
+    /// Packing is validated *before* a factor is consumed, so a rejected
+    /// batch neither spends nor miscounts pool state.
+    pub fn encrypt_packed<R: Rng + ?Sized>(
+        &mut self,
+        spec: PackingSpec,
+        values: &[i64],
+        rng: &mut R,
+    ) -> Result<PackedCiphertext, PaillierError> {
+        spec.check_key(&self.pk)?;
+        let m = pack_values(&spec, values)?;
+        match self.take_factor() {
+            Some(rn) => {
+                Ok(PackedCiphertext::from_plain_with_factor(&self.pk, spec, values.len(), &m, &rn))
+            }
+            None => PackedCiphertext::encrypt(&self.pk, spec, values, rng),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +173,48 @@ mod tests {
             assert_eq!(kp.private().decrypt_i64(&c), m);
         }
         assert_eq!(pool.misses(), 0);
+    }
+
+    #[test]
+    fn packed_encrypts_draw_pooled_factors() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let kp = Keypair::generate(256, &mut rng);
+        let spec = PackingSpec::for_key(&kp.public(), 32).unwrap();
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill(2, &mut rng);
+
+        let a = pool.encrypt_packed(spec, &[4, -4, 44], &mut rng).unwrap();
+        assert_eq!(a.decrypt(&kp.private()).unwrap(), vec![4, -4, 44]);
+        assert_eq!(pool.available(), 1, "a packed encrypt consumes exactly one factor");
+        assert_eq!(pool.misses(), 0);
+
+        // A rejected batch consumes nothing and records no miss.
+        let too_big = spec.value_bound();
+        assert!(pool.encrypt_packed(spec, &[too_big], &mut rng).is_err());
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.misses(), 0);
+
+        // Draining the pool falls back inline and counts the miss.
+        pool.encrypt_packed(spec, &[1], &mut rng).unwrap();
+        let b = pool.encrypt_packed(spec, &[2, 3], &mut rng).unwrap();
+        assert_eq!(b.decrypt(&kp.private()).unwrap(), vec![2, 3]);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn pooled_packed_matches_factor_encryption() {
+        // The pooled path must produce exactly encrypt_with_factor's
+        // ciphertext for the factor at the head of the pool.
+        let mut rng = StdRng::seed_from_u64(25);
+        let kp = Keypair::generate(256, &mut rng);
+        let spec = PackingSpec::for_key(&kp.public(), 32).unwrap();
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill(1, &mut rng);
+        let rn = pool.factors.front().unwrap().clone();
+        let via_pool = pool.encrypt_packed(spec, &[7, -8], &mut rng).unwrap();
+        let direct =
+            PackedCiphertext::encrypt_with_factor(&kp.public(), spec, &[7, -8], &rn).unwrap();
+        assert_eq!(via_pool.ct.raw(), direct.ct.raw());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Property tests for Paillier homomorphic semantics (paper Eqs. 1–3).
 
+use pp_paillier::packing::{PackedCiphertext, PackedMontInputs, PackingSpec};
 use pp_paillier::Keypair;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -96,5 +97,68 @@ proptest! {
         let want: i64 =
             pairs.iter().map(|(m, w)| m * w).sum::<i64>() + bias;
         prop_assert_eq!(kp.private().decrypt_i64(&fused), want);
+    }
+
+    /// Packed encrypt → decrypt is the identity at every slot width and
+    /// occupancy the key supports.
+    #[test]
+    fn packed_roundtrip_at_random_slot_counts(
+        slot_bits in 24usize..=40,
+        values in proptest::collection::vec(-1000i64..1000, 0..8),
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let pk = kp.public();
+        let spec = PackingSpec::for_key(&pk, slot_bits).unwrap();
+        prop_assume!(values.len() <= spec.slots);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let packed = PackedCiphertext::encrypt(&pk, spec, &values, &mut rng).unwrap();
+        prop_assert_eq!(packed.used(), values.len());
+        prop_assert_eq!(packed.weight(), 1);
+        prop_assert_eq!(packed.decrypt(&kp.private()).unwrap(), values);
+    }
+
+    /// A packed batched dot (batch in the slots) must decode
+    /// bit-identical to `used` independent unpacked `dot_i64` calls —
+    /// signed weights, all-negative rows, and zero-weight rows included.
+    #[test]
+    fn packed_dot_matches_unpacked_dot_per_slot(
+        // acts[i][j]: activation i of batch item j.
+        acts in proptest::collection::vec(
+            proptest::collection::vec(-1000i64..1000, 3), 1..6),
+        ws in proptest::collection::vec(-50i64..=50, 6),
+        bias in -1000i64..1000,
+        negate_all in any::<bool>(),
+    ) {
+        let kp = keypair();
+        let pk = kp.public();
+        let spec = PackingSpec::for_key(&pk, 32).unwrap().with_budget(512);
+        let mut rng = StdRng::seed_from_u64(bias as u64 ^ (acts.len() as u64) << 48);
+
+        let terms: Vec<(usize, i64)> = acts
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i, if negate_all { -ws[i].abs() } else { ws[i] }))
+            .collect();
+
+        let packs: Vec<PackedCiphertext> = acts
+            .iter()
+            .map(|row| PackedCiphertext::encrypt(&pk, spec, row, &mut rng).unwrap())
+            .collect();
+        let packed = PackedMontInputs::new(&pk, &packs)
+            .unwrap()
+            .dot_i64(&terms, bias)
+            .unwrap();
+        let got = packed.decrypt(&kp.private()).unwrap();
+        prop_assert_eq!(got.len(), 3);
+
+        for (j, &g) in got.iter().enumerate() {
+            let cts: Vec<_> = acts
+                .iter()
+                .map(|row| pk.encrypt_i64(row[j], &mut rng))
+                .collect();
+            let unpacked = pp_paillier::MontInputs::new(&pk, &cts).dot_i64(&terms, bias);
+            prop_assert_eq!(g, kp.private().decrypt_i64(&unpacked), "batch item {}", j);
+        }
     }
 }

@@ -14,6 +14,19 @@ pub struct DotRow<W> {
     pub terms: Vec<(usize, W)>,
 }
 
+impl DotRow<i64> {
+    /// The packed-ciphertext offset weight this row's dot product
+    /// accumulates over inputs of weight `input_weight`:
+    /// `1 + Σ|wᵢ|·input_weight` (one unit for the bias slot). Saturating,
+    /// so an overflowing row can only *over*-estimate — sizing against an
+    /// op budget stays safe.
+    pub fn packed_weight(&self, input_weight: u64) -> u64 {
+        self.terms.iter().fold(1u64, |acc, &(_, w)| {
+            acc.saturating_add(w.unsigned_abs().saturating_mul(input_weight))
+        })
+    }
+}
+
 /// Arithmetic context for the linear-layer kernels in [`crate::ops`].
 ///
 /// PP-Stream executes the *same* convolution / fully-connected /
@@ -155,6 +168,18 @@ mod tests {
     fn plain_i128_widens() {
         let ctx = PlainI128;
         assert_eq!(ctx.mul(i64::MAX, &2), i64::MAX as i128 * 2);
+    }
+
+    #[test]
+    fn packed_weight_counts_abs_mass() {
+        let row = DotRow { bias: 7i64, terms: vec![(0, 3), (1, -4), (2, 0)] };
+        assert_eq!(row.packed_weight(1), 1 + 3 + 4);
+        assert_eq!(row.packed_weight(10), 1 + 30 + 40);
+        // Bias-only (and even zero-bias) rows still carry the bias slot.
+        assert_eq!(DotRow { bias: 0i64, terms: vec![] }.packed_weight(5), 1);
+        // Overflow saturates instead of wrapping to a small value.
+        let big = DotRow { bias: 0i64, terms: vec![(0, i64::MIN), (1, i64::MAX)] };
+        assert_eq!(big.packed_weight(u64::MAX), u64::MAX);
     }
 
     #[test]

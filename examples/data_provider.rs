@@ -30,6 +30,13 @@
 //! stall watchdog, recovering a linear-round reply slower than `n`
 //! milliseconds by reconnect-and-resume instead of waiting out the full
 //! TCP read timeout.
+//!
+//! Packing knobs: `PP_PACK_BITS=s` proposes batch-packed ciphertexts
+//! with `s`-bit slots in the handshake (DESIGN.md §8) — with this demo's
+//! 256-bit key, `PP_PACK_BITS=64` fits all three requests into one
+//! packed batch; `PP_PACK_BATCH=n` caps members per batch below the slot
+//! count. If the server declines (or the layout can't hold the model's
+//! op budget) the stream transparently stays on the per-item protocol.
 
 use pp_nn::{zoo, ScaledModel};
 use pp_stream::{NetConfig, NetworkedSession};
@@ -51,14 +58,26 @@ fn demo_config() -> NetConfig {
             .and_then(|v| v.parse::<u64>().ok())
             .map(std::time::Duration::from_millis)
     };
+    let env_n = |key: &str| {
+        std::env::var(key).ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(0)
+    };
     let mut config = NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() };
     config.item_deadline = env_ms("PP_ITEM_DEADLINE_MS");
     config.stall_window = env_ms("PP_WATCHDOG_MS");
+    config.pack_slot_bits = env_n("PP_PACK_BITS");
+    config.pack_batch = env_n("PP_PACK_BATCH");
     if let Some(budget) = config.item_deadline {
         println!("[data-provider] end-to-end deadline: {budget:?} per item");
     }
     if let Some(window) = config.stall_window {
         println!("[data-provider] stall watchdog armed: {window:?}");
+    }
+    if config.pack_slot_bits > 0 {
+        println!(
+            "[data-provider] proposing batch-packed ciphertexts: {}-bit slots, batch cap {}",
+            config.pack_slot_bits,
+            if config.pack_batch == 0 { "fill".to_string() } else { config.pack_batch.to_string() }
+        );
     }
     #[cfg(feature = "fault-injection")]
     {
@@ -122,6 +141,12 @@ fn main() {
         final_report.faults_injected,
         final_report.clean_shutdown,
     );
+    if final_report.packed_items + final_report.packed_fallbacks > 0 {
+        println!(
+            "[data-provider] packing: {} items in {} packed rounds, {} fallbacks",
+            final_report.packed_items, final_report.packed_rounds, final_report.packed_fallbacks,
+        );
+    }
     if final_report.rejected_busy
         + final_report.stalls
         + final_report.deadline_expired

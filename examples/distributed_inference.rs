@@ -28,7 +28,11 @@ fn main() {
     let model = zoo::mlp("distributed-mlp", &[6, 10, 3], &mut rng).expect("model");
     let scaled = ScaledModel::from_model(&model, 10_000);
 
-    let config = NetConfig { key_bits: 256, seed: 99, ..NetConfig::default() };
+    // 64-bit slots in a 256-bit key leave three slots per ciphertext —
+    // exactly this demo's batch, so all three requests ride one packed
+    // linear pass each round (DESIGN.md §8).
+    let config =
+        NetConfig { key_bits: 256, seed: 99, pack_slot_bits: 64, ..NetConfig::default() };
 
     // ---- Model provider: a TCP server owning the weights. ----
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -68,6 +72,15 @@ fn main() {
         transport.bytes_sent,
         transport.frames_received,
         transport.bytes_received,
+    );
+    println!(
+        "[data-provider] packing: {} items in {} packed rounds, {} fallbacks",
+        transport.packed_items, transport.packed_rounds, transport.packed_fallbacks,
+    );
+    assert_eq!(
+        transport.packed_items,
+        inputs.len() as u64,
+        "with seeds fixed and the layout feasible, every request rides a packed batch"
     );
     let final_report = session.shutdown();
     assert!(final_report.clean_shutdown);

@@ -35,6 +35,9 @@ cargo build -p pp-stream --no-default-features
 echo "==> kernel gate: fused dot must not regress below the naive fold"
 cargo run --release -p pp-bench --bin bench_kernels -- --smoke
 
+echo "==> packed-dot gate: per-item packed <= unpacked at batch >= 8, >= 4x at batch 32"
+cargo run --release -p pp-bench --bin bench_kernels -- --packed-gate
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

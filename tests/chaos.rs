@@ -409,6 +409,138 @@ fn chaos_saturation_sheds_excess_clients_without_failures() {
     assert!(report.clean_shutdown);
 }
 
+/// A factor-100 model small enough for 32-bit packed slots on a 128-bit
+/// key (3 members per ciphertext) — the chaos default's 10⁴ factor
+/// overflows any packable slot width.
+fn packed_mlp_model(name: &str) -> ScaledModel {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp(name, &[4, 6, 3], &mut rng).expect("model");
+    ScaledModel::from_model(&model, 100)
+}
+
+#[test]
+fn chaos_packed_kill_soak_bit_identical() {
+    // Kills landing mid-packed-round: the interrupted batch falls back
+    // to per-item replay, the reconnect drops packing for the rest of
+    // the stream, and every item still completes exactly once with
+    // bit-identical outputs to the in-process pipeline.
+    let scaled = packed_mlp_model("packed-kill-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.pack_slot_bits = 32;
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), kill_every: Some(3), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let items = stream_inputs(60);
+    let (got, _) = session.infer_stream(&items).expect("soak survives the kills");
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown, "the Bye must get through, reconnecting if needed");
+    assert!(transport.packed_items >= 3, "at least the first batch travels packed");
+    assert!(transport.packed_fallbacks > 0, "a kill mid-batch must fall back to per-item");
+    assert!(transport.reconnects > 0, "the kill schedule must actually fire");
+    assert!(transport.faults_injected > 0);
+
+    let server_report = server.join().expect("server thread");
+    assert!(server_report.clean_shutdown);
+    assert!(
+        server_report.requests >= 60,
+        "every member's linear rounds completed (kills may replay an unacked one)"
+    );
+    assert!(
+        server_report.replayed_items >= transport.items_replayed,
+        "packed-fallback replays are intra-connection — only the server counts them: \
+         {} server vs {} client",
+        server_report.replayed_items,
+        transport.items_replayed
+    );
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.infer_stream(&items).expect("in-process inference");
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.data(), w.data(), "item {i} diverged from the in-process pipeline");
+    }
+}
+
+#[test]
+fn chaos_packed_poison_aborts_batch_and_quarantines_item() {
+    // A poison member inside a packed batch: the server aborts the
+    // *batch* (one PackedAbort, no batch-level quarantine), the client
+    // replays its members unpacked over the same connection, and only
+    // then does the per-item protocol quarantine the poisoned seq. The
+    // surrounding batches stay packed and bit-identical.
+    let scaled = packed_mlp_model("packed-poison-mlp");
+    let mut config = NetConfig::small_test(128);
+    config.pack_slot_bits = 32;
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), poison_seq: Some(4), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let items = stream_inputs(9); // batches (0,1,2) (3,4,5) (6,7,8); seq 4 is poisoned
+    let (outcomes, _) =
+        session.infer_stream_partial(&items).expect("the stream survives the poison member");
+    let transport = session.shutdown();
+    assert!(transport.clean_shutdown);
+    assert_eq!(transport.packed_fallbacks, 1, "exactly the poisoned batch falls back");
+    assert_eq!(transport.packed_items, 6, "the two healthy batches stay packed");
+    assert_eq!(transport.quarantined, 1, "exactly one quarantine reply");
+    assert_eq!(transport.reconnects, 0, "a packed abort never tears the connection down");
+
+    let failed: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.output().is_none())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(failed, vec![4], "exactly the poisoned member fails");
+    match &outcomes[4] {
+        ItemOutcome::Failed { kind, detail } => {
+            assert_eq!(*kind, ItemErrorKind::Quarantined);
+            assert!(detail.contains("panicked"), "detail must name the panic: {detail}");
+        }
+        ItemOutcome::Done(_) => unreachable!("outcome 4 failed above"),
+    }
+
+    let server_report = server.join().expect("server thread");
+    assert!(server_report.clean_shutdown);
+    assert_eq!(server_report.packed_aborts, 1, "one abort for the poisoned batch");
+    assert_eq!(server_report.quarantined, 1, "quarantine happens on the unpacked replay");
+    assert_eq!(server_report.requests, 8, "the poisoned member never completes");
+    assert_eq!(
+        server_report.replayed_items, 3,
+        "all three batch members replay unpacked after the abort"
+    );
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.infer_stream(&items).expect("in-process inference");
+    for (i, (o, w)) in outcomes.iter().zip(&want).enumerate() {
+        if i == 4 {
+            continue;
+        }
+        assert_eq!(
+            o.output().expect("healthy members complete").data(),
+            w.data(),
+            "item {i} diverged from the in-process pipeline"
+        );
+    }
+}
+
 #[test]
 fn expired_session_rejects_resume() {
     // With a zero TTL every dropped session expires before the client

@@ -98,7 +98,7 @@ fn packed_transport_carries_a_tensor() {
     // the slot-wise sum of two tensors survives the trip.
     let mut rng = StdRng::seed_from_u64(4);
     let kp = Keypair::generate(512, &mut rng);
-    let spec = PackingSpec::for_key(&kp.public(), 32);
+    let spec = PackingSpec::for_key(&kp.public(), 32).expect("layout fits the key");
     assert!(spec.slots >= 8, "512-bit key should hold ≥ 8 slots");
 
     let a: Vec<i64> = (0..8).map(|i| i * 1000 - 3500).collect();
@@ -163,6 +163,87 @@ fn networked_loopback_matches_in_process_pipeline() {
 }
 
 #[test]
+fn packed_networked_stream_matches_unpacked_in_process() {
+    // The acceptance bar for end-to-end ciphertext packing: a networked
+    // session that negotiated batch packing must deliver the *same
+    // scaled outputs, bit for bit*, as the unpacked in-process pipeline
+    // — and actually use the packed protocol (packed rounds on both
+    // sides, fewer request frames than items).
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp("packed-mlp", &[4, 6, 3], &mut rng).expect("model");
+    let scaled = ScaledModel::from_model(&model, 100);
+    let mut config = NetConfig::small_test(128);
+    config.pack_slot_bits = 32; // 128-bit key → 3 slots per ciphertext
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let inputs = stream_inputs(5, 4); // 3 + 2: one full batch, one partial
+    let (outputs, report) = session.infer_stream(&inputs).expect("packed networked inference");
+    let transport = report.transport.expect("transport stats");
+    assert_eq!(transport.packed_items, 5, "every item must travel packed");
+    assert!(transport.packed_rounds > 0, "packed linear rounds must happen");
+    assert_eq!(transport.packed_fallbacks, 0, "a healthy run never falls back");
+    assert!(session.shutdown().clean_shutdown);
+
+    let server_report = server.join().expect("server thread");
+    assert_eq!(server_report.requests, 5, "all members complete server-side");
+    assert!(server_report.packed_rounds > 0);
+    assert_eq!(server_report.packed_aborts, 0);
+    assert!(server_report.clean_shutdown);
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.infer_stream(&inputs).expect("in-process inference");
+    for (got, want) in outputs.iter().zip(&want) {
+        assert_eq!(got.data(), want.data(), "packed outputs must be bit-identical");
+    }
+}
+
+#[test]
+fn infeasible_packing_proposal_degrades_to_unpacked() {
+    // An infeasible layout (8-bit slots cannot hold this model's op
+    // budget) hard-errors in the in-process API, but a *networked*
+    // session degrades silently: the hello proposes nothing, the server
+    // echoes slot width 0, and the stream runs per-item with identical
+    // results.
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp("declined-mlp", &[6, 10, 3], &mut rng).expect("model");
+    let scaled = ScaledModel::from_model(&model, 100);
+    let mut config = NetConfig::small_test(128);
+    config.pack_slot_bits = 8;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let inputs = stream_inputs(3, 6);
+    let (classes, report) = session.classify_stream(&inputs).expect("unpacked inference");
+    let transport = report.transport.expect("transport stats");
+    assert_eq!(transport.packed_items, 0, "declined packing must not be used");
+    assert_eq!(transport.packed_fallbacks, 0, "declining is not a fallback");
+    assert!(session.shutdown().clean_shutdown);
+
+    let server_report = server.join().expect("server thread");
+    assert_eq!(server_report.requests as usize, inputs.len());
+    assert_eq!(server_report.packed_rounds, 0);
+
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.classify_stream(&inputs).expect("in-process inference");
+    assert_eq!(classes, want);
+}
+
+#[test]
 fn mid_stream_kill_is_a_transport_error_naming_the_stage() {
     // A server that completes the handshake, then dies before answering
     // the first linear round. The client must report a *transport* error
@@ -178,6 +259,7 @@ fn mid_stream_kill_is_a_transport_error_naming_the_stage() {
             pk_fingerprint: hello.pk_fingerprint,
             topology: hello.topology,
             session: 1,
+            pack_slot_bits: 0,
         };
         tx.send_payload(to_frame(&accept)).expect("send accept");
         // Connection drops here: the client's first request dies.
