@@ -1,0 +1,270 @@
+//! **Serving benchmark** — the readiness event loop under many
+//! concurrent sessions: per-session serving (every linear round executes
+//! inline on its shard) versus cross-session batching (rounds from
+//! different sessions gathered into one fused pool dispatch).
+//!
+//! Writes machine-readable results to `BENCH_serving.json` (override
+//! with `PP_BENCH_OUT`) and asserts along the way that the server's
+//! `ServeReport` agrees *exactly* with the summed client
+//! `TransportReport`s — a serving benchmark that lost frames would be
+//! worse than none.
+//!
+//! ```sh
+//! cargo run -p pp-bench --release --bin bench_serving            # full
+//! cargo run -p pp-bench --release --bin bench_serving -- --smoke # CI gate
+//! ```
+//!
+//! Full mode sweeps {16, 64} concurrent sessions; smoke mode runs the
+//! 64-session point only and gates on three invariants: counter
+//! agreement, batched per-item server compute ≤ 1.25× per-session, and
+//! client p99 ≤ 3× the committed `BENCH_serving.json` baseline.
+
+use pp_nn::{zoo, ScaledModel};
+use pp_stream::{ModelProvider, NetConfig, NetworkedSession, ServeOptions};
+use pp_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const ITEMS_PER_SESSION: u64 = 2;
+const KEY_BITS: usize = 128;
+const GATHER: Duration = Duration::from_micros(800);
+
+/// One serving configuration's measured row.
+struct Row {
+    serving: &'static str,
+    sessions: usize,
+    requests: u64,
+    p50_us: u128,
+    p99_us: u128,
+    mean_us: u128,
+    makespan_ms: u128,
+    exec_ns_per_item: u128,
+    batched_rounds: u64,
+    batched_items: u64,
+}
+
+fn model() -> ScaledModel {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = zoo::mlp("serving-mlp", &[4, 6, 3], &mut rng).expect("model");
+    ScaledModel::from_model(&model, 10_000)
+}
+
+fn inputs(n: u64, width: usize) -> Vec<Tensor<f64>> {
+    (0..n)
+        .map(|seq| {
+            Tensor::from_flat(
+                (0..width as u64)
+                    .map(|j| ((seq * width as u64 + j) as f64 * 0.37).sin())
+                    .collect::<Vec<f64>>(),
+            )
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[((sorted.len() * p) / 100).min(sorted.len() - 1)]
+}
+
+/// Runs `sessions` concurrent clients of [`ITEMS_PER_SESSION`] items
+/// each against one supervised server and checks the books balance.
+fn run_config(serving: &'static str, sessions: usize, gather_window: Duration) -> Row {
+    let scaled = model();
+    let mut config = NetConfig::small_test(KEY_BITS);
+    config.threads = 1;
+
+    let provider = std::sync::Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let options = ServeOptions { gather_window, ..ServeOptions::default() };
+    let handle =
+        std::sync::Arc::clone(&provider).serve_forever(listener, options).expect("spawn server");
+    let addr = handle.addr();
+
+    let items = inputs(ITEMS_PER_SESSION, 4);
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..sessions)
+        .map(|i| {
+            let scaled = scaled.clone();
+            let config = config.clone();
+            let items = items.clone();
+            std::thread::Builder::new()
+                .name(format!("bench-client-{i}"))
+                .spawn(move || {
+                    let mut session = NetworkedSession::connect(addr, scaled, &config)
+                        .expect("connect + handshake");
+                    let (classes, report) =
+                        session.classify_stream_partial(&items).expect("inference");
+                    assert!(classes.iter().all(|c| c.is_some()), "every item must resolve");
+                    (report.latencies, session.shutdown())
+                })
+                .expect("spawn client")
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let (mut sent, mut received, mut bytes_sent, mut bytes_received) = (0u64, 0u64, 0u64, 0u64);
+    for c in clients {
+        let (lats, transport) = c.join().expect("client thread");
+        latencies.extend(lats);
+        assert!(transport.clean_shutdown);
+        sent += transport.frames_sent;
+        received += transport.frames_received;
+        bytes_sent += transport.bytes_sent;
+        bytes_received += transport.bytes_received;
+    }
+    let makespan = t0.elapsed();
+
+    let report = handle.shutdown();
+    assert_eq!(provider.active_sessions(), 0, "drained server must leak no sessions");
+    assert_eq!(report.frames_in, sent, "counter mismatch: server frames_in vs client sent");
+    assert_eq!(report.frames_out, received, "counter mismatch: frames_out vs received");
+    assert_eq!(report.bytes_in, bytes_sent, "counter mismatch: bytes_in vs sent");
+    assert_eq!(report.bytes_out, bytes_received, "counter mismatch: bytes_out vs received");
+    assert_eq!(report.requests, sessions as u64 * ITEMS_PER_SESSION);
+    assert_eq!(report.connections, sessions as u64);
+    assert_eq!(
+        report.failed_connections + report.panicked_connections + report.rejected_handshakes,
+        0,
+        "last_error: {:?}",
+        report.last_error
+    );
+
+    latencies.sort_unstable();
+    let mean = latencies.iter().sum::<Duration>() / latencies.len().max(1) as u32;
+    let row = Row {
+        serving,
+        sessions,
+        requests: report.requests,
+        p50_us: percentile(&latencies, 50).as_micros(),
+        p99_us: percentile(&latencies, 99).as_micros(),
+        mean_us: mean.as_micros(),
+        makespan_ms: makespan.as_millis(),
+        exec_ns_per_item: report.exec_ns as u128 / report.requests.max(1) as u128,
+        batched_rounds: report.batched_rounds,
+        batched_items: report.batched_items,
+    };
+    println!(
+        "  {serving:<22} sessions={sessions:<5} p50={:>7}us p99={:>7}us mean={:>7}us \
+         makespan={:>5}ms exec/item={:>8}ns batched={}/{}",
+        row.p50_us,
+        row.p99_us,
+        row.mean_us,
+        row.makespan_ms,
+        row.exec_ns_per_item,
+        row.batched_items,
+        row.batched_rounds,
+    );
+    row
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Row]) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"serving\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"items_per_session\": {ITEMS_PER_SESSION},");
+    let _ = writeln!(s, "  \"key_bits\": {KEY_BITS},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"serving\": \"{}\", \"sessions\": {}, \"requests\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {}, \"makespan_ms\": {}, \
+             \"exec_ns_per_item\": {}, \"batched_rounds\": {}, \"batched_items\": {}}}{comma}",
+            r.serving,
+            r.sessions,
+            r.requests,
+            r.p50_us,
+            r.p99_us,
+            r.mean_us,
+            r.makespan_ms,
+            r.exec_ns_per_item,
+            r.batched_rounds,
+            r.batched_items,
+        );
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s).expect("write benchmark JSON");
+    println!("\nwrote {path}");
+}
+
+/// Pulls `p99_us` for the per-session 64-session row out of the
+/// committed baseline with a line scan (each result is one line; no
+/// JSON parser in the workspace and none needed for this shape).
+fn baseline_p99_us(path: &str, sessions: usize) -> Option<u128> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        if line.contains("\"per_session\"") && line.contains(&format!("\"sessions\": {sessions},"))
+        {
+            let tail = line.split("\"p99_us\": ").nth(1)?;
+            let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+            return digits.parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("PP_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let out_path = std::env::var("PP_BENCH_OUT").unwrap_or_else(|_| "BENCH_serving.json".into());
+    let baseline_path =
+        std::env::var("PP_BENCH_BASELINE").unwrap_or_else(|_| "BENCH_serving.json".into());
+
+    let session_counts: &[usize] = if smoke { &[64] } else { &[16, 64] };
+    println!("=== Serving benchmark ({}) ===", if smoke { "smoke" } else { "full" });
+
+    let mut rows = Vec::new();
+    for &sessions in session_counts {
+        rows.push(run_config("per_session", sessions, Duration::ZERO));
+        rows.push(run_config("cross_session_batched", sessions, GATHER));
+    }
+
+    // The headline comparison: per-item server compute with and without
+    // cross-session batching at the largest session count.
+    let per_session = rows.iter().rev().find(|r| r.serving == "per_session").expect("row");
+    let batched = rows.iter().rev().find(|r| r.serving == "cross_session_batched").expect("row");
+    let ratio = batched.exec_ns_per_item as f64 / per_session.exec_ns_per_item.max(1) as f64;
+    println!(
+        "\ncross-session batching at {} sessions: {:.2}x per-item server compute \
+         ({} vs {} ns/item), {} items over {} fused dispatches",
+        batched.sessions,
+        ratio,
+        batched.exec_ns_per_item,
+        per_session.exec_ns_per_item,
+        batched.batched_items,
+        batched.batched_rounds,
+    );
+
+    if smoke {
+        // Counter agreement already asserted inside every run_config.
+        assert!(
+            ratio <= 1.25,
+            "serving regression: batched per-item compute is {ratio:.2}x per-session \
+             (gate: ≤ 1.25x)"
+        );
+        assert!(batched.batched_rounds > 0, "the gather window never coalesced anything");
+        match baseline_p99_us(&baseline_path, 64) {
+            Some(base) => {
+                let p99 = per_session.p99_us;
+                assert!(
+                    p99 <= base.saturating_mul(3),
+                    "serving regression: p99 {p99}us vs committed baseline {base}us \
+                     (gate: ≤ 3x)"
+                );
+                println!("smoke gate passed: counters balanced, batching ≤ 1.25x, p99 within 3x");
+            }
+            None => println!(
+                "smoke gate passed: counters balanced, batching ≤ 1.25x \
+                 (no baseline at {baseline_path}; p99 gate skipped)"
+            ),
+        }
+        return; // a smoke run never overwrites the committed baseline
+    }
+    write_json(&out_path, "full", &rows);
+}

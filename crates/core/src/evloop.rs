@@ -1,0 +1,598 @@
+//! Readiness-driven event loop primitives for the serving path
+//! (DESIGN.md §9): a minimal epoll wrapper, an eventfd waker, and an
+//! incremental frame codec for nonblocking sockets.
+//!
+//! The repository vendors no FFI crates, so the three kernel interfaces
+//! this module needs — `epoll_create1`/`epoll_ctl`/`epoll_pwait`,
+//! `eventfd2`, and raw `read`/`write` on the eventfd — are invoked as
+//! raw syscalls via inline assembly, gated to the platforms whose
+//! syscall ABI is stable and documented (Linux on x86_64 and aarch64).
+//! Everywhere else [`supported`] returns `false` and
+//! `ModelProvider::serve_forever` falls back to the legacy threaded
+//! supervisor, so the crate still builds and serves on any platform.
+//!
+//! The codec half ([`FrameReader`]/[`WriteBuf`]) speaks exactly the
+//! blocking transport's wire format
+//! (`seq: u64 LE | deadline_ms: u64 LE | len: u32 LE | payload`, see
+//! `pp_stream_runtime::tcp`): same `NO_DEADLINE` sentinel, same 1 GiB
+//! length guard surfacing as a `Decode` error, same per-direction
+//! strictly-increasing transport seqs, same optional receive-side
+//! monotonicity validation — so a client speaking to the event loop
+//! cannot tell it apart from a thread holding a `TcpFrameSender`.
+
+use pp_stream_runtime::link::{Frame, SeqValidator, NO_DEADLINE};
+use pp_stream_runtime::StreamError;
+
+/// Whether this build can run the readiness event loop.
+pub const fn supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Raw syscalls (Linux x86_64 / aarch64)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys {
+    use std::io;
+    use std::os::fd::{FromRawFd, OwnedFd};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const READ: usize = 0;
+        pub const WRITE: usize = 1;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EVENTFD2: usize = 290;
+        pub const EPOLL_CREATE1: usize = 291;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const READ: usize = 63;
+        pub const WRITE: usize = 64;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EVENTFD2: usize = 19;
+        pub const EPOLL_CREATE1: usize = 20;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: usize, a: [usize; 6]) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a[0], in("rsi") a[1], in("rdx") a[2],
+            in("r10") a[3], in("r8") a[4], in("r9") a[5],
+            lateout("rcx") _, lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: usize, a: [usize; 6]) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a[0] as isize => ret,
+            in("x1") a[1], in("x2") a[2], in("x3") a[3],
+            in("x4") a[4], in("x5") a[5], in("x8") n,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const EFD_CLOEXEC: usize = 0o2000000;
+    const EFD_NONBLOCK: usize = 0o4000;
+
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`: packed on x86_64, natural alignment on
+    /// every other architecture — the kernel ABI differs exactly there.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// One epoll instance (level-triggered).
+    pub struct Poller {
+        epfd: OwnedFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let fd = check(unsafe {
+                syscall6(nr::EPOLL_CREATE1, [EPOLL_CLOEXEC, 0, 0, 0, 0, 0])
+            })?;
+            // SAFETY: epoll_create1 returned a fresh fd we own.
+            Ok(Poller { epfd: unsafe { OwnedFd::from_raw_fd(fd as i32) } })
+        }
+
+        fn ctl(&self, op: usize, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            use std::os::fd::AsRawFd;
+            let mut ev = EpollEvent { events, data: token };
+            let evp = if op == EPOLL_CTL_DEL { 0 } else { &mut ev as *mut EpollEvent as usize };
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    [self.epfd.as_raw_fd() as usize, op, fd as usize, evp, 0, 0],
+                )
+            })
+            .map(|_| ())
+        }
+
+        pub fn add(&self, fd: i32, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::mask(writable), token)
+        }
+
+        pub fn modify(&self, fd: i32, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::mask(writable), token)
+        }
+
+        pub fn delete(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Read interest is always on (every connection is waiting for
+        /// its peer's next frame); write interest only while a write
+        /// buffer is non-empty.
+        fn mask(writable: bool) -> u32 {
+            let mut m = EPOLLIN | EPOLLRDHUP;
+            if writable {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        /// Blocks until readiness or `timeout` (`None` = indefinitely).
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            use std::os::fd::AsRawFd;
+            out.clear();
+            let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+            let timeout_ms: isize = match timeout {
+                // Round up so a 100µs timer doesn't busy-spin at 0ms.
+                Some(t) => t.as_millis().min(i32::MAX as u128) as isize + 1,
+                None => -1,
+            };
+            let n = loop {
+                let ret = unsafe {
+                    syscall6(
+                        nr::EPOLL_PWAIT,
+                        [
+                            self.epfd.as_raw_fd() as usize,
+                            events.as_mut_ptr() as usize,
+                            events.len(),
+                            timeout_ms as usize,
+                            0, // no sigmask
+                            8, // sigsetsize
+                        ],
+                    )
+                };
+                match check(ret) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in events.iter().take(n) {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// One readiness notification.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Event {
+        pub token: u64,
+        pub readable: bool,
+        pub writable: bool,
+    }
+
+    /// Cross-thread wakeup for a [`Poller`]: an eventfd registered like
+    /// any other fd. Cloneable and cheap to signal.
+    #[derive(Clone)]
+    pub struct Waker {
+        fd: Arc<OwnedFd>,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let fd = check(unsafe {
+                syscall6(nr::EVENTFD2, [0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0])
+            })?;
+            // SAFETY: eventfd2 returned a fresh fd we own.
+            Ok(Waker { fd: Arc::new(unsafe { OwnedFd::from_raw_fd(fd as i32) }) })
+        }
+
+        pub fn raw_fd(&self) -> i32 {
+            use std::os::fd::AsRawFd;
+            self.fd.as_raw_fd()
+        }
+
+        /// Signals the poller. Never blocks: a counter about to
+        /// overflow (EAGAIN) already guarantees a pending wakeup.
+        pub fn wake(&self) {
+            let one = 1u64.to_ne_bytes();
+            let _ = unsafe {
+                syscall6(
+                    nr::WRITE,
+                    [self.raw_fd() as usize, one.as_ptr() as usize, 8, 0, 0, 0],
+                )
+            };
+        }
+
+        /// Clears the pending-wakeup counter (called by the woken
+        /// thread; the eventfd is level-triggered until read).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            let _ = unsafe {
+                syscall6(
+                    nr::READ,
+                    [self.raw_fd() as usize, buf.as_mut_ptr() as usize, 8, 0, 0, 0],
+                )
+            };
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod sys {
+    //! Stub for platforms without the raw-syscall shim: [`supported`]
+    //! is `false` there, `serve_forever` takes the threaded path, and
+    //! none of these are ever constructed — they exist so `net.rs`
+    //! needs no `cfg` forest.
+    use std::io;
+    use std::time::Duration;
+
+    pub struct Poller {}
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "event loop unsupported here"))
+        }
+        pub fn add(&self, _fd: i32, _token: u64, _writable: bool) -> io::Result<()> {
+            unreachable!("stub poller is never constructed")
+        }
+        pub fn modify(&self, _fd: i32, _token: u64, _writable: bool) -> io::Result<()> {
+            unreachable!("stub poller is never constructed")
+        }
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unreachable!("stub poller is never constructed")
+        }
+        pub fn wait(&self, _out: &mut Vec<Event>, _timeout: Option<Duration>) -> io::Result<()> {
+            unreachable!("stub poller is never constructed")
+        }
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Event {
+        pub token: u64,
+        pub readable: bool,
+        pub writable: bool,
+    }
+
+    /// No-op waker so `ServerHandle` can hold wakers unconditionally.
+    #[derive(Clone)]
+    pub struct Waker {}
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            Ok(Waker {})
+        }
+        pub fn raw_fd(&self) -> i32 {
+            -1
+        }
+        pub fn wake(&self) {}
+        pub fn drain(&self) {}
+    }
+}
+
+pub use sys::{Event, Poller, Waker};
+
+// ---------------------------------------------------------------------------
+// Incremental frame codec for nonblocking sockets
+// ---------------------------------------------------------------------------
+
+/// Wire header size: `seq: u64 | deadline_ms: u64 | len: u32`.
+const HEADER: usize = 20;
+
+/// Frame length guard, mirroring `TcpFrameReceiver`: a longer prefix is
+/// malformed bytes (`Decode`), not a socket failure.
+const MAX_FRAME: usize = 1 << 30;
+
+/// Reassembles frames from arbitrarily-chunked nonblocking reads.
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+    validator: Option<SeqValidator>,
+}
+
+impl FrameReader {
+    pub fn new(validate_seq: bool) -> Self {
+        FrameReader { buf: Vec::new(), start: 0, validator: validate_seq.then(SeqValidator::new) }
+    }
+
+    /// Appends freshly-read bytes.
+    pub fn extend_from(&mut self, data: &[u8]) {
+        // Reclaim consumed prefix before growing, so a long-lived idle
+        // session holds no more than one frame of buffer.
+        if self.start > 0 && (self.start >= self.buf.len() || self.start > 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pops the next complete frame; `Ok(None)` means more bytes are
+    /// needed. Errors mirror the blocking receiver: oversize length
+    /// prefix → `Decode`, seq regression → `Transport { kind: Seq }`.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, StreamError> {
+        let avail = self.buf.len() - self.start;
+        if avail < HEADER {
+            return Ok(None);
+        }
+        let h = &self.buf[self.start..self.start + HEADER];
+        let seq = u64::from_le_bytes(h[0..8].try_into().expect("8 bytes"));
+        let deadline_raw = u64::from_le_bytes(h[8..16].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(h[16..20].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(StreamError::Decode(format!(
+                "frame length prefix {len} exceeds the 1 GiB guard"
+            )));
+        }
+        if avail < HEADER + len {
+            return Ok(None);
+        }
+        let payload =
+            bytes::Bytes::from(self.buf[self.start + HEADER..self.start + HEADER + len].to_vec());
+        self.start += HEADER + len;
+        if let Some(v) = &mut self.validator {
+            v.check(seq)?;
+        }
+        let deadline_ms = (deadline_raw != NO_DEADLINE).then_some(deadline_raw);
+        Ok(Some(Frame { seq, deadline_ms, payload }))
+    }
+
+    /// Whether unconsumed bytes remain — an EOF here is a mid-frame
+    /// disconnect, not a clean shutdown.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.start
+    }
+}
+
+/// Outgoing frame buffer: encodes frames with this direction's
+/// strictly-increasing transport seq (same numbering as
+/// `TcpFrameSender::send_payload`, starting at 0) and drains them
+/// through nonblocking writes, tolerating partial progress.
+#[derive(Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    start: usize,
+    next_seq: u64,
+}
+
+impl WriteBuf {
+    pub fn new() -> Self {
+        WriteBuf::default()
+    }
+
+    /// Encodes `payload` as the next frame (no deadline — server
+    /// replies never carry one, matching `send_payload`).
+    pub fn queue(&mut self, payload: &[u8]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.buf.reserve(HEADER + payload.len());
+        self.buf.extend_from_slice(&seq.to_le_bytes());
+        self.buf.extend_from_slice(&NO_DEADLINE.to_le_bytes());
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.buf.len()
+    }
+
+    /// Writes as much as the socket accepts; `Ok(true)` once drained.
+    /// `WouldBlock` is progress-so-far, not an error.
+    pub fn flush(&mut self, stream: &mut impl std::io::Write) -> std::io::Result<bool> {
+        use std::io::ErrorKind;
+        while self.start < self.buf.len() {
+            match stream.write(&self.buf[self.start..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use std::time::Duration;
+
+    fn frame_bytes(seq: u64, deadline: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&deadline.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn reader_reassembles_across_arbitrary_chunks() {
+        let mut wire = frame_bytes(0, NO_DEADLINE, b"hello");
+        wire.extend(frame_bytes(1, 250, b""));
+        wire.extend(frame_bytes(2, NO_DEADLINE, &[7u8; 300]));
+
+        // Feed one byte at a time: every split point must be survivable.
+        let mut r = FrameReader::new(true);
+        let mut got = Vec::new();
+        for &b in &wire {
+            r.extend_from(&[b]);
+            while let Some(f) = r.next_frame().expect("valid frames") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(&got[0].payload[..], b"hello");
+        assert_eq!(got[0].deadline_ms, None);
+        assert_eq!(got[1].deadline_ms, Some(250), "deadline survives the wire");
+        assert!(got[1].payload.is_empty());
+        assert_eq!(got[2].payload.len(), 300);
+        assert!(!r.has_partial());
+    }
+
+    #[test]
+    fn reader_rejects_oversize_length_prefix_as_decode() {
+        let mut r = FrameReader::new(false);
+        r.extend_from(&frame_bytes(0, NO_DEADLINE, b"x")[..HEADER - 4]);
+        r.extend_from(&(((1usize << 30) + 1) as u32).to_le_bytes());
+        match r.next_frame() {
+            Err(StreamError::Decode(msg)) => assert!(msg.contains("1 GiB"), "{msg}"),
+            other => panic!("expected Decode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_enforces_seq_monotonicity() {
+        let mut r = FrameReader::new(true);
+        r.extend_from(&frame_bytes(5, NO_DEADLINE, b"a"));
+        r.extend_from(&frame_bytes(5, NO_DEADLINE, b"b"));
+        assert!(r.next_frame().expect("first ok").is_some());
+        assert!(r.next_frame().is_err(), "duplicate seq must be rejected");
+    }
+
+    #[test]
+    fn write_buf_stamps_monotonic_seqs_and_survives_partial_writes() {
+        let mut w = WriteBuf::new();
+        w.queue(b"first");
+        w.queue(b"second");
+
+        // A sink that accepts at most 3 bytes per call exercises the
+        // partial-progress path.
+        struct Dribble(Vec<u8>);
+        impl std::io::Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = Dribble(Vec::new());
+        while !w.flush(&mut sink).expect("writable") {}
+        assert!(w.is_empty());
+
+        let mut r = FrameReader::new(true);
+        r.extend_from(&sink.0);
+        let a = r.next_frame().expect("ok").expect("first");
+        let b = r.next_frame().expect("ok").expect("second");
+        assert_eq!((a.seq, &a.payload[..]), (0, &b"first"[..]));
+        assert_eq!((b.seq, &b.payload[..]), (1, &b"second"[..]));
+    }
+
+    #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    #[test]
+    fn poller_observes_readiness_and_waker_wakes() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+
+        assert!(supported());
+        let poller = Poller::new().expect("epoll");
+        let waker = Waker::new().expect("eventfd");
+        poller.add(waker.raw_fd(), 0, false).expect("register waker");
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        poller.add(listener.as_raw_fd(), 1, false).expect("register listener");
+
+        // Nothing ready yet: a bounded wait returns empty.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(5))).expect("wait");
+        assert!(events.is_empty(), "nothing should be ready");
+
+        // A connect makes the listener readable.
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        poller.wait(&mut events, Some(Duration::from_millis(500))).expect("wait");
+        assert!(events.iter().any(|e| e.token == 1 && e.readable), "accept readiness");
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nonblocking(true).expect("nonblocking");
+        poller.add(stream.as_raw_fd(), 2, false).expect("register conn");
+
+        // Data on the connection is reported against its token.
+        client.write_all(b"ping").expect("send");
+        poller.wait(&mut events, Some(Duration::from_millis(500))).expect("wait");
+        assert!(events.iter().any(|e| e.token == 2 && e.readable), "read readiness");
+
+        // Drain the pending bytes: level-triggered epoll would
+        // otherwise keep reporting the connection and the indefinite
+        // wait below would return before the waker fires.
+        let mut buf = [0u8; 16];
+        use std::io::Read;
+        let mut conn = &stream;
+        assert_eq!(conn.read(&mut buf).expect("drain"), 4);
+
+        // A waker from another thread interrupts an indefinite wait.
+        let w2 = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.wake();
+        });
+        loop {
+            poller.wait(&mut events, None).expect("wait");
+            if events.iter().any(|e| e.token == 0 && e.readable) {
+                break;
+            }
+        }
+        waker.drain();
+        t.join().expect("waker thread");
+    }
+}

@@ -47,6 +47,7 @@
 pub mod baseline;
 pub mod encapsulate;
 mod encctx;
+pub mod evloop;
 pub mod messages;
 pub mod net;
 pub mod packed;

@@ -89,9 +89,11 @@ use std::collections::{HashMap, HashSet};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+use crate::evloop;
 
 /// Configuration shared by both ends of a deployment.
 #[derive(Clone, Debug)]
@@ -303,6 +305,18 @@ pub struct ServeReport {
     /// (deadline, shed, quarantined member, panic, or a packing error);
     /// the client replays the members unpacked.
     pub packed_aborts: u64,
+    /// Cross-session fused dispatches executed by the event loop's
+    /// batcher (one per gather window that closed with work;
+    /// [`ServeOptions::gather_window`]).
+    pub batched_rounds: u64,
+    /// Linear-round items coalesced into those fused dispatches. Equal
+    /// to `batched_rounds` when every window gathered a single item —
+    /// higher means cross-session amortization actually happened.
+    pub batched_items: u64,
+    /// Nanoseconds spent executing linear rounds (pool dispatch
+    /// included) — per-item serving cost, comparable across
+    /// per-session and cross-session-batched serving.
+    pub exec_ns: u64,
     /// The most recent per-connection error, for operator visibility.
     pub last_error: Option<String>,
     /// True when at least one client ended its session deliberately
@@ -330,6 +344,9 @@ impl ServeReport {
         self.shed += other.shed;
         self.packed_rounds += other.packed_rounds;
         self.packed_aborts += other.packed_aborts;
+        self.batched_rounds += other.batched_rounds;
+        self.batched_items += other.batched_items;
+        self.exec_ns += other.exec_ns;
         if other.last_error.is_some() {
             self.last_error = other.last_error.clone();
         }
@@ -654,7 +671,8 @@ impl SessionTable {
         self.inner.lock().remove(&session);
     }
 
-    #[cfg(test)]
+    /// Live (unexpired, unremoved) sessions. Soak tests use this to
+    /// assert a drained server leaks no session state.
     fn len(&self) -> usize {
         self.inner.lock().len()
     }
@@ -674,6 +692,144 @@ enum ConnOutcome {
     Rejected,
 }
 
+// ---------------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------------
+//
+// One served connection is a state machine over decoded frames: opening
+// frame -> `open_conn`, every later frame -> `on_frame`, and each
+// linear-round execution -> `run_job` + `on_exec_done`. The blocking
+// `handle_conn` driver and the readiness event loop both run this exact
+// machine, so the two serving paths cannot drift apart semantically —
+// the event loop only changes *when* frames arrive and *where* jobs
+// execute (inline on a shard, or coalesced across sessions in the
+// batcher), never what they mean.
+
+/// An outbound reply produced by the state machine, queued by the
+/// driver. Byte/frame counters are charged when the reply is built.
+struct Reply {
+    payload: Bytes,
+    /// Stage context attached to a transport error if the send fails.
+    context: String,
+    /// Reject frames are fire-and-forget — the peer may already be gone
+    /// and a send failure must not fail the server-side bookkeeping.
+    best_effort: bool,
+}
+
+/// Per-connection serving state after an accepted Hello/Resume.
+struct ConnState {
+    session: u64,
+    /// Negotiated packed layout (always `None` on resumed connections).
+    packing: Option<PackingSpec>,
+    /// Per-round linear executors, shared with in-flight jobs so a
+    /// batched execution can outlive a borrow of the connection.
+    execs: Arc<Vec<LinearStage>>,
+    /// Each in-flight request's next linear round index (per
+    /// connection: a replay after a reconnect restarts at round 0).
+    next_round: HashMap<u64, usize>,
+    /// Packed batches keyed by their first member's seq: the member
+    /// list (pinned at round 0) and the next round index.
+    next_packed: HashMap<u64, (Vec<u64>, usize)>,
+}
+
+/// Outcome of absorbing a connection's opening frame.
+enum Opened {
+    Serving(Box<ConnState>),
+    Rejected,
+}
+
+/// What the driver must do after the state machine absorbed one frame.
+enum FrameDisposition {
+    /// Send these replies (possibly none) and keep reading.
+    Continue(Vec<Reply>),
+    /// Run this linear-round job, then feed the outcome back through
+    /// [`ModelProvider::on_exec_done`].
+    Execute(ExecJob),
+    /// The client said Bye; close cleanly.
+    Clean,
+}
+
+/// A validated, admitted linear-round execution, detached from its
+/// connection so it can run anywhere (inline, shard, or cross-session
+/// batcher).
+struct ExecJob {
+    round: usize,
+    kind: JobKind,
+    execs: Arc<Vec<LinearStage>>,
+    /// Chaos driver: this job panics inside execution.
+    #[cfg(feature = "fault-injection")]
+    poison: bool,
+}
+
+enum JobKind {
+    Item { msg: EncTensorMsg },
+    Packed { msg: PackedTensorMsg },
+}
+
+/// Identity of a job, kept by the driver while the job runs.
+enum JobMeta {
+    Item { seq: u64, round: usize },
+    Packed { key: u64, members: u64, round: usize },
+}
+
+/// Execution output, still wrapped in the stage's own error type.
+enum ExecOut {
+    Item(Result<EncTensorMsg, StreamError>),
+    Packed(Result<PackedTensorMsg, StreamError>),
+}
+
+/// `Err` carries a trapped panic payload (the poison-item boundary).
+type ExecOutcome = std::thread::Result<ExecOut>;
+
+/// Runs one admitted job on `pool`, trapping panics. Pure compute: no
+/// session or report state is touched, which is what makes the job safe
+/// to ship to the cross-session batcher.
+fn run_job(job: ExecJob, pool: &WorkerPool) -> (JobMeta, ExecOutcome) {
+    #[cfg(feature = "fault-injection")]
+    let poison = job.poison;
+    let ExecJob { round, kind, execs, .. } = job;
+    let exec = &execs[round];
+    match kind {
+        JobKind::Item { msg } => {
+            let seq = msg.seq;
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                #[cfg(feature = "fault-injection")]
+                if poison {
+                    panic!("injected poison item {seq}");
+                }
+                ExecOut::Item(exec.execute(msg, pool))
+            }));
+            (JobMeta::Item { seq, round }, outcome)
+        }
+        JobKind::Packed { msg } => {
+            let key = msg.seqs[0];
+            let members = msg.seqs.len() as u64;
+            let outcome = catch_unwind(AssertUnwindSafe(move || {
+                #[cfg(feature = "fault-injection")]
+                if poison {
+                    panic!("injected poison item in packed batch {key}");
+                }
+                ExecOut::Packed(packed::execute_packed_linear(exec, msg))
+            }));
+            (JobMeta::Packed { key, members, round }, outcome)
+        }
+    }
+}
+
+/// Sends queued replies over the blocking transport. Best-effort
+/// replies swallow send errors; the rest fail the connection with the
+/// reply's stage context.
+fn send_replies(tx: &mut TcpFrameSender, replies: Vec<Reply>) -> Result<(), CoreError> {
+    for r in replies {
+        match tx.send_payload(r.payload) {
+            Ok(_) => {}
+            Err(_) if r.best_effort => {}
+            Err(e) => return Err(CoreError::from(e.at_stage(&r.context))),
+        }
+    }
+    Ok(())
+}
+
 /// The model-provider server: serves the linear stages of one scaled
 /// model over framed TCP connections, with resumable sessions.
 pub struct ModelProvider {
@@ -687,11 +843,24 @@ pub struct ModelProvider {
     /// Per-session cap on items with linear rounds in flight; round-0
     /// arrivals beyond it are shed ([`NetConfig::max_inflight_items`]).
     max_inflight: usize,
+    /// Concurrent busy-rejecter threads (legacy threaded supervisor
+    /// only; the event loop folds rejection into its shards).
+    rejecters: AtomicUsize,
     /// Chaos driver: the linear execution of this seq panics once, so
     /// tests can exercise the quarantine boundary deterministically.
     #[cfg(feature = "fault-injection")]
     poison_seq: Option<u64>,
 }
+
+/// Ceiling on concurrent detached busy-rejecter threads in the legacy
+/// threaded supervisor. A flood beyond it closes connections unanswered
+/// instead of spawning without bound.
+const MAX_REJECTERS: usize = 32;
+
+/// How long a busy rejection may wait for the client's hello before the
+/// connection is abandoned — bounds slow-loris floods on both serving
+/// paths.
+const REJECT_DRAIN_BOUND: Duration = Duration::from_secs(2);
 
 impl ModelProvider {
     /// Encapsulates the model into merged stages and prepares the server.
@@ -707,6 +876,7 @@ impl ModelProvider {
             tcp: config.tcp.clone(),
             sessions: SessionTable::new(config.session_ttl, config.session_capacity),
             max_inflight: config.max_inflight_items,
+            rejecters: AtomicUsize::new(0),
             #[cfg(feature = "fault-injection")]
             poison_seq: config.fault.as_ref().and_then(|f| f.poison_seq),
         })
@@ -715,6 +885,13 @@ impl ModelProvider {
     /// The topology digest clients must present.
     pub fn topology(&self) -> u64 {
         self.topology
+    }
+
+    /// Live resumable sessions in the table right now. After every
+    /// client has said Bye this must be zero — soak tests assert a
+    /// drained server leaks no session state.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
     }
 
     /// Binds `addr` and serves client connections until one ends its
@@ -765,12 +942,24 @@ impl ModelProvider {
     }
 
     /// Supervised multi-client serving: accepts connections on
-    /// `listener` until [`ServerHandle::shutdown`], dispatching each to
-    /// a bounded pool of worker threads. A worker panic or per-connection
-    /// error is isolated and counted — the accept loop keeps serving.
-    /// Shutdown stops accepting and drains in-flight connections (it
-    /// blocks until their clients close or time out, so configure read
-    /// timeouts for unattended deployments).
+    /// `listener` until [`ServerHandle::shutdown`].
+    ///
+    /// Where the platform supports it (Linux on x86_64/aarch64) this
+    /// runs the readiness-driven event loop of DESIGN.md §9: one
+    /// acceptor plus [`ServeOptions::max_workers`] shard threads
+    /// multiplexing nonblocking sockets over epoll, so an idle session
+    /// costs a registered fd instead of a parked thread and shutdown is
+    /// a wakeup instead of a poll. [`ServeOptions::gather_window`]
+    /// additionally coalesces linear rounds from *different* sessions
+    /// into fused dispatches. Elsewhere — or with
+    /// [`ServeOptions::legacy_threaded`] / `PP_EVLOOP=0` — each
+    /// connection gets a worker thread, bounded by `max_workers`, and
+    /// idle accepts poll at [`ServeOptions::poll_interval`].
+    ///
+    /// Either way a per-connection panic or error is isolated and
+    /// counted, and shutdown stops accepting then drains in-flight
+    /// connections (blocking until their clients close or time out, so
+    /// configure read timeouts for unattended deployments).
     pub fn serve_forever(
         self: &Arc<Self>,
         listener: TcpListener,
@@ -791,11 +980,45 @@ impl ModelProvider {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let provider = Arc::clone(self);
+        let env_off = match std::env::var_os("PP_EVLOOP") {
+            Some(v) => v == "0",
+            None => false,
+        };
+        let use_evloop = evloop::supported() && !options.legacy_threaded && !env_off;
+        // Wakers must exist before the supervisor thread spawns so
+        // `ServerHandle::shutdown` can interrupt waits immediately:
+        // one for the acceptor, one per shard.
+        let mut wakers = Vec::new();
+        if use_evloop {
+            for _ in 0..options.max_workers.max(1) + 1 {
+                match evloop::Waker::new() {
+                    Ok(w) => wakers.push(w),
+                    // fd pressure: fall back to the threaded supervisor
+                    Err(_) => {
+                        wakers.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+        let thread = if use_evloop && !wakers.is_empty() {
+            let wakers = wakers.clone();
+            std::thread::spawn(move || {
+                provider.supervise_evloop(listener, options, stop_flag, wakers)
+            })
+        } else {
+            std::thread::spawn(move || provider.supervise(listener, options, stop_flag))
+        };
+        #[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
         let thread = std::thread::spawn(move || provider.supervise(listener, options, stop_flag));
-        Ok(ServerHandle { stop, addr, thread })
+        Ok(ServerHandle { stop, addr, thread, wakers })
     }
 
     /// The accept/supervise loop behind [`ModelProvider::serve_forever`].
+    /// Idle waits go through [`sleep_observing_stop`], so a coarse
+    /// [`ServeOptions::poll_interval`] cannot delay shutdown: the stop
+    /// flag is observed within one slice, not one full interval.
     fn supervise(
         self: Arc<Self>,
         listener: TcpListener,
@@ -821,18 +1044,18 @@ impl ModelProvider {
                         self.reject_busy(stream, active, options.retry_after);
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        std::thread::sleep(options.poll_interval);
+                        sleep_observing_stop(&stop, options.poll_interval);
                     }
                     Err(e) => {
                         report.failed_connections += 1;
                         report.last_error = Some(format!("accept: {e}"));
-                        std::thread::sleep(options.poll_interval);
+                        sleep_observing_stop(&stop, options.poll_interval);
                     }
                 }
                 continue;
             }
             if active >= max_workers {
-                std::thread::sleep(options.poll_interval);
+                sleep_observing_stop(&stop, options.poll_interval);
                 continue;
             }
             match listener.accept() {
@@ -856,12 +1079,12 @@ impl ModelProvider {
                     });
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(options.poll_interval);
+                    sleep_observing_stop(&stop, options.poll_interval);
                 }
                 Err(e) => {
                     report.failed_connections += 1;
                     report.last_error = Some(format!("accept: {e}"));
-                    std::thread::sleep(options.poll_interval);
+                    sleep_observing_stop(&stop, options.poll_interval);
                 }
             }
         }
@@ -884,10 +1107,29 @@ impl ModelProvider {
     /// then closes it. The client's opening hello is drained first: the
     /// socket closes with unread data otherwise, and the resulting RST
     /// could destroy the rejection before the client reads it.
+    ///
+    /// Two bounds keep a slow-loris flood of hellos from exhausting the
+    /// process: at most [`MAX_REJECTERS`] rejecter threads run at once
+    /// (beyond that the connection closes unanswered — to the client,
+    /// indistinguishable from an overflowed accept backlog, and retried
+    /// the same way), and the hello drain waits at most
+    /// [`REJECT_DRAIN_BOUND`] even when the configured read timeout is
+    /// longer or absent.
     fn reject_busy(self: &Arc<Self>, stream: TcpStream, active: usize, retry_after: Duration) {
+        if self.rejecters.fetch_add(1, Ordering::Relaxed) >= MAX_REJECTERS {
+            self.rejecters.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
         let provider = Arc::clone(self);
         std::thread::spawn(move || {
-            if let Ok((mut tx, mut rx)) = tcp::framed_with(stream, &provider.tcp) {
+            let mut tcp_config = provider.tcp.clone();
+            tcp_config.read_timeout = Some(
+                tcp_config.read_timeout.map_or(REJECT_DRAIN_BOUND, |t| t.min(REJECT_DRAIN_BOUND)),
+            );
+            tcp_config.write_timeout = Some(
+                tcp_config.write_timeout.map_or(REJECT_DRAIN_BOUND, |t| t.min(REJECT_DRAIN_BOUND)),
+            );
+            if let Ok((mut tx, mut rx)) = tcp::framed_with(stream, &tcp_config) {
                 let _ = rx.recv();
                 let reject = RejectMsg::busy(
                     format!("server at capacity ({active} active sessions)"),
@@ -895,12 +1137,18 @@ impl ModelProvider {
                 );
                 let _ = tx.send_payload(to_frame(&reject));
             }
+            provider.rejecters.fetch_sub(1, Ordering::Relaxed);
         });
     }
 
-    /// Serves one accepted connection: opening Hello/Resume, then the
-    /// EncTensor/Ack/Bye loop. Counts into `report`; transport and
-    /// protocol failures return `Err` (the caller isolates them).
+    /// Serves one accepted connection on the blocking transport:
+    /// opening Hello/Resume, then the EncTensor/Ack/Bye loop. This is a
+    /// thin driver over the connection state machine ([`Self::open_conn`]
+    /// / [`Self::on_frame`] / [`Self::on_exec_done`]) — the readiness
+    /// event loop drives the *same* machine, so both serving paths have
+    /// identical protocol semantics by construction. Counts into
+    /// `report`; transport and protocol failures return `Err` (the
+    /// caller isolates them).
     fn handle_conn(
         &self,
         tx: &mut TcpFrameSender,
@@ -917,75 +1165,14 @@ impl ModelProvider {
         };
         report.frames_in += 1;
         report.bytes_in += first.payload.len() as u64;
-
-        let (session, pk, packing) = match crate::messages::peek_tag(&first.payload) {
-            Some(MsgTag::Hello) => {
-                let hello: HelloMsg = match from_frame(first.payload) {
-                    Ok(h) => h,
-                    Err(_) => return self.reject(tx, report, "malformed hello frame"),
-                };
-                if let Some(reason) = self.validate_hello(&hello) {
-                    return self.reject(tx, report, &reason);
-                }
-                let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
-                // Packing is negotiated, never assumed: the client's
-                // proposed layout must fit the key and cover this model's
-                // op budget, else the stream stays per-item.
-                let packing = self.negotiate_packing(&hello, &pk);
-                let session =
-                    self.sessions.create(hello.pk_n, hello.pk_fingerprint, hello.topology);
-                self.send_accept(
-                    tx,
-                    report,
-                    hello.pk_fingerprint,
-                    session,
-                    packing.map_or(0, |s| s.slot_bits as u32),
-                )?;
-                (session, pk, packing)
-            }
-            Some(MsgTag::Resume) => {
-                let resume: ResumeMsg = match from_frame(first.payload) {
-                    Ok(r) => r,
-                    Err(_) => return self.reject(tx, report, "malformed resume frame"),
-                };
-                if resume.version != PROTOCOL_VERSION {
-                    return self.reject(
-                        tx,
-                        report,
-                        &format!(
-                            "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
-                             client {}",
-                            resume.version
-                        ),
-                    );
-                }
-                let entry =
-                    match self.sessions.resume(resume.session, resume.items_done, resume.topology)
-                    {
-                        Ok(entry) => entry,
-                        Err(reason) => return self.reject(tx, report, &reason),
-                    };
-                report.resumed_sessions += 1;
-                let pk = PublicKey::from_n(BigUint::from_bytes_be(&entry.pk_n));
-                // Resumed connections run unpacked: replay bookkeeping is
-                // per-item, and a resume already signals a degraded path.
-                self.send_accept(tx, report, entry.pk_fingerprint, resume.session, 0)?;
-                (resume.session, pk, None)
-            }
-            _ => return self.reject(tx, report, "first frame was neither hello nor resume"),
+        let (replies, opened) = self.open_conn(first.payload, report);
+        send_replies(tx, replies)?;
+        let mut conn = match opened {
+            Opened::Serving(conn) => conn,
+            Opened::Rejected => return Ok(ConnOutcome::Rejected),
         };
 
         // --- Serve linear rounds ------------------------------------------
-        let execs = self.build_linear_execs(&pk);
-        let n_linear = execs.len();
-        // Requests arrive with their linear rounds in order; track each
-        // request's next round index (per connection: a replay after a
-        // reconnect legitimately restarts at round 0).
-        let mut next_round: HashMap<u64, usize> = HashMap::new();
-        // Packed batches, keyed by their first member's seq: the full
-        // member list (pinned at round 0) and the next round index.
-        let mut next_packed: HashMap<u64, (Vec<u64>, usize)> = HashMap::new();
-
         loop {
             let frame = match rx.recv().map_err(|e| e.at_stage("linear request"))? {
                 Some(f) => f,
@@ -993,219 +1180,348 @@ impl ModelProvider {
             };
             report.frames_in += 1;
             report.bytes_in += frame.payload.len() as u64;
-
-            match crate::messages::peek_tag(&frame.payload) {
-                Some(MsgTag::Ack) => {
-                    let ack: AckMsg = from_frame(frame.payload).map_err(CoreError::from)?;
-                    self.sessions.ack(session, ack.items_done);
-                    continue;
+            match self.on_frame(&mut conn, frame, report)? {
+                FrameDisposition::Continue(replies) => send_replies(tx, replies)?,
+                FrameDisposition::Execute(job) => {
+                    let t0 = Instant::now();
+                    let (meta, outcome) = run_job(job, &self.pool);
+                    report.exec_ns += t0.elapsed().as_nanos() as u64;
+                    let replies = self.on_exec_done(&mut conn, meta, outcome, report)?;
+                    send_replies(tx, replies)?;
                 }
-                Some(MsgTag::Bye) => {
-                    self.sessions.remove(session);
-                    return Ok(ConnOutcome::Clean);
-                }
-                _ => {}
+                FrameDisposition::Clean => return Ok(ConnOutcome::Clean),
             }
-            let budget_ms = frame.deadline_ms;
-            let arrival = Instant::now();
+        }
+    }
 
-            // Packed batches take their own serving path: one frame per
-            // linear round serves every member at once, and any failure
-            // aborts the batch (client falls back per-item) instead of
-            // poisoning the connection.
-            if crate::messages::peek_tag(&frame.payload) == Some(MsgTag::PackedTensor) {
-                let msg: PackedTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
-                self.serve_packed_round(
-                    tx,
+    /// Absorbs a connection's opening frame: a valid Hello creates a
+    /// session (packing negotiated, never assumed — the proposed layout
+    /// must fit the key and cover this model's op budget, else the
+    /// stream stays per-item), a valid Resume revives one (always
+    /// unpacked: replay bookkeeping is per-item, and a resume already
+    /// signals a degraded path). Anything else is rejected. The
+    /// returned replies carry the Accept or Reject frame.
+    fn open_conn(&self, payload: Bytes, report: &mut ServeReport) -> (Vec<Reply>, Opened) {
+        match crate::messages::peek_tag(&payload) {
+            Some(MsgTag::Hello) => {
+                let hello: HelloMsg = match from_frame(payload) {
+                    Ok(h) => h,
+                    Err(_) => {
+                        return (
+                            vec![self.reject_reply(report, "malformed hello frame")],
+                            Opened::Rejected,
+                        )
+                    }
+                };
+                if let Some(reason) = self.validate_hello(&hello) {
+                    return (vec![self.reject_reply(report, &reason)], Opened::Rejected);
+                }
+                let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
+                let packing = self.negotiate_packing(&hello, &pk);
+                let session =
+                    self.sessions.create(hello.pk_n, hello.pk_fingerprint, hello.topology);
+                let accept = self.accept_reply(
                     report,
+                    hello.pk_fingerprint,
+                    session,
+                    packing.map_or(0, |s| s.slot_bits as u32),
+                );
+                let conn = ConnState {
                     session,
                     packing,
-                    &execs,
-                    next_round.len(),
-                    &mut next_packed,
-                    msg,
-                    budget_ms,
-                    arrival,
-                )?;
-                continue;
+                    execs: Arc::new(self.build_linear_execs(&pk)),
+                    next_round: HashMap::new(),
+                    next_packed: HashMap::new(),
+                };
+                (vec![accept], Opened::Serving(Box::new(conn)))
             }
+            Some(MsgTag::Resume) => {
+                let resume: ResumeMsg = match from_frame(payload) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        return (
+                            vec![self.reject_reply(report, "malformed resume frame")],
+                            Opened::Rejected,
+                        )
+                    }
+                };
+                if resume.version != PROTOCOL_VERSION {
+                    let reason = format!(
+                        "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
+                         client {}",
+                        resume.version
+                    );
+                    return (vec![self.reject_reply(report, &reason)], Opened::Rejected);
+                }
+                let entry =
+                    match self.sessions.resume(resume.session, resume.items_done, resume.topology)
+                    {
+                        Ok(entry) => entry,
+                        Err(reason) => {
+                            return (vec![self.reject_reply(report, &reason)], Opened::Rejected)
+                        }
+                    };
+                report.resumed_sessions += 1;
+                let pk = PublicKey::from_n(BigUint::from_bytes_be(&entry.pk_n));
+                let accept = self.accept_reply(report, entry.pk_fingerprint, resume.session, 0);
+                let conn = ConnState {
+                    session: resume.session,
+                    packing: None,
+                    execs: Arc::new(self.build_linear_execs(&pk)),
+                    next_round: HashMap::new(),
+                    next_packed: HashMap::new(),
+                };
+                (vec![accept], Opened::Serving(Box::new(conn)))
+            }
+            _ => (
+                vec![self.reject_reply(report, "first frame was neither hello nor resume")],
+                Opened::Rejected,
+            ),
+        }
+    }
 
-            let msg: EncTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
-            let seq = msg.seq;
+    /// Absorbs one post-handshake frame and decides what happens next —
+    /// replies to queue, a linear-round job to execute, or a clean end.
+    /// Protocol violations return `Err` and fail the connection (the
+    /// session stays resumable).
+    fn on_frame(
+        &self,
+        conn: &mut ConnState,
+        frame: Frame,
+        report: &mut ServeReport,
+    ) -> Result<FrameDisposition, CoreError> {
+        match crate::messages::peek_tag(&frame.payload) {
+            Some(MsgTag::Ack) => {
+                let ack: AckMsg = from_frame(frame.payload).map_err(CoreError::from)?;
+                self.sessions.ack(conn.session, ack.items_done);
+                return Ok(FrameDisposition::Continue(Vec::new()));
+            }
+            Some(MsgTag::Bye) => {
+                self.sessions.remove(conn.session);
+                return Ok(FrameDisposition::Clean);
+            }
+            _ => {}
+        }
+        let budget_ms = frame.deadline_ms;
+        let arrival = Instant::now();
 
-            // A quarantined item is refused before any bookkeeping: a
-            // replay (e.g. after a resume) must never execute again.
-            if self.sessions.is_quarantined(session, seq) {
+        // Packed batches take their own serving path: one frame per
+        // linear round serves every member at once, and any failure
+        // aborts the batch (client falls back per-item) instead of
+        // poisoning the connection.
+        if crate::messages::peek_tag(&frame.payload) == Some(MsgTag::PackedTensor) {
+            let msg: PackedTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
+            return self.packed_round_pre(conn, msg, budget_ms, arrival, report);
+        }
+
+        let msg: EncTensorMsg = from_frame(frame.payload).map_err(CoreError::from)?;
+        let seq = msg.seq;
+        let n_linear = conn.execs.len();
+
+        // A quarantined item is refused before any bookkeeping: a
+        // replay (e.g. after a resume) must never execute again.
+        if self.sessions.is_quarantined(conn.session, seq) {
+            report.quarantined += 1;
+            return Ok(FrameDisposition::Continue(vec![self.item_error_reply(
+                report,
+                seq,
+                ItemErrorKind::Quarantined,
+                "replay refused: item is quarantined after a panic",
+            )]));
+        }
+
+        let round = match conn.next_round.get(&seq) {
+            Some(&r) => r,
+            // Item-level admission control: at the in-flight cap,
+            // shedding the newcomer beats queueing without bound.
+            None if conn.next_round.len() >= self.max_inflight => {
+                report.shed += 1;
+                return Ok(FrameDisposition::Continue(vec![self.item_error_reply(
+                    report,
+                    seq,
+                    ItemErrorKind::Shed,
+                    &format!("session at its in-flight cap ({})", self.max_inflight),
+                )]));
+            }
+            None => 0,
+        };
+        if round >= n_linear {
+            let err = StreamError::Stage(format!(
+                "request {seq} sent more linear rounds than the model has ({n_linear})"
+            ));
+            return Err(CoreError::from(err));
+        }
+        if round == 0 {
+            match self.sessions.on_round0(conn.session, seq) {
+                Ok(true) => report.replayed_items += 1,
+                Ok(false) => {}
+                Err(reason) => return Err(CoreError::from(StreamError::Stage(reason))),
+            }
+        }
+        // The stage would panic on a shape/count mismatch; turn
+        // attacker-reachable malformed input into an error instead.
+        let elems = msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
+        if elems.map(|n| n as usize) != Some(msg.cts.len()) {
+            let err = StreamError::Stage(format!(
+                "request {seq} round {round}: shape {:?} does not match {} ciphertexts",
+                msg.shape,
+                msg.cts.len()
+            ));
+            return Err(CoreError::from(err));
+        }
+        // Deadline gate before the expensive Paillier work. The frame
+        // carries the *remaining* budget in milliseconds relative to
+        // its arrival, so clock skew between the hosts is irrelevant.
+        if let Some(ms) = budget_ms {
+            if arrival.elapsed() >= Duration::from_millis(ms) {
+                report.deadline_expired += 1;
+                conn.next_round.remove(&seq);
+                return Ok(FrameDisposition::Continue(vec![self.item_error_reply(
+                    report,
+                    seq,
+                    ItemErrorKind::DeadlineExpired,
+                    &format!("budget of {ms} ms ran out before linear round {round}"),
+                )]));
+            }
+        }
+        Ok(FrameDisposition::Execute(ExecJob {
+            round,
+            #[cfg(feature = "fault-injection")]
+            poison: self.poison_seq == Some(seq),
+            kind: JobKind::Item { msg },
+            execs: Arc::clone(&conn.execs),
+        }))
+    }
+
+    /// Applies an executed job's outcome to its connection: advances the
+    /// round bookkeeping and produces the reply — stage output, a
+    /// quarantine refusal (panic trapped; the poison-item boundary), or
+    /// a packed abort. A stage *error* (not panic) fails the connection,
+    /// exactly as on the blocking path.
+    fn on_exec_done(
+        &self,
+        conn: &mut ConnState,
+        meta: JobMeta,
+        outcome: ExecOutcome,
+        report: &mut ServeReport,
+    ) -> Result<Vec<Reply>, CoreError> {
+        let n_linear = conn.execs.len();
+        match (meta, outcome) {
+            (JobMeta::Item { seq, round }, Ok(ExecOut::Item(res))) => {
+                let out = res.map_err(CoreError::from)?;
+                if round + 1 == n_linear {
+                    conn.next_round.remove(&seq);
+                    report.requests += 1;
+                } else {
+                    conn.next_round.insert(seq, round + 1);
+                }
+                let payload = to_frame(&out);
+                report.bytes_out += payload.len() as u64;
+                report.frames_out += 1;
+                Ok(vec![Reply {
+                    payload,
+                    context: format!("linear-{round} reply for request {seq}"),
+                    best_effort: false,
+                }])
+            }
+            (JobMeta::Item { seq, .. }, Err(panic_payload)) => {
+                let detail = panic_message(panic_payload.as_ref());
+                self.sessions.quarantine(conn.session, seq);
+                conn.next_round.remove(&seq);
                 report.quarantined += 1;
-                self.send_item_error(
-                    tx,
+                Ok(vec![self.item_error_reply(
                     report,
                     seq,
                     ItemErrorKind::Quarantined,
-                    "replay refused: item is quarantined after a panic",
-                )?;
-                continue;
+                    &format!("item {seq} panicked: {detail}"),
+                )])
             }
-
-            let round = match next_round.get(&seq) {
-                Some(&r) => r,
-                // Item-level admission control: at the in-flight cap,
-                // shedding the newcomer beats queueing without bound.
-                None if next_round.len() >= self.max_inflight => {
-                    report.shed += 1;
-                    self.send_item_error(
-                        tx,
-                        report,
-                        seq,
-                        ItemErrorKind::Shed,
-                        &format!("session at its in-flight cap ({})", self.max_inflight),
-                    )?;
-                    continue;
+            (JobMeta::Packed { key, members, round }, Ok(ExecOut::Packed(res))) => match res {
+                Ok(out) => {
+                    if round + 1 == n_linear {
+                        conn.next_packed.remove(&key);
+                        report.requests += members;
+                    } else {
+                        conn.next_packed.insert(key, (out.seqs.clone(), round + 1));
+                    }
+                    report.packed_rounds += 1;
+                    let payload = to_frame(&out);
+                    report.bytes_out += payload.len() as u64;
+                    report.frames_out += 1;
+                    Ok(vec![Reply {
+                        payload,
+                        context: format!("packed linear-{round} reply for batch {key}"),
+                        best_effort: false,
+                    }])
                 }
-                None => 0,
-            };
-            if round >= n_linear {
-                let err = StreamError::Stage(format!(
-                    "request {seq} sent more linear rounds than the model has ({n_linear})"
-                ));
-                return Err(CoreError::from(err));
+                Err(e) => Ok(vec![self.packed_abort_reply(
+                    conn,
+                    report,
+                    key,
+                    &format!("packed round {round} failed: {e}"),
+                )]),
+            },
+            (JobMeta::Packed { key, round, .. }, Err(panic_payload)) => {
+                let detail = panic_message(panic_payload.as_ref());
+                Ok(vec![self.packed_abort_reply(
+                    conn,
+                    report,
+                    key,
+                    &format!("packed round {round} panicked: {detail}"),
+                )])
             }
-            if round == 0 {
-                match self.sessions.on_round0(session, seq) {
-                    Ok(true) => report.replayed_items += 1,
-                    Ok(false) => {}
-                    Err(reason) => return Err(CoreError::from(StreamError::Stage(reason))),
-                }
-            }
-            // The stage would panic on a shape/count mismatch; turn
-            // attacker-reachable malformed input into an error instead.
-            let elems = msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
-            if elems.map(|n| n as usize) != Some(msg.cts.len()) {
-                let err = StreamError::Stage(format!(
-                    "request {seq} round {round}: shape {:?} does not match {} ciphertexts",
-                    msg.shape,
-                    msg.cts.len()
-                ));
-                return Err(CoreError::from(err));
-            }
-            // Deadline gate before the expensive Paillier work. The frame
-            // carries the *remaining* budget in milliseconds relative to
-            // its arrival, so clock skew between the hosts is irrelevant.
-            if let Some(ms) = budget_ms {
-                if arrival.elapsed() >= Duration::from_millis(ms) {
-                    report.deadline_expired += 1;
-                    next_round.remove(&seq);
-                    self.send_item_error(
-                        tx,
-                        report,
-                        seq,
-                        ItemErrorKind::DeadlineExpired,
-                        &format!("budget of {ms} ms ran out before linear round {round}"),
-                    )?;
-                    continue;
-                }
-            }
-            // Poison-item boundary: a panic inside the linear execution
-            // quarantines the item instead of killing the connection.
-            #[cfg(feature = "fault-injection")]
-            let poison = self.poison_seq == Some(seq);
-            let exec = &execs[round];
-            let pool = &self.pool;
-            let executed = catch_unwind(AssertUnwindSafe(move || {
-                #[cfg(feature = "fault-injection")]
-                if poison {
-                    panic!("injected poison item {seq}");
-                }
-                exec.execute(msg, pool)
-            }));
-            let out = match executed {
-                Ok(res) => res.map_err(CoreError::from)?,
-                Err(panic_payload) => {
-                    let detail = panic_message(panic_payload.as_ref());
-                    self.sessions.quarantine(session, seq);
-                    next_round.remove(&seq);
-                    report.quarantined += 1;
-                    self.send_item_error(
-                        tx,
-                        report,
-                        seq,
-                        ItemErrorKind::Quarantined,
-                        &format!("item {seq} panicked: {detail}"),
-                    )?;
-                    continue;
-                }
-            };
-            if round + 1 == n_linear {
-                next_round.remove(&seq);
-                report.requests += 1;
-            } else {
-                next_round.insert(seq, round + 1);
-            }
-
-            let payload = to_frame(&out);
-            report.bytes_out += payload.len() as u64;
-            report.frames_out += 1;
-            tx.send_payload(payload)
-                .map_err(|e| e.at_stage(&format!("linear-{round} reply for request {seq}")))?;
+            // run_job pairs meta and outcome kinds by construction.
+            _ => unreachable!("job meta does not match its outcome kind"),
         }
     }
 
-    /// Sends a Reject naming `reason` (best-effort — the client may be
-    /// gone) and counts the rejection. The caller keeps serving.
-    fn reject(
-        &self,
-        tx: &mut TcpFrameSender,
-        report: &mut ServeReport,
-        reason: &str,
-    ) -> Result<ConnOutcome, CoreError> {
+    /// Builds a Reject reply naming `reason` and counts the rejection.
+    /// Best-effort delivery — the client may already be gone.
+    fn reject_reply(&self, report: &mut ServeReport, reason: &str) -> Reply {
         report.rejected_handshakes += 1;
         report.last_error = Some(format!("rejected client: {reason}"));
         let payload = to_frame(&RejectMsg::mismatch(reason));
-        if tx.send_payload(payload.clone()).is_ok() {
-            report.bytes_out += payload.len() as u64;
-            report.frames_out += 1;
-        }
-        Ok(ConnOutcome::Rejected)
+        report.bytes_out += payload.len() as u64;
+        report.frames_out += 1;
+        Reply { payload, context: "handshake reject".into(), best_effort: true }
     }
 
-    /// Sends a per-item error reply: the item fails, the session and the
-    /// connection survive.
-    fn send_item_error(
+    /// Builds a per-item error reply: the item fails, the session and
+    /// the connection survive.
+    fn item_error_reply(
         &self,
-        tx: &mut TcpFrameSender,
         report: &mut ServeReport,
         seq: u64,
         kind: ItemErrorKind,
         detail: &str,
-    ) -> Result<(), CoreError> {
+    ) -> Reply {
         let payload = to_frame(&ItemErrorMsg { seq, kind, detail: detail.to_string() });
         report.bytes_out += payload.len() as u64;
         report.frames_out += 1;
-        tx.send_payload(payload).map_err(|e| {
-            CoreError::from(e.at_stage(&format!("item-error reply for request {seq}")))
-        })?;
-        Ok(())
+        Reply {
+            payload,
+            context: format!("item-error reply for request {seq}"),
+            best_effort: false,
+        }
     }
 
-    fn send_accept(
+    fn accept_reply(
         &self,
-        tx: &mut TcpFrameSender,
         report: &mut ServeReport,
         pk_fingerprint: u64,
         session: u64,
         pack_slot_bits: u32,
-    ) -> Result<(), CoreError> {
-        let accept = to_frame(&AcceptMsg {
+    ) -> Reply {
+        let payload = to_frame(&AcceptMsg {
             version: PROTOCOL_VERSION,
             pk_fingerprint,
             topology: self.topology,
             session,
             pack_slot_bits,
         });
-        report.bytes_out += accept.len() as u64;
+        report.bytes_out += payload.len() as u64;
         report.frames_out += 1;
-        tx.send_payload(accept).map_err(|e| e.at_stage("handshake accept"))?;
-        Ok(())
+        Reply { payload, context: "handshake accept".into(), best_effort: false }
     }
 
     /// Accepts the client's proposed packing layout only when it fits
@@ -1231,108 +1547,69 @@ impl ModelProvider {
         Some(spec)
     }
 
-    /// One linear round of a packed batch. All failure modes short of a
-    /// dead socket answer with a single [`ItemErrorKind::PackedAbort`]
-    /// (batch state dropped, perms released) so the client can replay
-    /// the members unpacked over the same connection.
-    #[allow(clippy::too_many_arguments)]
-    fn serve_packed_round(
+    /// Validation and admission for one linear round of a packed batch,
+    /// up to (but not including) the expensive execution. All failure
+    /// modes short of a dead socket answer with a single
+    /// [`ItemErrorKind::PackedAbort`] (batch state dropped, perms
+    /// released) so the client can replay the members unpacked over the
+    /// same connection.
+    fn packed_round_pre(
         &self,
-        tx: &mut TcpFrameSender,
-        report: &mut ServeReport,
-        session: u64,
-        packing: Option<PackingSpec>,
-        execs: &[LinearStage],
-        unpacked_inflight: usize,
-        next_packed: &mut HashMap<u64, (Vec<u64>, usize)>,
+        conn: &mut ConnState,
         msg: PackedTensorMsg,
         budget_ms: Option<u64>,
         arrival: Instant,
-    ) -> Result<(), CoreError> {
-        let n_linear = execs.len();
+        report: &mut ServeReport,
+    ) -> Result<FrameDisposition, CoreError> {
+        let n_linear = conn.execs.len();
         let Some(&key) = msg.seqs.first() else {
             return Err(CoreError::from(StreamError::Stage(
                 "packed frame with an empty batch".into(),
             )));
         };
-        let Some(spec) = packing else {
-            return self.send_packed_abort(
-                tx,
-                report,
-                execs,
-                next_packed,
-                key,
-                "packing was not negotiated for this connection",
-            );
+        macro_rules! abort {
+            ($detail:expr) => {
+                return Ok(FrameDisposition::Continue(vec![
+                    self.packed_abort_reply(conn, report, key, $detail)
+                ]))
+            };
+        }
+        let Some(spec) = conn.packing else {
+            abort!("packing was not negotiated for this connection");
         };
         if msg.slot_bits as usize != spec.slot_bits
             || msg.slots as usize != spec.slots
             || msg.op_budget != spec.op_budget
             || msg.seqs.len() > spec.slots
         {
-            return self.send_packed_abort(
-                tx,
-                report,
-                execs,
-                next_packed,
-                key,
-                "packed layout differs from the negotiated spec",
-            );
+            abort!("packed layout differs from the negotiated spec");
         }
         let elems = msg.shape.iter().try_fold(1u64, |acc, &d| acc.checked_mul(d));
         if elems.map(|n| n as usize) != Some(msg.cts.len()) {
-            return self.send_packed_abort(
-                tx,
-                report,
-                execs,
-                next_packed,
-                key,
-                "packed shape does not match the ciphertext count",
-            );
+            abort!("packed shape does not match the ciphertext count");
         }
 
-        let round = match next_packed.get(&key) {
+        let round = match conn.next_packed.get(&key) {
             Some((seqs, round)) => {
                 if *seqs != msg.seqs {
-                    return self.send_packed_abort(
-                        tx,
-                        report,
-                        execs,
-                        next_packed,
-                        key,
-                        "packed batch membership changed between rounds",
-                    );
+                    abort!("packed batch membership changed between rounds");
                 }
                 *round
             }
             None => {
                 // Round 0: admission control and per-member exactly-once
                 // bookkeeping, mirroring the unpacked path.
-                if msg.seqs.iter().any(|&s| self.sessions.is_quarantined(session, s)) {
-                    return self.send_packed_abort(
-                        tx,
-                        report,
-                        execs,
-                        next_packed,
-                        key,
-                        "batch contains a quarantined item",
-                    );
+                if msg.seqs.iter().any(|&s| self.sessions.is_quarantined(conn.session, s)) {
+                    abort!("batch contains a quarantined item");
                 }
                 let packed_inflight: usize =
-                    next_packed.values().map(|(seqs, _)| seqs.len()).sum();
-                if unpacked_inflight + packed_inflight + msg.seqs.len() > self.max_inflight {
+                    conn.next_packed.values().map(|(seqs, _)| seqs.len()).sum();
+                if conn.next_round.len() + packed_inflight + msg.seqs.len() > self.max_inflight {
                     report.shed += 1;
-                    return self.send_packed_abort(
-                        tx,
-                        report,
-                        execs,
-                        next_packed,
-                        key,
-                        &format!("session at its in-flight cap ({})", self.max_inflight),
-                    );
+                    abort!(&format!("session at its in-flight cap ({})", self.max_inflight));
                 }
                 for &s in &msg.seqs {
-                    match self.sessions.on_round0(session, s) {
+                    match self.sessions.on_round0(conn.session, s) {
                         Ok(true) => report.replayed_items += 1,
                         Ok(false) => {}
                         Err(reason) => {
@@ -1351,93 +1628,41 @@ impl ModelProvider {
         if let Some(ms) = budget_ms {
             if arrival.elapsed() >= Duration::from_millis(ms) {
                 report.deadline_expired += 1;
-                return self.send_packed_abort(
-                    tx,
-                    report,
-                    execs,
-                    next_packed,
-                    key,
-                    &format!("budget of {ms} ms ran out before packed linear round {round}"),
-                );
+                abort!(&format!("budget of {ms} ms ran out before packed linear round {round}"));
             }
         }
-
-        // A panic (op-budget violation, poison member) aborts the batch;
-        // the per-item replay re-establishes item-level quarantine.
-        #[cfg(feature = "fault-injection")]
-        let poison =
-            self.poison_seq.is_some_and(|p| msg.seqs.contains(&p));
-        let used = msg.seqs.len() as u64;
-        let exec = &execs[round];
-        let executed = catch_unwind(AssertUnwindSafe(move || {
+        // A panic during execution (op-budget violation, poison member)
+        // aborts the batch; the per-item replay re-establishes
+        // item-level quarantine.
+        Ok(FrameDisposition::Execute(ExecJob {
+            round,
             #[cfg(feature = "fault-injection")]
-            if poison {
-                panic!("injected poison item in packed batch {key}");
-            }
-            packed::execute_packed_linear(exec, msg)
-        }));
-        let out = match executed {
-            Ok(Ok(out)) => out,
-            Ok(Err(e)) => {
-                return self.send_packed_abort(
-                    tx,
-                    report,
-                    execs,
-                    next_packed,
-                    key,
-                    &format!("packed round {round} failed: {e}"),
-                );
-            }
-            Err(panic_payload) => {
-                let detail = panic_message(panic_payload.as_ref());
-                return self.send_packed_abort(
-                    tx,
-                    report,
-                    execs,
-                    next_packed,
-                    key,
-                    &format!("packed round {round} panicked: {detail}"),
-                );
-            }
-        };
-        if round + 1 == n_linear {
-            next_packed.remove(&key);
-            report.requests += used;
-        } else {
-            next_packed.insert(key, (out.seqs.clone(), round + 1));
-        }
-        report.packed_rounds += 1;
-
-        let payload = to_frame(&out);
-        report.bytes_out += payload.len() as u64;
-        report.frames_out += 1;
-        tx.send_payload(payload)
-            .map_err(|e| e.at_stage(&format!("packed linear-{round} reply for batch {key}")))?;
-        Ok(())
+            poison: self.poison_seq.is_some_and(|p| msg.seqs.contains(&p)),
+            kind: JobKind::Packed { msg },
+            execs: Arc::clone(&conn.execs),
+        }))
     }
 
     /// Aborts a packed batch: drops its round tracking and any stored
     /// permutations, and answers with one [`ItemErrorKind::PackedAbort`]
     /// keyed by the batch's first member. The connection survives; the
     /// client replays every unresolved member unpacked.
-    fn send_packed_abort(
+    fn packed_abort_reply(
         &self,
-        tx: &mut TcpFrameSender,
+        conn: &mut ConnState,
         report: &mut ServeReport,
-        execs: &[LinearStage],
-        next_packed: &mut HashMap<u64, (Vec<u64>, usize)>,
         key: u64,
         detail: &str,
-    ) -> Result<(), CoreError> {
-        next_packed.remove(&key);
-        if let Some(exec0) = execs.first() {
+    ) -> Reply {
+        conn.next_packed.remove(&key);
+        if let Some(exec0) = conn.execs.first() {
             let packed_key = key | PACKED_PERM_BIT;
-            for idx in 0..execs.len() {
+            for idx in 0..conn.execs.len() {
                 let _ = exec0.perms.take(packed_key, idx);
             }
         }
         report.packed_aborts += 1;
-        self.send_item_error(tx, report, key, ItemErrorKind::PackedAbort, detail)
+        self.item_error_reply(report, key, ItemErrorKind::PackedAbort, detail)
     }
 
     /// `None` when the hello is acceptable, otherwise the rejection
@@ -1521,6 +1746,16 @@ pub struct ServeOptions {
     pub max_sessions: Option<usize>,
     /// Backoff hint sent with every busy rejection.
     pub retry_after: Duration,
+    /// Cross-session batching window for the event loop: linear-round
+    /// jobs from different sessions arriving within this window are
+    /// coalesced into one fused pool dispatch. `Duration::ZERO`
+    /// (default) disables coalescing — every job executes inline on its
+    /// shard, which preserves strict per-session serving order and is
+    /// the right choice below ~a few dozen concurrent sessions.
+    pub gather_window: Duration,
+    /// Forces the legacy thread-per-connection supervisor even where
+    /// the readiness event loop is supported (also: `PP_EVLOOP=0`).
+    pub legacy_threaded: bool,
 }
 
 impl Default for ServeOptions {
@@ -1530,6 +1765,8 @@ impl Default for ServeOptions {
             poll_interval: Duration::from_millis(10),
             max_sessions: None,
             retry_after: Duration::from_millis(25),
+            gather_window: Duration::ZERO,
+            legacy_threaded: false,
         }
     }
 }
@@ -1537,6 +1774,23 @@ impl Default for ServeOptions {
 /// One worker's outcome: its connection result and local counters, or
 /// the panic payload `catch_unwind` trapped.
 type WorkerDone = std::thread::Result<(Result<ConnOutcome, CoreError>, ServeReport)>;
+
+/// Sleeps up to `total` in short slices, returning as soon as `stop`
+/// is set — so the legacy threaded supervisor's idle waits observe a
+/// shutdown within ~25ms no matter how coarse
+/// [`ServeOptions::poll_interval`] is (the event loop needs no slicing:
+/// its poller parks until a waker fires).
+fn sleep_observing_stop(stop: &AtomicBool, total: Duration) {
+    let slice = Duration::from_millis(25);
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::Relaxed) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(slice));
+    }
+}
 
 fn absorb_worker(report: &mut ServeReport, done: WorkerDone) {
     match done {
@@ -1560,6 +1814,10 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     addr: SocketAddr,
     thread: std::thread::JoinHandle<ServeReport>,
+    /// Event-loop wakers (acceptor + shards): `shutdown` fires them so
+    /// the loops observe the stop flag immediately rather than after a
+    /// `poll_interval` sleep. Empty on the legacy threaded path.
+    wakers: Vec<evloop::Waker>,
 }
 
 impl ServerHandle {
@@ -1572,10 +1830,725 @@ impl ServerHandle {
     /// aggregated report.
     pub fn shutdown(self) -> ServeReport {
         self.stop.store(true, Ordering::Relaxed);
+        for waker in &self.wakers {
+            waker.wake();
+        }
         self.thread.join().unwrap_or_else(|_| ServeReport {
             last_error: Some("serve_forever supervisor panicked".into()),
             ..Default::default()
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Readiness event loop (Linux x86_64 / aarch64)
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod ev {
+    //! The serving event loop of DESIGN.md §9: one acceptor thread plus
+    //! `max_workers` shard threads, each multiplexing its share of
+    //! nonblocking connections over an epoll [`Poller`]. Every
+    //! connection runs the same state machine as the blocking
+    //! `handle_conn` driver (`open_conn`/`on_frame`/`on_exec_done`);
+    //! the loop only decides *when* frames are absorbed and *where*
+    //! admitted jobs execute — inline on the shard, or coalesced with
+    //! other sessions' jobs by the gather-window batcher.
+
+    use super::*;
+    use crate::evloop::{FrameReader, Poller, Waker, WriteBuf};
+    use std::io::Read;
+    use std::os::fd::AsRawFd;
+
+    /// Work handed from the acceptor to a shard (always followed by a
+    /// wakeup on the shard's eventfd).
+    enum ShardCmd {
+        /// Serve this connection; it holds an admission slot.
+        Serve(TcpStream),
+        /// Drain one frame, answer Busy, close. No slot held.
+        RejectBusy { stream: TcpStream, active: usize },
+    }
+
+    /// A linear-round job on its way to the cross-session batcher.
+    struct BatchJob {
+        shard: usize,
+        conn: u64,
+        job: ExecJob,
+    }
+
+    /// A finished batched execution routed back to its owning shard.
+    struct ExecDone {
+        conn: u64,
+        meta: JobMeta,
+        outcome: ExecOutcome,
+    }
+
+    /// What a shard-owned connection is currently doing.
+    enum EvPhase {
+        /// Waiting for the opening Hello/Resume frame.
+        AwaitFirst,
+        /// Serving the session's linear rounds.
+        Serving(Box<ConnState>),
+        /// Admission-control refusal: drain the hello, reply Busy, close.
+        RejectBusy { active: usize },
+    }
+
+    /// One nonblocking connection multiplexed by a shard.
+    struct EvConn {
+        stream: TcpStream,
+        reader: FrameReader,
+        wbuf: WriteBuf,
+        phase: EvPhase,
+        /// Write interest currently registered with the poller.
+        want_write: bool,
+        /// Whether this connection holds an admission slot.
+        holds_slot: bool,
+        /// Close once the write buffer drains (reject / Bye paths).
+        close_after_flush: bool,
+        /// The peer half-closed; resolve buffered work, then close.
+        read_eof: bool,
+        /// A linear round is at the batcher; later frames stay buffered
+        /// so per-session ordering is untouched by batching.
+        exec_inflight: bool,
+        /// Busy rejections abandon their drain at this instant — the
+        /// event-loop form of [`REJECT_DRAIN_BOUND`], so a slow-loris
+        /// flood of silent hellos occupies fds only briefly.
+        reject_deadline: Option<Instant>,
+    }
+
+    /// Token 0 is the shard's waker; connections start above it.
+    const WAKER_TOKEN: u64 = 0;
+
+    struct Shard {
+        provider: Arc<ModelProvider>,
+        poller: Poller,
+        waker: Waker,
+        cmd_rx: mpsc::Receiver<ShardCmd>,
+        done_rx: mpsc::Receiver<ExecDone>,
+        /// `Some` only when a gather window (and thus a batcher) exists.
+        job_tx: Option<mpsc::Sender<BatchJob>>,
+        id: usize,
+        active: Arc<AtomicUsize>,
+        stop: Arc<AtomicBool>,
+        options: ServeOptions,
+        conns: HashMap<u64, EvConn>,
+        next_token: u64,
+        report: ServeReport,
+    }
+
+    impl Shard {
+        fn run(mut self) -> ServeReport {
+            if self.poller.add(self.waker.raw_fd(), WAKER_TOKEN, false).is_err() {
+                self.report.last_error = Some("shard: failed to register waker".into());
+                return self.report;
+            }
+            let mut events = Vec::new();
+            loop {
+                while let Ok(cmd) = self.cmd_rx.try_recv() {
+                    self.admit(cmd);
+                }
+                while let Ok(done) = self.done_rx.try_recv() {
+                    self.finish_exec(done);
+                }
+                if self.stop.load(Ordering::Relaxed) && self.conns.is_empty() {
+                    return self.report;
+                }
+                let timeout = self
+                    .conns
+                    .values()
+                    .filter_map(|c| c.reject_deadline)
+                    .min()
+                    .map(|d| d.saturating_duration_since(Instant::now()));
+                if self.poller.wait(&mut events, timeout).is_err() {
+                    self.report.last_error = Some("shard: event wait failed".into());
+                    return self.report;
+                }
+                for &ev in &events {
+                    if ev.token == WAKER_TOKEN {
+                        self.waker.drain();
+                        continue;
+                    }
+                    if ev.writable {
+                        self.flush_now(ev.token);
+                    }
+                    if ev.readable {
+                        self.read_conn(ev.token);
+                    }
+                }
+                self.sweep_reject_deadlines();
+            }
+        }
+
+        fn admit(&mut self, cmd: ShardCmd) {
+            let (stream, phase, holds_slot, reject_deadline) = match cmd {
+                ShardCmd::Serve(stream) => (stream, EvPhase::AwaitFirst, true, None),
+                ShardCmd::RejectBusy { stream, active } => (
+                    stream,
+                    EvPhase::RejectBusy { active },
+                    false,
+                    Some(Instant::now() + REJECT_DRAIN_BOUND),
+                ),
+            };
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                if holds_slot {
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                }
+                self.report.failed_connections += 1;
+                self.report.last_error = Some("setup: nonblocking connection".into());
+                return;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.poller.add(stream.as_raw_fd(), token, false).is_err() {
+                if holds_slot {
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                }
+                self.report.failed_connections += 1;
+                self.report.last_error = Some("setup: epoll registration".into());
+                return;
+            }
+            self.conns.insert(
+                token,
+                EvConn {
+                    stream,
+                    reader: FrameReader::new(self.provider.tcp.validate_seq),
+                    wbuf: WriteBuf::new(),
+                    phase,
+                    want_write: false,
+                    holds_slot,
+                    close_after_flush: false,
+                    read_eof: false,
+                    exec_inflight: false,
+                    reject_deadline,
+                },
+            );
+        }
+
+        /// Reads until `WouldBlock` (or a short read — level-triggered
+        /// epoll re-reports leftovers), then advances the state machine
+        /// over every complete buffered frame.
+        fn read_conn(&mut self, token: u64) {
+            let mut scratch = [0u8; 16 * 1024];
+            loop {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                if conn.read_eof || conn.close_after_flush {
+                    break;
+                }
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.read_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.reader.extend_from(&scratch[..n]);
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        let stage = self.stage_of(token);
+                        self.fail_conn(
+                            token,
+                            CoreError::from(
+                                StreamError::transport(
+                                    TransportErrorKind::Recv,
+                                    format!("tcp recv: {e}"),
+                                )
+                                .at_stage(stage),
+                            )
+                            .to_string(),
+                        );
+                        return;
+                    }
+                }
+            }
+            self.advance(token);
+        }
+
+        /// Stage label for transport errors, mirroring the blocking
+        /// driver's `at_stage` contexts.
+        fn stage_of(&self, token: u64) -> &'static str {
+            match self.conns.get(&token).map(|c| &c.phase) {
+                Some(EvPhase::Serving(_)) => "linear request",
+                _ => "handshake",
+            }
+        }
+
+        /// Feeds buffered frames through the state machine until it
+        /// needs more bytes, a job goes in flight, or the connection is
+        /// closing; then resolves EOF and flushes.
+        fn advance(&mut self, token: u64) {
+            loop {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                if conn.exec_inflight || conn.close_after_flush {
+                    break;
+                }
+                match conn.reader.next_frame() {
+                    Ok(Some(frame)) => {
+                        if !self.absorb_frame(token, frame) {
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let stage = self.stage_of(token);
+                        self.fail_conn(token, CoreError::from(e.at_stage(stage)).to_string());
+                        return;
+                    }
+                }
+            }
+            self.after_read(token);
+        }
+
+        /// Runs one decoded frame through the connection state machine.
+        /// Returns `false` when the connection was torn down.
+        fn absorb_frame(&mut self, token: u64, frame: Frame) -> bool {
+            enum Kind {
+                AwaitFirst,
+                Serving,
+                RejectBusy(usize),
+            }
+            let kind = match self.conns.get(&token).map(|c| &c.phase) {
+                Some(EvPhase::AwaitFirst) => Kind::AwaitFirst,
+                Some(EvPhase::Serving(_)) => Kind::Serving,
+                Some(EvPhase::RejectBusy { active }) => Kind::RejectBusy(*active),
+                None => return false,
+            };
+            match kind {
+                Kind::RejectBusy(active) => {
+                    // Parity with the threaded rejecter: the drained
+                    // hello and the Busy reply stay uncounted (the
+                    // acceptor already counted the rejection), so busy
+                    // floods don't skew frame/byte accounting.
+                    let payload = to_frame(&RejectMsg::busy(
+                        format!("server at capacity ({active} active sessions)"),
+                        self.options.retry_after.as_millis() as u64,
+                    ));
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    conn.wbuf.queue(&payload);
+                    conn.close_after_flush = true;
+                    true
+                }
+                Kind::AwaitFirst => {
+                    self.report.frames_in += 1;
+                    self.report.bytes_in += frame.payload.len() as u64;
+                    let (replies, opened) =
+                        self.provider.open_conn(frame.payload, &mut self.report);
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    for r in &replies {
+                        conn.wbuf.queue(&r.payload);
+                    }
+                    match opened {
+                        Opened::Serving(state) => conn.phase = EvPhase::Serving(state),
+                        Opened::Rejected => conn.close_after_flush = true,
+                    }
+                    true
+                }
+                Kind::Serving => {
+                    self.report.frames_in += 1;
+                    self.report.bytes_in += frame.payload.len() as u64;
+                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    let EvPhase::Serving(state) = &mut conn.phase else { unreachable!() };
+                    match self.provider.on_frame(state, frame, &mut self.report) {
+                        Ok(FrameDisposition::Continue(replies)) => {
+                            for r in &replies {
+                                conn.wbuf.queue(&r.payload);
+                            }
+                            true
+                        }
+                        Ok(FrameDisposition::Clean) => {
+                            self.report.clean_shutdown = true;
+                            conn.close_after_flush = true;
+                            true
+                        }
+                        Ok(FrameDisposition::Execute(job)) => {
+                            if let Some(job_tx) = &self.job_tx {
+                                // Cross-session batching: park the
+                                // connection and ship the job; the
+                                // batcher wakes us with the outcome.
+                                conn.exec_inflight = true;
+                                let sent = job_tx
+                                    .send(BatchJob { shard: self.id, conn: token, job })
+                                    .is_ok();
+                                if !sent {
+                                    self.fail_conn(
+                                        token,
+                                        "batcher unavailable for linear round".into(),
+                                    );
+                                    return false;
+                                }
+                                true
+                            } else {
+                                // No gather window: execute inline on
+                                // the provider pool, exactly like the
+                                // blocking driver.
+                                let t0 = Instant::now();
+                                let (meta, outcome) = run_job(job, &self.provider.pool);
+                                self.report.exec_ns += t0.elapsed().as_nanos() as u64;
+                                match self.provider.on_exec_done(
+                                    state,
+                                    meta,
+                                    outcome,
+                                    &mut self.report,
+                                ) {
+                                    Ok(replies) => {
+                                        for r in &replies {
+                                            conn.wbuf.queue(&r.payload);
+                                        }
+                                        true
+                                    }
+                                    Err(e) => {
+                                        self.fail_conn(token, e.to_string());
+                                        false
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            self.fail_conn(token, e.to_string());
+                            false
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Applies a batched execution's outcome, then resumes parsing
+        /// the frames that queued behind it.
+        fn finish_exec(&mut self, done: ExecDone) {
+            let token = done.conn;
+            let Some(conn) = self.conns.get_mut(&token) else {
+                // The connection failed while its job was in flight.
+                return;
+            };
+            conn.exec_inflight = false;
+            let EvPhase::Serving(state) = &mut conn.phase else { return };
+            match self.provider.on_exec_done(state, done.meta, done.outcome, &mut self.report) {
+                Ok(replies) => {
+                    for r in &replies {
+                        conn.wbuf.queue(&r.payload);
+                    }
+                }
+                Err(e) => {
+                    self.fail_conn(token, e.to_string());
+                    return;
+                }
+            }
+            self.advance(token);
+        }
+
+        /// Resolves a half-closed peer once nothing is pending, then
+        /// flushes. EOF at a frame boundary mirrors the blocking
+        /// driver: before the first frame it's a refused handshake,
+        /// mid-session it's a silent drop (session stays resumable),
+        /// and mid-frame it's a failed connection.
+        fn after_read(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.read_eof && !conn.exec_inflight && !conn.close_after_flush {
+                if conn.reader.has_partial() {
+                    let silent = matches!(conn.phase, EvPhase::RejectBusy { .. });
+                    let stage = self.stage_of(token);
+                    if silent {
+                        self.close_conn(token);
+                    } else {
+                        self.fail_conn(
+                            token,
+                            CoreError::from(
+                                StreamError::transport(
+                                    TransportErrorKind::Eof,
+                                    "connection closed mid-frame",
+                                )
+                                .at_stage(stage),
+                            )
+                            .to_string(),
+                        );
+                    }
+                    return;
+                }
+                if matches!(conn.phase, EvPhase::AwaitFirst) {
+                    self.report.rejected_handshakes += 1;
+                }
+                conn.close_after_flush = true;
+            }
+            self.flush_now(token);
+        }
+
+        /// Drains the write buffer as far as the socket allows and
+        /// keeps epoll write interest in sync with whether bytes
+        /// remain. Closing paths (`close_after_flush`) treat write
+        /// errors as best-effort; anything else is a failed connection.
+        fn flush_now(&mut self, token: u64) {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            match conn.wbuf.flush(&mut conn.stream) {
+                Ok(true) => {
+                    if conn.close_after_flush {
+                        self.close_conn(token);
+                        return;
+                    }
+                    if conn.want_write {
+                        conn.want_write = false;
+                        let fd = conn.stream.as_raw_fd();
+                        let _ = self.poller.modify(fd, token, false);
+                    }
+                }
+                Ok(false) => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let fd = conn.stream.as_raw_fd();
+                        let _ = self.poller.modify(fd, token, true);
+                    }
+                }
+                Err(e) => {
+                    let silent = conn.close_after_flush;
+                    if silent {
+                        self.close_conn(token);
+                    } else {
+                        self.fail_conn(
+                            token,
+                            CoreError::from(StreamError::transport(
+                                TransportErrorKind::Send,
+                                format!("tcp send: {e}"),
+                            ))
+                            .to_string(),
+                        );
+                    }
+                }
+            }
+        }
+
+        fn sweep_reject_deadlines(&mut self) {
+            let now = Instant::now();
+            let expired: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.reject_deadline.is_some_and(|d| d <= now))
+                .map(|(&t, _)| t)
+                .collect();
+            for t in expired {
+                self.close_conn(t);
+            }
+        }
+
+        fn fail_conn(&mut self, token: u64, detail: String) {
+            self.report.failed_connections += 1;
+            self.report.last_error = Some(detail);
+            self.close_conn(token);
+        }
+
+        fn close_conn(&mut self, token: u64) {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.poller.delete(conn.stream.as_raw_fd());
+                if conn.holds_slot {
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// The cross-session batcher: gathers jobs arriving within
+    /// `window` of the first, executes them as **one** pool dispatch
+    /// (each item runs on an inline pool — a nested dispatch onto the
+    /// shared pool would deadlock), and routes outcomes back to their
+    /// shards. Coalescing changes only *scheduling*: each item still
+    /// runs its own deterministic per-element execution, so replies are
+    /// bit-identical to per-session serving.
+    fn run_batcher(
+        provider: Arc<ModelProvider>,
+        job_rx: mpsc::Receiver<BatchJob>,
+        done_txs: Vec<(mpsc::Sender<ExecDone>, Waker)>,
+        window: Duration,
+    ) -> ServeReport {
+        let mut report = ServeReport::default();
+        while let Ok(first) = job_rx.recv() {
+            let mut jobs = vec![first];
+            let deadline = Instant::now() + window;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match job_rx.recv_timeout(deadline - now) {
+                    Ok(j) => jobs.push(j),
+                    Err(_) => break,
+                }
+            }
+            let n = jobs.len();
+            let mut routes = Vec::with_capacity(n);
+            let slots: Arc<Vec<Mutex<Option<ExecJob>>>> = Arc::new(
+                jobs.into_iter()
+                    .map(|b| {
+                        routes.push((b.shard, b.conn));
+                        Mutex::new(Some(b.job))
+                    })
+                    .collect(),
+            );
+            let taken = Arc::clone(&slots);
+            let t0 = Instant::now();
+            let outs: Vec<(JobMeta, ExecOutcome)> = provider.pool.map_ranges(n, move |range| {
+                let inline = WorkerPool::inline();
+                range
+                    .map(|i| run_job(taken[i].lock().take().expect("each job taken once"), &inline))
+                    .collect()
+            });
+            report.exec_ns += t0.elapsed().as_nanos() as u64;
+            report.batched_rounds += 1;
+            report.batched_items += n as u64;
+            let mut woken: HashSet<usize> = HashSet::new();
+            for ((shard, conn), (meta, outcome)) in routes.into_iter().zip(outs) {
+                if done_txs[shard].0.send(ExecDone { conn, meta, outcome }).is_ok() {
+                    woken.insert(shard);
+                }
+            }
+            for s in woken {
+                done_txs[s].1.wake();
+            }
+        }
+        report
+    }
+
+    impl ModelProvider {
+        /// The event-loop supervisor behind `serve_forever`: acceptor
+        /// here, shards and batcher on their own threads. Any setup
+        /// failure (fd pressure on pollers) falls back to the legacy
+        /// threaded supervisor so serving never silently dies.
+        pub(super) fn supervise_evloop(
+            self: Arc<Self>,
+            listener: TcpListener,
+            options: ServeOptions,
+            stop: Arc<AtomicBool>,
+            wakers: Vec<Waker>,
+        ) -> ServeReport {
+            let n_shards = options.max_workers.max(1);
+            debug_assert_eq!(wakers.len(), n_shards + 1);
+            let poller = match Poller::new() {
+                Ok(p) => p,
+                Err(_) => return self.supervise(listener, options, stop),
+            };
+            if poller.add(wakers[0].raw_fd(), 0, false).is_err()
+                || poller.add(listener.as_raw_fd(), 1, false).is_err()
+            {
+                return self.supervise(listener, options, stop);
+            }
+            let mut shard_pollers = Vec::with_capacity(n_shards);
+            for _ in 0..n_shards {
+                match Poller::new() {
+                    Ok(p) => shard_pollers.push(p),
+                    Err(_) => return self.supervise(listener, options, stop),
+                }
+            }
+
+            let active = Arc::new(AtomicUsize::new(0));
+            let gather = options.gather_window;
+            let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
+            let mut cmd_txs = Vec::with_capacity(n_shards);
+            let mut done_txs = Vec::with_capacity(n_shards);
+            let mut shards = Vec::with_capacity(n_shards);
+            for (id, shard_poller) in shard_pollers.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel();
+                let (done_tx, done_rx) = mpsc::channel();
+                cmd_txs.push(cmd_tx);
+                done_txs.push((done_tx, wakers[id + 1].clone()));
+                let shard = Shard {
+                    provider: Arc::clone(&self),
+                    poller: shard_poller,
+                    waker: wakers[id + 1].clone(),
+                    cmd_rx,
+                    done_rx,
+                    job_tx: (gather > Duration::ZERO).then(|| job_tx.clone()),
+                    id,
+                    active: Arc::clone(&active),
+                    stop: Arc::clone(&stop),
+                    options: options.clone(),
+                    conns: HashMap::new(),
+                    next_token: 1,
+                    report: ServeReport::default(),
+                };
+                shards.push(std::thread::spawn(move || shard.run()));
+            }
+            drop(job_tx);
+            let batcher = (gather > Duration::ZERO).then(|| {
+                let provider = Arc::clone(&self);
+                std::thread::spawn(move || run_batcher(provider, job_rx, done_txs, gather))
+            });
+
+            let mut report = ServeReport::default();
+            let mut events = Vec::new();
+            let mut rr = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                if poller.wait(&mut events, None).is_err() {
+                    report.last_error = Some("acceptor: event wait failed".into());
+                    break;
+                }
+                if events.iter().any(|e| e.token == 0) {
+                    wakers[0].drain();
+                }
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            report.connections += 1;
+                            let at_cap = options
+                                .max_sessions
+                                .is_some_and(|cap| active.load(Ordering::Relaxed) >= cap);
+                            let holds_slot = !at_cap;
+                            let cmd = if at_cap {
+                                report.rejected_busy += 1;
+                                ShardCmd::RejectBusy {
+                                    stream,
+                                    active: active.load(Ordering::Relaxed),
+                                }
+                            } else {
+                                active.fetch_add(1, Ordering::Relaxed);
+                                ShardCmd::Serve(stream)
+                            };
+                            let shard = rr % n_shards;
+                            rr += 1;
+                            if cmd_txs[shard].send(cmd).is_ok() {
+                                wakers[shard + 1].wake();
+                            } else {
+                                if holds_slot {
+                                    active.fetch_sub(1, Ordering::Relaxed);
+                                }
+                                report.failed_connections += 1;
+                                report.last_error = Some("shard unavailable for accept".into());
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            report.failed_connections += 1;
+                            report.last_error = Some(format!("accept: {e}"));
+                            // Avoid a hot error loop on a persistent
+                            // accept failure; readiness is level-
+                            // triggered, so nothing is lost.
+                            sleep_observing_stop(&stop, options.poll_interval);
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Drain: closing the command channels plus one wakeup per
+            // shard lets each shard observe the stop flag immediately,
+            // finish its live connections, and return its counters.
+            drop(cmd_txs);
+            for w in &wakers[1..] {
+                w.wake();
+            }
+            for handle in shards {
+                match handle.join() {
+                    Ok(shard_report) => report.merge(&shard_report),
+                    Err(_) => report.panicked_connections += 1,
+                }
+            }
+            if let Some(handle) = batcher {
+                if let Ok(batch_report) = handle.join() {
+                    report.merge(&batch_report);
+                }
+            }
+            report
+        }
     }
 }
 
@@ -1993,9 +2966,6 @@ impl NetworkedSession {
         inputs: &[Tensor<f64>],
         strict: bool,
     ) -> Result<(Vec<ItemOutcome>, RunReport), CoreError> {
-        if inputs.is_empty() {
-            return Err(CoreError::Runtime("no inputs".into()));
-        }
         let t_run = Instant::now();
         // Precompute the stream's worth of `r^n` blinding factors in
         // parallel before the first request, so per-item encryption is a
@@ -2092,7 +3062,14 @@ impl NetworkedSession {
         }
 
         let makespan = t_run.elapsed();
-        let mean_latency = latencies.iter().sum::<Duration>() / latencies.len() as u32;
+        // A stream can legitimately resolve zero items (empty input
+        // slice); dividing by `latencies.len()` would panic, so an empty
+        // stream reports a zero mean instead.
+        let mean_latency = if latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            latencies.iter().sum::<Duration>() / latencies.len() as u32
+        };
         self.transport.faults_injected = fault_count(&self.fault);
         let mut transport = self.transport.clone();
         transport.clean_shutdown = true; // no transport error reached here

@@ -97,7 +97,8 @@ pub struct RunReport {
     pub latencies: Vec<Duration>,
     /// First-injection → last-arrival wall time.
     pub makespan: Duration,
-    /// Mean of `latencies`.
+    /// Mean of `latencies`; [`Duration::ZERO`] when the stream resolved
+    /// zero items (empty input slice) — never a division by zero.
     pub mean_latency: Duration,
     /// Bytes over each inter-stage link.
     pub link_bytes: Vec<u64>,

@@ -38,6 +38,16 @@ impl WorkerPool {
         WorkerPool { tx: Some(tx), workers, size }
     }
 
+    /// A pool with no worker threads: `map_ranges` runs `f(0..count)`
+    /// directly on the calling thread. For code that is *already* on a
+    /// pool worker (e.g. per-item execution inside a cross-session
+    /// batched dispatch) — a nested `map_ranges` onto the same pool
+    /// would deadlock once every worker blocks waiting on a chunk only
+    /// another worker could run.
+    pub fn inline() -> Self {
+        WorkerPool { tx: None, workers: Vec::new(), size: 1 }
+    }
+
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.size
@@ -62,6 +72,10 @@ impl WorkerPool {
     {
         if count == 0 {
             return Vec::new();
+        }
+        if self.tx.is_none() {
+            // Inline pool: no workers to dispatch to.
+            return f(0..count);
         }
         let parts = self.size.min(count);
         let f = Arc::new(f);
@@ -188,6 +202,25 @@ mod tests {
     fn size_clamped_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn inline_pool_runs_on_the_calling_thread() {
+        let pool = WorkerPool::inline();
+        assert_eq!(pool.size(), 1);
+        let caller = format!("{:?}", std::thread::current().id());
+        let out = pool.map_ranges(5, move |r| {
+            let here = format!("{:?}", std::thread::current().id());
+            r.map(|i| (i, here == caller)).collect()
+        });
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&(_, same)| same), "inline work must not leave the caller");
+        // Nesting inline dispatches is safe — nothing blocks on a queue.
+        let nested = pool.map_ranges(2, |r| {
+            r.map(|i| WorkerPool::inline().map_ranges(3, move |q| q.map(|j| i * 10 + j).collect()))
+                .collect::<Vec<Vec<usize>>>()
+        });
+        assert_eq!(nested, vec![vec![0, 1, 2], vec![10, 11, 12]]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! From-scratch binary wire codec.
 //!
-//! The dependency policy (DESIGN.md §10) allows `bytes` but no serde
+//! The dependency policy (DESIGN.md §11) allows `bytes` but no serde
 //! binary format crate, so framing is hand-rolled: little-endian
 //! fixed-width integers, length-prefixed variable-size fields. Every
 //! pipeline hop round-trips frames through this codec so that inter-stage

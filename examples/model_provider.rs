@@ -26,6 +26,13 @@
 //! clients back off and retry. Per-item counters (deadline expiries,
 //! quarantined poison items, load sheds) appear in the final report.
 //!
+//! Serving at scale: `PP_MAX_WORKERS=n` sets the event-loop shard count
+//! (connections are distributed round-robin across shards),
+//! `PP_GATHER_WINDOW_US=µs` enables cross-session batching (linear
+//! rounds from different sessions arriving within the window run as one
+//! fused dispatch), and `PP_EVLOOP=0` forces the legacy
+//! thread-per-connection supervisor.
+//!
 //! Both binaries build the same demo model from a fixed seed so their
 //! topology digests agree — in a real deployment the architecture (not
 //! the weights) is what the two parties must share out of band.
@@ -104,13 +111,35 @@ fn main() {
 
     // Supervised multi-client mode: a bounded worker pool where each
     // connection is isolated, running until the process is killed.
+    let defaults = ServeOptions::default();
     let options = ServeOptions {
         max_sessions: std::env::var("PP_MAX_SESSIONS").ok().and_then(|v| v.parse().ok()),
-        ..ServeOptions::default()
+        max_workers: std::env::var("PP_MAX_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(defaults.max_workers),
+        gather_window: std::env::var("PP_GATHER_WINDOW_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map_or(defaults.gather_window, std::time::Duration::from_micros),
+        ..defaults
     };
     if let Some(cap) = options.max_sessions {
         println!("[model-provider] admission control: at most {cap} concurrent sessions");
     }
+    println!(
+        "[model-provider] serving shape: {} workers, gather window {:?}, event loop {}",
+        options.max_workers,
+        options.gather_window,
+        if pp_stream::evloop::supported()
+            && !options.legacy_threaded
+            && std::env::var("PP_EVLOOP").as_deref() != Ok("0")
+        {
+            "on"
+        } else {
+            "off (legacy threaded)"
+        }
+    );
     let provider = std::sync::Arc::new(provider);
     let _handle = provider.serve_forever(listener, options).expect("spawn server");
     println!("[model-provider] supervised server up (Ctrl+C to stop)");

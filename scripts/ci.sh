@@ -2,10 +2,26 @@
 # Tier-1 CI gate: release build, test suite, and lint-clean clippy.
 # Run from the repository root:
 #
-#   ./scripts/ci.sh
+#   ./scripts/ci.sh                  # full gate
+#   ./scripts/ci.sh --serving-gate   # serving gate only (64-client smoke)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Serving gate: 64 concurrent sessions through the event loop, failing
+# on client/server counter mismatch, batched per-item compute > 1.25x
+# per-session, or p99 > 3x the committed BENCH_serving.json baseline.
+run_serving_gate() {
+    echo "==> serving gate: 64-client smoke, counters balanced, p99 vs BENCH_serving.json"
+    cargo run --release -p pp-bench --bin bench_serving -- --smoke
+    cargo test -p pp-stream --test soak -q
+}
+
+if [ "${1:-}" = "--serving-gate" ]; then
+    run_serving_gate
+    echo "==> serving gate passed"
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -37,6 +53,8 @@ cargo run --release -p pp-bench --bin bench_kernels -- --smoke
 
 echo "==> packed-dot gate: per-item packed <= unpacked at batch >= 8, >= 4x at batch 32"
 cargo run --release -p pp-bench --bin bench_kernels -- --packed-gate
+
+run_serving_gate
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -8,7 +8,7 @@ use pp_paillier::{Keypair, PublicKey, RandomnessPool};
 use pp_stream::messages::{AcceptMsg, HelloMsg, RejectMsg, PROTOCOL_VERSION};
 use pp_stream::{
     ItemErrorKind, ItemOutcome, ModelProvider, NetConfig, NetworkedSession, PpStream,
-    PpStreamConfig, ServeOptions,
+    PpStreamConfig, RejectCode, ServeOptions,
 };
 use pp_stream_runtime::wire::{from_frame, to_frame};
 use pp_stream_runtime::{tcp, TcpConfig};
@@ -514,4 +514,175 @@ fn zero_inflight_cap_sheds_every_item() {
     assert!(server_report.clean_shutdown);
     assert_eq!(server_report.shed, transport.shed, "both sides count every shed item");
     assert_eq!(server_report.requests, 0);
+}
+
+#[test]
+fn empty_stream_resolves_zero_items() {
+    // Regression: a stream that resolves zero items used to divide by
+    // `latencies.len()` computing `mean_latency` and panic. An empty
+    // input slice must return an empty outcome list with a zero mean,
+    // and an all-items-shed zero-deadline run must resolve every item
+    // without panicking either.
+    let scaled = mlp_model("empty-mlp", &[4, 6, 3]);
+    let config = NetConfig::small_test(128);
+    let provider = std::sync::Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = provider.serve_forever(listener, ServeOptions::default()).expect("spawn server");
+    let addr = handle.addr();
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let (classes, report) = session.classify_stream_partial(&[]).expect("empty stream is legal");
+    assert!(classes.is_empty(), "zero inputs, zero outcomes");
+    assert_eq!(report.mean_latency, std::time::Duration::ZERO, "no items, no mean");
+    assert!(report.latencies.is_empty());
+    assert!(session.shutdown().clean_shutdown);
+
+    // Same guarantee when every item is shed before any latency-free
+    // path could divide: an already-expired budget fails each item
+    // individually and the call still returns.
+    let mut expired = config.clone();
+    expired.item_deadline = Some(std::time::Duration::ZERO);
+    let mut session =
+        NetworkedSession::connect(addr, scaled, &expired).expect("connect + handshake");
+    let inputs = stream_inputs(3, 4);
+    let (classes, _) = session.classify_stream_partial(&inputs).expect("total expiry survives");
+    assert_eq!(classes, vec![None, None, None], "every item fails individually");
+    assert!(session.shutdown().clean_shutdown);
+
+    let report = handle.shutdown();
+    assert_eq!(report.requests, 0, "neither stream put an item on the wire");
+    assert!(report.clean_shutdown);
+}
+
+#[test]
+fn busy_flood_is_bounded_and_server_stays_responsive() {
+    // Admission control under a hello flood: one occupant fills the
+    // single session slot; 64 more connections all get a Busy rejection
+    // (none hangs, none is dropped on the floor), the occupant keeps
+    // streaming throughout, and the counters balance exactly.
+    let scaled = mlp_model("flood-mlp", &[4, 6, 3]);
+    let config = NetConfig::small_test(128);
+    let provider = std::sync::Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let options = ServeOptions { max_sessions: Some(1), ..ServeOptions::default() };
+    let handle = provider.serve_forever(listener, options).expect("spawn server");
+    let addr = handle.addr();
+
+    let mut session =
+        NetworkedSession::connect(addr, scaled, &config).expect("occupant takes the only slot");
+    let inputs = stream_inputs(2, 4);
+    session.classify_stream(&inputs[..1]).expect("occupant streams before the flood");
+
+    for i in 0..64 {
+        let (mut tx, mut rx) = tcp::connect(addr).expect("flood client connects");
+        tx.send_payload(bytes::Bytes::from_static(b"\x01hello-ish")).expect("send opener");
+        let reply = rx.recv().expect("busy reply").expect("one reject frame");
+        let reject: RejectMsg = from_frame(reply.payload).expect("decode reject");
+        assert_eq!(reject.code, RejectCode::Busy, "flood client {i} must be busy-rejected");
+        assert!(reject.reason.contains("capacity"), "{}", reject.reason);
+        assert!(reject.retry_after_ms > 0, "backoff hint rides the rejection");
+    }
+
+    session.classify_stream(&inputs[1..]).expect("occupant streams after the flood");
+    assert!(session.shutdown().clean_shutdown);
+
+    let report = handle.shutdown();
+    assert_eq!(report.connections, 65, "occupant plus 64 flooders");
+    assert_eq!(report.rejected_busy, 64, "every flooder was rejected, none leaked");
+    assert_eq!(report.requests, 2, "the occupant's stream was untouched by the flood");
+    assert_eq!(report.failed_connections, 0);
+    assert_eq!(report.rejected_handshakes, 0, "busy rejection is not a handshake failure");
+    assert!(report.clean_shutdown);
+}
+
+#[test]
+fn threaded_rejecter_flood_cannot_spawn_unbounded_threads() {
+    // Regression for the legacy thread-per-connection supervisor:
+    // `reject_busy` used to spawn one detached thread per over-capacity
+    // connection with no cap and no read-timeout bound, so a slow-loris
+    // flood of silent connects grew threads without limit. The cap is 32
+    // concurrent rejecters; beyond it connections close unanswered.
+    let Ok(dir) = std::fs::read_dir("/proc/self/task") else {
+        return; // no /proc thread accounting on this platform
+    };
+    let baseline = dir.count();
+
+    let scaled = mlp_model("loris-mlp", &[4, 6, 3]);
+    let config = NetConfig::small_test(128);
+    let provider = std::sync::Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let options =
+        ServeOptions { max_sessions: Some(1), legacy_threaded: true, ..ServeOptions::default() };
+    let handle = provider.serve_forever(listener, options).expect("spawn server");
+    let addr = handle.addr();
+
+    let mut session = NetworkedSession::connect(addr, scaled, &config).expect("occupant");
+
+    // 96 slow-loris clients: connect, never send the hello the rejecter
+    // wants to drain, never read — each held socket pins its rejecter
+    // until the drain bound trips.
+    let held: Vec<std::net::TcpStream> =
+        (0..96).filter_map(|_| std::net::TcpStream::connect(addr).ok()).collect();
+    assert!(held.len() >= 90, "the flood must mostly connect");
+
+    // Sample the process thread count while the flood is being absorbed.
+    let mut peak = 0usize;
+    for _ in 0..20 {
+        if let Ok(dir) = std::fs::read_dir("/proc/self/task") {
+            peak = peak.max(dir.count());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let cap = 32; // MAX_REJECTERS in crates/core/src/net.rs
+    assert!(
+        peak <= baseline + cap + 16,
+        "rejecter threads must be capped: baseline {baseline}, peak {peak}"
+    );
+
+    session.classify_stream(&stream_inputs(1, 4)).expect("occupant survives the flood");
+    assert!(session.shutdown().clean_shutdown);
+    drop(held);
+
+    let report = handle.shutdown();
+    // Every accepted flooder was counted as a busy rejection at the
+    // acceptor, whether or not a rejecter thread answered it.
+    assert_eq!(report.rejected_busy, report.connections - 1, "all non-occupants were rejected");
+    assert!(report.rejected_busy >= 33, "the flood must overrun the rejecter cap");
+    assert_eq!(report.requests, 1);
+    assert!(report.clean_shutdown);
+}
+
+#[test]
+fn shutdown_latency_is_bounded_by_wakeup_not_poll_interval() {
+    // Regression: `ServerHandle::stop` used to be observed only when a
+    // `poll_interval` sleep expired, so a coarse interval meant a slow
+    // drain. The event loop sleeps in its poller and `shutdown()` wakes
+    // it explicitly; the legacy supervisor slices its idle sleeps to
+    // observe the flag — a 5s interval must not cost 5s of shutdown on
+    // either path.
+    let scaled = mlp_model("drain-mlp", &[4, 6, 3]);
+    let config = NetConfig::small_test(128);
+    let provider = std::sync::Arc::new(ModelProvider::new(&scaled, &config).expect("provider"));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let options =
+        ServeOptions { poll_interval: std::time::Duration::from_secs(5), ..ServeOptions::default() };
+    let handle = provider.serve_forever(listener, options).expect("spawn server");
+
+    // One served-and-closed session proves the loop is live (not stuck
+    // in a startup path that would make a fast shutdown vacuous).
+    let mut session =
+        NetworkedSession::connect(handle.addr(), scaled, &config).expect("connect + handshake");
+    session.classify_stream(&stream_inputs(1, 4)).expect("inference");
+    assert!(session.shutdown().clean_shutdown);
+
+    let t0 = std::time::Instant::now();
+    let report = handle.shutdown();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "stop must wake the acceptor and shards, not wait out poll_interval: {elapsed:?}"
+    );
+    assert_eq!(report.requests, 1);
+    assert!(report.clean_shutdown);
 }
