@@ -1,0 +1,515 @@
+//! Crash-durable write-ahead journal for the session table.
+//!
+//! A model-provider process that dies takes its in-memory
+//! [`SessionTable`](crate::net) with it; without a durable record every
+//! client's exactly-once floor (`acked`/`started`) is lost and no
+//! pre-crash session can resume. This module gives the table a
+//! write-ahead journal: every state transition (session created, items
+//! acked, round-0 floor raised, item quarantined, session removed) is
+//! appended to a single append-only file *before* the reply that
+//! acknowledges it leaves the process. On restart the journal is
+//! replayed to rebuild the table, so a `Resume` against the restarted
+//! process finds the same floors the dead process had promised.
+//!
+//! Nothing about the *computation* needs journaling: all server-side
+//! randomness is derived from `(NetConfig::seed, stage, seq)` and the
+//! client's public key (which the `Created` record carries), so a
+//! restarted provider re-executes replayed items bit-identically by
+//! construction — see DESIGN.md "Crash recovery model".
+//!
+//! ## File format
+//!
+//! ```text
+//! magic: "PPJRNL1\n" (8 bytes)
+//! record*: u32 len (LE) | u64 fnv1a-64 checksum of payload (LE) | payload
+//! ```
+//!
+//! Payloads use the project wire codec (tag byte + fields). The reader
+//! tolerates a truncated or corrupt tail — the normal shape of a file
+//! whose writer was SIGKILLed mid-append — by stopping at the last
+//! record whose length and checksum verify, then truncating the file
+//! back to that point so the next append never splices onto garbage. A
+//! corrupt *prefix* (foreign magic) is an error, never silently
+//! clobbered.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy::Never`] (default) issues no fsync: records reach the
+//! page cache on `write(2)` and survive process death (SIGKILL, panic,
+//! OOM-kill) but not kernel panic or power loss. [`FsyncPolicy::Always`]
+//! pays one `fdatasync` per record for full power-loss durability. The
+//! middle grounds (periodic, batched) are deliberately absent until a
+//! workload demands them.
+
+use pp_stream_runtime::wire::{Decoder, Encoder, WireDecode, WireEncode};
+use pp_stream_runtime::StreamError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// 8-byte file magic; the trailing newline keeps `head -1` honest.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"PPJRNL1\n";
+
+/// Default journal file name under [`JournalConfig::dir`].
+pub const JOURNAL_FILE: &str = "sessions.journal";
+
+/// Per-record payload cap. Payloads are a few hundred bytes (the
+/// largest carries a public-key modulus); anything near this cap means
+/// the length field is garbage, so the reader treats it as tail
+/// corruption rather than attempting a 4 GiB allocation.
+const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Bytes of framing before each payload: u32 length + u64 checksum.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// No fsync. Durable across process death (the kernel owns the
+    /// pages once `write` returns) but not power loss. The default:
+    /// crash-restart is the failure mode the serve path is built for.
+    #[default]
+    Never,
+    /// `fdatasync` after every record: power-loss durable, one disk
+    /// round-trip per session transition.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Parses `PP_JOURNAL_FSYNC`-style values: `always`/`1` ⇒ `Always`,
+    /// anything else (including unset) ⇒ `Never`.
+    pub fn parse(v: &str) -> FsyncPolicy {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "always" | "1" | "true" => FsyncPolicy::Always,
+            _ => FsyncPolicy::Never,
+        }
+    }
+}
+
+/// Where (and how durably) the session journal lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Directory holding the journal file (created if absent).
+    pub dir: PathBuf,
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+}
+
+impl JournalConfig {
+    /// Journal under `dir` with the default (no-fsync) policy.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig { dir: dir.into(), fsync: FsyncPolicy::Never }
+    }
+
+    /// Reads `PP_JOURNAL_DIR` (and `PP_JOURNAL_FSYNC`); `None` when no
+    /// directory is configured — journaling stays off and the serve
+    /// path is byte-for-byte what it was before journaling existed.
+    pub fn from_env() -> Option<Self> {
+        let dir = std::env::var("PP_JOURNAL_DIR").ok().filter(|d| !d.is_empty())?;
+        let fsync = std::env::var("PP_JOURNAL_FSYNC")
+            .map(|v| FsyncPolicy::parse(&v))
+            .unwrap_or_default();
+        Some(JournalConfig { dir: PathBuf::from(dir), fsync })
+    }
+
+    /// Full path of the journal file.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+}
+
+/// One durable session-table transition.
+///
+/// The variants mirror the mutating methods of the session table; a
+/// replayed sequence of records rebuilds the table exactly because each
+/// mutation is monotone (floors only rise, quarantine only grows) —
+/// replay order is append order, so the end state is the crash state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A session was admitted: everything `Resume` needs to validate a
+    /// returning client and rebuild its execution context.
+    Created {
+        session: u64,
+        /// Client public-key modulus bytes (big-endian), enough to
+        /// rebuild the homomorphic execution context after restart.
+        pk_n: Vec<u8>,
+        pk_fingerprint: u64,
+        topology: u64,
+        /// Negotiated pack spec `(slot_bits, slots, op_budget)`;
+        /// `None` for unpacked sessions. Resume always renegotiates
+        /// down to unpacked, so this is diagnostic, but it keeps the
+        /// journal a complete record of what was promised.
+        pack: Option<(u32, u32, u64)>,
+    },
+    /// Client confirmed delivery of items `0..acked`.
+    Acked { session: u64, acked: u64 },
+    /// Round 0 of items `0..started` has begun at least once.
+    Started { session: u64, started: u64 },
+    /// Item `seq` poisoned its execution and is permanently refused.
+    Quarantined { session: u64, seq: u64 },
+    /// Session ended (Bye or eviction); replay must not resurrect it.
+    Removed { session: u64 },
+}
+
+const TAG_CREATED: u8 = 1;
+const TAG_ACKED: u8 = 2;
+const TAG_STARTED: u8 = 3;
+const TAG_QUARANTINED: u8 = 4;
+const TAG_REMOVED: u8 = 5;
+
+impl WireEncode for JournalRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            JournalRecord::Created { session, pk_n, pk_fingerprint, topology, pack } => {
+                enc.put_u8(TAG_CREATED);
+                enc.put_u64(*session);
+                enc.put_bytes(pk_n);
+                enc.put_u64(*pk_fingerprint);
+                enc.put_u64(*topology);
+                match pack {
+                    Some((slot_bits, slots, budget)) => {
+                        enc.put_u8(1);
+                        enc.put_u32(*slot_bits);
+                        enc.put_u32(*slots);
+                        enc.put_u64(*budget);
+                    }
+                    None => enc.put_u8(0),
+                }
+            }
+            JournalRecord::Acked { session, acked } => {
+                enc.put_u8(TAG_ACKED);
+                enc.put_u64(*session);
+                enc.put_u64(*acked);
+            }
+            JournalRecord::Started { session, started } => {
+                enc.put_u8(TAG_STARTED);
+                enc.put_u64(*session);
+                enc.put_u64(*started);
+            }
+            JournalRecord::Quarantined { session, seq } => {
+                enc.put_u8(TAG_QUARANTINED);
+                enc.put_u64(*session);
+                enc.put_u64(*seq);
+            }
+            JournalRecord::Removed { session } => {
+                enc.put_u8(TAG_REMOVED);
+                enc.put_u64(*session);
+            }
+        }
+    }
+}
+
+impl WireDecode for JournalRecord {
+    fn decode(dec: &mut Decoder) -> Result<Self, StreamError> {
+        let tag = dec.get_u8()?;
+        match tag {
+            TAG_CREATED => {
+                let session = dec.get_u64()?;
+                let pk_n = dec.get_bytes()?;
+                let pk_fingerprint = dec.get_u64()?;
+                let topology = dec.get_u64()?;
+                let pack = match dec.get_u8()? {
+                    0 => None,
+                    1 => Some((dec.get_u32()?, dec.get_u32()?, dec.get_u64()?)),
+                    other => {
+                        return Err(StreamError::Decode(format!(
+                            "journal Created: bad pack flag {other}"
+                        )))
+                    }
+                };
+                Ok(JournalRecord::Created { session, pk_n, pk_fingerprint, topology, pack })
+            }
+            TAG_ACKED => Ok(JournalRecord::Acked { session: dec.get_u64()?, acked: dec.get_u64()? }),
+            TAG_STARTED => {
+                Ok(JournalRecord::Started { session: dec.get_u64()?, started: dec.get_u64()? })
+            }
+            TAG_QUARANTINED => {
+                Ok(JournalRecord::Quarantined { session: dec.get_u64()?, seq: dec.get_u64()? })
+            }
+            TAG_REMOVED => Ok(JournalRecord::Removed { session: dec.get_u64()? }),
+            other => Err(StreamError::Decode(format!("journal: unknown record tag {other}"))),
+        }
+    }
+}
+
+/// FNV-1a 64-bit — the checksum guarding each record. Not
+/// cryptographic; it only needs to catch a torn write, and it keeps the
+/// journal dependency-free.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What replaying a journal found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// Valid records, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes discarded from a truncated/corrupt tail (0 on clean open).
+    pub truncated_bytes: u64,
+}
+
+/// An open, append-positioned session journal.
+pub struct Journal {
+    file: File,
+    fsync: FsyncPolicy,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("fsync", &self.fsync)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, replays every
+    /// valid record, truncates any torn tail, and leaves the file
+    /// positioned for appends.
+    ///
+    /// A file that exists but starts with something other than the
+    /// journal magic is refused with `InvalidData` — a misconfigured
+    /// `PP_JOURNAL_DIR` pointed at real data must not get clobbered. A
+    /// file shorter than the magic can only be *our* interrupted first
+    /// write (no record ever preceded it), so it is reset in place.
+    pub fn open(path: &Path, fsync: FsyncPolicy) -> std::io::Result<(Journal, Replay)> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+
+        let mut replay = Replay::default();
+        let valid_len: u64;
+        if raw.is_empty() || raw.len() < JOURNAL_MAGIC.len() {
+            // Brand new, or a first magic write torn by a crash before
+            // any record existed: start clean.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(JOURNAL_MAGIC)?;
+            if fsync == FsyncPolicy::Always {
+                file.sync_data()?;
+            }
+            valid_len = JOURNAL_MAGIC.len() as u64;
+        } else if &raw[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not a PP-Stream session journal", path.display()),
+            ));
+        } else {
+            let mut pos = JOURNAL_MAGIC.len();
+            while let Some((record, next)) = read_record(&raw, pos) {
+                replay.records.push(record);
+                pos = next;
+            }
+            replay.truncated_bytes = (raw.len() - pos) as u64;
+            valid_len = pos as u64;
+            if replay.truncated_bytes > 0 {
+                // Drop the torn tail so the next append starts on a
+                // record boundary instead of splicing onto garbage.
+                file.set_len(valid_len)?;
+            }
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok((Journal { file, fsync, path: path.to_path_buf() }, replay))
+    }
+
+    /// Appends one record (a single `write(2)`, plus `fdatasync` under
+    /// [`FsyncPolicy::Always`]).
+    pub fn append(&mut self, record: &JournalRecord) -> std::io::Result<()> {
+        let mut enc = Encoder::new();
+        record.encode(&mut enc);
+        let payload = enc.finish();
+        let mut buf = Vec::with_capacity(RECORD_HEADER + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        self.file.write_all(&buf)?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Tries to read one framed record at byte offset `pos`; `None` on any
+/// shortfall, oversize length, checksum mismatch, or undecodable
+/// payload — all of which mean "the valid journal ends here".
+fn read_record(raw: &[u8], pos: usize) -> Option<(JournalRecord, usize)> {
+    let header = raw.get(pos..pos + RECORD_HEADER)?;
+    let len = u32::from_le_bytes(header[..4].try_into().ok()?);
+    if len > MAX_RECORD_LEN {
+        return None;
+    }
+    let want = u64::from_le_bytes(header[4..12].try_into().ok()?);
+    let payload = raw.get(pos + RECORD_HEADER..pos + RECORD_HEADER + len as usize)?;
+    if fnv1a64(payload) != want {
+        return None;
+    }
+    let mut dec = Decoder::new(bytes::Bytes::from(payload.to_vec()));
+    let record = JournalRecord::decode(&mut dec).ok()?;
+    if dec.remaining() != 0 {
+        // Trailing bytes mean the payload is not a record of ours.
+        return None;
+    }
+    Some((record, pos + RECORD_HEADER + len as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique scratch path per test; no tempfile crate in the
+    /// dependency policy, so roll the classic pid+counter scheme.
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pp-journal-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(JOURNAL_FILE)
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Created {
+                session: 1,
+                pk_n: vec![0xAB; 32],
+                pk_fingerprint: 0xFEED_F00D,
+                topology: 0x1234_5678_9ABC_DEF0,
+                pack: Some((17, 8, 16)),
+            },
+            JournalRecord::Started { session: 1, started: 3 },
+            JournalRecord::Acked { session: 1, acked: 2 },
+            JournalRecord::Quarantined { session: 1, seq: 2 },
+            JournalRecord::Created {
+                session: 2,
+                pk_n: vec![1, 2, 3],
+                pk_fingerprint: 7,
+                topology: 9,
+                pack: None,
+            },
+            JournalRecord::Removed { session: 1 },
+        ]
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let path = scratch("roundtrip");
+        let records = sample_records();
+        {
+            let (mut j, replay) = Journal::open(&path, FsyncPolicy::Always).expect("open");
+            assert!(replay.records.is_empty());
+            for r in &records {
+                j.append(r).expect("append");
+            }
+        }
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("reopen");
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn empty_file_is_a_fresh_journal() {
+        let path = scratch("empty");
+        std::fs::write(&path, b"").expect("touch");
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open empty");
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated_bytes, 0);
+        // The magic was installed so a reopen sees a valid journal.
+        assert_eq!(std::fs::read(&path).expect("read"), JOURNAL_MAGIC);
+    }
+
+    #[test]
+    fn torn_magic_is_reset_not_refused() {
+        let path = scratch("torn-magic");
+        std::fs::write(&path, &JOURNAL_MAGIC[..3]).expect("write partial magic");
+        let (mut j, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open");
+        assert!(replay.records.is_empty());
+        j.append(&JournalRecord::Removed { session: 1 }).expect("append");
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("reopen");
+        assert_eq!(replay.records, vec![JournalRecord::Removed { session: 1 }]);
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = scratch("foreign");
+        std::fs::write(&path, b"definitely not a journal, hands off").expect("write");
+        let err = Journal::open(&path, FsyncPolicy::Never).expect_err("must refuse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // And the file was left untouched.
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            b"definitely not a journal, hands off"
+        );
+    }
+
+    #[test]
+    fn truncated_tail_stops_cleanly_and_truncates_file() {
+        let path = scratch("torn-tail");
+        let records = sample_records();
+        {
+            let (mut j, _) = Journal::open(&path, FsyncPolicy::Never).expect("open");
+            for r in &records {
+                j.append(r).expect("append");
+            }
+        }
+        let full = std::fs::read(&path).expect("read");
+        // Chop mid-way through the last record.
+        let cut = full.len() - 5;
+        std::fs::write(&path, &full[..cut]).expect("truncate");
+        let (mut j, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open torn");
+        assert_eq!(replay.records, records[..records.len() - 1]);
+        assert!(replay.truncated_bytes > 0);
+        // Appends after recovery land on a clean boundary.
+        j.append(&JournalRecord::Acked { session: 2, acked: 9 }).expect("append");
+        drop(j);
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("reopen");
+        let mut want = records[..records.len() - 1].to_vec();
+        want.push(JournalRecord::Acked { session: 2, acked: 9 });
+        assert_eq!(replay.records, want);
+        assert_eq!(replay.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn oversize_length_field_is_tail_corruption() {
+        let path = scratch("oversize");
+        let mut raw = JOURNAL_MAGIC.to_vec();
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &raw).expect("write");
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open");
+        assert!(replay.records.is_empty());
+        assert!(replay.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn fsync_policy_parse() {
+        assert_eq!(FsyncPolicy::parse("always"), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("ALWAYS"), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("1"), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never"), FsyncPolicy::Never);
+        assert_eq!(FsyncPolicy::parse(""), FsyncPolicy::Never);
+        assert_eq!(FsyncPolicy::parse("0"), FsyncPolicy::Never);
+    }
+}

@@ -48,6 +48,7 @@ pub mod baseline;
 pub mod encapsulate;
 mod encctx;
 pub mod evloop;
+pub mod journal;
 pub mod messages;
 pub mod net;
 pub mod packed;
@@ -58,6 +59,7 @@ pub mod simulate;
 
 pub use encapsulate::{encapsulate, MergedStage, StageRole};
 pub use encctx::EncCtx;
+pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
 pub use messages::{ItemErrorKind, RejectCode};
 pub use net::{
     ItemOutcome, ModelProvider, NetConfig, NetworkedSession, ServeOptions, ServeReport,

@@ -60,6 +60,7 @@
 //! throughput path.
 
 use crate::encapsulate::{encapsulate_with, MergedStage, StageRole};
+use crate::journal::{Journal, JournalConfig, JournalRecord, Replay};
 use crate::messages::{
     AcceptMsg, AckMsg, ByeMsg, EncTensorMsg, HelloMsg, ItemErrorKind, ItemErrorMsg, MsgTag,
     PackedTensorMsg, PlainTensorMsg, RejectCode, RejectMsg, ResumeMsg, PROTOCOL_VERSION,
@@ -219,6 +220,11 @@ pub struct TransportReport {
     /// Successful reconnect-and-resume cycles after a mid-stream
     /// transport failure.
     pub reconnects: u64,
+    /// Times the active provider address changed: a connect or resume
+    /// failed against the current address and the client moved on to
+    /// the next one in its ordered list
+    /// ([`NetworkedSession::connect_any`]).
+    pub failovers: u64,
     /// Items whose linear rounds had partially run before a failure and
     /// were replayed from round 0 after a resume.
     pub items_replayed: u64,
@@ -552,6 +558,15 @@ struct SessionTable {
     capacity: usize,
     next_id: AtomicU64,
     inner: Mutex<HashMap<u64, SessionEntry>>,
+    /// Crash journal: when armed, every mutation below appends its
+    /// record *before* the mutator returns (and thus before any reply
+    /// acknowledging the transition leaves the process). Locked after
+    /// `inner`, never before.
+    journal: Mutex<Option<Journal>>,
+    /// Appends that failed with an I/O error. Serving continues — a
+    /// full disk degrades durability, not availability — but the count
+    /// is surfaced so operators can see the journal has gaps.
+    journal_errors: AtomicU64,
 }
 
 impl SessionTable {
@@ -563,25 +578,121 @@ impl SessionTable {
             // accidentally resume a real stream.
             next_id: AtomicU64::new(1),
             inner: Mutex::new(HashMap::new()),
+            journal: Mutex::new(None),
+            journal_errors: AtomicU64::new(0),
         }
     }
 
-    fn evict_expired(map: &mut HashMap<u64, SessionEntry>, ttl: Duration) {
+    /// Appends one record if the journal is armed, counting (not
+    /// propagating) I/O failures.
+    fn journal_append(&self, record: &JournalRecord) {
+        let mut slot = self.journal.lock();
+        if let Some(journal) = slot.as_mut() {
+            if journal.append(record).is_err() {
+                self.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Rebuilds the table from a journal replay and arms `journal` for
+    /// every subsequent mutation. Returns the number of sessions alive
+    /// at the crash point. Replay order is append order, and every
+    /// record's application is monotone (floors only rise, quarantine
+    /// only grows), so the end state is exactly the crash state.
+    fn restore(&self, journal: Journal, replay: &Replay) -> usize {
+        let mut map = self.inner.lock();
         let now = Instant::now();
-        map.retain(|_, e| now.duration_since(e.last_seen) <= ttl);
+        let mut max_id = 0u64;
+        for record in &replay.records {
+            match record {
+                JournalRecord::Created { session, pk_n, pk_fingerprint, topology, .. } => {
+                    max_id = max_id.max(*session);
+                    map.insert(
+                        *session,
+                        SessionEntry {
+                            pk_n: pk_n.clone(),
+                            pk_fingerprint: *pk_fingerprint,
+                            topology: *topology,
+                            acked: 0,
+                            started: 0,
+                            quarantined: HashSet::new(),
+                            // Restored sessions get a fresh TTL: their
+                            // pre-crash `last_seen` was wall time in a
+                            // dead process, and their clients are
+                            // exactly the ones about to resume.
+                            last_seen: now,
+                        },
+                    );
+                }
+                JournalRecord::Acked { session, acked } => {
+                    if let Some(e) = map.get_mut(session) {
+                        e.acked = e.acked.max(*acked);
+                        e.started = e.started.max(e.acked);
+                    }
+                }
+                JournalRecord::Started { session, started } => {
+                    if let Some(e) = map.get_mut(session) {
+                        e.started = e.started.max(*started);
+                    }
+                }
+                JournalRecord::Quarantined { session, seq } => {
+                    if let Some(e) = map.get_mut(session) {
+                        e.quarantined.insert(*seq);
+                    }
+                }
+                JournalRecord::Removed { session } => {
+                    map.remove(session);
+                }
+            }
+        }
+        // New sessions are issued above every ID the journal mentions,
+        // so a pre-crash client can never collide with a post-restart
+        // one. (Every journaled session has a Created record: replay
+        // only ever drops a *suffix*, and Created precedes all other
+        // records of its session.)
+        self.next_id.fetch_max(max_id + 1, Ordering::Relaxed);
+        *self.journal.lock() = Some(journal);
+        map.len()
+    }
+
+    fn evict_expired(&self, map: &mut HashMap<u64, SessionEntry>) {
+        let now = Instant::now();
+        let expired: Vec<u64> = map
+            .iter()
+            .filter(|(_, e)| now.duration_since(e.last_seen) > self.ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            map.remove(&id);
+            self.journal_append(&JournalRecord::Removed { session: id });
+        }
     }
 
     /// Registers a fresh session, evicting expired entries and — at
     /// capacity — the least-recently-seen live one.
-    fn create(&self, pk_n: Vec<u8>, pk_fingerprint: u64, topology: u64) -> u64 {
+    fn create(
+        &self,
+        pk_n: Vec<u8>,
+        pk_fingerprint: u64,
+        topology: u64,
+        pack: Option<PackingSpec>,
+    ) -> u64 {
         let mut map = self.inner.lock();
-        Self::evict_expired(&mut map, self.ttl);
+        self.evict_expired(&mut map);
         if map.len() >= self.capacity {
             if let Some(oldest) = map.iter().min_by_key(|(_, e)| e.last_seen).map(|(&id, _)| id) {
                 map.remove(&oldest);
+                self.journal_append(&JournalRecord::Removed { session: oldest });
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.journal_append(&JournalRecord::Created {
+            session: id,
+            pk_n: pk_n.clone(),
+            pk_fingerprint,
+            topology,
+            pack: pack.map(|s| (s.slot_bits as u32, s.slots as u32, s.op_budget)),
+        });
         map.insert(
             id,
             SessionEntry {
@@ -600,7 +711,7 @@ impl SessionTable {
     /// Validates a resume and syncs the ack floor to the client's count.
     fn resume(&self, session: u64, items_done: u64, topology: u64) -> Result<SessionEntry, String> {
         let mut map = self.inner.lock();
-        Self::evict_expired(&mut map, self.ttl);
+        self.evict_expired(&mut map);
         let entry = map
             .get_mut(&session)
             .ok_or_else(|| format!("resume rejected: session {session} is unknown or expired"))?;
@@ -618,6 +729,9 @@ impl SessionTable {
                 entry.acked
             ));
         }
+        if items_done > entry.acked {
+            self.journal_append(&JournalRecord::Acked { session, acked: items_done });
+        }
         entry.acked = items_done;
         entry.started = entry.started.max(entry.acked);
         entry.last_seen = Instant::now();
@@ -626,9 +740,13 @@ impl SessionTable {
 
     /// Raises the exactly-once floor from a client ack.
     fn ack(&self, session: u64, items_done: u64) {
-        if let Some(e) = self.inner.lock().get_mut(&session) {
-            e.acked = e.acked.max(items_done);
-            e.started = e.started.max(e.acked);
+        let mut map = self.inner.lock();
+        if let Some(e) = map.get_mut(&session) {
+            if items_done > e.acked {
+                e.acked = items_done;
+                e.started = e.started.max(e.acked);
+                self.journal_append(&JournalRecord::Acked { session, acked: items_done });
+            }
             e.last_seen = Instant::now();
         }
     }
@@ -647,7 +765,10 @@ impl SessionTable {
             ));
         }
         let replayed = seq < e.started;
-        e.started = e.started.max(seq + 1);
+        if !replayed {
+            e.started = seq + 1;
+            self.journal_append(&JournalRecord::Started { session, started: e.started });
+        }
         e.last_seen = Instant::now();
         Ok(replayed)
     }
@@ -655,9 +776,11 @@ impl SessionTable {
     /// Marks an item as poison: its execution panicked, and no replay of
     /// it will ever be executed again.
     fn quarantine(&self, session: u64, seq: u64) {
-        if let Some(e) = self.inner.lock().get_mut(&session) {
+        let mut map = self.inner.lock();
+        if let Some(e) = map.get_mut(&session) {
             e.quarantined.insert(seq);
             e.last_seen = Instant::now();
+            self.journal_append(&JournalRecord::Quarantined { session, seq });
         }
     }
 
@@ -666,9 +789,23 @@ impl SessionTable {
         self.inner.lock().get(&session).is_some_and(|e| e.quarantined.contains(&seq))
     }
 
+    /// Refreshes a session's liveness clock without moving any floor.
+    /// Called for *every* frame a connection delivers — including
+    /// keepalive acks and mid-round tensor frames — so a session whose
+    /// connection is open but idle past the TTL is never evicted out
+    /// from under its own live connection.
+    fn touch(&self, session: u64) {
+        if let Some(e) = self.inner.lock().get_mut(&session) {
+            e.last_seen = Instant::now();
+        }
+    }
+
     /// Ends a session deliberately (client Bye).
     fn remove(&self, session: u64) {
-        self.inner.lock().remove(&session);
+        let mut map = self.inner.lock();
+        if map.remove(&session).is_some() {
+            self.journal_append(&JournalRecord::Removed { session });
+        }
     }
 
     /// Live (unexpired, unremoved) sessions. Soak tests use this to
@@ -894,6 +1031,34 @@ impl ModelProvider {
         self.sessions.len()
     }
 
+    /// Opens (creating if absent) the crash journal under `config`,
+    /// replays it into the session table — tolerating a truncated or
+    /// corrupt tail, the normal shape of a SIGKILLed writer — and arms
+    /// journaling for every subsequent session transition. Returns the
+    /// number of sessions restored from the pre-crash journal.
+    ///
+    /// Call before serving. [`ModelProvider::serve_forever`] does this
+    /// automatically when [`ServeOptions::journal`] is set; call it
+    /// directly when serving via [`ModelProvider::serve_listener`].
+    /// Opening a second journal on the same provider is refused.
+    pub fn open_journal(&self, config: &JournalConfig) -> Result<usize, CoreError> {
+        if self.sessions.journal.lock().is_some() {
+            return Err(CoreError::Runtime("session journal is already open".into()));
+        }
+        let path = config.path();
+        let (journal, replay) = Journal::open(&path, config.fsync).map_err(|e| {
+            CoreError::Runtime(format!("session journal {}: {e}", path.display()))
+        })?;
+        Ok(self.sessions.restore(journal, &replay))
+    }
+
+    /// Journal appends that failed with an I/O error (0 without a
+    /// journal, or while the disk behaves). Serving continues through
+    /// append failures; a nonzero count means crash durability has gaps.
+    pub fn journal_errors(&self) -> u64 {
+        self.sessions.journal_errors.load(Ordering::Relaxed)
+    }
+
     /// Binds `addr` and serves client connections until one ends its
     /// session cleanly (Bye). Returns the bound address alongside the
     /// report so `127.0.0.1:0` callers can learn the assigned port —
@@ -977,6 +1142,14 @@ impl ModelProvider {
                 format!("nonblocking listener: {e}"),
             ))
         })?;
+        if let Some(cfg) = &options.journal {
+            // A journal opened directly via `open_journal` (e.g. to
+            // inspect the restored-session count first) stays armed;
+            // only open here if nobody did.
+            if self.sessions.journal.lock().is_none() {
+                self.open_journal(cfg)?;
+            }
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let provider = Arc::clone(self);
@@ -1219,7 +1392,7 @@ impl ModelProvider {
                 let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
                 let packing = self.negotiate_packing(&hello, &pk);
                 let session =
-                    self.sessions.create(hello.pk_n, hello.pk_fingerprint, hello.topology);
+                    self.sessions.create(hello.pk_n, hello.pk_fingerprint, hello.topology, packing);
                 let accept = self.accept_reply(
                     report,
                     hello.pk_fingerprint,
@@ -1290,6 +1463,11 @@ impl ModelProvider {
         frame: Frame,
         report: &mut ServeReport,
     ) -> Result<FrameDisposition, CoreError> {
+        // Any frame proves this session's client is alive: refresh the
+        // TTL clock before dispatch, so an open connection streaming a
+        // multi-round item (whose floors only move at round 0) cannot
+        // be evicted mid-item by another client's create/resume sweep.
+        self.sessions.touch(conn.session);
         match crate::messages::peek_tag(&frame.payload) {
             Some(MsgTag::Ack) => {
                 let ack: AckMsg = from_frame(frame.payload).map_err(CoreError::from)?;
@@ -1470,8 +1648,13 @@ impl ModelProvider {
                     &format!("packed round {round} panicked: {detail}"),
                 )])
             }
-            // run_job pairs meta and outcome kinds by construction.
-            _ => unreachable!("job meta does not match its outcome kind"),
+            // run_job pairs meta and outcome kinds by construction; a
+            // mismatch is a server bug, but it fails one connection
+            // (the session stays resumable) instead of panicking a
+            // shard that other connections share.
+            _ => Err(CoreError::Runtime(
+                "job meta does not match its outcome kind (server bug)".into(),
+            )),
         }
     }
 
@@ -1756,6 +1939,13 @@ pub struct ServeOptions {
     /// Forces the legacy thread-per-connection supervisor even where
     /// the readiness event loop is supported (also: `PP_EVLOOP=0`).
     pub legacy_threaded: bool,
+    /// Crash journal for the session table
+    /// ([`ModelProvider::open_journal`] is called at serve start).
+    /// `None` (default) keeps the table purely in-memory — the serve
+    /// path is then byte-for-byte what it was before journaling
+    /// existed. [`JournalConfig::from_env`] reads `PP_JOURNAL_DIR` /
+    /// `PP_JOURNAL_FSYNC` for the binaries.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for ServeOptions {
@@ -1767,6 +1957,7 @@ impl Default for ServeOptions {
             retry_after: Duration::from_millis(25),
             gather_window: Duration::ZERO,
             legacy_threaded: false,
+            journal: None,
         }
     }
 }
@@ -2126,7 +2317,10 @@ mod ev {
                         format!("server at capacity ({active} active sessions)"),
                         self.options.retry_after.as_millis() as u64,
                     ));
-                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    // Re-looked-up rather than `expect`ed: the phase
+                    // check above holds today, but a panic here would
+                    // take down a shard serving *other* connections.
+                    let Some(conn) = self.conns.get_mut(&token) else { return false };
                     conn.wbuf.queue(&payload);
                     conn.close_after_flush = true;
                     true
@@ -2136,7 +2330,7 @@ mod ev {
                     self.report.bytes_in += frame.payload.len() as u64;
                     let (replies, opened) =
                         self.provider.open_conn(frame.payload, &mut self.report);
-                    let conn = self.conns.get_mut(&token).expect("checked above");
+                    let Some(conn) = self.conns.get_mut(&token) else { return false };
                     for r in &replies {
                         conn.wbuf.queue(&r.payload);
                     }
@@ -2149,8 +2343,13 @@ mod ev {
                 Kind::Serving => {
                     self.report.frames_in += 1;
                     self.report.bytes_in += frame.payload.len() as u64;
-                    let conn = self.conns.get_mut(&token).expect("checked above");
-                    let EvPhase::Serving(state) = &mut conn.phase else { unreachable!() };
+                    let Some(conn) = self.conns.get_mut(&token) else { return false };
+                    let EvPhase::Serving(state) = &mut conn.phase else {
+                        // Kind said Serving; a mismatch is a server bug,
+                        // but it fails one connection, not the shard.
+                        self.fail_conn(token, "connection phase changed mid-frame".into());
+                        return false;
+                    };
                     match self.provider.on_frame(state, frame, &mut self.report) {
                         Ok(FrameDisposition::Continue(replies)) => {
                             for r in &replies {
@@ -2388,6 +2587,13 @@ mod ev {
             let t0 = Instant::now();
             let outs: Vec<(JobMeta, ExecOutcome)> = provider.pool.map_ranges(n, move |range| {
                 let inline = WorkerPool::inline();
+                // Poison-audit: this `expect` cannot fire — `map_ranges`
+                // partitions `0..n` disjointly, so each slot is taken
+                // exactly once — and replacing it with a skip would
+                // silently misalign `outs` against `routes` below
+                // (outcomes routed to the wrong connections). The slot
+                // mutex is parking_lot, so a panicked worker can't
+                // poison it for the others either.
                 range
                     .map(|i| run_job(taken[i].lock().take().expect("each job taken once"), &inline))
                     .collect()
@@ -2586,6 +2792,47 @@ fn busy_backoff(retry: &pp_stream_runtime::RetryPolicy, hint_ms: u64) -> Duratio
     Duration::from_millis(hint_ms).clamp(floor, retry.max_delay.max(floor))
 }
 
+/// Connects to the first reachable provider address, sweeping the
+/// ordered list starting at `preferred` (wrapping). One bare attempt
+/// per address per sweep, with the retry policy's backoff *between*
+/// sweeps — so a down primary costs one refused connect before the next
+/// replica is tried, and `retry.max_attempts` bounds whole-list sweeps
+/// exactly as it bounds single-address attempts today. Returns the
+/// framed halves, the index that answered, and the individual connect
+/// attempts spent.
+fn connect_sweep(
+    addrs: &[SocketAddr],
+    preferred: usize,
+    config: &TcpConfig,
+) -> Result<(TcpFrameSender, TcpFrameReceiver, usize, u32), StreamError> {
+    let sweeps = config.retry.max_attempts.max(1);
+    // Jitter seed: decorrelate processes without pulling in a rand dep.
+    let seed = std::process::id() as u64 ^ 0x5bd1_e995_9950_57ea;
+    let single = TcpConfig {
+        retry: pp_stream_runtime::RetryPolicy::no_retry(),
+        ..config.clone()
+    };
+    let mut attempts = 0u32;
+    let mut last_err = None;
+    for sweep in 1..=sweeps {
+        let delay = config.retry.delay_before(sweep, seed);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        for offset in 0..addrs.len() {
+            let idx = (preferred + offset) % addrs.len();
+            attempts += 1;
+            match tcp::connect_with(addrs[idx], &single) {
+                Ok(c) => return Ok((c.tx, c.rx, idx, attempts)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        StreamError::transport(TransportErrorKind::Connect, "no provider addresses")
+    }))
+}
+
 /// Placeholder halves installed while a reconnect is in flight, so the
 /// dead socket drops (and the server sees its EOF) *before* the resume
 /// handshake waits on a reply.
@@ -2622,7 +2869,9 @@ impl FrameReceiver for DeadHalf {
 pub struct NetworkedSession {
     tx: Box<dyn FrameSender>,
     rx: Box<dyn FrameReceiver>,
+    /// Ordered provider addresses; `addrs[addr_idx]` is serving now.
     addrs: Vec<SocketAddr>,
+    addr_idx: usize,
     tcp: TcpConfig,
     scaled: ScaledModel,
     steps: Vec<ClientStep>,
@@ -2740,16 +2989,39 @@ impl NetworkedSession {
         scaled: ScaledModel,
         config: &NetConfig,
     ) -> Result<Self, CoreError> {
-        // Resolve once so reconnects don't depend on the generic addr.
-        let addrs: Vec<SocketAddr> = addr
-            .to_socket_addrs()
-            .map_err(|e| {
+        Self::connect_any(&[addr], scaled, config)
+    }
+
+    /// As [`connect`](NetworkedSession::connect), but with an *ordered*
+    /// list of provider addresses: the first is preferred, and every
+    /// connect or resume failure against the current address fails over
+    /// to the next (wrapping), so a restarted provider — or a warm
+    /// replica sharing its journal directory — picks the stream up
+    /// mid-item. Each failover is counted in
+    /// [`TransportReport::failovers`]. The binaries read the list from
+    /// comma-separated `PP_PROVIDER_ADDRS`.
+    pub fn connect_any<A: ToSocketAddrs>(
+        providers: &[A],
+        scaled: ScaledModel,
+        config: &NetConfig,
+    ) -> Result<Self, CoreError> {
+        // Resolve once so reconnects don't depend on the generic addrs;
+        // list order (= failover priority) is preserved.
+        let mut addrs: Vec<SocketAddr> = Vec::new();
+        for provider in providers {
+            addrs.extend(provider.to_socket_addrs().map_err(|e| {
                 CoreError::from(StreamError::transport(
                     TransportErrorKind::Connect,
                     format!("resolve peer address: {e}"),
                 ))
-            })?
-            .collect();
+            })?);
+        }
+        if addrs.is_empty() {
+            return Err(CoreError::from(StreamError::transport(
+                TransportErrorKind::Connect,
+                "no provider addresses resolved",
+            )));
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let keypair = Keypair::generate(config.key_bits, &mut rng);
         let stages = encapsulate_with(&scaled, config.merge_stages)?;
@@ -2786,11 +3058,18 @@ impl NetworkedSession {
         // the hint and retry within the connect retry budget instead of
         // treating the rejection as fatal.
         let mut attempt = 0u32;
+        let mut addr_idx = 0usize;
         let (tx, rx, session, accepted_slot_bits) = loop {
             attempt += 1;
-            let connected = tcp::connect_with(&addrs[..], &config.tcp)?;
-            let (mut tx, mut rx) = (connected.tx, connected.rx);
-            transport.connect_attempts += connected.attempts;
+            let (mut tx, mut rx, idx, attempts) =
+                connect_sweep(&addrs, addr_idx, &config.tcp).map_err(CoreError::from)?;
+            transport.connect_attempts += attempts;
+            if idx != addr_idx {
+                // The preferred provider was unreachable; a lower-
+                // priority address answered instead.
+                transport.failovers += 1;
+                addr_idx = idx;
+            }
             transport.bytes_sent += hello.len() as u64;
             transport.frames_sent += 1;
             tx.send_payload(hello.clone()).map_err(|e| e.at_stage("handshake hello"))?;
@@ -2877,6 +3156,7 @@ impl NetworkedSession {
             tx,
             rx,
             addrs,
+            addr_idx,
             tcp: config.tcp.clone(),
             scaled,
             steps,
@@ -3413,14 +3693,23 @@ impl NetworkedSession {
 
         // Busy rejections of the resume are backed off and retried, like
         // at connect: an at-capacity server has *not* forgotten the
-        // session — giving up would orphan its resumable state.
+        // session — giving up would orphan its resumable state. Any
+        // *other* rejection fails over to the next provider address —
+        // a restarted process (same journal) or a warm replica may hold
+        // the session even when this one does not — and only after
+        // every address has refused does the resume give up.
         let mut attempt = 0u32;
+        let mut rejected = 0usize;
         loop {
             attempt += 1;
-            let connected = tcp::connect_with(&self.addrs[..], &self.tcp)
-                .map_err(|e| e.at_stage("reconnect"))?;
-            let (mut tx, mut rx) = (connected.tx, connected.rx);
-            self.transport.connect_attempts += connected.attempts;
+            let (mut tx, mut rx, idx, attempts) =
+                connect_sweep(&self.addrs, self.addr_idx, &self.tcp)
+                    .map_err(|e| e.at_stage("reconnect"))?;
+            self.transport.connect_attempts += attempts;
+            if idx != self.addr_idx {
+                self.transport.failovers += 1;
+                self.addr_idx = idx;
+            }
 
             self.transport.bytes_sent += resume.len() as u64;
             self.transport.frames_sent += 1;
@@ -3451,6 +3740,13 @@ impl NetworkedSession {
                     {
                         self.transport.rejected_busy += 1;
                         std::thread::sleep(busy_backoff(&self.tcp.retry, reject.retry_after_ms));
+                        continue;
+                    }
+                    rejected += 1;
+                    if rejected < self.addrs.len() {
+                        // This provider refused the session; fail over.
+                        self.addr_idx = (idx + 1) % self.addrs.len();
+                        self.transport.failovers += 1;
                         continue;
                     }
                     return Err(handshake_err(format!(
@@ -3635,7 +3931,7 @@ mod tests {
     #[test]
     fn session_table_enforces_exactly_once() {
         let table = SessionTable::new(Duration::from_secs(60), 8);
-        let s = table.create(vec![1, 2, 3], 99, 0x70B0);
+        let s = table.create(vec![1, 2, 3], 99, 0x70B0, None);
         assert!(s >= 1, "session 0 is never issued");
 
         // Fresh item, then a legitimate post-resume replay of the same.
@@ -3652,7 +3948,7 @@ mod tests {
     #[test]
     fn session_table_resume_validates_and_syncs() {
         let table = SessionTable::new(Duration::from_secs(60), 8);
-        let s = table.create(vec![9], pk_fingerprint(&[9]), 0xABCD);
+        let s = table.create(vec![9], pk_fingerprint(&[9]), 0xABCD, None);
 
         let missing = table.resume(s + 1, 0, 0xABCD).unwrap_err();
         assert!(missing.contains("unknown or expired"), "{missing}");
@@ -3676,20 +3972,20 @@ mod tests {
         // TTL: a zero-TTL table expires entries as soon as wall time
         // advances past their last touch.
         let table = SessionTable::new(Duration::ZERO, 8);
-        let s = table.create(vec![1], 1, 1);
+        let s = table.create(vec![1], 1, 1, None);
         std::thread::sleep(Duration::from_millis(2));
         let err = table.resume(s, 0, 1).unwrap_err();
         assert!(err.contains("unknown or expired"), "{err}");
 
         // Capacity: the least-recently-seen session is evicted.
         let table = SessionTable::new(Duration::from_secs(60), 2);
-        let a = table.create(vec![1], 1, 7);
+        let a = table.create(vec![1], 1, 7, None);
         std::thread::sleep(Duration::from_millis(2));
-        let b = table.create(vec![2], 2, 7);
+        let b = table.create(vec![2], 2, 7, None);
         std::thread::sleep(Duration::from_millis(2));
         table.ack(a, 0); // touch a, making b the LRU entry
         std::thread::sleep(Duration::from_millis(2));
-        let c = table.create(vec![3], 3, 7);
+        let c = table.create(vec![3], 3, 7, None);
         assert_eq!(table.len(), 2);
         assert!(table.resume(b, 0, 7).unwrap_err().contains("unknown"));
         assert!(table.resume(a, 0, 7).is_ok());
@@ -3726,10 +4022,87 @@ mod tests {
         assert_eq!(total.last_error.as_deref(), Some("boom"));
     }
 
+    /// Regression: an open-but-idle connection (frames flowing, but no
+    /// floor movement past the TTL — e.g. a slow multi-round item or
+    /// keepalive acks) must not have its session TTL-evicted out from
+    /// under it by another client's create/resume sweep.
+    #[test]
+    fn touched_idle_session_survives_ttl_eviction() {
+        let table = SessionTable::new(Duration::from_millis(40), 8);
+        let s = table.create(vec![1], 1, 7, None);
+        let idle = table.create(vec![2], 2, 7, None);
+        // Frames keep arriving on s's connection, each well within the
+        // TTL, while `idle` sees nothing at all.
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(15));
+            table.touch(s);
+        }
+        // Another client's create sweeps expired entries: the touched
+        // session survives, the genuinely idle one is collected.
+        let _other = table.create(vec![3], 3, 7, None);
+        assert!(table.resume(s, 0, 7).is_ok(), "touched session was evicted");
+        assert!(table.resume(idle, 0, 7).unwrap_err().contains("unknown or expired"));
+    }
+
+    fn journal_scratch(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pp-net-journal-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(crate::journal::JOURNAL_FILE)
+    }
+
+    /// The crash-recovery core in miniature: every floor movement of a
+    /// journaled table is replayed into a fresh table ("the restarted
+    /// process") and keeps enforcing exactly-once semantics.
+    #[test]
+    fn session_table_journal_restores_crash_state() {
+        use crate::journal::FsyncPolicy;
+        let path = journal_scratch("restore");
+
+        // "First process": journaled transitions, then SIGKILL (drop).
+        let (s, gone) = {
+            let table = SessionTable::new(Duration::from_secs(60), 8);
+            let (j, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open");
+            assert_eq!(table.restore(j, &replay), 0);
+            let s = table.create(vec![7, 7], pk_fingerprint(&[7, 7]), 0xABCD, None);
+            let gone = table.create(vec![8], pk_fingerprint(&[8]), 0xABCD, None);
+            assert_eq!(table.on_round0(s, 0), Ok(false));
+            table.ack(s, 1);
+            assert_eq!(table.on_round0(s, 1), Ok(false));
+            table.quarantine(s, 1);
+            table.remove(gone);
+            (s, gone)
+        };
+
+        // "Restarted process": replay the same journal.
+        let table = SessionTable::new(Duration::from_secs(60), 8);
+        let (j, replay) = Journal::open(&path, FsyncPolicy::Never).expect("reopen");
+        assert_eq!(table.restore(j, &replay), 1, "one session was alive at the crash");
+
+        let entry = table.resume(s, 1, 0xABCD).expect("pre-crash session resumes");
+        assert_eq!(entry.acked, 1, "ack floor survived the crash");
+        assert_eq!(entry.started, 2, "round-0 floor survived the crash");
+        assert!(entry.quarantined.contains(&1), "quarantine survived the crash");
+        assert!(table.resume(gone, 0, 0xABCD).unwrap_err().contains("unknown"));
+
+        // The floors keep holding across the restart.
+        assert!(table.on_round0(s, 0).unwrap_err().contains("exactly-once"));
+        assert_eq!(table.on_round0(s, 1), Ok(true), "in-flight item replays");
+
+        // New sessions never collide with pre-crash IDs.
+        let fresh = table.create(vec![9], pk_fingerprint(&[9]), 0xABCD, None);
+        assert!(fresh > s.max(gone), "restored next_id clears every journaled ID");
+    }
+
     #[test]
     fn session_table_quarantine_survives_resume() {
         let table = SessionTable::new(Duration::from_secs(60), 8);
-        let s = table.create(vec![1], 1, 7);
+        let s = table.create(vec![1], 1, 7, None);
         assert!(!table.is_quarantined(s, 3));
         table.quarantine(s, 3);
         assert!(table.is_quarantined(s, 3));

@@ -1,0 +1,131 @@
+//! Property tests for the crash-recovery journal: record round-trips
+//! and torn/corrupt-tail recovery (ISSUE 8 satellite). Replay must
+//! always yield a *prefix* of the appended records and never panic, no
+//! matter where a crash or disk corruption lands.
+
+use pp_stream::journal::{FsyncPolicy, Journal, JournalRecord, JOURNAL_MAGIC};
+use pp_stream_runtime::wire::{from_frame, to_frame};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch path per case (no tempfile crate in the dependency
+/// policy — DESIGN.md §11).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pp-journal-prop-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join("sessions.journal")
+}
+
+fn sample_records() -> Vec<JournalRecord> {
+    vec![
+        JournalRecord::Created {
+            session: 1,
+            pk_n: vec![0xAB; 32],
+            pk_fingerprint: 0xFEED_F00D,
+            topology: 0x1234_5678_9ABC_DEF0,
+            pack: Some((17, 8, 16)),
+        },
+        JournalRecord::Started { session: 1, started: 3 },
+        JournalRecord::Acked { session: 1, acked: 2 },
+        JournalRecord::Quarantined { session: 1, seq: 2 },
+        JournalRecord::Created {
+            session: 2,
+            pk_n: vec![1, 2, 3],
+            pk_fingerprint: 7,
+            topology: 9,
+            pack: None,
+        },
+        JournalRecord::Removed { session: 1 },
+    ]
+}
+
+fn write_sample(path: &PathBuf) -> Vec<JournalRecord> {
+    let records = sample_records();
+    let (mut j, _) = Journal::open(path, FsyncPolicy::Never).expect("open");
+    for r in &records {
+        j.append(r).expect("append");
+    }
+    records
+}
+
+proptest! {
+    /// Any record round-trips through the wire codec.
+    #[test]
+    fn record_roundtrip(
+        session in any::<u64>(),
+        pk_n in proptest::collection::vec(any::<u8>(), 0..64),
+        fp in any::<u64>(),
+        topo in any::<u64>(),
+        pack in proptest::option::of((any::<u32>(), any::<u32>(), any::<u64>())),
+        a in any::<u64>(),
+        which in 0u8..5,
+    ) {
+        let record = match which {
+            0 => JournalRecord::Created {
+                session, pk_n, pk_fingerprint: fp, topology: topo, pack,
+            },
+            1 => JournalRecord::Acked { session, acked: a },
+            2 => JournalRecord::Started { session, started: a },
+            3 => JournalRecord::Quarantined { session, seq: a },
+            _ => JournalRecord::Removed { session },
+        };
+        let back: JournalRecord = from_frame(to_frame(&record)).expect("decode");
+        prop_assert_eq!(back, record);
+    }
+
+    /// Truncating a valid journal anywhere never panics and yields a
+    /// prefix of the original records — the shape of a SIGKILL landing
+    /// mid-append.
+    #[test]
+    fn truncation_recovers_a_prefix(cut_back in 1usize..200) {
+        let path = scratch("trunc");
+        let records = write_sample(&path);
+        let full = std::fs::read(&path).expect("read");
+        let cut = full.len().saturating_sub(cut_back).max(JOURNAL_MAGIC.len());
+        std::fs::write(&path, &full[..cut]).expect("truncate");
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open torn");
+        prop_assert!(replay.records.len() <= records.len());
+        prop_assert_eq!(&replay.records[..], &records[..replay.records.len()]);
+    }
+
+    /// Flipping any single byte after the magic never panics and still
+    /// yields a prefix: corruption at byte k fails record k's checksum
+    /// (or framing) and replay stops there.
+    #[test]
+    fn bitflip_recovers_a_prefix(at in 0usize..400, xor in 1u8..=255) {
+        let path = scratch("flip");
+        let records = write_sample(&path);
+        let mut raw = std::fs::read(&path).expect("read");
+        let at = JOURNAL_MAGIC.len() + at % (raw.len() - JOURNAL_MAGIC.len());
+        raw[at] ^= xor;
+        std::fs::write(&path, &raw).expect("corrupt");
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open corrupt");
+        prop_assert!(replay.records.len() <= records.len());
+        prop_assert_eq!(&replay.records[..], &records[..replay.records.len()]);
+    }
+
+    /// Garbage appended after a valid journal is discarded; every real
+    /// record survives.
+    #[test]
+    fn garbage_tail_is_discarded(tail in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let path = scratch("garbage");
+        let records = write_sample(&path);
+        let mut raw = std::fs::read(&path).expect("read");
+        raw.extend_from_slice(&tail);
+        std::fs::write(&path, &raw).expect("extend");
+        let (_, replay) = Journal::open(&path, FsyncPolicy::Never).expect("open");
+        // A garbage tail can only *lose* bytes, never fabricate records
+        // beyond the real ones... unless the garbage happens to frame a
+        // valid record, which a 64-bit checksum makes vanishingly
+        // unlikely — and proptest inputs here are adversarial only by
+        // chance, so assert the strong form.
+        prop_assert_eq!(&replay.records[..], &records[..]);
+    }
+}

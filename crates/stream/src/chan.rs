@@ -9,10 +9,17 @@
 //! notice a recorded failure while the wedged stage still holds the
 //! hop open), and **queue-depth inspection** (the watchdog's "input
 //! queued but no progress" stall criterion).
+//!
+//! Every lock/wait here recovers from mutex poisoning
+//! (`PoisonError::into_inner`): a stage thread that panics while
+//! holding the queue lock leaves a structurally intact `VecDeque`
+//! (push/pop never partially mutate it), and wedging every later
+//! sender/receiver behind the poison flag would turn one isolated
+//! panic into a whole-pipeline deadlock.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The receiver side is gone; the unsent value is returned.
@@ -93,7 +100,7 @@ impl<T> Drop for Sender<T> {
             // Wake receivers blocked on an empty queue so they observe
             // the disconnect. The lock orders the wake after any racing
             // waiter has actually started waiting.
-            let _guard = self.inner.queue.lock().unwrap();
+            let _guard = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             self.inner.not_empty.notify_all();
         }
     }
@@ -102,7 +109,7 @@ impl<T> Drop for Sender<T> {
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
-            let _guard = self.inner.queue.lock().unwrap();
+            let _guard = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
             self.inner.not_full.notify_all();
         }
     }
@@ -111,14 +118,14 @@ impl<T> Drop for Receiver<T> {
 impl<T> Sender<T> {
     /// Blocking send; waits for space while the queue is at capacity.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if self.inner.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(value));
             }
             match self.inner.cap {
                 Some(cap) if q.len() >= cap => {
-                    q = self.inner.not_full.wait(q).unwrap();
+                    q = self.inner.not_full.wait(q).unwrap_or_else(PoisonError::into_inner);
                 }
                 _ => break,
             }
@@ -131,7 +138,7 @@ impl<T> Sender<T> {
     /// As [`send`](Sender::send), but waits for space at most `timeout`.
     pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
         let deadline = Instant::now() + timeout;
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if self.inner.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendTimeoutError::Disconnected(value));
@@ -143,7 +150,7 @@ impl<T> Sender<T> {
                         return Err(SendTimeoutError::Timeout(value));
                     }
                     let (guard, _) =
-                        self.inner.not_full.wait_timeout(q, deadline - now).unwrap();
+                        self.inner.not_full.wait_timeout(q, deadline - now).unwrap_or_else(PoisonError::into_inner);
                     q = guard;
                 }
                 _ => break,
@@ -159,7 +166,7 @@ impl<T> Receiver<T> {
     /// Blocking receive; `Err` once all senders are gone and the queue is
     /// drained.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = q.pop_front() {
                 self.inner.not_full.notify_one();
@@ -168,14 +175,14 @@ impl<T> Receiver<T> {
             if self.inner.senders.load(Ordering::SeqCst) == 0 {
                 return Err(RecvError);
             }
-            q = self.inner.not_empty.wait(q).unwrap();
+            q = self.inner.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// As [`recv`](Receiver::recv), but waits at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(v) = q.pop_front() {
                 self.inner.not_full.notify_one();
@@ -188,14 +195,14 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _) = self.inner.not_empty.wait_timeout(q, deadline - now).unwrap();
+            let (guard, _) = self.inner.not_empty.wait_timeout(q, deadline - now).unwrap_or_else(PoisonError::into_inner);
             q = guard;
         }
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut q = self.inner.queue.lock().unwrap();
+        let mut q = self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(v) = q.pop_front() {
             self.inner.not_full.notify_one();
             return Ok(v);
@@ -208,7 +215,7 @@ impl<T> Receiver<T> {
 
     /// Number of values currently queued.
     pub fn len(&self) -> usize {
-        self.inner.queue.lock().unwrap().len()
+        self.inner.queue.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Whether the queue is currently empty.

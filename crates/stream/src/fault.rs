@@ -63,6 +63,13 @@ pub struct FaultPlan {
     /// through — stalling every read would livelock the resume loop.
     /// `None` preserves the stall-every-read behavior.
     pub stall_every: Option<u64>,
+    /// Stall exactly the Nth receive of the whole session (1-based,
+    /// counted across reconnects), once — the crash test's freeze
+    /// point: the client parks in a known read while the harness
+    /// SIGKILLs the server behind it. Takes precedence over
+    /// [`stall_every`](FaultPlan::stall_every); still needs
+    /// [`stall`](FaultPlan::stall) for the duration.
+    pub stall_at: Option<u64>,
     /// Flip one seeded bit in the header region (first 16 bytes) of
     /// every Nth received frame's payload — corrupt framing the decoder
     /// must reject, never silently accept.
@@ -86,7 +93,7 @@ impl FaultPlan {
 
     /// Reads a plan from `PP_FAULT_*` environment variables
     /// (`PP_FAULT_SEED`, `PP_FAULT_KILL_EVERY`, `PP_FAULT_DELAY_MS`,
-    /// `PP_FAULT_STALL_MS`, `PP_FAULT_STALL_EVERY`,
+    /// `PP_FAULT_STALL_MS`, `PP_FAULT_STALL_EVERY`, `PP_FAULT_STALL_AT`,
     /// `PP_FAULT_CORRUPT_EVERY`, `PP_FAULT_POISON_SEQ`); `None` when no
     /// fault variable is set. Lets the example binaries run under
     /// injected faults without recompilation.
@@ -104,6 +111,7 @@ impl FaultPlan {
             delay: num("PP_FAULT_DELAY_MS").map(Duration::from_millis),
             stall: num("PP_FAULT_STALL_MS").map(Duration::from_millis),
             stall_every: num("PP_FAULT_STALL_EVERY").filter(|&k| k > 0),
+            stall_at: num("PP_FAULT_STALL_AT").filter(|&k| k > 0),
             corrupt_every: num("PP_FAULT_CORRUPT_EVERY").filter(|&k| k > 0),
             poison_seq: num("PP_FAULT_POISON_SEQ"),
         };
@@ -193,9 +201,12 @@ impl FaultState {
         }
         let Some(stall) = self.plan.stall else { return Ok(None) };
         self.recv_gates += 1;
-        let due = match self.plan.stall_every {
-            Some(k) => self.recv_gates.is_multiple_of(k),
-            None => true,
+        // A monotone counter equals `at` exactly once, so `stall_at`
+        // needs no extra latch to be single-shot.
+        let due = match (self.plan.stall_at, self.plan.stall_every) {
+            (Some(at), _) => self.recv_gates == at,
+            (None, Some(k)) => self.recv_gates.is_multiple_of(k),
+            (None, None) => true,
         };
         if due {
             self.faults_injected += 1;
@@ -423,6 +434,7 @@ mod tests {
             "PP_FAULT_KILL_EVERY" => Some("17".to_string()),
             "PP_FAULT_DELAY_MS" => Some("5".to_string()),
             "PP_FAULT_STALL_EVERY" => Some("4".to_string()),
+            "PP_FAULT_STALL_AT" => Some("6".to_string()),
             "PP_FAULT_POISON_SEQ" => Some("13".to_string()),
             _ => None,
         };
@@ -432,6 +444,7 @@ mod tests {
         assert_eq!(plan.delay, Some(Duration::from_millis(5)));
         assert_eq!(plan.stall, None);
         assert_eq!(plan.stall_every, Some(4));
+        assert_eq!(plan.stall_at, Some(6));
         assert_eq!(plan.corrupt_every, None);
         assert_eq!(plan.poison_seq, Some(13));
         // A zero interval would fire on every frame forever; filtered out.
@@ -454,6 +467,22 @@ mod tests {
             rx.recv().unwrap().unwrap();
         }
         assert_eq!(state.lock().faults_injected(), 2, "receives 3 and 6 stalled");
+    }
+
+    #[test]
+    fn stall_at_fires_exactly_once_and_overrides_stall_every() {
+        let state = FaultPlan {
+            stall: Some(Duration::from_millis(1)),
+            stall_every: Some(1),
+            stall_at: Some(2),
+            ..Default::default()
+        }
+        .into_state();
+        let mut rx = FaultReceiver::new(frames(5), Arc::clone(&state));
+        for _ in 0..5 {
+            rx.recv().unwrap().unwrap();
+        }
+        assert_eq!(state.lock().faults_injected(), 1, "only receive 2 stalled");
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl RetryPolicy {
     }
 
     /// Backoff before attempt `attempt` (1-based; attempt 1 has none).
-    fn delay_before(&self, attempt: u32, seed: u64) -> Duration {
+    /// Public so callers that drive their own attempt loop — e.g. the
+    /// client's multi-address failover sweep — reuse the exact same
+    /// backoff curve and jitter as [`connect_with`].
+    pub fn delay_before(&self, attempt: u32, seed: u64) -> Duration {
         if attempt <= 1 {
             return Duration::ZERO;
         }

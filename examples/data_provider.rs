@@ -31,6 +31,13 @@
 //! milliseconds by reconnect-and-resume instead of waiting out the full
 //! TCP read timeout.
 //!
+//! Failover: `PP_PROVIDER_ADDRS=host1:port,host2:port` hands the client
+//! an *ordered* provider list instead of the single positional address.
+//! A connect or resume that fails against the current provider sweeps
+//! to the next (same session, same exactly-once floors when the
+//! providers share a session journal); the final report counts the
+//! address changes as `failovers`.
+//!
 //! Packing knobs: `PP_PACK_BITS=s` proposes batch-packed ciphertexts
 //! with `s`-bit slots in the handshake (DESIGN.md §8) — with this demo's
 //! 256-bit key, `PP_PACK_BITS=64` fits all three requests into one
@@ -91,13 +98,25 @@ fn demo_config() -> NetConfig {
 
 fn main() {
     let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    // An explicit provider list wins over the positional address; order
+    // is failover priority.
+    let providers: Vec<String> = match std::env::var("PP_PROVIDER_ADDRS") {
+        Ok(list) if !list.trim().is_empty() => {
+            list.split(',').map(|a| a.trim().to_string()).filter(|a| !a.is_empty()).collect()
+        }
+        _ => vec![addr],
+    };
     let scaled = demo_model();
     let config = demo_config();
 
-    let mut session =
-        NetworkedSession::connect(&*addr, scaled.clone(), &config).expect("connect + handshake");
+    if providers.len() > 1 {
+        println!("[data-provider] provider failover order: {}", providers.join(" -> "));
+    }
+    let mut session = NetworkedSession::connect_any(&providers, scaled.clone(), &config)
+        .expect("connect + handshake");
     println!(
-        "[data-provider] handshake accepted by {addr} (session {}, connect attempts: {})",
+        "[data-provider] handshake accepted by {} (session {}, connect attempts: {})",
+        providers.join(","),
         session.session(),
         session.transport().connect_attempts
     );
@@ -134,9 +153,10 @@ fn main() {
     );
     let final_report = session.shutdown();
     println!(
-        "[data-provider] resilience: {} reconnects, {} items replayed, {} faults injected, \
-         clean shutdown: {}",
+        "[data-provider] resilience: {} reconnects, {} failovers, {} items replayed, \
+         {} faults injected, clean shutdown: {}",
         final_report.reconnects,
+        final_report.failovers,
         final_report.items_replayed,
         final_report.faults_injected,
         final_report.clean_shutdown,

@@ -33,12 +33,20 @@
 //! fused dispatch), and `PP_EVLOOP=0` forces the legacy
 //! thread-per-connection supervisor.
 //!
+//! Crash durability: set `PP_JOURNAL_DIR=/path` to journal every
+//! session-table transition to `/path/sessions.journal` — a restarted
+//! process pointed at the same directory restores the table and accepts
+//! `Resume` for sessions the dead process had promised (DESIGN.md
+//! "Crash recovery model"). `PP_JOURNAL_FSYNC=always` adds an fdatasync
+//! per record for power-loss durability; the default survives process
+//! death only.
+//!
 //! Both binaries build the same demo model from a fixed seed so their
 //! topology digests agree — in a real deployment the architecture (not
 //! the weights) is what the two parties must share out of band.
 
 use pp_nn::{zoo, ScaledModel};
-use pp_stream::{ModelProvider, NetConfig, ServeOptions, ServeReport};
+use pp_stream::{JournalConfig, ModelProvider, NetConfig, ServeOptions, ServeReport};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -93,6 +101,15 @@ fn main() {
 
     let scaled = demo_model();
     let provider = ModelProvider::new(&scaled, &demo_config()).expect("provider");
+    let journal = JournalConfig::from_env();
+    if let Some(cfg) = &journal {
+        let restored = provider.open_journal(cfg).expect("open session journal");
+        println!(
+            "[model-provider] session journal at {} ({:?} fsync): {restored} session(s) restored",
+            cfg.path().display(),
+            cfg.fsync
+        );
+    }
     let listener = std::net::TcpListener::bind(&addr).expect("bind");
     let local = listener.local_addr().expect("addr");
     println!(
@@ -122,6 +139,7 @@ fn main() {
             .ok()
             .and_then(|v| v.parse().ok())
             .map_or(defaults.gather_window, std::time::Duration::from_micros),
+        journal,
         ..defaults
     };
     if let Some(cap) = options.max_sessions {

@@ -4,6 +4,7 @@
 #
 #   ./scripts/ci.sh                  # full gate
 #   ./scripts/ci.sh --serving-gate   # serving gate only (64-client smoke)
+#   ./scripts/ci.sh --crash-gate     # crash gate only (SIGKILL + warm restart)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,11 +18,33 @@ run_serving_gate() {
     cargo test -p pp-stream --test soak -q
 }
 
-if [ "${1:-}" = "--serving-gate" ]; then
+# Crash gate: SIGKILL a real server child mid-stream under two fixed
+# seeded schedules (one per fsync policy), warm-restart it on the same
+# journal, and require bit-identical classifications plus exact
+# client/server replay-counter agreement — on both serve paths. Then
+# prove journaling stays opt-in: with no journal configured, the chaos
+# suite must behave exactly as before the journal existed.
+run_crash_gate() {
+    echo "==> crash gate: SIGKILL + journal warm restart, event loop on and off"
+    PP_EVLOOP=1 cargo test -p pp-stream --test crash -q
+    PP_EVLOOP=0 cargo test -p pp-stream --test crash -q
+    echo "==> crash gate: journaling disabled leaves the serve path unchanged"
+    PP_FAULT_SEED=1 cargo test -p pp-stream --test chaos -q -- \
+      chaos_kill_every expired_session_rejects_resume
+}
+
+case "${1:-}" in
+--serving-gate)
     run_serving_gate
     echo "==> serving gate passed"
     exit 0
-fi
+    ;;
+--crash-gate)
+    run_crash_gate
+    echo "==> crash gate passed"
+    exit 0
+    ;;
+esac
 
 echo "==> cargo build --release"
 cargo build --release
@@ -44,6 +67,8 @@ PP_FAULT_SEED=3 cargo test -p pp-stream --test chaos -q -- \
   chaos_poison_item_quarantined_stream_survives \
   chaos_saturation_sheds_excess_clients_without_failures
 cargo test -p pp-stream --test deployment -q -- deadline inflight_cap budget
+
+run_crash_gate
 
 echo "==> fault injection compiles out cleanly"
 cargo build -p pp-stream --no-default-features
