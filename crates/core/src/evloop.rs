@@ -14,14 +14,16 @@
 //! The codec half ([`FrameReader`]/[`WriteBuf`]) speaks exactly the
 //! blocking transport's wire format
 //! (`seq: u64 LE | deadline_ms: u64 LE | len: u32 LE | payload`, see
-//! `pp_stream_runtime::tcp`): same `NO_DEADLINE` sentinel, same 1 GiB
-//! length guard surfacing as a `Decode` error, same per-direction
-//! strictly-increasing transport seqs, same optional receive-side
-//! monotonicity validation — so a client speaking to the event loop
-//! cannot tell it apart from a thread holding a `TcpFrameSender`.
+//! `pp_stream_runtime::tcp`): same `NO_DEADLINE` sentinel, same
+//! governor-derived frame ceiling surfacing as a
+//! `Transport { kind: FrameLimit }` error before any payload is
+//! buffered, same per-direction strictly-increasing transport seqs,
+//! same optional receive-side monotonicity validation — so a client
+//! speaking to the event loop cannot tell it apart from a thread
+//! holding a `TcpFrameSender`.
 
 use pp_stream_runtime::link::{Frame, SeqValidator, NO_DEADLINE};
-use pp_stream_runtime::StreamError;
+use pp_stream_runtime::{tcp, StreamError, TransportErrorKind};
 
 /// Whether this build can run the readiness event loop.
 pub const fn supported() -> bool {
@@ -328,20 +330,41 @@ pub use sys::{Event, Poller, Waker};
 /// Wire header size: `seq: u64 | deadline_ms: u64 | len: u32`.
 const HEADER: usize = 20;
 
-/// Frame length guard, mirroring `TcpFrameReceiver`: a longer prefix is
-/// malformed bytes (`Decode`), not a socket failure.
-const MAX_FRAME: usize = 1 << 30;
-
 /// Reassembles frames from arbitrarily-chunked nonblocking reads.
+///
+/// The frame ceiling starts at the process-wide `PP_MAX_FRAME` default
+/// and is tightened by the serve path: pre-handshake connections get the
+/// governor's small pre-auth cap, then the negotiated ceiling once the
+/// handshake pins key width and topology (see `crate::governor`). A
+/// longer prefix is a `Transport { kind: FrameLimit }` breach, rejected
+/// before the payload would be buffered.
 pub struct FrameReader {
     buf: Vec<u8>,
     start: usize,
+    max_frame: usize,
     validator: Option<SeqValidator>,
 }
 
 impl FrameReader {
     pub fn new(validate_seq: bool) -> Self {
-        FrameReader { buf: Vec::new(), start: 0, validator: validate_seq.then(SeqValidator::new) }
+        FrameReader {
+            buf: Vec::new(),
+            start: 0,
+            max_frame: tcp::env_max_frame(),
+            validator: validate_seq.then(SeqValidator::new),
+        }
+    }
+
+    /// Tightens (or relaxes) the frame ceiling; 0 restores the env
+    /// default. Mirrors `TcpFrameReceiver::set_max_frame`.
+    pub fn set_max_frame(&mut self, max_frame: usize) {
+        self.max_frame = if max_frame == 0 { tcp::env_max_frame() } else { max_frame };
+    }
+
+    /// Bytes currently buffered (read but not yet consumed as frames) —
+    /// this connection's decode footprint for governor accounting.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len() - self.start
     }
 
     /// Appends freshly-read bytes.
@@ -357,7 +380,8 @@ impl FrameReader {
 
     /// Pops the next complete frame; `Ok(None)` means more bytes are
     /// needed. Errors mirror the blocking receiver: oversize length
-    /// prefix → `Decode`, seq regression → `Transport { kind: Seq }`.
+    /// prefix → `Transport { kind: FrameLimit }`, seq regression →
+    /// `Transport { kind: Seq }`.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, StreamError> {
         let avail = self.buf.len() - self.start;
         if avail < HEADER {
@@ -367,10 +391,11 @@ impl FrameReader {
         let seq = u64::from_le_bytes(h[0..8].try_into().expect("8 bytes"));
         let deadline_raw = u64::from_le_bytes(h[8..16].try_into().expect("8 bytes"));
         let len = u32::from_le_bytes(h[16..20].try_into().expect("4 bytes")) as usize;
-        if len > MAX_FRAME {
-            return Err(StreamError::Decode(format!(
-                "frame length prefix {len} exceeds the 1 GiB guard"
-            )));
+        if len > self.max_frame {
+            return Err(StreamError::transport(
+                TransportErrorKind::FrameLimit,
+                format!("frame length prefix {len} exceeds the {}-byte frame ceiling", self.max_frame),
+            ));
         }
         if avail < HEADER + len {
             return Ok(None);
@@ -422,6 +447,13 @@ impl WriteBuf {
 
     pub fn is_empty(&self) -> bool {
         self.start >= self.buf.len()
+    }
+
+    /// Bytes queued but not yet written — this connection's reply
+    /// backlog, which the governor compares against its slow-consumer
+    /// cap.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.start
     }
 
     /// Writes as much as the socket accepts; `Ok(true)` once drained.
@@ -488,14 +520,36 @@ mod tests {
     }
 
     #[test]
-    fn reader_rejects_oversize_length_prefix_as_decode() {
+    fn reader_rejects_oversize_length_prefix_as_frame_limit() {
         let mut r = FrameReader::new(false);
         r.extend_from(&frame_bytes(0, NO_DEADLINE, b"x")[..HEADER - 4]);
         r.extend_from(&(((1usize << 30) + 1) as u32).to_le_bytes());
         match r.next_frame() {
-            Err(StreamError::Decode(msg)) => assert!(msg.contains("1 GiB"), "{msg}"),
-            other => panic!("expected Decode, got {other:?}"),
+            Err(StreamError::Transport { kind: TransportErrorKind::FrameLimit, context }) => {
+                assert!(context.contains("frame ceiling"), "{context}")
+            }
+            other => panic!("expected FrameLimit, got {other:?}"),
         }
+        assert_eq!(r.buffered_len(), HEADER, "nothing past the header was buffered");
+    }
+
+    #[test]
+    fn reader_ceiling_is_tightenable_per_connection() {
+        // The governor hands pre-auth connections a small cap; a frame
+        // the default would admit must then be rejected.
+        let mut r = FrameReader::new(false);
+        r.set_max_frame(1024);
+        r.extend_from(&frame_bytes(0, NO_DEADLINE, &[7u8; 4096]));
+        match r.next_frame() {
+            Err(StreamError::Transport { kind: TransportErrorKind::FrameLimit, .. }) => {}
+            other => panic!("expected FrameLimit under a 1 KiB ceiling, got {other:?}"),
+        }
+        // Relaxing back to the env default admits it again.
+        let mut ok = FrameReader::new(false);
+        ok.set_max_frame(1024);
+        ok.set_max_frame(0);
+        ok.extend_from(&frame_bytes(0, NO_DEADLINE, &[7u8; 4096]));
+        assert!(ok.next_frame().expect("within default ceiling").is_some());
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Per-connection resource governor for the serving paths.
+//!
+//! Before this module, a single peer could claim a 1 GiB frame with a
+//! 20-byte header, or grow an unbounded reply backlog by never reading.
+//! The governor closes both holes with budgets derived from what the
+//! handshake actually *negotiated*, instead of one blanket constant:
+//!
+//! * **Pre-auth ceiling** — until a connection's `Hello`/`Resume` is
+//!   accepted, its frames are capped at a small fixed size
+//!   ([`PRE_AUTH_MAX_FRAME`]). An unauthenticated peer can never force
+//!   a large allocation; every handshake message fits comfortably.
+//! * **Post-auth ceiling** — once the handshake pins the key width,
+//!   topology, and packing factor, the largest legitimate frame is
+//!   computable: a tensor of `max_stage_elems` ciphertexts, each
+//!   `2 × key_bytes` of `n²` residue plus length prefixes, plus packing
+//!   metadata and message framing, doubled for slack. Anything larger
+//!   is a [`TransportErrorKind::FrameLimit`] breach — rejected before
+//!   the payload is read, let alone allocated.
+//! * **Write backlog cap** — replies queue in a per-connection
+//!   `WriteBuf` while the peer's socket is full. A consumer that stops
+//!   reading is *evicted* once its backlog crosses
+//!   [`GovernorConfig::write_backlog`]; its session entry survives, so
+//!   a well-behaved successor resumes via the journal path.
+//! * **Global memory budget** — the sum of all connections' buffered
+//!   bytes (decode buffers + write backlogs) is tracked against
+//!   [`GovernorConfig::mem_budget`]; while over budget, new
+//!   connections are busy-rejected exactly like the session cap, and
+//!   clients retry/fail over as they already do for `Busy`.
+//!
+//! Every limit has an env override (`PP_MAX_FRAME`,
+//! `PP_WRITE_BACKLOG`, `PP_MEM_BUDGET`) and a [`NetConfig`] field so
+//! tests can pin budgets without env races.
+//!
+//! [`TransportErrorKind::FrameLimit`]: pp_stream_runtime::TransportErrorKind::FrameLimit
+//! [`NetConfig`]: crate::net::NetConfig
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pp_stream_runtime::tcp;
+
+/// Frame ceiling for connections that have not completed the
+/// handshake. Hello carries a public-key modulus (≤ 4096 bytes by
+/// `validate_hello`), digests, and a handful of integers; Resume is
+/// smaller. 64 KiB holds every legitimate handshake frame with an
+/// order of magnitude to spare while keeping the worst-case
+/// pre-auth allocation trivial.
+pub const PRE_AUTH_MAX_FRAME: usize = 64 * 1024;
+
+/// Default per-connection write-backlog cap (bytes queued in a
+/// connection's `WriteBuf` before the peer is evicted as a slow
+/// consumer).
+pub const DEFAULT_WRITE_BACKLOG: usize = 64 * 1024 * 1024;
+
+/// Default global budget for bytes buffered across all connections.
+pub const DEFAULT_MEM_BUDGET: usize = 1 << 30;
+
+/// Floor for the configurable caps, so a typo'd env value cannot brick
+/// the handshake itself.
+pub const MIN_BUDGET: usize = PRE_AUTH_MAX_FRAME;
+
+/// Resource limits for one serving endpoint. `Default` reads the
+/// `PP_MAX_FRAME` / `PP_WRITE_BACKLOG` / `PP_MEM_BUDGET` environment;
+/// tests construct explicit values instead (env vars are racy across
+/// the parallel test harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Hard upper bound on any negotiated frame ceiling
+    /// (`PP_MAX_FRAME`, default 1 GiB — the pre-governor blanket
+    /// limit, now the outermost fence rather than the only one).
+    pub max_frame: usize,
+    /// Per-connection write-backlog cap in bytes (`PP_WRITE_BACKLOG`).
+    pub write_backlog: usize,
+    /// Global buffered-bytes budget across all connections
+    /// (`PP_MEM_BUDGET`).
+    pub mem_budget: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl GovernorConfig {
+    /// Reads the three limits from the environment.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// Same as [`GovernorConfig::from_env`] with an injectable lookup,
+    /// so parsing is testable without touching the process environment.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        GovernorConfig {
+            max_frame: tcp::parse_max_frame(lookup("PP_MAX_FRAME").as_deref()),
+            write_backlog: parse_bytes(lookup("PP_WRITE_BACKLOG").as_deref(), DEFAULT_WRITE_BACKLOG),
+            mem_budget: parse_bytes(lookup("PP_MEM_BUDGET").as_deref(), DEFAULT_MEM_BUDGET),
+        }
+    }
+
+    /// The frame ceiling for a connection that has not yet
+    /// authenticated: the fixed pre-auth cap, never above the
+    /// configured maximum.
+    pub fn pre_auth_ceiling(&self) -> usize {
+        PRE_AUTH_MAX_FRAME.min(self.max_frame)
+    }
+
+    /// The frame ceiling for a connection whose handshake negotiated a
+    /// `pk_n_len`-byte modulus, stages of at most `max_stage_elems`
+    /// elements, and `pack_slots` packing slots (0 when packing is
+    /// off).
+    ///
+    /// Largest legitimate frame: one tensor message of
+    /// `max_stage_elems` ciphertexts, each a length-prefixed `n²`
+    /// residue (≤ `2 × pk_n_len` bytes), plus per-slot packing
+    /// metadata and fixed message/frame overhead — all doubled so an
+    /// off-by-some encoding change degrades to "still accepted", not
+    /// "silently evicts every client". Clamped to
+    /// `[pre-auth ceiling, max_frame]`.
+    pub fn negotiated_ceiling(
+        &self,
+        pk_n_len: usize,
+        max_stage_elems: usize,
+        pack_slots: usize,
+    ) -> usize {
+        let per_ct = 2usize.saturating_mul(pk_n_len).saturating_add(16);
+        let body = max_stage_elems
+            .saturating_mul(per_ct)
+            .saturating_add(pack_slots.saturating_mul(8))
+            .saturating_add(4096);
+        body.saturating_mul(2).clamp(self.pre_auth_ceiling(), self.max_frame)
+    }
+}
+
+fn parse_bytes(v: Option<&str>, default: usize) -> usize {
+    match v {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n.max(MIN_BUDGET),
+            _ => default,
+        },
+        None => default,
+    }
+}
+
+/// Shared accounting for one serving endpoint: the configured limits
+/// plus a global count of bytes currently buffered on behalf of peers
+/// (decode buffers and write backlogs). Connections `charge` their
+/// buffered footprint as it changes and `release` it on close; the
+/// acceptor busy-rejects while the endpoint is over budget.
+#[derive(Debug, Default)]
+pub struct Governor {
+    pub config: GovernorConfig,
+    in_use: AtomicUsize,
+}
+
+impl Governor {
+    pub fn new(config: GovernorConfig) -> Self {
+        Governor { config, in_use: AtomicUsize::new(0) }
+    }
+
+    /// Bytes currently buffered across all connections.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Re-states one connection's buffered footprint from `old` to
+    /// `new` bytes (callers track their previous charge).
+    pub fn recharge(&self, old: usize, new: usize) {
+        if new >= old {
+            self.in_use.fetch_add(new - old, Ordering::Relaxed);
+        } else {
+            self.in_use.fetch_sub(old - new, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops a closing connection's remaining charge.
+    pub fn release(&self, charge: usize) {
+        if charge > 0 {
+            self.in_use.fetch_sub(charge, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether buffered bytes exceed the global budget. New work is
+    /// busy-rejected while true; existing connections keep draining,
+    /// which is what brings the endpoint back under budget.
+    pub fn over_budget(&self) -> bool {
+        self.in_use() > self.config.mem_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_frame: usize) -> GovernorConfig {
+        GovernorConfig {
+            max_frame,
+            write_backlog: DEFAULT_WRITE_BACKLOG,
+            mem_budget: DEFAULT_MEM_BUDGET,
+        }
+    }
+
+    #[test]
+    fn lookup_parsing_defaults_and_clamps() {
+        let none = GovernorConfig::from_lookup(|_| None);
+        assert_eq!(none.max_frame, tcp::DEFAULT_MAX_FRAME);
+        assert_eq!(none.write_backlog, DEFAULT_WRITE_BACKLOG);
+        assert_eq!(none.mem_budget, DEFAULT_MEM_BUDGET);
+
+        let junk = GovernorConfig::from_lookup(|_| Some("not-a-number".into()));
+        assert_eq!(junk, none, "junk values fall back to defaults");
+
+        let tiny = GovernorConfig::from_lookup(|k| match k {
+            "PP_MAX_FRAME" => Some("1".into()),
+            "PP_WRITE_BACKLOG" => Some("7".into()),
+            "PP_MEM_BUDGET" => Some("9".into()),
+            _ => None,
+        });
+        assert_eq!(tiny.max_frame, tcp::MIN_MAX_FRAME, "frame floor holds");
+        assert_eq!(tiny.write_backlog, MIN_BUDGET, "backlog floor holds");
+        assert_eq!(tiny.mem_budget, MIN_BUDGET, "budget floor holds");
+
+        let set = GovernorConfig::from_lookup(|k| match k {
+            "PP_MAX_FRAME" => Some("1048576".into()),
+            "PP_WRITE_BACKLOG" => Some("2097152".into()),
+            "PP_MEM_BUDGET" => Some("4194304".into()),
+            _ => None,
+        });
+        assert_eq!(set, GovernorConfig {
+            max_frame: 1 << 20,
+            write_backlog: 2 << 20,
+            mem_budget: 4 << 20,
+        });
+    }
+
+    #[test]
+    fn pre_auth_ceiling_is_small_and_respects_max_frame() {
+        assert_eq!(cfg(tcp::DEFAULT_MAX_FRAME).pre_auth_ceiling(), PRE_AUTH_MAX_FRAME);
+        assert_eq!(cfg(16 * 1024).pre_auth_ceiling(), 16 * 1024, "max_frame can tighten it");
+    }
+
+    #[test]
+    fn negotiated_ceiling_scales_with_the_handshake() {
+        let c = cfg(tcp::DEFAULT_MAX_FRAME);
+        // 128-byte modulus (1024-bit key), 64-wide stage, no packing.
+        let small = c.negotiated_ceiling(128, 64, 0);
+        // Same key, 4096-wide stage: must admit proportionally more.
+        let wide = c.negotiated_ceiling(128, 4096, 0);
+        assert!(small >= PRE_AUTH_MAX_FRAME);
+        assert!(wide > small, "wider topology ⇒ higher ceiling");
+        // A full tensor of worst-case ciphertexts fits under it.
+        assert!(wide >= 4096 * 2 * 128, "ceiling admits the largest legitimate frame");
+        // Yet the ceiling is nowhere near the blanket 1 GiB.
+        assert!(wide < 16 * 1024 * 1024, "ceiling is orders of magnitude under 1 GiB");
+    }
+
+    #[test]
+    fn negotiated_ceiling_clamps_to_configured_bounds() {
+        let c = cfg(tcp::DEFAULT_MAX_FRAME);
+        assert_eq!(c.negotiated_ceiling(1, 0, 0), PRE_AUTH_MAX_FRAME, "floor at pre-auth cap");
+        assert_eq!(
+            c.negotiated_ceiling(usize::MAX, usize::MAX, usize::MAX),
+            tcp::DEFAULT_MAX_FRAME,
+            "saturates then clamps to max_frame"
+        );
+        let tight = cfg(256 * 1024);
+        assert_eq!(tight.negotiated_ceiling(4096, 1 << 20, 64), 256 * 1024);
+    }
+
+    #[test]
+    fn accounting_tracks_recharge_and_release() {
+        let g = Governor::new(GovernorConfig {
+            max_frame: tcp::DEFAULT_MAX_FRAME,
+            write_backlog: DEFAULT_WRITE_BACKLOG,
+            mem_budget: 1000,
+        });
+        assert!(!g.over_budget());
+        g.recharge(0, 600);
+        g.recharge(0, 600);
+        assert_eq!(g.in_use(), 1200);
+        assert!(g.over_budget());
+        g.recharge(600, 100);
+        assert_eq!(g.in_use(), 700);
+        assert!(!g.over_budget());
+        g.release(100);
+        g.release(600);
+        assert_eq!(g.in_use(), 0);
+    }
+}

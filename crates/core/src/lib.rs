@@ -48,6 +48,7 @@ pub mod baseline;
 pub mod encapsulate;
 mod encctx;
 pub mod evloop;
+pub mod governor;
 pub mod journal;
 pub mod messages;
 pub mod net;
@@ -59,6 +60,7 @@ pub mod simulate;
 
 pub use encapsulate::{encapsulate, MergedStage, StageRole};
 pub use encctx::EncCtx;
+pub use governor::{Governor, GovernorConfig};
 pub use journal::{FsyncPolicy, Journal, JournalConfig, JournalRecord};
 pub use messages::{ItemErrorKind, RejectCode};
 pub use net::{

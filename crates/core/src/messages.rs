@@ -644,4 +644,63 @@ mod tests {
         assert_eq!(peek_tag(&plain), Some(MsgTag::PlainTensor));
         assert_eq!(peek_tag(&bytes::Bytes::from_static(&[99])), None);
     }
+
+    #[test]
+    fn truncated_bodies_decode_as_errors_not_panics() {
+        // Every truncation point of every message type must surface as a
+        // Decode error — never a panic or an allocation sized from the
+        // missing bytes. This is the unit-level half of the wire fuzzer's
+        // Truncate mutation class.
+        fn assert_all_truncations<T>(frame: bytes::Bytes)
+        where
+            T: pp_stream_runtime::wire::WireDecode + std::fmt::Debug,
+        {
+            for cut in 0..frame.len() {
+                let res: Result<T, _> = from_frame(frame.slice(..cut));
+                assert!(res.is_err(), "truncation at {cut}/{} decoded", frame.len());
+            }
+        }
+        assert_all_truncations::<HelloMsg>(to_frame(&HelloMsg {
+            version: PROTOCOL_VERSION,
+            pk_n: vec![0xab; 16],
+            pk_fingerprint: 1,
+            topology: 2,
+            n_stages: 3,
+            factor: 100,
+            pack_slot_bits: 32,
+            pack_slots: 4,
+            pack_budget: 64,
+        }));
+        assert_all_truncations::<EncTensorMsg>(to_frame(&EncTensorMsg {
+            seq: 9,
+            shape: vec![2, 2],
+            obfuscated: false,
+            cts: vec![vec![1, 2, 3], vec![4]],
+        }));
+        assert_all_truncations::<PackedTensorMsg>(to_frame(&PackedTensorMsg {
+            seqs: vec![1, 2],
+            shape: vec![2],
+            obfuscated: false,
+            slot_bits: 32,
+            slots: 4,
+            op_budget: 64,
+            weight: 1,
+            cts: vec![vec![5, 6]],
+        }));
+    }
+
+    #[test]
+    fn hostile_ct_count_in_enc_tensor_is_rejected_without_allocation() {
+        // Hand-craft an EncTensor frame whose ciphertext-count prefix
+        // claims u32::MAX entries over a nearly empty body.
+        use pp_stream_runtime::wire::Encoder;
+        let mut enc = Encoder::new();
+        enc.put_u8(MsgTag::EncTensor as u8);
+        enc.put_u64(7); // seq
+        enc.put_u32(0); // shape: zero dims
+        enc.put_u8(0); // obfuscated: false
+        enc.put_u32(u32::MAX); // hostile ciphertext count
+        let res: Result<EncTensorMsg, _> = from_frame(enc.finish());
+        assert!(res.is_err());
+    }
 }

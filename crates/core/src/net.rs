@@ -67,6 +67,7 @@ use crate::messages::{
 };
 use crate::packed::{self, PACKED_PERM_BIT};
 use crate::protocol::{EncryptStage, LinearStage, NonLinearStage, PartitionMode, PermStore};
+use crate::governor::{Governor, GovernorConfig};
 use crate::session::RunReport;
 use crate::CoreError;
 use bytes::Bytes;
@@ -157,6 +158,12 @@ pub struct NetConfig {
     /// count are clamped to it. The `data_provider` example exposes this
     /// as `PP_PACK_BATCH`.
     pub pack_batch: usize,
+    /// Server-side resource limits for adversarial peers (frame
+    /// ceilings, write-backlog cap, global memory budget — DESIGN.md
+    /// §10). `None` reads `PP_MAX_FRAME` / `PP_WRITE_BACKLOG` /
+    /// `PP_MEM_BUDGET` at provider construction; tests pin explicit
+    /// values to avoid env races.
+    pub governor: Option<GovernorConfig>,
 }
 
 impl Default for NetConfig {
@@ -177,6 +184,7 @@ impl Default for NetConfig {
             fault: None,
             pack_slot_bits: 0,
             pack_batch: 0,
+            governor: None,
         }
     }
 }
@@ -323,6 +331,21 @@ pub struct ServeReport {
     /// included) — per-item serving cost, comparable across
     /// per-session and cross-session-batched serving.
     pub exec_ns: u64,
+    /// Frames refused at the resource governor's ceiling — the peer
+    /// sent a length prefix above its pre-auth or negotiated frame
+    /// limit (`Transport { kind: FrameLimit }`). The payload was never
+    /// allocated; the connection fails, the session stays resumable.
+    pub oversize_frames: u64,
+    /// Connections evicted as slow consumers: their reply backlog
+    /// crossed [`GovernorConfig::write_backlog`] because the peer
+    /// stopped reading. The session entry survives for a journal-backed
+    /// resume.
+    pub evicted_slow: u64,
+    /// Connections busy-rejected because the endpoint's buffered bytes
+    /// exceeded the global [`GovernorConfig::mem_budget`] (the
+    /// admission-control analogue of `rejected_busy`, driven by memory
+    /// instead of session count).
+    pub budget_rejected: u64,
     /// The most recent per-connection error, for operator visibility.
     pub last_error: Option<String>,
     /// True when at least one client ended its session deliberately
@@ -353,6 +376,9 @@ impl ServeReport {
         self.batched_rounds += other.batched_rounds;
         self.batched_items += other.batched_items;
         self.exec_ns += other.exec_ns;
+        self.oversize_frames += other.oversize_frames;
+        self.evicted_slow += other.evicted_slow;
+        self.budget_rejected += other.budget_rejected;
         if other.last_error.is_some() {
             self.last_error = other.last_error.clone();
         }
@@ -867,6 +893,11 @@ struct ConnState {
     /// Packed batches keyed by their first member's seq: the member
     /// list (pinned at round 0) and the next round index.
     next_packed: HashMap<u64, (Vec<u64>, usize)>,
+    /// Governor-derived frame ceiling for this connection, computed
+    /// from the handshake (key width × topology width × pack slots).
+    /// The driver raises the receiver's limit from the pre-auth cap to
+    /// this once the handshake is accepted.
+    frame_ceiling: usize,
 }
 
 /// Outcome of absorbing a connection's opening frame.
@@ -983,6 +1014,13 @@ pub struct ModelProvider {
     /// Concurrent busy-rejecter threads (legacy threaded supervisor
     /// only; the event loop folds rejection into its shards).
     rejecters: AtomicUsize,
+    /// Per-connection resource limits and global buffered-bytes
+    /// accounting ([`NetConfig::governor`]).
+    governor: Governor,
+    /// Largest element count across stage input/output shapes — the
+    /// topology width the governor's negotiated frame ceiling scales
+    /// with.
+    max_stage_elems: usize,
     /// Chaos driver: the linear execution of this seq panics once, so
     /// tests can exercise the quarantine boundary deterministically.
     #[cfg(feature = "fault-injection")]
@@ -1004,6 +1042,12 @@ impl ModelProvider {
     pub fn new(model: &ScaledModel, config: &NetConfig) -> Result<Self, CoreError> {
         let stages = encapsulate_with(model, config.merge_stages)?;
         let topology = topology_digest(&stages, model.factor());
+        let max_stage_elems = stages
+            .iter()
+            .flat_map(|s| [s.input_shape.len(), s.output_shape.len()])
+            .max()
+            .unwrap_or(1)
+            .max(1);
         Ok(ModelProvider {
             stages,
             topology,
@@ -1014,6 +1058,8 @@ impl ModelProvider {
             sessions: SessionTable::new(config.session_ttl, config.session_capacity),
             max_inflight: config.max_inflight_items,
             rejecters: AtomicUsize::new(0),
+            governor: Governor::new(config.governor.unwrap_or_default()),
+            max_stage_elems,
             #[cfg(feature = "fault-injection")]
             poison_seq: config.fault.as_ref().and_then(|f| f.poison_seq),
         })
@@ -1207,13 +1253,19 @@ impl ModelProvider {
                 active -= 1;
                 absorb_worker(&mut report, done);
             }
-            // Admission control: at the session cap, refuse newcomers
-            // with a Busy reply instead of queueing them for a slot.
-            if options.max_sessions.is_some_and(|cap| active >= cap) {
+            // Admission control: at the session cap — or while buffered
+            // bytes exceed the governor's global memory budget — refuse
+            // newcomers with a Busy reply instead of queueing them.
+            let over_budget = self.governor.over_budget();
+            if options.max_sessions.is_some_and(|cap| active >= cap) || over_budget {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         report.connections += 1;
-                        report.rejected_busy += 1;
+                        if over_budget {
+                            report.budget_rejected += 1;
+                        } else {
+                            report.rejected_busy += 1;
+                        }
                         self.reject_busy(stream, active, options.retry_after);
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -1314,6 +1366,17 @@ impl ModelProvider {
         });
     }
 
+    /// Counts governor-relevant receive failures before they propagate:
+    /// a `FrameLimit` breach means a peer claimed a frame above its
+    /// ceiling — an adversarial-peer event operators watch via
+    /// [`ServeReport::oversize_frames`].
+    fn classify_recv(&self, e: StreamError, report: &mut ServeReport) -> StreamError {
+        if matches!(e, StreamError::Transport { kind: TransportErrorKind::FrameLimit, .. }) {
+            report.oversize_frames += 1;
+        }
+        e
+    }
+
     /// Serves one accepted connection on the blocking transport:
     /// opening Hello/Resume, then the EncTensor/Ack/Bye loop. This is a
     /// thin driver over the connection state machine ([`Self::open_conn`]
@@ -1329,7 +1392,12 @@ impl ModelProvider {
         report: &mut ServeReport,
     ) -> Result<ConnOutcome, CoreError> {
         // --- Opening frame: Hello (fresh session) or Resume ----------------
-        let first = match rx.recv().map_err(|e| e.at_stage("handshake"))? {
+        // Until the handshake is accepted the peer is unauthenticated:
+        // cap its frames at the governor's small pre-auth ceiling so a
+        // hostile Hello can never force a large allocation.
+        rx.set_max_frame(self.governor.config.pre_auth_ceiling());
+        let first = match rx.recv().map_err(|e| self.classify_recv(e, report).at_stage("handshake"))?
+        {
             Some(f) => f,
             None => {
                 report.rejected_handshakes += 1;
@@ -1344,10 +1412,17 @@ impl ModelProvider {
             Opened::Serving(conn) => conn,
             Opened::Rejected => return Ok(ConnOutcome::Rejected),
         };
+        // The handshake pinned key width, topology, and packing: raise
+        // the ceiling to what this connection's frames can legitimately
+        // need — and no further.
+        rx.set_max_frame(conn.frame_ceiling);
 
         // --- Serve linear rounds ------------------------------------------
         loop {
-            let frame = match rx.recv().map_err(|e| e.at_stage("linear request"))? {
+            let frame = match rx
+                .recv()
+                .map_err(|e| self.classify_recv(e, report).at_stage("linear request"))?
+            {
                 Some(f) => f,
                 None => return Ok(ConnOutcome::Dropped),
             };
@@ -1391,6 +1466,7 @@ impl ModelProvider {
                 }
                 let pk = PublicKey::from_n(BigUint::from_bytes_be(&hello.pk_n));
                 let packing = self.negotiate_packing(&hello, &pk);
+                let pk_n_len = hello.pk_n.len();
                 let session =
                     self.sessions.create(hello.pk_n, hello.pk_fingerprint, hello.topology, packing);
                 let accept = self.accept_reply(
@@ -1399,12 +1475,18 @@ impl ModelProvider {
                     session,
                     packing.map_or(0, |s| s.slot_bits as u32),
                 );
+                let frame_ceiling = self.governor.config.negotiated_ceiling(
+                    pk_n_len,
+                    self.max_stage_elems,
+                    packing.map_or(0, |s| s.slots),
+                );
                 let conn = ConnState {
                     session,
                     packing,
                     execs: Arc::new(self.build_linear_execs(&pk)),
                     next_round: HashMap::new(),
                     next_packed: HashMap::new(),
+                    frame_ceiling,
                 };
                 (vec![accept], Opened::Serving(Box::new(conn)))
             }
@@ -1437,12 +1519,18 @@ impl ModelProvider {
                 report.resumed_sessions += 1;
                 let pk = PublicKey::from_n(BigUint::from_bytes_be(&entry.pk_n));
                 let accept = self.accept_reply(report, entry.pk_fingerprint, resume.session, 0);
+                let frame_ceiling = self.governor.config.negotiated_ceiling(
+                    entry.pk_n.len(),
+                    self.max_stage_elems,
+                    0,
+                );
                 let conn = ConnState {
                     session: resume.session,
                     packing: None,
                     execs: Arc::new(self.build_linear_execs(&pk)),
                     next_round: HashMap::new(),
                     next_packed: HashMap::new(),
+                    frame_ceiling,
                 };
                 (vec![accept], Opened::Serving(Box::new(conn)))
             }
@@ -2105,6 +2193,9 @@ mod ev {
         /// event-loop form of [`REJECT_DRAIN_BOUND`], so a slow-loris
         /// flood of silent hellos occupies fds only briefly.
         reject_deadline: Option<Instant>,
+        /// Buffered bytes (decode buffer + reply backlog) currently
+        /// charged against the governor's global memory budget.
+        charged: usize,
     }
 
     /// Token 0 is the shard's waker; connections start above it.
@@ -2165,6 +2256,7 @@ mod ev {
                     if ev.readable {
                         self.read_conn(ev.token);
                     }
+                    self.enforce_budgets(ev.token);
                 }
                 self.sweep_reject_deadlines();
             }
@@ -2198,11 +2290,16 @@ mod ev {
                 self.report.last_error = Some("setup: epoll registration".into());
                 return;
             }
+            // Unauthenticated connections read under the governor's
+            // small pre-auth frame cap; the ceiling rises to the
+            // negotiated limit once the handshake is accepted.
+            let mut reader = FrameReader::new(self.provider.tcp.validate_seq);
+            reader.set_max_frame(self.provider.governor.config.pre_auth_ceiling());
             self.conns.insert(
                 token,
                 EvConn {
                     stream,
-                    reader: FrameReader::new(self.provider.tcp.validate_seq),
+                    reader,
                     wbuf: WriteBuf::new(),
                     phase,
                     want_write: false,
@@ -2211,6 +2308,7 @@ mod ev {
                     read_eof: false,
                     exec_inflight: false,
                     reject_deadline,
+                    charged: 0,
                 },
             );
         }
@@ -2284,6 +2382,12 @@ mod ev {
                     }
                     Ok(None) => break,
                     Err(e) => {
+                        if matches!(
+                            e,
+                            StreamError::Transport { kind: TransportErrorKind::FrameLimit, .. }
+                        ) {
+                            self.report.oversize_frames += 1;
+                        }
                         let stage = self.stage_of(token);
                         self.fail_conn(token, CoreError::from(e.at_stage(stage)).to_string());
                         return;
@@ -2335,7 +2439,13 @@ mod ev {
                         conn.wbuf.queue(&r.payload);
                     }
                     match opened {
-                        Opened::Serving(state) => conn.phase = EvPhase::Serving(state),
+                        Opened::Serving(state) => {
+                            // Handshake accepted: raise the frame
+                            // ceiling from the pre-auth cap to what this
+                            // connection legitimately negotiated.
+                            conn.reader.set_max_frame(state.frame_ceiling);
+                            conn.phase = EvPhase::Serving(state);
+                        }
                         Opened::Rejected => conn.close_after_flush = true,
                     }
                     true
@@ -2436,6 +2546,7 @@ mod ev {
                 }
             }
             self.advance(token);
+            self.enforce_budgets(token);
         }
 
         /// Resolves a half-closed peer once nothing is pending, then
@@ -2530,6 +2641,34 @@ mod ev {
             }
         }
 
+        /// Re-states this connection's buffered footprint against the
+        /// governor's global budget and evicts it as a slow consumer
+        /// when its reply backlog crossed the per-connection cap — the
+        /// peer completed a handshake but stopped reading replies. The
+        /// eviction is *clean*: the connection closes, the session
+        /// entry survives, and a journal-backed resume picks the work
+        /// back up ([`ServeReport::evicted_slow`]).
+        fn enforce_budgets(&mut self, token: u64) {
+            let (old, footprint, backlog, serving) = {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                let backlog = conn.wbuf.pending_len();
+                let footprint = conn.reader.buffered_len() + backlog;
+                let old = conn.charged;
+                conn.charged = footprint;
+                (old, footprint, backlog, matches!(conn.phase, EvPhase::Serving(_)))
+            };
+            self.provider.governor.recharge(old, footprint);
+            if serving && backlog > self.provider.governor.config.write_backlog {
+                self.report.evicted_slow += 1;
+                self.report.last_error = Some(format!(
+                    "slow consumer evicted: {backlog} reply bytes backlogged \
+                     (cap {})",
+                    self.provider.governor.config.write_backlog
+                ));
+                self.close_conn(token);
+            }
+        }
+
         fn fail_conn(&mut self, token: u64, detail: String) {
             self.report.failed_connections += 1;
             self.report.last_error = Some(detail);
@@ -2538,6 +2677,7 @@ mod ev {
 
         fn close_conn(&mut self, token: u64) {
             if let Some(conn) = self.conns.remove(&token) {
+                self.provider.governor.release(conn.charged);
                 let _ = self.poller.delete(conn.stream.as_raw_fd());
                 if conn.holds_slot {
                     self.active.fetch_sub(1, Ordering::Relaxed);
@@ -2694,12 +2834,22 @@ mod ev {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             report.connections += 1;
+                            // Admission control: the session cap and the
+                            // governor's global memory budget both
+                            // busy-reject — clients retry/fail over the
+                            // same way for either.
+                            let over_budget = self.governor.over_budget();
                             let at_cap = options
                                 .max_sessions
-                                .is_some_and(|cap| active.load(Ordering::Relaxed) >= cap);
+                                .is_some_and(|cap| active.load(Ordering::Relaxed) >= cap)
+                                || over_budget;
                             let holds_slot = !at_cap;
                             let cmd = if at_cap {
-                                report.rejected_busy += 1;
+                                if over_budget {
+                                    report.budget_rejected += 1;
+                                } else {
+                                    report.rejected_busy += 1;
+                                }
                                 ShardCmd::RejectBusy {
                                     stream,
                                     active: active.load(Ordering::Relaxed),
@@ -4004,6 +4154,9 @@ mod tests {
             deadline_expired: 4,
             quarantined: 1,
             shed: 2,
+            oversize_frames: 3,
+            evicted_slow: 2,
+            budget_rejected: 1,
             clean_shutdown: true,
             last_error: Some("boom".into()),
             ..Default::default()
@@ -4018,6 +4171,9 @@ mod tests {
         assert_eq!(total.deadline_expired, 4);
         assert_eq!(total.quarantined, 1);
         assert_eq!(total.shed, 2);
+        assert_eq!(total.oversize_frames, 3);
+        assert_eq!(total.evicted_slow, 2);
+        assert_eq!(total.budget_rejected, 1);
         assert!(total.clean_shutdown);
         assert_eq!(total.last_error.as_deref(), Some("boom"));
     }

@@ -406,16 +406,27 @@ pub(crate) fn unpack_final(
             "final packed round arrived obfuscated (Step 3.4 violation)".into(),
         ));
     }
+    if msg.cts.is_empty() {
+        return Err(PaillierError::InvalidPacking(
+            "packed batch without ciphertexts".into(),
+        ));
+    }
     let spec = msg_spec(&msg);
     let pk = nl.keypair.public();
     let sk = nl.keypair.private();
     let used = msg.seqs.len();
-    let mut per_item: Vec<Vec<i128>> = vec![Vec::with_capacity(msg.cts.len()); used];
+    // The scatter buffers are sized `seqs × cts` — both attacker-chosen —
+    // so allocation waits until the first `from_parts` has bounded `used`
+    // by the slot count and the slot count by the key capacity.
+    let mut per_item: Vec<Vec<i128>> = Vec::new();
     for b in &msg.cts {
         let packed =
             PackedCiphertext::from_parts(&pk, Ciphertext::from_bytes(b), spec, used, msg.weight)?;
         let mut vals: Vec<i128> = packed.decrypt(&sk)?.iter().map(|&v| v as i128).collect();
         nl.apply_ops(&mut vals);
+        if per_item.is_empty() {
+            per_item = vec![Vec::with_capacity(msg.cts.len()); used];
+        }
         for (item, &v) in per_item.iter_mut().zip(vals.iter()) {
             item.push(v);
         }
@@ -787,5 +798,52 @@ mod tests {
             cts: vec![],
         };
         assert!(unpack_final(&nl, msg).is_err());
+    }
+
+    #[test]
+    fn unpack_final_rejects_hostile_header_before_sizing_buffers() {
+        // A peer controls `seqs`, `slots`, and `cts` independently; a
+        // hostile header claiming u32::MAX slots with a long `seqs` list
+        // must fail metadata validation instead of committing a
+        // `seqs × cts` scatter allocation.
+        let kp = keypair(36);
+        let stage = MergedStage {
+            role: StageRole::NonLinear,
+            ops: vec![ScaledOp::SoftMax { rescale: 1 }],
+            input_shape: Shape::vector(1),
+            output_shape: Shape::vector(1),
+        };
+        let nl = NonLinearStage { keypair: kp.clone(), stage, factor: 100, is_last: true, seed: 2 };
+        let msg = PackedTensorMsg {
+            seqs: (0..4096).collect(),
+            shape: vec![1],
+            obfuscated: false,
+            slot_bits: 40,
+            slots: u32::MAX,
+            op_budget: 1,
+            weight: 1,
+            cts: vec![vec![1u8; 8]; 64],
+        };
+        assert!(matches!(
+            unpack_final(&nl, msg),
+            Err(PaillierError::InvalidPacking(_))
+        ));
+
+        // A batch with sequence numbers but no ciphertexts is malformed,
+        // not a batch of empty tensors.
+        let empty_cts = PackedTensorMsg {
+            seqs: vec![0, 1],
+            shape: vec![1],
+            obfuscated: false,
+            slot_bits: 40,
+            slots: 4,
+            op_budget: 1,
+            weight: 1,
+            cts: vec![],
+        };
+        assert!(matches!(
+            unpack_final(&nl, empty_cts),
+            Err(PaillierError::InvalidPacking(_))
+        ));
     }
 }

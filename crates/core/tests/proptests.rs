@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Unique scratch path per case (no tempfile crate in the dependency
-/// policy — DESIGN.md §11).
+/// policy — DESIGN.md §12).
 fn scratch(tag: &str) -> PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir().join(format!(

@@ -303,6 +303,10 @@ impl<R: FrameReceiver> FrameReceiver for FaultReceiver<R> {
             None => Ok(None),
         }
     }
+
+    fn set_max_frame(&mut self, max_frame: usize) {
+        self.inner.set_max_frame(max_frame);
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,8 @@
 pub mod chan;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+#[cfg(feature = "fault-injection")]
+pub mod fuzz;
 pub mod link;
 pub mod pipeline;
 pub mod pool;
@@ -54,6 +56,8 @@ pub mod wire;
 
 #[cfg(feature = "fault-injection")]
 pub use fault::{FaultPlan, FaultReceiver, FaultSender, FaultState};
+#[cfg(feature = "fault-injection")]
+pub use fuzz::{Mutation, RawFrame, WireFuzzer};
 pub use link::{Link, LinkStats, SeqValidator};
 pub use pipeline::{BoxMsg, Pipeline, PipelineBuilder, PipelineStats, StageSpec, TypedPipeline};
 pub use pool::WorkerPool;
@@ -89,6 +93,12 @@ pub enum TransportErrorKind {
     /// The deployment handshake failed (version, key, or topology
     /// mismatch).
     Handshake,
+    /// A frame's length prefix exceeded the receiver's frame-size
+    /// ceiling (the resource governor's negotiated limit, or the
+    /// pre-handshake cap). Rejected *before* any payload allocation —
+    /// an adversarial prefix can never force the process to reserve
+    /// memory it hasn't received.
+    FrameLimit,
 }
 
 impl std::fmt::Display for TransportErrorKind {
@@ -104,6 +114,7 @@ impl std::fmt::Display for TransportErrorKind {
             TransportErrorKind::Eof => "eof",
             TransportErrorKind::Seq => "seq",
             TransportErrorKind::Handshake => "handshake",
+            TransportErrorKind::FrameLimit => "frame-limit",
         };
         f.write_str(s)
     }

@@ -11,8 +11,13 @@
 //! Error taxonomy (see [`StreamError`]): socket failures — refused
 //! connections, resets, timeouts, mid-frame disconnects, sequence
 //! violations — are [`StreamError::Transport`] with the failing operation
-//! named; [`StreamError::Decode`] is reserved for malformed bytes (an
-//! oversize length prefix is corrupt framing, not a dead socket).
+//! named; [`StreamError::Decode`] is reserved for malformed bytes. A
+//! length prefix above the receiver's frame ceiling is
+//! `Transport { kind: FrameLimit, .. }`, rejected **before** any payload
+//! allocation, and the payload buffer for an accepted prefix grows only
+//! as bytes actually arrive — an adversarial peer cannot make the
+//! process reserve memory it never sent ([`TcpConfig::max_frame`],
+//! `PP_MAX_FRAME`).
 //!
 //! Robustness knobs live in [`TcpConfig`]: connect retry with exponential
 //! backoff + jitter ([`RetryPolicy`]), read/write timeouts, and receive-
@@ -100,6 +105,43 @@ pub struct TcpConfig {
     /// Reject frames whose `seq` is not strictly greater than the last
     /// received one. Defaults to on.
     pub validate_seq: bool,
+    /// Frame-size ceiling: a received length prefix above this is
+    /// rejected as `Transport { kind: FrameLimit, .. }` before any
+    /// payload allocation. `0` (the derived-`Default` value) means "use
+    /// [`env_max_frame`]" — the `PP_MAX_FRAME` override or the 1 GiB
+    /// default. Servers tighten this per connection to the governor's
+    /// negotiated ceiling via [`TcpFrameReceiver::set_max_frame`].
+    pub max_frame: usize,
+}
+
+/// The hard frame-size ceiling used when nothing tighter is configured.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 30;
+
+/// Floor for configured frame ceilings: a handshake frame (key bytes
+/// are capped at 4096 by validation, plus topology fields) must always
+/// fit, so a mis-set `PP_MAX_FRAME` cannot brick every connection.
+pub const MIN_MAX_FRAME: usize = 16 * 1024;
+
+/// The process-wide frame ceiling: `PP_MAX_FRAME` (bytes, clamped to at
+/// least [`MIN_MAX_FRAME`]) or [`DEFAULT_MAX_FRAME`]. Read per
+/// connection setup, so tests and operators can adjust it without
+/// rebuilding configs.
+pub fn env_max_frame() -> usize {
+    parse_max_frame(std::env::var("PP_MAX_FRAME").ok().as_deref())
+}
+
+/// Parses a `PP_MAX_FRAME`-style value: unset, garbage, or zero fall
+/// back to [`DEFAULT_MAX_FRAME`]; positive values are clamped to at
+/// least [`MIN_MAX_FRAME`]. Public so the serving crate's resource
+/// governor parses the same way.
+pub fn parse_max_frame(v: Option<&str>) -> usize {
+    match v {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n.max(MIN_MAX_FRAME),
+            _ => DEFAULT_MAX_FRAME,
+        },
+        None => DEFAULT_MAX_FRAME,
+    }
 }
 
 // `Default` must derive for the field-less construction sites, but the
@@ -131,6 +173,13 @@ impl TcpConfig {
         self.retry = retry;
         self
     }
+
+    /// Sets the frame-size ceiling (`0` restores the
+    /// [`env_max_frame`] default).
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
 }
 
 /// Object-safe sending half of a framed transport. [`TcpFrameSender`]
@@ -157,6 +206,12 @@ pub trait FrameSender: Send {
 pub trait FrameReceiver: Send {
     /// Receives the next frame; `None` on clean EOF.
     fn recv(&mut self) -> Result<Option<Frame>, StreamError>;
+
+    /// Tightens (or relaxes) the receiver's frame-size ceiling — the
+    /// server raises it from the pre-handshake cap to the governor's
+    /// negotiated limit once a session is accepted. Implementations
+    /// without a ceiling (in-memory test receivers) ignore it.
+    fn set_max_frame(&mut self, _max_frame: usize) {}
 }
 
 fn io_err(kind: TransportErrorKind, what: &str, e: &std::io::Error) -> StreamError {
@@ -241,15 +296,23 @@ impl FrameSender for TcpFrameSender {
 pub struct TcpFrameReceiver {
     reader: BufReader<TcpStream>,
     validator: Option<SeqValidator>,
+    max_frame: usize,
 }
 
 impl TcpFrameReceiver {
+    /// Replaces the frame-size ceiling (`0` restores the
+    /// [`env_max_frame`] default). See [`FrameReceiver::set_max_frame`].
+    pub fn set_max_frame(&mut self, max_frame: usize) {
+        self.max_frame = if max_frame == 0 { env_max_frame() } else { max_frame };
+    }
+
     /// Receives the next frame; `None` on clean EOF (the peer closed
     /// *between* frames). A disconnect mid-frame is
     /// `Transport { kind: Eof, .. }`, an expired read deadline
-    /// `Transport { kind: Timeout, .. }`, and a reordered/duplicated seq
-    /// `Transport { kind: Seq, .. }`. [`StreamError::Decode`] is returned
-    /// only for malformed framing bytes (oversize length prefix).
+    /// `Transport { kind: Timeout, .. }`, a reordered/duplicated seq
+    /// `Transport { kind: Seq, .. }`, and a length prefix above the
+    /// configured ceiling `Transport { kind: FrameLimit, .. }` —
+    /// rejected before any payload allocation.
     pub fn recv(&mut self) -> Result<Option<Frame>, StreamError> {
         // First header byte read separately: a clean shutdown closes the
         // socket exactly here, which `read` reports as Ok(0). Any EOF
@@ -276,15 +339,37 @@ impl TcpFrameReceiver {
         let mut len_buf = [0u8; 4];
         self.read_exact_mid_frame(&mut len_buf, "header (len)")?;
         let len = u32::from_le_bytes(len_buf) as usize;
-        if len > 1 << 30 {
-            // Malformed bytes, not a socket failure: stays a Decode error.
-            return Err(StreamError::Decode(format!(
-                "frame length prefix {len} exceeds the 1 GiB guard"
-            )));
+        // Governor ceiling, checked before any allocation: an inflated
+        // prefix must never force the process to reserve memory.
+        if len > self.max_frame {
+            return Err(StreamError::transport(
+                TransportErrorKind::FrameLimit,
+                format!(
+                    "frame length prefix {len} exceeds the {}-byte frame ceiling",
+                    self.max_frame
+                ),
+            ));
         }
 
-        let mut payload = vec![0u8; len];
-        self.read_exact_mid_frame(&mut payload, "payload")?;
+        // Grow toward `len` only as bytes actually arrive: even an
+        // in-ceiling prefix buys the peer at most 64 KiB of allocation
+        // it hasn't paid for in sent bytes.
+        let mut payload: Vec<u8> = Vec::with_capacity(len.min(64 * 1024));
+        let mut scratch = [0u8; 16 * 1024];
+        while payload.len() < len {
+            let want = (len - payload.len()).min(scratch.len());
+            match self.reader.read(&mut scratch[..want]) {
+                Ok(0) => {
+                    return Err(StreamError::transport(
+                        TransportErrorKind::Eof,
+                        "peer disconnected mid-frame while reading payload",
+                    ))
+                }
+                Ok(n) => payload.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(TransportErrorKind::Recv, "tcp recv (payload)", &e)),
+            }
+        }
 
         if let Some(v) = &mut self.validator {
             v.check(seq)?;
@@ -309,6 +394,9 @@ impl TcpFrameReceiver {
 impl FrameReceiver for TcpFrameReceiver {
     fn recv(&mut self) -> Result<Option<Frame>, StreamError> {
         TcpFrameReceiver::recv(self)
+    }
+    fn set_max_frame(&mut self, max_frame: usize) {
+        TcpFrameReceiver::set_max_frame(self, max_frame)
     }
 }
 
@@ -340,6 +428,7 @@ pub fn framed_with(
         TcpFrameReceiver {
             reader: BufReader::new(reader),
             validator: config.validate_seq.then(SeqValidator::new),
+            max_frame: if config.max_frame == 0 { env_max_frame() } else { config.max_frame },
         },
     ))
 }
@@ -577,6 +666,76 @@ mod tests {
             }
             other => panic!("expected Transport/Connect, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn inflated_length_prefix_rejected_as_transport_before_allocation() {
+        // A hostile peer claims a ~4 GiB frame. The receiver must fail
+        // with Transport/FrameLimit on the prefix alone — before
+        // allocating a payload buffer (the payload is never sent, so a
+        // post-allocation guard would hang on the read instead).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut hostile = Vec::new();
+            hostile.extend_from_slice(&0u64.to_le_bytes()); // seq
+            hostile.extend_from_slice(&crate::link::NO_DEADLINE.to_le_bytes());
+            hostile.extend_from_slice(&u32::MAX.to_le_bytes()); // len
+            s.write_all(&hostile).unwrap();
+            // Hold the socket open: the guard must fire on the prefix,
+            // not on a mid-frame EOF.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let config = TcpConfig::new().with_timeouts(Duration::from_secs(5), Duration::from_secs(5));
+        let (_tx, mut rx) = accept_on(&listener, &config).unwrap();
+        let err = rx.recv().err().expect("oversize prefix must be rejected");
+        match err {
+            StreamError::Transport { kind, context } => {
+                assert_eq!(kind, TransportErrorKind::FrameLimit);
+                assert!(context.contains("frame ceiling"), "names the ceiling: {context}");
+            }
+            other => panic!("expected Transport/FrameLimit, got {other:?}"),
+        }
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn tightened_ceiling_rejects_frames_the_default_would_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let (mut tx, _rx) = connect(addr).unwrap();
+            tx.send(&Frame::new(0, Bytes::from(vec![7u8; 4096]))).unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let config = TcpConfig::new().with_timeouts(Duration::from_secs(5), Duration::from_secs(5));
+        let (_tx, mut rx) = accept_on(&listener, &config).unwrap();
+        rx.set_max_frame(1024);
+        match rx.recv() {
+            Err(StreamError::Transport { kind, .. }) => {
+                assert_eq!(kind, TransportErrorKind::FrameLimit);
+            }
+            other => panic!("expected FrameLimit under a 1 KiB ceiling, got {other:?}"),
+        }
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn env_max_frame_parses_and_clamps_to_the_handshake_floor() {
+        // Parsing, not env mutation (env vars are racy across the
+        // parallel test harness): the clamp logic is what matters.
+        assert_eq!(parse_max_frame(None), DEFAULT_MAX_FRAME, "unset uses the default");
+        assert_eq!(parse_max_frame(Some("junk")), DEFAULT_MAX_FRAME, "garbage uses the default");
+        assert_eq!(parse_max_frame(Some("0")), DEFAULT_MAX_FRAME, "zero uses the default");
+        assert_eq!(
+            parse_max_frame(Some("64")),
+            MIN_MAX_FRAME,
+            "tiny env ceilings clamp up so handshakes always fit"
+        );
+        assert_eq!(parse_max_frame(Some("1048576")), 1 << 20);
+        let config = TcpConfig::new().with_max_frame(64);
+        assert_eq!(config.max_frame, 64, "explicit config ceilings are not clamped");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! From-scratch binary wire codec.
 //!
-//! The dependency policy (DESIGN.md §11) allows `bytes` but no serde
+//! The dependency policy (DESIGN.md §12) allows `bytes` but no serde
 //! binary format crate, so framing is hand-rolled: little-endian
 //! fixed-width integers, length-prefixed variable-size fields. Every
 //! pipeline hop round-trips frames through this codec so that inter-stage
@@ -196,6 +196,11 @@ impl Decoder {
     }
 
     /// Length-prefixed byte vector.
+    ///
+    /// The `need(len)` check runs before the allocation, so a hostile
+    /// length prefix can never size a buffer beyond the bytes actually
+    /// present in the frame — which the transport's frame ceiling bounds
+    /// in turn. Keep that ordering when touching this function.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, StreamError> {
         let len = self.get_u32()? as usize;
         self.need(len)?;
@@ -412,6 +417,26 @@ mod tests {
         let mut enc = Encoder::new();
         enc.put_u32(u32::MAX); // claims 4 billion elements
         let res: Result<Vec<u64>, _> = from_frame(enc.finish());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn hostile_bytes_prefix_fails_before_allocation() {
+        // `get_bytes` must check the claimed length against the bytes
+        // actually present before sizing the buffer: a 4 GiB claim over
+        // an 8-byte frame is a Decode error, not a 4 GiB allocation.
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX);
+        enc.put_u32(0xAAAA_AAAA); // only 4 real payload bytes follow
+        let mut dec = Decoder::new(enc.finish());
+        let err = dec.get_bytes().expect_err("hostile prefix must fail");
+        assert!(matches!(err, StreamError::Decode(_)), "got {err:?}");
+
+        // Same property for nested vec-of-bytes: the inner prefix lies.
+        let mut enc = Encoder::new();
+        enc.put_u32(1); // one element
+        enc.put_u32(u32::MAX - 7); // whose byte length is hostile
+        let res: Result<Vec<Vec<u8>>, _> = from_frame(enc.finish());
         assert!(res.is_err());
     }
 

@@ -59,10 +59,12 @@ fn truncated_length_field_is_transport_eof() {
 }
 
 #[test]
-fn oversize_length_prefix_is_decode_error() {
+fn oversize_length_prefix_is_transport_frame_limit() {
     let (listener, addr) = listen();
-    // Valid header claiming a 2 GiB payload: malformed *bytes*, so this
-    // one stays a Decode error (the socket is fine).
+    // Valid header claiming a 2 GiB payload: the receiver must refuse at
+    // its frame ceiling *before* allocating, and classify the refusal as
+    // a transport-level frame-limit breach (the peer exceeded its
+    // resource budget; the bytes themselves are well-formed framing).
     let mut bytes = 1u64.to_le_bytes().to_vec();
     bytes.extend_from_slice(&pp_stream_runtime::link::NO_DEADLINE.to_le_bytes());
     bytes.extend_from_slice(&(2u32 << 30).to_le_bytes());
@@ -70,10 +72,10 @@ fn oversize_length_prefix_is_decode_error() {
     let (_tx, mut rx) = tcp::connect(addr).unwrap();
     let err = rx.recv().unwrap_err();
     assert!(
-        matches!(err, StreamError::Decode(_)),
-        "oversize length prefix is corrupt framing, not a transport failure: {err}"
+        matches!(err, StreamError::Transport { kind: TransportErrorKind::FrameLimit, .. }),
+        "oversize length prefix must breach the frame ceiling: {err}"
     );
-    assert!(err.to_string().contains("1 GiB guard"), "{err}");
+    assert!(err.to_string().contains("frame ceiling"), "{err}");
     peer.join().unwrap();
 }
 

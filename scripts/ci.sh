@@ -5,6 +5,7 @@
 #   ./scripts/ci.sh                  # full gate
 #   ./scripts/ci.sh --serving-gate   # serving gate only (64-client smoke)
 #   ./scripts/ci.sh --crash-gate     # crash gate only (SIGKILL + warm restart)
+#   ./scripts/ci.sh --fuzz-gate      # fuzz gate only (seeded wire fuzzing + governor)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,6 +34,28 @@ run_crash_gate() {
       chaos_kill_every expired_session_rejects_resume
 }
 
+# Fuzz gate: seeded structure-aware wire fuzzing against a live server
+# on both serve paths under two fixed seeds — no panics, no hangs past
+# the watchdog, inflated prefixes refused at the governor ceiling —
+# plus the adversarial-peer governor tests (oversize prefix survival,
+# slow-consumer eviction + resume). Then the existing chaos seeds are
+# re-run once with explicit (tightened) governor budgets to prove the
+# limits don't disturb well-behaved fault-injected traffic.
+run_fuzz_gate() {
+    echo "==> fuzz gate: seeded wire fuzzing, both serve paths, seeds 11 and 17"
+    for seed in 11 17; do
+        for ev in 0 1; do
+            PP_FUZZ_SEED=$seed PP_EVLOOP=$ev cargo test -p pp-stream --test fuzz -q
+            PP_EVLOOP=$ev cargo test -p pp-stream --test governor -q
+        done
+    done
+    echo "==> fuzz gate: chaos seeds unchanged under explicit governor budgets"
+    PP_MAX_FRAME=$((256 * 1024 * 1024)) \
+    PP_WRITE_BACKLOG=$((32 * 1024 * 1024)) \
+    PP_MEM_BUDGET=$((512 * 1024 * 1024)) \
+    PP_FAULT_SEED=1 cargo test -p pp-stream --test chaos -q
+}
+
 case "${1:-}" in
 --serving-gate)
     run_serving_gate
@@ -42,6 +65,11 @@ case "${1:-}" in
 --crash-gate)
     run_crash_gate
     echo "==> crash gate passed"
+    exit 0
+    ;;
+--fuzz-gate)
+    run_fuzz_gate
+    echo "==> fuzz gate passed"
     exit 0
     ;;
 esac
@@ -69,6 +97,8 @@ PP_FAULT_SEED=3 cargo test -p pp-stream --test chaos -q -- \
 cargo test -p pp-stream --test deployment -q -- deadline inflight_cap budget
 
 run_crash_gate
+
+run_fuzz_gate
 
 echo "==> fault injection compiles out cleanly"
 cargo build -p pp-stream --no-default-features

@@ -64,7 +64,7 @@ fn stream_inputs(n: u64) -> Vec<Tensor<f64>> {
 }
 
 /// Unique scratch directory per test (no tempfile crate in the
-/// dependency policy — DESIGN.md §11).
+/// dependency policy — DESIGN.md §12).
 fn scratch_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pp-crash-{}-{}", std::process::id(), tag));
     // A stale dir from a previous run of the same pid namespace would
