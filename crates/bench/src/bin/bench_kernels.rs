@@ -1,6 +1,8 @@
 //! **Kernel microbenchmark** — the fused Montgomery multi-exponentiation
-//! dot kernel versus the naive per-term `mul_scalar`/`add` fold, plus the
-//! encryption hot path (inline vs pooled `r^n`).
+//! dot kernel versus the naive per-term `mul_scalar`/`add` fold, the
+//! encryption hot path (inline vs pooled `r^n`), pool refill (full-width
+//! pow_mod vs fixed-base comb), and CRT decrypt (sequential vs parallel
+//! halves).
 //!
 //! Writes machine-readable results to `BENCH_paillier.json` (override
 //! with `PP_BENCH_OUT`) and asserts along the way that the fused kernel
@@ -174,6 +176,98 @@ fn bench_key_size(bits: usize, lens: &[usize], smoke: bool, out: &mut Vec<Sample
     }
 }
 
+/// Pool refill (full-width `r^n` pow_mod vs fixed-base comb walk) and
+/// CRT decrypt (sequential halves vs two-worker parallel split), the two
+/// sides of the fixed-base exponentiation layer. Before timing, each
+/// pair is checked for agreement — the parallel decrypt must match the
+/// sequential bit-for-bit, and a fixed-base pooled encryption must
+/// round-trip through decrypt.
+///
+/// Smoke gates: `pool_refill_fixed_base` must never be slower than
+/// `pool_refill` (the win is algorithmic — short exponent, no
+/// squarings — so it holds on any host); `decrypt_crt_parallel` must
+/// keep up with `decrypt_crt`, with a 15% grace on single-core hosts
+/// where the split is pure overhead.
+fn bench_refill_decrypt(bits: usize, smoke: bool, out: &mut Vec<Sample>) {
+    let mut rng = StdRng::seed_from_u64(bits as u64 ^ 0x5EED);
+    let kp = Keypair::generate(bits, &mut rng);
+    let pk = kp.public();
+    let sk = kp.private();
+    let reps = if bits >= 2048 { 3 } else { 6 };
+    let count = if bits >= 2048 { 4 } else { 32 };
+
+    // Full-width refill: one |n|-bit pow_mod per blinding factor.
+    let mut pow_pool = RandomnessPool::new(pk.clone());
+    let mut refill_rng = StdRng::seed_from_u64(bits as u64 ^ 0x01);
+    let pow_per = time_min(reps, count, || {
+        pow_pool.refill_pow_mod(count, &mut refill_rng);
+        while pow_pool.take_factor().is_some() {}
+    });
+    record(out, bits, "pool_refill", 0, pow_per);
+
+    // Fixed-base refill: a short-exponent comb walk over the per-key
+    // table. The table build is untimed — it comes from the shared cache
+    // and amortizes across every pool under this key.
+    let base = pp_paillier::shared_refill_cache().get(&pk);
+    let mut fb_pool = RandomnessPool::with_base(pk.clone(), base);
+    let fb_per = time_min(reps, count, || {
+        fb_pool.refill(count, &mut refill_rng);
+        while fb_pool.take_factor().is_some() {}
+    });
+    record(out, bits, "pool_refill_fixed_base", 0, fb_per);
+    let speedup = pow_per.as_secs_f64() / fb_per.as_secs_f64().max(1e-12);
+    println!("       pool refill: fixed-base is {speedup:.2}x pow_mod");
+    if smoke {
+        assert!(
+            fb_per <= pow_per,
+            "refill regression: fixed-base ({fb_per:?}) slower than pow_mod \
+             ({pow_per:?}) at {bits} bits"
+        );
+    }
+
+    // A fixed-base blinding factor must still produce a valid ciphertext.
+    fb_pool.refill(1, &mut refill_rng);
+    let ct = fb_pool.encrypt_i64(-12_345, &mut refill_rng);
+    assert_eq!(
+        sk.decrypt_i64(&ct),
+        -12_345,
+        "fixed-base blinding broke encryption at {bits} bits"
+    );
+
+    // CRT decrypt: the p²/q² halves sequentially vs on two workers.
+    let ct = pk.encrypt_i64(987_654, &mut rng);
+    let workers = WorkerPool::new(2);
+    assert_eq!(
+        sk.decrypt(&ct),
+        sk.decrypt_crt_parallel(&ct, &workers),
+        "parallel CRT decrypt diverged from sequential at {bits} bits"
+    );
+    let dec_ops = if bits >= 2048 { 4 } else { 64 };
+    let seq_per = time_min(reps, dec_ops, || {
+        for _ in 0..dec_ops {
+            std::hint::black_box(sk.decrypt(&ct));
+        }
+    });
+    record(out, bits, "decrypt_crt", 0, seq_per);
+    let par_per = time_min(reps, dec_ops, || {
+        for _ in 0..dec_ops {
+            std::hint::black_box(sk.decrypt_crt_parallel(&ct, &workers));
+        }
+    });
+    record(out, bits, "decrypt_crt_parallel", 0, par_per);
+    let speedup = seq_per.as_secs_f64() / par_per.as_secs_f64().max(1e-12);
+    println!("       decrypt: parallel CRT is {speedup:.2}x sequential");
+    if smoke {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let budget = if cores < 2 { seq_per.mul_f64(1.15) } else { seq_per };
+        assert!(
+            par_per <= budget,
+            "decrypt regression: parallel CRT ({par_per:?}) slower than sequential \
+             ({seq_per:?}, budget {budget:?}, {cores} cores) at {bits} bits"
+        );
+    }
+}
+
 /// Batch-packed dot kernel versus the per-item fused kernel: one packed
 /// evaluation over `len` ciphertexts serves `batch` requests at once, so
 /// the per-item cost divides by the batch. Gates (when `gate`):
@@ -261,6 +355,10 @@ fn write_json(path: &str, mode: &str, samples: &[Sample]) {
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"paillier_kernels\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    // The parallel-CRT rows only show their 2x on multi-core hosts;
+    // record what this run actually had.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(s, "  \"host_cores\": {cores},");
     s.push_str("  \"results\": [\n");
     for (i, r) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
@@ -324,10 +422,20 @@ fn main() {
     for &bits in &key_sizes {
         println!("\nkey size {bits} bits:");
         bench_key_size(bits, lens, smoke, &mut samples);
+        bench_refill_decrypt(bits, smoke, &mut samples);
         bench_packed_dot(bits, slot_bits_for(bits), smoke, &mut samples);
+    }
+    if smoke && !key_sizes.contains(&2048) {
+        // The refill and CRT gates only mean something at production
+        // key size; run them once at 2048 bits even in smoke mode.
+        println!("\nkey size 2048 bits (refill/decrypt gates):");
+        bench_refill_decrypt(2048, true, &mut samples);
     }
     write_json(&out_path, if smoke { "smoke" } else { "full" }, &samples);
     if smoke {
-        println!("smoke gate passed: fused ≤ naive and packed per-item ≤ unpacked");
+        println!(
+            "smoke gate passed: fused ≤ naive, packed per-item ≤ unpacked, \
+             fixed-base refill ≤ pow_mod, parallel CRT ≤ sequential"
+        );
     }
 }

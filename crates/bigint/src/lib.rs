@@ -43,7 +43,7 @@ mod shift;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
-pub use montgomery::{MontScratch, MontgomeryCtx};
+pub use montgomery::{FixedBaseTable, MontScratch, MontgomeryCtx};
 pub use prime::{gen_prime, gen_safe_prime, is_probable_prime, DEFAULT_MR_ROUNDS};
 pub use random::{random_below, random_bits, random_coprime};
 

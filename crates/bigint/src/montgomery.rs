@@ -90,6 +90,13 @@ impl MontgomeryCtx {
 
     /// CIOS core: accumulates `a·b·R^{-1}` into `t` (length `k + 2`),
     /// leaving the possibly-unreduced result in `t[..=k]`.
+    ///
+    /// The accumulate (`t += a·bi`) and reduce (`t = (t + m·n)/2^64`)
+    /// steps are fused into a single walk over `t` per `b`-limb, halving
+    /// the number of times the accumulator is streamed through memory.
+    /// The two partial products keep *separate* carry chains: folding
+    /// them into one `u128` accumulator could overflow, since each term
+    /// `x[j]·y + carry` already saturates 128 bits on its own.
     fn cios(&self, a: &[Limb], b: &[Limb], t: &mut [Limb]) {
         let k = self.n.len();
         debug_assert_eq!(a.len(), k);
@@ -97,30 +104,24 @@ impl MontgomeryCtx {
         debug_assert_eq!(t.len(), k + 2);
         t.fill(0);
         for &bi in b {
-            // t += a * bi
-            let mut carry: u128 = 0;
-            for j in 0..k {
-                let s = t[j] as u128 + a[j] as u128 * bi as u128 + carry;
-                t[j] = s as Limb;
-                carry = s >> 64;
-            }
-            let s = t[k] as u128 + carry;
-            t[k] = s as Limb;
-            t[k + 1] = t[k + 1].wrapping_add((s >> 64) as Limb);
-
-            // m = t[0] * n' mod 2^64;  t = (t + m*n) / 2^64
-            let m = t[0].wrapping_mul(self.n_prime);
-            let s = t[0] as u128 + m as u128 * self.n[0] as u128;
-            let mut carry = s >> 64;
+            // Low limb decides m; its reduced value is 0 mod 2^64 by
+            // construction, so only the carries survive.
+            let s0 = t[0] as u128 + a[0] as u128 * bi as u128;
+            let m = (s0 as Limb).wrapping_mul(self.n_prime);
+            let r0 = (s0 as Limb) as u128 + m as u128 * self.n[0] as u128;
+            debug_assert_eq!(r0 as Limb, 0);
+            let mut carry_a = s0 >> 64;
+            let mut carry_m = r0 >> 64;
             for j in 1..k {
-                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
-                t[j - 1] = s as Limb;
-                carry = s >> 64;
+                let s = t[j] as u128 + a[j] as u128 * bi as u128 + carry_a;
+                carry_a = s >> 64;
+                let r = (s as Limb) as u128 + m as u128 * self.n[j] as u128 + carry_m;
+                carry_m = r >> 64;
+                t[j - 1] = r as Limb;
             }
-            let s = t[k] as u128 + carry;
+            let s = t[k] as u128 + carry_a + carry_m;
             t[k - 1] = s as Limb;
-            t[k] = t[k + 1].wrapping_add((s >> 64) as Limb);
-            t[k + 1] = 0;
+            t[k] = (s >> 64) as Limb;
         }
     }
 
@@ -339,6 +340,152 @@ impl MontgomeryCtx {
         let refs: Vec<&[Limb]> = monts.iter().map(|m| m.as_slice()).collect();
         self.from_mont(&self.pow_mod_multi_mont(&refs, exps))
     }
+
+    /// Precomputes a fixed-base exponentiation table for `base`, sized
+    /// for exponents up to `max_exp_bits` bits. See [`FixedBaseTable`].
+    pub fn fixed_base_table(&self, base: &BigUint, max_exp_bits: usize) -> FixedBaseTable {
+        let max_bits = max_exp_bits.max(1);
+        let w = fixed_base_window(max_bits);
+        let windows = max_bits.div_ceil(w);
+        let mut scratch = self.scratch();
+        let base = base.rem_ref(&self.modulus()).expect("n > 1");
+        // base^(2^(w·i)) for the current window i, advanced as rows fill.
+        let mut base_i = self.to_mont(&base);
+        let mut table: Vec<Vec<Vec<Limb>>> = Vec::with_capacity(windows);
+        for _ in 0..windows {
+            let mut row: Vec<Vec<Limb>> = Vec::with_capacity((1usize << w) - 1);
+            row.push(base_i.clone());
+            for d in 2..(1usize << w) {
+                let mut next = row[d - 2].clone();
+                self.mont_mul_inplace(&mut next, &base_i, &mut scratch);
+                row.push(next);
+            }
+            // base_{i+1} = base_i^(2^w) = row.last() · base_i.
+            let mut next_base = row.last().expect("w >= 1").clone();
+            self.mont_mul_inplace(&mut next_base, &base_i, &mut scratch);
+            base_i = next_base;
+            table.push(row);
+        }
+        FixedBaseTable { window: w, max_bits: windows * w, k: self.n.len(), table }
+    }
+
+    /// Fixed-base exponentiation `base^exp mod n` via a precomputed
+    /// [`FixedBaseTable`], returning the result in Montgomery form.
+    ///
+    /// Costs one Montgomery multiply per non-zero `w`-bit digit of the
+    /// exponent and **zero** squarings. Exponents wider than the table
+    /// fall back to the generic windowed ladder (correct, just slower).
+    pub fn pow_fixed_base_mont(&self, table: &FixedBaseTable, exp: &BigUint) -> Vec<Limb> {
+        assert_eq!(
+            table.k,
+            self.n.len(),
+            "fixed-base table belongs to a context of a different width"
+        );
+        if exp.is_zero() {
+            return self.one_mont();
+        }
+        if exp.bit_len() > table.max_bits {
+            let base = self.from_mont(&table.table[0][0]);
+            return self.to_mont(&self.pow_mod(&base, exp));
+        }
+        let w = table.window;
+        let mut scratch = self.scratch();
+        let mut acc: Option<Vec<Limb>> = None;
+        for (i, row) in table.table.iter().enumerate() {
+            let digit = exp_digit(exp, i * w, w);
+            if digit != 0 {
+                match acc.as_mut() {
+                    Some(a) => self.mont_mul_inplace(a, &row[digit - 1], &mut scratch),
+                    None => acc = Some(row[digit - 1].clone()),
+                }
+            }
+        }
+        acc.unwrap_or_else(|| self.one_mont())
+    }
+
+    /// Fixed-base exponentiation over ordinary residues — the
+    /// convenience wrapper around [`MontgomeryCtx::pow_fixed_base_mont`].
+    pub fn pow_fixed_base(&self, table: &FixedBaseTable, exp: &BigUint) -> BigUint {
+        self.from_mont(&self.pow_fixed_base_mont(table, exp))
+    }
+}
+
+/// Precomputed radix-`2^w` fixed-base exponentiation table (the
+/// Brickell–Gordon–McCurley–Wilson method): entry `table[i][d-1]` holds
+/// `base^(d · 2^(w·i))` in Montgomery form, so an exponentiation is the
+/// product of one table entry per non-zero `w`-bit exponent digit — no
+/// squarings at all. Building the table costs `⌈bits/w⌉ · (2^w − 1)`
+/// multiplies once; it pays for itself after a handful of
+/// exponentiations over the same base, which is exactly the pool-refill
+/// shape (`h^a` for one `h` per key and thousands of short `a`).
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    window: usize,
+    max_bits: usize,
+    /// Limb width of the owning context, to catch cross-context misuse.
+    k: usize,
+    table: Vec<Vec<Vec<Limb>>>,
+}
+
+impl FixedBaseTable {
+    /// The window width `w` in bits.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Largest exponent bit length the table covers without falling
+    /// back to the generic ladder.
+    pub fn max_bits(&self) -> usize {
+        self.max_bits
+    }
+
+    /// Total precomputed entries (`windows · (2^w − 1)`).
+    pub fn entries(&self) -> usize {
+        self.table.iter().map(|row| row.len()).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.entries() * self.k * std::mem::size_of::<Limb>()
+    }
+}
+
+/// Extracts the `w`-bit exponent digit starting at bit `bit`.
+fn exp_digit(exp: &BigUint, bit: usize, w: usize) -> usize {
+    debug_assert!((1..=8).contains(&w));
+    let limb = bit / 64;
+    let off = bit % 64;
+    if limb >= exp.limbs.len() {
+        return 0;
+    }
+    let mut d = exp.limbs[limb] >> off;
+    if off + w > 64 && limb + 1 < exp.limbs.len() {
+        d |= exp.limbs[limb + 1] << (64 - off);
+    }
+    (d & ((1u64 << w) - 1)) as usize
+}
+
+/// Window width for a fixed-base table over exponents of `max_bits`
+/// bits. Build cost is `(bits/w)·(2^w − 1)` multiplies, per-exponent
+/// cost `~bits/w`, so wider windows trade one-time memory/build for
+/// cheaper walks. `PP_FIXED_BASE_WINDOW` (1–8) overrides for tuning.
+fn fixed_base_window(max_bits: usize) -> usize {
+    if let Ok(v) = std::env::var("PP_FIXED_BASE_WINDOW") {
+        if let Ok(w) = v.parse::<usize>() {
+            if (1..=8).contains(&w) {
+                return w;
+            }
+        }
+    }
+    if max_bits <= 64 {
+        3
+    } else if max_bits <= 192 {
+        4
+    } else if max_bits <= 768 {
+        5
+    } else {
+        6
+    }
 }
 
 /// Window width for the interleaved ladder, chosen by the largest
@@ -526,6 +673,48 @@ mod tests {
         let mut sq = a.clone();
         ctx.mont_sqr_inplace(&mut sq, &mut scratch);
         assert_eq!(ctx.from_mont(&sq), ctx.mul_mod(&BigUint::from(0xdead_beefu64), &BigUint::from(0xdead_beefu64)));
+    }
+
+    #[test]
+    fn fixed_base_matches_pow_mod() {
+        let n = BigUint::from_hex_str("f123456789abcdef0011223344556677").unwrap();
+        let n = if n.is_even() { &n + &BigUint::one() } else { n };
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = BigUint::from(0x1234_5678_9abcu64);
+        let table = ctx.fixed_base_table(&base, 128);
+        for e in [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from(2u64),
+            BigUint::from(0xdead_beefu64),
+            BigUint::from(u64::MAX),
+            BigUint::from_hex_str("ffffffffffffffffffffffffffffffff").unwrap(),
+        ] {
+            assert_eq!(ctx.pow_fixed_base(&table, &e), ctx.pow_mod(&base, &e), "e={e:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_base_overflow_exponent_falls_back() {
+        let n = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let base = BigUint::from(3u64);
+        let table = ctx.fixed_base_table(&base, 16);
+        // Exponent wider than the table's capacity: generic ladder path.
+        let e = BigUint::from(u64::MAX);
+        assert!(e.bit_len() > table.max_bits());
+        assert_eq!(ctx.pow_fixed_base(&table, &e), ctx.pow_mod(&base, &e));
+    }
+
+    #[test]
+    fn fixed_base_table_geometry() {
+        let n = BigUint::from(1_000_000_007u64);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        let table = ctx.fixed_base_table(&BigUint::from(2u64), 64);
+        let w = table.window();
+        assert!(table.max_bits() >= 64);
+        assert_eq!(table.entries(), table.max_bits() / w * ((1 << w) - 1));
+        assert!(table.bytes() > 0);
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! Multiplication: schoolbook for small operands, Karatsuba above a
-//! threshold. The threshold was tuned with the `abl_karatsuba` bench in
-//! `pp-bench`.
+//! threshold, Toom-Cook-3 above a second threshold. The Karatsuba
+//! threshold was tuned with the `abl_karatsuba` bench in `pp-bench`.
 
 use crate::add_sub::add_shifted_in_place;
+use crate::bigint::BigInt;
 use crate::{BigUint, Limb};
 use std::ops::{Mul, MulAssign};
 
 /// Operand size (in limbs) above which Karatsuba beats schoolbook.
 pub(crate) const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Operand size (in limbs) above which Toom-Cook-3 beats Karatsuba.
+/// The crossover sits above the 2048-bit (32-limb) working size of a
+/// single Paillier residue — Toom-3 earns its keep on the 64–128-limb
+/// products inside `n²` arithmetic for 2048-bit and larger keys, where
+/// its O(n^1.465) exponent wins despite a heavier interpolation.
+pub(crate) const TOOM3_THRESHOLD: usize = 96;
 
 /// Schoolbook product of two limb slices into `out` (must be zeroed and
 /// exactly `a.len() + b.len()` limbs).
@@ -70,8 +78,117 @@ pub(crate) fn mul_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
         return Vec::new();
     }
     let mut out = vec![0; a.len() + b.len()];
-    karatsuba(a, b, &mut out);
+    if a.len().min(b.len()) >= TOOM3_THRESHOLD {
+        toom3(a, b, &mut out);
+    } else {
+        karatsuba(a, b, &mut out);
+    }
     out
+}
+
+/// One third-size piece of an operand (missing pieces are zero).
+fn toom3_piece(x: &[Limb], i: usize, part: usize) -> BigUint {
+    let lo = (i * part).min(x.len());
+    let hi = ((i + 1) * part).min(x.len());
+    BigUint::from_limbs(x[lo..hi].to_vec())
+}
+
+/// Toom-Cook-3 product: split each operand into three `part`-limb
+/// pieces, evaluate both at {0, 1, −1, 2, ∞}, multiply the five point
+/// values recursively, and interpolate the five result coefficients.
+/// Five multiplies of third-size operands instead of Karatsuba's
+/// nine quarter-ish products at two levels. `out` must be zeroed and
+/// exactly `a.len() + b.len()` limbs.
+fn toom3(a: &[Limb], b: &[Limb], out: &mut [Limb]) {
+    let part = a.len().max(b.len()).div_ceil(3);
+    let (a0, a1, a2) =
+        (toom3_piece(a, 0, part), toom3_piece(a, 1, part), toom3_piece(a, 2, part));
+    let (b0, b1, b2) =
+        (toom3_piece(b, 0, part), toom3_piece(b, 1, part), toom3_piece(b, 2, part));
+
+    // Point evaluations. x(−1) is the only signed one.
+    let a02 = &a0 + &a2;
+    let ea1 = &a02 + &a1; // a(1)
+    let eam1 = &BigInt::from_biguint(a02) - &BigInt::from_biguint(a1.clone()); // a(−1)
+    // a(2) = a0 + 2·a1 + 4·a2
+    let ea2 = &(&a0 + &a1.shl_bits(1)) + &a2.shl_bits(2);
+    let b02 = &b0 + &b2;
+    let eb1 = &b02 + &b1;
+    let ebm1 = &BigInt::from_biguint(b02) - &BigInt::from_biguint(b1.clone());
+    let eb2 = &(&b0 + &b1.shl_bits(1)) + &b2.shl_bits(2);
+
+    // Five recursive products (these re-enter mul_slices, so large
+    // pieces keep splitting).
+    let v0 = a0.mul_ref(&b0);
+    let v1 = ea1.mul_ref(&eb1);
+    let vm1 = &eam1 * &ebm1;
+    let v2 = ea2.mul_ref(&eb2);
+    let vinf = a2.mul_ref(&b2);
+
+    let [w0, w1, w2, w3, w4] = toom3_interpolate(v0, v1, vm1, v2, vinf);
+    add_shifted_in_place(out, &w0.limbs, 0);
+    add_shifted_in_place(out, &w1.limbs, part);
+    add_shifted_in_place(out, &w2.limbs, 2 * part);
+    add_shifted_in_place(out, &w3.limbs, 3 * part);
+    add_shifted_in_place(out, &w4.limbs, 4 * part);
+}
+
+/// Exact halving of an even intermediate.
+fn exact_half(x: BigInt) -> BigInt {
+    let sign = x.sign();
+    let mag = x.into_magnitude();
+    debug_assert!(mag.is_zero() || !mag.bit(0), "toom3 halving requires an even value");
+    BigInt::from_sign_magnitude(sign, mag.shr_bits(1))
+}
+
+/// Exact division by 3 of a non-negative intermediate.
+fn exact_third(x: BigInt) -> BigInt {
+    debug_assert!(!x.is_negative(), "toom3 third is of a non-negative value");
+    let (q, r) = x.into_magnitude().div_rem_u64(3);
+    debug_assert_eq!(r, 0, "toom3 division by 3 is exact");
+    BigInt::from_biguint(q)
+}
+
+/// Recovers the five coefficients `w0..w4` of `p(x)·q(x)` from the
+/// point values `v0 = w(0)`, `v1 = w(1)`, `vm1 = w(−1)`, `v2 = w(2)`,
+/// `vinf = w(∞)`. All returned coefficients are non-negative for a
+/// product of non-negative operands.
+fn toom3_interpolate(
+    v0: BigUint,
+    v1: BigUint,
+    vm1: BigInt,
+    v2: BigUint,
+    vinf: BigUint,
+) -> [BigUint; 5] {
+    let v0 = BigInt::from_biguint(v0);
+    let v1 = BigInt::from_biguint(v1);
+    let v2 = BigInt::from_biguint(v2);
+    let vinf = BigInt::from_biguint(vinf);
+
+    // v1 ± vm1 split the odd/even coefficient sums:
+    //   (v1 + vm1)/2 = w0 + w2 + w4,   (v1 − vm1)/2 = w1 + w3.
+    let even = exact_half(&v1 + &vm1);
+    let odd = exact_half(&v1 - &vm1);
+    let w2 = &(&even - &v0) - &vinf;
+    // v2 = w0 + 2w1 + 4w2 + 8w3 + 16w4 ⇒ (v2 − w0 − 4w2 − 16w4)/2 = w1 + 4w3.
+    let shl = |x: &BigInt, bits: usize| {
+        BigInt::from_sign_magnitude(x.sign(), x.magnitude().shl_bits(bits))
+    };
+    let t = exact_half(&(&(&v2 - &v0) - &shl(&w2, 2)) - &shl(&vinf, 4));
+    let w3 = exact_third(&t - &odd);
+    let w1 = &odd - &w3;
+
+    let unsigned = |x: BigInt, name: &str| {
+        debug_assert!(!x.is_negative(), "toom3 coefficient {name} must be non-negative");
+        x.into_magnitude()
+    };
+    [
+        unsigned(v0, "w0"),
+        unsigned(w1, "w1"),
+        unsigned(w2, "w2"),
+        unsigned(w3, "w3"),
+        unsigned(vinf, "w4"),
+    ]
 }
 
 impl BigUint {
@@ -116,6 +233,9 @@ pub(crate) fn square_slices(a: &[Limb]) -> Vec<Limb> {
     if n < KARATSUBA_THRESHOLD {
         return schoolbook_square(a);
     }
+    if n >= TOOM3_THRESHOLD {
+        return toom3_square(a);
+    }
     // Karatsuba squaring: (a1·B + a0)² = a1²·B² + 2·a0·a1·B + a0²,
     // with the middle term from (a0+a1)² − a0² − a1².
     let half = n / 2;
@@ -132,6 +252,34 @@ pub(crate) fn square_slices(a: &[Limb]) -> Vec<Limb> {
     add_shifted_in_place(&mut out, &p0, 0);
     add_shifted_in_place(&mut out, &mid.limbs, half);
     add_shifted_in_place(&mut out, &p2, 2 * half);
+    out
+}
+
+/// Toom-3 squaring: same five-point scheme as [`toom3`], but every
+/// point value is a square — including `a(−1)²`, which is non-negative
+/// regardless of the evaluation's sign.
+fn toom3_square(a: &[Limb]) -> Vec<Limb> {
+    let part = a.len().div_ceil(3);
+    let (a0, a1, a2) =
+        (toom3_piece(a, 0, part), toom3_piece(a, 1, part), toom3_piece(a, 2, part));
+    let a02 = &a0 + &a2;
+    let ea1 = &a02 + &a1;
+    let eam1 = &BigInt::from_biguint(a02) - &BigInt::from_biguint(a1.clone());
+    let ea2 = &(&a0 + &a1.shl_bits(1)) + &a2.shl_bits(2);
+
+    let v0 = a0.square();
+    let v1 = ea1.square();
+    let vm1 = BigInt::from_biguint(eam1.magnitude().square());
+    let v2 = ea2.square();
+    let vinf = a2.square();
+
+    let [w0, w1, w2, w3, w4] = toom3_interpolate(v0, v1, vm1, v2, vinf);
+    let mut out = vec![0; 2 * a.len()];
+    add_shifted_in_place(&mut out, &w0.limbs, 0);
+    add_shifted_in_place(&mut out, &w1.limbs, part);
+    add_shifted_in_place(&mut out, &w2.limbs, 2 * part);
+    add_shifted_in_place(&mut out, &w3.limbs, 3 * part);
+    add_shifted_in_place(&mut out, &w4.limbs, 4 * part);
     out
 }
 
@@ -268,6 +416,45 @@ mod tests {
         assert!(BigUint::zero().square().is_zero());
         assert!(BigUint::one().square().is_one());
         assert_eq!(BigUint::from(u64::MAX).square(), &BigUint::from(u64::MAX) * &BigUint::from(u64::MAX));
+    }
+
+    #[test]
+    fn toom3_matches_schoolbook() {
+        // Operands crossing the Toom-3 threshold, validated against the
+        // schoolbook kernel directly (no shared fast path).
+        let a_limbs: Vec<u64> =
+            (0..200u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(i as u32)).collect();
+        let b_limbs: Vec<u64> =
+            (0..150u64).map(|i| i.wrapping_mul(0xc2b2ae3d27d4eb4f) ^ !i).collect();
+        let fast = BigUint::from_limbs(a_limbs.clone()).mul_ref(&BigUint::from_limbs(b_limbs.clone()));
+        let mut slow = vec![0u64; a_limbs.len() + b_limbs.len()];
+        super::schoolbook(&a_limbs, &b_limbs, &mut slow);
+        assert_eq!(fast, BigUint::from_limbs(slow));
+    }
+
+    #[test]
+    fn toom3_unbalanced_and_edge_sizes() {
+        // Unbalanced splits leave some pieces empty or short; sizes
+        // straddle exact multiples of three.
+        for (na, nb) in [(96usize, 96usize), (97, 96), (98, 100), (288, 97), (96, 300), (101, 203)]
+        {
+            let a = BigUint::from_limbs((0..na as u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) | 1).collect());
+            let b = BigUint::from_limbs((0..nb as u64).map(|i| (i ^ 0xabcd).wrapping_mul(0x9e3779b97f4a7c15)).collect());
+            let fast = a.mul_ref(&b);
+            let mut slow = vec![0u64; na + nb];
+            super::schoolbook(&a.limbs, &b.limbs, &mut slow);
+            assert_eq!(fast, BigUint::from_limbs(slow), "na={na} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn toom3_square_matches_mul() {
+        let a = BigUint::from_limbs(
+            (0..250u64).map(|i| i.wrapping_mul(0xD6E8FEB86659FD93).rotate_right(i as u32)).collect(),
+        );
+        let mut slow = vec![0u64; 2 * a.limbs.len()];
+        super::schoolbook(&a.limbs, &a.limbs, &mut slow);
+        assert_eq!(a.square(), BigUint::from_limbs(slow));
     }
 
     #[test]

@@ -178,4 +178,61 @@ proptest! {
         }
         prop_assert_eq!(fused, want);
     }
+
+    /// Fixed-base comb exponentiation must agree with the plain
+    /// square-and-multiply ladder for every base/exponent/modulus mix —
+    /// exponent 0 and 1, digits straddling limb boundaries, exponents
+    /// exactly at the table's width, and exponents wider than the table
+    /// (the pow_mod fallback path).
+    #[test]
+    fn fixed_base_matches_pow_mod_prop(
+        m in proptest::collection::vec(any::<u64>(), 1..3).prop_map(|v| {
+            let mut n = BigUint::from_limbs(v);
+            n.set_bit(0, true);
+            if n.is_one() { BigUint::from(3u64) } else { n }
+        }),
+        base in arb_biguint(),
+        exp in prop_oneof![
+            Just(BigUint::zero()),
+            Just(BigUint::one()),
+            any::<u64>().prop_map(BigUint::from),
+            proptest::collection::vec(any::<u64>(), 1..4).prop_map(BigUint::from_limbs),
+        ],
+        max_bits in 1usize..200,
+    ) {
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let base = base.rem_ref(&m).unwrap();
+        let table = ctx.fixed_base_table(&base, max_bits);
+        prop_assert_eq!(
+            ctx.pow_fixed_base(&table, &exp),
+            ctx.pow_mod(&base, &exp)
+        );
+    }
+
+    /// Toom-Cook-3 products (operands ≥ 96 limbs) must agree with the
+    /// same product assembled from half-width pieces: the pieces sit in
+    /// the 48–70 limb range, so their products dispatch through
+    /// Karatsuba — cross-validating the two algorithms against each
+    /// other via a·b = a₁b₁·2^(2hw) + (a₁b₀ + a₀b₁)·2^(hw) + a₀b₀.
+    #[test]
+    fn toom_product_matches_karatsuba_split(
+        a in proptest::collection::vec(any::<u64>(), 96..140),
+        b in proptest::collection::vec(any::<u64>(), 96..140),
+    ) {
+        let (a, b) = (BigUint::from_limbs(a), BigUint::from_limbs(b));
+        let full = &a * &b;
+
+        let half_bits = 48 * 64;
+        let (a0, a1) = (a.low_bits(half_bits), a.shr_bits(half_bits));
+        let (b0, b1) = (b.low_bits(half_bits), b.shr_bits(half_bits));
+        let mut split = (&a1 * &b1).shl_bits(2 * half_bits);
+        split = &split + &(&a1 * &b0).shl_bits(half_bits);
+        split = &split + &(&a0 * &b1).shl_bits(half_bits);
+        split = &split + &(&a0 * &b0);
+        prop_assert_eq!(&full, &split);
+
+        // Squaring takes its own Toom path; it must match the general
+        // product of equal operands.
+        prop_assert_eq!(a.square(), &a * &a);
+    }
 }

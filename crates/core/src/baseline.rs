@@ -130,9 +130,14 @@ pub fn cipher_base(
                 StageRole::NonLinear => {
                     let exec = &nonlinear_execs[ni];
                     if exec.is_last {
-                        result = Some(exec.execute_final(msg.clone(), &pool));
+                        result = Some(
+                            exec.execute_final(msg.clone(), &pool)
+                                .map_err(|e| CoreError::Runtime(e.to_string()))?,
+                        );
                     } else {
-                        msg = exec.execute(msg, &pool);
+                        msg = exec
+                            .execute(msg, &pool)
+                            .map_err(|e| CoreError::Runtime(e.to_string()))?;
                     }
                     ni += 1;
                 }

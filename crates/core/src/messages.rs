@@ -362,6 +362,12 @@ pub enum ItemErrorKind {
     /// batch's first member; the client replays every unresolved member
     /// unpacked, where per-item outcomes apply individually.
     PackedAbort = 3,
+    /// The client could not use the server's reply for this item: a
+    /// well-formed ciphertext decrypted outside the message space.
+    /// Raised client-side (never sent by an honest server), so a
+    /// corrupt-but-decodable reply fails one item instead of the
+    /// process.
+    CorruptReply = 4,
 }
 
 /// Server → client: a *per-item* failure reply, sent in place of the
@@ -396,6 +402,7 @@ impl WireDecode for ItemErrorMsg {
             1 => ItemErrorKind::Quarantined,
             2 => ItemErrorKind::Shed,
             3 => ItemErrorKind::PackedAbort,
+            4 => ItemErrorKind::CorruptReply,
             other => {
                 return Err(StreamError::Decode(format!("unknown item-error kind {other}")));
             }
@@ -583,6 +590,7 @@ mod tests {
             ItemErrorKind::Quarantined,
             ItemErrorKind::Shed,
             ItemErrorKind::PackedAbort,
+            ItemErrorKind::CorruptReply,
         ] {
             let msg = ItemErrorMsg { seq: 17, kind, detail: "budget spent".into() };
             let frame = to_frame(&msg);

@@ -3301,7 +3301,12 @@ impl NetworkedSession {
         let fault = fault_hook(config);
         let (tx, rx) = wrap_transport(tx, rx, &fault);
 
-        let rand_pool = Arc::new(Mutex::new(RandomnessPool::new(keypair.public())));
+        // Seed the blinding-factor pool with the process-wide fixed-base
+        // table for this key: reconnects and sibling sessions under the
+        // same keypair reuse one comb table instead of rebuilding it.
+        let refill_base = pp_paillier::shared_refill_cache().get(&keypair.public());
+        let rand_pool =
+            Arc::new(Mutex::new(RandomnessPool::with_base(keypair.public(), refill_base)));
         Ok(NetworkedSession {
             tx,
             rx,
@@ -3685,12 +3690,12 @@ impl NetworkedSession {
                 }
                 ClientStep::NonLinear(nl) => {
                     if i == last {
-                        return match packed::unpack_final(nl, msg) {
+                        return match packed::unpack_final(nl, msg, &self.pool) {
                             Ok(outputs) => PackedRoundOutcome::Done(outputs),
                             Err(_) => PackedRoundOutcome::Fallback { reset: true },
                         };
                     }
-                    msg = match packed::repack_nonlinear(nl, msg) {
+                    msg = match packed::repack_nonlinear(nl, msg, &self.pool) {
                         Ok(m) => m,
                         Err(_) => return PackedRoundOutcome::Fallback { reset: true },
                     };
@@ -3791,6 +3796,11 @@ impl NetworkedSession {
                             // abort; for an unpacked item it still
                             // resolves the item like any other failure.
                             ItemErrorKind::PackedAbort => {}
+                            // CorruptReply is raised client-side; an
+                            // honest server never sends it, but a wire
+                            // message carrying it still just fails the
+                            // one item.
+                            ItemErrorKind::CorruptReply => {}
                         }
                         return Ok(ItemResult::Failed { kind: ie.kind, detail: ie.detail });
                     }
@@ -3813,10 +3823,28 @@ impl NetworkedSession {
                     }
                 }
                 ClientStep::NonLinear(nl) => {
+                    // Stage failures here mean the reply decoded as a
+                    // frame but its ciphertexts decrypt to garbage (or
+                    // out-of-range values). The connection is fine —
+                    // fail the one item instead of tearing down.
                     if i == last {
-                        return Ok(ItemResult::Output(nl.execute_final(msg, &self.pool)));
+                        return match nl.execute_final(msg, &self.pool) {
+                            Ok(out) => Ok(ItemResult::Output(out)),
+                            Err(e) => Ok(ItemResult::Failed {
+                                kind: ItemErrorKind::CorruptReply,
+                                detail: e.to_string(),
+                            }),
+                        };
                     }
-                    msg = nl.execute(msg, &self.pool);
+                    msg = match nl.execute(msg, &self.pool) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            return Ok(ItemResult::Failed {
+                                kind: ItemErrorKind::CorruptReply,
+                                detail: e.to_string(),
+                            })
+                        }
+                    };
                 }
             }
         }

@@ -33,6 +33,7 @@ use pp_nn::scaling::ScaledOp;
 use pp_obfuscate::Permutation;
 use pp_paillier::packing::{PackedCiphertext, PackedMontInputs, PackingSpec};
 use pp_paillier::{Ciphertext, PaillierError, PublicKey, RandomnessPool};
+use pp_stream_runtime::pool::WorkerPool;
 use pp_stream_runtime::StreamError;
 use pp_tensor::ops::{affine, conv2d, fully_connected, sum_pool2d};
 use pp_tensor::{LinearAlgebra, Tensor, TensorError};
@@ -356,6 +357,7 @@ fn run_packed_op(
 pub(crate) fn repack_nonlinear(
     nl: &NonLinearStage,
     msg: PackedTensorMsg,
+    workers: &WorkerPool,
 ) -> Result<PackedTensorMsg, PaillierError> {
     if msg.seqs.is_empty() {
         return Err(PaillierError::InvalidPacking("empty packed batch".into()));
@@ -370,7 +372,8 @@ pub(crate) fn repack_nonlinear(
     for b in &msg.cts {
         let packed =
             PackedCiphertext::from_parts(&pk, Ciphertext::from_bytes(b), spec, used, msg.weight)?;
-        let mut vals: Vec<i128> = packed.decrypt(&sk)?.iter().map(|&v| v as i128).collect();
+        let mut vals: Vec<i128> =
+            packed.decrypt_parallel(&sk, workers)?.iter().map(|&v| v as i128).collect();
         nl.apply_ops(&mut vals);
         let out: Vec<i64> = vals
             .iter()
@@ -397,6 +400,7 @@ pub(crate) fn repack_nonlinear(
 pub(crate) fn unpack_final(
     nl: &NonLinearStage,
     msg: PackedTensorMsg,
+    workers: &WorkerPool,
 ) -> Result<Vec<PlainTensorMsg>, PaillierError> {
     if msg.seqs.is_empty() {
         return Err(PaillierError::InvalidPacking("empty packed batch".into()));
@@ -422,7 +426,8 @@ pub(crate) fn unpack_final(
     for b in &msg.cts {
         let packed =
             PackedCiphertext::from_parts(&pk, Ciphertext::from_bytes(b), spec, used, msg.weight)?;
-        let mut vals: Vec<i128> = packed.decrypt(&sk)?.iter().map(|&v| v as i128).collect();
+        let mut vals: Vec<i128> =
+            packed.decrypt_parallel(&sk, workers)?.iter().map(|&v| v as i128).collect();
         nl.apply_ops(&mut vals);
         if per_item.is_empty() {
             per_item = vec![Vec::with_capacity(msg.cts.len()); used];
@@ -706,15 +711,15 @@ mod tests {
         let mut pool = RandomnessPool::new(kp.public());
         let msg = pack_plain_batch(&kp.public(), spec, &plains, &mut pool, 9).unwrap();
 
+        let wp = WorkerPool::new(2);
         let msg = execute_packed_linear(&exec1, msg).unwrap();
         assert!(msg.obfuscated, "mid-pipeline linear output is obfuscated");
-        let msg = repack_nonlinear(&nl_mid, msg).unwrap();
+        let msg = repack_nonlinear(&nl_mid, msg, &wp).unwrap();
         assert_eq!(msg.weight, 1, "re-encryption resets the op weight");
         let msg = execute_packed_linear(&exec2, msg).unwrap();
-        let outs = unpack_final(&nl_last, msg).unwrap();
+        let outs = unpack_final(&nl_last, msg, &wp).unwrap();
 
         // Unpacked per-item reference through the real stage executors.
-        let wp = WorkerPool::new(2);
         let ref_perms = Arc::new(PermStore::default());
         let r1 = LinearStage { perms: Arc::clone(&ref_perms), ..replace_perms(&exec1) };
         let r2 = LinearStage { perms: Arc::clone(&ref_perms), ..replace_perms(&exec2) };
@@ -732,9 +737,9 @@ mod tests {
                 cts,
             };
             let enc = r1.execute(enc, &wp).unwrap();
-            let enc = nl_mid.execute(enc, &wp);
+            let enc = nl_mid.execute(enc, &wp).unwrap();
             let enc = r2.execute(enc, &wp).unwrap();
-            let plain = nl_last.execute_final(enc, &wp);
+            let plain = nl_last.execute_final(enc, &wp).unwrap();
             assert_eq!(outs[j].seq, seq);
             assert_eq!(outs[j].shape, plain.shape);
             assert_eq!(outs[j].values, plain.values, "item {j} diverges from unpacked");
@@ -797,7 +802,7 @@ mod tests {
             weight: 1,
             cts: vec![],
         };
-        assert!(unpack_final(&nl, msg).is_err());
+        assert!(unpack_final(&nl, msg, &WorkerPool::new(1)).is_err());
     }
 
     #[test]
@@ -824,8 +829,9 @@ mod tests {
             weight: 1,
             cts: vec![vec![1u8; 8]; 64],
         };
+        let wp = WorkerPool::new(1);
         assert!(matches!(
-            unpack_final(&nl, msg),
+            unpack_final(&nl, msg, &wp),
             Err(PaillierError::InvalidPacking(_))
         ));
 
@@ -842,7 +848,7 @@ mod tests {
             cts: vec![],
         };
         assert!(matches!(
-            unpack_final(&nl, empty_cts),
+            unpack_final(&nl, empty_cts, &wp),
             Err(PaillierError::InvalidPacking(_))
         ));
     }

@@ -446,48 +446,65 @@ pub struct NonLinearStage {
 
 impl NonLinearStage {
     /// Decrypt → non-linear ops → re-encrypt (Steps 2.1–2.3).
-    /// Only valid for non-final stages.
-    pub fn execute(&self, msg: EncTensorMsg, pool: &WorkerPool) -> EncTensorMsg {
+    /// Only valid for non-final stages. Fails cleanly (instead of
+    /// panicking) when a ciphertext decrypts outside the message space —
+    /// the signature of a corrupt or hostile upstream reply.
+    pub fn execute(&self, msg: EncTensorMsg, pool: &WorkerPool) -> Result<EncTensorMsg, StreamError> {
         assert!(!self.is_last, "final stage must use execute_final");
-        let values = self.decrypt_and_apply(&msg, pool);
-        // Re-encrypt at scale F (fits i64 after rescaling).
+        let values = self.decrypt_and_apply(&msg, pool)?;
+        // Re-encrypt at scale F (fits i64 after rescaling). Range-check
+        // before fanning out so an oversized activation is an error on
+        // this item, not a worker panic.
+        let scaled: Vec<i64> = values
+            .iter()
+            .map(|&v| i64::try_from(v))
+            .collect::<Result<_, _>>()
+            .map_err(|_| {
+                StreamError::Stage(format!(
+                    "rescaled activation exceeds i64 message space in round {}",
+                    msg.seq
+                ))
+            })?;
         let pk = self.keypair.public();
         let seed = mix(self.seed ^ mix(msg.seq).rotate_left(17));
-        let values = Arc::new(values);
-        let n = values.len();
-        let values2 = Arc::clone(&values);
+        let scaled = Arc::new(scaled);
+        let n = scaled.len();
         let cts = pool.map_ranges(n, move |r| {
             let mut rng = StdRng::seed_from_u64(mix(seed ^ r.start as u64));
-            r.map(|i| {
-                let v = i64::try_from(values2[i]).expect("rescaled activation fits i64");
-                pk.encrypt_i64(v, &mut rng).to_bytes()
-            })
-            .collect::<Vec<_>>()
+            r.map(|i| pk.encrypt_i64(scaled[i], &mut rng).to_bytes()).collect::<Vec<_>>()
         });
-        EncTensorMsg { seq: msg.seq, shape: msg.shape, obfuscated: msg.obfuscated, cts }
+        Ok(EncTensorMsg { seq: msg.seq, shape: msg.shape, obfuscated: msg.obfuscated, cts })
     }
 
     /// Final round (Steps 3.5–3.7): decrypt and produce the cleartext
     /// scaled result — stays at the data provider.
-    pub fn execute_final(&self, msg: EncTensorMsg, pool: &WorkerPool) -> PlainTensorMsg {
+    pub fn execute_final(
+        &self,
+        msg: EncTensorMsg,
+        pool: &WorkerPool,
+    ) -> Result<PlainTensorMsg, StreamError> {
         assert!(self.is_last, "non-final stage must use execute");
         assert!(!msg.obfuscated, "final round arrives without obfuscation (Step 3.4)");
-        let values = self.decrypt_and_apply(&msg, pool);
-        PlainTensorMsg { seq: msg.seq, shape: msg.shape, values }
+        let values = self.decrypt_and_apply(&msg, pool)?;
+        Ok(PlainTensorMsg { seq: msg.seq, shape: msg.shape, values })
     }
 
-    fn decrypt_and_apply(&self, msg: &EncTensorMsg, pool: &WorkerPool) -> Vec<i128> {
+    fn decrypt_and_apply(
+        &self,
+        msg: &EncTensorMsg,
+        pool: &WorkerPool,
+    ) -> Result<Vec<i128>, StreamError> {
         assert_eq!(self.stage.role, StageRole::NonLinear, "misconfigured stage");
-        let sk = self.keypair.private().clone();
-        let bytes: Arc<Vec<Vec<u8>>> = Arc::new(msg.cts.clone());
-        let n = bytes.len();
-        // Decrypt in parallel (Step 2.1).
-        let mut values: Vec<i128> = pool.map_ranges(n, move |r| {
-            r.map(|i| sk.decrypt_i128(&Ciphertext::from_bytes(&bytes[i])))
-                .collect::<Vec<_>>()
-        });
+        let sk = self.keypair.private();
+        // Decrypt in parallel (Step 2.1): the batch API splits each
+        // ciphertext into its two CRT halves, so even a short tensor
+        // saturates the pool at production key sizes.
+        let cts: Vec<Ciphertext> = msg.cts.iter().map(|b| Ciphertext::from_bytes(b)).collect();
+        let mut values = sk.try_decrypt_batch_i128(&cts, pool).map_err(|e| {
+            StreamError::Stage(format!("decrypt failed in round {}: {e}", msg.seq))
+        })?;
         self.apply_ops(&mut values);
-        values
+        Ok(values)
     }
 
     /// The stage's non-linear ops, element-wise on already-decrypted
@@ -534,7 +551,7 @@ impl Stage for NonLinearStage {
                 "final non-linear stage placed mid-pipeline; wrap it in FinalNonLinearStage".into(),
             ));
         }
-        Ok(self.execute(msg, cx.pool()))
+        self.execute(msg, cx.pool())
     }
 }
 
@@ -558,7 +575,7 @@ impl Stage for FinalNonLinearStage {
                 "final round arrived obfuscated (Step 3.4 violated)".into(),
             ));
         }
-        Ok(self.0.execute_final(msg, cx.pool()))
+        self.0.execute_final(msg, cx.pool())
     }
 }
 
@@ -628,9 +645,9 @@ mod tests {
                         seed: 13,
                     };
                     if is_last {
-                        final_values = Some(exec.execute_final(msg.clone(), pool).values);
+                        final_values = Some(exec.execute_final(msg.clone(), pool).unwrap().values);
                     } else {
-                        msg = exec.execute(msg, pool);
+                        msg = exec.execute(msg, pool).unwrap();
                     }
                 }
             }
@@ -774,7 +791,7 @@ mod tests {
             is_last: false,
             seed: 3,
         };
-        let msg2 = nl.execute(msg1, &pool);
+        let msg2 = nl.execute(msg1, &pool).unwrap();
         assert!(msg2.obfuscated, "re-encrypted tensor keeps permuted order");
 
         let last = LinearStage {

@@ -224,9 +224,13 @@ impl PpStream {
                     }
                     StageExec::NonLinear(nl) => {
                         if nl.is_last {
-                            plain = nl.execute_final(msg.clone(), pool);
+                            plain = nl
+                                .execute_final(msg.clone(), pool)
+                                .map_err(|e| CoreError::Runtime(e.to_string()))?;
                         } else {
-                            msg = nl.execute(msg, pool);
+                            msg = nl
+                                .execute(msg, pool)
+                                .map_err(|e| CoreError::Runtime(e.to_string()))?;
                         }
                     }
                 }
@@ -294,10 +298,14 @@ impl PpStream {
                 StageExec::NonLinear(nl) => {
                     dispatch_bytes = 0; // element-wise decrypt + activation
                     if nl.is_last {
-                        let out = nl.execute_final(msg.clone(), pool);
+                        let out = nl
+                            .execute_final(msg.clone(), pool)
+                            .map_err(|e| CoreError::Runtime(e.to_string()))?;
                         link_bytes = to_frame(&out).len() as u64;
                     } else {
-                        msg = nl.execute(msg, pool);
+                        msg = nl
+                            .execute(msg, pool)
+                            .map_err(|e| CoreError::Runtime(e.to_string()))?;
                         link_bytes = to_frame(&msg).len() as u64;
                     }
                 }
@@ -495,8 +503,12 @@ impl PpStream {
         };
         // Precompute one r^n blinding factor per element of the batch
         // before the stream starts — the exponentiations run across the
-        // encrypt stage's thread allocation, off the request path.
-        let rand_pool = Arc::new(Mutex::new(RandomnessPool::new(self.keypair.public())));
+        // encrypt stage's thread allocation, off the request path. The
+        // fixed-base table comes from the process-wide cache so repeat
+        // sessions under one key skip the comb precomputation entirely.
+        let pk = self.keypair.public();
+        let base = pp_paillier::shared_refill_cache().get(&pk);
+        let rand_pool = Arc::new(Mutex::new(RandomnessPool::with_base(pk, base)));
         {
             let need = inputs.len() * self.scaled.input_shape().len();
             let workers = WorkerPool::new(self.plan.threads_for(0));
@@ -624,7 +636,9 @@ impl PpStream {
         };
         // One factor per tensor *position* per chunk — the whole point:
         // encryption cost no longer scales with the batch size.
-        let rand_pool = Arc::new(Mutex::new(RandomnessPool::new(self.keypair.public())));
+        let pk = self.keypair.public();
+        let base = pp_paillier::shared_refill_cache().get(&pk);
+        let rand_pool = Arc::new(Mutex::new(RandomnessPool::with_base(pk, base)));
         {
             let need = inputs.len().div_ceil(spec.slots) * self.scaled.input_shape().len();
             let workers = WorkerPool::new(self.plan.threads_for(0));
@@ -705,7 +719,7 @@ impl PpStream {
     fn run_packed_chunk(
         &self,
         execs: &Execs,
-        _pools: &[WorkerPool],
+        pools: &[WorkerPool],
         plains: &[PlainTensorMsg],
         spec: PackingSpec,
         rand_pool: &Arc<Mutex<RandomnessPool>>,
@@ -733,9 +747,8 @@ impl PpStream {
             msg = match exec {
                 StageExec::Linear(l) => packed::execute_packed_linear(l, msg)
                     .map_err(|e| rt(e.to_string()))?,
-                StageExec::NonLinear(nl) => {
-                    packed::repack_nonlinear(nl, msg).map_err(|e| rt(e.to_string()))?
-                }
+                StageExec::NonLinear(nl) => packed::repack_nonlinear(nl, msg, &pools[i + 1])
+                    .map_err(|e| rt(e.to_string()))?,
             };
             stage_busy[i + 1] += t0.elapsed();
         }
@@ -746,7 +759,8 @@ impl PpStream {
             return Err(rt("pipeline must end with a final non-linear stage".into()));
         }
         let t0 = Instant::now();
-        let outs = packed::unpack_final(nl, msg).map_err(|e| rt(e.to_string()))?;
+        let outs = packed::unpack_final(nl, msg, &pools[execs.stages.len()])
+            .map_err(|e| rt(e.to_string()))?;
         stage_busy[execs.stages.len()] += t0.elapsed();
         Ok(outs)
     }
@@ -775,9 +789,14 @@ impl PpStream {
                 }
                 StageExec::NonLinear(nl) => {
                     if nl.is_last {
-                        out = Some(nl.execute_final(msg.clone(), &pools[i + 1]));
+                        out = Some(
+                            nl.execute_final(msg.clone(), &pools[i + 1])
+                                .map_err(|e| CoreError::Runtime(e.to_string()))?,
+                        );
                     } else {
-                        msg = nl.execute(msg, &pools[i + 1]);
+                        msg = nl
+                            .execute(msg, &pools[i + 1])
+                            .map_err(|e| CoreError::Runtime(e.to_string()))?;
                     }
                 }
             }

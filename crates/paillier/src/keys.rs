@@ -6,9 +6,11 @@
 
 use crate::ciphertext::Ciphertext;
 use crate::encoding::{decode_i64, encode_i64};
+use crate::PaillierError;
 use pp_bigint::{gen_prime, random_coprime, BigUint, MontgomeryCtx};
+use pp_stream_runtime::pool::WorkerPool;
 use rand::Rng;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Paillier public key: the modulus `n`, with precomputed `n²` and a shared
 /// Montgomery context for `n²` (built once per key, reused for every tensor
@@ -128,6 +130,19 @@ impl PublicKey {
     /// Key size in bits (bit length of `n`).
     pub fn bits(&self) -> usize {
         self.n.bit_len()
+    }
+
+    /// FNV-1a-64 fingerprint of the modulus — a stable per-key cache
+    /// and routing handle (also what the wire handshake hashes).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &limb in self.n.limbs() {
+            for byte in limb.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
     }
 
     pub(crate) fn ctx(&self) -> &MontgomeryCtx {
@@ -290,25 +305,117 @@ impl PrivateKey {
         &self.q
     }
 
+    /// The `p²` half of a CRT decryption:
+    /// `mp = L_p(c^{p−1} mod p²)·hp mod p`.
+    fn crt_half_p(&self, c: &Ciphertext) -> BigUint {
+        let p_minus_1 = &self.p - &BigUint::one();
+        let cp = c.raw().rem_ref(&self.p_squared).expect("p² non-zero");
+        l_function(&self.ctx_p2.pow_mod(&cp, &p_minus_1), &self.p)
+            .mulmod(&self.hp, &self.p)
+            .expect("p non-zero")
+    }
+
+    /// The `q²` half of a CRT decryption:
+    /// `mq = L_q(c^{q−1} mod q²)·hq mod q`.
+    fn crt_half_q(&self, c: &Ciphertext) -> BigUint {
+        let q_minus_1 = &self.q - &BigUint::one();
+        let cq = c.raw().rem_ref(&self.q_squared).expect("q² non-zero");
+        l_function(&self.ctx_q2.pow_mod(&cq, &q_minus_1), &self.q)
+            .mulmod(&self.hq, &self.q)
+            .expect("q non-zero")
+    }
+
+    /// CRT recombination: `m = mp + p·((mq − mp)·p^{-1} mod q)`.
+    fn crt_combine(&self, mp: &BigUint, mq: &BigUint) -> BigUint {
+        let diff = mq.submod(mp, &self.q).expect("q non-zero");
+        let t = diff.mulmod(&self.p_inv_q, &self.q).expect("q non-zero");
+        mp + &t.mul_ref(&self.p)
+    }
+
     /// Decrypts to the raw residue in `[0, n)` using the CRT split.
     pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
-        let p_minus_1 = &self.p - &BigUint::one();
-        let q_minus_1 = &self.q - &BigUint::one();
+        self.crt_combine(&self.crt_half_p(c), &self.crt_half_q(c))
+    }
 
-        let cp = c.raw().rem_ref(&self.p_squared).expect("p² non-zero");
-        let cq = c.raw().rem_ref(&self.q_squared).expect("q² non-zero");
+    /// Decrypts with the two CRT halves on separate workers. The halves
+    /// are fully independent `~bits/2` exponentiations, so on two cores
+    /// this approaches 2× the sequential CRT path. Falls back to
+    /// sequential below [`decrypt_par_min_bits`] (the spawn/park
+    /// overhead dwarfs a small-key exponentiation) or when `workers`
+    /// has no real parallelism.
+    pub fn decrypt_crt_parallel(&self, c: &Ciphertext, workers: &WorkerPool) -> BigUint {
+        if workers.size() < 2 || self.public.bits() < decrypt_par_min_bits() {
+            return self.decrypt(c);
+        }
+        self.decrypt_crt_parallel_unchecked(c, workers)
+    }
 
-        let mp = l_function(&self.ctx_p2.pow_mod(&cp, &p_minus_1), &self.p)
-            .mulmod(&self.hp, &self.p)
-            .expect("p non-zero");
-        let mq = l_function(&self.ctx_q2.pow_mod(&cq, &q_minus_1), &self.q)
-            .mulmod(&self.hq, &self.q)
-            .expect("q non-zero");
+    /// The parallel two-half split without the size gate (benches and
+    /// tests drive it directly; production goes through the gated entry).
+    pub(crate) fn decrypt_crt_parallel_unchecked(
+        &self,
+        c: &Ciphertext,
+        workers: &WorkerPool,
+    ) -> BigUint {
+        let sk = self.clone();
+        let ct = c.clone();
+        let halves = workers.map_ranges(2, move |range| {
+            range
+                .map(|i| if i == 0 { sk.crt_half_p(&ct) } else { sk.crt_half_q(&ct) })
+                .collect()
+        });
+        self.crt_combine(&halves[0], &halves[1])
+    }
 
-        // CRT: m = mp + p·((mq - mp)·p^{-1} mod q)
-        let diff = mq.submod(&mp, &self.q).expect("q non-zero");
-        let t = diff.mulmod(&self.p_inv_q, &self.q).expect("q non-zero");
-        &mp + &t.mul_ref(&self.p)
+    /// Decrypts a batch, spreading the `2·len` independent CRT half
+    /// exponentiations across the worker pool — twice the schedulable
+    /// units of a per-ciphertext split, which matters when the batch is
+    /// smaller than the pool. Sequential below the same cutoff as
+    /// [`PrivateKey::decrypt_crt_parallel`].
+    pub fn decrypt_batch(&self, cts: &[Ciphertext], workers: &WorkerPool) -> Vec<BigUint> {
+        if workers.size() < 2 || self.public.bits() < decrypt_par_min_bits() {
+            return cts.iter().map(|c| self.decrypt(c)).collect();
+        }
+        if cts.len() == 1 {
+            return vec![self.decrypt_crt_parallel_unchecked(&cts[0], workers)];
+        }
+        self.decrypt_batch_unchecked(cts, workers)
+    }
+
+    /// The batch half-split without the size gate.
+    pub(crate) fn decrypt_batch_unchecked(
+        &self,
+        cts: &[Ciphertext],
+        workers: &WorkerPool,
+    ) -> Vec<BigUint> {
+        let sk = self.clone();
+        let cts_shared: Arc<[Ciphertext]> = Arc::from(cts.to_vec());
+        let halves = workers.map_ranges(2 * cts.len(), move |range| {
+            range
+                .map(|i| {
+                    let c = &cts_shared[i / 2];
+                    if i % 2 == 0 {
+                        sk.crt_half_p(c)
+                    } else {
+                        sk.crt_half_q(c)
+                    }
+                })
+                .collect()
+        });
+        halves.chunks_exact(2).map(|h| self.crt_combine(&h[0], &h[1])).collect()
+    }
+
+    /// Batch decryption to signed 128-bit messages, with per-batch error
+    /// reporting instead of a panic on out-of-range plaintexts.
+    pub fn try_decrypt_batch_i128(
+        &self,
+        cts: &[Ciphertext],
+        workers: &WorkerPool,
+    ) -> Result<Vec<i128>, PaillierError> {
+        self.decrypt_batch(cts, workers)
+            .iter()
+            .map(|m| crate::encoding::decode_i128(m, &self.public.n))
+            .collect()
     }
 
     /// Decrypts without CRT (directly via `λ = lcm(p-1, q-1)`). Kept for
@@ -327,24 +434,49 @@ impl PrivateKey {
         l.mulmod(&mu, n).expect("n non-zero")
     }
 
+    /// Decrypts to a signed 64-bit message, or an error when the
+    /// decoded value does not fit `i64` — the recoverable form for
+    /// paths fed by untrusted peers, where an out-of-range plaintext
+    /// means a corrupt (but well-formed) reply, not a local bug.
+    pub fn try_decrypt_i64(&self, c: &Ciphertext) -> Result<i64, PaillierError> {
+        decode_i64(&self.decrypt(c), &self.public.n)
+    }
+
+    /// Decrypts to a signed 128-bit message, or an error when the
+    /// decoded value does not fit `i128`.
+    pub fn try_decrypt_i128(&self, c: &Ciphertext) -> Result<i128, PaillierError> {
+        crate::encoding::decode_i128(&self.decrypt(c), &self.public.n)
+    }
+
     /// Decrypts to a signed 64-bit message.
     ///
     /// Panics if the decoded value does not fit in `i64` (indicates the
     /// plaintext grew beyond the scaled-integer space — a parameter-scaling
     /// configuration error in PP-Stream terms).
     pub fn decrypt_i64(&self, c: &Ciphertext) -> i64 {
-        let residue = self.decrypt(c);
-        decode_i64(&residue, &self.public.n)
+        self.try_decrypt_i64(c)
             .expect("decrypted value exceeds i64 message space")
     }
 
     /// Decrypts to a signed 128-bit message, for accumulations that
     /// overflow 64 bits before rescaling.
     pub fn decrypt_i128(&self, c: &Ciphertext) -> i128 {
-        let residue = self.decrypt(c);
-        crate::encoding::decode_i128(&residue, &self.public.n)
+        self.try_decrypt_i128(c)
             .expect("decrypted value exceeds i128 message space")
     }
+}
+
+/// Key size (bits of `n`) below which parallel CRT decryption is not
+/// worth the hand-off: the two half exponentiations must each outweigh
+/// a worker wake-up. Override with `PP_DECRYPT_PAR_MIN_BITS`.
+fn decrypt_par_min_bits() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| {
+        std::env::var("PP_DECRYPT_PAR_MIN_BITS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1024)
+    })
 }
 
 #[cfg(test)]
@@ -460,6 +592,71 @@ mod tests {
         assert!(pk.validate(&c));
         assert!(!pk.validate(&Ciphertext::new(BigUint::zero())));
         assert!(!pk.validate(&Ciphertext::new(pk.n_squared().clone())));
+    }
+
+    #[test]
+    fn parallel_crt_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let kp = small_keypair(40);
+        let (pk, sk) = (kp.public(), kp.private());
+        let workers = WorkerPool::new(2);
+        for m in [0i64, 1, -1, 987_654_321, -123_456_789] {
+            let c = pk.encrypt_i64(m, &mut rng);
+            // Direct parallel body (128-bit keys sit below the gate).
+            assert_eq!(sk.decrypt_crt_parallel_unchecked(&c, &workers), sk.decrypt(&c));
+            // Gated entry falls back below the cutoff but stays correct.
+            assert_eq!(sk.decrypt_crt_parallel(&c, &workers), sk.decrypt(&c));
+        }
+    }
+
+    #[test]
+    fn batch_decrypt_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let kp = small_keypair(41);
+        let (pk, sk) = (kp.public(), kp.private());
+        let workers = WorkerPool::new(3);
+        let ms = [5i64, -6, 0, i32::MAX as i64, -40_000];
+        let cts: Vec<_> = ms.iter().map(|&m| pk.encrypt_i64(m, &mut rng)).collect();
+        let want: Vec<_> = cts.iter().map(|c| sk.decrypt(c)).collect();
+        assert_eq!(sk.decrypt_batch_unchecked(&cts, &workers), want);
+        assert_eq!(sk.decrypt_batch(&cts, &workers), want);
+        assert!(sk.decrypt_batch(&[], &workers).is_empty());
+        // Inline pool (size 0) takes the sequential path.
+        assert_eq!(sk.decrypt_batch(&cts, &WorkerPool::inline()), want);
+    }
+
+    #[test]
+    fn try_decrypt_reports_out_of_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let kp = small_keypair(42);
+        let (pk, sk) = (kp.public(), kp.private());
+        let c = pk.encrypt_i64(1234, &mut rng);
+        assert_eq!(sk.try_decrypt_i64(&c).unwrap(), 1234);
+        assert_eq!(sk.try_decrypt_i128(&c).unwrap(), 1234);
+        // A plaintext near n/2 decodes outside i64: clean Err, no panic.
+        let big = pk.half_n() - &BigUint::from(1u64);
+        let c_big = pk.encrypt(&big, &mut rng);
+        assert!(sk.try_decrypt_i64(&c_big).is_err());
+        // i128 overflow needs a key wider than 129 bits (a 128-bit n
+        // decodes entirely inside i128).
+        let kp_wide = Keypair::generate(160, &mut rng);
+        let (pkw, skw) = (kp_wide.public(), kp_wide.private());
+        let big_w = pkw.half_n() - &BigUint::from(1u64);
+        let c_big_w = pkw.encrypt(&big_w, &mut rng);
+        assert!(skw.try_decrypt_i128(&c_big_w).is_err());
+        // Batch form surfaces the same error.
+        let workers = WorkerPool::new(2);
+        let c_ok = pkw.encrypt_i64(1234, &mut rng);
+        assert!(skw.try_decrypt_batch_i128(&[c_ok.clone(), c_big_w], &workers).is_err());
+        assert_eq!(skw.try_decrypt_batch_i128(&[c_ok], &workers).unwrap(), vec![1234]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinct() {
+        let kp1 = small_keypair(43);
+        let kp2 = small_keypair(44);
+        assert_eq!(kp1.public().fingerprint(), kp1.public().fingerprint());
+        assert_ne!(kp1.public().fingerprint(), kp2.public().fingerprint());
     }
 
     #[test]

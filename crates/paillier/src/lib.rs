@@ -48,7 +48,7 @@ pub use dot::MontInputs;
 pub use encoding::{decode_i64, encode_i64, try_encode_i64};
 pub use keys::{Keypair, PrivateKey, PublicKey};
 pub use packing::{PackedCiphertext, PackedMontInputs, PackingSpec};
-pub use pool::RandomnessPool;
+pub use pool::{shared_refill_cache, RandomnessPool, RefillBase, RefillCache};
 
 /// Errors from Paillier operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

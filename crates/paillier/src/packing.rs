@@ -42,6 +42,7 @@
 use crate::ciphertext::Ciphertext;
 use crate::{PaillierError, PrivateKey, PublicKey};
 use pp_bigint::{BigUint, Limb};
+use pp_stream_runtime::pool::WorkerPool;
 use rand::Rng;
 use std::cell::OnceCell;
 
@@ -399,7 +400,23 @@ impl PackedCiphertext {
     /// Decrypts and unpacks the active slots, stripping `weight·2B` from
     /// each.
     pub fn decrypt(&self, sk: &PrivateKey) -> Result<Vec<i64>, PaillierError> {
-        let m = sk.decrypt(&self.ct);
+        self.unpack_residue(sk.decrypt(&self.ct))
+    }
+
+    /// Like [`PackedCiphertext::decrypt`], but splits the one big
+    /// decryption's CRT halves across `workers` — the packed path
+    /// carries a whole batch in a single ciphertext, so this is where
+    /// parallel CRT pays even when there is nothing else to batch with.
+    pub fn decrypt_parallel(
+        &self,
+        sk: &PrivateKey,
+        workers: &WorkerPool,
+    ) -> Result<Vec<i64>, PaillierError> {
+        self.unpack_residue(sk.decrypt_crt_parallel(&self.ct, workers))
+    }
+
+    /// Unpacks a decrypted residue into the active slots.
+    fn unpack_residue(&self, m: BigUint) -> Result<Vec<i64>, PaillierError> {
         let offset_total = (self.weight as u128)
             .checked_mul(self.spec.offset() as u128)
             .and_then(|o| i128::try_from(o).ok())

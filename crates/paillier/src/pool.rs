@@ -14,27 +14,227 @@
 
 use crate::packing::{pack_values, PackedCiphertext, PackingSpec};
 use crate::{Ciphertext, PaillierError, PublicKey};
-use pp_bigint::{random_coprime, BigUint};
+use pp_bigint::{random_bits, random_coprime, BigUint, FixedBaseTable};
 use pp_stream_runtime::pool::WorkerPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bits of the short exponent `a` in the fixed-base refill `h^a`.
+/// 128 bits of exponent entropy at minimum (the usual short-exponent
+/// indistinguishability margin), growing with the key so bigger keys
+/// keep a proportional margin — 256 bits at the paper's 2048-bit keys.
+pub(crate) fn short_exp_bits(key_bits: usize) -> usize {
+    (key_bits / 8).max(128).min(key_bits)
+}
+
+/// Samples a short exponent with its top bit pinned (exact bit length,
+/// never zero) so every factor walks the same number of table windows.
+fn sample_exponent<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    random_bits(rng, bits)
+}
+
+/// Per-key fixed-base refill state: one full-width `h = x^n mod n²`
+/// exponentiation plus a comb table over `h`, after which every pool
+/// factor is a short fixed-base walk `h^a = (x^a)^n` instead of a
+/// full-width `pow_mod`.
+///
+/// `x` is derived deterministically from the key — the base (like a
+/// group generator) carries no secret; the blinding entropy lives
+/// entirely in the per-factor exponent `a`. Determinism keeps the
+/// factor stream a pure function of `(key, seed, seq)`, which
+/// exactly-once replay depends on.
+pub struct RefillBase {
+    fingerprint: u64,
+    exp_bits: usize,
+    h: BigUint,
+    table: FixedBaseTable,
+}
+
+impl RefillBase {
+    /// Builds the per-key state: one `pow_mod` for `h` plus the comb
+    /// table. Costs on the order of a few hundred Montgomery multiplies
+    /// — amortized away after a handful of factors, and shared across
+    /// sessions via [`RefillCache`].
+    pub fn for_key(pk: &PublicKey) -> Self {
+        let fingerprint = pk.fingerprint();
+        let mut rng = StdRng::seed_from_u64(fingerprint ^ 0x5F1D_BA5E_0000_0001);
+        let x = random_coprime(&mut rng, pk.n());
+        let h = pk.ctx().pow_mod(&x, pk.n());
+        let exp_bits = short_exp_bits(pk.bits());
+        let table = pk.ctx().fixed_base_table(&h, exp_bits);
+        RefillBase { fingerprint, exp_bits, h, table }
+    }
+
+    /// Fingerprint of the key this state belongs to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Bit length of the short exponents drawn per factor.
+    pub fn exp_bits(&self) -> usize {
+        self.exp_bits
+    }
+
+    /// The precomputed base `h = x^n mod n²`.
+    pub fn h(&self) -> &BigUint {
+        &self.h
+    }
+
+    /// Approximate table footprint in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    /// One blinding factor `h^a mod n²` for a given short exponent.
+    pub fn factor_for(&self, pk: &PublicKey, a: &BigUint) -> BigUint {
+        pk.ctx().pow_fixed_base(&self.table, a)
+    }
+
+    /// Draws a fresh short exponent from `rng` and returns its factor.
+    pub fn sample_factor<R: Rng + ?Sized>(&self, pk: &PublicKey, rng: &mut R) -> BigUint {
+        let a = sample_exponent(rng, self.exp_bits);
+        self.factor_for(pk, &a)
+    }
+}
+
+/// Process-wide LRU cache of [`RefillBase`] tables keyed by key
+/// fingerprint, so multi-tenant servers build each key's table once
+/// instead of once per session. Bounded: evicting beyond `cap` tenants
+/// drops the least-recently-used table (it rebuilds on next use).
+pub struct RefillCache {
+    cap: usize,
+    entries: Mutex<VecDeque<(u64, Arc<RefillBase>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RefillCache {
+    /// Creates a cache holding at most `cap` per-key tables.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "refill cache needs capacity");
+        RefillCache {
+            cap,
+            entries: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The table for `pk`, building (and caching) it on first use.
+    pub fn get(&self, pk: &PublicKey) -> Arc<RefillBase> {
+        let fp = pk.fingerprint();
+        {
+            let mut entries = self.entries.lock().expect("refill cache poisoned");
+            if let Some(pos) = entries.iter().position(|(k, _)| *k == fp) {
+                let entry = entries.remove(pos).expect("position is valid");
+                let base = entry.1.clone();
+                entries.push_front(entry);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return base;
+            }
+        }
+        // Build outside the lock: a 2048-bit table costs real time and
+        // must not block other tenants' lookups. Two racing builders
+        // produce identical state (the derivation is deterministic), so
+        // whichever inserts second simply reuses the first's entry.
+        let built = Arc::new(RefillBase::for_key(pk));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("refill cache poisoned");
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == fp) {
+            let entry = entries.remove(pos).expect("position is valid");
+            let base = entry.1.clone();
+            entries.push_front(entry);
+            return base;
+        }
+        entries.push_front((fp, built.clone()));
+        entries.truncate(self.cap);
+        built
+    }
+
+    /// Number of cached per-key tables.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("refill cache poisoned").len()
+    }
+
+    /// True when no table is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build a table.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-global refill cache shared by every session. Capacity
+/// defaults to 16 tenants; `PP_REFILL_CACHE_CAP` overrides.
+pub fn shared_refill_cache() -> &'static RefillCache {
+    static CACHE: OnceLock<RefillCache> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let cap = std::env::var("PP_REFILL_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(16);
+        RefillCache::new(cap)
+    })
+}
 
 /// A pool of precomputed `r^n mod n²` factors for fast online encryption.
 pub struct RandomnessPool {
     pk: PublicKey,
+    base: Option<Arc<RefillBase>>,
     factors: VecDeque<BigUint>,
     misses: u64,
 }
 
 impl RandomnessPool {
-    /// Creates an empty pool for `pk`.
+    /// Creates an empty pool for `pk`. The per-key fixed-base table is
+    /// fetched from the shared [`RefillCache`] on first refill.
     pub fn new(pk: PublicKey) -> Self {
-        RandomnessPool { pk, factors: VecDeque::new(), misses: 0 }
+        RandomnessPool { pk, base: None, factors: VecDeque::new(), misses: 0 }
     }
 
-    /// Precomputes `count` randomness factors.
+    /// Creates an empty pool with an explicit per-key table — for
+    /// callers that manage their own cache (or pre-warmed handshakes).
+    pub fn with_base(pk: PublicKey, base: Arc<RefillBase>) -> Self {
+        debug_assert_eq!(base.fingerprint(), pk.fingerprint(), "table belongs to another key");
+        RandomnessPool { pk, base: Some(base), factors: VecDeque::new(), misses: 0 }
+    }
+
+    /// The per-key fixed-base state, resolving through the shared cache
+    /// on first use.
+    pub fn base(&mut self) -> &Arc<RefillBase> {
+        if self.base.is_none() {
+            self.base = Some(shared_refill_cache().get(&self.pk));
+        }
+        self.base.as_ref().expect("just initialized")
+    }
+
+    /// Precomputes `count` randomness factors via the fixed-base walk.
     pub fn refill<R: Rng + ?Sized>(&mut self, count: usize, rng: &mut R) {
+        let base = self.base().clone();
+        for _ in 0..count {
+            let f = base.sample_factor(&self.pk, rng);
+            self.factors.push_back(f);
+        }
+    }
+
+    /// Precomputes `count` factors the pre-fixed-base way: a fresh
+    /// `r ∈ Z*_n` and a full-width `pow_mod` per factor. Kept as the
+    /// reference implementation the benches race against and the
+    /// conservative fallback for callers that refuse the
+    /// short-exponent assumption.
+    pub fn refill_pow_mod<R: Rng + ?Sized>(&mut self, count: usize, rng: &mut R) {
         for _ in 0..count {
             let r = random_coprime(rng, self.pk.n());
             let rn = self.pk.ctx().pow_mod(&r, self.pk.n());
@@ -43,21 +243,17 @@ impl RandomnessPool {
     }
 
     /// Precomputes `count` factors across a [`WorkerPool`], keeping the
-    /// `r^n` exponentiations off the request path. Each worker chunk
-    /// derives its own deterministic RNG from `seed` and its start
-    /// index, so the refill is reproducible regardless of how the pool
-    /// splits the range.
+    /// exponentiations off the request path. Each worker chunk derives
+    /// its own deterministic RNG from `seed` and its start index, so
+    /// the refill is reproducible regardless of how the pool splits the
+    /// range.
     pub fn refill_parallel(&mut self, count: usize, workers: &WorkerPool, seed: u64) {
+        let base = self.base().clone();
         let pk = self.pk.clone();
         let factors = workers.map_ranges(count, move |range| {
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (range.start as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            range
-                .map(|_| {
-                    let r = random_coprime(&mut rng, pk.n());
-                    pk.ctx().pow_mod(&r, pk.n())
-                })
-                .collect()
+            range.map(|_| base.sample_factor(&pk, &mut rng)).collect()
         });
         self.factors.extend(factors);
     }
@@ -215,6 +411,101 @@ mod tests {
         let direct =
             PackedCiphertext::encrypt_with_factor(&kp.public(), spec, &[7, -8], &rn).unwrap();
         assert_eq!(via_pool.ct.raw(), direct.ct.raw());
+    }
+
+    #[test]
+    fn fixed_base_factor_is_bit_identical_to_pow_mod() {
+        // The comb walk must produce exactly pow_mod's h^a — same bits,
+        // not just the same residue class.
+        let mut rng = StdRng::seed_from_u64(26);
+        let kp = Keypair::generate(256, &mut rng);
+        let pk = kp.public();
+        let base = RefillBase::for_key(&pk);
+        for bits in [1usize, 17, 64, base.exp_bits()] {
+            let a = pp_bigint::random_bits(&mut rng, bits);
+            assert_eq!(
+                base.factor_for(&pk, &a),
+                pk.ctx().pow_mod(base.h(), &a),
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_base_factors_are_valid_blinding() {
+        // h^a is a valid r^n with r = x^a: pooled encryptions decrypt.
+        let mut rng = StdRng::seed_from_u64(27);
+        let kp = Keypair::generate(128, &mut rng);
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill(6, &mut rng);
+        for m in [0i64, 1, -1, 123_456, -98_765, i32::MAX as i64] {
+            let c = pool.encrypt_i64(m, &mut rng);
+            assert_eq!(kp.private().decrypt_i64(&c), m);
+        }
+        assert_eq!(pool.misses(), 0);
+        // Distinct exponents → distinct factors.
+        pool.refill(2, &mut rng);
+        let f1 = pool.take_factor().unwrap();
+        let f2 = pool.take_factor().unwrap();
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn refill_base_is_deterministic_per_key() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let kp = Keypair::generate(128, &mut rng);
+        let a = RefillBase::for_key(&kp.public());
+        let b = RefillBase::for_key(&kp.public());
+        assert_eq!(a.h(), b.h());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.exp_bits(), b.exp_bits());
+        assert!(a.table_bytes() > 0);
+    }
+
+    #[test]
+    fn refill_cache_is_lru_bounded() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let cache = RefillCache::new(2);
+        let kps: Vec<_> = (0..3).map(|_| Keypair::generate(64, &mut rng)).collect();
+
+        let b0 = cache.get(&kps[0].public());
+        let _b1 = cache.get(&kps[1].public());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+        // Hit refreshes recency.
+        let b0_again = cache.get(&kps[0].public());
+        assert!(Arc::ptr_eq(&b0, &b0_again));
+        assert_eq!(cache.hits(), 1);
+        // Third key evicts the LRU entry (key 1).
+        cache.get(&kps[2].public());
+        assert_eq!(cache.len(), 2);
+        cache.get(&kps[1].public());
+        assert_eq!(cache.misses(), 4, "evicted entry rebuilds");
+    }
+
+    #[test]
+    fn with_base_shares_one_table() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let kp = Keypair::generate(128, &mut rng);
+        let base = Arc::new(RefillBase::for_key(&kp.public()));
+        let mut p1 = RandomnessPool::with_base(kp.public(), base.clone());
+        let mut p2 = RandomnessPool::with_base(kp.public(), base.clone());
+        assert!(Arc::ptr_eq(p1.base(), p2.base()));
+        p1.refill(1, &mut rng);
+        let c = p1.encrypt_i64(7, &mut rng);
+        assert_eq!(kp.private().decrypt_i64(&c), 7);
+    }
+
+    #[test]
+    fn refill_pow_mod_still_produces_valid_factors() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let kp = Keypair::generate(128, &mut rng);
+        let mut pool = RandomnessPool::new(kp.public());
+        pool.refill_pow_mod(2, &mut rng);
+        for m in [42i64, -42] {
+            let c = pool.encrypt_i64(m, &mut rng);
+            assert_eq!(kp.private().decrypt_i64(&c), m);
+        }
     }
 
     #[test]

@@ -161,4 +161,54 @@ proptest! {
             prop_assert_eq!(g, kp.private().decrypt_i64(&unpacked), "batch item {}", j);
         }
     }
+
+    /// The parallel CRT split must be bit-identical to the sequential
+    /// decrypt for every message, and batch decrypt must agree with
+    /// item-at-a-time decryption in order.
+    #[test]
+    fn parallel_crt_decrypt_matches_sequential(
+        ms in proptest::collection::vec(any::<i32>(), 1..5),
+    ) {
+        let kp = keypair();
+        let (pk, sk) = (kp.public(), kp.private());
+        let mut rng = StdRng::seed_from_u64(ms[0] as u64 ^ (ms.len() as u64) << 40);
+        let workers = pp_stream_runtime::WorkerPool::new(2);
+        let cts: Vec<_> = ms.iter().map(|&m| pk.encrypt_i64(m as i64, &mut rng)).collect();
+        for (c, &m) in cts.iter().zip(&ms) {
+            prop_assert_eq!(sk.decrypt(c), sk.decrypt_crt_parallel(c, &workers));
+            prop_assert_eq!(sk.try_decrypt_i64(c).unwrap(), m as i64);
+        }
+        let batch = sk.decrypt_batch(&cts, &workers);
+        let seq: Vec<_> = cts.iter().map(|c| sk.decrypt(c)).collect();
+        prop_assert_eq!(batch, seq);
+    }
+
+    /// A pool refilled through the fixed-base comb must hand out factors
+    /// that blind correctly — every pooled encryption decrypts to its
+    /// message — and the per-key refill base must be identical no matter
+    /// which pool instance derives it.
+    #[test]
+    fn fixed_base_refill_factors_blind_correctly(
+        ms in proptest::collection::vec(-100_000i64..100_000, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let (pk, sk) = (kp.public(), kp.private());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base_a = pp_paillier::RefillBase::for_key(&pk);
+        let base_b = pp_paillier::RefillBase::for_key(&pk);
+        prop_assert_eq!(base_a.fingerprint(), base_b.fingerprint());
+        prop_assert_eq!(base_a.h(), base_b.h());
+
+        let mut pool = pp_paillier::RandomnessPool::with_base(
+            pk.clone(),
+            std::sync::Arc::new(base_a),
+        );
+        pool.refill(ms.len(), &mut rng);
+        for &m in &ms {
+            let c = pool.encrypt_i64(m, &mut rng);
+            prop_assert_eq!(sk.try_decrypt_i64(&c).unwrap(), m);
+        }
+        prop_assert_eq!(pool.misses(), 0);
+    }
 }

@@ -103,7 +103,8 @@ run_fuzz_gate
 echo "==> fault injection compiles out cleanly"
 cargo build -p pp-stream --no-default-features
 
-echo "==> kernel gate: fused dot must not regress below the naive fold"
+echo "==> kernel gate: fused dot <= naive fold, fixed-base refill <= pow_mod refill,"
+echo "    parallel CRT decrypt <= sequential (15% grace on single-core hosts)"
 cargo run --release -p pp-bench --bin bench_kernels -- --smoke
 
 echo "==> packed-dot gate: per-item packed <= unpacked at batch >= 8, >= 4x at batch 32"

@@ -578,3 +578,51 @@ fn expired_session_rejects_resume() {
     assert!(report.rejected_handshakes >= 1, "the expired resume was rejected");
     assert!(report.clean_shutdown);
 }
+
+#[test]
+fn chaos_resume_with_fixed_base_refill_is_deterministic() {
+    // The blinding-factor pool now refills through the per-key
+    // fixed-base comb table (shared process-wide). A session that dies
+    // and resumes mid-stream must still replay bit-identically to a
+    // clean in-process run: the table is derived deterministically from
+    // the key, so a reconnect — or a second session under the same
+    // key — walks the exact same factor stream.
+    let scaled = mlp_model("chaos-fixed-base");
+    let mut config = NetConfig::small_test(128);
+    config.fault =
+        Some(FaultPlan { seed: fault_seed(), kill_every: Some(11), ..Default::default() });
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let provider = ModelProvider::new(&scaled, &config).expect("provider");
+    let server = std::thread::spawn(move || provider.serve_listener(&listener).expect("serve"));
+
+    let hits_before = pp_paillier::shared_refill_cache().hits();
+    let mut session =
+        NetworkedSession::connect(addr, scaled.clone(), &config).expect("connect + handshake");
+    let items = stream_inputs(60);
+    let (got, report) = session.infer_stream(&items).expect("stream survives the kills");
+    let transport = session.shutdown();
+    assert!(transport.reconnects > 0, "the kill schedule must force at least one resume");
+    // Replayed items re-encrypt past the precomputed pool, so misses are
+    // expected here — the point is that neither pooled (fixed-base) nor
+    // fallback (inline r^n) blinding perturbs the decrypted stream.
+    let _ = report.pool_misses;
+    server.join().expect("server thread");
+
+    // Clean reference run, same seeds: the in-process pipeline derives
+    // the same key, hits the same shared table, and must agree bit for
+    // bit with the killed-and-resumed networked stream.
+    let mut local_cfg = PpStreamConfig::small_test(128);
+    local_cfg.seed = config.seed;
+    let local = PpStream::new(scaled, local_cfg).expect("in-process session");
+    let (want, _) = local.infer_stream(&items).expect("in-process inference");
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.data(), w.data(), "item {i} diverged after resume with fixed-base refill");
+    }
+    assert!(
+        pp_paillier::shared_refill_cache().hits() > hits_before,
+        "sessions under one key must reuse the shared fixed-base table, not rebuild it"
+    );
+}

@@ -82,7 +82,7 @@ impl Protocol {
                         seed: 3,
                     };
                     if !exec.is_last {
-                        msg = exec.execute(msg, &self.pool);
+                        msg = exec.execute(msg, &self.pool).expect("nonlinear round");
                         crossings.push(msg.clone()); // data → model
                     }
                 }
